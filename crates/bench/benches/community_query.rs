@@ -1,0 +1,57 @@
+//! Criterion micro-benchmark: (α,β)-community retrieval (statistical
+//! version of Fig. 8) — Qo vs Qv vs Qopt at α = β = 0.7δ.
+
+use bicore::abcore::abcore_community;
+use bicore::bicore_index::BicoreIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::random_core_queries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scs::DeltaIndex;
+use scs_bench::{default_params, load_dataset, Config};
+
+fn bench_community_query(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.15,
+        seed: 42,
+        n_queries: 0,
+    };
+    let mut group = c.benchmark_group("community_query");
+    group.sample_size(20);
+    for name in ["BS", "SO", "ML"] {
+        let g = load_dataset(&cfg, name);
+        let iv = BicoreIndex::build(&g);
+        let id = DeltaIndex::build(&g);
+        let t = default_params(id.delta());
+        let mut rng = StdRng::seed_from_u64(7);
+        let queries = random_core_queries(&g, t, t, 16, &mut rng);
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("Qo", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    std::hint::black_box(abcore_community(&g, q, t, t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("Qv", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    std::hint::black_box(iv.query_community(&g, q, t, t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("Qopt", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    std::hint::black_box(id.query_community(&g, q, t, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_community_query);
+criterion_main!(benches);

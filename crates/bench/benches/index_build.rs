@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark: index construction (statistical version of
+//! Fig. 10) — Iv vs Iδ vs the basic indexes on small dataset analogues.
+
+use bicore::bicore_index::BicoreIndex;
+use bigraph::Side;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scs::{BasicIndex, DeltaIndex};
+use scs_bench::{load_dataset, Config};
+
+fn bench_index_build(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.08,
+        seed: 42,
+        n_queries: 0,
+    };
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for name in ["BS", "SO", "ML"] {
+        let g = load_dataset(&cfg, name);
+        group.bench_with_input(BenchmarkId::new("Iv", name), &g, |b, g| {
+            b.iter(|| std::hint::black_box(BicoreIndex::build(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("Idelta", name), &g, |b, g| {
+            b.iter(|| std::hint::black_box(DeltaIndex::build(g)))
+        });
+        // The basic indexes get a work budget so hub-heavy analogues
+        // don't stall the run; a budget error still measures the work.
+        let budget = g.n_edges() * 60;
+        group.bench_with_input(BenchmarkId::new("Ia_bs", name), &g, |b, g| {
+            b.iter(|| {
+                let _ = std::hint::black_box(BasicIndex::build_with_budget(
+                    g,
+                    Side::Upper,
+                    budget,
+                ));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("Ib_bs", name), &g, |b, g| {
+            b.iter(|| {
+                let _ = std::hint::black_box(BasicIndex::build_with_budget(
+                    g,
+                    Side::Lower,
+                    budget,
+                ));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

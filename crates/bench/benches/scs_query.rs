@@ -1,0 +1,66 @@
+//! Criterion micro-benchmark: significant community extraction
+//! (statistical version of Fig. 12) — baseline vs peel vs expand vs
+//! binary at α = β = 0.7δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::random_core_queries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scs::query::{scs_baseline, scs_binary, scs_expand, scs_peel};
+use scs::DeltaIndex;
+use scs_bench::{default_params, load_dataset, Config};
+
+fn bench_scs_query(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.12,
+        seed: 42,
+        n_queries: 0,
+    };
+    let mut group = c.benchmark_group("scs_query");
+    group.sample_size(10);
+    for name in ["BS", "ML"] {
+        let g = load_dataset(&cfg, name);
+        let id = DeltaIndex::build(&g);
+        let t = default_params(id.delta());
+        let mut rng = StdRng::seed_from_u64(7);
+        let queries = random_core_queries(&g, t, t, 8, &mut rng);
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("baseline", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    std::hint::black_box(scs_baseline(&g, q, t, t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("peel", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    let cm = id.query_community(&g, q, t, t);
+                    std::hint::black_box(scs_peel(&g, &cm, q, t, t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("expand", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    let cm = id.query_community(&g, q, t, t);
+                    std::hint::black_box(scs_expand(&g, &cm, q, t, t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary", name), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    let cm = id.query_community(&g, q, t, t);
+                    std::hint::black_box(scs_binary(&g, &cm, q, t, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scs_query);
+criterion_main!(benches);

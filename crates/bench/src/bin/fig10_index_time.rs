@@ -1,0 +1,48 @@
+//! Fig. 10 — index construction time: Iv, Iα_bs, Iβ_bs, Iδ on every
+//! dataset. The basic indexes run under a work budget and report INF
+//! when they exceed it, mirroring the paper's 10⁴-second cutoff.
+//!
+//! `cargo run -p scs-bench --release --bin fig10_index_time`
+
+use bicore::bicore_index::BicoreIndex;
+use bigraph::Side;
+use scs::{BasicIndex, DeltaIndex};
+use scs_bench::*;
+
+/// Work budget for the basic indexes: generous enough for the
+/// low-degree datasets, exceeded by the hub-heavy ones (as in the paper,
+/// where Iα_bs/Iβ_bs could not be built on DUI/EN within the limit).
+const BASIC_BUDGET: usize = 120_000_000;
+
+fn main() {
+    let cfg = Config::from_env();
+    println!("Fig. 10: index construction time (scale={})\n", cfg.scale);
+    let widths = [8, 12, 12, 12, 12];
+    print_header(&["Dataset", "Iv", "Iα_bs", "Iβ_bs", "Iδ"], &widths);
+    for name in dataset_names() {
+        let g = load_dataset(&cfg, name);
+        let (_, t_iv) = time(|| std::hint::black_box(BicoreIndex::build(&g)));
+        let budget = BASIC_BUDGET.max(g.n_edges() * 50);
+        let (ra, t_ia) = time(|| BasicIndex::build_with_budget(&g, Side::Upper, budget));
+        let (rb, t_ib) = time(|| BasicIndex::build_with_budget(&g, Side::Lower, budget));
+        let (_, t_id) = time(|| std::hint::black_box(DeltaIndex::build(&g)));
+        let fmt_basic = |r: &Result<BasicIndex, scs::index::BudgetExceeded>, t: std::time::Duration| {
+            match r {
+                Ok(_) => fmt_secs(t.as_secs_f64()),
+                Err(_) => "INF".to_string(),
+            }
+        };
+        print_row(
+            &[
+                name.to_string(),
+                fmt_secs(t_iv.as_secs_f64()),
+                fmt_basic(&ra, t_ia),
+                fmt_basic(&rb, t_ib),
+                fmt_secs(t_id.as_secs_f64()),
+            ],
+            &widths,
+        );
+    }
+    println!("\nExpected shape: Iδ ≈ Iv (slightly slower); basic indexes blow up");
+    println!("or hit INF where α_max/β_max is huge (LS/DT/EN/DUI/DTI analogues).");
+}

@@ -1,0 +1,58 @@
+//! Fig. 12 — significant (α,β)-community query time on every dataset:
+//! SCS-Baseline vs SCS-Peel vs SCS-Expand, α = β = 0.7δ, mean ± stdev
+//! over random core queries (all using Qopt for step 1, as in the
+//! paper).
+//!
+//! `cargo run -p scs-bench --release --bin fig12_scs_datasets`
+
+use datasets::random_core_queries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scs::query::{scs_baseline, scs_expand, scs_peel};
+use scs::DeltaIndex;
+use scs_bench::*;
+
+fn main() {
+    let cfg = Config::from_env();
+    println!(
+        "Fig. 12: SCS query time, α=β=0.7δ, {} queries, mean±σ (scale={})\n",
+        cfg.n_queries, cfg.scale
+    );
+    let widths = [8, 5, 19, 19, 19];
+    print_header(&["Dataset", "α=β", "baseline", "peel", "expand"], &widths);
+    for name in dataset_names() {
+        let g = load_dataset(&cfg, name);
+        let id = DeltaIndex::build(&g);
+        let t = default_params(id.delta());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let queries = random_core_queries(&g, t, t, cfg.n_queries, &mut rng);
+        if queries.is_empty() {
+            println!("{name:>8}  (empty ({t},{t})-core, skipped)");
+            continue;
+        }
+        let (bl_m, bl_s) = mean_std(&time_queries(&queries, |q| {
+            std::hint::black_box(scs_baseline(&g, q, t, t));
+        }));
+        let (pe_m, pe_s) = mean_std(&time_queries(&queries, |q| {
+            let c = id.query_community(&g, q, t, t);
+            std::hint::black_box(scs_peel(&g, &c, q, t, t));
+        }));
+        let (ex_m, ex_s) = mean_std(&time_queries(&queries, |q| {
+            let c = id.query_community(&g, q, t, t);
+            std::hint::black_box(scs_expand(&g, &c, q, t, t));
+        }));
+        let pm = |m: f64, s: f64| format!("{}±{}", fmt_secs(m), fmt_secs(s));
+        print_row(
+            &[
+                name.to_string(),
+                t.to_string(),
+                pm(bl_m, bl_s),
+                pm(pe_m, pe_s),
+                pm(ex_m, ex_s),
+            ],
+            &widths,
+        );
+    }
+    println!("\nExpected shape: peel & expand ≫ baseline (two-step framework);");
+    println!("expand usually ≤ peel on average, with larger variance.");
+}

@@ -1,0 +1,111 @@
+//! Fig. 6 — community quality on the MovieLens-style genre subgraph,
+//! varying α = β = t: (a) bipartite density and average rating per
+//! model, (b) percentage of dislike users per model.
+//!
+//! Models: SC (significant (α,β)-community), (α,β)-core community,
+//! k-bitruss (k = α·β), maximal biclique, and the C4★ threshold
+//! community — exactly the paper's lineup.
+//!
+//! `cargo run -p scs-bench --release --bin fig6_quality`
+
+use bigraph::metrics::{bipartite_density, dislike_fraction};
+use bigraph::Subgraph;
+use cohesion::{bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community};
+use datasets::{generate_movielens, MovieLensConfig};
+use scs::{Algorithm, CommunitySearch};
+use scs_bench::*;
+
+fn main() {
+    let cfg = Config::from_env();
+    let ml_cfg = MovieLensConfig::default();
+    let ml = generate_movielens(&ml_cfg);
+    let genre = 0; // "comedy"
+    let (g, user_map, _) = ml.extract_genre(genre);
+    println!(
+        "Fig. 6: community quality on the genre-{genre} subgraph ({}), seed={}\n",
+        g.summary(),
+        cfg.seed
+    );
+
+    let search = CommunitySearch::new(g.clone());
+    let delta = search.delta();
+    let q_ui = user_map
+        .iter()
+        .position(|&o| o == ml.graph.local_index(ml.some_fan(genre)))
+        .expect("fan present in genre subgraph");
+    let q = search.graph().upper(q_ui);
+    let phi = bitruss_decomposition(&g);
+
+    // The paper varies t ∈ {45, 50, 55} on the real 25M-edge graph;
+    // scale to the analogue's δ.
+    let ts: Vec<usize> = [0.5, 0.6, 0.7]
+        .iter()
+        .map(|c| ((delta as f64 * c).round() as usize).max(2))
+        .collect();
+    println!("δ = {delta}; using t ∈ {ts:?} (paper: 45/50/55)\n");
+
+    let widths = [4, 12, 9, 9, 9, 12];
+    print_header(
+        &["t", "model", "density", "avg_w", "min_w", "%dislike"],
+        &widths,
+    );
+    for &t in &ts {
+        let sc = search.significant_community(q, t, t, Algorithm::Auto);
+        let core = search.community(q, t, t);
+        let bt = bitruss_community(&g, &phi, q, (t * t) as u64);
+        let bc = maximal_biclique_containing(&g, q, t.min(8), t.min(8), 300_000)
+            .map(|b| b.to_subgraph(&g));
+        let c4 = threshold_community(&g, q, 4.0);
+        let rows: [(&str, Option<Subgraph>); 5] = [
+            ("SC", Some(sc)),
+            ("(α,β)-core", Some(core)),
+            ("bitruss", if bt.is_empty() { None } else { Some(bt) }),
+            ("biclique", bc),
+            ("C4★", if c4.is_empty() { None } else { Some(c4) }),
+        ];
+        for (label, sub) in rows {
+            match sub {
+                None => print_row(
+                    &[
+                        t.to_string(),
+                        label.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                    &widths,
+                ),
+                Some(sub) if sub.is_empty() => print_row(
+                    &[
+                        t.to_string(),
+                        label.to_string(),
+                        "∅".into(),
+                        "∅".into(),
+                        "∅".into(),
+                        "∅".into(),
+                    ],
+                    &widths,
+                ),
+                Some(sub) => {
+                    let dis = dislike_fraction(&sub, 4.0, 0.6 * t as f64) * 100.0;
+                    print_row(
+                        &[
+                            t.to_string(),
+                            label.to_string(),
+                            format!("{:.2}", bipartite_density(&sub)),
+                            format!("{:.2}", sub.mean_weight().unwrap()),
+                            format!("{:.2}", sub.min_weight().unwrap()),
+                            format!("{dis:.1}"),
+                        ],
+                        &widths,
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    println!("Expected shape (paper Fig. 6): SC has the highest avg/min rating and");
+    println!("the fewest dislike users; structural models have high density but");
+    println!("high dislike rates; C4★ has low density (no structure constraint).");
+}

@@ -1,0 +1,106 @@
+//! Table II + Fig. 7 — case study on the genre subgraph: statistics of
+//! the query result per model (|U|, |M|, R_avg, R_min, M_avg, Sim) and,
+//! with `--verbose`, representative members (the Fig. 7 view).
+//!
+//! `cargo run -p scs-bench --release --bin table2_case_study [-- --verbose]`
+
+use bigraph::metrics::{community_stats, jaccard_similarity, mean_upper_vertex_weight};
+use bigraph::Subgraph;
+use cohesion::{bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community};
+use datasets::{generate_movielens, MovieLensConfig};
+use scs::{Algorithm, CommunitySearch};
+use scs_bench::*;
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "--verbose");
+    let _cfg = Config::from_env();
+    let ml = generate_movielens(&MovieLensConfig::default());
+    let genre = 0;
+    let (g, user_map, _) = ml.extract_genre(genre);
+    let search = CommunitySearch::new(g.clone());
+    let delta = search.delta();
+    let t = ((delta as f64 * 0.7).round() as usize).max(2);
+    let q_ui = user_map
+        .iter()
+        .position(|&o| o == ml.graph.local_index(ml.some_fan(genre)))
+        .unwrap();
+    let q = search.graph().upper(q_ui);
+    println!(
+        "Table II: case study, q = user {q_ui}, α = β = {t} (δ = {delta}, paper: q=6778, α=β=45)\n"
+    );
+
+    let sc = search.significant_community(q, t, t, Algorithm::Auto);
+    let core = search.community(q, t, t);
+    let phi = bitruss_decomposition(&g);
+    let bt = bitruss_community(&g, &phi, q, (t * t) as u64);
+    let bc = maximal_biclique_containing(&g, q, t.min(8), t.min(8), 300_000)
+        .map(|b| b.to_subgraph(&g));
+    let c4 = threshold_community(&g, q, 4.0);
+
+    let widths = [12, 7, 7, 7, 7, 8, 8];
+    print_header(&["Model", "|U|", "|M|", "Ravg", "Rmin", "Mavg", "Sim(%)"], &widths);
+    let models: Vec<(&str, Option<&Subgraph>)> = vec![
+        ("SC", Some(&sc)),
+        ("(α,β)-core", Some(&core)),
+        ("bitruss", (!bt.is_empty()).then_some(&bt)),
+        ("biclique", bc.as_ref()),
+        ("C4★", (!c4.is_empty()).then_some(&c4)),
+    ];
+    for (label, sub) in &models {
+        match sub {
+            None => print_row(
+                &[
+                    label.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ],
+                &widths,
+            ),
+            Some(sub) => {
+                let s = community_stats(sub).expect("nonempty");
+                print_row(
+                    &[
+                        label.to_string(),
+                        s.n_upper.to_string(),
+                        s.n_lower.to_string(),
+                        format!("{:.2}", s.avg_weight),
+                        format!("{:.2}", s.min_weight),
+                        format!("{:.2}", s.avg_upper_degree),
+                        format!("{:.2}", 100.0 * jaccard_similarity(sub, &sc)),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+
+    if verbose {
+        // Fig. 7: representative members — per-user mean ratings inside
+        // SC vs inside the structural community.
+        println!("\nFig. 7 view — representative users (mean in-community rating):");
+        let mut sc_users = mean_upper_vertex_weight(&sc);
+        sc_users.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("  SC members (top 5):");
+        for (u, w) in sc_users.iter().take(5) {
+            println!("    user {:>5}  avg {:.2}", g.local_index(*u), w);
+        }
+        let mut core_users = mean_upper_vertex_weight(&core);
+        core_users.sort_by(|a, b| a.1.total_cmp(&b.1));
+        println!("  lowest raters kept by the (α,β)-core but dropped by SC:");
+        for (u, w) in core_users
+            .iter()
+            .filter(|(u, _)| !sc.contains_vertex(*u))
+            .take(5)
+        {
+            println!("    user {:>5}  avg {:.2}", g.local_index(*u), w);
+        }
+    }
+
+    println!("\nExpected shape (paper Table II): SC has the highest Ravg/Rmin with a");
+    println!("moderate |U|; the structural models include many low-raters; C4★ has");
+    println!("tiny Mavg (loose structure); every Sim < 100% except SC itself.");
+}

@@ -1,0 +1,167 @@
+//! Degeneracy δ (Definition 7) via unipartite k-core decomposition.
+//!
+//! For a bipartite graph, the (τ,τ)-core coincides with the unipartite
+//! τ-core (the degree constraint is the same on both sides), so δ — the
+//! largest τ with a nonempty (τ,τ)-core — equals the maximum core number
+//! of the graph viewed as a plain undirected graph. The paper computes δ
+//! the same way (Algorithm 3 line 2, citing ref.\[21\] of the paper).
+//!
+//! δ ≤ √m: a (δ,δ)-core has at least δ² edges... more precisely it has at
+//! least δ vertices per side each of degree ≥ δ, so m ≥ δ², i.e. δ ≤ √m.
+
+use bigraph::{BipartiteGraph, Vertex};
+
+/// Core number `c(v)` for every vertex: the largest k such that `v`
+/// belongs to the k-core. Bin-sort peeling, `O(n + m)`.
+pub fn unipartite_core_numbers(g: &BipartiteGraph) -> Vec<u32> {
+    let n = g.n_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by degree (Batagelj–Zaveršnik).
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0u32;
+    for b in bin.iter_mut() {
+        let cnt = *b;
+        *b = start;
+        start += cnt;
+    }
+    let mut pos = vec![0u32; n]; // position of vertex in `vert`
+    let mut vert = vec![0u32; n]; // vertices sorted by current degree
+    for v in 0..n {
+        let d = deg[v] as usize;
+        pos[v] = bin[d];
+        vert[bin[d] as usize] = v as u32;
+        bin[d] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bin.len()).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = deg[v];
+        for &w in g.neighbors(Vertex(v as u32)) {
+            let w = w.index();
+            if deg[w] > deg[v] {
+                // Move w to the front of its bucket and shrink its degree.
+                let dw = deg[w] as usize;
+                let pw = pos[w] as usize;
+                let pfirst = bin[dw] as usize;
+                let vfirst = vert[pfirst] as usize;
+                if w != vfirst {
+                    vert.swap(pw, pfirst);
+                    pos[w] = pfirst as u32;
+                    pos[vfirst] = pw as u32;
+                }
+                bin[dw] += 1;
+                deg[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy δ of `g`: the largest τ such that the (τ,τ)-core is
+/// nonempty. Returns 0 for an edgeless graph.
+pub fn degeneracy(g: &BipartiteGraph) -> usize {
+    unipartite_core_numbers(g)
+        .into_iter()
+        .max()
+        .unwrap_or(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::{figure2_example, GraphBuilder};
+    use bigraph::generators::{complete_biclique, random_bipartite};
+    use bigraph::Subgraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn biclique_degeneracy() {
+        // K_{a,b} has δ = min(a, b).
+        assert_eq!(degeneracy(&complete_biclique(3, 7)), 3);
+        assert_eq!(degeneracy(&complete_biclique(5, 5)), 5);
+        assert_eq!(degeneracy(&complete_biclique(1, 9)), 1);
+    }
+
+    #[test]
+    fn figure2_degeneracy_is_3() {
+        // Paper §I: "Iδ only needs to store (1,1)-core, (2,2)-core and
+        // (3,3)-core since δ = 3".
+        assert_eq!(degeneracy(&figure2_example()), 3);
+    }
+
+    #[test]
+    fn core_numbers_define_tau_tau_cores() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let g = random_bipartite(20, 20, 140, &mut rng);
+            let core = unipartite_core_numbers(&g);
+            let delta = degeneracy(&g);
+            for tau in 1..=delta + 1 {
+                let brute = Subgraph::full(&g).peel_to_core(tau, tau);
+                let mut member = vec![false; g.n_vertices()];
+                for v in brute.vertices() {
+                    member[v.index()] = true;
+                }
+                for v in g.vertices() {
+                    assert_eq!(
+                        core[v.index()] as usize >= tau,
+                        member[v.index()],
+                        "τ={tau} {v:?}"
+                    );
+                }
+            }
+            // δ really is the max nonempty level.
+            assert!(!Subgraph::full(&g).peel_to_core(delta, delta).is_empty());
+            assert!(Subgraph::full(&g)
+                .peel_to_core(delta + 1, delta + 1)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn degeneracy_sqrt_bound() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = random_bipartite(80, 80, 1200, &mut rng);
+        let d = degeneracy(&g);
+        assert!((d * d) as usize <= g.n_edges(), "δ²={} > m={}", d * d, g.n_edges());
+    }
+
+    #[test]
+    fn edgeless_and_empty() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(degeneracy(&g), 0);
+        assert!(unipartite_core_numbers(&g).is_empty());
+        let mut b = GraphBuilder::new();
+        b.ensure_upper(2);
+        b.ensure_lower(2);
+        let g = b.build().unwrap();
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn star_has_degeneracy_1() {
+        let mut b = GraphBuilder::new();
+        for l in 0..10 {
+            b.add_edge(0, l, 1.0);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(degeneracy(&g), 1);
+        let core = unipartite_core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,244 @@
+//! Reading and writing KONECT-style edge lists.
+//!
+//! The paper's datasets come from KONECT, whose bipartite format is one
+//! edge per line: `upper lower [weight]`, whitespace-separated, with `%`
+//! or `#` comment lines and 1-based vertex ids. This module parses that
+//! format (both 0- and 1-based) and writes it back deterministically.
+
+use crate::builder::{BuildError, DuplicatePolicy, GraphBuilder};
+use crate::graph::BipartiteGraph;
+use crate::Weight;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Errors from [`read_edgelist`].
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed; carries the 1-based line number.
+    Parse { line: usize, message: String },
+    /// Graph assembly failed (duplicate edge, NaN weight, overflow).
+    Build(BuildError),
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            EdgeListError::Build(e) => write!(f, "build error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+impl From<BuildError> for EdgeListError {
+    fn from(e: BuildError) -> Self {
+        EdgeListError::Build(e)
+    }
+}
+
+/// Options controlling edge-list parsing.
+#[derive(Debug, Clone)]
+pub struct ReadOptions {
+    /// Subtract 1 from every vertex id (KONECT files are 1-based).
+    pub one_based: bool,
+    /// Weight assigned to edges whose line has no weight column.
+    pub default_weight: Weight,
+    /// How to resolve duplicate `(upper, lower)` pairs.
+    pub duplicates: DuplicatePolicy,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            one_based: false,
+            default_weight: 1.0,
+            duplicates: DuplicatePolicy::Error,
+        }
+    }
+}
+
+/// Parses an edge list from any reader.
+///
+/// Lines starting with `%` or `#` (after trimming) and blank lines are
+/// skipped. Each data line is `upper lower [weight]`.
+pub fn read_edgelist<R: BufRead>(
+    reader: R,
+    opts: &ReadOptions,
+) -> Result<BipartiteGraph, EdgeListError> {
+    let mut b = GraphBuilder::with_policy(opts.duplicates);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_id = |tok: Option<&str>, what: &str| -> Result<usize, EdgeListError> {
+            let tok = tok.ok_or_else(|| EdgeListError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what} column"),
+            })?;
+            let raw: usize = tok.parse().map_err(|_| EdgeListError::Parse {
+                line: lineno + 1,
+                message: format!("invalid {what} id {tok:?}"),
+            })?;
+            if opts.one_based {
+                raw.checked_sub(1).ok_or_else(|| EdgeListError::Parse {
+                    line: lineno + 1,
+                    message: format!("{what} id 0 in a 1-based file"),
+                })
+            } else {
+                Ok(raw)
+            }
+        };
+        let u = parse_id(it.next(), "upper")?;
+        let l = parse_id(it.next(), "lower")?;
+        let w = match it.next() {
+            Some(tok) => tok.parse::<Weight>().map_err(|_| EdgeListError::Parse {
+                line: lineno + 1,
+                message: format!("invalid weight {tok:?}"),
+            })?,
+            None => opts.default_weight,
+        };
+        b.add_edge(u, l, w);
+    }
+    Ok(b.build()?)
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edgelist_file<P: AsRef<Path>>(
+    path: P,
+    opts: &ReadOptions,
+) -> Result<BipartiteGraph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edgelist(io::BufReader::new(file), opts)
+}
+
+/// Writes `g` as a 0-based `upper lower weight` TSV, one edge per line in
+/// edge-id order, preceded by a `%` header comment.
+pub fn write_edgelist<W: Write>(g: &BipartiteGraph, mut out: W) -> io::Result<()> {
+    writeln!(
+        out,
+        "% bipartite edge list: |U|={} |L|={} |E|={}",
+        g.n_upper(),
+        g.n_lower(),
+        g.n_edges()
+    )?;
+    for e in g.edge_ids() {
+        let (u, l) = g.endpoints(e);
+        writeln!(
+            out,
+            "{}\t{}\t{}",
+            g.local_index(u),
+            g.local_index(l),
+            g.weight(e)
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes `g` to a file path via [`write_edgelist`].
+pub fn write_edgelist_file<P: AsRef<Path>>(g: &BipartiteGraph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edgelist(g, io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic() {
+        let data = "% comment\n0 0 2.5\n0 1 1.0\n1 1\n";
+        let g = read_edgelist(data.as_bytes(), &ReadOptions::default()).unwrap();
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.n_upper(), 2);
+        assert_eq!(g.n_lower(), 2);
+        let e = g.find_edge(g.upper(1), g.lower(1)).unwrap();
+        assert_eq!(g.weight(e), 1.0); // default
+    }
+
+    #[test]
+    fn parses_one_based() {
+        let data = "1 1 3\n2 1 4\n";
+        let opts = ReadOptions {
+            one_based: true,
+            ..Default::default()
+        };
+        let g = read_edgelist(data.as_bytes(), &opts).unwrap();
+        assert_eq!(g.n_upper(), 2);
+        assert_eq!(g.n_lower(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_in_one_based() {
+        let data = "0 1 3\n";
+        let opts = ReadOptions {
+            one_based: true,
+            ..Default::default()
+        };
+        let err = read_edgelist(data.as_bytes(), &opts).unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err =
+            read_edgelist("0 x 1\n".as_bytes(), &ReadOptions::default()).unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));
+        let err =
+            read_edgelist("0 1 abc\n".as_bytes(), &ReadOptions::default()).unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));
+        let err = read_edgelist("0\n".as_bytes(), &ReadOptions::default()).unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let data = "# hash comment\n\n% percent comment\n0 0 1\n";
+        let g = read_edgelist(data.as_bytes(), &ReadOptions::default()).unwrap();
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = "0 0 2.5\n0 1 1\n1 1 7\n3 2 4.25\n";
+        let g = read_edgelist(data.as_bytes(), &ReadOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        write_edgelist(&g, &mut buf).unwrap();
+        let g2 = read_edgelist(buf.as_slice(), &ReadOptions::default()).unwrap();
+        assert_eq!(g.n_edges(), g2.n_edges());
+        assert_eq!(g.n_upper(), g2.n_upper());
+        assert_eq!(g.n_lower(), g2.n_lower());
+        for e in g.edge_ids() {
+            let (u, l) = g.endpoints(e);
+            let e2 = g2.find_edge(u, l).expect("edge survives roundtrip");
+            assert_eq!(g.weight(e), g2.weight(e2));
+        }
+    }
+
+    #[test]
+    fn duplicate_policy_respected() {
+        let data = "0 0 1\n0 0 9\n";
+        let opts = ReadOptions {
+            duplicates: DuplicatePolicy::KeepMax,
+            ..Default::default()
+        };
+        let g = read_edgelist(data.as_bytes(), &opts).unwrap();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.weight(crate::EdgeId(0)), 9.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Planted-community bipartite generator.
+//!
+//! The effectiveness experiments (Fig. 6, Fig. 7, Table II of the paper)
+//! need graphs with ground-truth communities: groups of users and items
+//! that are densely interconnected, embedded in sparse background noise.
+//! This generator plants `k` bipartite blocks and records the assignment,
+//! so tests can check that community search recovers them.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::graph::{BipartiteGraph, Vertex};
+use rand::Rng;
+
+/// Configuration for [`planted_communities`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of planted blocks.
+    pub n_blocks: usize,
+    /// Upper vertices per block.
+    pub block_upper: usize,
+    /// Lower vertices per block.
+    pub block_lower: usize,
+    /// Probability of an edge inside a block.
+    pub p_in: f64,
+    /// Background upper vertices not in any block.
+    pub noise_upper: usize,
+    /// Background lower vertices not in any block.
+    pub noise_lower: usize,
+    /// Probability of an edge between any cross-block or noise pair.
+    pub p_out: f64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            n_blocks: 4,
+            block_upper: 20,
+            block_lower: 15,
+            p_in: 0.6,
+            noise_upper: 40,
+            noise_lower: 30,
+            p_out: 0.01,
+        }
+    }
+}
+
+/// Result of [`planted_communities`]: the graph plus ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedGraph {
+    /// The generated graph (unit weights).
+    pub graph: BipartiteGraph,
+    /// Block id per upper vertex index; `None` for noise vertices.
+    pub upper_block: Vec<Option<usize>>,
+    /// Block id per lower vertex index; `None` for noise vertices.
+    pub lower_block: Vec<Option<usize>>,
+}
+
+impl PlantedGraph {
+    /// Block id of a vertex, if it belongs to a planted block.
+    pub fn block_of(&self, v: Vertex) -> Option<usize> {
+        if self.graph.is_upper(v) {
+            self.upper_block[self.graph.local_index(v)]
+        } else {
+            self.lower_block[self.graph.local_index(v)]
+        }
+    }
+}
+
+/// Generates a graph with `cfg.n_blocks` planted dense bipartite blocks
+/// plus uniform background noise. All weights are 1.0.
+pub fn planted_communities<R: Rng>(cfg: &PlantedConfig, rng: &mut R) -> PlantedGraph {
+    assert!(cfg.n_blocks > 0, "need at least one block");
+    assert!(
+        (0.0..=1.0).contains(&cfg.p_in) && (0.0..=1.0).contains(&cfg.p_out),
+        "probabilities must be in [0,1]"
+    );
+    let n_upper = cfg.n_blocks * cfg.block_upper + cfg.noise_upper;
+    let n_lower = cfg.n_blocks * cfg.block_lower + cfg.noise_lower;
+    assert!(n_upper > 0 && n_lower > 0, "layers must be nonempty");
+
+    let mut upper_block = vec![None; n_upper];
+    let mut lower_block = vec![None; n_lower];
+    for blk in 0..cfg.n_blocks {
+        for i in 0..cfg.block_upper {
+            upper_block[blk * cfg.block_upper + i] = Some(blk);
+        }
+        for j in 0..cfg.block_lower {
+            lower_block[blk * cfg.block_lower + j] = Some(blk);
+        }
+    }
+
+    let mut b = GraphBuilder::with_policy(DuplicatePolicy::Error);
+    b.ensure_upper(n_upper - 1);
+    b.ensure_lower(n_lower - 1);
+    for (u, &ub) in upper_block.iter().enumerate() {
+        for (l, &lb) in lower_block.iter().enumerate() {
+            let same_block = match (ub, lb) {
+                (Some(a), Some(c)) => a == c,
+                _ => false,
+            };
+            let p = if same_block { cfg.p_in } else { cfg.p_out };
+            if rng.gen_bool(p) {
+                b.add_edge(u, l, 1.0);
+            }
+        }
+    }
+    PlantedGraph {
+        graph: b.build().expect("planted generator emits each pair once"),
+        upper_block,
+        lower_block,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blocks_are_denser_than_background() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = PlantedConfig::default();
+        let pg = planted_communities(&cfg, &mut rng);
+        let g = &pg.graph;
+
+        // Measure in-block vs out-of-block edge fractions.
+        let mut in_block = 0usize;
+        let mut out_block = 0usize;
+        for e in g.edge_ids() {
+            let (u, l) = g.endpoints(e);
+            match (pg.block_of(u), pg.block_of(l)) {
+                (Some(a), Some(b)) if a == b => in_block += 1,
+                _ => out_block += 1,
+            }
+        }
+        let in_pairs = cfg.n_blocks * cfg.block_upper * cfg.block_lower;
+        let total_pairs = g.n_upper() * g.n_lower();
+        let in_density = in_block as f64 / in_pairs as f64;
+        let out_density = out_block as f64 / (total_pairs - in_pairs) as f64;
+        assert!(
+            in_density > 20.0 * out_density,
+            "in {in_density} out {out_density}"
+        );
+    }
+
+    #[test]
+    fn ground_truth_shapes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = PlantedConfig {
+            n_blocks: 3,
+            block_upper: 5,
+            block_lower: 4,
+            noise_upper: 7,
+            noise_lower: 2,
+            ..Default::default()
+        };
+        let pg = planted_communities(&cfg, &mut rng);
+        assert_eq!(pg.graph.n_upper(), 3 * 5 + 7);
+        assert_eq!(pg.graph.n_lower(), 3 * 4 + 2);
+        assert_eq!(pg.upper_block.iter().filter(|b| b.is_some()).count(), 15);
+        assert_eq!(pg.lower_block.iter().filter(|b| b.is_none()).count(), 2);
+        // block_of agrees with the arrays.
+        let v = pg.graph.upper(6); // second block (indices 5..10)
+        assert_eq!(pg.block_of(v), Some(1));
+    }
+
+    #[test]
+    fn zero_noise_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = PlantedConfig {
+            p_out: 0.0,
+            p_in: 1.0,
+            ..Default::default()
+        };
+        let pg = planted_communities(&cfg, &mut rng);
+        // All edges are in-block; each block is a complete biclique.
+        let expected = cfg.n_blocks * cfg.block_upper * cfg.block_lower;
+        assert_eq!(pg.graph.n_edges(), expected);
+    }
+}

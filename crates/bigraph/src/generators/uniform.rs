@@ -1,0 +1,121 @@
+//! Uniform (Erdős–Rényi style) bipartite generators and bicliques.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::graph::BipartiteGraph;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples a bipartite graph with `n_upper × n_lower` possible edges and
+/// exactly `min(m, n_upper·n_lower)` distinct edges chosen uniformly at
+/// random. Every edge has weight 1.0.
+///
+/// Rejection sampling is used while the target density is below 50%;
+/// above that the complement is sampled instead, so the generator stays
+/// linear-ish even for near-complete graphs.
+pub fn random_bipartite<R: Rng>(
+    n_upper: usize,
+    n_lower: usize,
+    m: usize,
+    rng: &mut R,
+) -> BipartiteGraph {
+    assert!(n_upper > 0 && n_lower > 0, "layers must be nonempty");
+    let total = n_upper
+        .checked_mul(n_lower)
+        .expect("n_upper * n_lower overflows usize");
+    let m = m.min(total);
+    let mut b = GraphBuilder::with_capacity(n_upper, n_lower, m);
+    b.ensure_upper(n_upper - 1);
+    b.ensure_lower(n_lower - 1);
+
+    if m * 2 <= total {
+        let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+        while chosen.len() < m {
+            let u = rng.gen_range(0..n_upper) as u32;
+            let l = rng.gen_range(0..n_lower) as u32;
+            if chosen.insert((u, l)) {
+                b.add_edge(u as usize, l as usize, 1.0);
+            }
+        }
+    } else {
+        // Dense: choose the complement.
+        let holes = total - m;
+        let mut excluded: HashSet<(u32, u32)> = HashSet::with_capacity(holes);
+        while excluded.len() < holes {
+            let u = rng.gen_range(0..n_upper) as u32;
+            let l = rng.gen_range(0..n_lower) as u32;
+            excluded.insert((u, l));
+        }
+        for u in 0..n_upper {
+            for l in 0..n_lower {
+                if !excluded.contains(&(u as u32, l as u32)) {
+                    b.add_edge(u, l, 1.0);
+                }
+            }
+        }
+    }
+    b.build().expect("uniform generator produces no duplicates")
+}
+
+/// The complete bipartite graph `K_{a,b}` with unit weights.
+pub fn complete_biclique(a: usize, b: usize) -> BipartiteGraph {
+    assert!(a > 0 && b > 0, "layers must be nonempty");
+    let mut builder = GraphBuilder::with_policy(DuplicatePolicy::Error);
+    for u in 0..a {
+        for l in 0..b {
+            builder.add_edge(u, l, 1.0);
+        }
+    }
+    builder.build().expect("biclique has no duplicates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_bipartite(50, 40, 300, &mut rng);
+        assert_eq!(g.n_edges(), 300);
+        assert_eq!(g.n_upper(), 50);
+        assert_eq!(g.n_lower(), 40);
+    }
+
+    #[test]
+    fn clamps_to_complete() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_bipartite(5, 4, 10_000, &mut rng);
+        assert_eq!(g.n_edges(), 20);
+    }
+
+    #[test]
+    fn dense_path_hits_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 90% density exercises the complement-sampling branch.
+        let g = random_bipartite(20, 20, 360, &mut rng);
+        assert_eq!(g.n_edges(), 360);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = random_bipartite(30, 30, 200, &mut StdRng::seed_from_u64(7));
+        let g2 = random_bipartite(30, 30, 200, &mut StdRng::seed_from_u64(7));
+        for e in g1.edge_ids() {
+            assert_eq!(g1.endpoints(e), g2.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn biclique_degrees() {
+        let g = complete_biclique(3, 5);
+        assert_eq!(g.n_edges(), 15);
+        for u in g.upper_vertices() {
+            assert_eq!(g.degree(u), 5);
+        }
+        for l in g.lower_vertices() {
+            assert_eq!(g.degree(l), 3);
+        }
+    }
+}

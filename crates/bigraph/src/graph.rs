@@ -1,0 +1,458 @@
+//! Immutable CSR storage for undirected, edge-weighted bipartite graphs.
+
+use crate::Weight;
+use std::fmt;
+
+/// Which layer of the bipartite graph a vertex belongs to.
+///
+/// The paper writes `U(G)` for the upper layer and `L(G)` for the lower
+/// layer; in a user–item network the users are conventionally upper and the
+/// items lower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The upper layer `U(G)` (degree constraint α).
+    Upper,
+    /// The lower layer `L(G)` (degree constraint β).
+    Lower,
+}
+
+impl Side {
+    /// The opposite layer.
+    #[inline]
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Upper => Side::Lower,
+            Side::Lower => Side::Upper,
+        }
+    }
+}
+
+/// A vertex id in the unified id space of a [`BipartiteGraph`].
+///
+/// Upper vertices occupy `0..n_upper`, lower vertices `n_upper..n`. The
+/// mapping between a `Vertex` and a side-local index is owned by the graph
+/// (see [`BipartiteGraph::upper`], [`BipartiteGraph::side`]); a bare
+/// `Vertex` is only meaningful relative to the graph that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Vertex(pub u32);
+
+impl Vertex {
+    /// Raw index into per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an undirected edge; indexes flat per-edge arrays
+/// (weights, removal flags).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Raw index into per-edge arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected, edge-weighted bipartite graph `G(V=(U,L), E)` in CSR
+/// form.
+///
+/// The structure is immutable once built (use [`crate::GraphBuilder`]);
+/// algorithms that "remove" vertices or edges do so with their own flat
+/// liveness arrays indexed by [`Vertex`]/[`EdgeId`], which keeps the hot
+/// peeling loops allocation-free.
+///
+/// Neighbor lists are sorted by neighbor id, so membership tests can use
+/// binary search and iteration order is deterministic.
+#[derive(Clone)]
+pub struct BipartiteGraph {
+    n_upper: u32,
+    n_lower: u32,
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Flattened neighbor lists, length `2m`.
+    neighbors: Vec<Vertex>,
+    /// Edge id parallel to `neighbors`, length `2m`.
+    edge_ids: Vec<EdgeId>,
+    /// Endpoints per edge id: `(upper, lower)`, length `m`.
+    endpoints: Vec<(Vertex, Vertex)>,
+    /// Weight per edge id, length `m`.
+    weights: Vec<Weight>,
+}
+
+impl BipartiteGraph {
+    /// Assembles a graph from raw parts. Used by [`crate::GraphBuilder`];
+    /// callers must uphold the CSR invariants (sorted rows, consistent
+    /// `edge_ids`, endpoints stored as `(upper, lower)`).
+    pub(crate) fn from_parts(
+        n_upper: u32,
+        n_lower: u32,
+        offsets: Vec<u32>,
+        neighbors: Vec<Vertex>,
+        edge_ids: Vec<EdgeId>,
+        endpoints: Vec<(Vertex, Vertex)>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), (n_upper + n_lower) as usize + 1);
+        debug_assert_eq!(neighbors.len(), edge_ids.len());
+        debug_assert_eq!(endpoints.len(), weights.len());
+        debug_assert_eq!(neighbors.len(), 2 * endpoints.len());
+        BipartiteGraph {
+            n_upper,
+            n_lower,
+            offsets,
+            neighbors,
+            edge_ids,
+            endpoints,
+            weights,
+        }
+    }
+
+    /// Number of vertices in the upper layer `U(G)`.
+    #[inline]
+    pub fn n_upper(&self) -> usize {
+        self.n_upper as usize
+    }
+
+    /// Number of vertices in the lower layer `L(G)`.
+    #[inline]
+    pub fn n_lower(&self) -> usize {
+        self.n_lower as usize
+    }
+
+    /// Total number of vertices `n = |U| + |L|`.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        (self.n_upper + self.n_lower) as usize
+    }
+
+    /// Number of edges `m`. This is `size(G)` in the paper.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The `i`-th upper vertex.
+    ///
+    /// # Panics
+    /// If `i >= n_upper()`.
+    #[inline]
+    pub fn upper(&self, i: usize) -> Vertex {
+        assert!(i < self.n_upper(), "upper index {i} out of range");
+        Vertex(i as u32)
+    }
+
+    /// The `j`-th lower vertex.
+    ///
+    /// # Panics
+    /// If `j >= n_lower()`.
+    #[inline]
+    pub fn lower(&self, j: usize) -> Vertex {
+        assert!(j < self.n_lower(), "lower index {j} out of range");
+        Vertex(self.n_upper + j as u32)
+    }
+
+    /// Which layer `v` belongs to.
+    #[inline]
+    pub fn side(&self, v: Vertex) -> Side {
+        if v.0 < self.n_upper {
+            Side::Upper
+        } else {
+            Side::Lower
+        }
+    }
+
+    /// `true` iff `v` is in the upper layer.
+    #[inline]
+    pub fn is_upper(&self, v: Vertex) -> bool {
+        v.0 < self.n_upper
+    }
+
+    /// Side-local index of `v` (its position within its own layer).
+    #[inline]
+    pub fn local_index(&self, v: Vertex) -> usize {
+        if self.is_upper(v) {
+            v.index()
+        } else {
+            (v.0 - self.n_upper) as usize
+        }
+    }
+
+    /// Iterator over all vertices, upper layer first.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = Vertex> + '_ {
+        (0..self.n_upper + self.n_lower).map(Vertex)
+    }
+
+    /// Iterator over upper-layer vertices.
+    pub fn upper_vertices(&self) -> impl ExactSizeIterator<Item = Vertex> + '_ {
+        (0..self.n_upper).map(Vertex)
+    }
+
+    /// Iterator over lower-layer vertices.
+    pub fn lower_vertices(&self) -> impl ExactSizeIterator<Item = Vertex> + '_ {
+        (self.n_upper..self.n_upper + self.n_lower).map(Vertex)
+    }
+
+    /// Iterator over edge ids `0..m`.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.endpoints.len() as u32).map(EdgeId)
+    }
+
+    /// Degree of `v` in `G` — `deg(v, G)` in the paper.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Neighbors of `v`, sorted by vertex id — `N(v, G)` in the paper.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Edge ids incident to `v`, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn incident_edges(&self, v: Vertex) -> &[EdgeId] {
+        let i = v.index();
+        &self.edge_ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate `(neighbor, edge_id)` pairs for `v`.
+    #[inline]
+    pub fn neighbors_with_edges(
+        &self,
+        v: Vertex,
+    ) -> impl ExactSizeIterator<Item = (Vertex, EdgeId)> + '_ {
+        let i = v.index();
+        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        self.neighbors[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[range].iter().copied())
+    }
+
+    /// Endpoints of edge `e` as `(upper, lower)`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (Vertex, Vertex) {
+        self.endpoints[e.index()]
+    }
+
+    /// Weight of edge `e` — `w(e)` in the paper.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.weights[e.index()]
+    }
+
+    /// All edge weights, indexed by [`EdgeId`].
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Given edge `e` and one endpoint `v`, the other endpoint.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: Vertex) -> Vertex {
+        let (u, l) = self.endpoints[e.index()];
+        if u == v {
+            l
+        } else {
+            debug_assert_eq!(l, v, "vertex {v:?} is not an endpoint of {e:?}");
+            u
+        }
+    }
+
+    /// Looks up the edge between `a` and `b`, if present (binary search on
+    /// the shorter adjacency list).
+    pub fn find_edge(&self, a: Vertex, b: Vertex) -> Option<EdgeId> {
+        let (probe, target) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let nbrs = self.neighbors(probe);
+        let pos = nbrs.binary_search(&target).ok()?;
+        Some(self.incident_edges(probe)[pos])
+    }
+
+    /// `true` iff an edge `(a, b)` exists.
+    #[inline]
+    pub fn has_edge(&self, a: Vertex, b: Vertex) -> bool {
+        self.find_edge(a, b).is_some()
+    }
+
+    /// Maximum degree over the given layer. `max_degree(Side::Upper)` is
+    /// `α_max` in the paper; `max_degree(Side::Lower)` is `β_max`.
+    pub fn max_degree(&self, side: Side) -> usize {
+        let it: Box<dyn Iterator<Item = Vertex>> = match side {
+            Side::Upper => Box::new(self.upper_vertices()),
+            Side::Lower => Box::new(self.lower_vertices()),
+        };
+        it.map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum edge weight of the whole graph — `f(G)` in Definition 4.
+    /// Returns `None` for an empty edge set.
+    pub fn min_weight(&self) -> Option<Weight> {
+        self.weights.iter().copied().min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Returns a copy of the graph with every edge weight replaced by
+    /// `f(edge_id, (upper, lower), old_weight)`. Structure (ids, adjacency
+    /// order) is preserved, so subgraphs and indexes built against `self`
+    /// remain id-compatible with the result.
+    ///
+    /// # Panics
+    /// If `f` returns NaN for any edge.
+    pub fn reweighted<F>(&self, mut f: F) -> BipartiteGraph
+    where
+        F: FnMut(EdgeId, (Vertex, Vertex), Weight) -> Weight,
+    {
+        let mut g = self.clone();
+        for (i, w) in g.weights.iter_mut().enumerate() {
+            let e = EdgeId(i as u32);
+            let new = f(e, self.endpoints[i], *w);
+            assert!(!new.is_nan(), "reweighted produced NaN for {e:?}");
+            *w = new;
+        }
+        g
+    }
+
+    /// A human-readable one-line summary (useful in examples and logs).
+    pub fn summary(&self) -> String {
+        format!(
+            "BipartiteGraph {{ |U|={}, |L|={}, |E|={} }}",
+            self.n_upper,
+            self.n_lower,
+            self.n_edges()
+        )
+    }
+}
+
+impl fmt::Debug for BipartiteGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BipartiteGraph")
+            .field("n_upper", &self.n_upper)
+            .field("n_lower", &self.n_lower)
+            .field("n_edges", &self.n_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> BipartiteGraph {
+        // u0-{l0,l1}, u1-{l1,l2}, weights 1..4
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 1, 3.0);
+        b.add_edge(1, 2, 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sizes() {
+        let g = toy();
+        assert_eq!(g.n_upper(), 2);
+        assert_eq!(g.n_lower(), 3);
+        assert_eq!(g.n_vertices(), 5);
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn sides_and_indices() {
+        let g = toy();
+        let u1 = g.upper(1);
+        let l2 = g.lower(2);
+        assert_eq!(g.side(u1), Side::Upper);
+        assert_eq!(g.side(l2), Side::Lower);
+        assert_eq!(g.local_index(u1), 1);
+        assert_eq!(g.local_index(l2), 2);
+        assert!(g.is_upper(u1));
+        assert!(!g.is_upper(l2));
+    }
+
+    #[test]
+    #[should_panic(expected = "upper index")]
+    fn upper_out_of_range_panics() {
+        toy().upper(2);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = toy();
+        assert_eq!(g.degree(g.upper(0)), 2);
+        assert_eq!(g.degree(g.lower(1)), 2);
+        assert_eq!(g.neighbors(g.upper(0)), &[g.lower(0), g.lower(1)]);
+        let l1_nbrs = g.neighbors(g.lower(1));
+        assert_eq!(l1_nbrs, &[g.upper(0), g.upper(1)]);
+    }
+
+    #[test]
+    fn edge_lookup_and_weights() {
+        let g = toy();
+        let e = g.find_edge(g.upper(1), g.lower(2)).unwrap();
+        assert_eq!(g.weight(e), 4.0);
+        assert_eq!(g.endpoints(e), (g.upper(1), g.lower(2)));
+        assert_eq!(g.other_endpoint(e, g.upper(1)), g.lower(2));
+        assert_eq!(g.other_endpoint(e, g.lower(2)), g.upper(1));
+        assert!(g.has_edge(g.upper(0), g.lower(1)));
+        assert!(!g.has_edge(g.upper(0), g.lower(2)));
+        // symmetric argument order
+        assert_eq!(g.find_edge(g.lower(2), g.upper(1)), Some(e));
+    }
+
+    #[test]
+    fn max_degree_and_min_weight() {
+        let g = toy();
+        assert_eq!(g.max_degree(Side::Upper), 2);
+        assert_eq!(g.max_degree(Side::Lower), 2);
+        assert_eq!(g.min_weight(), Some(1.0));
+    }
+
+    #[test]
+    fn neighbors_with_edges_agree() {
+        let g = toy();
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            let es = g.incident_edges(v);
+            assert_eq!(ns.len(), es.len());
+            for (i, (n, e)) in g.neighbors_with_edges(v).enumerate() {
+                assert_eq!(n, ns[i]);
+                assert_eq!(e, es[i]);
+                assert_eq!(g.other_endpoint(e, v), n);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.min_weight(), None);
+        assert_eq!(g.max_degree(Side::Upper), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Community quality metrics used by the effectiveness experiments
+//! (Fig. 6, Table II of the paper).
+
+use crate::graph::Vertex;
+use crate::subgraph::Subgraph;
+use crate::Weight;
+
+/// Bipartite graph density `d(G) = |E| / sqrt(|U|·|L|)` (Kannan & Vinay),
+/// as used in Fig. 6(a). Returns 0 for an empty subgraph.
+pub fn bipartite_density(sub: &Subgraph<'_>) -> f64 {
+    if sub.is_empty() {
+        return 0.0;
+    }
+    let (us, ls) = sub.layer_vertices();
+    sub.size() as f64 / ((us.len() as f64) * (ls.len() as f64)).sqrt()
+}
+
+/// Jaccard similarity of the vertex sets of two subgraphs, as the `Sim`
+/// column of Table II. Both subgraphs must come from the same graph.
+pub fn jaccard_similarity(a: &Subgraph<'_>, b: &Subgraph<'_>) -> f64 {
+    let va = a.vertices();
+    let vb = b.vertices();
+    if va.is_empty() && vb.is_empty() {
+        return 1.0;
+    }
+    let mut inter = 0usize;
+    let mut i = 0;
+    let mut j = 0;
+    while i < va.len() && j < vb.len() {
+        match va[i].cmp(&vb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = va.len() + vb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// The Table II statistics row for one community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityStats {
+    /// `|U|`: number of upper vertices (users).
+    pub n_upper: usize,
+    /// `|M|`: number of lower vertices (movies/items).
+    pub n_lower: usize,
+    /// Number of edges.
+    pub n_edges: usize,
+    /// `R_avg`: mean edge weight.
+    pub avg_weight: Weight,
+    /// `R_min`: minimum edge weight.
+    pub min_weight: Weight,
+    /// `M_avg`: average degree of upper vertices (`|E| / |U|`) — "average
+    /// number of movies a user watched in the community".
+    pub avg_upper_degree: f64,
+    /// Bipartite density `d(G)`.
+    pub density: f64,
+}
+
+/// Computes [`CommunityStats`] for a subgraph. Returns `None` if empty.
+pub fn community_stats(sub: &Subgraph<'_>) -> Option<CommunityStats> {
+    if sub.is_empty() {
+        return None;
+    }
+    let (us, ls) = sub.layer_vertices();
+    Some(CommunityStats {
+        n_upper: us.len(),
+        n_lower: ls.len(),
+        n_edges: sub.size(),
+        avg_weight: sub.mean_weight().expect("nonempty"),
+        min_weight: sub.min_weight().expect("nonempty"),
+        avg_upper_degree: sub.size() as f64 / us.len() as f64,
+        density: bipartite_density(sub),
+    })
+}
+
+/// Fraction of upper vertices in `sub` that give fewer than
+/// `threshold_count` edges with weight ≥ `good_weight` — the paper's
+/// "dislike users" metric (Fig. 6(b)): a user is a dislike user if they
+/// give fewer than `0.6·α` ratings ≥ 4.
+pub fn dislike_fraction(sub: &Subgraph<'_>, good_weight: Weight, threshold_count: f64) -> f64 {
+    let (us, _) = sub.layer_vertices();
+    if us.is_empty() {
+        return 0.0;
+    }
+    let g = sub.graph();
+    let dislikes = us
+        .iter()
+        .filter(|&&u| {
+            let good = g
+                .neighbors_with_edges(u)
+                .filter(|&(_, e)| sub.contains_edge(e) && g.weight(e) >= good_weight)
+                .count();
+            (good as f64) < threshold_count
+        })
+        .count();
+    dislikes as f64 / us.len() as f64
+}
+
+/// Average over upper vertices of the mean weight of their incident edges
+/// inside `sub` (used to describe per-user rating behaviour in Fig. 7).
+pub fn mean_upper_vertex_weight(sub: &Subgraph<'_>) -> Vec<(Vertex, Weight)> {
+    let (us, _) = sub.layer_vertices();
+    let g = sub.graph();
+    us.into_iter()
+        .map(|u| {
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            for (_, e) in g.neighbors_with_edges(u) {
+                if sub.contains_edge(e) {
+                    sum += g.weight(e);
+                    cnt += 1;
+                }
+            }
+            (u, if cnt == 0 { 0.0 } else { sum / cnt as f64 })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::complete_biclique;
+
+    #[test]
+    fn density_of_biclique() {
+        let g = complete_biclique(4, 9);
+        let sub = Subgraph::full(&g);
+        // d = 36 / sqrt(36) = 6.
+        assert!((bipartite_density(&sub) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_empty() {
+        let g = complete_biclique(2, 2);
+        assert_eq!(bipartite_density(&Subgraph::empty(&g)), 0.0);
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(1, 1, 1.0);
+        let g = b.build().unwrap();
+        let full = Subgraph::full(&g);
+        let a = full.component_of(g.upper(0));
+        let c = full.component_of(g.upper(1));
+        assert_eq!(jaccard_similarity(&a, &a), 1.0);
+        assert_eq!(jaccard_similarity(&a, &c), 0.0);
+        assert!((jaccard_similarity(&full, &a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_weighted_square() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 2.0);
+        b.add_edge(0, 1, 4.0);
+        b.add_edge(1, 0, 4.0);
+        b.add_edge(1, 1, 6.0);
+        let g = b.build().unwrap();
+        let s = community_stats(&Subgraph::full(&g)).unwrap();
+        assert_eq!(s.n_upper, 2);
+        assert_eq!(s.n_lower, 2);
+        assert_eq!(s.n_edges, 4);
+        assert_eq!(s.avg_weight, 4.0);
+        assert_eq!(s.min_weight, 2.0);
+        assert_eq!(s.avg_upper_degree, 2.0);
+        assert!(community_stats(&Subgraph::empty(&g)).is_none());
+    }
+
+    #[test]
+    fn dislike_users_counted() {
+        // u0 gives two good ratings (>= 4); u1 gives none.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(0, 1, 4.0);
+        b.add_edge(1, 0, 1.0);
+        b.add_edge(1, 1, 2.0);
+        let g = b.build().unwrap();
+        let sub = Subgraph::full(&g);
+        let frac = dislike_fraction(&sub, 4.0, 2.0);
+        assert!((frac - 0.5).abs() < 1e-12);
+        // Looser requirement: nobody is a dislike user at threshold 0.
+        assert_eq!(dislike_fraction(&sub, 4.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn per_user_means() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 2.0);
+        b.add_edge(0, 1, 4.0);
+        b.add_edge(1, 1, 5.0);
+        let g = b.build().unwrap();
+        let sub = Subgraph::full(&g);
+        let means = mean_upper_vertex_weight(&sub);
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0], (g.upper(0), 3.0));
+        assert_eq!(means[1], (g.upper(1), 5.0));
+    }
+}

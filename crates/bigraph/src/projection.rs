@@ -1,0 +1,169 @@
+//! One-mode (unipartite) projection of bipartite graphs.
+//!
+//! The paper's related-work section (§VI) discusses — and argues against —
+//! solving bipartite community search by projecting onto one layer and
+//! running unipartite algorithms: projection causes information loss and
+//! edge explosion, and weighted bipartite graphs would need two kinds of
+//! weights on the projected edges. This module implements the projection
+//! (Newman-style) so that the trade-off can be demonstrated empirically
+//! (see `tests/effectiveness.rs` for the edge-explosion check).
+
+use crate::graph::{BipartiteGraph, Side, Vertex};
+use crate::Weight;
+use std::collections::HashMap;
+
+/// How the weight of a projected edge `(a, b)` is derived from the
+/// bipartite edges through their common neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectionWeight {
+    /// Number of common neighbors (co-occurrence count).
+    CommonNeighbors,
+    /// Newman's collaboration weighting: `Σ_w 1 / (deg(w) − 1)` over
+    /// common neighbors `w` with degree ≥ 2.
+    Newman,
+    /// Minimum of the two bipartite edge weights, summed over common
+    /// neighbors — the closest analogue of the paper's significance
+    /// semantics under projection.
+    MinWeightSum,
+}
+
+/// A projected unipartite graph over one layer of a bipartite graph.
+///
+/// Vertices are identified by their side-local indices in the source
+/// layer; edges are undirected and stored once with `a < b`.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// The projected layer.
+    pub side: Side,
+    /// Number of vertices (the layer size).
+    pub n: usize,
+    /// Undirected weighted edges `(a, b, w)` with `a < b`, sorted.
+    pub edges: Vec<(u32, u32, Weight)>,
+}
+
+impl Projection {
+    /// Number of projected edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge-explosion factor relative to the bipartite original:
+    /// `projected edges / m`. The paper's argument is that this is
+    /// commonly ≫ 1 on real graphs.
+    pub fn explosion_factor(&self, g: &BipartiteGraph) -> f64 {
+        if g.n_edges() == 0 {
+            return 0.0;
+        }
+        self.n_edges() as f64 / g.n_edges() as f64
+    }
+}
+
+/// Projects `g` onto `side` with the chosen weighting. Runs in
+/// `O(Σ_{w in other side} deg(w)²)` — exactly the wedge-explosion cost
+/// the paper warns about.
+pub fn project(g: &BipartiteGraph, side: Side, weighting: ProjectionWeight) -> Projection {
+    let through: Box<dyn Iterator<Item = Vertex>> = match side {
+        Side::Upper => Box::new(g.lower_vertices()),
+        Side::Lower => Box::new(g.upper_vertices()),
+    };
+    let mut acc: HashMap<(u32, u32), Weight> = HashMap::new();
+    for w in through {
+        let deg = g.degree(w);
+        if deg < 2 {
+            continue;
+        }
+        let nbrs = g.neighbors(w);
+        let eids = g.incident_edges(w);
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                let (a, b) = (
+                    g.local_index(nbrs[i]) as u32,
+                    g.local_index(nbrs[j]) as u32,
+                );
+                let key = if a < b { (a, b) } else { (b, a) };
+                let contribution = match weighting {
+                    ProjectionWeight::CommonNeighbors => 1.0,
+                    ProjectionWeight::Newman => 1.0 / (deg - 1) as f64,
+                    ProjectionWeight::MinWeightSum => {
+                        g.weight(eids[i]).min(g.weight(eids[j]))
+                    }
+                };
+                *acc.entry(key).or_insert(0.0) += contribution;
+            }
+        }
+    }
+    let mut edges: Vec<(u32, u32, Weight)> =
+        acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    edges.sort_unstable_by_key(|e| (e.0, e.1));
+    let n = match side {
+        Side::Upper => g.n_upper(),
+        Side::Lower => g.n_lower(),
+    };
+    Projection { side, n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::complete_biclique;
+
+    #[test]
+    fn biclique_projects_to_clique() {
+        let g = complete_biclique(4, 3);
+        let p = project(&g, Side::Upper, ProjectionWeight::CommonNeighbors);
+        // K4 on the upper side: 6 edges, each via 3 common lowers.
+        assert_eq!(p.n_edges(), 6);
+        assert!(p.edges.iter().all(|&(_, _, w)| w == 3.0));
+        assert_eq!(p.n, 4);
+    }
+
+    #[test]
+    fn newman_weights_discount_popular_items() {
+        // Two users sharing a degree-2 item vs sharing a degree-3 item.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(1, 0, 1.0); // item 0, degree 2 → weight 1/(2-1) = 1
+        b.add_edge(2, 1, 1.0);
+        b.add_edge(3, 1, 1.0);
+        b.add_edge(4, 1, 1.0); // item 1, degree 3 → pair weight 1/2
+        let g = b.build().unwrap();
+        let p = project(&g, Side::Upper, ProjectionWeight::Newman);
+        let w01 = p.edges.iter().find(|e| (e.0, e.1) == (0, 1)).unwrap().2;
+        let w23 = p.edges.iter().find(|e| (e.0, e.1) == (2, 3)).unwrap().2;
+        assert_eq!(w01, 1.0);
+        assert_eq!(w23, 0.5);
+    }
+
+    #[test]
+    fn min_weight_sum_tracks_significance() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(1, 0, 2.0);
+        let g = b.build().unwrap();
+        let p = project(&g, Side::Upper, ProjectionWeight::MinWeightSum);
+        assert_eq!(p.edges, vec![(0, 1, 2.0)]);
+    }
+
+    #[test]
+    fn edge_explosion_on_hub() {
+        // One item rated by 30 users: 1 layer edge → C(30,2)=435 projected.
+        let mut b = GraphBuilder::new();
+        for u in 0..30 {
+            b.add_edge(u, 0, 1.0);
+        }
+        let g = b.build().unwrap();
+        let p = project(&g, Side::Upper, ProjectionWeight::CommonNeighbors);
+        assert_eq!(p.n_edges(), 435);
+        assert!(p.explosion_factor(&g) > 14.0);
+    }
+
+    #[test]
+    fn lower_side_projection() {
+        let g = complete_biclique(2, 5);
+        let p = project(&g, Side::Lower, ProjectionWeight::CommonNeighbors);
+        assert_eq!(p.n, 5);
+        assert_eq!(p.n_edges(), 10); // K5
+        assert!(p.edges.iter().all(|&(_, _, w)| w == 2.0));
+    }
+}

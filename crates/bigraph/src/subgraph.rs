@@ -1,0 +1,398 @@
+//! Edge-induced subgraphs and connected components.
+//!
+//! Query results in the paper ((α,β)-communities, significant
+//! (α,β)-communities) are subgraphs of `G` identified by their edge set.
+//! [`Subgraph`] borrows the parent graph and owns a sorted edge-id list,
+//! which makes equality testing, set operations and statistics cheap
+//! without copying adjacency.
+
+use crate::graph::{BipartiteGraph, EdgeId, Vertex};
+use crate::Weight;
+use std::collections::{HashMap, VecDeque};
+
+/// A subgraph of a [`BipartiteGraph`] identified by a set of edges.
+///
+/// The vertex set is implied: every endpoint of a retained edge. This is
+/// exactly how the paper's algorithms treat communities (they are formed
+/// by adding/removing edges; vertices disappear when their degree drops to
+/// zero).
+#[derive(Clone, Debug)]
+pub struct Subgraph<'g> {
+    graph: &'g BipartiteGraph,
+    /// Sorted, deduplicated edge ids.
+    edges: Vec<EdgeId>,
+}
+
+impl<'g> Subgraph<'g> {
+    /// Creates a subgraph from an arbitrary edge-id list (sorted and
+    /// deduplicated internally).
+    pub fn from_edges(graph: &'g BipartiteGraph, mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        debug_assert!(edges.last().map_or(true, |e| e.index() < graph.n_edges()));
+        Subgraph { graph, edges }
+    }
+
+    /// The whole graph as a subgraph.
+    pub fn full(graph: &'g BipartiteGraph) -> Self {
+        Subgraph {
+            graph,
+            edges: graph.edge_ids().collect(),
+        }
+    }
+
+    /// An empty subgraph.
+    pub fn empty(graph: &'g BipartiteGraph) -> Self {
+        Subgraph {
+            graph,
+            edges: Vec::new(),
+        }
+    }
+
+    /// The parent graph.
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.graph
+    }
+
+    /// Sorted edge ids.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// `size(·)` in the paper: the number of edges.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the subgraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// `true` iff `v` is an endpoint of some retained edge.
+    pub fn contains_vertex(&self, v: Vertex) -> bool {
+        self.graph
+            .incident_edges(v)
+            .iter()
+            .any(|&e| self.contains_edge(e))
+    }
+
+    /// Vertices with at least one retained edge, deduplicated and sorted.
+    pub fn vertices(&self) -> Vec<Vertex> {
+        let mut vs: Vec<Vertex> = self
+            .edges
+            .iter()
+            .flat_map(|&e| {
+                let (u, l) = self.graph.endpoints(e);
+                [u, l]
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// `(upper vertices, lower vertices)` of the subgraph, each sorted.
+    pub fn layer_vertices(&self) -> (Vec<Vertex>, Vec<Vertex>) {
+        let vs = self.vertices();
+        let split = vs.partition_point(|&v| self.graph.is_upper(v));
+        let (u, l) = vs.split_at(split);
+        (u.to_vec(), l.to_vec())
+    }
+
+    /// Degrees of all member vertices within the subgraph.
+    pub fn degrees(&self) -> HashMap<Vertex, u32> {
+        let mut d: HashMap<Vertex, u32> = HashMap::new();
+        for &e in &self.edges {
+            let (u, l) = self.graph.endpoints(e);
+            *d.entry(u).or_insert(0) += 1;
+            *d.entry(l).or_insert(0) += 1;
+        }
+        d
+    }
+
+    /// Degree of `v` inside the subgraph.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.graph
+            .incident_edges(v)
+            .iter()
+            .filter(|&&e| self.contains_edge(e))
+            .count()
+    }
+
+    /// Minimum edge weight — `f(·)` in Definition 4. `None` if empty.
+    pub fn min_weight(&self) -> Option<Weight> {
+        self.edges
+            .iter()
+            .map(|&e| self.graph.weight(e))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Maximum edge weight. `None` if empty.
+    pub fn max_weight(&self) -> Option<Weight> {
+        self.edges
+            .iter()
+            .map(|&e| self.graph.weight(e))
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Mean edge weight. `None` if empty.
+    pub fn mean_weight(&self) -> Option<Weight> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.edges.iter().map(|&e| self.graph.weight(e)).sum();
+        Some(sum / self.edges.len() as f64)
+    }
+
+    /// `true` iff every upper vertex has degree ≥ `alpha` and every lower
+    /// vertex degree ≥ `beta` (the cohesiveness constraint, Def. 5(2)).
+    pub fn satisfies_degrees(&self, alpha: usize, beta: usize) -> bool {
+        self.degrees().into_iter().all(|(v, d)| {
+            let need = if self.graph.is_upper(v) { alpha } else { beta };
+            d as usize >= need
+        })
+    }
+
+    /// `true` iff the subgraph is connected (and nonempty).
+    pub fn is_connected(&self) -> bool {
+        if self.edges.is_empty() {
+            return false;
+        }
+        let (u0, _) = self.graph.endpoints(self.edges[0]);
+        let comp = self.component_of(u0);
+        comp.size() == self.size()
+    }
+
+    /// The connected component (as a subgraph of `self`) containing `v`.
+    /// Empty if `v` has no retained incident edge.
+    pub fn component_of(&self, v: Vertex) -> Subgraph<'g> {
+        let mut seen_edges: Vec<EdgeId> = Vec::new();
+        let mut visited: HashMap<Vertex, ()> = HashMap::new();
+        let mut queue = VecDeque::new();
+        if !self.contains_vertex(v) {
+            return Subgraph::empty(self.graph);
+        }
+        visited.insert(v, ());
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            for (nbr, e) in self.graph.neighbors_with_edges(x) {
+                if !self.contains_edge(e) {
+                    continue;
+                }
+                // Record each edge once (from its upper endpoint).
+                if self.graph.is_upper(x) {
+                    seen_edges.push(e);
+                }
+                if visited.insert(nbr, ()).is_none() {
+                    queue.push_back(nbr);
+                }
+            }
+        }
+        Subgraph::from_edges(self.graph, seen_edges)
+    }
+
+    /// All connected components, each as a subgraph, in discovery order.
+    pub fn components(&self) -> Vec<Subgraph<'g>> {
+        let mut remaining: Vec<EdgeId> = self.edges.clone();
+        let mut out = Vec::new();
+        while let Some(&e) = remaining.first() {
+            let (u, _) = self.graph.endpoints(e);
+            let sub = Subgraph {
+                graph: self.graph,
+                edges: remaining.clone(),
+            };
+            let comp = sub.component_of(u);
+            remaining.retain(|id| comp.edges.binary_search(id).is_err());
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Restricts to edges whose weight is ≥ `threshold`.
+    pub fn filter_min_weight(&self, threshold: Weight) -> Subgraph<'g> {
+        let edges = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&e| self.graph.weight(e) >= threshold)
+            .collect();
+        Subgraph {
+            graph: self.graph,
+            edges,
+        }
+    }
+
+    /// Iteratively removes vertices violating the (α,β) degree constraint
+    /// until a fixpoint — the core of this subgraph. May be empty.
+    ///
+    /// This is the generic peeling kernel reused by the feasibility oracle
+    /// and by SCS-Expand's candidate validation.
+    pub fn peel_to_core(&self, alpha: usize, beta: usize) -> Subgraph<'g> {
+        let mut alive: HashMap<EdgeId, ()> = self.edges.iter().map(|&e| (e, ())).collect();
+        let mut deg = self.degrees();
+        let mut queue: VecDeque<Vertex> = deg
+            .iter()
+            .filter(|(v, d)| {
+                let need = if self.graph.is_upper(**v) { alpha } else { beta };
+                (**d as usize) < need
+            })
+            .map(|(v, _)| *v)
+            .collect();
+        let mut dead: HashMap<Vertex, ()> = HashMap::new();
+        while let Some(v) = queue.pop_front() {
+            if dead.contains_key(&v) {
+                continue;
+            }
+            dead.insert(v, ());
+            for (nbr, e) in self.graph.neighbors_with_edges(v) {
+                if alive.remove(&e).is_none() {
+                    continue;
+                }
+                let d = deg.get_mut(&nbr).expect("endpoint of live edge has degree");
+                *d -= 1;
+                let need = if self.graph.is_upper(nbr) { alpha } else { beta };
+                if (*d as usize) < need && !dead.contains_key(&nbr) {
+                    queue.push_back(nbr);
+                }
+            }
+        }
+        Subgraph::from_edges(self.graph, alive.into_keys().collect())
+    }
+
+    /// Set-equality of edge sets (the parent graphs must be the same
+    /// object for this to be meaningful).
+    pub fn same_edges(&self, other: &Subgraph<'_>) -> bool {
+        self.edges == other.edges
+    }
+}
+
+impl PartialEq for Subgraph<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.graph, other.graph) && self.edges == other.edges
+    }
+}
+impl Eq for Subgraph<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_components() -> BipartiteGraph {
+        // Component A: u0,u1 x l0,l1 (biclique); component B: u2-l2.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 0, 3.0);
+        b.add_edge(1, 1, 4.0);
+        b.add_edge(2, 2, 5.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        assert_eq!(full.size(), 5);
+        assert!(!full.is_connected());
+        let empty = Subgraph::empty(&g);
+        assert!(empty.is_empty());
+        assert!(!empty.is_connected());
+        assert_eq!(empty.min_weight(), None);
+    }
+
+    #[test]
+    fn component_extraction() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        let a = full.component_of(g.upper(0));
+        assert_eq!(a.size(), 4);
+        assert!(a.is_connected());
+        assert!(a.contains_vertex(g.upper(1)));
+        assert!(!a.contains_vertex(g.upper(2)));
+        let b = full.component_of(g.upper(2));
+        assert_eq!(b.size(), 1);
+        let comps = full.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].size() + comps[1].size(), 5);
+    }
+
+    #[test]
+    fn component_from_lower_vertex() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        let a = full.component_of(g.lower(1));
+        assert_eq!(a.size(), 4);
+    }
+
+    #[test]
+    fn degrees_and_constraints() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        let a = full.component_of(g.upper(0));
+        assert_eq!(a.degree(g.upper(0)), 2);
+        assert!(a.satisfies_degrees(2, 2));
+        assert!(!full.satisfies_degrees(2, 2)); // u2/l2 have degree 1
+        let d = a.degrees();
+        assert_eq!(d[&g.lower(0)], 2);
+    }
+
+    #[test]
+    fn weight_stats() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        assert_eq!(full.min_weight(), Some(1.0));
+        assert_eq!(full.mean_weight(), Some(3.0));
+        let filtered = full.filter_min_weight(3.0);
+        assert_eq!(filtered.size(), 3);
+        assert_eq!(filtered.min_weight(), Some(3.0));
+    }
+
+    #[test]
+    fn peel_to_core_removes_pendant() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        let core = full.peel_to_core(2, 2);
+        // Only the 2x2 biclique survives.
+        assert_eq!(core.size(), 4);
+        assert!(core.satisfies_degrees(2, 2));
+        let too_strict = full.peel_to_core(3, 3);
+        assert!(too_strict.is_empty());
+    }
+
+    #[test]
+    fn peel_cascades() {
+        // Path u0-l0, u1-l0, u1-l1: (1,2)-peel drops l1 (degree 1 < 2)
+        // but u1 survives with degree 1 ≥ α=1, leaving the 2-edge star
+        // around l0.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(1, 0, 1.0);
+        b.add_edge(1, 1, 1.0);
+        let g = b.build().unwrap();
+        let core = Subgraph::full(&g).peel_to_core(1, 2);
+        assert_eq!(core.size(), 2);
+        assert!(!core.contains_vertex(g.lower(1)));
+
+        // (2,2) kills everything: u0 has degree 1 < 2, cascade empties it.
+        let core22 = Subgraph::full(&g).peel_to_core(2, 2);
+        assert!(core22.is_empty());
+    }
+
+    #[test]
+    fn layer_vertices_split() {
+        let g = two_components();
+        let full = Subgraph::full(&g);
+        let (us, ls) = full.layer_vertices();
+        assert_eq!(us.len(), 3);
+        assert_eq!(ls.len(), 3);
+        assert!(us.iter().all(|&v| g.is_upper(v)));
+        assert!(ls.iter().all(|&v| !g.is_upper(v)));
+    }
+}

@@ -1,0 +1,325 @@
+//! Union-find (disjoint set union) with the per-component bookkeeping the
+//! expansion algorithm (Algorithm 5 of the paper) needs.
+
+/// Classic union-find with union by rank and path halving.
+///
+/// Amortized near-constant time per operation (inverse Ackermann), as the
+/// paper assumes when it cites CLRS (ref.\[22\]) for maintaining the connected
+/// subgraphs of the growing graph `G*`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    n_sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            n_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn n_sets(&self) -> usize {
+        self.n_sets
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`. Returns the new root if a merge
+    /// happened, or `None` if they were already in the same set.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        self.n_sets -= 1;
+        let (winner, loser) = match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Equal => {
+                self.rank[ra] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[loser] = winner as u32;
+        Some(winner)
+    }
+
+    /// `true` iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Per-component statistics for Algorithm 5's pruning rules.
+///
+/// For the connected subgraph `C*` containing the query vertex, SCS-Expand
+/// needs (Lemma 7) `|E(C*)|`, `|U(C*)|`, `|L(C*)|` and (Lemma 8) the number
+/// of vertices with degree ≥ β and ≥ α — all in O(1) per expansion step.
+/// `ComponentTracker` maintains them under two operations:
+/// [`ComponentTracker::add_edge`], which inserts one edge of the growing
+/// graph `G*`, and internal unions.
+///
+/// Degree thresholds `alpha` and `beta` are fixed per query.
+#[derive(Debug, Clone)]
+pub struct ComponentTracker {
+    uf: UnionFind,
+    /// Degree of each vertex inside `G*`.
+    degree: Vec<u32>,
+    /// `true` once the vertex has at least one incident edge in `G*`.
+    present: Vec<bool>,
+    /// Per-root: number of edges in the component.
+    comp_edges: Vec<u64>,
+    /// Per-root: number of present upper vertices.
+    comp_upper: Vec<u32>,
+    /// Per-root: number of present lower vertices.
+    comp_lower: Vec<u32>,
+    /// Per-root: vertices with degree ≥ alpha.
+    comp_deg_ge_alpha: Vec<u32>,
+    /// Per-root: vertices with degree ≥ beta.
+    comp_deg_ge_beta: Vec<u32>,
+    alpha: u32,
+    beta: u32,
+    n_upper: u32,
+}
+
+impl ComponentTracker {
+    /// Tracker over `n` vertices (`0..n_upper` upper) with thresholds
+    /// `alpha`, `beta`.
+    pub fn new(n: usize, n_upper: usize, alpha: usize, beta: usize) -> Self {
+        ComponentTracker {
+            uf: UnionFind::new(n),
+            degree: vec![0; n],
+            present: vec![false; n],
+            comp_edges: vec![0; n],
+            comp_upper: vec![0; n],
+            comp_lower: vec![0; n],
+            comp_deg_ge_alpha: vec![0; n],
+            comp_deg_ge_beta: vec![0; n],
+            alpha: alpha as u32,
+            beta: beta as u32,
+            n_upper: n_upper as u32,
+        }
+    }
+
+    fn mark_present(&mut self, v: usize) {
+        if !self.present[v] {
+            self.present[v] = true;
+            let root = self.uf.find(v);
+            if (v as u32) < self.n_upper {
+                self.comp_upper[root] += 1;
+            } else {
+                self.comp_lower[root] += 1;
+            }
+            // Degree-0 vertex: threshold counters only if thresholds are 0,
+            // which the query parameters (α,β ≥ 1) exclude.
+            if self.alpha == 0 {
+                self.comp_deg_ge_alpha[root] += 1;
+            }
+            if self.beta == 0 {
+                self.comp_deg_ge_beta[root] += 1;
+            }
+        }
+    }
+
+    fn bump_degree(&mut self, v: usize) {
+        self.degree[v] += 1;
+        let d = self.degree[v];
+        let root = self.uf.find(v);
+        if d == self.alpha {
+            self.comp_deg_ge_alpha[root] += 1;
+        }
+        if d == self.beta {
+            self.comp_deg_ge_beta[root] += 1;
+        }
+    }
+
+    /// Inserts edge `(a, b)` into `G*`, updating component statistics.
+    /// Returns the root of the merged component.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> usize {
+        self.mark_present(a);
+        self.mark_present(b);
+        self.bump_degree(a);
+        self.bump_degree(b);
+        let (ra, rb) = (self.uf.find(a), self.uf.find(b));
+        let root = if ra == rb {
+            ra
+        } else {
+            let winner = self.uf.union(ra, rb).expect("distinct roots merge");
+            let loser = if winner == ra { rb } else { ra };
+            self.comp_edges[winner] += self.comp_edges[loser];
+            self.comp_upper[winner] += self.comp_upper[loser];
+            self.comp_lower[winner] += self.comp_lower[loser];
+            self.comp_deg_ge_alpha[winner] += self.comp_deg_ge_alpha[loser];
+            self.comp_deg_ge_beta[winner] += self.comp_deg_ge_beta[loser];
+            winner
+        };
+        self.comp_edges[root] += 1;
+        root
+    }
+
+    /// Representative of `v`'s component.
+    pub fn find(&mut self, v: usize) -> usize {
+        self.uf.find(v)
+    }
+
+    /// Number of edges in `v`'s component — `|E(C*)|`.
+    pub fn edges_of(&mut self, v: usize) -> u64 {
+        let r = self.uf.find(v);
+        self.comp_edges[r]
+    }
+
+    /// `(|U(C*)|, |L(C*)|)` for `v`'s component.
+    pub fn layer_sizes_of(&mut self, v: usize) -> (u32, u32) {
+        let r = self.uf.find(v);
+        (self.comp_upper[r], self.comp_lower[r])
+    }
+
+    /// Vertices in `v`'s component with degree ≥ α (Lemma 8 needs ≥ β of
+    /// them) and with degree ≥ β (needs ≥ α of them).
+    pub fn threshold_counts_of(&mut self, v: usize) -> (u32, u32) {
+        let r = self.uf.find(v);
+        (self.comp_deg_ge_alpha[r], self.comp_deg_ge_beta[r])
+    }
+
+    /// Degree of `v` inside `G*`.
+    pub fn degree(&self, v: usize) -> u32 {
+        self.degree[v]
+    }
+
+    /// `true` iff `v` has at least one edge in `G*`.
+    pub fn is_present(&self, v: usize) -> bool {
+        self.present[v]
+    }
+
+    /// Lemma 7 check for `v`'s component:
+    /// `αβ − α − β ≤ |E(C*)| − |U(C*)| − |L(C*)|`.
+    pub fn lemma7_holds(&mut self, v: usize) -> bool {
+        let e = self.edges_of(v) as i64;
+        let (u, l) = self.layer_sizes_of(v);
+        let (a, b) = (self.alpha as i64, self.beta as i64);
+        a * b - a - b <= e - u as i64 - l as i64
+    }
+
+    /// Lemma 8 check for `v`'s component: it contains ≥ α vertices of
+    /// degree ≥ β and ≥ β vertices of degree ≥ α, and the query vertex
+    /// itself meets its side's constraint.
+    pub fn lemma8_holds(&mut self, q: usize) -> bool {
+        let (ge_a, ge_b) = self.threshold_counts_of(q);
+        if (ge_b as u64) < self.alpha as u64 || (ge_a as u64) < self.beta as u64 {
+            return false;
+        }
+        let need = if (q as u32) < self.n_upper {
+            self.alpha
+        } else {
+            self.beta
+        };
+        self.degree[q] >= need
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.n_sets(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.find(2), 2);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(1, 2).is_some());
+        assert!(uf.union(0, 2).is_none()); // already merged
+        assert_eq!(uf.n_sets(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.n_sets(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn tracker_counts_edges_and_layers() {
+        // 2 uppers (0,1), 2 lowers (2,3); α=2, β=2.
+        let mut t = ComponentTracker::new(4, 2, 2, 2);
+        t.add_edge(0, 2);
+        assert_eq!(t.edges_of(0), 1);
+        assert_eq!(t.layer_sizes_of(0), (1, 1));
+        t.add_edge(1, 3);
+        // Two separate components.
+        assert_eq!(t.edges_of(0), 1);
+        assert_eq!(t.edges_of(1), 1);
+        t.add_edge(0, 3); // merges them
+        assert_eq!(t.edges_of(1), 3);
+        assert_eq!(t.layer_sizes_of(1), (2, 2));
+        t.add_edge(1, 2); // full 2x2 biclique
+        assert_eq!(t.edges_of(0), 4);
+        assert_eq!(t.threshold_counts_of(0), (4, 4));
+        assert!(t.lemma7_holds(0)); // 4-4 = 0 ≥ 4-2-2 = 0
+        assert!(t.lemma8_holds(0));
+    }
+
+    #[test]
+    fn tracker_lemma8_requires_query_degree() {
+        // α=1, β=2: q=0 upper needs degree ≥ 1.
+        let mut t = ComponentTracker::new(4, 2, 1, 2);
+        t.add_edge(1, 2);
+        t.add_edge(1, 3);
+        // q=0 not even present.
+        assert!(!t.lemma8_holds(0));
+        assert!(t.lemma8_holds(1));
+    }
+
+    #[test]
+    fn tracker_degree_thresholds_cross_union() {
+        // Path: 0-2, 1-2 ⇒ lower 2 has degree 2.
+        let mut t = ComponentTracker::new(4, 2, 1, 2);
+        t.add_edge(0, 2);
+        assert_eq!(t.threshold_counts_of(0), (2, 0)); // both endpoints deg 1 ≥ α=1
+        t.add_edge(1, 2);
+        let (ge_a, ge_b) = t.threshold_counts_of(0);
+        assert_eq!(ge_a, 3);
+        assert_eq!(ge_b, 1); // vertex 2 reached degree 2 = β
+        assert_eq!(t.degree(2), 2);
+        assert!(t.is_present(1));
+        assert!(!t.is_present(3));
+    }
+}

@@ -1,0 +1,315 @@
+//! Edge weight models.
+//!
+//! The paper's Table III evaluates four weight distributions on the
+//! Discogs dataset: **AE** (all equal), **RW** (random walk with restart
+//! relevance, the model also used to weight the unweighted datasets DT and
+//! PA), **UF** (uniform), and **SK** (skewed normal, skewness ≈ 1.02).
+//! [`WeightModel`] implements all four plus an integer-ratings model used
+//! by the MovieLens-style generator.
+
+use crate::graph::{BipartiteGraph, Vertex};
+use crate::Weight;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A distribution from which edge weights are drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightModel {
+    /// **AE**: every edge gets `value`. Community significance degenerates
+    /// and every algorithm short-circuits to returning `C_{α,β}(q)`.
+    AllEqual {
+        /// The common weight.
+        value: Weight,
+    },
+    /// **UF**: weights uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: Weight,
+        /// Upper bound (exclusive).
+        hi: Weight,
+    },
+    /// **SK**: skew-normal distribution with the given location, scale and
+    /// shape. Shape 5.0 gives sample skewness ≈ 1.0, matching the paper's
+    /// "skewed normal distribution with skewness = 1.02".
+    SkewNormal {
+        /// Location parameter ξ.
+        location: f64,
+        /// Scale parameter ω (> 0).
+        scale: f64,
+        /// Shape parameter α; 0 reduces to a normal distribution.
+        shape: f64,
+    },
+    /// **RW**: random walk with restart relevance (Tong et al., ICDM'06).
+    /// The weight of edge `(u, v)` is the empirical visiting rate of `v`
+    /// in restart-walks started at `u`, Laplace-smoothed and scaled.
+    RandomWalk {
+        /// Restart probability at every step (0 < restart < 1).
+        restart: f64,
+        /// Number of walk steps simulated per upper vertex.
+        steps_per_vertex: usize,
+        /// Multiplier applied to the visiting rate.
+        scale: f64,
+    },
+    /// Integer ratings `1..=levels`, uniform. A crude stand-in for rating
+    /// data when the taste-model generator is not needed.
+    Ratings {
+        /// Number of rating levels (e.g. 5 for 1–5 stars).
+        levels: u32,
+    },
+}
+
+impl WeightModel {
+    /// Short uppercase tag matching the paper's Table III column names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WeightModel::AllEqual { .. } => "AE",
+            WeightModel::Uniform { .. } => "UF",
+            WeightModel::SkewNormal { .. } => "SK",
+            WeightModel::RandomWalk { .. } => "RW",
+            WeightModel::Ratings { .. } => "RT",
+        }
+    }
+
+    /// The paper's four Table III models with the parameters used by the
+    /// reproduction harness.
+    pub fn table3_models() -> Vec<WeightModel> {
+        vec![
+            WeightModel::AllEqual { value: 1.0 },
+            WeightModel::RandomWalk {
+                restart: 0.15,
+                steps_per_vertex: 200,
+                scale: 100.0,
+            },
+            WeightModel::Uniform { lo: 0.0, hi: 1.0 },
+            WeightModel::SkewNormal {
+                location: 0.0,
+                scale: 1.0,
+                shape: 5.0,
+            },
+        ]
+    }
+
+    /// Returns a re-weighted copy of `g` with weights drawn from `self`.
+    pub fn apply<R: Rng>(&self, g: &BipartiteGraph, rng: &mut R) -> BipartiteGraph {
+        match *self {
+            WeightModel::AllEqual { value } => g.reweighted(|_, _, _| value),
+            WeightModel::Uniform { lo, hi } => {
+                assert!(lo < hi, "uniform model needs lo < hi");
+                g.reweighted(|_, _, _| rng.gen_range(lo..hi))
+            }
+            WeightModel::SkewNormal {
+                location,
+                scale,
+                shape,
+            } => {
+                assert!(scale > 0.0, "skew-normal scale must be positive");
+                g.reweighted(|_, _, _| location + scale * sample_skew_normal(shape, rng))
+            }
+            WeightModel::RandomWalk {
+                restart,
+                steps_per_vertex,
+                scale,
+            } => apply_rwr(g, restart, steps_per_vertex, scale, rng),
+            WeightModel::Ratings { levels } => {
+                assert!(levels >= 1, "need at least one rating level");
+                g.reweighted(|_, _, _| rng.gen_range(1..=levels) as Weight)
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (the `rand` crate alone has no normal
+/// distribution and `rand_distr` is outside the approved dependency set).
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Standard skew-normal with shape `alpha` via the Azzalini
+/// representation: `X = δ|Z0| + √(1−δ²) Z1` with `δ = α/√(1+α²)`.
+fn sample_skew_normal<R: Rng>(alpha: f64, rng: &mut R) -> f64 {
+    let delta = alpha / (1.0 + alpha * alpha).sqrt();
+    let z0 = sample_standard_normal(rng);
+    let z1 = sample_standard_normal(rng);
+    delta * z0.abs() + (1.0 - delta * delta).sqrt() * z1
+}
+
+/// Random-walk-with-restart weights: simulates one long restarting walk
+/// per upper vertex and sets `w(u, v)` from the visit frequency of `v`.
+fn apply_rwr<R: Rng>(
+    g: &BipartiteGraph,
+    restart: f64,
+    steps_per_vertex: usize,
+    scale: f64,
+    rng: &mut R,
+) -> BipartiteGraph {
+    assert!(
+        (0.0..1.0).contains(&restart) && restart > 0.0,
+        "restart probability must be in (0,1)"
+    );
+    let mut new_weights: Vec<Weight> = vec![0.0; g.n_edges()];
+    let mut visits: HashMap<Vertex, u32> = HashMap::new();
+
+    for u in g.upper_vertices() {
+        if g.degree(u) == 0 {
+            continue;
+        }
+        visits.clear();
+        let mut cur = u;
+        for _ in 0..steps_per_vertex {
+            if rng.gen_bool(restart) {
+                cur = u;
+            }
+            let nbrs = g.neighbors(cur);
+            if nbrs.is_empty() {
+                cur = u;
+                continue;
+            }
+            cur = nbrs[rng.gen_range(0..nbrs.len())];
+            if !g.is_upper(cur) {
+                *visits.entry(cur).or_insert(0) += 1;
+            }
+        }
+        // Laplace smoothing keeps zero-visit neighbor edges positive.
+        let deg = g.degree(u) as f64;
+        let total: u32 = g
+            .neighbors(u)
+            .iter()
+            .map(|v| visits.get(v).copied().unwrap_or(0))
+            .sum();
+        for (v, e) in g.neighbors_with_edges(u) {
+            let c = visits.get(&v).copied().unwrap_or(0) as f64;
+            new_weights[e.index()] = scale * (c + 1.0) / (total as f64 + deg);
+        }
+    }
+    g.reweighted(|e, _, _| new_weights[e.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_bipartite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graph(seed: u64) -> BipartiteGraph {
+        random_bipartite(40, 40, 400, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn all_equal() {
+        let g = sample_graph(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = WeightModel::AllEqual { value: 3.5 }.apply(&g, &mut rng);
+        assert!(w.weights().iter().all(|&x| x == 3.5));
+        assert_eq!(w.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let g = sample_graph(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = WeightModel::Uniform { lo: 2.0, hi: 5.0 }.apply(&g, &mut rng);
+        assert!(w.weights().iter().all(|&x| (2.0..5.0).contains(&x)));
+        // Not all equal.
+        let first = w.weights()[0];
+        assert!(w.weights().iter().any(|&x| x != first));
+    }
+
+    #[test]
+    fn ratings_are_integer_levels() {
+        let g = sample_graph(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = WeightModel::Ratings { levels: 5 }.apply(&g, &mut rng);
+        assert!(w
+            .weights()
+            .iter()
+            .all(|&x| x.fract() == 0.0 && (1.0..=5.0).contains(&x)));
+    }
+
+    #[test]
+    fn skew_normal_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_skew_normal(5.0, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n as f64;
+        let skewness = m3 / var.powf(1.5);
+        // Shape 5 ⇒ theoretical skewness ≈ 0.90–1.0; the paper quotes 1.02.
+        assert!(
+            (0.7..1.2).contains(&skewness),
+            "sample skewness {skewness} outside expected band"
+        );
+    }
+
+    #[test]
+    fn shape_zero_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_skew_normal(0.0, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} should be ~0");
+    }
+
+    #[test]
+    fn rwr_produces_positive_weights() {
+        let g = sample_graph(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = WeightModel::RandomWalk {
+            restart: 0.2,
+            steps_per_vertex: 100,
+            scale: 10.0,
+        };
+        let w = model.apply(&g, &mut rng);
+        assert!(w.weights().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn rwr_favors_frequent_neighbors() {
+        // Star: u0 adjacent to l0..l9, plus l0 also adjacent to u1..u5 so
+        // walks from u0 bounce back through l0 more often than through
+        // leaves... actually from u0 every neighbor is equally likely per
+        // step, so instead test a structural asymmetry: u0-l0 plus
+        // u0-l1, where l1 has many other partners pulling walks away.
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 0, 1.0); // u0-l0, l0 exclusive to u0
+        b.add_edge(0, 1, 1.0); // u0-l1, l1 shared
+        for u in 1..=8 {
+            b.add_edge(u, 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = WeightModel::RandomWalk {
+            restart: 0.3,
+            steps_per_vertex: 4_000,
+            scale: 1.0,
+        };
+        let w = model.apply(&g, &mut rng);
+        let e_excl = w.find_edge(w.upper(0), w.lower(0)).unwrap();
+        let e_shared = w.find_edge(w.upper(0), w.lower(1)).unwrap();
+        // Walks from u0 that step to l1 often wander off to u1..u8 and
+        // only return via restart; l0 always bounces straight back to u0,
+        // so l0 accumulates at least comparable visits. The exclusive
+        // neighbor must not be drowned out.
+        assert!(
+            w.weight(e_excl) > 0.5 * w.weight(e_shared),
+            "exclusive {} vs shared {}",
+            w.weight(e_excl),
+            w.weight(e_shared)
+        );
+    }
+
+    #[test]
+    fn tags() {
+        for (m, t) in WeightModel::table3_models().iter().zip(["AE", "RW", "UF", "SK"]) {
+            assert_eq!(m.tag(), t);
+        }
+    }
+}

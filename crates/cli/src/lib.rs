@@ -1,0 +1,558 @@
+//! Implementation of the `scs` command-line tool.
+//!
+//! Subcommands (see `scs help`):
+//!
+//! * `stats <edgelist>` — graph summary: sizes, degeneracy, max degrees;
+//! * `community <edgelist> <side:q> <alpha> <beta>` — the (α,β)-community;
+//! * `search <edgelist> <side:q> <alpha> <beta> [--algo ...]` — the
+//!   significant (α,β)-community;
+//! * `index <edgelist> <out.scsidx>` — build and save the `Iδ` index;
+//!
+//! Query vertices are written `u:<i>` or `l:<j>` (side-local 0-based
+//! indices). Edge lists are whitespace-separated `upper lower [weight]`
+//! with `%`/`#` comments; pass `--one-based` for KONECT files.
+//!
+//! The argument handling is deliberately dependency-free (the approved
+//! crate set has no CLI parser); [`parse_args`] is pure and unit-tested.
+
+use bigraph::edgelist::{read_edgelist_file, ReadOptions};
+use bigraph::{BipartiteGraph, Side, Vertex};
+use scs::{Algorithm, CommunitySearch, DeltaIndex};
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Graph summary.
+    Stats { path: String, one_based: bool },
+    /// Step-1 query.
+    Community {
+        path: String,
+        one_based: bool,
+        query: QueryRef,
+        alpha: usize,
+        beta: usize,
+    },
+    /// Full significant-community query.
+    Search {
+        path: String,
+        one_based: bool,
+        query: QueryRef,
+        alpha: usize,
+        beta: usize,
+        algo: Algorithm,
+    },
+    /// Build and persist the index.
+    Index {
+        path: String,
+        one_based: bool,
+        out: String,
+    },
+    /// Write the 11 synthetic dataset analogues as edge lists.
+    Generate(GenerateArgs),
+}
+
+/// A side-qualified query vertex (`u:3` / `l:17`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRef {
+    /// Which layer the index refers to.
+    pub side: Side,
+    /// Side-local 0-based index.
+    pub index: usize,
+}
+
+impl QueryRef {
+    /// Resolves against a graph, checking bounds.
+    pub fn resolve(&self, g: &BipartiteGraph) -> Result<Vertex, CliError> {
+        let bound = match self.side {
+            Side::Upper => g.n_upper(),
+            Side::Lower => g.n_lower(),
+        };
+        if self.index >= bound {
+            return Err(CliError::new(format!(
+                "query vertex {} out of range (layer has {bound} vertices)",
+                self
+            )));
+        }
+        Ok(match self.side {
+            Side::Upper => g.upper(self.index),
+            Side::Lower => g.lower(self.index),
+        })
+    }
+}
+
+impl fmt::Display for QueryRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.side == Side::Upper { 'u' } else { 'l' };
+        write!(f, "{tag}:{}", self.index)
+    }
+}
+
+/// Generate the synthetic dataset catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Output directory for the TSV files.
+    pub dir: String,
+    /// Scale factor in (0, 1].
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> Self {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+scs — significant (α,β)-community search on weighted bipartite graphs
+
+USAGE:
+  scs stats <edgelist> [--one-based]
+  scs community <edgelist> <u:IDX|l:IDX> <alpha> <beta> [--one-based]
+  scs search <edgelist> <u:IDX|l:IDX> <alpha> <beta>
+             [--algo auto|peel|expand|binary|baseline] [--one-based]
+  scs index <edgelist> <out.scsidx> [--one-based]
+  scs generate <dir> [--scale S] [--seed N]
+  scs help
+
+Edge lists are `upper lower [weight]` per line; query vertices are
+side-qualified 0-based indices (u:3 = fourth upper vertex).";
+
+fn parse_query(tok: &str) -> Result<QueryRef, CliError> {
+    let (side, rest) = match tok.split_once(':') {
+        Some(("u", rest)) => (Side::Upper, rest),
+        Some(("l", rest)) => (Side::Lower, rest),
+        _ => {
+            return Err(CliError::new(format!(
+                "query vertex must be u:<i> or l:<j>, got {tok:?}"
+            )))
+        }
+    };
+    let index = rest
+        .parse()
+        .map_err(|_| CliError::new(format!("invalid vertex index {rest:?}")))?;
+    Ok(QueryRef { side, index })
+}
+
+fn parse_usize(tok: &str, what: &str) -> Result<usize, CliError> {
+    let v: usize = tok
+        .parse()
+        .map_err(|_| CliError::new(format!("invalid {what} {tok:?}")))?;
+    if v == 0 {
+        return Err(CliError::new(format!("{what} must be at least 1")));
+    }
+    Ok(v)
+}
+
+fn parse_algo(tok: &str) -> Result<Algorithm, CliError> {
+    Ok(match tok {
+        "auto" => Algorithm::Auto,
+        "peel" => Algorithm::Peel,
+        "expand" => Algorithm::Expand,
+        "binary" => Algorithm::Binary,
+        "baseline" => Algorithm::Baseline,
+        other => return Err(CliError::new(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+/// Parses raw arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut one_based = false;
+    let mut algo = Algorithm::Auto;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(tok) = it.next() {
+        match tok {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--one-based" => one_based = true,
+            "--algo" => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--algo needs a value"))?;
+                algo = parse_algo(val)?;
+            }
+            "--scale" => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--scale needs a value"))?;
+                scale = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid scale {val:?}")))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(CliError::new("scale must be in (0, 1]"));
+                }
+            }
+            "--seed" => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--seed needs a value"))?;
+                seed = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid seed {val:?}")))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::new(format!("unknown flag {flag:?}")))
+            }
+            pos => positional.push(pos),
+        }
+    }
+    let Some((&cmd, rest)) = positional.split_first() else {
+        return Ok(Command::Help);
+    };
+    let need = |n: usize| -> Result<(), CliError> {
+        if rest.len() != n {
+            Err(CliError::new(format!(
+                "`{cmd}` expects {n} argument(s), got {}; try `scs help`",
+                rest.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match cmd {
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        "stats" => {
+            need(1)?;
+            Ok(Command::Stats {
+                path: rest[0].into(),
+                one_based,
+            })
+        }
+        "community" => {
+            need(4)?;
+            Ok(Command::Community {
+                path: rest[0].into(),
+                one_based,
+                query: parse_query(rest[1])?,
+                alpha: parse_usize(rest[2], "alpha")?,
+                beta: parse_usize(rest[3], "beta")?,
+            })
+        }
+        "search" => {
+            need(4)?;
+            Ok(Command::Search {
+                path: rest[0].into(),
+                one_based,
+                query: parse_query(rest[1])?,
+                alpha: parse_usize(rest[2], "alpha")?,
+                beta: parse_usize(rest[3], "beta")?,
+                algo,
+            })
+        }
+        "index" => {
+            need(2)?;
+            Ok(Command::Index {
+                path: rest[0].into(),
+                one_based,
+                out: rest[1].into(),
+            })
+        }
+        "generate" => {
+            need(1)?;
+            Ok(Command::Generate(GenerateArgs {
+                dir: rest[0].into(),
+                scale,
+                seed,
+            }))
+        }
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}; try `scs help`"
+        ))),
+    }
+}
+
+fn load(path: &str, one_based: bool) -> Result<BipartiteGraph, CliError> {
+    let opts = ReadOptions {
+        one_based,
+        ..Default::default()
+    };
+    read_edgelist_file(path, &opts).map_err(|e| CliError::new(format!("{path}: {e}")))
+}
+
+fn describe_subgraph(g: &BipartiteGraph, sub: &bigraph::Subgraph<'_>) -> String {
+    if sub.is_empty() {
+        return "empty".into();
+    }
+    let (us, ls) = sub.layer_vertices();
+    let mut out = format!(
+        "{} edges, {} upper, {} lower, f = {:.4}\nupper:",
+        sub.size(),
+        us.len(),
+        ls.len(),
+        sub.min_weight().unwrap()
+    );
+    for u in us.iter().take(20) {
+        out.push_str(&format!(" {}", g.local_index(*u)));
+    }
+    if us.len() > 20 {
+        out.push_str(" …");
+    }
+    out.push_str("\nlower:");
+    for l in ls.iter().take(20) {
+        out.push_str(&format!(" {}", g.local_index(*l)));
+    }
+    if ls.len() > 20 {
+        out.push_str(" …");
+    }
+    out
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Stats { path, one_based } => {
+            let g = load(&path, one_based)?;
+            let delta = bicore::degeneracy(&g);
+            Ok(format!(
+                "{}\nδ (degeneracy) = {delta}\nα_max = {}, β_max = {}\nmin weight = {:?}",
+                g.summary(),
+                g.max_degree(Side::Upper),
+                g.max_degree(Side::Lower),
+                g.min_weight()
+            ))
+        }
+        Command::Community {
+            path,
+            one_based,
+            query,
+            alpha,
+            beta,
+        } => {
+            let g = load(&path, one_based)?;
+            let q = query.resolve(&g)?;
+            let index = DeltaIndex::build(&g);
+            let c = index.query_community(&g, q, alpha, beta);
+            Ok(format!(
+                "({alpha},{beta})-community of {query}: {}",
+                describe_subgraph(&g, &c)
+            ))
+        }
+        Command::Search {
+            path,
+            one_based,
+            query,
+            alpha,
+            beta,
+            algo,
+        } => {
+            let g = load(&path, one_based)?;
+            let q = query.resolve(&g)?;
+            let search = CommunitySearch::new(g);
+            let r = search.significant_community(q, alpha, beta, algo);
+            Ok(format!(
+                "significant ({alpha},{beta})-community of {query}: {}",
+                describe_subgraph(search.graph(), &r)
+            ))
+        }
+        Command::Generate(args) => {
+            let paths = datasets::catalog::export_catalog(
+                std::path::Path::new(&args.dir),
+                args.scale,
+                args.seed,
+            )
+            .map_err(|e| CliError::new(format!("{}: {e}", args.dir)))?;
+            let mut out = format!(
+                "wrote {} dataset analogues (scale {}, seed {}):",
+                paths.len(),
+                args.scale,
+                args.seed
+            );
+            for p in paths {
+                out.push_str(&format!("\n  {}", p.display()));
+            }
+            Ok(out)
+        }
+        Command::Index {
+            path,
+            one_based,
+            out,
+        } => {
+            let g = load(&path, one_based)?;
+            let index = DeltaIndex::build(&g);
+            scs::index::save_index_file(&g, &index, &out)
+                .map_err(|e| CliError::new(format!("{out}: {e}")))?;
+            Ok(format!(
+                "indexed {} (δ = {}, {} entries) → {out}",
+                g.summary(),
+                index.delta(),
+                index.n_entries()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_stats() {
+        let cmd = parse_args(&args(&["stats", "g.tsv", "--one-based"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats {
+                path: "g.tsv".into(),
+                one_based: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_search_with_algo() {
+        let cmd = parse_args(&args(&[
+            "search", "g.tsv", "u:3", "2", "4", "--algo", "expand",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Search {
+                query, alpha, beta, algo, ..
+            } => {
+                assert_eq!(query, QueryRef { side: Side::Upper, index: 3 });
+                assert_eq!((alpha, beta), (2, 4));
+                assert_eq!(algo, Algorithm::Expand);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["search", "g", "x:1", "2", "2"])).is_err());
+        assert!(parse_args(&args(&["search", "g", "u:1", "0", "2"])).is_err());
+        assert!(parse_args(&args(&["search", "g", "u:1", "2"])).is_err());
+        assert!(parse_args(&args(&["--algo"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["search", "g", "u:1", "2", "2", "--algo", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse_args(&args(&["generate", "/tmp/x", "--scale", "0.1", "--seed", "7"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate(GenerateArgs {
+                dir: "/tmp/x".into(),
+                scale: 0.1,
+                seed: 7
+            })
+        );
+        assert!(parse_args(&args(&["generate", "/tmp/x", "--scale", "2.0"])).is_err());
+        assert!(parse_args(&args(&["generate", "/tmp/x", "--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn generate_end_to_end() {
+        let dir = std::env::temp_dir().join("scs_cli_generate_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let out = run(Command::Generate(GenerateArgs {
+            dir: dir.to_str().unwrap().into(),
+            scale: 0.02,
+            seed: 3,
+        }))
+        .unwrap();
+        assert!(out.contains("11 dataset analogues"), "{out}");
+        // The generated files feed straight back into `scs stats`.
+        let bs = dir.join("bs.tsv");
+        let stats = run(Command::Stats {
+            path: bs.to_str().unwrap().into(),
+            one_based: false,
+        })
+        .unwrap();
+        assert!(stats.contains("|E|="), "{stats}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_on_temp_file() {
+        let dir = std::env::temp_dir().join("scs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        std::fs::write(&path, "0 0 5\n0 1 4\n1 0 5\n1 1 3\n1 2 1\n0 2 1\n").unwrap();
+        let p = path.to_str().unwrap().to_string();
+
+        let out = run(Command::Stats {
+            path: p.clone(),
+            one_based: false,
+        })
+        .unwrap();
+        assert!(out.contains("|E|=6"), "{out}");
+        assert!(out.contains("δ (degeneracy) = 2"), "{out}");
+
+        let out = run(Command::Community {
+            path: p.clone(),
+            one_based: false,
+            query: QueryRef { side: Side::Upper, index: 0 },
+            alpha: 2,
+            beta: 2,
+        })
+        .unwrap();
+        assert!(out.contains("6 edges"), "{out}");
+
+        let out = run(Command::Search {
+            path: p.clone(),
+            one_based: false,
+            query: QueryRef { side: Side::Upper, index: 0 },
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+        })
+        .unwrap();
+        // The two weight-1 edges force l2 out: 4 edges, f = 3.
+        assert!(out.contains("4 edges"), "{out}");
+        assert!(out.contains("f = 3"), "{out}");
+
+        let idx_path = dir.join("toy.scsidx");
+        let out = run(Command::Index {
+            path: p.clone(),
+            one_based: false,
+            out: idx_path.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(out.contains("δ = 2"), "{out}");
+        assert!(idx_path.exists());
+
+        let err = run(Command::Search {
+            path: p,
+            one_based: false,
+            query: QueryRef { side: Side::Lower, index: 99 },
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

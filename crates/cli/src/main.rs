@@ -1,0 +1,20 @@
+//! `scs` binary entry point; all logic lives in the library for
+//! testability.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match scs_cli::parse_args(&args).and_then(scs_cli::run) {
+        Ok(out) => {
+            // Tolerate a closed pipe (e.g. `scs ... | head`): exiting
+            // quietly beats the default SIGPIPE panic.
+            let stdout = std::io::stdout();
+            let _ = writeln!(stdout.lock(), "{out}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

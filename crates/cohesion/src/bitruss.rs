@@ -1,0 +1,194 @@
+//! k-bitruss decomposition (Zou DASFAA'16; Wang et al. ICDE'20).
+//!
+//! The k-bitruss is the maximal subgraph in which every edge is contained
+//! in at least `k` butterflies *within the subgraph*. The decomposition
+//! assigns each edge its bitruss number `φ(e)` — the largest `k` whose
+//! k-bitruss contains `e` — by support peeling, after which any
+//! k-bitruss community query is a filter plus a BFS.
+//!
+//! In the paper's Fig. 6/Table II comparison the bitruss community of a
+//! query vertex is the connected component of `q` in the `(α·β)`-bitruss.
+
+use crate::butterfly::butterfly_support;
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes the bitruss number `φ(e)` of every edge.
+///
+/// Peeling with a lazy min-heap: repeatedly remove the edge of minimum
+/// current support, assign it the running maximum support seen, and
+/// decrement the support of the three other edges of every butterfly the
+/// removed edge participated in.
+pub fn bitruss_decomposition(g: &BipartiteGraph) -> Vec<u64> {
+    let m = g.n_edges();
+    let mut support = butterfly_support(g);
+    let mut phi = vec![0u64; m];
+    let mut alive = vec![true; m];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..m as u32)
+        .map(|e| Reverse((support[e as usize], e)))
+        .collect();
+    let mut k = 0u64;
+    while let Some(Reverse((s, e))) = heap.pop() {
+        let ei = e as usize;
+        if !alive[ei] || s != support[ei] {
+            continue; // stale heap entry
+        }
+        alive[ei] = false;
+        k = k.max(s);
+        phi[ei] = k;
+        // Decrement the supports of the other three edges of every
+        // butterfly containing e = (u, v).
+        let (u, v) = g.endpoints(EdgeId(e));
+        let alive_edge = |alive: &[bool], a: Vertex, b: Vertex| -> Option<EdgeId> {
+            g.find_edge(a, b).filter(|ee| alive[ee.index()])
+        };
+        // Walk partners u' of v and common lowers z of (u, u').
+        for (u2, e_u2v) in g.neighbors_with_edges(v) {
+            if u2 == u || !alive[e_u2v.index()] {
+                continue;
+            }
+            for (z, e_uz) in g.neighbors_with_edges(u) {
+                if z == v || !alive[e_uz.index()] {
+                    continue;
+                }
+                let Some(e_u2z) = alive_edge(&alive, u2, z) else {
+                    continue;
+                };
+                for other in [e_u2v, e_uz, e_u2z] {
+                    let oi = other.index();
+                    support[oi] = support[oi].saturating_sub(1);
+                    heap.push(Reverse((support[oi], other.0)));
+                }
+            }
+        }
+    }
+    phi
+}
+
+/// The k-bitruss community of `q`: the connected component of `q` in the
+/// subgraph of edges with `φ(e) ≥ k`. Pass the decomposition from
+/// [`bitruss_decomposition`] so repeated queries share the peel.
+pub fn bitruss_community<'g>(
+    g: &'g BipartiteGraph,
+    phi: &[u64],
+    q: Vertex,
+    k: u64,
+) -> Subgraph<'g> {
+    let edges: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|e| phi[e.index()] >= k)
+        .collect();
+    Subgraph::from_edges(g, edges).component_of(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterfly::butterfly_support_brute;
+    use bigraph::generators::{complete_biclique, random_bipartite};
+    use bigraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference k-bitruss: iterate "recompute butterfly supports on the
+    /// surviving subgraph, drop edges below k" until fixpoint.
+    fn brute_k_bitruss(g: &BipartiteGraph, k: u64) -> Vec<bool> {
+        let mut alive = vec![true; g.n_edges()];
+        loop {
+            // Rebuild the surviving subgraph and count supports on it.
+            let mut b = bigraph::GraphBuilder::new();
+            b.ensure_upper(g.n_upper().saturating_sub(1));
+            b.ensure_lower(g.n_lower().saturating_sub(1));
+            let mut kept: Vec<usize> = Vec::new();
+            for e in g.edge_ids() {
+                if alive[e.index()] {
+                    let (u, l) = g.endpoints(e);
+                    b.add_edge(g.local_index(u), g.local_index(l), 1.0);
+                    kept.push(e.index());
+                }
+            }
+            let sub = b.build().unwrap();
+            let s = butterfly_support_brute(&sub);
+            let mut changed = false;
+            for (sub_e, &orig) in kept.iter().enumerate() {
+                if s[sub_e] < k {
+                    alive[orig] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return alive;
+            }
+        }
+    }
+
+    #[test]
+    fn biclique_phi_uniform() {
+        let g = complete_biclique(3, 3);
+        let phi = bitruss_decomposition(&g);
+        assert!(phi.iter().all(|&x| x == 4), "{phi:?}"); // (3-1)(3-1)
+    }
+
+    #[test]
+    fn pendant_edge_has_phi_zero() {
+        let mut b = GraphBuilder::new();
+        // 2x2 biclique plus pendant u2-l0.
+        for u in 0..2 {
+            for l in 0..2 {
+                b.add_edge(u, l, 1.0);
+            }
+        }
+        b.add_edge(2, 0, 1.0);
+        let g = b.build().unwrap();
+        let phi = bitruss_decomposition(&g);
+        let pendant = g.find_edge(g.upper(2), g.lower(0)).unwrap();
+        assert_eq!(phi[pendant.index()], 0);
+        for e in g.edge_ids() {
+            if e != pendant {
+                assert_eq!(phi[e.index()], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(901);
+        for trial in 0..3 {
+            let g = random_bipartite(8, 8, 30 + trial * 5, &mut rng);
+            let phi = bitruss_decomposition(&g);
+            let k_max = phi.iter().copied().max().unwrap_or(0);
+            for k in 1..=k_max.min(6) {
+                let brute = brute_k_bitruss(&g, k);
+                for e in g.edge_ids() {
+                    assert_eq!(
+                        phi[e.index()] >= k,
+                        brute[e.index()],
+                        "k={k} {e:?} trial={trial}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn community_is_connected_component() {
+        // Two disjoint 2x2 bicliques; 1-bitruss keeps both, community
+        // keeps only q's.
+        let mut b = GraphBuilder::new();
+        for (uo, lo) in [(0, 0), (2, 2)] {
+            for du in 0..2 {
+                for dl in 0..2 {
+                    b.add_edge(uo + du, lo + dl, 1.0);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let phi = bitruss_decomposition(&g);
+        let c = bitruss_community(&g, &phi, g.upper(0), 1);
+        assert_eq!(c.size(), 4);
+        assert!(!c.contains_vertex(g.upper(2)));
+        let none = bitruss_community(&g, &phi, g.upper(0), 2);
+        assert!(none.is_empty());
+    }
+}

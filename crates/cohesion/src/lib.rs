@@ -1,0 +1,29 @@
+//! # cohesion — comparison cohesive-subgraph models on bipartite graphs
+//!
+//! The paper's effectiveness study (Fig. 6, Fig. 7, Table II) compares
+//! the significant (α,β)-community model against the other cohesive
+//! subgraph families on bipartite graphs. This crate implements those
+//! comparators from scratch:
+//!
+//! * [`butterfly`] — per-edge butterfly (2×2-biclique) counting, the
+//!   support notion underlying bitruss;
+//! * [`bitruss`] — k-bitruss decomposition by support peeling
+//!   (Zou, DASFAA'16; Wang et al., ICDE'20);
+//! * [`biclique`] — maximal biclique search with per-layer size bounds
+//!   (Zhang et al., BMC Bioinformatics'14);
+//! * [`threshold`] — the paper's `C4★` strawman: the induced subgraph of
+//!   items whose average rating clears a threshold.
+//!
+//! None of these consider edge weights as a cohesion criterion (bitruss
+//! and biclique are purely structural; `C4★` is purely weight-based),
+//! which is exactly the gap the significant (α,β)-community model fills.
+
+pub mod biclique;
+pub mod bitruss;
+pub mod butterfly;
+pub mod threshold;
+
+pub use biclique::{maximal_biclique_containing, Biclique};
+pub use bitruss::{bitruss_community, bitruss_decomposition};
+pub use butterfly::{butterfly_count_total, butterfly_support};
+pub use threshold::threshold_community;

@@ -1,0 +1,89 @@
+//! The `C4★` threshold model of the paper's effectiveness study: the
+//! community induced by items whose *average* rating clears a threshold,
+//! with no structural cohesiveness requirement. It serves as the
+//! weight-only strawman in Fig. 6 / Table II (its members can be
+//! loosely connected users who rated a single popular item).
+
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex, Weight};
+
+/// The threshold community of `q`: take every lower vertex whose mean
+/// incident edge weight is ≥ `threshold`, induce the subgraph on those
+/// lower vertices together with all their incident edges, and return the
+/// connected component of `q` in it.
+///
+/// Matches the paper's `C4★` ("the induced subgraph of all the movies
+/// with average ratings at least 4") with `threshold = 4`.
+pub fn threshold_community<'g>(
+    g: &'g BipartiteGraph,
+    q: Vertex,
+    threshold: Weight,
+) -> Subgraph<'g> {
+    let mut qualified = vec![false; g.n_lower()];
+    for l in g.lower_vertices() {
+        let deg = g.degree(l);
+        if deg == 0 {
+            continue;
+        }
+        let sum: f64 = g.incident_edges(l).iter().map(|&e| g.weight(e)).sum();
+        if sum / deg as f64 >= threshold {
+            qualified[g.local_index(l)] = true;
+        }
+    }
+    let edges: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|&e| {
+            let (_, l) = g.endpoints(e);
+            qualified[g.local_index(l)]
+        })
+        .collect();
+    Subgraph::from_edges(g, edges).component_of(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    #[test]
+    fn keeps_only_high_rated_items() {
+        let mut b = GraphBuilder::new();
+        // l0 avg 4.5 (qualified), l1 avg 2.0 (not), l2 avg 4.0 (edge case).
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(1, 0, 4.0);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 1, 2.0);
+        b.add_edge(1, 2, 4.0);
+        let g = b.build().unwrap();
+        let c = threshold_community(&g, g.upper(0), 4.0);
+        assert!(c.contains_vertex(g.lower(0)));
+        assert!(!c.contains_vertex(g.lower(1)));
+        assert!(c.contains_vertex(g.lower(2))); // via u1
+        assert_eq!(c.size(), 3);
+    }
+
+    #[test]
+    fn query_disconnected_from_qualified_items() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 5.0); // qualified island
+        b.add_edge(1, 1, 1.0); // q's only edge, unqualified item
+        let g = b.build().unwrap();
+        let c = threshold_community(&g, g.upper(1), 4.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn no_structure_requirement() {
+        // A star of one-review users around a high-rated item: all kept,
+        // demonstrating the "loosely connected" weakness the paper calls
+        // out for C4★.
+        let mut b = GraphBuilder::new();
+        for u in 0..10 {
+            b.add_edge(u, 0, 5.0);
+        }
+        let g = b.build().unwrap();
+        let c = threshold_community(&g, g.upper(0), 4.0);
+        assert_eq!(c.size(), 10);
+        let (us, _) = c.layer_vertices();
+        assert_eq!(us.len(), 10);
+    }
+}

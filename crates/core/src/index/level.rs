@@ -1,0 +1,357 @@
+//! Shared storage and query kernel for the index family.
+//!
+//! Both the basic indexes (`Iα_bs`, `Iβ_bs`) and the degeneracy-bounded
+//! index (`Iδ`) are collections of *levels*: for one fixed constraint
+//! value they store, per member vertex, an adjacency list annotated with
+//! the neighbors' offsets and sorted by offset descending. Algorithm 2 of
+//! the paper runs on a level: BFS from the query vertex, scanning each
+//! list only down to the first entry below the query threshold — which is
+//! what makes retrieval time linear in the result size.
+
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
+use std::collections::VecDeque;
+
+/// One annotated adjacency entry of an index level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Entry {
+    /// The neighbor vertex.
+    pub nbr: Vertex,
+    /// Global edge id of the `(owner, nbr)` edge (weights are looked up
+    /// through it, instead of duplicating them in the index).
+    pub edge: EdgeId,
+    /// The neighbor's offset at this level's fixed constraint.
+    pub offset: u32,
+}
+
+/// Index storage for one fixed constraint value: per member vertex, its
+/// own offset plus its annotated adjacency sorted by offset descending.
+///
+/// Lookup is O(1) through a dense vertex→slot table; the table costs
+/// `4n` bytes per level, negligible next to the entry storage, and keeps
+/// the BFS of Algorithm 2 free of hashing and binary search.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Level {
+    /// Dense vertex → slot map (`u32::MAX` = not a member); length n.
+    slot_of: Vec<u32>,
+    /// Member vertices, sorted ascending.
+    verts: Vec<Vertex>,
+    /// Offset of each member itself (parallel to `verts`).
+    own_offset: Vec<u32>,
+    /// CSR starts into `entries` (length `verts.len() + 1`).
+    starts: Vec<u32>,
+    /// Annotated adjacency entries, each vertex's slice sorted by
+    /// `offset` descending.
+    entries: Vec<Entry>,
+}
+
+impl Level {
+    /// New level over a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Level {
+            slot_of: vec![u32::MAX; n],
+            ..Default::default()
+        }
+    }
+
+    /// Streaming constructor; vertices must be pushed in ascending id
+    /// order and each entry list must already be sorted by offset
+    /// descending.
+    pub fn push_vertex(&mut self, v: Vertex, own_offset: u32, entries: &[Entry]) {
+        debug_assert!(self.verts.last().map_or(true, |&p| p < v));
+        debug_assert!(entries.windows(2).all(|w| w[0].offset >= w[1].offset));
+        if self.starts.is_empty() {
+            self.starts.push(0);
+        }
+        self.slot_of[v.index()] = self.verts.len() as u32;
+        self.verts.push(v);
+        self.own_offset.push(own_offset);
+        self.entries.extend_from_slice(entries);
+        self.starts.push(self.entries.len() as u32);
+    }
+
+    /// Rewrites every stored edge id through `map` (old id → new id).
+    /// Used by index maintenance after the graph's edge ids shift; a
+    /// level that is only remapped must not reference a removed edge.
+    pub fn remap_edges(&mut self, map: &[Option<EdgeId>]) {
+        for e in &mut self.entries {
+            e.edge = map[e.edge.index()]
+                .expect("untouched level cannot reference a removed edge");
+        }
+    }
+
+    /// Looks up a vertex: `(own offset, annotated adjacency)`. O(1).
+    pub fn lookup(&self, v: Vertex) -> Option<(u32, &[Entry])> {
+        let i = *self.slot_of.get(v.index())? ;
+        if i == u32::MAX {
+            return None;
+        }
+        let i = i as usize;
+        let range = self.starts[i] as usize..self.starts[i + 1] as usize;
+        Some((self.own_offset[i], &self.entries[range]))
+    }
+
+    /// Number of member vertices.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn n_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of stored adjacency entries.
+    pub fn n_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Heap bytes (index size accounting for Fig. 11).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.slot_of.len() * size_of::<u32>()
+            + self.verts.len() * size_of::<Vertex>()
+            + self.own_offset.len() * size_of::<u32>()
+            + self.starts.len() * size_of::<u32>()
+            + self.entries.len() * size_of::<Entry>()
+    }
+}
+
+impl Level {
+    /// Serializes the level as little-endian u32 words (see
+    /// [`crate::index::persist`] for the container format).
+    pub fn write_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        let w32 = |out: &mut W, x: u32| out.write_all(&x.to_le_bytes());
+        w32(out, self.slot_of.len() as u32)?;
+        w32(out, self.verts.len() as u32)?;
+        w32(out, self.entries.len() as u32)?;
+        for (v, &own) in self.verts.iter().zip(&self.own_offset) {
+            w32(out, v.0)?;
+            w32(out, own)?;
+        }
+        for &s in &self.starts {
+            w32(out, s)?;
+        }
+        for e in &self.entries {
+            w32(out, e.nbr.0)?;
+            w32(out, e.edge.0)?;
+            w32(out, e.offset)?;
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`Self::write_to`].
+    pub fn read_from<R: std::io::Read>(inp: &mut R) -> std::io::Result<Level> {
+        fn r32<R: std::io::Read>(inp: &mut R) -> std::io::Result<u32> {
+            let mut b = [0u8; 4];
+            inp.read_exact(&mut b)?;
+            Ok(u32::from_le_bytes(b))
+        }
+        let n = r32(inp)? as usize;
+        let n_verts = r32(inp)? as usize;
+        let n_entries = r32(inp)? as usize;
+        let mut level = Level::new(n);
+        let mut verts = Vec::with_capacity(n_verts);
+        let mut own = Vec::with_capacity(n_verts);
+        for _ in 0..n_verts {
+            verts.push(Vertex(r32(inp)?));
+            own.push(r32(inp)?);
+        }
+        let n_starts = if n_verts == 0 { 0 } else { n_verts + 1 };
+        let mut starts = Vec::with_capacity(n_starts);
+        for _ in 0..n_starts {
+            starts.push(r32(inp)?);
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            entries.push(Entry {
+                nbr: Vertex(r32(inp)?),
+                edge: EdgeId(r32(inp)?),
+                offset: r32(inp)?,
+            });
+        }
+        for (i, (&v, &o)) in verts.iter().zip(&own).enumerate() {
+            let range = starts[i] as usize..starts[i + 1] as usize;
+            let slice = entries.get(range).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt level CSR")
+            })?;
+            if v.index() >= n {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "vertex id out of range",
+                ));
+            }
+            level.push_vertex(v, o, slice);
+        }
+        Ok(level)
+    }
+}
+
+/// Touch statistics for the optimality assertions and Fig. 8 analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Index entries inspected (including the one probe past the
+    /// threshold per scanned list).
+    pub entries_touched: usize,
+    /// Edges of the resulting community.
+    pub result_edges: usize,
+}
+
+/// Algorithm 2: retrieves the community of `q` at `threshold` from a
+/// level, in `O(size(result))` time.
+///
+/// The caller picks the level and threshold according to the index
+/// dispatch rule (`Iα_bs[·][α]` with threshold β, `Iβ_δ[·][β]` with
+/// threshold α, …). Entries are scanned in offset-descending order and
+/// the scan stops at the first entry below the threshold, so only result
+/// edges (plus one probe per vertex) are touched.
+pub(crate) fn query_level<'g>(
+    g: &'g BipartiteGraph,
+    level: &Level,
+    q: Vertex,
+    threshold: u32,
+    stats: &mut QueryStats,
+) -> Subgraph<'g> {
+    let Some((own, _)) = level.lookup(q) else {
+        return Subgraph::empty(g);
+    };
+    if own < threshold {
+        return Subgraph::empty(g);
+    }
+    let mut edges: Vec<EdgeId> = Vec::new();
+    // Flat visited bitmap: the O(n) memset is a single pass of cheap
+    // memory traffic, so the per-edge work stays O(size(result)) with a
+    // small constant (Lemma 3's bound concerns edges touched, which the
+    // tests assert via `entries_touched`).
+    let mut visited = vec![false; g.n_vertices()];
+    let mut queue: VecDeque<Vertex> = VecDeque::new();
+    visited[q.index()] = true;
+    queue.push_back(q);
+    while let Some(u) = queue.pop_front() {
+        let (_, list) = level
+            .lookup(u)
+            .expect("BFS only reaches vertices stored in the level");
+        for entry in list {
+            stats.entries_touched += 1;
+            if entry.offset < threshold {
+                break; // sorted descending: nothing further qualifies
+            }
+            if !g.is_upper(u) {
+                edges.push(entry.edge); // record each edge once, from its lower endpoint
+            }
+            let ni = entry.nbr.index();
+            if !visited[ni] {
+                visited[ni] = true;
+                queue.push_back(entry.nbr);
+            }
+        }
+    }
+    stats.result_edges = edges.len();
+    Subgraph::from_edges(g, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build().unwrap();
+        let e0 = g.find_edge(g.upper(0), g.lower(0)).unwrap();
+        let e1 = g.find_edge(g.upper(0), g.lower(1)).unwrap();
+        let mut level = Level::new(g.n_vertices());
+        level.push_vertex(
+            g.upper(0),
+            2,
+            &[
+                Entry {
+                    nbr: g.lower(0),
+                    edge: e0,
+                    offset: 5,
+                },
+                Entry {
+                    nbr: g.lower(1),
+                    edge: e1,
+                    offset: 3,
+                },
+            ],
+        );
+        level.push_vertex(
+            g.lower(0),
+            5,
+            &[Entry {
+                nbr: g.upper(0),
+                edge: e0,
+                offset: 2,
+            }],
+        );
+        let (own, list) = level.lookup(g.upper(0)).unwrap();
+        assert_eq!(own, 2);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].offset, 5);
+        assert!(level.lookup(g.lower(1)).is_none());
+        assert_eq!(level.n_vertices(), 2);
+        assert_eq!(level.n_entries(), 3);
+        assert!(level.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn query_respects_threshold_and_own_offset() {
+        // Path u0 - l0 - u1, offsets chosen so that threshold 2 excludes u1.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(1, 0, 1.0);
+        b.ensure_lower(1); // extra isolated lower vertex, absent from the level
+        let g = b.build().unwrap();
+        let e00 = g.find_edge(g.upper(0), g.lower(0)).unwrap();
+        let e10 = g.find_edge(g.upper(1), g.lower(0)).unwrap();
+        let mut level = Level::new(g.n_vertices());
+        level.push_vertex(
+            g.upper(0),
+            2,
+            &[Entry {
+                nbr: g.lower(0),
+                edge: e00,
+                offset: 2,
+            }],
+        );
+        level.push_vertex(
+            g.upper(1),
+            1,
+            &[Entry {
+                nbr: g.lower(0),
+                edge: e10,
+                offset: 2,
+            }],
+        );
+        level.push_vertex(
+            g.lower(0),
+            2,
+            &[
+                Entry {
+                    nbr: g.upper(0),
+                    edge: e00,
+                    offset: 2,
+                },
+                Entry {
+                    nbr: g.upper(1),
+                    edge: e10,
+                    offset: 1,
+                },
+            ],
+        );
+        let mut stats = QueryStats::default();
+        let r = query_level(&g, &level, g.upper(0), 2, &mut stats);
+        assert_eq!(r.size(), 1);
+        assert!(r.contains_vertex(g.lower(0)));
+        assert!(!r.contains_vertex(g.upper(1)));
+        // Low-offset query vertex short-circuits.
+        let r = query_level(&g, &level, g.upper(1), 2, &mut Default::default());
+        assert!(r.is_empty());
+        // Unknown vertex short-circuits.
+        let r = query_level(&g, &level, g.lower(1), 1, &mut Default::default());
+        assert!(r.is_empty());
+        // Threshold 1 returns everything.
+        let r = query_level(&g, &level, g.upper(0), 1, &mut Default::default());
+        assert_eq!(r.size(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Binary persistence for the degeneracy-bounded index.
+//!
+//! Building `Iδ` costs `O(δ·m)`; for repeated query sessions over the
+//! same graph it pays to build once and reload. The format is a small
+//! little-endian container:
+//!
+//! ```text
+//! magic "SCSIDX1\0" | n_upper u32 | n_lower u32 | m u32 | delta u32
+//! then 2·δ levels (α-levels first), each as Level::write_to
+//! ```
+//!
+//! The graph fingerprint (`n_upper`, `n_lower`, `m`) is validated at
+//! load time so an index cannot silently be applied to the wrong graph;
+//! edge ids are only meaningful relative to the exact graph the index
+//! was built from (the deterministic `GraphBuilder` ordering guarantees
+//! stability across rebuilds from the same edge list).
+
+use super::delta::DeltaIndex;
+use super::level::Level;
+use bigraph::BipartiteGraph;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SCSIDX1\0";
+
+fn w32<W: Write>(out: &mut W, x: u32) -> io::Result<()> {
+    out.write_all(&x.to_le_bytes())
+}
+
+fn r32<R: Read>(inp: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    inp.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Serializes `index` (built over `g`) to a writer.
+pub fn save_index<W: Write>(g: &BipartiteGraph, index: &DeltaIndex, mut out: W) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    w32(&mut out, g.n_upper() as u32)?;
+    w32(&mut out, g.n_lower() as u32)?;
+    w32(&mut out, g.n_edges() as u32)?;
+    w32(&mut out, index.delta() as u32)?;
+    for level in index.alpha_levels.iter().chain(&index.beta_levels) {
+        level.write_to(&mut out)?;
+    }
+    Ok(())
+}
+
+/// Loads an index previously written with [`save_index`], validating it
+/// against `g`'s fingerprint.
+pub fn load_index<R: Read>(g: &BipartiteGraph, mut inp: R) -> io::Result<DeltaIndex> {
+    let mut magic = [0u8; 8];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an scs index file"));
+    }
+    let (nu, nl, m) = (r32(&mut inp)?, r32(&mut inp)?, r32(&mut inp)?);
+    if (nu as usize, nl as usize, m as usize) != (g.n_upper(), g.n_lower(), g.n_edges()) {
+        return Err(bad("index fingerprint does not match the graph"));
+    }
+    let delta = r32(&mut inp)? as usize;
+    let mut levels: Vec<Level> = Vec::with_capacity(2 * delta);
+    for _ in 0..2 * delta {
+        levels.push(Level::read_from(&mut inp)?);
+    }
+    let beta_levels = levels.split_off(delta);
+    Ok(DeltaIndex {
+        delta,
+        alpha_levels: levels,
+        beta_levels,
+    })
+}
+
+/// [`save_index`] to a file path.
+pub fn save_index_file<P: AsRef<Path>>(
+    g: &BipartiteGraph,
+    index: &DeltaIndex,
+    path: P,
+) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    save_index(g, index, io::BufWriter::new(f))
+}
+
+/// [`load_index`] from a file path.
+pub fn load_index_file<P: AsRef<Path>>(g: &BipartiteGraph, path: P) -> io::Result<DeltaIndex> {
+    let f = std::fs::File::open(path)?;
+    load_index(g, io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::figure2_example;
+    use bigraph::generators::random_bipartite;
+    use bigraph::weights::WeightModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn roundtrip(g: &BipartiteGraph) {
+        let index = DeltaIndex::build(g);
+        let mut buf = Vec::new();
+        save_index(g, &index, &mut buf).unwrap();
+        let loaded = load_index(g, buf.as_slice()).unwrap();
+        assert_eq!(loaded.delta(), index.delta());
+        assert_eq!(loaded.n_entries(), index.n_entries());
+        for a in 1..=index.delta() + 1 {
+            for b in 1..=index.delta() + 1 {
+                for v in g.vertices().step_by(97) {
+                    let x = index.query_community(g, v, a, b);
+                    let y = loaded.query_community(g, v, a, b);
+                    assert!(x.same_edges(&y), "α={a} β={b} {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_figure2() {
+        roundtrip(&figure2_example());
+    }
+
+    #[test]
+    fn roundtrip_random_weighted() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let g0 = random_bipartite(40, 40, 320, &mut rng);
+        let g = WeightModel::Uniform { lo: 0.0, hi: 9.0 }.apply(&g0, &mut rng);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let g = figure2_example();
+        let err = load_index(&g, &b"NOTANIDX more bytes here"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_graph() {
+        let g = figure2_example();
+        let index = DeltaIndex::build(&g);
+        let mut buf = Vec::new();
+        save_index(&g, &index, &mut buf).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let other = random_bipartite(10, 10, 30, &mut rng);
+        let err = load_index(&other, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let g = figure2_example();
+        let index = DeltaIndex::build(&g);
+        let mut buf = Vec::new();
+        save_index(&g, &index, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_index(&g, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = figure2_example();
+        let index = DeltaIndex::build(&g);
+        let dir = std::env::temp_dir().join("scs_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.scsidx");
+        save_index_file(&g, &index, &path).unwrap();
+        let loaded = load_index_file(&g, &path).unwrap();
+        assert_eq!(loaded.delta(), 3);
+        std::fs::remove_file(path).ok();
+    }
+}

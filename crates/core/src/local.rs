@@ -1,0 +1,321 @@
+//! Compact local workspace for the SCS query algorithms.
+//!
+//! The whole point of the paper's two-step paradigm is that the second
+//! step (peeling / expansion) works on `C_{α,β}(q)`, which is usually far
+//! smaller than `G`. To make that real, the workspace re-indexes the
+//! community's vertices and edges into dense local ids so every per-query
+//! array is `O(size(C))`, not `O(n + m)`.
+
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex, Weight};
+
+/// A community re-indexed with dense local vertex/edge ids.
+///
+/// Local vertex ids preserve the global order, and since global ids place
+/// the upper layer first, local ids `0..n_upper_local` are exactly the
+/// upper vertices.
+#[derive(Debug, Clone)]
+pub(crate) struct LocalGraph {
+    /// Global vertex per local id (sorted ascending).
+    verts: Vec<Vertex>,
+    /// Number of upper-layer vertices (they occupy local ids `0..this`).
+    n_upper_local: usize,
+    /// Global edge id per local edge.
+    edge_globals: Vec<EdgeId>,
+    /// Local endpoints per local edge: `(upper_local, lower_local)`.
+    edge_ends: Vec<(u32, u32)>,
+    /// Weight per local edge.
+    weights: Vec<Weight>,
+    /// CSR adjacency: `adj[starts[v]..starts[v+1]]` = `(nbr_local, edge_local)`.
+    starts: Vec<u32>,
+    adj: Vec<(u32, u32)>,
+}
+
+impl LocalGraph {
+    /// Builds the workspace from a community subgraph.
+    /// `O(size(C) log size(C))`.
+    pub fn new(sub: &Subgraph<'_>) -> Self {
+        let g = sub.graph();
+        let verts = sub.vertices();
+        let n_upper_local = verts.partition_point(|&v| g.is_upper(v));
+        let local_of = |v: Vertex| -> u32 {
+            verts.binary_search(&v).expect("endpoint of community edge") as u32
+        };
+
+        let m = sub.size();
+        let mut edge_globals = Vec::with_capacity(m);
+        let mut edge_ends = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        let mut degree = vec![0u32; verts.len()];
+        for &e in sub.edges() {
+            let (u, l) = g.endpoints(e);
+            let (lu, ll) = (local_of(u), local_of(l));
+            edge_globals.push(e);
+            edge_ends.push((lu, ll));
+            weights.push(g.weight(e));
+            degree[lu as usize] += 1;
+            degree[ll as usize] += 1;
+        }
+        let mut starts = Vec::with_capacity(verts.len() + 1);
+        let mut acc = 0u32;
+        starts.push(0);
+        for &d in &degree {
+            acc += d;
+            starts.push(acc);
+        }
+        let mut cursor: Vec<u32> = starts[..verts.len()].to_vec();
+        let mut adj = vec![(0u32, 0u32); 2 * m];
+        for (le, &(lu, ll)) in edge_ends.iter().enumerate() {
+            adj[cursor[lu as usize] as usize] = (ll, le as u32);
+            cursor[lu as usize] += 1;
+            adj[cursor[ll as usize] as usize] = (lu, le as u32);
+            cursor[ll as usize] += 1;
+        }
+        LocalGraph {
+            verts,
+            n_upper_local,
+            edge_globals,
+            edge_ends,
+            weights,
+            starts,
+            adj,
+        }
+    }
+
+    /// Number of local vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of local edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edge_globals.len()
+    }
+
+    /// Number of upper-layer vertices (local ids `0..n_upper_local`).
+    #[inline]
+    pub fn n_upper_local(&self) -> usize {
+        self.n_upper_local
+    }
+
+    /// `true` iff local vertex `lv` is in the upper layer.
+    #[inline]
+    pub fn is_upper_local(&self, lv: u32) -> bool {
+        (lv as usize) < self.n_upper_local
+    }
+
+    /// Degree requirement of local vertex `lv` under constraints (α,β).
+    #[inline]
+    pub fn need(&self, lv: u32, alpha: u32, beta: u32) -> u32 {
+        if self.is_upper_local(lv) {
+            alpha
+        } else {
+            beta
+        }
+    }
+
+    /// Local id of global vertex `v`, if present.
+    #[inline]
+    pub fn local_of(&self, v: Vertex) -> Option<u32> {
+        self.verts.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Global vertex of local id `lv`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub fn global_of(&self, lv: u32) -> Vertex {
+        self.verts[lv as usize]
+    }
+
+    /// Global edge id of local edge `le`.
+    #[inline]
+    pub fn edge_global(&self, le: u32) -> EdgeId {
+        self.edge_globals[le as usize]
+    }
+
+    /// Local endpoints `(upper_local, lower_local)` of local edge `le`.
+    #[inline]
+    pub fn ends(&self, le: u32) -> (u32, u32) {
+        self.edge_ends[le as usize]
+    }
+
+    /// Weight of local edge `le`.
+    #[inline]
+    pub fn weight(&self, le: u32) -> Weight {
+        self.weights[le as usize]
+    }
+
+    /// Adjacency of local vertex `lv`: `(neighbor_local, edge_local)`.
+    #[inline]
+    pub fn adjacency(&self, lv: u32) -> &[(u32, u32)] {
+        let i = lv as usize;
+        &self.adj[self.starts[i] as usize..self.starts[i + 1] as usize]
+    }
+
+    /// Full local degree of `lv`.
+    #[inline]
+    pub fn full_degree(&self, lv: u32) -> u32 {
+        self.starts[lv as usize + 1] - self.starts[lv as usize]
+    }
+
+    /// Local edge ids sorted by weight (ascending when `asc`, else
+    /// descending); ties broken by edge id for determinism.
+    pub fn edges_by_weight(&self, asc: bool) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.n_edges() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let cmp = self.weights[a as usize].total_cmp(&self.weights[b as usize]);
+            let cmp = cmp.then(a.cmp(&b));
+            if asc {
+                cmp
+            } else {
+                cmp.reverse()
+            }
+        });
+        order
+    }
+
+    /// Converts a set of live local edges back into a [`Subgraph`] of the
+    /// original graph.
+    pub fn to_subgraph<'g>(
+        &self,
+        g: &'g BipartiteGraph,
+        live: impl Iterator<Item = u32>,
+    ) -> Subgraph<'g> {
+        Subgraph::from_edges(g, live.map(|le| self.edge_global(le)).collect())
+    }
+
+    /// BFS over live edges from `start`; returns the local edge ids of
+    /// `start`'s connected component. `scratch_visited` must be at least
+    /// `n_vertices` long and all-false; it is restored before returning.
+    pub fn component_edges(&self, start: u32, alive: &[bool], visited: &mut [bool]) -> Vec<u32> {
+        debug_assert!(visited.iter().all(|&x| !x));
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        let mut touched = vec![start];
+        visited[start as usize] = true;
+        while let Some(x) = stack.pop() {
+            for &(nbr, le) in self.adjacency(x) {
+                if !alive[le as usize] {
+                    continue;
+                }
+                if self.is_upper_local(x) {
+                    out.push(le);
+                }
+                if !visited[nbr as usize] {
+                    visited[nbr as usize] = true;
+                    touched.push(nbr);
+                    stack.push(nbr);
+                }
+            }
+        }
+        for t in touched {
+            visited[t as usize] = false;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    fn fixture() -> (BipartiteGraph, Subgraph<'static>) {
+        // Leak for 'static in tests only.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(0, 1, 3.0);
+        b.add_edge(1, 0, 4.0);
+        b.add_edge(1, 1, 1.0);
+        b.add_edge(2, 2, 9.0); // separate component
+        let g: &'static BipartiteGraph = Box::leak(Box::new(b.build().unwrap()));
+        let sub = Subgraph::full(g);
+        (g.clone(), sub)
+    }
+
+    #[test]
+    fn local_ids_keep_layers_contiguous() {
+        let (_, sub) = fixture();
+        let lg = LocalGraph::new(&sub);
+        assert_eq!(lg.n_vertices(), 6);
+        assert_eq!(lg.n_upper_local(), 3);
+        for lv in 0..lg.n_vertices() as u32 {
+            let g = sub.graph();
+            assert_eq!(lg.is_upper_local(lv), g.is_upper(lg.global_of(lv)));
+        }
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let (_, sub) = fixture();
+        let g = sub.graph();
+        let lg = LocalGraph::new(&sub);
+        for lv in 0..lg.n_vertices() as u32 {
+            let gv = lg.global_of(lv);
+            assert_eq!(lg.local_of(gv), Some(lv));
+            assert_eq!(lg.full_degree(lv) as usize, g.degree(gv));
+            for &(nbr, le) in lg.adjacency(lv) {
+                let ge = lg.edge_global(le);
+                assert_eq!(g.other_endpoint(ge, gv), lg.global_of(nbr));
+                assert_eq!(lg.weight(le), g.weight(ge));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_community() {
+        let (_, sub) = fixture();
+        let g = sub.graph();
+        let comp = sub.component_of(g.upper(0));
+        let lg = LocalGraph::new(&comp);
+        assert_eq!(lg.n_vertices(), 4);
+        assert_eq!(lg.n_edges(), 4);
+        assert_eq!(lg.local_of(g.upper(2)), None);
+    }
+
+    #[test]
+    fn weight_ordering() {
+        let (_, sub) = fixture();
+        let lg = LocalGraph::new(&sub);
+        let asc = lg.edges_by_weight(true);
+        let ws: Vec<f64> = asc.iter().map(|&e| lg.weight(e)).collect();
+        assert!(ws.windows(2).all(|w| w[0] <= w[1]));
+        let desc = lg.edges_by_weight(false);
+        let ws: Vec<f64> = desc.iter().map(|&e| lg.weight(e)).collect();
+        assert!(ws.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn component_bfs_and_back_conversion() {
+        let (_, sub) = fixture();
+        let g = sub.graph();
+        let lg = LocalGraph::new(&sub);
+        let alive = vec![true; lg.n_edges()];
+        let mut visited = vec![false; lg.n_vertices()];
+        let q = lg.local_of(g.upper(0)).unwrap();
+        let comp = lg.component_edges(q, &alive, &mut visited);
+        assert_eq!(comp.len(), 4);
+        assert!(visited.iter().all(|&x| !x), "scratch must be restored");
+        let back = lg.to_subgraph(g, comp.into_iter());
+        assert_eq!(back.size(), 4);
+        assert!(!back.contains_vertex(g.upper(2)));
+
+        // Killing the bridge edges isolates u0.
+        let mut alive = vec![true; lg.n_edges()];
+        // Find local edges incident to u0.
+        for &(_, le) in lg.adjacency(q) {
+            alive[le as usize] = false;
+        }
+        let comp = lg.component_edges(q, &alive, &mut visited);
+        assert!(comp.is_empty());
+    }
+
+    #[test]
+    fn need_respects_sides() {
+        let (_, sub) = fixture();
+        let lg = LocalGraph::new(&sub);
+        assert_eq!(lg.need(0, 3, 7), 3); // upper
+        assert_eq!(lg.need(lg.n_upper_local() as u32, 3, 7), 7); // first lower
+    }
+}

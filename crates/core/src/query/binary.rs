@@ -1,0 +1,138 @@
+//! `SCS-Binary`: binary search over the distinct edge weights of the
+//! community (the alternative the paper discusses in the Section IV-B
+//! remark). Each probe peels the weight-filtered community to its
+//! (α,β)-core and checks whether the query vertex survives; the answer is
+//! the component of `q` at the largest feasible weight.
+
+use crate::local::LocalGraph;
+use crate::query::peel::degree_peel;
+use bigraph::{BipartiteGraph, Subgraph, Vertex, Weight};
+
+/// `SCS-Binary`: finds the significant (α,β)-community by binary search
+/// on the weight threshold. `O(log W · size(C))` time where `W` is the
+/// number of distinct weights in the community.
+pub fn scs_binary<'g>(
+    g: &'g BipartiteGraph,
+    community: &Subgraph<'g>,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+) -> Subgraph<'g> {
+    if community.is_empty() {
+        return Subgraph::empty(g);
+    }
+    let lg = LocalGraph::new(community);
+    let lq = lg
+        .local_of(q)
+        .expect("query vertex must belong to its community");
+    let (alpha, beta) = (alpha as u32, beta as u32);
+
+    // Distinct weights, ascending.
+    let mut weights: Vec<Weight> = (0..lg.n_edges() as u32).map(|le| lg.weight(le)).collect();
+    weights.sort_unstable_by(|a, b| a.total_cmp(b));
+    weights.dedup_by(|a, b| a.total_cmp(b).is_eq());
+
+    // feasible(w): q survives the (α,β)-peel of {edges with weight ≥ w}.
+    // Monotone: feasible at the minimum weight (the community itself),
+    // infeasible beyond the maximum.
+    let feasible = |w: Weight| -> Option<(Vec<bool>, Vec<u32>)> {
+        let subset: Vec<u32> = (0..lg.n_edges() as u32)
+            .filter(|&le| lg.weight(le) >= w)
+            .collect();
+        let (alive, deg) = degree_peel(&lg, &subset, alpha, beta);
+        if deg[lq as usize] >= lg.need(lq, alpha, beta) {
+            Some((alive, deg))
+        } else {
+            None
+        }
+    };
+
+    // Invariant: weights[lo] feasible, weights[hi] infeasible (hi may be
+    // one past the end).
+    let mut lo = 0usize;
+    let mut hi = weights.len();
+    debug_assert!(feasible(weights[0]).is_some(), "community itself qualifies");
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(weights[mid]).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (alive, _) = feasible(weights[lo]).expect("lo is feasible by invariant");
+    let mut visited = vec![false; lg.n_vertices()];
+    let r = lg.component_edges(lq, &alive, &mut visited);
+    lg.to_subgraph(g, r.into_iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DeltaIndex;
+    use crate::query::peel::scs_peel;
+    use bigraph::builder::figure2_example;
+    use bigraph::generators::random_bipartite;
+    use bigraph::weights::WeightModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure2_matches_peel() {
+        let g = figure2_example();
+        let idx = DeltaIndex::build(&g);
+        let q = g.upper(2);
+        let c = idx.query_community(&g, q, 2, 2);
+        let r = scs_binary(&g, &c, q, 2, 2);
+        assert_eq!(r.size(), 4);
+        assert_eq!(r.min_weight(), Some(13.0));
+    }
+
+    #[test]
+    fn random_graphs_match_peel() {
+        let mut rng = StdRng::seed_from_u64(400);
+        for trial in 0..4 {
+            let g0 = random_bipartite(18, 18, 120 + trial * 12, &mut rng);
+            let g = WeightModel::Ratings { levels: 5 }.apply(&g0, &mut rng);
+            let idx = DeltaIndex::build(&g);
+            for a in 1..=3 {
+                for b in 1..=3 {
+                    for qi in 0..5 {
+                        let q = g.lower(qi);
+                        let c = idx.query_community(&g, q, a, b);
+                        if c.is_empty() {
+                            continue;
+                        }
+                        let rp = scs_peel(&g, &c, q, a, b);
+                        let rb = scs_binary(&g, &c, q, a, b);
+                        assert!(rb.same_edges(&rp), "α={a} β={b} q={q:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn few_distinct_weights() {
+        // The paper notes SCS-Binary shines when the number of distinct
+        // weights is small; make sure a 2-level weighting works.
+        let mut rng = StdRng::seed_from_u64(401);
+        let g0 = random_bipartite(15, 15, 100, &mut rng);
+        let g = g0.reweighted(|e, _, _| if e.index() % 2 == 0 { 1.0 } else { 2.0 });
+        let idx = DeltaIndex::build(&g);
+        let q = g.upper(0);
+        let c = idx.query_community(&g, q, 2, 2);
+        if c.is_empty() {
+            return;
+        }
+        let rp = scs_peel(&g, &c, q, 2, 2);
+        let rb = scs_binary(&g, &c, q, 2, 2);
+        assert!(rb.same_edges(&rp));
+    }
+
+    #[test]
+    fn empty_community() {
+        let g = figure2_example();
+        assert!(scs_binary(&g, &Subgraph::empty(&g), g.upper(0), 2, 2).is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Query algorithms for the significant (α,β)-community (Section IV).
+
+pub mod baseline;
+pub mod binary;
+pub mod expand;
+pub mod oracle;
+pub mod peel;
+
+pub use baseline::scs_baseline;
+pub use binary::scs_binary;
+pub use expand::{
+    scs_expand, scs_expand_with_epsilon, scs_expand_with_options, ExpandOptions, DEFAULT_EPSILON,
+};
+pub use peel::scs_peel;

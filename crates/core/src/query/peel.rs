@@ -1,0 +1,250 @@
+//! `SCS-Peel` (Algorithm 4): extract the significant (α,β)-community by
+//! repeatedly deleting the minimum-weight edge group and cascading degree
+//! violations until the query vertex fails, then rolling back the last
+//! iteration and taking `q`'s connected component.
+
+use crate::local::LocalGraph;
+use bigraph::{BipartiteGraph, Subgraph, Vertex};
+
+/// Degree-peels an arbitrary subset of local edges to its (α,β)-core.
+/// Returns `(alive, deg)` over all local edges/vertices (edges outside
+/// `subset` are dead with no degree contribution).
+pub(crate) fn degree_peel(
+    lg: &LocalGraph,
+    subset: &[u32],
+    alpha: u32,
+    beta: u32,
+) -> (Vec<bool>, Vec<u32>) {
+    let mut alive = vec![false; lg.n_edges()];
+    let mut deg = vec![0u32; lg.n_vertices()];
+    for &le in subset {
+        alive[le as usize] = true;
+        let (a, b) = lg.ends(le);
+        deg[a as usize] += 1;
+        deg[b as usize] += 1;
+    }
+    let mut queue: Vec<u32> = (0..lg.n_vertices() as u32)
+        .filter(|&v| deg[v as usize] > 0 && deg[v as usize] < lg.need(v, alpha, beta))
+        .collect();
+    while let Some(v) = queue.pop() {
+        for &(nbr, le) in lg.adjacency(v) {
+            if !alive[le as usize] {
+                continue;
+            }
+            alive[le as usize] = false;
+            deg[v as usize] -= 1;
+            deg[nbr as usize] -= 1;
+            let nd = deg[nbr as usize];
+            if nd > 0 && nd < lg.need(nbr, alpha, beta) {
+                queue.push(nbr);
+            }
+            // A vertex that hits degree 0 has no edges left; nothing to
+            // cascade for it.
+        }
+    }
+    (alive, deg)
+}
+
+/// The weighted peeling loop of Algorithm 4 over a live edge set.
+///
+/// Preconditions: `(alive, deg)` describe a subgraph in which every
+/// vertex satisfies its (α,β) degree constraint and `deg[lq] > 0`.
+/// `order_asc` lists all local edges sorted by weight ascending (dead
+/// entries are skipped). `visited` is an all-false scratch buffer of
+/// length `n_vertices`, restored before returning.
+///
+/// Returns the local edges of the significant community of `lq`.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 4's explicit state
+pub(crate) fn weighted_peel(
+    lg: &LocalGraph,
+    mut alive: Vec<bool>,
+    mut deg: Vec<u32>,
+    lq: u32,
+    alpha: u32,
+    beta: u32,
+    order_asc: &[u32],
+    visited: &mut [bool],
+) -> Vec<u32> {
+    debug_assert!(deg[lq as usize] >= lg.need(lq, alpha, beta));
+    let mut removed_this_iter: Vec<u32> = Vec::new();
+    let mut cascade: Vec<u32> = Vec::new();
+    let mut i = 0;
+    while i < order_asc.len() {
+        // Skip edges already dead (outside the subset or removed earlier).
+        while i < order_asc.len() && !alive[order_asc[i] as usize] {
+            i += 1;
+        }
+        if i >= order_asc.len() {
+            break;
+        }
+        let w_min = lg.weight(order_asc[i]);
+        removed_this_iter.clear();
+        // Remove the whole minimum-weight group.
+        while i < order_asc.len() && lg.weight(order_asc[i]).total_cmp(&w_min).is_eq() {
+            let le = order_asc[i];
+            i += 1;
+            if !alive[le as usize] {
+                continue;
+            }
+            alive[le as usize] = false;
+            removed_this_iter.push(le);
+            let (a, b) = lg.ends(le);
+            for v in [a, b] {
+                deg[v as usize] -= 1;
+                let d = deg[v as usize];
+                if d > 0 && d < lg.need(v, alpha, beta) {
+                    cascade.push(v);
+                }
+            }
+        }
+        // Cascade removals of under-degree vertices.
+        while let Some(v) = cascade.pop() {
+            for &(nbr, le) in lg.adjacency(v) {
+                if !alive[le as usize] {
+                    continue;
+                }
+                alive[le as usize] = false;
+                removed_this_iter.push(le);
+                deg[v as usize] -= 1;
+                deg[nbr as usize] -= 1;
+                let nd = deg[nbr as usize];
+                if nd > 0 && nd < lg.need(nbr, alpha, beta) {
+                    cascade.push(nbr);
+                }
+            }
+        }
+        // Did q fail this iteration? Then the state at the iteration's
+        // start (removed ∪ still-alive) is the answer graph G′ of
+        // Algorithm 4 line 21; q's component of it is R.
+        if deg[lq as usize] < lg.need(lq, alpha, beta) {
+            for &le in &removed_this_iter {
+                alive[le as usize] = true;
+            }
+            return lg.component_edges(lq, &alive, visited);
+        }
+    }
+    unreachable!("peeling always dequalifies q before the edge list runs out");
+}
+
+/// `SCS-Peel`: extracts the significant (α,β)-community of `q` from its
+/// (α,β)-community.
+///
+/// `community` must be `C_{α,β}(q)` (e.g. from
+/// [`crate::index::DeltaIndex::query_community`]); passing the empty
+/// subgraph yields the empty result.
+///
+/// Complexity: `O(sort(C) + size(C))` time, `O(size(C))` space.
+pub fn scs_peel<'g>(
+    g: &'g BipartiteGraph,
+    community: &Subgraph<'g>,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+) -> Subgraph<'g> {
+    if community.is_empty() {
+        return Subgraph::empty(g);
+    }
+    let lg = LocalGraph::new(community);
+    let lq = lg
+        .local_of(q)
+        .expect("query vertex must belong to its community");
+    // All-equal weights: the community itself is the answer.
+    if let (Some(lo), Some(hi)) = (community.min_weight(), community.max_weight()) {
+        if lo.total_cmp(&hi).is_eq() {
+            return community.clone();
+        }
+    }
+    let order = lg.edges_by_weight(true);
+    let alive = vec![true; lg.n_edges()];
+    let deg: Vec<u32> = (0..lg.n_vertices() as u32)
+        .map(|v| lg.full_degree(v))
+        .collect();
+    let mut visited = vec![false; lg.n_vertices()];
+    let r = weighted_peel(
+        &lg,
+        alive,
+        deg,
+        lq,
+        alpha as u32,
+        beta as u32,
+        &order,
+        &mut visited,
+    );
+    lg.to_subgraph(g, r.into_iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DeltaIndex;
+    use bigraph::builder::figure2_example;
+    use bigraph::GraphBuilder;
+
+    #[test]
+    fn figure2_significant_2_2_community() {
+        // Example 1 of the paper: the significant (2,2)-community of u3
+        // is {(u3,v1),(u3,v2),(u4,v1),(u4,v2)}.
+        let g = figure2_example();
+        let idx = DeltaIndex::build(&g);
+        let q = g.upper(2); // u3
+        let c = idx.query_community(&g, q, 2, 2);
+        assert_eq!(c.size(), 13);
+        let r = scs_peel(&g, &c, q, 2, 2);
+        assert_eq!(r.size(), 4);
+        let expect = [
+            (g.upper(2), g.lower(0)),
+            (g.upper(2), g.lower(1)),
+            (g.upper(3), g.lower(0)),
+            (g.upper(3), g.lower(1)),
+        ];
+        for (u, v) in expect {
+            let e = g.find_edge(u, v).unwrap();
+            assert!(r.contains_edge(e), "missing ({u:?},{v:?})");
+        }
+        // f(R) = w(u3, v2) = 13.
+        assert_eq!(r.min_weight(), Some(13.0));
+    }
+
+    #[test]
+    fn all_equal_weights_return_community() {
+        let mut b = GraphBuilder::new();
+        for u in 0..3 {
+            for l in 0..3 {
+                b.add_edge(u, l, 7.0);
+            }
+        }
+        let g = b.build().unwrap();
+        let idx = DeltaIndex::build(&g);
+        let c = idx.query_community(&g, g.upper(0), 2, 2);
+        let r = scs_peel(&g, &c, g.upper(0), 2, 2);
+        assert!(r.same_edges(&c));
+    }
+
+    #[test]
+    fn empty_community_empty_result() {
+        let g = figure2_example();
+        let c = Subgraph::empty(&g);
+        let r = scs_peel(&g, &c, g.upper(0), 2, 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn result_satisfies_all_constraints() {
+        let g = figure2_example();
+        let idx = DeltaIndex::build(&g);
+        for (a, b) in [(1, 1), (2, 2), (2, 3), (3, 2), (3, 3)] {
+            for qi in 0..4 {
+                let q = g.upper(qi);
+                let c = idx.query_community(&g, q, a, b);
+                if c.is_empty() {
+                    continue;
+                }
+                let r = scs_peel(&g, &c, q, a, b);
+                assert!(!r.is_empty(), "α={a} β={b} q={q:?}");
+                assert!(r.is_connected());
+                assert!(r.contains_vertex(q));
+                assert!(r.satisfies_degrees(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # datasets — synthetic analogues of the paper's evaluation datasets
+//!
+//! The paper evaluates on 11 real bipartite graphs from KONECT (Table I),
+//! up to 137M edges. Those traces cannot be redistributed or downloaded
+//! here, so this crate builds laptop-scale synthetic analogues that
+//! preserve the *relative structural properties* the experiments depend
+//! on — which side is heavy, degree skew, hub extremity, δ vs α_max —
+//! plus the MovieLens-style rating generator with planted taste
+//! communities that the effectiveness experiments (Fig. 6/7, Table II)
+//! require, and query workload sampling. See DESIGN.md §3 for the full
+//! substitution argument.
+
+pub mod catalog;
+pub mod movielens;
+pub mod workload;
+
+pub use catalog::{DatasetSpec, WeightKind};
+pub use movielens::{generate_movielens, MovieLens, MovieLensConfig, UserKind};
+pub use workload::{random_core_queries, random_vertices};

@@ -1,0 +1,78 @@
+//! Query workload generation.
+//!
+//! The paper's efficiency experiments "randomly select 100 queries and
+//! take the average" — implicitly queries that have a nonempty result at
+//! the tested (α,β). [`random_core_queries`] samples vertices from the
+//! (α,β)-core; [`random_vertices`] samples unconditionally (for
+//! robustness testing with possibly-empty answers).
+
+use bicore::abcore::abcore;
+use bigraph::{BipartiteGraph, Vertex};
+use rand::Rng;
+
+/// Samples `n` vertices uniformly from the whole graph (any side),
+/// with replacement. Empty graph yields an empty workload.
+pub fn random_vertices<R: Rng>(g: &BipartiteGraph, n: usize, rng: &mut R) -> Vec<Vertex> {
+    if g.n_vertices() == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| bigraph::Vertex(rng.gen_range(0..g.n_vertices()) as u32))
+        .collect()
+}
+
+/// Samples `n` query vertices uniformly from the (α,β)-core, with
+/// replacement, so every query has a nonempty community. Returns an
+/// empty vector when the core is empty.
+pub fn random_core_queries<R: Rng>(
+    g: &BipartiteGraph,
+    alpha: usize,
+    beta: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Vertex> {
+    let core = abcore(g, alpha, beta);
+    let members: Vec<Vertex> = core.vertices(g).collect();
+    if members.is_empty() {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| members[rng.gen_range(0..members.len())])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::generators::{complete_biclique, random_bipartite};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn core_queries_are_core_members() {
+        let mut rng = StdRng::seed_from_u64(1000);
+        let g = random_bipartite(40, 40, 300, &mut rng);
+        let qs = random_core_queries(&g, 2, 2, 50, &mut rng);
+        let core = abcore(&g, 2, 2);
+        assert!(!qs.is_empty());
+        for q in qs {
+            assert!(core.contains(q));
+        }
+    }
+
+    #[test]
+    fn empty_core_yields_empty_workload() {
+        let g = complete_biclique(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_core_queries(&g, 5, 5, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_vertices_in_range() {
+        let g = complete_biclique(3, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let vs = random_vertices(&g, 25, &mut rng);
+        assert_eq!(vs.len(), 25);
+        assert!(vs.iter().all(|v| v.index() < g.n_vertices()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Fraud detection on a customer–item purchase network — the paper's
+//! second motivating application (§I).
+//!
+//! Fraud rings form dense bipartite blocks (fake accounts boosting the
+//! same items), and because modern fraudsters use *few* accounts with
+//! *many* purchases each, the per-edge transaction counts inside the
+//! ring are unusually high. Given a suspicious item, the significant
+//! (α,β)-community pinpoints the ring while plain (α,β)-core search also
+//! drags in organically popular items.
+//!
+//! Run with: `cargo run -p scs-core --example fraud_detection --release`
+
+use bigraph::builder::{DuplicatePolicy, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scs::{Algorithm, CommunitySearch};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Organic marketplace: 400 customers × 200 items, light activity
+    // (1–3 purchases per edge).
+    let mut b = GraphBuilder::with_policy(DuplicatePolicy::Sum);
+    for _ in 0..3_000 {
+        let c = rng.gen_range(0..400);
+        let i = rng.gen_range(0..200);
+        b.add_edge(c, i, rng.gen_range(1..=3) as f64);
+    }
+    // Fraud ring: customers 400..408 boost items 200..206 with heavy
+    // repeat purchases (15–30 each).
+    for c in 400..408 {
+        for i in 200..206 {
+            b.add_edge(c, i, rng.gen_range(15..=30) as f64);
+        }
+        // Camouflage: each fake account also buys a few normal items.
+        for _ in 0..4 {
+            b.add_edge(c, rng.gen_range(0..200), rng.gen_range(1..=2) as f64);
+        }
+    }
+    let g = b.build().expect("sum policy absorbs duplicates");
+    println!("marketplace graph: {}", g.summary());
+
+    let search = CommunitySearch::new(g);
+    let suspicious_item = search.graph().lower(203);
+    println!("investigating item #203 (δ = {})", search.delta());
+
+    // Ring members each bought ≥ 5 boosted items, boosted items were each
+    // bought by ≥ 5 ring members.
+    let (alpha, beta) = (5, 5);
+    let structural = search.community(suspicious_item, alpha, beta);
+    let ring = search.significant_community(suspicious_item, alpha, beta, Algorithm::Expand);
+
+    let (s_users, s_items) = structural.layer_vertices();
+    let (r_users, r_items) = ring.layer_vertices();
+    println!(
+        "\n(5,5)-community: {} customers, {} items, min weight {:.0}",
+        s_users.len(),
+        s_items.len(),
+        structural.min_weight().unwrap()
+    );
+    println!(
+        "significant (5,5)-community: {} customers, {} items, min weight {:.0}",
+        r_users.len(),
+        r_items.len(),
+        ring.min_weight().unwrap()
+    );
+
+    let flagged: Vec<usize> = r_users
+        .iter()
+        .map(|&u| search.graph().local_index(u))
+        .collect();
+    println!("flagged accounts: {flagged:?}");
+    assert!(
+        flagged.iter().all(|&c| c >= 400),
+        "significant community should contain only ring accounts"
+    );
+    // Maximizing the minimum weight may trim ring members whose weakest
+    // boost is below f(R); the point is zero false positives and a
+    // recovered core.
+    assert!(flagged.len() >= 5, "most of the ring recovered");
+    println!(
+        "\n{} of 8 planted fraud accounts recovered, 0 false positives ✓",
+        flagged.len()
+    );
+}

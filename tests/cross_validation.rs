@@ -1,0 +1,153 @@
+//! Cross-validation of every retrieval path and every SCS algorithm
+//! against each other and against the definition-level oracle, across
+//! random graphs, weight models, and parameter ranges.
+
+use bicore::abcore::abcore_community;
+use bicore::bicore_index::BicoreIndex;
+use bigraph::generators::random_bipartite;
+use bigraph::weights::WeightModel;
+use bigraph::{BipartiteGraph, Side};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scs::query::oracle::verify_significant;
+use scs::query::{scs_baseline, scs_binary, scs_expand, scs_peel};
+use scs::{BasicIndex, DeltaIndex};
+
+fn weighted_random(seed: u64, n: usize, m: usize, model: &WeightModel) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = random_bipartite(n, n, m, &mut rng);
+    model.apply(&g, &mut rng)
+}
+
+#[test]
+fn all_community_retrieval_paths_agree() {
+    for seed in 0..3u64 {
+        let g = weighted_random(seed, 24, 170, &WeightModel::Uniform { lo: 0.0, hi: 1.0 });
+        let ia = BasicIndex::build(&g, Side::Upper);
+        let ib = BasicIndex::build(&g, Side::Lower);
+        let iv = BicoreIndex::build(&g);
+        let id = DeltaIndex::build(&g);
+        for a in 1..=5 {
+            for b in 1..=5 {
+                for v in g.vertices().step_by(7) {
+                    let qo = abcore_community(&g, v, a, b);
+                    let qv = iv.query_community(&g, v, a, b);
+                    let qa = ia.query_community(&g, v, a, b);
+                    let qb = ib.query_community(&g, v, a, b);
+                    let qd = id.query_community(&g, v, a, b);
+                    assert!(qv.same_edges(&qo), "Qv ≠ Qo at α={a} β={b} {v:?}");
+                    assert!(qa.same_edges(&qo), "Iα_bs ≠ Qo at α={a} β={b} {v:?}");
+                    assert!(qb.same_edges(&qo), "Iβ_bs ≠ Qo at α={a} β={b} {v:?}");
+                    assert!(qd.same_edges(&qo), "Qopt ≠ Qo at α={a} β={b} {v:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_scs_algorithms_agree_and_verify() {
+    let models = [
+        WeightModel::Uniform { lo: 0.0, hi: 1.0 },
+        WeightModel::Ratings { levels: 5 },
+        WeightModel::AllEqual { value: 2.0 },
+    ];
+    for (mi, model) in models.iter().enumerate() {
+        let g = weighted_random(40 + mi as u64, 22, 160, model);
+        let id = DeltaIndex::build(&g);
+        for a in 1..=3 {
+            for b in 1..=3 {
+                for v in g.vertices().step_by(9) {
+                    let c = id.query_community(&g, v, a, b);
+                    let rp = scs_peel(&g, &c, v, a, b);
+                    if c.is_empty() {
+                        assert!(rp.is_empty());
+                        continue;
+                    }
+                    let re = scs_expand(&g, &c, v, a, b);
+                    let rb = scs_binary(&g, &c, v, a, b);
+                    let rbl = scs_baseline(&g, v, a, b);
+                    assert!(re.same_edges(&rp), "expand≠peel {model:?} α={a} β={b} {v:?}");
+                    assert!(rb.same_edges(&rp), "binary≠peel {model:?} α={a} β={b} {v:?}");
+                    assert!(rbl.same_edges(&rp), "baseline≠peel {model:?} α={a} β={b} {v:?}");
+                    verify_significant(&g, &c, v, a, b, &rp)
+                        .unwrap_or_else(|e| panic!("oracle rejects peel result: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_weights_and_rwr() {
+    // The two weight models that produce many distinct, clustered values.
+    let models = [
+        WeightModel::SkewNormal {
+            location: 0.0,
+            scale: 1.0,
+            shape: 5.0,
+        },
+        WeightModel::RandomWalk {
+            restart: 0.2,
+            steps_per_vertex: 80,
+            scale: 10.0,
+        },
+    ];
+    for (mi, model) in models.iter().enumerate() {
+        let g = weighted_random(70 + mi as u64, 18, 120, model);
+        let id = DeltaIndex::build(&g);
+        for (a, b) in [(2usize, 2usize), (2, 3), (3, 2)] {
+            for v in g.vertices().step_by(11) {
+                let c = id.query_community(&g, v, a, b);
+                if c.is_empty() {
+                    continue;
+                }
+                let rp = scs_peel(&g, &c, v, a, b);
+                let re = scs_expand(&g, &c, v, a, b);
+                assert!(re.same_edges(&rp));
+                verify_significant(&g, &c, v, a, b, &re).expect("oracle accepts");
+            }
+        }
+    }
+}
+
+#[test]
+fn asymmetric_parameters() {
+    // Exercise β < α (the Iβ_δ half of the index) and extreme asymmetry.
+    let g = weighted_random(123, 30, 260, &WeightModel::Uniform { lo: 1.0, hi: 2.0 });
+    let id = DeltaIndex::build(&g);
+    for (a, b) in [(1usize, 6usize), (6, 1), (2, 5), (5, 2), (1, 1)] {
+        for v in g.vertices().step_by(13) {
+            let c = id.query_community(&g, v, a, b);
+            let online = abcore_community(&g, v, a, b);
+            assert!(c.same_edges(&online), "α={a} β={b}");
+            if c.is_empty() {
+                continue;
+            }
+            let rp = scs_peel(&g, &c, v, a, b);
+            verify_significant(&g, &c, v, a, b, &rp).expect("oracle accepts");
+        }
+    }
+}
+
+#[test]
+fn dense_graph_stress() {
+    // Near-complete graph: large δ relative to size, deep peeling.
+    let g = weighted_random(321, 12, 130, &WeightModel::Ratings { levels: 3 });
+    let id = DeltaIndex::build(&g);
+    let delta = id.delta();
+    assert!(delta >= 4, "expected a dense core, got δ={delta}");
+    for a in (1..=delta).step_by(2) {
+        for b in (1..=delta).step_by(2) {
+            for v in g.vertices().step_by(5) {
+                let c = id.query_community(&g, v, a, b);
+                if c.is_empty() {
+                    continue;
+                }
+                let rp = scs_peel(&g, &c, v, a, b);
+                let re = scs_expand(&g, &c, v, a, b);
+                assert!(re.same_edges(&rp));
+            }
+        }
+    }
+}

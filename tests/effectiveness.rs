@@ -1,0 +1,172 @@
+//! Statistical effectiveness tests: across seeds, the significant
+//! (α,β)-community model recovers planted structure better than the
+//! purely structural and purely weight-based alternatives — the claim
+//! behind the paper's Fig. 6 / Table II, tested as invariants instead of
+//! one-off numbers.
+
+use bigraph::generators::{planted_communities, PlantedConfig};
+use bigraph::metrics::dislike_fraction;
+use bigraph::projection::{project, ProjectionWeight};
+use bigraph::weights::WeightModel;
+use bigraph::Side;
+use datasets::{generate_movielens, MovieLensConfig, UserKind};
+use scs::{Algorithm, CommunitySearch};
+
+#[test]
+fn sc_excludes_grumps_across_seeds() {
+    for seed in [1u64, 7, 23] {
+        let ml = generate_movielens(&MovieLensConfig {
+            n_genres: 2,
+            movies_per_genre: 30,
+            fans_per_genre: 40,
+            grumps_per_genre: 12,
+            n_casuals: 60,
+            ratings_per_fan: 18,
+            ratings_per_casual: 4,
+            seed,
+        });
+        let (g, user_map, _) = ml.extract_genre(0);
+        let search = CommunitySearch::new(g);
+        let delta = search.delta();
+        let t = ((delta as f64 * 0.7).round() as usize).max(2);
+        let q_ui = user_map
+            .iter()
+            .position(|&o| o == ml.graph.local_index(ml.some_fan(0)))
+            .unwrap();
+        let q = search.graph().upper(q_ui);
+
+        let core = search.community(q, t, t);
+        let sc = search.significant_community(q, t, t, Algorithm::Auto);
+        assert!(!sc.is_empty(), "seed {seed}");
+
+        // Count planted grumps inside each community.
+        let count_grumps = |sub: &bigraph::Subgraph<'_>| {
+            sub.layer_vertices()
+                .0
+                .iter()
+                .filter(|&&u| {
+                    let orig = user_map[search.graph().local_index(u)];
+                    matches!(ml.user_kind[orig], UserKind::Grump(_))
+                })
+                .count()
+        };
+        let grumps_core = count_grumps(&core);
+        let grumps_sc = count_grumps(&sc);
+        assert!(
+            grumps_sc < grumps_core || grumps_core == 0,
+            "seed {seed}: SC keeps {grumps_sc} grumps, core has {grumps_core}"
+        );
+        assert_eq!(grumps_sc, 0, "seed {seed}: SC must exclude every grump");
+
+        // Fans dominate SC.
+        let fans_sc = sc
+            .layer_vertices()
+            .0
+            .iter()
+            .filter(|&&u| {
+                let orig = user_map[search.graph().local_index(u)];
+                matches!(ml.user_kind[orig], UserKind::Fan(_))
+            })
+            .count();
+        assert!(fans_sc * 10 >= sc.layer_vertices().0.len() * 9, "seed {seed}");
+
+        // Dislike metric strictly better (or equal when core is clean).
+        let d_sc = dislike_fraction(&sc, 4.0, 0.6 * t as f64);
+        let d_core = dislike_fraction(&core, 4.0, 0.6 * t as f64);
+        assert!(d_sc <= d_core, "seed {seed}: {d_sc} vs {d_core}");
+    }
+}
+
+#[test]
+fn sc_recovers_planted_heavy_block() {
+    // Planted dense blocks with distinct weight levels: block 0 gets
+    // heavy weights, the rest light. SC from a block-0 vertex recovers
+    // block 0 only.
+    for seed in [3u64, 11] {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = PlantedConfig {
+            n_blocks: 3,
+            block_upper: 12,
+            block_lower: 10,
+            p_in: 0.75,
+            noise_upper: 20,
+            noise_lower: 20,
+            p_out: 0.02,
+        };
+        let pg = planted_communities(&cfg, &mut rng);
+        let weighted = pg.graph.reweighted(|_, (u, l), _| {
+            let heavy = pg.block_of(u) == Some(0) && pg.block_of(l) == Some(0);
+            if heavy {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        let search = CommunitySearch::new(weighted);
+        // Pick a block-0 vertex that actually sits in the (4,4)-core
+        // (random generation can leave individual vertices underweight).
+        let q = (0..cfg.block_upper)
+            .map(|i| search.graph().upper(i))
+            .find(|&v| !search.community(v, 4, 4).is_empty())
+            .unwrap_or_else(|| panic!("seed {seed}: no block-0 vertex in the (4,4)-core"));
+        let r = search.significant_community(q, 4, 4, Algorithm::Auto);
+        assert!(!r.is_empty(), "seed {seed}");
+        assert_eq!(r.min_weight(), Some(10.0), "seed {seed}");
+        for v in r.vertices() {
+            assert_eq!(
+                pg.block_of(v),
+                Some(0),
+                "seed {seed}: SC leaked outside block 0"
+            );
+        }
+    }
+}
+
+#[test]
+fn weight_model_invariance_of_structure() {
+    // Reweighting must not change step-1 communities (they are
+    // structural), only step-2 results.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    let g0 = bigraph::generators::random_bipartite(30, 30, 220, &mut rng);
+    let g1 = WeightModel::Uniform { lo: 0.0, hi: 1.0 }.apply(&g0, &mut rng);
+    let g2 = WeightModel::Ratings { levels: 5 }.apply(&g0, &mut rng);
+    let s1 = CommunitySearch::new(g1);
+    let s2 = CommunitySearch::new(g2);
+    assert_eq!(s1.delta(), s2.delta());
+    for a in 1..=3 {
+        for b in 1..=3 {
+            for vi in (0..30).step_by(7) {
+                let c1 = s1.community(s1.graph().upper(vi), a, b);
+                let c2 = s2.community(s2.graph().upper(vi), a, b);
+                assert_eq!(c1.edges(), c2.edges());
+            }
+        }
+    }
+}
+
+#[test]
+fn projection_explodes_on_movielens() {
+    // The §VI argument for working natively on the bipartite graph: the
+    // one-mode projection of the genre subgraph has far more edges.
+    let ml = generate_movielens(&MovieLensConfig {
+        n_genres: 1,
+        movies_per_genre: 30,
+        fans_per_genre: 60,
+        grumps_per_genre: 15,
+        n_casuals: 40,
+        ratings_per_fan: 15,
+        ratings_per_casual: 4,
+        seed: 2,
+    });
+    let (g, _, _) = ml.extract_genre(0);
+    let p = project(&g, Side::Upper, ProjectionWeight::CommonNeighbors);
+    assert!(
+        p.explosion_factor(&g) > 2.0,
+        "projection should blow up the edge count (factor {})",
+        p.explosion_factor(&g)
+    );
+}

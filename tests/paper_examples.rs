@@ -1,0 +1,134 @@
+//! Integration tests pinning down every concrete number the paper states
+//! about its running examples (Figures 1–5, Examples 1–3).
+
+use bigraph::builder::{figure1_example, figure2_example};
+use bigraph::Side;
+use scs::{Algorithm, BasicIndex, CommunitySearch, DeltaIndex};
+
+#[test]
+fn figure2_graph_counts() {
+    let g = figure2_example();
+    // "Figure 2(a) shows the graph G with 2,003 edges."
+    assert_eq!(g.n_edges(), 2003);
+    assert_eq!(g.n_upper(), 999);
+    assert_eq!(g.n_lower(), 999);
+}
+
+#[test]
+fn figure2_significant_community_needs_1999_removals() {
+    // "We need to remove 1,999 edges from G to get the significant
+    // (2,2)-community of u3 with only 4 edges."
+    let g = figure2_example();
+    let search = CommunitySearch::new(g);
+    let q = search.graph().upper(2);
+    let r = search.significant_community(q, 2, 2, Algorithm::Peel);
+    assert_eq!(r.size(), 4);
+    assert_eq!(search.graph().n_edges() - r.size(), 1999);
+}
+
+#[test]
+fn figure2_community_smaller_than_graph() {
+    // "Figure 2(b) shows the (2,2)-community of u3 ... much smaller than
+    // the original graph G."
+    let g = figure2_example();
+    let search = CommunitySearch::new(g);
+    let c = search.community(search.graph().upper(2), 2, 2);
+    assert_eq!(c.size(), 13);
+    assert!(c.size() * 100 < search.graph().n_edges());
+}
+
+#[test]
+fn paper_example_1() {
+    // Example 1: the significant (2,2)-community of u3 is formed by the
+    // edges (u3,v1), (u3,v2), (u4,v1), (u4,v2).
+    let g = figure2_example();
+    let search = CommunitySearch::new(g);
+    let gref = search.graph();
+    let q = gref.upper(2);
+    for algo in [Algorithm::Peel, Algorithm::Expand, Algorithm::Binary, Algorithm::Baseline] {
+        let r = search.significant_community(q, 2, 2, algo);
+        let mut edges: Vec<(usize, usize)> = r
+            .edges()
+            .iter()
+            .map(|&e| {
+                let (u, v) = gref.endpoints(e);
+                (gref.local_index(u) + 1, gref.local_index(v) + 1)
+            })
+            .collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(3, 1), (3, 2), (4, 1), (4, 2)], "{algo:?}");
+    }
+}
+
+#[test]
+fn paper_example_2_and_3_c33_of_u1() {
+    // Examples 2 & 3: C_{3,3}(u1) reached via both the basic index and
+    // Iδ contains u1,u2,u3 × v1,v2,v3 (9 edges).
+    let g = figure2_example();
+    let ia = BasicIndex::build(&g, Side::Upper);
+    let id = DeltaIndex::build(&g);
+    let q = g.upper(0);
+    for c in [ia.query_community(&g, q, 3, 3), id.query_community(&g, q, 3, 3)] {
+        assert_eq!(c.size(), 9);
+        let (us, vs) = c.layer_vertices();
+        let us: Vec<usize> = us.iter().map(|&v| g.local_index(v) + 1).collect();
+        let vs: Vec<usize> = vs.iter().map(|&v| g.local_index(v) + 1).collect();
+        assert_eq!(us, vec![1, 2, 3]);
+        assert_eq!(vs, vec![1, 2, 3]);
+    }
+}
+
+#[test]
+fn figure2_delta_is_3_and_index_layout() {
+    // §I: "Iδ only needs to store (1,1)-core, (2,2)-core and (3,3)-core
+    // since δ = 3", vs Iα_bs storing (1,1)..(999,1).
+    let g = figure2_example();
+    let id = DeltaIndex::build(&g);
+    assert_eq!(id.delta(), 3);
+    let ia = BasicIndex::build(&g, Side::Upper);
+    assert_eq!(ia.k_max(), 999);
+    assert!(id.heap_bytes() < ia.heap_bytes() / 10);
+}
+
+#[test]
+fn figure1_significant_community_of_eric() {
+    // §I: the (3,2)-community of Eric contains all users/movies on the
+    // left; the significant (3,2)-community excludes "Alien" (movie 1)
+    // and "Taylor" (user 0).
+    let g = figure1_example();
+    let search = CommunitySearch::new(g);
+    let gref = search.graph();
+    let eric = gref.upper(2);
+
+    let c = search.community(eric, 3, 2);
+    assert!(c.contains_vertex(gref.upper(0)), "Taylor in the structural community");
+    assert!(c.contains_vertex(gref.lower(1)), "Alien in the structural community");
+
+    let r = search.significant_community(eric, 3, 2, Algorithm::Auto);
+    assert!(!r.is_empty());
+    assert!(!r.contains_vertex(gref.upper(0)), "Taylor excluded from SC");
+    assert!(!r.contains_vertex(gref.lower(1)), "Alien excluded from SC");
+    assert!(r.contains_vertex(gref.upper(1)), "Kane kept");
+    assert!(r.contains_vertex(gref.upper(3)), "Andy kept");
+    assert!(r.min_weight().unwrap() >= 4.0);
+}
+
+#[test]
+fn lemma_1_uniqueness_subgraph_relation() {
+    // Lemma 1: R is unique and a subgraph of C_{α,β}(q) — check the
+    // subgraph relation on the running example for several parameters.
+    let g = figure2_example();
+    let search = CommunitySearch::new(g);
+    for (a, b) in [(1usize, 1usize), (2, 2), (1, 3), (3, 1), (3, 3)] {
+        for qi in 0..4 {
+            let q = search.graph().upper(qi);
+            let c = search.community(q, a, b);
+            let r = search.significant_community(q, a, b, Algorithm::Peel);
+            assert!(
+                r.edges().iter().all(|e| c.contains_edge(*e)),
+                "R ⊆ C violated at α={a} β={b} q=u{}",
+                qi + 1
+            );
+        }
+    }
+}
