@@ -28,20 +28,12 @@ fn bench_index_build(c: &mut Criterion) {
         let budget = g.n_edges() * 60;
         group.bench_with_input(BenchmarkId::new("Ia_bs", name), &g, |b, g| {
             b.iter(|| {
-                let _ = std::hint::black_box(BasicIndex::build_with_budget(
-                    g,
-                    Side::Upper,
-                    budget,
-                ));
+                let _ = std::hint::black_box(BasicIndex::build_with_budget(g, Side::Upper, budget));
             })
         });
         group.bench_with_input(BenchmarkId::new("Ib_bs", name), &g, |b, g| {
             b.iter(|| {
-                let _ = std::hint::black_box(BasicIndex::build_with_budget(
-                    g,
-                    Side::Lower,
-                    budget,
-                ));
+                let _ = std::hint::black_box(BasicIndex::build_with_budget(g, Side::Lower, budget));
             })
         });
     }

@@ -26,11 +26,10 @@ fn main() {
         let (ra, t_ia) = time(|| BasicIndex::build_with_budget(&g, Side::Upper, budget));
         let (rb, t_ib) = time(|| BasicIndex::build_with_budget(&g, Side::Lower, budget));
         let (_, t_id) = time(|| std::hint::black_box(DeltaIndex::build(&g)));
-        let fmt_basic = |r: &Result<BasicIndex, scs::index::BudgetExceeded>, t: std::time::Duration| {
-            match r {
-                Ok(_) => fmt_secs(t.as_secs_f64()),
-                Err(_) => "INF".to_string(),
-            }
+        let fmt_basic = |r: &Result<BasicIndex, scs::index::BudgetExceeded>,
+                         t: std::time::Duration| match r {
+            Ok(_) => fmt_secs(t.as_secs_f64()),
+            Err(_) => "INF".to_string(),
         };
         print_row(
             &[

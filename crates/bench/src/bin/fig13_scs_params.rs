@@ -68,17 +68,29 @@ fn main() {
         let delta = id.delta().max(2);
         let sc = |c: f64| ((delta as f64 * c).round() as usize).max(1);
         println!("\n=== {name} (δ = {delta}) ===");
-        sweep(&g, &id, &cfg, &format!("(a/b) {name}: α = β = c·δ"), |c| {
-            (sc(c), sc(c))
-        });
+        sweep(
+            &g,
+            &id,
+            &cfg,
+            &format!("(a/b) {name}: α = β = c·δ"),
+            |c| (sc(c), sc(c)),
+        );
         if fix_beta {
-            sweep(&g, &id, &cfg, &format!("(c) {name}: α = c·δ, β = 0.5·δ"), |c| {
-                (sc(c), sc(0.5))
-            });
+            sweep(
+                &g,
+                &id,
+                &cfg,
+                &format!("(c) {name}: α = c·δ, β = 0.5·δ"),
+                |c| (sc(c), sc(0.5)),
+            );
         } else {
-            sweep(&g, &id, &cfg, &format!("(d) {name}: α = 0.5·δ, β = c·δ"), |c| {
-                (sc(0.5), sc(c))
-            });
+            sweep(
+                &g,
+                &id,
+                &cfg,
+                &format!("(d) {name}: α = 0.5·δ, β = c·δ"),
+                |c| (sc(0.5), sc(c)),
+            );
         }
     }
     println!("\nExpected shape: expand wins at small c (big community, small R);");

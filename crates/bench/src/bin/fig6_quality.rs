@@ -10,7 +10,9 @@
 
 use bigraph::metrics::{bipartite_density, dislike_fraction};
 use bigraph::Subgraph;
-use cohesion::{bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community};
+use cohesion::{
+    bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community,
+};
 use datasets::{generate_movielens, MovieLensConfig};
 use scs::{Algorithm, CommunitySearch};
 use scs_bench::*;

@@ -69,9 +69,14 @@ fn main() {
         let delta = id.delta().max(2);
         let scale_c = |c: f64| ((delta as f64 * c).round() as usize).max(1);
         println!("\n=== {name} (δ = {delta}) ===");
-        sweep(&g, &iv, &id, &cfg, &format!("(a/b) {name}: α = β = c·δ"), |c| {
-            (scale_c(c), scale_c(c))
-        });
+        sweep(
+            &g,
+            &iv,
+            &id,
+            &cfg,
+            &format!("(a/b) {name}: α = β = c·δ"),
+            |c| (scale_c(c), scale_c(c)),
+        );
         sweep(
             &g,
             &iv,

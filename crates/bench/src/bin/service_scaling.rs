@@ -1,0 +1,82 @@
+//! Serving-throughput scaling: replays the same workload through the
+//! `scs-service` engine with 1/2/4/8 workers and reports QPS, speedup
+//! over the single-worker run, latency quantiles and cache hit rate.
+//!
+//! Knobs: `SCS_SCALE` (dataset scale, default 0.05 here — serving runs
+//! live on a bigger graph than the micro-benches), `SCS_SEED`,
+//! `SCS_QUERIES` (workload size, default 2000 here), `SCS_DATASET`
+//! (analogue name, default `ML`).
+
+use scs::{Algorithm, CommunitySearch};
+use scs_bench::{load_dataset, print_table, Config};
+use scs_service::{build_workload, replay, QueryEngine, ServiceConfig, WorkloadSpec};
+
+fn main() {
+    let mut cfg = Config::from_env();
+    if std::env::var("SCS_SCALE").is_err() {
+        cfg.scale = 0.05;
+    }
+    if std::env::var("SCS_QUERIES").is_err() {
+        cfg.n_queries = 2000;
+    }
+    let dataset = std::env::var("SCS_DATASET").unwrap_or_else(|_| "ML".into());
+
+    let g = load_dataset(&cfg, &dataset);
+    println!("service_scaling on {dataset}: {}", g.summary());
+    let search = CommunitySearch::shared(g);
+    let spec = WorkloadSpec {
+        n_queries: cfg.n_queries,
+        alpha: 2,
+        beta: 2,
+        algo: Algorithm::Auto,
+        repeat_fraction: 0.5,
+        seed: cfg.seed,
+    };
+    let workload = build_workload(&search, &spec);
+    if workload.is_empty() {
+        eprintln!("(2,2)-core is empty at this scale; raise SCS_SCALE");
+        std::process::exit(1);
+    }
+    println!(
+        "workload: {} queries, repeat fraction {:.2}, seed {}\n",
+        workload.len(),
+        spec.repeat_fraction,
+        spec.seed
+    );
+
+    let header = [
+        "workers",
+        "QPS",
+        "speedup",
+        "p50 µs",
+        "p99 µs",
+        "hit rate",
+        "coalesced",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut baseline_qps = None;
+    for workers in [1usize, 2, 4, 8] {
+        let engine = QueryEngine::start(
+            search.clone(),
+            ServiceConfig {
+                workers,
+                cache_capacity: 4096,
+                cache_shards: 16,
+            },
+        );
+        let (report, _) = replay(&engine, &workload, workers * 2);
+        engine.shutdown();
+        let qps = report.replay_qps;
+        let base = *baseline_qps.get_or_insert(qps);
+        rows.push(vec![
+            workers.to_string(),
+            format!("{qps:.0}"),
+            format!("{:.2}x", qps / base),
+            report.stats.p50_us.to_string(),
+            report.stats.p99_us.to_string(),
+            format!("{:.1}%", report.stats.cache.hit_rate() * 100.0),
+            report.stats.coalesced.to_string(),
+        ]);
+    }
+    print_table(&header, &rows);
+}

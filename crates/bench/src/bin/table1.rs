@@ -10,10 +10,15 @@ use scs_bench::{dataset_names, load_dataset, print_header, print_row, Config};
 
 fn main() {
     let cfg = Config::from_env();
-    println!("Table I: summary of dataset analogues (scale={})\n", cfg.scale);
+    println!(
+        "Table I: summary of dataset analogues (scale={})\n",
+        cfg.scale
+    );
     let widths = [8, 9, 9, 9, 6, 8, 8, 9];
     print_header(
-        &["Dataset", "|E|", "|U|", "|L|", "δ", "αmax", "βmax", "|Rδ,δ|"],
+        &[
+            "Dataset", "|E|", "|U|", "|L|", "δ", "αmax", "βmax", "|Rδ,δ|",
+        ],
         &widths,
     );
     for name in dataset_names() {

@@ -6,7 +6,9 @@
 
 use bigraph::metrics::{community_stats, jaccard_similarity, mean_upper_vertex_weight};
 use bigraph::Subgraph;
-use cohesion::{bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community};
+use cohesion::{
+    bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community,
+};
 use datasets::{generate_movielens, MovieLensConfig};
 use scs::{Algorithm, CommunitySearch};
 use scs_bench::*;
@@ -33,12 +35,15 @@ fn main() {
     let core = search.community(q, t, t);
     let phi = bitruss_decomposition(&g);
     let bt = bitruss_community(&g, &phi, q, (t * t) as u64);
-    let bc = maximal_biclique_containing(&g, q, t.min(8), t.min(8), 300_000)
-        .map(|b| b.to_subgraph(&g));
+    let bc =
+        maximal_biclique_containing(&g, q, t.min(8), t.min(8), 300_000).map(|b| b.to_subgraph(&g));
     let c4 = threshold_community(&g, q, 4.0);
 
     let widths = [12, 7, 7, 7, 7, 8, 8];
-    print_header(&["Model", "|U|", "|M|", "Ravg", "Rmin", "Mavg", "Sim(%)"], &widths);
+    print_header(
+        &["Model", "|U|", "|M|", "Ravg", "Rmin", "Mavg", "Sim(%)"],
+        &widths,
+    );
     let models: Vec<(&str, Option<&Subgraph>)> = vec![
         ("SC", Some(&sc)),
         ("(α,β)-core", Some(&core)),

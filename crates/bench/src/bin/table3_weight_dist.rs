@@ -46,7 +46,10 @@ fn main() {
         }));
         rows.push([fmt_secs(bl), fmt_secs(pe), fmt_secs(ex)]);
     }
-    for (i, algo) in ["SCS-Baseline", "SCS-Peel", "SCS-Expand"].iter().enumerate() {
+    for (i, algo) in ["SCS-Baseline", "SCS-Peel", "SCS-Expand"]
+        .iter()
+        .enumerate()
+    {
         let cells: Vec<String> = std::iter::once(algo.to_string())
             .chain(rows.iter().map(|r| r[i].clone()))
             .collect();

@@ -131,6 +131,25 @@ pub fn print_header(cells: &[&str], widths: &[usize]) {
     println!("{}", "-".repeat(total));
 }
 
+/// Prints a whole table, sizing each column to its widest cell.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    print_header(header, &widths);
+    for row in rows {
+        print_row(row, &widths);
+    }
+}
+
 /// The `α = β = 0.7·δ` rule the paper uses for the all-datasets
 /// experiments (Figs. 8 and 12), with a floor of 2.
 pub fn default_params(delta: usize) -> usize {

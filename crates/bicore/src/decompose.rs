@@ -299,6 +299,7 @@ mod tests {
             assert_eq!(off3[v(k).index()], 3, "v{k}");
         }
         assert_eq!(off3[u(4).index()], 0); // deg(u4)=2 < 3: never in a (3,·)-core
+
         // α=1: a vertex stays in the (1,β)-core as long as *one* neighbor
         // survives; v1 keeps degree 999 forever, so everyone adjacent to
         // v1 — u1 included — survives to β = 999.

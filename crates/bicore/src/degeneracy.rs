@@ -74,10 +74,7 @@ pub fn unipartite_core_numbers(g: &BipartiteGraph) -> Vec<u32> {
 /// The degeneracy δ of `g`: the largest τ such that the (τ,τ)-core is
 /// nonempty. Returns 0 for an edgeless graph.
 pub fn degeneracy(g: &BipartiteGraph) -> usize {
-    unipartite_core_numbers(g)
-        .into_iter()
-        .max()
-        .unwrap_or(0) as usize
+    unipartite_core_numbers(g).into_iter().max().unwrap_or(0) as usize
 }
 
 #[cfg(test)]
@@ -138,7 +135,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(32);
         let g = random_bipartite(80, 80, 1200, &mut rng);
         let d = degeneracy(&g);
-        assert!((d * d) as usize <= g.n_edges(), "δ²={} > m={}", d * d, g.n_edges());
+        assert!(
+            (d * d) as usize <= g.n_edges(),
+            "δ²={} > m={}",
+            d * d,
+            g.n_edges()
+        );
     }
 
     #[test]

@@ -196,11 +196,9 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        let err =
-            read_edgelist("0 x 1\n".as_bytes(), &ReadOptions::default()).unwrap_err();
+        let err = read_edgelist("0 x 1\n".as_bytes(), &ReadOptions::default()).unwrap_err();
         assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));
-        let err =
-            read_edgelist("0 1 abc\n".as_bytes(), &ReadOptions::default()).unwrap_err();
+        let err = read_edgelist("0 1 abc\n".as_bytes(), &ReadOptions::default()).unwrap_err();
         assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));
         let err = read_edgelist("0\n".as_bytes(), &ReadOptions::default()).unwrap_err();
         assert!(matches!(err, EdgeListError::Parse { line: 1, .. }));

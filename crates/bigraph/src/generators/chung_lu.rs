@@ -57,7 +57,10 @@ impl CumTable {
         let mut cum = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "degree weights must be finite and >= 0");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "degree weights must be finite and >= 0"
+            );
             acc += w;
             cum.push(acc);
         }

@@ -76,24 +76,18 @@ pub fn project(g: &BipartiteGraph, side: Side, weighting: ProjectionWeight) -> P
         let eids = g.incident_edges(w);
         for i in 0..nbrs.len() {
             for j in (i + 1)..nbrs.len() {
-                let (a, b) = (
-                    g.local_index(nbrs[i]) as u32,
-                    g.local_index(nbrs[j]) as u32,
-                );
+                let (a, b) = (g.local_index(nbrs[i]) as u32, g.local_index(nbrs[j]) as u32);
                 let key = if a < b { (a, b) } else { (b, a) };
                 let contribution = match weighting {
                     ProjectionWeight::CommonNeighbors => 1.0,
                     ProjectionWeight::Newman => 1.0 / (deg - 1) as f64,
-                    ProjectionWeight::MinWeightSum => {
-                        g.weight(eids[i]).min(g.weight(eids[j]))
-                    }
+                    ProjectionWeight::MinWeightSum => g.weight(eids[i]).min(g.weight(eids[j])),
                 };
                 *acc.entry(key).or_insert(0.0) += contribution;
             }
         }
     }
-    let mut edges: Vec<(u32, u32, Weight)> =
-        acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    let mut edges: Vec<(u32, u32, Weight)> = acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
     edges.sort_unstable_by_key(|e| (e.0, e.1));
     let n = match side {
         Side::Upper => g.n_upper(),

@@ -29,7 +29,7 @@ impl<'g> Subgraph<'g> {
     pub fn from_edges(graph: &'g BipartiteGraph, mut edges: Vec<EdgeId>) -> Self {
         edges.sort_unstable();
         edges.dedup();
-        debug_assert!(edges.last().map_or(true, |e| e.index() < graph.n_edges()));
+        debug_assert!(edges.last().is_none_or(|e| e.index() < graph.n_edges()));
         Subgraph { graph, edges }
     }
 
@@ -239,7 +239,11 @@ impl<'g> Subgraph<'g> {
         let mut queue: VecDeque<Vertex> = deg
             .iter()
             .filter(|(v, d)| {
-                let need = if self.graph.is_upper(**v) { alpha } else { beta };
+                let need = if self.graph.is_upper(**v) {
+                    alpha
+                } else {
+                    beta
+                };
                 (**d as usize) < need
             })
             .map(|(v, _)| *v)
@@ -256,7 +260,11 @@ impl<'g> Subgraph<'g> {
                 }
                 let d = deg.get_mut(&nbr).expect("endpoint of live edge has degree");
                 *d -= 1;
-                let need = if self.graph.is_upper(nbr) { alpha } else { beta };
+                let need = if self.graph.is_upper(nbr) {
+                    alpha
+                } else {
+                    beta
+                };
                 if (*d as usize) < need && !dead.contains_key(&nbr) {
                     queue.push_back(nbr);
                 }

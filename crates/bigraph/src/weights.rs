@@ -308,7 +308,10 @@ mod tests {
 
     #[test]
     fn tags() {
-        for (m, t) in WeightModel::table3_models().iter().zip(["AE", "RW", "UF", "SK"]) {
+        for (m, t) in WeightModel::table3_models()
+            .iter()
+            .zip(["AE", "RW", "UF", "SK"])
+        {
             assert_eq!(m.tag(), t);
         }
     }

@@ -7,6 +7,9 @@
 //! * `search <edgelist> <side:q> <alpha> <beta> [--algo ...]` — the
 //!   significant (α,β)-community;
 //! * `index <edgelist> <out.scsidx>` — build and save the `Iδ` index;
+//! * `serve-bench <edgelist> [--threads N] [--queries K] ...` — replay a
+//!   generated query workload through the concurrent `scs-service`
+//!   engine and print the QPS/latency/cache stats table;
 //!
 //! Query vertices are written `u:<i>` or `l:<j>` (side-local 0-based
 //! indices). Edge lists are whitespace-separated `upper lower [weight]`
@@ -52,6 +55,33 @@ pub enum Command {
     },
     /// Write the 11 synthetic dataset analogues as edge lists.
     Generate(GenerateArgs),
+    /// Replay a generated workload through the concurrent query engine.
+    ServeBench(ServeBenchArgs),
+}
+
+/// Arguments of `scs serve-bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchArgs {
+    /// Edge-list path.
+    pub path: String,
+    /// KONECT-style 1-based ids.
+    pub one_based: bool,
+    /// Worker threads in the engine.
+    pub threads: usize,
+    /// Queries in the replayed workload.
+    pub queries: usize,
+    /// Client threads submitting the workload.
+    pub clients: usize,
+    /// Degree constraint for upper vertices.
+    pub alpha: usize,
+    /// Degree constraint for lower vertices.
+    pub beta: usize,
+    /// Second-step algorithm.
+    pub algo: Algorithm,
+    /// Fraction of repeated queries in the workload.
+    pub repeat: f64,
+    /// Workload seed.
+    pub seed: u64,
 }
 
 /// A side-qualified query vertex (`u:3` / `l:17`).
@@ -130,6 +160,9 @@ USAGE:
              [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs index <edgelist> <out.scsidx> [--one-based]
   scs generate <dir> [--scale S] [--seed N]
+  scs serve-bench <edgelist> [--threads N] [--queries K] [--clients C]
+             [--alpha A] [--beta B] [--repeat F] [--seed N]
+             [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs help
 
 Edge lists are `upper lower [weight]` per line; query vertices are
@@ -162,14 +195,10 @@ fn parse_usize(tok: &str, what: &str) -> Result<usize, CliError> {
 }
 
 fn parse_algo(tok: &str) -> Result<Algorithm, CliError> {
-    Ok(match tok {
-        "auto" => Algorithm::Auto,
-        "peel" => Algorithm::Peel,
-        "expand" => Algorithm::Expand,
-        "binary" => Algorithm::Binary,
-        "baseline" => Algorithm::Baseline,
-        other => return Err(CliError::new(format!("unknown algorithm {other:?}"))),
-    })
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name() == tok)
+        .ok_or_else(|| CliError::new(format!("unknown algorithm {tok:?}")))
 }
 
 /// Parses raw arguments (without the program name).
@@ -179,18 +208,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut algo = Algorithm::Auto;
     let mut scale = 1.0f64;
     let mut seed = 42u64;
+    let mut threads = 4usize;
+    let mut queries = 1000usize;
+    let mut clients: Option<usize> = None;
+    let mut alpha_flag = 2usize;
+    let mut beta_flag = 2usize;
+    let mut repeat = 0.5f64;
+    // Subcommand-specific flags seen, so the other subcommands can
+    // reject them instead of silently ignoring a misplaced knob.
+    let mut serve_flags: Vec<&'static str> = Vec::new();
+    let mut scale_flag_seen = false;
+    let mut algo_flag_seen = false;
+    let mut seed_flag_seen = false;
     let mut it = args.iter().map(String::as_str).peekable();
     while let Some(tok) = it.next() {
         match tok {
             "--help" | "-h" => return Ok(Command::Help),
             "--one-based" => one_based = true,
             "--algo" => {
+                algo_flag_seen = true;
                 let val = it
                     .next()
                     .ok_or_else(|| CliError::new("--algo needs a value"))?;
                 algo = parse_algo(val)?;
             }
             "--scale" => {
+                scale_flag_seen = true;
                 let val = it
                     .next()
                     .ok_or_else(|| CliError::new("--scale needs a value"))?;
@@ -202,12 +245,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--seed" => {
+                seed_flag_seen = true;
                 let val = it
                     .next()
                     .ok_or_else(|| CliError::new("--seed needs a value"))?;
                 seed = val
                     .parse()
                     .map_err(|_| CliError::new(format!("invalid seed {val:?}")))?;
+            }
+            "--threads" => {
+                serve_flags.push("--threads");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--threads needs a value"))?;
+                threads = parse_usize(val, "thread count")?;
+            }
+            "--queries" => {
+                serve_flags.push("--queries");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--queries needs a value"))?;
+                queries = parse_usize(val, "query count")?;
+            }
+            "--clients" => {
+                serve_flags.push("--clients");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--clients needs a value"))?;
+                clients = Some(parse_usize(val, "client count")?);
+            }
+            "--alpha" => {
+                serve_flags.push("--alpha");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--alpha needs a value"))?;
+                alpha_flag = parse_usize(val, "alpha")?;
+            }
+            "--beta" => {
+                serve_flags.push("--beta");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--beta needs a value"))?;
+                beta_flag = parse_usize(val, "beta")?;
+            }
+            "--repeat" => {
+                serve_flags.push("--repeat");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--repeat needs a value"))?;
+                repeat = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid repeat fraction {val:?}")))?;
+                if !(0.0..=1.0).contains(&repeat) {
+                    return Err(CliError::new("repeat fraction must be in [0, 1]"));
+                }
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag:?}")))
@@ -218,6 +309,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let Some((&cmd, rest)) = positional.split_first() else {
         return Ok(Command::Help);
     };
+    if cmd != "serve-bench" {
+        if let Some(flag) = serve_flags.first() {
+            return Err(CliError::new(format!(
+                "{flag} only applies to `scs serve-bench`"
+            )));
+        }
+    }
+    if cmd != "generate" && scale_flag_seen {
+        return Err(CliError::new("--scale only applies to `scs generate`"));
+    }
+    if algo_flag_seen && !matches!(cmd, "search" | "serve-bench") {
+        return Err(CliError::new(
+            "--algo only applies to `scs search` and `scs serve-bench`",
+        ));
+    }
+    if seed_flag_seen && !matches!(cmd, "generate" | "serve-bench") {
+        return Err(CliError::new(
+            "--seed only applies to `scs generate` and `scs serve-bench`",
+        ));
+    }
     let need = |n: usize| -> Result<(), CliError> {
         if rest.len() != n {
             Err(CliError::new(format!(
@@ -271,6 +382,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Generate(GenerateArgs {
                 dir: rest[0].into(),
                 scale,
+                seed,
+            }))
+        }
+        "serve-bench" => {
+            need(1)?;
+            Ok(Command::ServeBench(ServeBenchArgs {
+                path: rest[0].into(),
+                one_based,
+                threads,
+                queries,
+                clients: clients.unwrap_or(threads * 2),
+                alpha: alpha_flag,
+                beta: beta_flag,
+                algo,
+                repeat,
                 seed,
             }))
         }
@@ -382,6 +508,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::ServeBench(args) => run_serve_bench(args),
         Command::Index {
             path,
             one_based,
@@ -399,6 +526,57 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+/// `scs serve-bench`: build the index, replay a core-sampled workload
+/// with repeats through the concurrent engine, print the stats table.
+fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
+    use scs_service::{build_workload, replay, QueryEngine, ServiceConfig, WorkloadSpec};
+
+    let g = load(&args.path, args.one_based)?;
+    let summary = g.summary();
+    let search = CommunitySearch::shared(g);
+    let spec = WorkloadSpec {
+        n_queries: args.queries,
+        alpha: args.alpha,
+        beta: args.beta,
+        algo: args.algo,
+        repeat_fraction: args.repeat,
+        seed: args.seed,
+    };
+    let workload = build_workload(&search, &spec);
+    if workload.is_empty() {
+        return Err(CliError::new(format!(
+            "the ({},{})-core of {} is empty — nothing to serve; lower --alpha/--beta",
+            args.alpha, args.beta, args.path
+        )));
+    }
+    let engine = QueryEngine::start(
+        search,
+        ServiceConfig {
+            workers: args.threads,
+            ..ServiceConfig::default()
+        },
+    );
+    let (report, _responses) = replay(&engine, &workload, args.clients);
+    let mut out = format!(
+        "serve-bench {summary}\n\
+         workload: {} queries (α={}, β={}, algo={}, repeat={:.2}, seed={})\n\
+         replayed by {} clients over {} workers in {:.3} s — {:.1} QPS\n",
+        report.n_queries,
+        args.alpha,
+        args.beta,
+        args.algo,
+        args.repeat,
+        args.seed,
+        report.clients,
+        report.stats.workers,
+        report.wall_secs,
+        report.replay_qps,
+    );
+    out.push_str(&report.stats.to_string());
+    engine.shutdown();
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -436,9 +614,19 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Search {
-                query, alpha, beta, algo, ..
+                query,
+                alpha,
+                beta,
+                algo,
+                ..
             } => {
-                assert_eq!(query, QueryRef { side: Side::Upper, index: 3 });
+                assert_eq!(
+                    query,
+                    QueryRef {
+                        side: Side::Upper,
+                        index: 3
+                    }
+                );
                 assert_eq!((alpha, beta), (2, 4));
                 assert_eq!(algo, Algorithm::Expand);
             }
@@ -459,7 +647,10 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cmd = parse_args(&args(&["generate", "/tmp/x", "--scale", "0.1", "--seed", "7"])).unwrap();
+        let cmd = parse_args(&args(&[
+            "generate", "/tmp/x", "--scale", "0.1", "--seed", "7",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate(GenerateArgs {
@@ -470,6 +661,130 @@ mod tests {
         );
         assert!(parse_args(&args(&["generate", "/tmp/x", "--scale", "2.0"])).is_err());
         assert!(parse_args(&args(&["generate", "/tmp/x", "--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_bench() {
+        let cmd = parse_args(&args(&[
+            "serve-bench",
+            "g.tsv",
+            "--threads",
+            "8",
+            "--queries",
+            "500",
+            "--alpha",
+            "3",
+            "--beta",
+            "4",
+            "--repeat",
+            "0.25",
+            "--algo",
+            "peel",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::ServeBench(ServeBenchArgs {
+                path: "g.tsv".into(),
+                one_based: false,
+                threads: 8,
+                queries: 500,
+                clients: 16, // defaults to 2 × threads
+                alpha: 3,
+                beta: 4,
+                algo: Algorithm::Peel,
+                repeat: 0.25,
+                seed: 42,
+            })
+        );
+        assert!(parse_args(&args(&["serve-bench"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--repeat", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_flags_rejected_elsewhere() {
+        let err =
+            parse_args(&args(&["search", "g", "u:1", "2", "2", "--threads", "4"])).unwrap_err();
+        assert!(err.to_string().contains("serve-bench"), "{err}");
+        assert!(parse_args(&args(&["stats", "g", "--queries", "10"])).is_err());
+        assert!(parse_args(&args(&["index", "g", "o", "--repeat", "0.5"])).is_err());
+        let err = parse_args(&args(&["serve-bench", "g", "--scale", "0.5"])).unwrap_err();
+        assert!(err.to_string().contains("generate"), "{err}");
+        assert!(parse_args(&args(&[
+            "community",
+            "g",
+            "u:1",
+            "2",
+            "2",
+            "--algo",
+            "peel"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["search", "g", "u:1", "2", "2", "--seed", "9"])).is_err());
+        assert!(parse_args(&args(&[
+            "serve-bench",
+            "g",
+            "--seed",
+            "9",
+            "--algo",
+            "peel"
+        ]))
+        .is_ok());
+        // Shared flags still work everywhere they used to.
+        assert!(parse_args(&args(&["generate", "d", "--seed", "3"])).is_ok());
+        assert!(parse_args(&args(&["search", "g", "u:1", "2", "2", "--algo", "peel"])).is_ok());
+    }
+
+    #[test]
+    fn serve_bench_end_to_end() {
+        let dir = std::env::temp_dir().join("scs_cli_serve_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        // A 3×3 biclique with one weak edge, same graph as the facade doc
+        // example: plenty of (2,2)-core to sample queries from.
+        let mut body = String::new();
+        for u in 0..3 {
+            for l in 0..3 {
+                let w = if u == 2 && l == 2 { 1 } else { 5 };
+                body.push_str(&format!("{u} {l} {w}\n"));
+            }
+        }
+        std::fs::write(&path, body).unwrap();
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 4,
+            queries: 200,
+            clients: 4,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            seed: 1,
+        }))
+        .unwrap();
+        assert!(out.contains("200 queries"), "{out}");
+        assert!(out.contains("QPS"), "{out}");
+        assert!(out.contains("cache hit rate"), "{out}");
+        // 200 queries over ≤ 18 distinct keys: hits are guaranteed.
+        assert!(!out.contains("cache hits          │            0"), "{out}");
+
+        let err = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 2,
+            queries: 10,
+            clients: 2,
+            alpha: 50,
+            beta: 50,
+            algo: Algorithm::Auto,
+            repeat: 0.0,
+            seed: 1,
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
@@ -513,7 +828,10 @@ mod tests {
         let out = run(Command::Community {
             path: p.clone(),
             one_based: false,
-            query: QueryRef { side: Side::Upper, index: 0 },
+            query: QueryRef {
+                side: Side::Upper,
+                index: 0,
+            },
             alpha: 2,
             beta: 2,
         })
@@ -523,7 +841,10 @@ mod tests {
         let out = run(Command::Search {
             path: p.clone(),
             one_based: false,
-            query: QueryRef { side: Side::Upper, index: 0 },
+            query: QueryRef {
+                side: Side::Upper,
+                index: 0,
+            },
             alpha: 2,
             beta: 2,
             algo: Algorithm::Auto,
@@ -546,7 +867,10 @@ mod tests {
         let err = run(Command::Search {
             path: p,
             one_based: false,
-            query: QueryRef { side: Side::Lower, index: 99 },
+            query: QueryRef {
+                side: Side::Lower,
+                index: 99,
+            },
             alpha: 2,
             beta: 2,
             algo: Algorithm::Auto,

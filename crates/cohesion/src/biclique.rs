@@ -54,8 +54,12 @@ impl Biclique {
         // be added.
         let can_extend = |candidates: &[Vertex], side: &[Vertex]| {
             candidates.iter().any(|&c| {
-                !side.contains(&c) && side.iter().all(|_| true) && {
-                    let opposite = if g.is_upper(c) { &self.lower } else { &self.upper };
+                !side.contains(&c) && {
+                    let opposite = if g.is_upper(c) {
+                        &self.lower
+                    } else {
+                        &self.upper
+                    };
                     opposite.iter().all(|&o| g.has_edge(c, o))
                 }
             })
@@ -127,7 +131,7 @@ pub fn maximal_biclique_containing(
             // Record a candidate solution when both minima are met.
             if chosen.len() >= self.min_opp && common.len() >= self.min_same {
                 let edges = chosen.len() * common.len();
-                if self.best.as_ref().map_or(true, |(b, _, _)| edges > *b) {
+                if self.best.as_ref().is_none_or(|(b, _, _)| edges > *b) {
                     self.best = Some((edges, common.clone(), chosen.clone()));
                 }
             }

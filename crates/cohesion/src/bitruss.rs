@@ -75,10 +75,7 @@ pub fn bitruss_community<'g>(
     q: Vertex,
     k: u64,
 ) -> Subgraph<'g> {
-    let edges: Vec<EdgeId> = g
-        .edge_ids()
-        .filter(|e| phi[e.index()] >= k)
-        .collect();
+    let edges: Vec<EdgeId> = g.edge_ids().filter(|e| phi[e.index()] >= k).collect();
     Subgraph::from_edges(g, edges).component_of(q)
 }
 

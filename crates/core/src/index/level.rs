@@ -57,7 +57,7 @@ impl Level {
     /// order and each entry list must already be sorted by offset
     /// descending.
     pub fn push_vertex(&mut self, v: Vertex, own_offset: u32, entries: &[Entry]) {
-        debug_assert!(self.verts.last().map_or(true, |&p| p < v));
+        debug_assert!(self.verts.last().is_none_or(|&p| p < v));
         debug_assert!(entries.windows(2).all(|w| w[0].offset >= w[1].offset));
         if self.starts.is_empty() {
             self.starts.push(0);
@@ -74,14 +74,13 @@ impl Level {
     /// level that is only remapped must not reference a removed edge.
     pub fn remap_edges(&mut self, map: &[Option<EdgeId>]) {
         for e in &mut self.entries {
-            e.edge = map[e.edge.index()]
-                .expect("untouched level cannot reference a removed edge");
+            e.edge = map[e.edge.index()].expect("untouched level cannot reference a removed edge");
         }
     }
 
     /// Looks up a vertex: `(own offset, annotated adjacency)`. O(1).
     pub fn lookup(&self, v: Vertex) -> Option<(u32, &[Entry])> {
-        let i = *self.slot_of.get(v.index())? ;
+        let i = *self.slot_of.get(v.index())?;
         if i == u32::MAX {
             return None;
         }

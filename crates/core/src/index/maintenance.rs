@@ -71,6 +71,15 @@ impl DynamicIndex {
         &self.index
     }
 
+    /// A point-in-time [`crate::CommunitySearch`] over the current graph
+    /// and index, cloned rather than rebuilt (no `O(δ·m)` work). This is
+    /// the hand-off the `scs-service` epoch-swap path uses: maintain
+    /// updates here, snapshot, and install the snapshot into the running
+    /// query engine.
+    pub fn snapshot(&self) -> crate::CommunitySearch {
+        crate::CommunitySearch::from_parts(self.graph.clone(), self.index.clone())
+    }
+
     /// Inserts edge `(upper, lower)` with weight `w` and repairs the
     /// index incrementally.
     pub fn insert_edge(
@@ -81,7 +90,9 @@ impl DynamicIndex {
     ) -> Result<(), UpdateError> {
         if upper < self.graph.n_upper()
             && lower < self.graph.n_lower()
-            && self.graph.has_edge(self.graph.upper(upper), self.graph.lower(lower))
+            && self
+                .graph
+                .has_edge(self.graph.upper(upper), self.graph.lower(lower))
         {
             return Err(UpdateError::EdgeExists { upper, lower });
         }
@@ -121,9 +132,7 @@ impl DynamicIndex {
     ) -> Subgraph<'_> {
         let c = self.query_community(q, alpha, beta);
         match algorithm {
-            crate::Algorithm::Baseline => {
-                crate::query::scs_baseline(&self.graph, q, alpha, beta)
-            }
+            crate::Algorithm::Baseline => crate::query::scs_baseline(&self.graph, q, alpha, beta),
             crate::Algorithm::Expand => crate::query::scs_expand(&self.graph, &c, q, alpha, beta),
             crate::Algorithm::Binary => crate::query::scs_binary(&self.graph, &c, q, alpha, beta),
             crate::Algorithm::Peel | crate::Algorithm::Auto => {

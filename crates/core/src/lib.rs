@@ -63,9 +63,16 @@ pub use index::{BasicIndex, DeltaIndex, DynamicIndex};
 pub use query::{scs_baseline, scs_binary, scs_expand, scs_peel};
 
 use bigraph::{BipartiteGraph, Subgraph, Vertex};
+use std::fmt;
+use std::sync::Arc;
 
 /// Which second-step algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Hash` so the variant can key result caches (see the `scs-service`
+/// crate); for a fixed [`CommunitySearch`] every variant — including
+/// [`Algorithm::Auto`], whose resolution depends only on (α, β, δ) — is a
+/// pure function of the query, so caching per variant is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Algorithm {
     /// Pick automatically from the query parameters: expansion for small
     /// α,β (large community, small result), peeling for large α,β
@@ -84,6 +91,34 @@ pub enum Algorithm {
     Baseline,
 }
 
+impl Algorithm {
+    /// Every variant, in display order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Auto,
+        Algorithm::Peel,
+        Algorithm::Expand,
+        Algorithm::Binary,
+        Algorithm::Baseline,
+    ];
+
+    /// The CLI/stat-table name of the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::Peel => "peel",
+            Algorithm::Expand => "expand",
+            Algorithm::Binary => "binary",
+            Algorithm::Baseline => "baseline",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// High-level façade: a graph plus its degeneracy-bounded index.
 #[derive(Debug, Clone)]
 pub struct CommunitySearch {
@@ -95,6 +130,25 @@ impl CommunitySearch {
     /// Builds the index (`O(δ·m)`) and takes ownership of the graph.
     pub fn new(graph: BipartiteGraph) -> Self {
         let index = DeltaIndex::build(&graph);
+        CommunitySearch { graph, index }
+    }
+
+    /// Builds the index and returns the façade ready for sharing across
+    /// threads — the form the `scs-service` query engine consumes.
+    pub fn shared(graph: BipartiteGraph) -> Arc<Self> {
+        Arc::new(Self::new(graph))
+    }
+
+    /// Reassembles a façade from an already-built index, skipping the
+    /// `O(δ·m)` rebuild. Used by the epoch-swap path: a
+    /// [`DynamicIndex`] that has absorbed edge updates hands its parts to
+    /// a fresh `CommunitySearch` which is then installed into a running
+    /// service.
+    ///
+    /// The caller must pass the index that was built for (or maintained
+    /// along with) exactly this graph; queries silently misbehave
+    /// otherwise, just as with a hand-rolled stale index.
+    pub fn from_parts(graph: BipartiteGraph, index: DeltaIndex) -> Self {
         CommunitySearch { graph, index }
     }
 

@@ -146,7 +146,10 @@ pub fn scs_expand_with_options<'g>(
     // Lazy weight-descending order: O(m) heapify, O(log m) per pop, so a
     // search that stops early never pays for ordering the rest.
     let mut heap: BinaryHeap<HeapEdge> = (0..lg.n_edges() as u32)
-        .map(|le| HeapEdge { w: lg.weight(le), le })
+        .map(|le| HeapEdge {
+            w: lg.weight(le),
+            le,
+        })
         .collect();
     let mut added = vec![false; lg.n_edges()];
     let mut tracker = ComponentTracker::new(
@@ -218,9 +221,7 @@ fn validate(
         return None;
     }
     let mut order_asc = c_star;
-    order_asc.sort_unstable_by(|&a, &b| {
-        lg.weight(a).total_cmp(&lg.weight(b)).then(a.cmp(&b))
-    });
+    order_asc.sort_unstable_by(|&a, &b| lg.weight(a).total_cmp(&lg.weight(b)).then(a.cmp(&b)));
     Some(weighted_peel(
         lg, alive, deg, lq, alpha, beta, &order_asc, visited,
     ))

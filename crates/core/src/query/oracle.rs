@@ -80,7 +80,9 @@ pub fn verify_significant(
     }
     // 2) Cohesiveness.
     if !r.satisfies_degrees(alpha, beta) {
-        return Err(format!("result violates the (α={alpha}, β={beta}) degree constraint"));
+        return Err(format!(
+            "result violates the (α={alpha}, β={beta}) degree constraint"
+        ));
     }
     // Result must live inside the community.
     if !r.edges().iter().all(|&e| community.contains_edge(e)) {
@@ -92,7 +94,9 @@ pub fn verify_significant(
     let best =
         max_feasible_weight(community, q, alpha, beta).expect("community itself is feasible");
     if f_r.total_cmp(&best).is_ne() {
-        return Err(format!("f(R) = {f_r} but the maximum feasible weight is {best}"));
+        return Err(format!(
+            "f(R) = {f_r} but the maximum feasible weight is {best}"
+        ));
     }
     let reference = reference_significant_community(community, q, alpha, beta);
     if !r.same_edges(&reference) {

@@ -1,0 +1,184 @@
+//! Vendored stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) API used by the benches in
+//! `crates/bench/benches/`.
+//!
+//! The build environment is offline, so instead of the real statistical
+//! harness this crate provides a tiny timing loop with the same surface
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`). Each sample times one closure
+//! invocation; the report prints min / mean / max per benchmark id. The
+//! absolute numbers are honest wall-clock timings — only the outlier
+//! rejection and plots of real criterion are missing.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (each sample is one
+    /// invocation of the routine under test).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `routine` against `input` and prints one report line.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b, input);
+            samples.push(b.elapsed);
+        }
+        report(&id.0, &samples);
+        self
+    }
+
+    /// Times a routine that needs no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed);
+        }
+        report(&id.0, &samples);
+        self
+    }
+
+    /// Ends the group (upstream criterion renders summaries here).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    println!(
+        "{id:<40} samples={:<3} min={:>12?} mean={:>12?} max={:>12?}",
+        samples.len(),
+        min,
+        mean,
+        max
+    );
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Labels a benchmark `<function>/<parameter>`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to the routine; [`Bencher::iter`] times the hot closure.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once under the timer. (Real criterion runs it many times
+    /// per sample; one invocation keeps `cargo bench` fast offline while
+    /// measuring the same code path.)
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        let out = f();
+        self.elapsed += t0.elapsed();
+        drop(out);
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; defers to
+/// `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares `pub fn $name()` running each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` running the listed groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", "x"), &7usize, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                black_box(x * 2)
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -240,8 +240,20 @@ impl DatasetSpec {
     /// Builds the weighted analogue deterministically from `seed`.
     pub fn build(&self, seed: u64) -> BipartiteGraph {
         let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.name));
-        let mut upper = power_law_degrees(self.n_upper, self.gamma_upper, 1.0, self.dmax_upper, &mut rng);
-        let lower = power_law_degrees(self.n_lower, self.gamma_lower, 1.0, self.dmax_lower, &mut rng);
+        let mut upper = power_law_degrees(
+            self.n_upper,
+            self.gamma_upper,
+            1.0,
+            self.dmax_upper,
+            &mut rng,
+        );
+        let lower = power_law_degrees(
+            self.n_lower,
+            self.gamma_lower,
+            1.0,
+            self.dmax_lower,
+            &mut rng,
+        );
         if let Some(frac) = self.upper_hub_fraction {
             // One mega-hub adjacent to most of the lower layer, as in
             // Wikipedia-en where a bot account touches millions of pages.
@@ -297,7 +309,12 @@ mod tests {
         for spec in DatasetSpec::catalog() {
             let small = spec.scaled(0.1);
             let g = small.build(42);
-            assert_eq!(g.n_edges(), small.m.min(small.n_upper * small.n_lower), "{}", spec.name);
+            assert_eq!(
+                g.n_edges(),
+                small.m.min(small.n_upper * small.n_lower),
+                "{}",
+                spec.name
+            );
             assert!(g.n_upper() <= small.n_upper);
             assert!(g.min_weight().unwrap_or(0.0) >= 0.0);
         }
@@ -365,7 +382,11 @@ pub fn export_catalog(
     std::fs::create_dir_all(dir)?;
     let mut out = Vec::new();
     for spec in DatasetSpec::catalog() {
-        let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+        let spec = if scale < 1.0 {
+            spec.scaled(scale)
+        } else {
+            spec
+        };
         let g = spec.build(seed);
         let path = dir.join(format!("{}.tsv", spec.name.to_lowercase()));
         bigraph::edgelist::write_edgelist_file(&g, &path)?;

@@ -144,10 +144,16 @@ pub fn generate_movielens(cfg: &MovieLensConfig) -> MovieLens {
 
     let mut user_kind: Vec<UserKind> = Vec::new();
     for genre in 0..cfg.n_genres {
-        user_kind.extend(std::iter::repeat(UserKind::Fan(genre)).take(cfg.fans_per_genre));
-        user_kind.extend(std::iter::repeat(UserKind::Grump(genre)).take(cfg.grumps_per_genre));
+        user_kind.extend(std::iter::repeat_n(
+            UserKind::Fan(genre),
+            cfg.fans_per_genre,
+        ));
+        user_kind.extend(std::iter::repeat_n(
+            UserKind::Grump(genre),
+            cfg.grumps_per_genre,
+        ));
     }
-    user_kind.extend(std::iter::repeat(UserKind::Casual).take(cfg.n_casuals));
+    user_kind.extend(std::iter::repeat_n(UserKind::Casual, cfg.n_casuals));
 
     let mut b = GraphBuilder::with_policy(DuplicatePolicy::KeepFirst);
     b.ensure_lower(n_movies - 1);
@@ -281,10 +287,7 @@ mod tests {
     fn some_fan_is_a_fan() {
         let ml = generate_movielens(&MovieLensConfig::default());
         let f = ml.some_fan(2);
-        assert_eq!(
-            ml.user_kind[ml.graph.local_index(f)],
-            UserKind::Fan(2)
-        );
+        assert_eq!(ml.user_kind[ml.graph.local_index(f)], UserKind::Fan(2));
     }
 
     #[test]

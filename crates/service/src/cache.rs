@@ -1,0 +1,316 @@
+//! Sharded LRU result cache.
+//!
+//! The engine keys results by `(q, α, β, algorithm)`. Lock contention is
+//! bounded by splitting the key space over a power-of-two number of
+//! independently locked shards (keys are assigned by hash), each holding
+//! an O(1) intrusive-list LRU. Hit/miss counters are process-wide
+//! atomics so [`CacheStats`] needs no locks to read.
+
+use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A classic O(1) LRU: hash map into a slab of doubly linked nodes,
+/// most-recently-used at the head.
+struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruShard<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.nodes[i].value)
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        match self.map.entry(key.clone()) {
+            MapEntry::Occupied(slot) => {
+                let i = *slot.get();
+                self.nodes[i].value = value;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+            }
+            MapEntry::Vacant(slot) => {
+                let i = if let Some(i) = self.free.pop() {
+                    self.nodes[i] = Node {
+                        key,
+                        value,
+                        prev: NIL,
+                        next: NIL,
+                    };
+                    i
+                } else {
+                    self.nodes.push(Node {
+                        key,
+                        value,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    self.nodes.len() - 1
+                };
+                slot.insert(i);
+                self.push_front(i);
+                if self.map.len() > self.capacity {
+                    let victim = self.tail;
+                    debug_assert_ne!(victim, NIL);
+                    self.unlink(victim);
+                    let old_key = self.nodes[victim].key.clone();
+                    self.map.remove(&old_key);
+                    self.free.push(victim);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries currently resident (across all shards).
+    pub entries: usize,
+    /// Total capacity (across all shards).
+    pub capacity: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`; 0 when the cache is untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent LRU cache sharded by key hash.
+///
+/// `get` counts a hit or a miss; `insert` evicts the least-recently-used
+/// entry of the target shard when that shard is full (so total residency
+/// is bounded by `capacity` but per-shard imbalance can evict earlier —
+/// the usual sharded-LRU trade-off).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// `capacity` total entries spread over `shards` (rounded up to a
+    /// power of two) independently locked shards.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        ShardedCache {
+            shards: (0..n)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            mask: n - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Looks `key` up, refreshing its recency and counting hit/miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let got = self.shard_of(key).lock().unwrap().get(key).cloned();
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting within its shard if full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard_of(&key).lock().unwrap().insert(key, value);
+    }
+
+    /// Drops every entry (counters are kept — they describe traffic, not
+    /// contents). Used on epoch swap.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// `true` iff no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.shards.len() * self.shards[0].lock().unwrap().capacity,
+            shards: self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s: LruShard<u32, u32> = LruShard::new(2);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        assert_eq!(s.get(&1), Some(&10)); // 1 becomes MRU
+        s.insert(3, 30); // evicts 2
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&2), None);
+        assert_eq!(s.get(&1), Some(&10));
+        assert_eq!(s.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn lru_refreshes_on_reinsert() {
+        let mut s: LruShard<u32, u32> = LruShard::new(2);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        s.insert(1, 11); // refresh value + recency
+        s.insert(3, 30); // evicts 2, not 1
+        assert_eq!(s.get(&1), Some(&11));
+        assert_eq!(s.get(&2), None);
+    }
+
+    #[test]
+    fn lru_single_slot() {
+        let mut s: LruShard<u32, u32> = LruShard::new(1);
+        for i in 0..10 {
+            s.insert(i, i);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn sharded_counters_and_hit_rate() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(64, 4);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 100);
+        assert_eq!(c.get(&1), Some(100));
+        assert_eq!(c.get(&1), Some(100));
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (2, 1, 1));
+        assert!((st.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 2); // counters survive clear
+    }
+
+    #[test]
+    fn sharded_capacity_bound_under_churn() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(32, 4);
+        for i in 0..10_000u64 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= 32, "len={} exceeds capacity", c.len());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(100, 7);
+        assert_eq!(c.stats().shards, 8);
+    }
+}

@@ -1,0 +1,539 @@
+//! The concurrent query engine: a fixed worker pool over an immutable,
+//! epoch-swappable [`CommunitySearch`].
+//!
+//! Life of a request:
+//!
+//! 1. [`QueryEngine::submit`] pushes a job onto the mpsc queue and
+//!    returns a [`ResponseHandle`]; [`QueryEngine::query`] is the
+//!    blocking convenience.
+//! 2. A worker dequeues, checks the sharded LRU cache, and on a hit
+//!    responds immediately (`cached = true`).
+//! 3. On a miss it joins the in-flight table. The first thread for a key
+//!    becomes the *leader* and computes `significant_community` on the
+//!    current index snapshot; threads that arrive while the leader runs
+//!    become *followers* and block on the flight's condvar instead of
+//!    duplicating work (`coalesced = true`).
+//! 4. The leader publishes the response, installs it in the cache and
+//!    wakes the followers.
+//!
+//! [`QueryEngine::install`] atomically replaces the index (one
+//! write-lock), bumps the epoch and clears the cache, so a rebuilt index
+//! — e.g. [`scs::DynamicIndex::snapshot`] after edge updates — goes live
+//! without stopping the workers. In-flight leaders that started on the
+//! old snapshot finish on it (their Arc keeps it alive) and their
+//! responses carry the old epoch; the cache only ever holds entries
+//! inserted under the epoch read together with the snapshot, and is
+//! cleared on install, so a hit never serves a community computed
+//! against an index older than the last install. The in-flight table is
+//! fenced the same way: a request only coalesces onto a flight whose
+//! epoch matches the one it observed as current, so a post-install
+//! request never receives a pre-install result.
+
+use crate::cache::ShardedCache;
+use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::{CommunitySummary, QueryRequest, QueryResponse};
+use scs::CommunitySearch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Total result-cache entries across all shards.
+    pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            cache_capacity: 4096,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// What a flight's followers eventually observe.
+enum FlightState {
+    /// Leader still computing.
+    Pending,
+    /// Leader published.
+    Done(Arc<QueryResponse>),
+    /// Leader unwound without publishing (panic in the query code).
+    Poisoned,
+}
+
+/// One in-flight computation; followers sleep on `cv` until the leader
+/// fills `slot`. `epoch` is the index epoch the leader computes on —
+/// followers only join flights of the epoch they themselves observed as
+/// current, so a post-install request can never coalesce onto a
+/// pre-install computation.
+struct Flight {
+    epoch: u64,
+    slot: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Option<Arc<QueryResponse>> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            match &*slot {
+                FlightState::Pending => slot = self.cv.wait(slot).unwrap(),
+                FlightState::Done(resp) => return Some(resp.clone()),
+                FlightState::Poisoned => return None,
+            }
+        }
+    }
+
+    fn publish(&self, state: FlightState) {
+        *self.slot.lock().unwrap() = state;
+        self.cv.notify_all();
+    }
+}
+
+enum Role {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+    /// The caller's epoch snapshot is older than the resident flight's:
+    /// an install raced in; re-read the snapshot and rejoin.
+    StaleSnapshot,
+}
+
+/// Cleans a leader's flight out of the in-flight table even if the
+/// query code panics: on unwind the flight is poisoned (waking every
+/// follower, who re-panic with context instead of blocking forever)
+/// and removed so the key is not permanently wedged.
+struct FlightGuard<'a> {
+    inner: &'a Inner,
+    key: QueryRequest,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    fn publish(&mut self, resp: Arc<QueryResponse>) {
+        self.flight.publish(FlightState::Done(resp));
+        self.published = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight.publish(FlightState::Poisoned);
+        }
+        // Remove only our own flight — a newer-epoch leader may have
+        // replaced the entry under this key.
+        let mut map = self.inner.inflight.lock().unwrap();
+        if map
+            .get(&self.key)
+            .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
+        {
+            map.remove(&self.key);
+        }
+    }
+}
+
+/// Shared state between the engine handle and its workers.
+struct Inner {
+    search: RwLock<(Arc<CommunitySearch>, u64)>,
+    cache: ShardedCache<QueryRequest, Arc<QueryResponse>>,
+    inflight: Mutex<HashMap<QueryRequest, Arc<Flight>>>,
+    hist: LatencyHistogram,
+    completed: AtomicU64,
+    coalesced: AtomicU64,
+    started: Instant,
+    workers: usize,
+}
+
+impl Inner {
+    /// The current `(index snapshot, epoch)` pair, read consistently.
+    fn snapshot(&self) -> (Arc<CommunitySearch>, u64) {
+        let guard = self.search.read().unwrap();
+        (guard.0.clone(), guard.1)
+    }
+
+    /// Joins (or opens) the flight for `key` at `epoch`. A resident
+    /// flight from an *older* epoch is replaced — its leader still
+    /// answers its own followers, but nobody new coalesces onto a
+    /// retired index. A resident flight from a *newer* epoch means the
+    /// caller's snapshot is stale (an install won the race); it must
+    /// re-read and retry rather than evict current-epoch work.
+    fn join_flight(&self, key: QueryRequest, epoch: u64) -> Role {
+        let mut map = self.inflight.lock().unwrap();
+        if let Some(flight) = map.get(&key) {
+            if flight.epoch == epoch {
+                return Role::Follower(flight.clone());
+            }
+            if flight.epoch > epoch {
+                return Role::StaleSnapshot;
+            }
+        }
+        let flight = Arc::new(Flight {
+            epoch,
+            slot: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        });
+        map.insert(key, flight.clone());
+        Role::Leader(flight)
+    }
+
+    fn serve(&self, req: QueryRequest) -> Arc<QueryResponse> {
+        let t0 = Instant::now();
+        if let Some(hit) = self.cache.get(&req) {
+            let resp = Arc::new(QueryResponse {
+                cached: true,
+                coalesced: false,
+                service_us: t0.elapsed().as_micros() as u64,
+                ..(*hit).clone()
+            });
+            self.finish(&resp);
+            return resp;
+        }
+        // Epochs are monotonic, so the retry loop terminates: it only
+        // loops when an install landed between our snapshot and the
+        // join, and each retry re-reads the newer snapshot.
+        let (search, epoch, role) = loop {
+            let (search, epoch) = self.snapshot();
+            match self.join_flight(req, epoch) {
+                Role::StaleSnapshot => continue,
+                role => break (search, epoch, role),
+            }
+        };
+        match role {
+            Role::StaleSnapshot => unreachable!("retried above"),
+            Role::Leader(flight) => {
+                let mut guard = FlightGuard {
+                    inner: self,
+                    key: req,
+                    flight,
+                    published: false,
+                };
+                // An unservable request (vertex outside the installed
+                // graph, zero constraint) gets the empty community
+                // rather than panicking a worker: the graph can shrink
+                // across installs, so clients cannot validate upfront.
+                let valid = (req.q.index()) < search.graph().n_vertices()
+                    && req.alpha >= 1
+                    && req.beta >= 1;
+                let summary = if valid {
+                    let sub = search.significant_community(
+                        req.q,
+                        req.alpha as usize,
+                        req.beta as usize,
+                        req.algo,
+                    );
+                    Arc::new(CommunitySummary::from_subgraph(&sub))
+                } else {
+                    Arc::new(CommunitySummary::empty())
+                };
+                let resp = Arc::new(QueryResponse {
+                    request: req,
+                    summary,
+                    cached: false,
+                    coalesced: false,
+                    epoch,
+                    service_us: t0.elapsed().as_micros() as u64,
+                });
+                // Cache the result only if no install retired the index
+                // we computed on. Holding the read lock makes the
+                // epoch-check + insert atomic w.r.t. `install`, which
+                // clears the cache under the write lock — so a stale
+                // entry can never land after the clear.
+                {
+                    let lock = self.search.read().unwrap();
+                    if lock.1 == epoch {
+                        self.cache.insert(req, resp.clone());
+                    }
+                }
+                // Publish, then let the guard's Drop clear the table
+                // entry: a thread that found this flight always gets an
+                // answer; threads arriving after the removal start a
+                // fresh flight (and typically hit the cache first).
+                guard.publish(resp.clone());
+                drop(guard);
+                self.finish(&resp);
+                resp
+            }
+            Role::Follower(flight) => {
+                let shared = flight.wait().unwrap_or_else(|| {
+                    panic!("in-flight leader for {req:?} panicked before publishing")
+                });
+                let resp = Arc::new(QueryResponse {
+                    cached: false,
+                    coalesced: true,
+                    service_us: t0.elapsed().as_micros() as u64,
+                    ..(*shared).clone()
+                });
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.finish(&resp);
+                resp
+            }
+        }
+    }
+
+    fn finish(&self, resp: &QueryResponse) {
+        self.hist.record(resp.service_us);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+type Job = (QueryRequest, Sender<Arc<QueryResponse>>);
+
+/// A pending response; produced by [`QueryEngine::submit`].
+pub struct ResponseHandle {
+    rx: Receiver<Arc<QueryResponse>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the engine answers.
+    ///
+    /// # Panics
+    /// Panics if the query panicked inside the engine or the engine
+    /// shut down before answering.
+    pub fn wait(self) -> Arc<QueryResponse> {
+        self.rx
+            .recv()
+            .expect("query panicked in the engine or engine shut down before responding")
+    }
+}
+
+/// The concurrent query-serving engine. See the [module docs](self).
+pub struct QueryEngine {
+    inner: Arc<Inner>,
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Spawns the worker pool and returns the serving handle.
+    pub fn start(search: Arc<CommunitySearch>, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            search: RwLock::new((search, 0)),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            inflight: Mutex::new(HashMap::new()),
+            hist: LatencyHistogram::default(),
+            completed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            started: Instant::now(),
+            workers,
+        });
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("scs-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only across the dequeue so
+                        // workers pull jobs concurrently with compute.
+                        let job = rx.lock().unwrap().recv();
+                        match job {
+                            Ok((req, reply)) => {
+                                // Backstop: a panic in query code must not
+                                // shrink the pool. The flight guard has
+                                // already poisoned that key's followers;
+                                // dropping `reply` unanswered makes this
+                                // submitter's wait() fail loudly.
+                                let resp =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        inner.serve(req)
+                                    }));
+                                if let Ok(resp) = resp {
+                                    // A submitter that dropped its handle
+                                    // just doesn't collect the result.
+                                    let _ = reply.send(resp);
+                                }
+                            }
+                            Err(_) => break, // all senders gone: shutdown
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        QueryEngine {
+            inner,
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Enqueues a request; the returned handle yields the response.
+    pub fn submit(&self, req: QueryRequest) -> ResponseHandle {
+        let (reply_tx, reply_rx) = channel();
+        self.tx
+            .as_ref()
+            .expect("engine already shut down")
+            .send((req, reply_tx))
+            .expect("worker pool hung up");
+        ResponseHandle { rx: reply_rx }
+    }
+
+    /// Submits and waits: one blocking round-trip through the pool.
+    pub fn query(&self, req: QueryRequest) -> Arc<QueryResponse> {
+        self.submit(req).wait()
+    }
+
+    /// Installs a new index snapshot without stopping the workers: bumps
+    /// the epoch and invalidates the result cache. Queries already
+    /// computing finish on the snapshot they started with (tagged with
+    /// the prior epoch).
+    pub fn install(&self, search: Arc<CommunitySearch>) -> u64 {
+        let mut guard = self.inner.search.write().unwrap();
+        guard.0 = search;
+        guard.1 += 1;
+        let epoch = guard.1;
+        // Clear under the write lock: leaders re-check the epoch before
+        // caching, so no stale entry can be inserted after this clear.
+        self.inner.cache.clear();
+        epoch
+    }
+
+    /// The current `(index snapshot, epoch)` pair.
+    pub fn current_index(&self) -> (Arc<CommunitySearch>, u64) {
+        self.inner.snapshot()
+    }
+
+    /// Metrics snapshot since engine start.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        let completed = inner.completed.load(Ordering::Relaxed);
+        let elapsed = inner.started.elapsed().as_secs_f64().max(1e-9);
+        ServiceStats {
+            workers: inner.workers,
+            completed,
+            coalesced: inner.coalesced.load(Ordering::Relaxed),
+            cache: inner.cache.stats(),
+            epoch: inner.snapshot().1,
+            qps: completed as f64 / elapsed,
+            mean_us: inner.hist.mean_us(),
+            p50_us: inner.hist.quantile_us(0.50),
+            p90_us: inner.hist.quantile_us(0.90),
+            p99_us: inner.hist.quantile_us(0.99),
+            max_us: inner.hist.max_us(),
+        }
+    }
+
+    /// Stops accepting work, drains the queue and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::figure2_example;
+    use scs::Algorithm;
+
+    fn engine(workers: usize) -> QueryEngine {
+        QueryEngine::start(
+            CommunitySearch::shared(figure2_example()),
+            ServiceConfig {
+                workers,
+                cache_capacity: 64,
+                cache_shards: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn serves_and_caches() {
+        let e = engine(2);
+        let q = e.current_index().0.graph().upper(2);
+        let req = QueryRequest::new(q, 2, 2, Algorithm::Peel);
+        let first = e.query(req);
+        assert!(!first.cached);
+        assert_eq!(first.summary.size(), 4);
+        assert_eq!(first.summary.min_weight, Some(13.0));
+        let second = e.query(req);
+        assert!(second.cached);
+        assert_eq!(second.summary, first.summary);
+        let st = e.stats();
+        assert_eq!(st.completed, 2);
+        assert_eq!(st.cache.hits, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn distinct_algorithms_get_distinct_cache_slots() {
+        let e = engine(1);
+        let q = e.current_index().0.graph().upper(2);
+        let a = e.query(QueryRequest::new(q, 2, 2, Algorithm::Peel));
+        let b = e.query(QueryRequest::new(q, 2, 2, Algorithm::Expand));
+        assert!(!a.cached && !b.cached);
+        assert_eq!(a.summary, b.summary); // algorithms agree on the answer
+        e.shutdown();
+    }
+
+    #[test]
+    fn install_bumps_epoch_and_invalidates() {
+        let e = engine(2);
+        let q = e.current_index().0.graph().upper(2);
+        let req = QueryRequest::new(q, 2, 2, Algorithm::Auto);
+        let before = e.query(req);
+        assert_eq!(before.epoch, 0);
+        let epoch = e.install(CommunitySearch::shared(figure2_example()));
+        assert_eq!(epoch, 1);
+        let after = e.query(req);
+        assert!(!after.cached, "install must invalidate the cache");
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.summary, before.summary);
+        e.shutdown();
+    }
+
+    #[test]
+    fn unservable_requests_get_empty_answers_and_pool_survives() {
+        let e = engine(2);
+        let g_vertices = e.current_index().0.graph().n_vertices();
+        // Query vertex outside the graph: empty community, no panic.
+        let bad = e.query(QueryRequest::new(
+            bigraph::Vertex(g_vertices as u32 + 10),
+            2,
+            2,
+            Algorithm::Auto,
+        ));
+        assert_eq!(*bad.summary, crate::CommunitySummary::empty());
+        // Zero degree constraint (the index asserts ≥ 1): also empty.
+        let q = e.current_index().0.graph().upper(2);
+        let zero = e.query(QueryRequest::new(q, 0, 2, Algorithm::Peel));
+        assert_eq!(*zero.summary, crate::CommunitySummary::empty());
+        // The pool is still alive and serving real queries.
+        let good = e.query(QueryRequest::new(q, 2, 2, Algorithm::Peel));
+        assert_eq!(good.summary.size(), 4);
+        e.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let e = engine(3);
+        let q = e.current_index().0.graph().upper(0);
+        e.query(QueryRequest::new(q, 1, 1, Algorithm::Auto));
+        drop(e); // must not hang or leak panicking threads
+    }
+}

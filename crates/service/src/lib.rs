@@ -1,0 +1,176 @@
+//! # scs-service — concurrent query serving for significant (α,β)-community search
+//!
+//! The paper (Wang et al., ICDE 2021) splits community search into an
+//! offline index build and an online two-step query precisely so queries
+//! can be answered at interactive speed. This crate supplies the serving
+//! layer that premise implies: an in-process, std-only query engine that
+//! owns a shared [`scs::CommunitySearch`] and answers
+//! [`QueryRequest`]s through a fixed pool of worker threads.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──submit──▶ mpsc job queue ──▶ worker 0..N
+//!                                           │
+//!                         ┌─────────────────┼──────────────────┐
+//!                         ▼                 ▼                  ▼
+//!                  sharded LRU cache   in-flight table   Arc<CommunitySearch>
+//!                  (hit → respond)     (dedup identical  (read-locked slot,
+//!                                       concurrent work)  epoch-swappable)
+//! ```
+//!
+//! * [`engine::QueryEngine`] — the worker pool. [`engine::QueryEngine::submit`]
+//!   enqueues and returns a handle; [`engine::QueryEngine::query`] blocks.
+//! * [`cache::ShardedCache`] — a power-of-two-sharded, per-shard-locked
+//!   LRU keyed by `(q, α, β, algorithm)` with hit/miss counters.
+//! * in-flight deduplication — when identical queries race, one worker
+//!   computes and the rest wait on the same result (`singleflight`).
+//! * [`stats::ServiceStats`] — QPS, p50/p90/p99 latency from a lock-free
+//!   log-bucketed histogram, cache hit rate, coalescing counters.
+//! * epoch swap — [`engine::QueryEngine::install`] atomically replaces
+//!   the index (e.g. a [`scs::DynamicIndex::snapshot`] after edge
+//!   updates) without stopping the workers; the cache is invalidated and
+//!   every response is tagged with the epoch that produced it.
+//! * [`replay`] — workload construction (reusing `datasets::workload`)
+//!   and a multi-client replay harness, the backing of the
+//!   `scs serve-bench` subcommand and the scaling benchmark.
+//!
+//! ## Example
+//!
+//! ```
+//! use bigraph::GraphBuilder;
+//! use scs::{Algorithm, CommunitySearch};
+//! use scs_service::{QueryEngine, QueryRequest, ServiceConfig};
+//!
+//! let mut b = GraphBuilder::new();
+//! for u in 0..3 {
+//!     for l in 0..3 {
+//!         b.add_edge(u, l, if u == 2 && l == 2 { 1.0 } else { 5.0 });
+//!     }
+//! }
+//! let search = CommunitySearch::shared(b.build().unwrap());
+//! let q = search.graph().upper(0);
+//!
+//! let engine = QueryEngine::start(search, ServiceConfig::default());
+//! let resp = engine.query(QueryRequest::new(q, 2, 2, Algorithm::Auto));
+//! assert_eq!(resp.summary.min_weight, Some(5.0));
+//! let again = engine.query(QueryRequest::new(q, 2, 2, Algorithm::Auto));
+//! assert!(again.cached);
+//! engine.shutdown();
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod replay;
+pub mod stats;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use engine::{QueryEngine, ResponseHandle, ServiceConfig};
+pub use replay::{build_workload, replay, ReplayReport, WorkloadSpec};
+pub use stats::ServiceStats;
+
+use bigraph::{EdgeId, Subgraph, Vertex};
+use scs::Algorithm;
+
+/// One community-search query, as accepted by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryRequest {
+    /// Query vertex (global id space, either side).
+    pub q: Vertex,
+    /// Minimum degree for upper vertices.
+    pub alpha: u32,
+    /// Minimum degree for lower vertices.
+    pub beta: u32,
+    /// Second-step algorithm.
+    pub algo: Algorithm,
+}
+
+impl QueryRequest {
+    /// Convenience constructor from the usual `usize` parameters.
+    ///
+    /// # Panics
+    /// Panics if `alpha` or `beta` exceeds `u32::MAX` — silently
+    /// truncating would serve a different (and likely nonempty) query
+    /// than the caller asked for. No real degree constraint comes close.
+    pub fn new(q: Vertex, alpha: usize, beta: usize, algo: Algorithm) -> Self {
+        QueryRequest {
+            q,
+            alpha: u32::try_from(alpha).expect("alpha exceeds u32::MAX"),
+            beta: u32::try_from(beta).expect("beta exceeds u32::MAX"),
+            algo,
+        }
+    }
+}
+
+/// An owned, thread-independent description of a query result — the
+/// significant (α,β)-community detached from the graph's lifetime so it
+/// can be cached and shipped across threads.
+///
+/// Two summaries are equal iff the underlying communities are identical
+/// (same edge set of the same graph), which is what the oracle test
+/// asserts against direct [`scs::CommunitySearch::significant_community`]
+/// calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunitySummary {
+    /// The community's edge ids, sorted (empty result ⇒ empty vec).
+    pub edges: Vec<EdgeId>,
+    /// Upper-side member count.
+    pub n_upper: usize,
+    /// Lower-side member count.
+    pub n_lower: usize,
+    /// `f(R)` — the maximised minimum edge weight; `None` for an empty
+    /// result.
+    pub min_weight: Option<f64>,
+}
+
+impl CommunitySummary {
+    /// Captures a borrowed [`Subgraph`] into an owned summary.
+    pub fn from_subgraph(sub: &Subgraph<'_>) -> Self {
+        let (us, ls) = sub.layer_vertices();
+        CommunitySummary {
+            edges: sub.edges().to_vec(),
+            n_upper: us.len(),
+            n_lower: ls.len(),
+            min_weight: sub.min_weight(),
+        }
+    }
+
+    /// The empty community — what the engine answers for requests no
+    /// community can satisfy (query vertex outside the installed graph,
+    /// or a zero degree constraint).
+    pub fn empty() -> Self {
+        CommunitySummary {
+            edges: Vec::new(),
+            n_upper: 0,
+            n_lower: 0,
+            min_weight: None,
+        }
+    }
+
+    /// Number of edges in the community.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// What the engine hands back for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The request this answers.
+    pub request: QueryRequest,
+    /// The community. Behind an `Arc` so cache hits and coalesced
+    /// responses share one summary instead of deep-copying the edge
+    /// list on the very path the cache exists to make cheap.
+    pub summary: std::sync::Arc<CommunitySummary>,
+    /// `true` if served from the result cache (no recomputation).
+    pub cached: bool,
+    /// `true` if this thread waited on another in-flight identical query
+    /// instead of computing (always `false` when `cached`).
+    pub coalesced: bool,
+    /// Index epoch that produced the summary (bumped by
+    /// [`engine::QueryEngine::install`]).
+    pub epoch: u64,
+    /// End-to-end service time for this request, microseconds, measured
+    /// from dequeue to response (compute or cache lookup, not queueing).
+    pub service_us: u64,
+}

@@ -1,0 +1,214 @@
+//! Workload construction and replay.
+//!
+//! The paper's efficiency experiments replay batches of random queries
+//! against the index; this module scales that up to a serving workload:
+//! [`build_workload`] draws query vertices from the (α,β)-core via
+//! `datasets::workload` (so answers are nonempty) and mixes in repeats —
+//! real query streams are heavily skewed, and the repeats are what
+//! exercise the result cache and the in-flight deduplication.
+//! [`replay`] then hammers a running [`QueryEngine`] from a configurable
+//! number of client threads and reports the engine's stats plus replay
+//! wall time.
+
+use crate::engine::QueryEngine;
+use crate::stats::ServiceStats;
+use crate::{QueryRequest, QueryResponse};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scs::{Algorithm, CommunitySearch};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shape of a generated workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Total queries to generate.
+    pub n_queries: usize,
+    /// Degree constraints applied to every query.
+    pub alpha: usize,
+    /// See `alpha`.
+    pub beta: usize,
+    /// Second-step algorithm for every query.
+    pub algo: Algorithm,
+    /// Fraction in `[0, 1]` of queries that repeat an earlier query
+    /// (drawn uniformly from the history), producing cache hits and
+    /// concurrent duplicates.
+    pub repeat_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_queries: 1000,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a replayable request stream for `search`.
+///
+/// Fresh queries sample vertices uniformly from the (α,β)-core
+/// ([`datasets::workload::random_core_queries`]); with probability
+/// `repeat_fraction` a query instead repeats a uniformly chosen earlier
+/// one. Returns an empty vec when the core is empty (nothing sensible to
+/// serve).
+pub fn build_workload(search: &CommunitySearch, spec: &WorkloadSpec) -> Vec<QueryRequest> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let fresh = datasets::workload::random_core_queries(
+        search.graph(),
+        spec.alpha,
+        spec.beta,
+        spec.n_queries,
+        &mut rng,
+    );
+    if fresh.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<QueryRequest> = Vec::with_capacity(spec.n_queries);
+    for q in fresh {
+        let req = if !out.is_empty() && rng.gen_bool(spec.repeat_fraction) {
+            out[rng.gen_range(0..out.len())]
+        } else {
+            QueryRequest::new(q, spec.alpha, spec.beta, spec.algo)
+        };
+        out.push(req);
+    }
+    out
+}
+
+/// Outcome of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Engine metrics at the end of the run.
+    pub stats: ServiceStats,
+    /// Requests actually replayed.
+    pub n_queries: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Wall-clock duration of the replay itself, seconds.
+    pub wall_secs: f64,
+    /// `n_queries / wall_secs` — throughput of this replay (the engine's
+    /// own `stats.qps` averages over the engine's whole lifetime).
+    pub replay_qps: f64,
+}
+
+/// Replays `workload` against `engine` from `clients` threads, round-robin
+/// partitioned, collecting every response. Responses are returned in
+/// workload order so callers can compare them one-to-one against an
+/// oracle.
+pub fn replay(
+    engine: &QueryEngine,
+    workload: &[QueryRequest],
+    clients: usize,
+) -> (ReplayReport, Vec<Arc<QueryResponse>>) {
+    let clients = clients.max(1);
+    let t0 = Instant::now();
+    let mut responses: Vec<Option<Arc<QueryResponse>>> = vec![None; workload.len()];
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(clients);
+        for c in 0..clients {
+            joins.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                for (i, req) in workload.iter().enumerate() {
+                    if i % clients == c {
+                        // submit+wait per request: each client models one
+                        // synchronous caller, so concurrency = clients.
+                        got.push((i, engine.query(*req)));
+                    }
+                }
+                got
+            }));
+        }
+        for j in joins {
+            for (i, resp) in j.join().expect("client thread panicked") {
+                responses[i] = Some(resp);
+            }
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let report = ReplayReport {
+        stats: engine.stats(),
+        n_queries: workload.len(),
+        clients,
+        wall_secs,
+        replay_qps: workload.len() as f64 / wall_secs,
+    };
+    let responses = responses
+        .into_iter()
+        .map(|r| r.expect("every slot answered"))
+        .collect();
+    (report, responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use bigraph::generators::random_bipartite;
+
+    fn small_search() -> Arc<CommunitySearch> {
+        let mut rng = StdRng::seed_from_u64(9);
+        CommunitySearch::shared(random_bipartite(30, 30, 220, &mut rng))
+    }
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let search = small_search();
+        let spec = WorkloadSpec {
+            n_queries: 200,
+            repeat_fraction: 0.6,
+            ..WorkloadSpec::default()
+        };
+        let w = build_workload(&search, &spec);
+        assert_eq!(w.len(), 200);
+        // With 60% repeats the distinct count must be well below 200.
+        let mut distinct: Vec<_> = w.clone();
+        distinct.sort_by_key(|r| (r.q, r.alpha, r.beta));
+        distinct.dedup();
+        assert!(distinct.len() < 150, "distinct={}", distinct.len());
+        // Determinism: same seed, same stream.
+        assert_eq!(w, build_workload(&search, &spec));
+    }
+
+    #[test]
+    fn workload_empty_when_core_empty() {
+        let search = small_search();
+        let spec = WorkloadSpec {
+            alpha: 50,
+            beta: 50,
+            ..WorkloadSpec::default()
+        };
+        assert!(build_workload(&search, &spec).is_empty());
+    }
+
+    #[test]
+    fn replay_answers_everything_in_order() {
+        let search = small_search();
+        let spec = WorkloadSpec {
+            n_queries: 120,
+            ..WorkloadSpec::default()
+        };
+        let w = build_workload(&search, &spec);
+        let engine = QueryEngine::start(
+            search,
+            ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let (report, responses) = replay(&engine, &w, 3);
+        assert_eq!(report.n_queries, 120);
+        assert_eq!(responses.len(), 120);
+        for (req, resp) in w.iter().zip(&responses) {
+            assert_eq!(resp.request, *req);
+        }
+        assert!(report.stats.cache.hits > 0, "repeats must hit the cache");
+        engine.shutdown();
+    }
+}

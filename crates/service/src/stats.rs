@@ -1,0 +1,200 @@
+//! Service-side metrics: a lock-free latency histogram and the
+//! [`ServiceStats`] snapshot the CLI prints.
+
+use crate::cache::CacheStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes 0µs).
+const BUCKETS: usize = 40;
+
+/// A log-bucketed histogram of latencies in microseconds.
+///
+/// Recording is a single relaxed `fetch_add`, so worker threads never
+/// contend; quantiles are read by scanning the 40 buckets and are exact
+/// to within a factor of two (the bucket width), reported at the bucket's
+/// geometric midpoint.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        // us=0 and us=1 both land in bucket 0/1 edge: ilog2-style index.
+        let bucket = bucket.saturating_sub(1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (`0 < q ≤ 1`) in microseconds: the
+    /// geometric midpoint of the bucket containing the quantile rank.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64 << (i + 1);
+                return ((lo + hi) / 2).min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+}
+
+/// A point-in-time snapshot of a running engine, as printed by
+/// `scs serve-bench` and the scaling benchmark.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Requests completed since engine start.
+    pub completed: u64,
+    /// Responses that waited on an identical in-flight computation.
+    pub coalesced: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Current index epoch (number of `install` calls).
+    pub epoch: u64,
+    /// Completed requests per wall-clock second since engine start.
+    pub qps: f64,
+    /// Mean service latency, µs.
+    pub mean_us: f64,
+    /// Median service latency, µs.
+    pub p50_us: u64,
+    /// 90th-percentile service latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile service latency, µs.
+    pub p99_us: u64,
+    /// Worst observed service latency, µs.
+    pub max_us: u64,
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "┌─────────────────────┬──────────────┐")?;
+        writeln!(f, "│ workers             │ {:>12} │", self.workers)?;
+        writeln!(f, "│ completed           │ {:>12} │", self.completed)?;
+        writeln!(f, "│ throughput (QPS)    │ {:>12.1} │", self.qps)?;
+        writeln!(f, "│ latency mean (µs)   │ {:>12.1} │", self.mean_us)?;
+        writeln!(f, "│ latency p50 (µs)    │ {:>12} │", self.p50_us)?;
+        writeln!(f, "│ latency p90 (µs)    │ {:>12} │", self.p90_us)?;
+        writeln!(f, "│ latency p99 (µs)    │ {:>12} │", self.p99_us)?;
+        writeln!(f, "│ latency max (µs)    │ {:>12} │", self.max_us)?;
+        writeln!(f, "│ cache hits          │ {:>12} │", self.cache.hits)?;
+        writeln!(f, "│ cache misses        │ {:>12} │", self.cache.misses)?;
+        writeln!(
+            f,
+            "│ cache hit rate      │ {:>11.1}% │",
+            self.cache.hit_rate() * 100.0
+        )?;
+        writeln!(f, "│ cache entries       │ {:>12} │", self.cache.entries)?;
+        writeln!(f, "│ coalesced queries   │ {:>12} │", self.coalesced)?;
+        writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
+        write!(f, "└─────────────────────┴──────────────┘")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 12, 14, 16, 100, 1000, 10_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_us(), 10_000);
+        let p50 = h.quantile_us(0.5);
+        // Median sample is 16 → its bucket [16,32) midpoint is 24.
+        assert!((8..=32).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 1000, "p99={p99}");
+        assert!(h.quantile_us(1.0) <= 10_000);
+        let mean = h.mean_us();
+        assert!((mean - 11152.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), 0); // capped by max
+    }
+
+    #[test]
+    fn stats_table_renders() {
+        let s = ServiceStats {
+            workers: 4,
+            completed: 1000,
+            coalesced: 3,
+            cache: CacheStats {
+                hits: 600,
+                misses: 400,
+                entries: 128,
+                capacity: 1024,
+                shards: 8,
+            },
+            epoch: 1,
+            qps: 12345.6,
+            mean_us: 42.0,
+            p50_us: 30,
+            p90_us: 80,
+            p99_us: 200,
+            max_us: 900,
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("QPS"));
+        assert!(txt.contains("12345.6"));
+        assert!(txt.contains("60.0%"));
+    }
+}

@@ -25,10 +25,7 @@ fn main() {
         if rng.gen_bool(0.5) && index.graph().n_edges() > 0 {
             let e = bigraph::EdgeId(rng.gen_range(0..index.graph().n_edges()) as u32);
             let (u, l) = index.graph().endpoints(e);
-            let (ui, li) = (
-                index.graph().local_index(u),
-                index.graph().local_index(l),
-            );
+            let (ui, li) = (index.graph().local_index(u), index.graph().local_index(l));
             index.remove_edge(ui, li).expect("edge exists");
             removals += 1;
         } else {

@@ -46,7 +46,9 @@ fn main() {
         .iter()
         .filter(|&&l| !sc.contains_vertex(l))
         .count();
-    println!("excluded vs structural community: {users_dropped} user(s), {movies_dropped} movie(s)");
+    println!(
+        "excluded vs structural community: {users_dropped} user(s), {movies_dropped} movie(s)"
+    );
 
     // All algorithms agree; pick by parameter regime (see Fig. 13).
     for algo in [Algorithm::Peel, Algorithm::Expand, Algorithm::Binary] {

@@ -53,7 +53,10 @@ fn main() {
         "weakest membership edge: {:.0} completed tasks (guaranteed minimum)",
         team.min_weight().unwrap()
     );
-    let roster: Vec<usize> = devs.iter().map(|&d| search.graph().local_index(d)).collect();
+    let roster: Vec<usize> = devs
+        .iter()
+        .map(|&d| search.graph().local_index(d))
+        .collect();
     println!("roster: {roster:?}");
     assert!(
         roster.iter().all(|&d| d < 8),

@@ -1,0 +1,22 @@
+//! # scs-repro — workspace umbrella crate
+//!
+//! This crate exists to anchor the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`), which exercise the
+//! whole stack across crate boundaries. It re-exports the member crates
+//! so `cargo doc` renders one entry point:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`bigraph`] | weighted bipartite CSR graphs, builders, generators |
+//! | [`bicore`] | (α,β)-core peeling, offsets, degeneracy, `Iv` baseline |
+//! | [`scs`] | the `Iδ` index and the significant-community queries |
+//! | [`cohesion`] | comparison models (butterfly, bitruss, biclique) |
+//! | [`datasets`] | Table-I synthetic analogues and query workloads |
+//! | [`scs_service`] | concurrent query-serving engine (`scs serve-bench`) |
+
+pub use bicore;
+pub use bigraph;
+pub use cohesion;
+pub use datasets;
+pub use scs;
+pub use scs_service;

@@ -67,9 +67,18 @@ fn all_scs_algorithms_agree_and_verify() {
                     let re = scs_expand(&g, &c, v, a, b);
                     let rb = scs_binary(&g, &c, v, a, b);
                     let rbl = scs_baseline(&g, v, a, b);
-                    assert!(re.same_edges(&rp), "expand≠peel {model:?} α={a} β={b} {v:?}");
-                    assert!(rb.same_edges(&rp), "binary≠peel {model:?} α={a} β={b} {v:?}");
-                    assert!(rbl.same_edges(&rp), "baseline≠peel {model:?} α={a} β={b} {v:?}");
+                    assert!(
+                        re.same_edges(&rp),
+                        "expand≠peel {model:?} α={a} β={b} {v:?}"
+                    );
+                    assert!(
+                        rb.same_edges(&rp),
+                        "binary≠peel {model:?} α={a} β={b} {v:?}"
+                    );
+                    assert!(
+                        rbl.same_edges(&rp),
+                        "baseline≠peel {model:?} α={a} β={b} {v:?}"
+                    );
                     verify_significant(&g, &c, v, a, b, &rp)
                         .unwrap_or_else(|e| panic!("oracle rejects peel result: {e}"));
                 }

@@ -68,7 +68,10 @@ fn sc_excludes_grumps_across_seeds() {
                 matches!(ml.user_kind[orig], UserKind::Fan(_))
             })
             .count();
-        assert!(fans_sc * 10 >= sc.layer_vertices().0.len() * 9, "seed {seed}");
+        assert!(
+            fans_sc * 10 >= sc.layer_vertices().0.len() * 9,
+            "seed {seed}"
+        );
 
         // Dislike metric strictly better (or equal when core is clean).
         let d_sc = dislike_fraction(&sc, 4.0, 0.6 * t as f64);

@@ -45,7 +45,12 @@ fn paper_example_1() {
     let search = CommunitySearch::new(g);
     let gref = search.graph();
     let q = gref.upper(2);
-    for algo in [Algorithm::Peel, Algorithm::Expand, Algorithm::Binary, Algorithm::Baseline] {
+    for algo in [
+        Algorithm::Peel,
+        Algorithm::Expand,
+        Algorithm::Binary,
+        Algorithm::Baseline,
+    ] {
         let r = search.significant_community(q, 2, 2, algo);
         let mut edges: Vec<(usize, usize)> = r
             .edges()
@@ -68,7 +73,10 @@ fn paper_example_2_and_3_c33_of_u1() {
     let ia = BasicIndex::build(&g, Side::Upper);
     let id = DeltaIndex::build(&g);
     let q = g.upper(0);
-    for c in [ia.query_community(&g, q, 3, 3), id.query_community(&g, q, 3, 3)] {
+    for c in [
+        ia.query_community(&g, q, 3, 3),
+        id.query_community(&g, q, 3, 3),
+    ] {
         assert_eq!(c.size(), 9);
         let (us, vs) = c.layer_vertices();
         let us: Vec<usize> = us.iter().map(|&v| g.local_index(v) + 1).collect();
@@ -101,8 +109,14 @@ fn figure1_significant_community_of_eric() {
     let eric = gref.upper(2);
 
     let c = search.community(eric, 3, 2);
-    assert!(c.contains_vertex(gref.upper(0)), "Taylor in the structural community");
-    assert!(c.contains_vertex(gref.lower(1)), "Alien in the structural community");
+    assert!(
+        c.contains_vertex(gref.upper(0)),
+        "Taylor in the structural community"
+    );
+    assert!(
+        c.contains_vertex(gref.lower(1)),
+        "Alien in the structural community"
+    );
 
     let r = search.significant_community(eric, 3, 2, Algorithm::Auto);
     assert!(!r.is_empty());

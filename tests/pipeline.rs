@@ -4,7 +4,9 @@
 use bicore::degeneracy::degeneracy;
 use bigraph::metrics::{bipartite_density, community_stats, dislike_fraction, jaccard_similarity};
 use bigraph::Subgraph;
-use cohesion::{bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community};
+use cohesion::{
+    bitruss_community, bitruss_decomposition, maximal_biclique_containing, threshold_community,
+};
 use datasets::{generate_movielens, random_core_queries, DatasetSpec, MovieLensConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +18,10 @@ fn catalog_dataset_full_pipeline() {
     let spec = DatasetSpec::by_name("BS").unwrap().scaled(0.1);
     let g = spec.build(11);
     let delta = degeneracy(&g);
-    assert!(delta >= 2, "analogue must have a nontrivial core (δ={delta})");
+    assert!(
+        delta >= 2,
+        "analogue must have a nontrivial core (δ={delta})"
+    );
     let search = CommunitySearch::new(g);
     let t = ((delta as f64 * 0.7).round() as usize).max(1);
     let mut rng = StdRng::seed_from_u64(5);
@@ -170,7 +175,14 @@ fn empty_subgraph_edge_cases_through_facade() {
     // Absurd parameters: everything must come back empty, not panic.
     let c = search.community(q, 10_000, 10_000);
     assert!(c.is_empty());
-    for algo in [Algorithm::Peel, Algorithm::Expand, Algorithm::Binary, Algorithm::Baseline] {
-        assert!(search.significant_community(q, 10_000, 10_000, algo).is_empty());
+    for algo in [
+        Algorithm::Peel,
+        Algorithm::Expand,
+        Algorithm::Binary,
+        Algorithm::Baseline,
+    ] {
+        assert!(search
+            .significant_community(q, 10_000, 10_000, algo)
+            .is_empty());
     }
 }
