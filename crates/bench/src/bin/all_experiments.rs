@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const BINS: [&str; 10] = [
+const BINS: [&str; 11] = [
     "table1",
     "fig6_quality",
     "table2_case_study",
@@ -17,6 +17,7 @@ const BINS: [&str; 10] = [
     "fig12_scs_datasets",
     "fig13_scs_params",
     "table3_weight_dist",
+    "workspace_reuse",
 ];
 
 fn main() {

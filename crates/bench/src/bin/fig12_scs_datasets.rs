@@ -8,8 +8,8 @@
 use datasets::random_core_queries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scs::query::{scs_baseline, scs_expand, scs_peel};
-use scs::DeltaIndex;
+use scs::query::{scs_baseline_in, scs_expand_in, scs_peel_in};
+use scs::{DeltaIndex, QueryWorkspace};
 use scs_bench::*;
 
 fn main() {
@@ -30,16 +30,19 @@ fn main() {
             println!("{name:>8}  (empty ({t},{t})-core, skipped)");
             continue;
         }
+        // One warm workspace per dataset, shared by all three
+        // contenders — the serving layer's reuse discipline.
+        let mut ws = QueryWorkspace::new();
         let (bl_m, bl_s) = mean_std(&time_queries(&queries, |q| {
-            std::hint::black_box(scs_baseline(&g, q, t, t));
+            std::hint::black_box(scs_baseline_in(&g, q, t, t, &mut ws));
         }));
         let (pe_m, pe_s) = mean_std(&time_queries(&queries, |q| {
             let c = id.query_community(&g, q, t, t);
-            std::hint::black_box(scs_peel(&g, &c, q, t, t));
+            std::hint::black_box(scs_peel_in(&g, &c, q, t, t, &mut ws));
         }));
         let (ex_m, ex_s) = mean_std(&time_queries(&queries, |q| {
             let c = id.query_community(&g, q, t, t);
-            std::hint::black_box(scs_expand(&g, &c, q, t, t));
+            std::hint::black_box(scs_expand_in(&g, &c, q, t, t, &mut ws));
         }));
         let pm = |m: f64, s: f64| format!("{}±{}", fmt_secs(m), fmt_secs(s));
         print_row(

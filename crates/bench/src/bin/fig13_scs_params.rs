@@ -7,8 +7,8 @@
 use datasets::random_core_queries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scs::query::{scs_baseline, scs_expand, scs_peel};
-use scs::DeltaIndex;
+use scs::query::{scs_baseline_in, scs_expand_in, scs_peel_in};
+use scs::{DeltaIndex, QueryWorkspace};
 use scs_bench::*;
 
 const CS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -31,16 +31,18 @@ fn sweep(
             println!("{c:>6}  (empty core, skipped)");
             continue;
         }
+        // Warm-workspace runs, as in the serving layer.
+        let mut ws = QueryWorkspace::new();
         let (bl, _) = mean_std(&time_queries(&queries, |q| {
-            std::hint::black_box(scs_baseline(g, q, a, b));
+            std::hint::black_box(scs_baseline_in(g, q, a, b, &mut ws));
         }));
         let (pe, _) = mean_std(&time_queries(&queries, |q| {
             let cm = id.query_community(g, q, a, b);
-            std::hint::black_box(scs_peel(g, &cm, q, a, b));
+            std::hint::black_box(scs_peel_in(g, &cm, q, a, b, &mut ws));
         }));
         let (ex, _) = mean_std(&time_queries(&queries, |q| {
             let cm = id.query_community(g, q, a, b);
-            std::hint::black_box(scs_expand(g, &cm, q, a, b));
+            std::hint::black_box(scs_expand_in(g, &cm, q, a, b, &mut ws));
         }));
         print_row(
             &[

@@ -4,6 +4,7 @@
 //! whole graph from scratch and then extracts the connected component of
 //! the query vertex — the index-free baseline of the paper's Fig. 8.
 
+use bigraph::workspace::Workspace;
 use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
 use std::collections::VecDeque;
 
@@ -73,39 +74,20 @@ impl CoreMembership {
 /// The core is the *maximal* subgraph in which every upper vertex has
 /// degree ≥ α and every lower vertex degree ≥ β (Definition 1); peeling
 /// under-degree vertices until fixpoint yields exactly that subgraph.
+///
+/// Thin wrapper over [`abcore_in`] that allocates a throwaway
+/// [`Workspace`]; callers issuing many queries should hold a workspace
+/// and use the `_in` form.
 pub fn abcore(g: &BipartiteGraph, alpha: usize, beta: usize) -> CoreMembership {
-    assert!(alpha >= 1 && beta >= 1, "degree constraints must be >= 1");
+    let mut ws = Workspace::new();
+    let n_alive = abcore_in(g, alpha, beta, &mut ws);
     let n = g.n_vertices();
-    let mut degree: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
-    let mut alive = vec![true; n];
-    let mut n_alive = n;
-    let mut stack: Vec<Vertex> = Vec::new();
+    let mut alive = vec![false; n];
+    let mut degree = vec![0u32; n];
     for v in g.vertices() {
-        let need = if g.is_upper(v) { alpha } else { beta } as u32;
-        if degree[v.index()] < need {
-            alive[v.index()] = false;
-            stack.push(v);
-        }
-    }
-    n_alive -= stack.len();
-    while let Some(v) = stack.pop() {
-        for &w in g.neighbors(v) {
-            let wi = w.index();
-            if !alive[wi] {
-                continue;
-            }
-            degree[wi] -= 1;
-            let need = if g.is_upper(w) { alpha } else { beta } as u32;
-            if degree[wi] < need {
-                alive[wi] = false;
-                n_alive -= 1;
-                stack.push(w);
-            }
-        }
-    }
-    for v in g.vertices() {
-        if !alive[v.index()] {
-            degree[v.index()] = 0;
+        if !ws.dead.contains(v) {
+            alive[v.index()] = true;
+            degree[v.index()] = ws.degree[v];
         }
     }
     CoreMembership {
@@ -115,6 +97,54 @@ pub fn abcore(g: &BipartiteGraph, alpha: usize, beta: usize) -> CoreMembership {
         degree,
         n_alive,
     }
+}
+
+/// Allocation-free (α,β)-core peel into a reusable [`Workspace`].
+///
+/// On return, `ws.dead` holds exactly the vertices peeled away
+/// (`!ws.dead.contains(v)` ⇔ `v` is in the core) and `ws.degree[v]` is
+/// the core degree of every surviving vertex (values for dead vertices
+/// are unspecified). Clobbers `ws.dead`, `ws.degree` and `ws.queue`.
+/// Returns the number of core vertices.
+pub fn abcore_in(g: &BipartiteGraph, alpha: usize, beta: usize, ws: &mut Workspace) -> usize {
+    assert!(alpha >= 1 && beta >= 1, "degree constraints must be >= 1");
+    ws.fit(g);
+    ws.dead.clear();
+    ws.queue.clear();
+    let Workspace {
+        dead,
+        degree,
+        queue,
+        ..
+    } = ws;
+    let n = g.n_vertices();
+    for v in g.vertices() {
+        degree[v] = g.degree(v) as u32;
+    }
+    let mut n_alive = n;
+    for v in g.vertices() {
+        let need = if g.is_upper(v) { alpha } else { beta } as u32;
+        if degree[v] < need {
+            dead.insert(v);
+            queue.push(v.0);
+        }
+    }
+    n_alive -= queue.len();
+    while let Some(vi) = queue.pop() {
+        for &w in g.neighbors(Vertex(vi)) {
+            if dead.contains(w) {
+                continue;
+            }
+            degree[w] -= 1;
+            let need = if g.is_upper(w) { alpha } else { beta } as u32;
+            if degree[w] < need {
+                dead.insert(w);
+                n_alive -= 1;
+                queue.push(w.0);
+            }
+        }
+    }
+    n_alive
 }
 
 /// The online query algorithm `Qo`: computes the (α,β)-community
@@ -128,8 +158,66 @@ pub fn abcore_community<'g>(
     alpha: usize,
     beta: usize,
 ) -> Subgraph<'g> {
-    let core = abcore(g, alpha, beta);
-    community_in_core(g, &core, q)
+    let mut ws = Workspace::new();
+    abcore_community_in(g, q, alpha, beta, &mut ws)
+}
+
+/// [`abcore_community`] with reusable scratch; see [`abcore_community_into`].
+pub fn abcore_community_in<'g>(
+    g: &'g BipartiteGraph,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut Workspace,
+) -> Subgraph<'g> {
+    let mut out = Vec::new();
+    abcore_community_into(g, q, alpha, beta, ws, &mut out);
+    Subgraph::from_edges(g, out)
+}
+
+/// Fully allocation-free `Qo`: peels the (α,β)-core with [`abcore_in`],
+/// then BFS-extracts `q`'s component into `out` (cleared first; sorted
+/// and deduplicated like [`Subgraph::from_edges`]). Clobbers `ws.dead`,
+/// `ws.degree`, `ws.visited` and `ws.queue`.
+pub fn abcore_community_into(
+    g: &BipartiteGraph,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut Workspace,
+    out: &mut Vec<EdgeId>,
+) {
+    out.clear();
+    abcore_in(g, alpha, beta, ws);
+    if ws.dead.contains(q) {
+        return;
+    }
+    ws.visited.clear();
+    ws.queue.clear();
+    let Workspace {
+        visited,
+        dead,
+        queue,
+        ..
+    } = ws;
+    visited.insert(q);
+    queue.push(q.0);
+    while let Some(xi) = queue.pop() {
+        let x = Vertex(xi);
+        for (w, e) in g.neighbors_with_edges(x) {
+            if dead.contains(w) {
+                continue;
+            }
+            if g.is_upper(x) {
+                out.push(e); // record each edge from its upper endpoint
+            }
+            if visited.insert(w) {
+                queue.push(w.0);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// BFS extraction of `q`'s component within a precomputed core
@@ -266,5 +354,35 @@ mod tests {
     fn zero_alpha_panics() {
         let g = complete_biclique(2, 2);
         abcore(&g, 0, 1);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_wrappers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        // Graphs of different sizes through one workspace: membership,
+        // degrees and communities must match the allocating wrappers.
+        for (nu, nl, m) in [(20, 20, 90), (35, 30, 180), (10, 12, 40)] {
+            let g = random_bipartite(nu, nl, m, &mut rng);
+            for (a, b) in [(1, 1), (2, 2), (2, 3)] {
+                let fresh = abcore(&g, a, b);
+                let n_alive = abcore_in(&g, a, b, &mut ws);
+                assert_eq!(n_alive, fresh.n_vertices());
+                for v in g.vertices() {
+                    assert_eq!(!ws.dead.contains(v), fresh.contains(v), "{v:?}");
+                    if fresh.contains(v) {
+                        assert_eq!(ws.degree[v] as usize, fresh.degree(v), "{v:?}");
+                    }
+                }
+                for qi in 0..nu.min(5) {
+                    let q = g.upper(qi);
+                    abcore_community_into(&g, q, a, b, &mut ws, &mut out);
+                    let direct = abcore_community(&g, q, a, b);
+                    assert_eq!(out, direct.edges(), "α={a} β={b} q={q:?}");
+                }
+            }
+        }
+        assert!(ws.allocations_avoided() > 0);
     }
 }

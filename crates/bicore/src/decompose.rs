@@ -11,60 +11,102 @@
 //! k-core decomposition, ref.\[21\] of the paper). Running it for α = 1..δ gives the paper's
 //! `O(δ·m)` index construction bound (Lemma 6).
 
+use bigraph::workspace::Workspace;
 use bigraph::{BipartiteGraph, Side, Vertex};
 
 /// Computes `s_a(v, α)` for every vertex `v` (the maximal β with
 /// `v ∈ (α,β)-core`), in `O(m + α_max)` time.
 pub fn alpha_offsets(g: &BipartiteGraph, alpha: usize) -> Vec<u32> {
-    offsets_impl(g, Side::Upper, alpha as u32)
+    let mut out = Vec::new();
+    alpha_offsets_into(g, alpha, &mut Workspace::new(), &mut out);
+    out
 }
 
 /// Computes `s_b(v, β)` for every vertex `v` (the maximal α with
 /// `v ∈ (α,β)-core`), in `O(m + β_max)` time.
 pub fn beta_offsets(g: &BipartiteGraph, beta: usize) -> Vec<u32> {
-    offsets_impl(g, Side::Lower, beta as u32)
+    let mut out = Vec::new();
+    beta_offsets_into(g, beta, &mut Workspace::new(), &mut out);
+    out
+}
+
+/// [`alpha_offsets`] with reusable scratch: `out` receives the offsets
+/// (cleared first), `ws` provides the peeling buffers. Index
+/// construction calls this once per level, so reuse across levels keeps
+/// the `O(δ·m)` build free of per-level buffer churn.
+pub fn alpha_offsets_into(
+    g: &BipartiteGraph,
+    alpha: usize,
+    ws: &mut Workspace,
+    out: &mut Vec<u32>,
+) {
+    offsets_impl_in(g, Side::Upper, alpha as u32, ws, out)
+}
+
+/// [`beta_offsets`] with reusable scratch; see [`alpha_offsets_into`].
+pub fn beta_offsets_into(g: &BipartiteGraph, beta: usize, ws: &mut Workspace, out: &mut Vec<u32>) {
+    offsets_impl_in(g, Side::Lower, beta as u32, ws, out)
 }
 
 /// Offset kernel.
 ///
 /// `fixed_side` is the layer whose degree constraint is pinned to `k`
-/// (upper for α-offsets, lower for β-offsets); the returned value per
+/// (upper for α-offsets, lower for β-offsets); the produced value per
 /// vertex is the maximal constraint on the *free* layer under which the
-/// vertex stays in the core.
-fn offsets_impl(g: &BipartiteGraph, fixed_side: Side, k: u32) -> Vec<u32> {
+/// vertex stays in the core. Clobbers `ws.dead`, `ws.degree`,
+/// `ws.queue` and `ws.stack`; the bucket queue is level-local.
+fn offsets_impl_in(
+    g: &BipartiteGraph,
+    fixed_side: Side,
+    k: u32,
+    ws: &mut Workspace,
+    out: &mut Vec<u32>,
+) {
     let n = g.n_vertices();
-    let mut offset = vec![0u32; n];
+    out.clear();
+    out.resize(n, 0);
     if n == 0 || k == 0 {
         // k = 0 is degenerate: every vertex with an incident edge stays
         // forever; callers always pass k >= 1.
-        return offset;
+        return;
     }
-    let mut deg: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
-    let mut alive = vec![true; n];
+    ws.fit(g);
+    ws.dead.clear();
+    ws.queue.clear();
+    ws.stack.clear();
+    let Workspace {
+        dead,
+        degree: deg,
+        queue: stack,
+        stack: cascade,
+        ..
+    } = ws;
+    let offset = out;
+    for v in g.vertices() {
+        deg[v] = g.degree(v) as u32;
+    }
     let fixed_is_upper = fixed_side == Side::Upper;
     let is_fixed = |g: &BipartiteGraph, v: Vertex| g.is_upper(v) == fixed_is_upper;
 
     // Phase 1: reduce to the (k, 1)-core — fixed-side vertices need
     // degree >= k, free-side vertices need degree >= 1.
-    let mut stack: Vec<Vertex> = Vec::new();
     for v in g.vertices() {
         let need = if is_fixed(g, v) { k } else { 1 };
-        if deg[v.index()] < need {
-            alive[v.index()] = false;
-            stack.push(v);
+        if deg[v] < need {
+            dead.insert(v);
+            stack.push(v.0);
         }
     }
-    while let Some(v) = stack.pop() {
-        for &w in g.neighbors(v) {
-            let wi = w.index();
-            if !alive[wi] {
+    while let Some(vi) = stack.pop() {
+        for &w in g.neighbors(Vertex(vi)) {
+            if dead.contains(w) {
                 continue;
             }
-            deg[wi] -= 1;
+            deg[w] -= 1;
             let need = if is_fixed(g, w) { k } else { 1 };
-            if deg[wi] < need {
-                alive[wi] = false;
-                stack.push(w);
+            if deg[w] < need {
+                dead.insert(w);
+                stack.push(w.0);
             }
         }
     }
@@ -77,30 +119,29 @@ fn offsets_impl(g: &BipartiteGraph, fixed_side: Side, k: u32) -> Vec<u32> {
     // exist (the graph always empties because degrees are finite).
     let free_count = g
         .vertices()
-        .filter(|&v| alive[v.index()] && !is_fixed(g, v))
+        .filter(|&v| !dead.contains(v) && !is_fixed(g, v))
         .count();
     let mut remaining = free_count;
     if remaining == 0 {
-        return offset;
+        return;
     }
     let max_free_deg = g
         .vertices()
-        .filter(|&v| alive[v.index()] && !is_fixed(g, v))
-        .map(|v| deg[v.index()] as usize)
+        .filter(|&v| !dead.contains(v) && !is_fixed(g, v))
+        .map(|v| deg[v] as usize)
         .max()
         .unwrap_or(0);
     // Lazy bucket queue: each free vertex is (re-)pushed whenever its
     // degree drops; stale entries are skipped on pop.
     let mut buckets: Vec<Vec<Vertex>> = vec![Vec::new(); max_free_deg + 1];
     for v in g.vertices() {
-        if alive[v.index()] && !is_fixed(g, v) {
-            buckets[deg[v.index()] as usize].push(v);
+        if !dead.contains(v) && !is_fixed(g, v) {
+            buckets[deg[v] as usize].push(v);
         }
     }
 
     let mut level: u32 = 0;
     let mut cursor: usize = 0; // buckets below `cursor` are empty
-    let mut cascade: Vec<Vertex> = Vec::new();
     while remaining > 0 {
         // Jump to the next removal level: the minimum live free degree.
         while cursor < buckets.len() && buckets[cursor].is_empty() {
@@ -118,30 +159,28 @@ fn offsets_impl(g: &BipartiteGraph, fixed_side: Side, k: u32) -> Vec<u32> {
                 }
                 continue;
             };
-            let vi = v.index();
-            if !alive[vi] || deg[vi] as usize != cursor {
+            if dead.contains(v) || deg[v] as usize != cursor {
                 continue; // stale entry
             }
             // Remove free vertex v at this level.
-            alive[vi] = false;
-            offset[vi] = level;
+            dead.insert(v);
+            offset[v.index()] = level;
             remaining -= 1;
-            cascade.push(v);
-            while let Some(x) = cascade.pop() {
-                for &w in g.neighbors(x) {
-                    let wi = w.index();
-                    if !alive[wi] {
+            cascade.push(v.0);
+            while let Some(xi) = cascade.pop() {
+                for &w in g.neighbors(Vertex(xi)) {
+                    if dead.contains(w) {
                         continue;
                     }
-                    deg[wi] -= 1;
+                    deg[w] -= 1;
                     if is_fixed(g, w) {
-                        if deg[wi] < k {
-                            alive[wi] = false;
-                            offset[wi] = level;
-                            cascade.push(w);
+                        if deg[w] < k {
+                            dead.insert(w);
+                            offset[w.index()] = level;
+                            cascade.push(w.0);
                         }
                     } else {
-                        let nd = deg[wi] as usize;
+                        let nd = deg[w] as usize;
                         buckets[nd].push(w);
                         if nd < cursor {
                             cursor = nd;
@@ -151,7 +190,6 @@ fn offsets_impl(g: &BipartiteGraph, fixed_side: Side, k: u32) -> Vec<u32> {
             }
         }
     }
-    offset
 }
 
 /// Precomputed offsets for a contiguous range of fixed-side constraints
@@ -165,10 +203,16 @@ pub struct OffsetTable {
 
 impl OffsetTable {
     /// Computes offsets for all `k in 1..=k_max`; `O(k_max · m)` time and
-    /// `O(k_max · n)` space.
+    /// `O(k_max · n)` space. One workspace is shared across the levels,
+    /// so only the output rows themselves are allocated.
     pub fn compute(g: &BipartiteGraph, fixed_side: Side, k_max: usize) -> Self {
+        let mut ws = Workspace::new();
         let rows = (1..=k_max)
-            .map(|k| offsets_impl(g, fixed_side, k as u32))
+            .map(|k| {
+                let mut row = Vec::new();
+                offsets_impl_in(g, fixed_side, k as u32, &mut ws, &mut row);
+                row
+            })
             .collect();
         OffsetTable { fixed_side, rows }
     }

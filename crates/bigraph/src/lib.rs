@@ -21,7 +21,10 @@
 //! * [`weights`] — the four weight models evaluated in the paper's
 //!   Table III (all-equal, uniform, skew-normal, random walk with restart);
 //! * [`metrics`] — bipartite density, Jaccard similarity and rating
-//!   statistics used by the effectiveness experiments.
+//!   statistics used by the effectiveness experiments;
+//! * [`workspace`] — reusable, epoch-stamped scratch memory
+//!   ([`workspace::Workspace`]) that keeps the whole query pipeline
+//!   allocation-free after warm-up.
 //!
 //! Vertices live in a single `u32` id space: upper vertices first
 //! (`0..n_upper`), then lower vertices. [`Vertex`] is a transparent
@@ -37,11 +40,13 @@ pub mod projection;
 pub mod subgraph;
 pub mod unionfind;
 pub mod weights;
+pub mod workspace;
 
 pub use builder::{BuildError, DuplicatePolicy, GraphBuilder};
 pub use graph::{BipartiteGraph, EdgeId, Side, Vertex};
 pub use subgraph::Subgraph;
 pub use unionfind::UnionFind;
+pub use workspace::{EdgeMap, EdgeSet, VertexMap, VertexSet, Workspace};
 
 /// Edge weight type used throughout the library.
 ///

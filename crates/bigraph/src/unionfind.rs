@@ -6,7 +6,7 @@
 /// Amortized near-constant time per operation (inverse Ackermann), as the
 /// paper assumes when it cites CLRS (ref.\[22\]) for maintaining the connected
 /// subgraphs of the growing graph `G*`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -16,11 +16,23 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets `0..n`.
     pub fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            n_sets: n,
-        }
+        let mut uf = UnionFind {
+            parent: Vec::new(),
+            rank: Vec::new(),
+            n_sets: 0,
+        };
+        uf.reset(n);
+        uf
+    }
+
+    /// Reinitialises to `n` singleton sets in place, reusing the
+    /// existing buffers (allocation-free once they are large enough).
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.n_sets = n;
     }
 
     /// Number of elements.
@@ -85,7 +97,7 @@ impl UnionFind {
 /// graph `G*`, and internal unions.
 ///
 /// Degree thresholds `alpha` and `beta` are fixed per query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ComponentTracker {
     uf: UnionFind,
     /// Degree of each vertex inside `G*`.
@@ -111,19 +123,42 @@ impl ComponentTracker {
     /// Tracker over `n` vertices (`0..n_upper` upper) with thresholds
     /// `alpha`, `beta`.
     pub fn new(n: usize, n_upper: usize, alpha: usize, beta: usize) -> Self {
-        ComponentTracker {
-            uf: UnionFind::new(n),
-            degree: vec![0; n],
-            present: vec![false; n],
-            comp_edges: vec![0; n],
-            comp_upper: vec![0; n],
-            comp_lower: vec![0; n],
-            comp_deg_ge_alpha: vec![0; n],
-            comp_deg_ge_beta: vec![0; n],
-            alpha: alpha as u32,
-            beta: beta as u32,
-            n_upper: n_upper as u32,
+        let mut t = ComponentTracker {
+            uf: UnionFind::new(0),
+            degree: Vec::new(),
+            present: Vec::new(),
+            comp_edges: Vec::new(),
+            comp_upper: Vec::new(),
+            comp_lower: Vec::new(),
+            comp_deg_ge_alpha: Vec::new(),
+            comp_deg_ge_beta: Vec::new(),
+            alpha: 0,
+            beta: 0,
+            n_upper: 0,
+        };
+        t.reset(n, n_upper, alpha, beta);
+        t
+    }
+
+    /// Reinitialises the tracker in place for a new run, reusing every
+    /// buffer (allocation-free once they are large enough). The reset
+    /// cost is O(n) — proportional to the subproblem, not the graph.
+    pub fn reset(&mut self, n: usize, n_upper: usize, alpha: usize, beta: usize) {
+        fn refill<T: Clone>(v: &mut Vec<T>, n: usize, x: T) {
+            v.clear();
+            v.resize(n, x);
         }
+        self.uf.reset(n);
+        refill(&mut self.degree, n, 0);
+        refill(&mut self.present, n, false);
+        refill(&mut self.comp_edges, n, 0);
+        refill(&mut self.comp_upper, n, 0);
+        refill(&mut self.comp_lower, n, 0);
+        refill(&mut self.comp_deg_ge_alpha, n, 0);
+        refill(&mut self.comp_deg_ge_beta, n, 0);
+        self.alpha = alpha as u32;
+        self.beta = beta as u32;
+        self.n_upper = n_upper as u32;
     }
 
     fn mark_present(&mut self, v: usize) {

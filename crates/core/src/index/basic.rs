@@ -8,9 +8,10 @@
 //! which explodes on datasets with very large hubs (the paper could not
 //! even build it on DUI/EN within its time limit).
 
-use super::level::{query_level, Entry, Level, QueryStats};
+use super::level::{query_level, query_level_into, Entry, Level, QueryStats};
 use bicore::decompose::{alpha_offsets, beta_offsets};
-use bigraph::{BipartiteGraph, Side, Subgraph, Vertex};
+use bigraph::workspace::Workspace;
+use bigraph::{BipartiteGraph, EdgeId, Side, Subgraph, Vertex};
 
 /// Error returned when construction exceeds an entry budget (the
 /// experiment harness uses this to report "did not finish", mirroring the
@@ -158,6 +159,30 @@ impl BasicIndex {
         }
         let sub = query_level(g, &self.levels[k - 1], q, threshold, &mut stats);
         (sub, stats)
+    }
+
+    /// Allocation-free retrieval on reusable scratch; `out` is cleared
+    /// and receives the sorted edge ids of `C_{α,β}(q)`.
+    pub fn query_community_into(
+        &self,
+        g: &BipartiteGraph,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<EdgeId>,
+    ) -> QueryStats {
+        assert!(alpha >= 1 && beta >= 1, "degree constraints must be >= 1");
+        let (k, threshold) = match self.side {
+            Side::Upper => (alpha, beta as u32),
+            Side::Lower => (beta, alpha as u32),
+        };
+        let mut stats = QueryStats::default();
+        out.clear();
+        if k >= 1 && k <= self.levels.len() {
+            query_level_into(g, &self.levels[k - 1], q, threshold, ws, out, &mut stats);
+        }
+        stats
     }
 }
 

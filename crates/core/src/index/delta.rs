@@ -7,10 +7,11 @@
 //! `O(δ·m)` time and the index takes `O(δ·m)` space (Lemmas 5–6), while
 //! retrieval of any (α,β)-community stays optimal.
 
-use super::level::{query_level, Entry, Level, QueryStats};
+use super::level::{query_level_into, Entry, Level, QueryStats};
 use bicore::decompose::{alpha_offsets, beta_offsets};
 use bicore::degeneracy::{degeneracy, unipartite_core_numbers};
-use bigraph::{BipartiteGraph, Subgraph, Vertex};
+use bigraph::workspace::Workspace;
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
 
 /// The degeneracy-bounded index `Iδ = (Iα_δ, Iβ_δ)`.
 #[derive(Debug, Clone)]
@@ -116,6 +117,9 @@ impl DeltaIndex {
     /// Dispatch: queries with `α ≤ β` go through `Iα_δ[·][α]` (α is the
     /// min, so α ≤ δ whenever the answer is nonempty); queries with
     /// `β < α` go through `Iβ_δ[·][β]`.
+    ///
+    /// Thin wrapper over [`Self::query_community_into`] with a throwaway
+    /// workspace.
     pub fn query_community<'g>(
         &self,
         g: &'g BipartiteGraph,
@@ -134,21 +138,64 @@ impl DeltaIndex {
         alpha: usize,
         beta: usize,
     ) -> (Subgraph<'g>, QueryStats) {
+        let mut out = Vec::new();
+        let stats = self.query_community_into(g, q, alpha, beta, &mut Workspace::new(), &mut out);
+        (Subgraph::from_edges(g, out), stats)
+    }
+
+    /// [`Self::query_community`] with caller-provided reusable scratch.
+    pub fn query_community_in<'g>(
+        &self,
+        g: &'g BipartiteGraph,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        ws: &mut Workspace,
+    ) -> Subgraph<'g> {
+        let mut out = Vec::new();
+        self.query_community_into(g, q, alpha, beta, ws, &mut out);
+        Subgraph::from_edges(g, out)
+    }
+
+    /// Allocation-free retrieval: `out` is cleared and receives the
+    /// sorted edge ids of `C_{α,β}(q)`; all scratch comes from `ws`.
+    pub fn query_community_into(
+        &self,
+        g: &BipartiteGraph,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<EdgeId>,
+    ) -> QueryStats {
         assert!(alpha >= 1 && beta >= 1, "degree constraints must be >= 1");
         let mut stats = QueryStats::default();
-        let sub = if alpha <= beta {
-            if alpha > self.delta {
-                // min(α,β) > δ: the (α,β)-core is empty (Lemma 4).
-                Subgraph::empty(g)
-            } else {
-                query_level(g, &self.alpha_levels[alpha - 1], q, beta as u32, &mut stats)
+        out.clear();
+        if alpha <= beta {
+            if alpha <= self.delta {
+                // min(α,β) > δ means the (α,β)-core is empty (Lemma 4).
+                query_level_into(
+                    g,
+                    &self.alpha_levels[alpha - 1],
+                    q,
+                    beta as u32,
+                    ws,
+                    out,
+                    &mut stats,
+                );
             }
-        } else if beta > self.delta {
-            Subgraph::empty(g)
-        } else {
-            query_level(g, &self.beta_levels[beta - 1], q, alpha as u32, &mut stats)
-        };
-        (sub, stats)
+        } else if beta <= self.delta {
+            query_level_into(
+                g,
+                &self.beta_levels[beta - 1],
+                q,
+                alpha as u32,
+                ws,
+                out,
+                &mut stats,
+            );
+        }
+        stats
     }
 }
 

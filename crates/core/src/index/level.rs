@@ -8,8 +8,8 @@
 //! list only down to the first entry below the query threshold — which is
 //! what makes retrieval time linear in the result size.
 
+use bigraph::workspace::Workspace;
 use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
-use std::collections::VecDeque;
 
 /// One annotated adjacency entry of an index level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,42 +206,66 @@ pub(crate) fn query_level<'g>(
     threshold: u32,
     stats: &mut QueryStats,
 ) -> Subgraph<'g> {
+    let mut out = Vec::new();
+    query_level_into(
+        g,
+        level,
+        q,
+        threshold,
+        &mut Workspace::new(),
+        &mut out,
+        stats,
+    );
+    Subgraph::from_edges(g, out)
+}
+
+/// [`query_level`] on reusable scratch: the epoch-stamped visited set
+/// replaces the per-query `vec![false; n]` bitmap (whose O(n) memset
+/// dominated small queries), and `out` receives the sorted community
+/// edges (cleared first). Clobbers `ws.visited` and `ws.queue`.
+pub(crate) fn query_level_into(
+    g: &BipartiteGraph,
+    level: &Level,
+    q: Vertex,
+    threshold: u32,
+    ws: &mut Workspace,
+    out: &mut Vec<EdgeId>,
+    stats: &mut QueryStats,
+) {
+    out.clear();
     let Some((own, _)) = level.lookup(q) else {
-        return Subgraph::empty(g);
+        return;
     };
     if own < threshold {
-        return Subgraph::empty(g);
+        return;
     }
-    let mut edges: Vec<EdgeId> = Vec::new();
-    // Flat visited bitmap: the O(n) memset is a single pass of cheap
-    // memory traffic, so the per-edge work stays O(size(result)) with a
-    // small constant (Lemma 3's bound concerns edges touched, which the
-    // tests assert via `entries_touched`).
-    let mut visited = vec![false; g.n_vertices()];
-    let mut queue: VecDeque<Vertex> = VecDeque::new();
-    visited[q.index()] = true;
-    queue.push_back(q);
-    while let Some(u) = queue.pop_front() {
+    ws.fit(g);
+    ws.visited.clear();
+    ws.queue.clear();
+    let Workspace { visited, queue, .. } = ws;
+    visited.insert(q);
+    queue.push(q.0);
+    while let Some(ui) = queue.pop() {
+        let u = Vertex(ui);
         let (_, list) = level
             .lookup(u)
-            .expect("BFS only reaches vertices stored in the level");
+            .expect("traversal only reaches vertices stored in the level");
         for entry in list {
             stats.entries_touched += 1;
             if entry.offset < threshold {
                 break; // sorted descending: nothing further qualifies
             }
             if !g.is_upper(u) {
-                edges.push(entry.edge); // record each edge once, from its lower endpoint
+                out.push(entry.edge); // record each edge once, from its lower endpoint
             }
-            let ni = entry.nbr.index();
-            if !visited[ni] {
-                visited[ni] = true;
-                queue.push_back(entry.nbr);
+            if visited.insert(entry.nbr) {
+                queue.push(entry.nbr.0);
             }
         }
     }
-    stats.result_edges = edges.len();
-    Subgraph::from_edges(g, edges)
+    stats.result_edges = out.len();
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[cfg(test)]

@@ -56,13 +56,15 @@
 
 pub mod index;
 pub mod query;
+pub mod workspace;
 
 pub(crate) mod local;
 
 pub use index::{BasicIndex, DeltaIndex, DynamicIndex};
 pub use query::{scs_baseline, scs_binary, scs_expand, scs_peel};
+pub use workspace::QueryWorkspace;
 
-use bigraph::{BipartiteGraph, Subgraph, Vertex};
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
 use std::fmt;
 use std::sync::Arc;
 
@@ -167,20 +169,9 @@ impl CommunitySearch {
         self.index.delta()
     }
 
-    /// Step 1: the (α,β)-community of `q` (`Qopt`, optimal time).
-    pub fn community(&self, q: Vertex, alpha: usize, beta: usize) -> Subgraph<'_> {
-        self.index.query_community(&self.graph, q, alpha, beta)
-    }
-
-    /// Steps 1+2: the significant (α,β)-community of `q`.
-    pub fn significant_community(
-        &self,
-        q: Vertex,
-        alpha: usize,
-        beta: usize,
-        algorithm: Algorithm,
-    ) -> Subgraph<'_> {
-        let algorithm = match algorithm {
+    /// Resolves [`Algorithm::Auto`] from the query parameters.
+    fn resolve_algorithm(&self, alpha: usize, beta: usize, algorithm: Algorithm) -> Algorithm {
+        match algorithm {
             Algorithm::Auto => {
                 // Expansion wins when the community is much larger than
                 // the result (small constraints); peeling wins when they
@@ -193,23 +184,100 @@ impl CommunitySearch {
                 }
             }
             other => other,
-        };
-        match algorithm {
-            Algorithm::Auto => unreachable!("resolved above"),
-            Algorithm::Peel => {
-                let c = self.community(q, alpha, beta);
-                query::scs_peel(&self.graph, &c, q, alpha, beta)
-            }
-            Algorithm::Expand => {
-                let c = self.community(q, alpha, beta);
-                query::scs_expand(&self.graph, &c, q, alpha, beta)
-            }
-            Algorithm::Binary => {
-                let c = self.community(q, alpha, beta);
-                query::scs_binary(&self.graph, &c, q, alpha, beta)
-            }
-            Algorithm::Baseline => query::scs_baseline(&self.graph, q, alpha, beta),
         }
+    }
+
+    /// Step 1: the (α,β)-community of `q` (`Qopt`, optimal time).
+    pub fn community(&self, q: Vertex, alpha: usize, beta: usize) -> Subgraph<'_> {
+        self.index.query_community(&self.graph, q, alpha, beta)
+    }
+
+    /// [`Self::community`] with caller-provided reusable scratch.
+    pub fn community_in(
+        &self,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        ws: &mut QueryWorkspace,
+    ) -> Subgraph<'_> {
+        self.index
+            .query_community_in(&self.graph, q, alpha, beta, ws.base_mut())
+    }
+
+    /// Steps 1+2: the significant (α,β)-community of `q`.
+    ///
+    /// Thin wrapper over [`Self::significant_community_in`] with a
+    /// throwaway workspace; callers issuing many queries (the serving
+    /// layer, benchmark loops) should hold a [`QueryWorkspace`] instead.
+    pub fn significant_community(
+        &self,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        algorithm: Algorithm,
+    ) -> Subgraph<'_> {
+        self.significant_community_in(q, alpha, beta, algorithm, &mut QueryWorkspace::new())
+    }
+
+    /// [`Self::significant_community`] with caller-provided reusable
+    /// scratch: after warm-up the only allocation left is the returned
+    /// result subgraph.
+    pub fn significant_community_in(
+        &self,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        algorithm: Algorithm,
+        ws: &mut QueryWorkspace,
+    ) -> Subgraph<'_> {
+        let mut out = Vec::new();
+        self.significant_community_into(q, alpha, beta, algorithm, ws, &mut out);
+        Subgraph::from_edges(&self.graph, out)
+    }
+
+    /// Fully allocation-free query: `out` is cleared and receives the
+    /// sorted edge ids of the significant (α,β)-community. With a warm
+    /// `ws` and a warm `out`, a repeated query performs zero heap
+    /// allocations.
+    pub fn significant_community_into(
+        &self,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        algorithm: Algorithm,
+        ws: &mut QueryWorkspace,
+        out: &mut Vec<EdgeId>,
+    ) {
+        let algorithm = self.resolve_algorithm(alpha, beta, algorithm);
+        if algorithm == Algorithm::Baseline {
+            query::scs_baseline_into(&self.graph, q, alpha, beta, ws, out);
+            return;
+        }
+        ws.retrieve_community(|base, community| {
+            self.index
+                .query_community_into(&self.graph, q, alpha, beta, base, community);
+        });
+        let community = ws.take_community();
+        match algorithm {
+            Algorithm::Auto | Algorithm::Baseline => unreachable!("resolved above"),
+            Algorithm::Peel => {
+                query::scs_peel_into(&self.graph, &community, q, alpha, beta, ws, out)
+            }
+            Algorithm::Expand => query::scs_expand_into(
+                &self.graph,
+                &community,
+                q,
+                alpha,
+                beta,
+                query::ExpandOptions::default(),
+                ws,
+                out,
+            ),
+            Algorithm::Binary => {
+                query::scs_binary_into(&self.graph, &community, q, alpha, beta, ws, out)
+            }
+        }
+        ws.restore_community(community);
     }
 }
 

@@ -1,11 +1,17 @@
-//! Compact local workspace for the SCS query algorithms.
+//! Compact local re-indexing for the SCS query algorithms.
 //!
 //! The whole point of the paper's two-step paradigm is that the second
 //! step (peeling / expansion) works on `C_{α,β}(q)`, which is usually far
-//! smaller than `G`. To make that real, the workspace re-indexes the
+//! smaller than `G`. To make that real, the [`LocalGraph`] re-indexes the
 //! community's vertices and edges into dense local ids so every per-query
 //! array is `O(size(C))`, not `O(n + m)`.
+//!
+//! A `LocalGraph` is itself reusable scratch: [`LocalGraph::rebuild`]
+//! refills the structure in place from a new edge set, so a warm local
+//! graph (held inside [`crate::QueryWorkspace`]) re-indexes community
+//! after community without touching the allocator.
 
+use bigraph::workspace::{EdgeSet, VertexSet};
 use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex, Weight};
 
 /// A community re-indexed with dense local vertex/edge ids.
@@ -13,7 +19,7 @@ use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex, Weight};
 /// Local vertex ids preserve the global order, and since global ids place
 /// the upper layer first, local ids `0..n_upper_local` are exactly the
 /// upper vertices.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct LocalGraph {
     /// Global vertex per local id (sorted ascending).
     verts: Vec<Vertex>,
@@ -28,56 +34,74 @@ pub(crate) struct LocalGraph {
     /// CSR adjacency: `adj[starts[v]..starts[v+1]]` = `(nbr_local, edge_local)`.
     starts: Vec<u32>,
     adj: Vec<(u32, u32)>,
+    /// Build-time scratch (degree counts, CSR cursors), kept for reuse.
+    build_degree: Vec<u32>,
+    build_cursor: Vec<u32>,
 }
 
 impl LocalGraph {
-    /// Builds the workspace from a community subgraph.
+    /// Builds a fresh local graph from a community subgraph.
     /// `O(size(C) log size(C))`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn new(sub: &Subgraph<'_>) -> Self {
-        let g = sub.graph();
-        let verts = sub.vertices();
-        let n_upper_local = verts.partition_point(|&v| g.is_upper(v));
-        let local_of = |v: Vertex| -> u32 {
-            verts.binary_search(&v).expect("endpoint of community edge") as u32
-        };
+        let mut lg = LocalGraph::default();
+        lg.rebuild(sub.graph(), sub.edges());
+        lg
+    }
 
-        let m = sub.size();
-        let mut edge_globals = Vec::with_capacity(m);
-        let mut edge_ends = Vec::with_capacity(m);
-        let mut weights = Vec::with_capacity(m);
-        let mut degree = vec![0u32; verts.len()];
-        for &e in sub.edges() {
+    /// Refills the local graph in place from `edges` of `g`, reusing
+    /// every buffer — allocation-free once the buffers have grown to the
+    /// largest community seen. `O(size(C) log size(C))`.
+    pub fn rebuild(&mut self, g: &BipartiteGraph, edges: &[EdgeId]) {
+        self.verts.clear();
+        for &e in edges {
             let (u, l) = g.endpoints(e);
-            let (lu, ll) = (local_of(u), local_of(l));
-            edge_globals.push(e);
-            edge_ends.push((lu, ll));
-            weights.push(g.weight(e));
-            degree[lu as usize] += 1;
-            degree[ll as usize] += 1;
+            self.verts.push(u);
+            self.verts.push(l);
         }
-        let mut starts = Vec::with_capacity(verts.len() + 1);
+        self.verts.sort_unstable();
+        self.verts.dedup();
+        self.n_upper_local = self.verts.partition_point(|&v| g.is_upper(v));
+
+        let m = edges.len();
+        let nv = self.verts.len();
+        self.edge_globals.clear();
+        self.edge_ends.clear();
+        self.weights.clear();
+        self.build_degree.clear();
+        self.build_degree.resize(nv, 0);
+        for &e in edges {
+            let (u, l) = g.endpoints(e);
+            let lu = self
+                .verts
+                .binary_search(&u)
+                .expect("endpoint of community edge") as u32;
+            let ll = self
+                .verts
+                .binary_search(&l)
+                .expect("endpoint of community edge") as u32;
+            self.edge_globals.push(e);
+            self.edge_ends.push((lu, ll));
+            self.weights.push(g.weight(e));
+            self.build_degree[lu as usize] += 1;
+            self.build_degree[ll as usize] += 1;
+        }
+        self.starts.clear();
         let mut acc = 0u32;
-        starts.push(0);
-        for &d in &degree {
+        self.starts.push(0);
+        for &d in &self.build_degree {
             acc += d;
-            starts.push(acc);
+            self.starts.push(acc);
         }
-        let mut cursor: Vec<u32> = starts[..verts.len()].to_vec();
-        let mut adj = vec![(0u32, 0u32); 2 * m];
-        for (le, &(lu, ll)) in edge_ends.iter().enumerate() {
-            adj[cursor[lu as usize] as usize] = (ll, le as u32);
-            cursor[lu as usize] += 1;
-            adj[cursor[ll as usize] as usize] = (lu, le as u32);
-            cursor[ll as usize] += 1;
-        }
-        LocalGraph {
-            verts,
-            n_upper_local,
-            edge_globals,
-            edge_ends,
-            weights,
-            starts,
-            adj,
+        self.build_cursor.clear();
+        self.build_cursor.extend_from_slice(&self.starts[..nv]);
+        self.adj.clear();
+        self.adj.resize(2 * m, (0u32, 0u32));
+        for (le, &(lu, ll)) in self.edge_ends.iter().enumerate() {
+            self.adj[self.build_cursor[lu as usize] as usize] = (ll, le as u32);
+            self.build_cursor[lu as usize] += 1;
+            self.adj[self.build_cursor[ll as usize] as usize] = (lu, le as u32);
+            self.build_cursor[ll as usize] += 1;
         }
     }
 
@@ -146,6 +170,23 @@ impl LocalGraph {
         self.weights[le as usize]
     }
 
+    /// `(min, max)` edge weight, or `None` when the edge set is empty —
+    /// the all-equal-weights fast-path test without a [`Subgraph`].
+    pub fn weight_bounds(&self) -> Option<(Weight, Weight)> {
+        let mut it = self.weights.iter().copied();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for w in it {
+            if w.total_cmp(&lo).is_lt() {
+                lo = w;
+            }
+            if w.total_cmp(&hi).is_gt() {
+                hi = w;
+            }
+        }
+        Some((lo, hi))
+    }
+
     /// Adjacency of local vertex `lv`: `(neighbor_local, edge_local)`.
     #[inline]
     pub fn adjacency(&self, lv: u32) -> &[(u32, u32)] {
@@ -159,11 +200,13 @@ impl LocalGraph {
         self.starts[lv as usize + 1] - self.starts[lv as usize]
     }
 
-    /// Local edge ids sorted by weight (ascending when `asc`, else
-    /// descending); ties broken by edge id for determinism.
-    pub fn edges_by_weight(&self, asc: bool) -> Vec<u32> {
-        let mut order: Vec<u32> = (0..self.n_edges() as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
+    /// Fills `out` with all local edge ids sorted by weight (ascending
+    /// when `asc`, else descending); ties broken by edge id for
+    /// determinism.
+    pub fn edges_by_weight_into(&self, asc: bool, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(0..self.n_edges() as u32);
+        out.sort_unstable_by(|&a, &b| {
             let cmp = self.weights[a as usize].total_cmp(&self.weights[b as usize]);
             let cmp = cmp.then(a.cmp(&b));
             if asc {
@@ -172,11 +215,11 @@ impl LocalGraph {
                 cmp.reverse()
             }
         });
-        order
     }
 
     /// Converts a set of live local edges back into a [`Subgraph`] of the
     /// original graph.
+    #[cfg(test)]
     pub fn to_subgraph<'g>(
         &self,
         g: &'g BipartiteGraph,
@@ -185,34 +228,63 @@ impl LocalGraph {
         Subgraph::from_edges(g, live.map(|le| self.edge_global(le)).collect())
     }
 
-    /// BFS over live edges from `start`; returns the local edge ids of
-    /// `start`'s connected component. `scratch_visited` must be at least
-    /// `n_vertices` long and all-false; it is restored before returning.
-    pub fn component_edges(&self, start: u32, alive: &[bool], visited: &mut [bool]) -> Vec<u32> {
-        debug_assert!(visited.iter().all(|&x| !x));
-        let mut out = Vec::new();
-        let mut stack = vec![start];
-        let mut touched = vec![start];
-        visited[start as usize] = true;
+    /// Appends the global edge ids of the local edges in `live` to `out`.
+    pub fn extend_globals(&self, live: &[u32], out: &mut Vec<EdgeId>) {
+        out.extend(live.iter().map(|&le| self.edge_global(le)));
+    }
+
+    /// The shared result epilogue of every kernel: maps the local edges
+    /// in `live` to global ids and normalises `out` to the sorted,
+    /// deduplicated form [`Subgraph::from_edges`] would produce.
+    pub fn emit_globals(&self, live: &[u32], out: &mut Vec<EdgeId>) {
+        self.extend_globals(live, out);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// DFS over edges alive in `alive` from `start`; fills `out` with the
+    /// local edge ids of `start`'s connected component. `visited` and
+    /// `stack` are reusable scratch (cleared here); `out` is cleared too.
+    pub fn component_edges_into(
+        &self,
+        start: u32,
+        alive: &EdgeSet,
+        visited: &mut VertexSet,
+        stack: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        visited.ensure(self.n_vertices());
+        visited.clear();
+        stack.clear();
+        out.clear();
+        visited.insert_id(start as usize);
+        stack.push(start);
         while let Some(x) = stack.pop() {
             for &(nbr, le) in self.adjacency(x) {
-                if !alive[le as usize] {
+                if !alive.contains_id(le as usize) {
                     continue;
                 }
                 if self.is_upper_local(x) {
                     out.push(le);
                 }
-                if !visited[nbr as usize] {
-                    visited[nbr as usize] = true;
-                    touched.push(nbr);
+                if visited.insert_id(nbr as usize) {
                     stack.push(nbr);
                 }
             }
         }
-        for t in touched {
-            visited[t as usize] = false;
-        }
-        out
+    }
+
+    /// Resident heap bytes across the structure and its build scratch.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.verts.capacity() * size_of::<Vertex>()
+            + self.edge_globals.capacity() * size_of::<EdgeId>()
+            + self.edge_ends.capacity() * size_of::<(u32, u32)>()
+            + self.weights.capacity() * size_of::<Weight>()
+            + self.starts.capacity() * size_of::<u32>()
+            + self.adj.capacity() * size_of::<(u32, u32)>()
+            + self.build_degree.capacity() * size_of::<u32>()
+            + self.build_cursor.capacity() * size_of::<u32>()
     }
 }
 
@@ -275,39 +347,71 @@ mod tests {
     }
 
     #[test]
-    fn weight_ordering() {
+    fn rebuild_reuses_buffers_across_communities() {
         let (_, sub) = fixture();
-        let lg = LocalGraph::new(&sub);
-        let asc = lg.edges_by_weight(true);
-        let ws: Vec<f64> = asc.iter().map(|&e| lg.weight(e)).collect();
-        assert!(ws.windows(2).all(|w| w[0] <= w[1]));
-        let desc = lg.edges_by_weight(false);
-        let ws: Vec<f64> = desc.iter().map(|&e| lg.weight(e)).collect();
-        assert!(ws.windows(2).all(|w| w[0] >= w[1]));
+        let g = sub.graph();
+        let mut lg = LocalGraph::new(&sub);
+        assert_eq!(lg.n_edges(), 5);
+        let comp = sub.component_of(g.upper(0));
+        lg.rebuild(g, comp.edges());
+        assert_eq!(lg.n_vertices(), 4);
+        assert_eq!(lg.n_edges(), 4);
+        assert_eq!(lg.local_of(g.upper(2)), None);
+        // Shrinking then growing again keeps the structure consistent.
+        lg.rebuild(g, sub.edges());
+        assert_eq!(lg.n_vertices(), 6);
+        assert_eq!(lg.n_edges(), 5);
+        assert!(lg.heap_bytes() > 0);
+        for lv in 0..lg.n_vertices() as u32 {
+            assert_eq!(lg.full_degree(lv) as usize, g.degree(lg.global_of(lv)));
+        }
     }
 
     #[test]
-    fn component_bfs_and_back_conversion() {
+    fn weight_ordering() {
+        let (_, sub) = fixture();
+        let lg = LocalGraph::new(&sub);
+        let mut asc = Vec::new();
+        lg.edges_by_weight_into(true, &mut asc);
+        let ws: Vec<f64> = asc.iter().map(|&e| lg.weight(e)).collect();
+        assert!(ws.windows(2).all(|w| w[0] <= w[1]));
+        let mut desc = Vec::new();
+        lg.edges_by_weight_into(false, &mut desc);
+        let ws: Vec<f64> = desc.iter().map(|&e| lg.weight(e)).collect();
+        assert!(ws.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(lg.weight_bounds(), Some((1.0, 9.0)));
+    }
+
+    #[test]
+    fn component_dfs_and_back_conversion() {
         let (_, sub) = fixture();
         let g = sub.graph();
         let lg = LocalGraph::new(&sub);
-        let alive = vec![true; lg.n_edges()];
-        let mut visited = vec![false; lg.n_vertices()];
+        let mut alive = EdgeSet::new();
+        alive.ensure(lg.n_edges());
+        alive.clear();
+        for le in 0..lg.n_edges() {
+            alive.insert_id(le);
+        }
+        let mut visited = VertexSet::new();
+        let mut stack = Vec::new();
+        let mut comp = Vec::new();
         let q = lg.local_of(g.upper(0)).unwrap();
-        let comp = lg.component_edges(q, &alive, &mut visited);
+        lg.component_edges_into(q, &alive, &mut visited, &mut stack, &mut comp);
         assert_eq!(comp.len(), 4);
-        assert!(visited.iter().all(|&x| !x), "scratch must be restored");
-        let back = lg.to_subgraph(g, comp.into_iter());
+        let back = lg.to_subgraph(g, comp.iter().copied());
         assert_eq!(back.size(), 4);
         assert!(!back.contains_vertex(g.upper(2)));
+        let mut globals = Vec::new();
+        lg.extend_globals(&comp, &mut globals);
+        globals.sort_unstable();
+        assert_eq!(globals, back.edges());
 
-        // Killing the bridge edges isolates u0.
-        let mut alive = vec![true; lg.n_edges()];
-        // Find local edges incident to u0.
+        // Killing the edges incident to u0 isolates it.
         for &(_, le) in lg.adjacency(q) {
-            alive[le as usize] = false;
+            alive.remove_id(le as usize);
         }
-        let comp = lg.component_edges(q, &alive, &mut visited);
+        lg.component_edges_into(q, &alive, &mut visited, &mut stack, &mut comp);
         assert!(comp.is_empty());
     }
 

@@ -3,33 +3,104 @@
 //! instead of from `C_{α,β}(q)`, i.e. the two-step framework's first step
 //! is skipped. Used as the comparison bar in Fig. 12 / Fig. 13.
 
-use crate::query::expand::{scs_expand_with_epsilon, DEFAULT_EPSILON};
-use bigraph::{BipartiteGraph, Subgraph, Vertex};
+use crate::query::expand::{scs_expand_into, ExpandOptions};
+use crate::workspace::QueryWorkspace;
+use bicore::abcore::abcore_in;
+use bigraph::workspace::Workspace;
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
 
 /// `SCS-Baseline`: computes the significant (α,β)-community of `q` by
 /// running the expansion algorithm over the connected component of `q`
 /// in `G`. Correct but slow — the search space is the whole component,
 /// not the (α,β)-community.
+///
+/// Thin wrapper over [`scs_baseline_in`] with a throwaway workspace.
 pub fn scs_baseline<'g>(
     g: &'g BipartiteGraph,
     q: Vertex,
     alpha: usize,
     beta: usize,
 ) -> Subgraph<'g> {
-    let component = Subgraph::full(g).component_of(q);
-    if component.is_empty() {
-        return Subgraph::empty(g);
+    scs_baseline_in(g, q, alpha, beta, &mut QueryWorkspace::new())
+}
+
+/// [`scs_baseline`] with caller-provided reusable scratch.
+pub fn scs_baseline_in<'g>(
+    g: &'g BipartiteGraph,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+) -> Subgraph<'g> {
+    let mut out = Vec::new();
+    scs_baseline_into(g, q, alpha, beta, ws, &mut out);
+    Subgraph::from_edges(g, out)
+}
+
+/// Allocation-free `SCS-Baseline`; `out` is cleared first and receives
+/// the sorted result edges. The component extraction and the
+/// q-in-core guard both run on the graph-sized workspace buffers
+/// (flat stamped sets) instead of the old hash-map peel.
+pub fn scs_baseline_into(
+    g: &BipartiteGraph,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+    out: &mut Vec<EdgeId>,
+) {
+    out.clear();
+    // The connected component of q in G, by flat DFS.
+    ws.base.fit(g);
+    ws.base.visited.clear();
+    ws.base.queue.clear();
+    ws.community.clear();
+    {
+        let QueryWorkspace {
+            base, community, ..
+        } = ws;
+        let Workspace { visited, queue, .. } = base;
+        visited.insert(q);
+        queue.push(q.0);
+        while let Some(xi) = queue.pop() {
+            let x = Vertex(xi);
+            for (w, e) in g.neighbors_with_edges(x) {
+                if g.is_upper(x) {
+                    community.push(e); // record each edge from its upper endpoint
+                }
+                if visited.insert(w) {
+                    queue.push(w.0);
+                }
+            }
+        }
+        community.sort_unstable();
+    }
+    if ws.community.is_empty() {
+        return;
     }
     // The expansion machinery tolerates a start graph that is not an
     // (α,β)-core: validation peels candidate components before accepting.
-    // The final unconditional validation of scs_expand assumes the input
-    // community itself qualifies, which is not guaranteed here, so guard:
-    // if q is not in the (α,β)-core of its component, the answer is empty.
-    let core = component.peel_to_core(alpha, beta);
-    if !core.contains_vertex(q) {
-        return Subgraph::empty(g);
+    // The final unconditional validation of the expansion assumes the
+    // input community itself qualifies, which is not guaranteed here, so
+    // guard: if q is not in the (α,β)-core of G — equivalently, of its
+    // component, since peeling never crosses component boundaries — the
+    // answer is empty.
+    abcore_in(g, alpha, beta, &mut ws.base);
+    if ws.base.dead.contains(q) {
+        return;
     }
-    scs_expand_with_epsilon(g, &component, q, alpha, beta, DEFAULT_EPSILON)
+    let community = std::mem::take(&mut ws.community);
+    scs_expand_into(
+        g,
+        &community,
+        q,
+        alpha,
+        beta,
+        ExpandOptions::default(),
+        ws,
+        out,
+    );
+    ws.community = community;
 }
 
 #[cfg(test)]
@@ -55,6 +126,7 @@ mod tests {
     #[test]
     fn random_graphs_match_peel() {
         let mut rng = StdRng::seed_from_u64(500);
+        let mut ws = QueryWorkspace::new();
         for trial in 0..3 {
             let g0 = random_bipartite(16, 16, 110 + 10 * trial, &mut rng);
             let g = WeightModel::Uniform { lo: 1.0, hi: 9.0 }.apply(&g0, &mut rng);
@@ -71,6 +143,9 @@ mod tests {
                         }
                         let rp = scs_peel(&g, &c, q, a, b);
                         assert!(rb.same_edges(&rp), "α={a} β={b} q={q:?}");
+                        // Workspace-reusing form agrees.
+                        let rw = scs_baseline_in(&g, q, a, b, &mut ws);
+                        assert!(rw.same_edges(&rb), "α={a} β={b} q={q:?}");
                     }
                 }
             }

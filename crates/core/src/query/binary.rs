@@ -3,14 +3,22 @@
 //! remark). Each probe peels the weight-filtered community to its
 //! (α,β)-core and checks whether the query vertex survives; the answer is
 //! the component of `q` at the largest feasible weight.
+//!
+//! Every probe reuses the [`QueryWorkspace`]'s subset/liveness/degree
+//! buffers, so the `O(log W)` probes perform zero allocations on a warm
+//! workspace — previously each probe allocated three community-sized
+//! arrays.
 
 use crate::local::LocalGraph;
-use crate::query::peel::degree_peel;
-use bigraph::{BipartiteGraph, Subgraph, Vertex, Weight};
+use crate::query::peel::degree_peel_in;
+use crate::workspace::{LocalScratch, QueryWorkspace};
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex, Weight};
 
 /// `SCS-Binary`: finds the significant (α,β)-community by binary search
 /// on the weight threshold. `O(log W · size(C))` time where `W` is the
 /// number of distinct weights in the community.
+///
+/// Thin wrapper over [`scs_binary_in`] with a throwaway workspace.
 pub fn scs_binary<'g>(
     g: &'g BipartiteGraph,
     community: &Subgraph<'g>,
@@ -18,52 +26,116 @@ pub fn scs_binary<'g>(
     alpha: usize,
     beta: usize,
 ) -> Subgraph<'g> {
+    scs_binary_in(g, community, q, alpha, beta, &mut QueryWorkspace::new())
+}
+
+/// [`scs_binary`] with caller-provided reusable scratch.
+pub fn scs_binary_in<'g>(
+    g: &'g BipartiteGraph,
+    community: &Subgraph<'g>,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+) -> Subgraph<'g> {
+    let mut out = Vec::new();
+    scs_binary_into(g, community.edges(), q, alpha, beta, ws, &mut out);
+    Subgraph::from_edges(g, out)
+}
+
+/// `feasible(w)`: `q` survives the (α,β)-peel of `{edges of weight ≥ w}`.
+/// Leaves the surviving edges in `s.alive` and degrees in `s.deg`.
+fn feasible(
+    lg: &LocalGraph,
+    w: Weight,
+    lq: u32,
+    alpha: u32,
+    beta: u32,
+    s: &mut LocalScratch,
+) -> bool {
+    s.subset.clear();
+    s.subset
+        .extend((0..lg.n_edges() as u32).filter(|&le| lg.weight(le) >= w));
+    let subset = std::mem::take(&mut s.subset);
+    degree_peel_in(
+        lg,
+        &subset,
+        alpha,
+        beta,
+        &mut s.alive,
+        &mut s.deg,
+        &mut s.cascade,
+    );
+    s.subset = subset;
+    s.deg[lq as usize] >= lg.need(lq, alpha, beta)
+}
+
+/// Allocation-free `SCS-Binary` over a community given as a sorted
+/// edge-id slice; `out` is cleared first and receives the sorted result
+/// edges.
+pub fn scs_binary_into(
+    g: &BipartiteGraph,
+    community: &[EdgeId],
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+    out: &mut Vec<EdgeId>,
+) {
+    out.clear();
     if community.is_empty() {
-        return Subgraph::empty(g);
+        return;
     }
-    let lg = LocalGraph::new(community);
+    ws.local.rebuild(g, community);
+    ws.fit_local(ws.local.n_vertices(), ws.local.n_edges());
+    let QueryWorkspace {
+        local: lg,
+        scratch: s,
+        ..
+    } = ws;
     let lq = lg
         .local_of(q)
         .expect("query vertex must belong to its community");
     let (alpha, beta) = (alpha as u32, beta as u32);
 
     // Distinct weights, ascending.
-    let mut weights: Vec<Weight> = (0..lg.n_edges() as u32).map(|le| lg.weight(le)).collect();
-    weights.sort_unstable_by(|a, b| a.total_cmp(b));
-    weights.dedup_by(|a, b| a.total_cmp(b).is_eq());
-
-    // feasible(w): q survives the (α,β)-peel of {edges with weight ≥ w}.
-    // Monotone: feasible at the minimum weight (the community itself),
-    // infeasible beyond the maximum.
-    let feasible = |w: Weight| -> Option<(Vec<bool>, Vec<u32>)> {
-        let subset: Vec<u32> = (0..lg.n_edges() as u32)
-            .filter(|&le| lg.weight(le) >= w)
-            .collect();
-        let (alive, deg) = degree_peel(&lg, &subset, alpha, beta);
-        if deg[lq as usize] >= lg.need(lq, alpha, beta) {
-            Some((alive, deg))
-        } else {
-            None
-        }
-    };
+    s.weights.clear();
+    s.weights
+        .extend((0..lg.n_edges() as u32).map(|le| lg.weight(le)));
+    s.weights.sort_unstable_by(|a, b| a.total_cmp(b));
+    s.weights.dedup_by(|a, b| a.total_cmp(b).is_eq());
+    let weights = std::mem::take(&mut s.weights);
 
     // Invariant: weights[lo] feasible, weights[hi] infeasible (hi may be
-    // one past the end).
+    // one past the end). Feasibility is monotone: feasible at the minimum
+    // weight (the community itself), infeasible beyond the maximum.
     let mut lo = 0usize;
     let mut hi = weights.len();
-    debug_assert!(feasible(weights[0]).is_some(), "community itself qualifies");
+    debug_assert!(
+        feasible(lg, weights[0], lq, alpha, beta, s),
+        "community itself qualifies"
+    );
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if feasible(weights[mid]).is_some() {
+        if feasible(lg, weights[mid], lq, alpha, beta, s) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    let (alive, _) = feasible(weights[lo]).expect("lo is feasible by invariant");
-    let mut visited = vec![false; lg.n_vertices()];
-    let r = lg.component_edges(lq, &alive, &mut visited);
-    lg.to_subgraph(g, r.into_iter())
+    // Re-peel at the answer threshold so `s.alive` holds its core.
+    let ok = feasible(lg, weights[lo], lq, alpha, beta, s);
+    assert!(ok, "lo is feasible by invariant");
+    s.weights = weights;
+    let LocalScratch {
+        alive,
+        visited,
+        stack,
+        out: lout,
+        ..
+    } = s;
+    lg.component_edges_into(lq, alive, visited, stack, lout);
+    lg.emit_globals(&s.out, out);
 }
 
 #[cfg(test)]
@@ -91,6 +163,7 @@ mod tests {
     #[test]
     fn random_graphs_match_peel() {
         let mut rng = StdRng::seed_from_u64(400);
+        let mut ws = QueryWorkspace::new();
         for trial in 0..4 {
             let g0 = random_bipartite(18, 18, 120 + trial * 12, &mut rng);
             let g = WeightModel::Ratings { levels: 5 }.apply(&g0, &mut rng);
@@ -106,6 +179,9 @@ mod tests {
                         let rp = scs_peel(&g, &c, q, a, b);
                         let rb = scs_binary(&g, &c, q, a, b);
                         assert!(rb.same_edges(&rp), "α={a} β={b} q={q:?}");
+                        // The reused-workspace form gives the same answer.
+                        let rw = scs_binary_in(&g, &c, q, a, b, &mut ws);
+                        assert!(rw.same_edges(&rb), "α={a} β={b} q={q:?}");
                     }
                 }
             }

@@ -11,11 +11,15 @@
 //! smaller than the community (small α, β), most of the community's
 //! edges are never ordered at all. This is where the Fig. 13 crossover
 //! between the two algorithms comes from.
+//!
+//! All working state (heap backing store, inserted-edge set, component
+//! tracker, validation buffers) lives in the [`QueryWorkspace`], so a
+//! warm workspace expands without heap allocations.
 
 use crate::local::LocalGraph;
-use crate::query::peel::{degree_peel, weighted_peel};
-use bigraph::unionfind::ComponentTracker;
-use bigraph::{BipartiteGraph, Subgraph, Vertex, Weight};
+use crate::query::peel::{degree_peel_in, weighted_peel_in};
+use crate::workspace::{LocalScratch, QueryWorkspace};
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex, Weight};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -25,7 +29,7 @@ pub const DEFAULT_EPSILON: f64 = 2.0;
 /// Max-heap key: weight with total order, ties on edge id for
 /// determinism.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEdge {
+pub(crate) struct HeapEdge {
     w: Weight,
     le: u32,
 }
@@ -55,6 +59,18 @@ pub fn scs_expand<'g>(
     beta: usize,
 ) -> Subgraph<'g> {
     scs_expand_with_epsilon(g, community, q, alpha, beta, DEFAULT_EPSILON)
+}
+
+/// [`scs_expand`] with caller-provided reusable scratch.
+pub fn scs_expand_in<'g>(
+    g: &'g BipartiteGraph,
+    community: &Subgraph<'g>,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+) -> Subgraph<'g> {
+    scs_expand_with_options_in(g, community, q, alpha, beta, ExpandOptions::default(), ws)
 }
 
 /// Tuning knobs for [`scs_expand_with_options`], used by the ablation
@@ -106,7 +122,9 @@ pub fn scs_expand_with_epsilon<'g>(
     )
 }
 
-/// `SCS-Expand` with full control over the pruning heuristics.
+/// `SCS-Expand` with full control over the pruning heuristics. Thin
+/// wrapper over [`scs_expand_with_options_in`] with a throwaway
+/// workspace.
 pub fn scs_expand_with_options<'g>(
     g: &'g BipartiteGraph,
     community: &Subgraph<'g>,
@@ -115,12 +133,59 @@ pub fn scs_expand_with_options<'g>(
     beta: usize,
     opts: ExpandOptions,
 ) -> Subgraph<'g> {
+    scs_expand_with_options_in(
+        g,
+        community,
+        q,
+        alpha,
+        beta,
+        opts,
+        &mut QueryWorkspace::new(),
+    )
+}
+
+/// [`scs_expand_with_options`] with caller-provided reusable scratch.
+pub fn scs_expand_with_options_in<'g>(
+    g: &'g BipartiteGraph,
+    community: &Subgraph<'g>,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    opts: ExpandOptions,
+    ws: &mut QueryWorkspace,
+) -> Subgraph<'g> {
+    let mut out = Vec::new();
+    scs_expand_into(g, community.edges(), q, alpha, beta, opts, ws, &mut out);
+    Subgraph::from_edges(g, out)
+}
+
+/// Allocation-free `SCS-Expand` over a community given as a sorted
+/// edge-id slice; `out` is cleared first and receives the sorted result
+/// edges.
+#[allow(clippy::too_many_arguments)] // mirrors the wrapper's signature plus scratch
+pub fn scs_expand_into(
+    g: &BipartiteGraph,
+    community: &[EdgeId],
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    opts: ExpandOptions,
+    ws: &mut QueryWorkspace,
+    out: &mut Vec<EdgeId>,
+) {
     let epsilon = opts.epsilon;
     assert!(epsilon > 1.0, "expansion parameter must exceed 1");
+    out.clear();
     if community.is_empty() {
-        return Subgraph::empty(g);
+        return;
     }
-    let lg = LocalGraph::new(community);
+    ws.local.rebuild(g, community);
+    ws.fit_local(ws.local.n_vertices(), ws.local.n_edges());
+    let QueryWorkspace {
+        local: lg,
+        scratch: s,
+        ..
+    } = ws;
     let lq = lg
         .local_of(q)
         .expect("query vertex must belong to its community");
@@ -130,37 +195,58 @@ pub fn scs_expand_with_options<'g>(
     // (α,β)-core. For a genuine C_{α,β}(q) that is the input itself, but
     // SCS-Baseline feeds this function a whole graph component, so peel
     // defensively (with the flat-array kernel — this is the fast path).
-    if let (Some(lo), Some(hi)) = (community.min_weight(), community.max_weight()) {
+    if let Some((lo, hi)) = lg.weight_bounds() {
         if lo.total_cmp(&hi).is_eq() {
-            let all: Vec<u32> = (0..lg.n_edges() as u32).collect();
-            let (alive, deg) = degree_peel(&lg, &all, alpha, beta);
-            if deg[lq as usize] < lg.need(lq, alpha, beta) {
-                return Subgraph::empty(g);
+            s.subset.clear();
+            s.subset.extend(0..lg.n_edges() as u32);
+            let subset = std::mem::take(&mut s.subset);
+            degree_peel_in(
+                lg,
+                &subset,
+                alpha,
+                beta,
+                &mut s.alive,
+                &mut s.deg,
+                &mut s.cascade,
+            );
+            s.subset = subset;
+            if s.deg[lq as usize] < lg.need(lq, alpha, beta) {
+                return;
             }
-            let mut visited = vec![false; lg.n_vertices()];
-            let r = lg.component_edges(lq, &alive, &mut visited);
-            return lg.to_subgraph(g, r.into_iter());
+            let LocalScratch {
+                alive,
+                visited,
+                stack,
+                out: lout,
+                ..
+            } = s;
+            lg.component_edges_into(lq, alive, visited, stack, lout);
+            lg.emit_globals(&s.out, out);
+            return;
         }
     }
 
     // Lazy weight-descending order: O(m) heapify, O(log m) per pop, so a
-    // search that stops early never pays for ordering the rest.
-    let mut heap: BinaryHeap<HeapEdge> = (0..lg.n_edges() as u32)
-        .map(|le| HeapEdge {
-            w: lg.weight(le),
-            le,
-        })
-        .collect();
-    let mut added = vec![false; lg.n_edges()];
-    let mut tracker = ComponentTracker::new(
+    // search that stops early never pays for ordering the rest. The heap
+    // borrows its backing store from the workspace.
+    let mut heap_buf = std::mem::take(&mut s.heap);
+    heap_buf.clear();
+    heap_buf.extend((0..lg.n_edges() as u32).map(|le| HeapEdge {
+        w: lg.weight(le),
+        le,
+    }));
+    let mut heap = BinaryHeap::from(heap_buf);
+    s.added.ensure(lg.n_edges());
+    s.added.clear();
+    s.tracker.reset(
         lg.n_vertices(),
         lg.n_upper_local(),
         alpha as usize,
         beta as usize,
     );
-    let mut visited = vec![false; lg.n_vertices()];
     let mut pre_size: u64 = 0;
     let mut last_component_edges: u64 = 0;
+    let mut validated = false;
 
     while let Some(&HeapEdge { w: w_max, .. }) = heap.peek() {
         // Insert the whole maximum-weight group: candidates are only
@@ -171,21 +257,21 @@ pub fn scs_expand_with_options<'g>(
                 break;
             }
             heap.pop();
-            added[top.le as usize] = true;
+            s.added.insert_id(top.le as usize);
             let (a, b) = lg.ends(top.le);
-            tracker.add_edge(a as usize, b as usize);
+            s.tracker.add_edge(a as usize, b as usize);
         }
         // C* is q's component of G*; skip cheaply when possible.
-        if !tracker.is_present(lq as usize) {
+        if !s.tracker.is_present(lq as usize) {
             continue;
         }
-        let c_edges = tracker.edges_of(lq as usize);
+        let c_edges = s.tracker.edges_of(lq as usize);
         if c_edges == last_component_edges {
             continue; // C* unchanged (Algorithm 5 line 10)
         }
         last_component_edges = c_edges;
-        if (opts.use_lemma7 && !tracker.lemma7_holds(lq as usize))
-            || (opts.use_lemma8 && !tracker.lemma8_holds(lq as usize))
+        if (opts.use_lemma7 && !s.tracker.lemma7_holds(lq as usize))
+            || (opts.use_lemma8 && !s.tracker.lemma8_holds(lq as usize))
         {
             continue; // Lemma 7/8 pruning
         }
@@ -193,38 +279,54 @@ pub fn scs_expand_with_options<'g>(
             continue; // geometric validation schedule
         }
         pre_size = c_edges;
-        if let Some(r) = validate(&lg, &added, lq, alpha, beta, &mut visited) {
-            return lg.to_subgraph(g, r.into_iter());
+        if validate_in(lg, lq, alpha, beta, s) {
+            validated = true;
+            break;
         }
     }
-    // Everything added: C* = C_{α,β}(q), which is itself a valid
-    // candidate, so the final validation cannot fail.
-    let r = validate(&lg, &added, lq, alpha, beta, &mut visited)
-        .expect("the full community always validates");
-    lg.to_subgraph(g, r.into_iter())
+    if !validated {
+        // Everything added: C* = C_{α,β}(q), which is itself a valid
+        // candidate, so the final validation cannot fail.
+        let ok = validate_in(lg, lq, alpha, beta, s);
+        assert!(ok, "the full community always validates");
+    }
+    s.heap = heap.into_vec();
+    lg.emit_globals(&s.out, out);
 }
 
 /// Algorithm 5 lines 16–18: peel a copy of `C*` to its (α,β)-core; if `q`
-/// survives, run the Algorithm 4 search on that copy and return `R`.
-/// Sorting happens here, on `C*` only.
-fn validate(
-    lg: &LocalGraph,
-    added: &[bool],
-    lq: u32,
-    alpha: u32,
-    beta: u32,
-    visited: &mut [bool],
-) -> Option<Vec<u32>> {
-    let c_star = lg.component_edges(lq, added, visited);
-    let (alive, deg) = degree_peel(lg, &c_star, alpha, beta);
-    if deg[lq as usize] < lg.need(lq, alpha, beta) {
-        return None;
+/// survives, run the Algorithm 4 search on that copy, leaving `R` in
+/// `s.out` and returning `true`. Sorting happens here, on `C*` only.
+fn validate_in(lg: &LocalGraph, lq: u32, alpha: u32, beta: u32, s: &mut LocalScratch) -> bool {
+    {
+        let LocalScratch {
+            added,
+            visited,
+            stack,
+            subset,
+            ..
+        } = s;
+        lg.component_edges_into(lq, added, visited, stack, subset);
+    }
+    let c_star = std::mem::take(&mut s.subset);
+    degree_peel_in(
+        lg,
+        &c_star,
+        alpha,
+        beta,
+        &mut s.alive,
+        &mut s.deg,
+        &mut s.cascade,
+    );
+    if s.deg[lq as usize] < lg.need(lq, alpha, beta) {
+        s.subset = c_star;
+        return false;
     }
     let mut order_asc = c_star;
     order_asc.sort_unstable_by(|&a, &b| lg.weight(a).total_cmp(&lg.weight(b)).then(a.cmp(&b)));
-    Some(weighted_peel(
-        lg, alive, deg, lq, alpha, beta, &order_asc, visited,
-    ))
+    weighted_peel_in(lg, lq, alpha, beta, &order_asc, s);
+    s.subset = order_asc;
+    true
 }
 
 #[cfg(test)]
@@ -274,6 +376,29 @@ mod tests {
                             rp.size()
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh() {
+        let mut rng = StdRng::seed_from_u64(302);
+        let g0 = random_bipartite(22, 22, 170, &mut rng);
+        let g = WeightModel::Uniform { lo: 0.0, hi: 4.0 }.apply(&g0, &mut rng);
+        let idx = DeltaIndex::build(&g);
+        let mut ws = QueryWorkspace::new();
+        for a in 1..=3 {
+            for b in 1..=3 {
+                for qi in 0..5 {
+                    let q = g.upper(qi);
+                    let c = idx.query_community(&g, q, a, b);
+                    if c.is_empty() {
+                        continue;
+                    }
+                    let fresh = scs_expand(&g, &c, q, a, b);
+                    let reused = scs_expand_in(&g, &c, q, a, b, &mut ws);
+                    assert!(reused.same_edges(&fresh), "α={a} β={b} q={q:?}");
                 }
             }
         }

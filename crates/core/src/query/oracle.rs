@@ -149,4 +149,32 @@ mod tests {
         assert!(c.is_empty());
         assert!(verify_significant(&g, &c, q, 2, 2, &Subgraph::empty(&g)).is_ok());
     }
+
+    #[test]
+    fn workspace_variants_satisfy_the_definition() {
+        // The oracle is the definitional ground truth; the reused-
+        // workspace entry points must satisfy every clause of
+        // Definition 5 just like the fresh-allocation paths do.
+        use crate::query::{scs_binary_in, scs_expand_in, scs_peel_in};
+        use crate::workspace::QueryWorkspace;
+        let g = figure2_example();
+        let mut ws = QueryWorkspace::new();
+        for (a, b) in [(2, 2), (3, 3), (2, 3)] {
+            for qi in 0..4 {
+                let q = g.upper(qi);
+                let c = abcore_community(&g, q, a, b);
+                if c.is_empty() {
+                    continue;
+                }
+                for (name, r) in [
+                    ("peel", scs_peel_in(&g, &c, q, a, b, &mut ws)),
+                    ("expand", scs_expand_in(&g, &c, q, a, b, &mut ws)),
+                    ("binary", scs_binary_in(&g, &c, q, a, b, &mut ws)),
+                ] {
+                    verify_significant(&g, &c, q, a, b, &r)
+                        .unwrap_or_else(|e| panic!("{name} α={a} β={b} q={q:?}: {e}"));
+                }
+            }
+        }
+    }
 }

@@ -2,36 +2,51 @@
 //! repeatedly deleting the minimum-weight edge group and cascading degree
 //! violations until the query vertex fails, then rolling back the last
 //! iteration and taking `q`'s connected component.
+//!
+//! The kernels run entirely on the community-sized scratch of a
+//! [`QueryWorkspace`] — epoch-stamped liveness sets instead of per-query
+//! `vec![bool]` buffers — so a warm workspace peels without allocating.
 
 use crate::local::LocalGraph;
-use bigraph::{BipartiteGraph, Subgraph, Vertex};
+use crate::workspace::{LocalScratch, QueryWorkspace};
+use bigraph::workspace::EdgeSet;
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
 
 /// Degree-peels an arbitrary subset of local edges to its (α,β)-core.
-/// Returns `(alive, deg)` over all local edges/vertices (edges outside
-/// `subset` are dead with no degree contribution).
-pub(crate) fn degree_peel(
+/// On return `alive` holds the surviving edges and `deg` the live degree
+/// of every local vertex (edges outside `subset` are dead with no degree
+/// contribution). `queue` is worklist scratch. All three are reset here.
+pub(crate) fn degree_peel_in(
     lg: &LocalGraph,
     subset: &[u32],
     alpha: u32,
     beta: u32,
-) -> (Vec<bool>, Vec<u32>) {
-    let mut alive = vec![false; lg.n_edges()];
-    let mut deg = vec![0u32; lg.n_vertices()];
+    alive: &mut EdgeSet,
+    deg: &mut Vec<u32>,
+    queue: &mut Vec<u32>,
+) {
+    alive.ensure(lg.n_edges());
+    alive.clear();
+    deg.clear();
+    deg.resize(lg.n_vertices(), 0);
     for &le in subset {
-        alive[le as usize] = true;
+        alive.insert_id(le as usize);
         let (a, b) = lg.ends(le);
         deg[a as usize] += 1;
         deg[b as usize] += 1;
     }
-    let mut queue: Vec<u32> = (0..lg.n_vertices() as u32)
-        .filter(|&v| deg[v as usize] > 0 && deg[v as usize] < lg.need(v, alpha, beta))
-        .collect();
+    queue.clear();
+    for v in 0..lg.n_vertices() as u32 {
+        let d = deg[v as usize];
+        if d > 0 && d < lg.need(v, alpha, beta) {
+            queue.push(v);
+        }
+    }
     while let Some(v) = queue.pop() {
         for &(nbr, le) in lg.adjacency(v) {
-            if !alive[le as usize] {
+            if !alive.remove_id(le as usize) {
                 continue;
             }
-            alive[le as usize] = false;
             deg[v as usize] -= 1;
             deg[nbr as usize] -= 1;
             let nd = deg[nbr as usize];
@@ -42,88 +57,157 @@ pub(crate) fn degree_peel(
             // cascade for it.
         }
     }
-    (alive, deg)
 }
 
-/// The weighted peeling loop of Algorithm 4 over a live edge set.
+/// The weighted peeling loop of Algorithm 4 over the live edge set in
+/// `s.alive`.
 ///
-/// Preconditions: `(alive, deg)` describe a subgraph in which every
-/// vertex satisfies its (α,β) degree constraint and `deg[lq] > 0`.
-/// `order_asc` lists all local edges sorted by weight ascending (dead
-/// entries are skipped). `visited` is an all-false scratch buffer of
-/// length `n_vertices`, restored before returning.
-///
-/// Returns the local edges of the significant community of `lq`.
-#[allow(clippy::too_many_arguments)] // mirrors Algorithm 4's explicit state
-pub(crate) fn weighted_peel(
+/// Preconditions: `(s.alive, s.deg)` describe a subgraph in which every
+/// vertex satisfies its (α,β) degree constraint and `s.deg[lq] > 0`.
+/// `order_asc` lists all live local edges sorted by weight ascending
+/// (dead entries are skipped). Clobbers `s.removed`, `s.cascade`,
+/// `s.visited` and `s.stack`; leaves the local edges of the significant
+/// community of `lq` in `s.out`.
+pub(crate) fn weighted_peel_in(
     lg: &LocalGraph,
-    mut alive: Vec<bool>,
-    mut deg: Vec<u32>,
     lq: u32,
     alpha: u32,
     beta: u32,
     order_asc: &[u32],
-    visited: &mut [bool],
-) -> Vec<u32> {
-    debug_assert!(deg[lq as usize] >= lg.need(lq, alpha, beta));
-    let mut removed_this_iter: Vec<u32> = Vec::new();
-    let mut cascade: Vec<u32> = Vec::new();
+    s: &mut LocalScratch,
+) {
+    debug_assert!(s.deg[lq as usize] >= lg.need(lq, alpha, beta));
+    s.removed.clear();
+    s.cascade.clear();
     let mut i = 0;
     while i < order_asc.len() {
         // Skip edges already dead (outside the subset or removed earlier).
-        while i < order_asc.len() && !alive[order_asc[i] as usize] {
+        while i < order_asc.len() && !s.alive.contains_id(order_asc[i] as usize) {
             i += 1;
         }
         if i >= order_asc.len() {
             break;
         }
         let w_min = lg.weight(order_asc[i]);
-        removed_this_iter.clear();
+        s.removed.clear();
         // Remove the whole minimum-weight group.
         while i < order_asc.len() && lg.weight(order_asc[i]).total_cmp(&w_min).is_eq() {
             let le = order_asc[i];
             i += 1;
-            if !alive[le as usize] {
+            if !s.alive.remove_id(le as usize) {
                 continue;
             }
-            alive[le as usize] = false;
-            removed_this_iter.push(le);
+            s.removed.push(le);
             let (a, b) = lg.ends(le);
             for v in [a, b] {
-                deg[v as usize] -= 1;
-                let d = deg[v as usize];
+                s.deg[v as usize] -= 1;
+                let d = s.deg[v as usize];
                 if d > 0 && d < lg.need(v, alpha, beta) {
-                    cascade.push(v);
+                    s.cascade.push(v);
                 }
             }
         }
         // Cascade removals of under-degree vertices.
-        while let Some(v) = cascade.pop() {
+        while let Some(v) = s.cascade.pop() {
             for &(nbr, le) in lg.adjacency(v) {
-                if !alive[le as usize] {
+                if !s.alive.remove_id(le as usize) {
                     continue;
                 }
-                alive[le as usize] = false;
-                removed_this_iter.push(le);
-                deg[v as usize] -= 1;
-                deg[nbr as usize] -= 1;
-                let nd = deg[nbr as usize];
+                s.removed.push(le);
+                s.deg[v as usize] -= 1;
+                s.deg[nbr as usize] -= 1;
+                let nd = s.deg[nbr as usize];
                 if nd > 0 && nd < lg.need(nbr, alpha, beta) {
-                    cascade.push(nbr);
+                    s.cascade.push(nbr);
                 }
             }
         }
         // Did q fail this iteration? Then the state at the iteration's
         // start (removed ∪ still-alive) is the answer graph G′ of
         // Algorithm 4 line 21; q's component of it is R.
-        if deg[lq as usize] < lg.need(lq, alpha, beta) {
-            for &le in &removed_this_iter {
-                alive[le as usize] = true;
+        if s.deg[lq as usize] < lg.need(lq, alpha, beta) {
+            for &le in &s.removed {
+                s.alive.insert_id(le as usize);
             }
-            return lg.component_edges(lq, &alive, visited);
+            let LocalScratch {
+                alive,
+                visited,
+                stack,
+                out,
+                ..
+            } = s;
+            lg.component_edges_into(lq, alive, visited, stack, out);
+            return;
         }
     }
     unreachable!("peeling always dequalifies q before the edge list runs out");
+}
+
+/// Allocation-free `SCS-Peel`: extracts the significant (α,β)-community
+/// of `q` from its (α,β)-community given as a sorted edge-id slice.
+/// `out` is cleared first and receives the sorted result edges. All
+/// scratch comes from `ws`; a warm workspace makes this heap-silent.
+pub fn scs_peel_into(
+    g: &BipartiteGraph,
+    community: &[EdgeId],
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+    out: &mut Vec<EdgeId>,
+) {
+    out.clear();
+    if community.is_empty() {
+        return;
+    }
+    ws.local.rebuild(g, community);
+    ws.fit_local(ws.local.n_vertices(), ws.local.n_edges());
+    let QueryWorkspace {
+        local: lg,
+        scratch: s,
+        ..
+    } = ws;
+    let lq = lg
+        .local_of(q)
+        .expect("query vertex must belong to its community");
+    // All-equal weights: the community itself is the answer.
+    if let Some((lo, hi)) = lg.weight_bounds() {
+        if lo.total_cmp(&hi).is_eq() {
+            out.extend_from_slice(community);
+            out.sort_unstable();
+            out.dedup();
+            return;
+        }
+    }
+    lg.edges_by_weight_into(true, &mut s.order);
+    // Initial liveness — the whole community — lives in the workspace
+    // edge-set instead of a per-query `vec![true; n_edges]`.
+    s.alive.ensure(lg.n_edges());
+    s.alive.clear();
+    for le in 0..lg.n_edges() {
+        s.alive.insert_id(le);
+    }
+    s.deg.clear();
+    s.deg
+        .extend((0..lg.n_vertices() as u32).map(|v| lg.full_degree(v)));
+    let order = std::mem::take(&mut s.order);
+    weighted_peel_in(lg, lq, alpha as u32, beta as u32, &order, s);
+    s.order = order;
+    lg.emit_globals(&s.out, out);
+}
+
+/// [`scs_peel`] with caller-provided reusable scratch.
+pub fn scs_peel_in<'g>(
+    g: &'g BipartiteGraph,
+    community: &Subgraph<'g>,
+    q: Vertex,
+    alpha: usize,
+    beta: usize,
+    ws: &mut QueryWorkspace,
+) -> Subgraph<'g> {
+    let mut out = Vec::new();
+    scs_peel_into(g, community.edges(), q, alpha, beta, ws, &mut out);
+    Subgraph::from_edges(g, out)
 }
 
 /// `SCS-Peel`: extracts the significant (α,β)-community of `q` from its
@@ -133,6 +217,7 @@ pub(crate) fn weighted_peel(
 /// [`crate::index::DeltaIndex::query_community`]); passing the empty
 /// subgraph yields the empty result.
 ///
+/// Thin wrapper over [`scs_peel_in`] with a throwaway workspace.
 /// Complexity: `O(sort(C) + size(C))` time, `O(size(C))` space.
 pub fn scs_peel<'g>(
     g: &'g BipartiteGraph,
@@ -141,36 +226,7 @@ pub fn scs_peel<'g>(
     alpha: usize,
     beta: usize,
 ) -> Subgraph<'g> {
-    if community.is_empty() {
-        return Subgraph::empty(g);
-    }
-    let lg = LocalGraph::new(community);
-    let lq = lg
-        .local_of(q)
-        .expect("query vertex must belong to its community");
-    // All-equal weights: the community itself is the answer.
-    if let (Some(lo), Some(hi)) = (community.min_weight(), community.max_weight()) {
-        if lo.total_cmp(&hi).is_eq() {
-            return community.clone();
-        }
-    }
-    let order = lg.edges_by_weight(true);
-    let alive = vec![true; lg.n_edges()];
-    let deg: Vec<u32> = (0..lg.n_vertices() as u32)
-        .map(|v| lg.full_degree(v))
-        .collect();
-    let mut visited = vec![false; lg.n_vertices()];
-    let r = weighted_peel(
-        &lg,
-        alive,
-        deg,
-        lq,
-        alpha as u32,
-        beta as u32,
-        &order,
-        &mut visited,
-    );
-    lg.to_subgraph(g, r.into_iter())
+    scs_peel_in(g, community, q, alpha, beta, &mut QueryWorkspace::new())
 }
 
 #[cfg(test)]
@@ -244,6 +300,28 @@ mod tests {
                 assert!(r.is_connected());
                 assert!(r.contains_vertex(q));
                 assert!(r.satisfies_degrees(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh() {
+        let g = figure2_example();
+        let idx = DeltaIndex::build(&g);
+        let mut ws = QueryWorkspace::new();
+        let mut out = Vec::new();
+        for (a, b) in [(2, 2), (3, 3), (2, 3)] {
+            for qi in 0..4 {
+                let q = g.upper(qi);
+                let c = idx.query_community(&g, q, a, b);
+                if c.is_empty() {
+                    continue;
+                }
+                let fresh = scs_peel(&g, &c, q, a, b);
+                let reused = scs_peel_in(&g, &c, q, a, b, &mut ws);
+                assert!(reused.same_edges(&fresh), "α={a} β={b} q={q:?}");
+                scs_peel_into(&g, c.edges(), q, a, b, &mut ws, &mut out);
+                assert_eq!(out, fresh.edges(), "α={a} β={b} q={q:?}");
             }
         }
     }

@@ -1,0 +1,196 @@
+//! Per-thread reusable scratch for the full two-step query pipeline.
+//!
+//! A [`QueryWorkspace`] bundles everything a significant-community query
+//! needs besides the graph and the index: the graph-sized epoch-stamped
+//! buffers of [`bigraph::workspace::Workspace`] (used by index retrieval
+//! and the online baselines) and the community-sized local scratch of the
+//! second-step kernels (the re-indexed [`LocalGraph`], liveness sets,
+//! degree arrays, sort orders, the expansion heap and component
+//! tracker). Everything grows monotonically to the largest query served,
+//! so a warm workspace answers an unbounded query stream with zero
+//! further heap allocations.
+//!
+//! One workspace serves one thread: the serving layer gives each worker
+//! its own, reused across queries and across index epoch swaps.
+//!
+//! # Example
+//!
+//! ```
+//! use bigraph::builder::figure2_example;
+//! use scs::{Algorithm, CommunitySearch, QueryWorkspace};
+//!
+//! let search = CommunitySearch::new(figure2_example());
+//! let mut ws = QueryWorkspace::new();
+//! let q = search.graph().upper(2);
+//! // Same answers as `significant_community`, no per-query scratch.
+//! let r = search.significant_community_in(q, 2, 2, Algorithm::Auto, &mut ws);
+//! assert_eq!(r.min_weight(), Some(13.0));
+//! assert!(ws.heap_bytes() > 0);
+//! ```
+
+use crate::local::LocalGraph;
+use crate::query::expand::HeapEdge;
+use bigraph::unionfind::ComponentTracker;
+use bigraph::workspace::{EdgeSet, VertexSet, Workspace};
+use bigraph::EdgeId;
+
+/// Community-sized scratch of the second-step kernels. Field roles are
+/// by convention, like [`Workspace`]'s; every kernel documents what it
+/// clobbers.
+#[derive(Debug, Default)]
+pub(crate) struct LocalScratch {
+    /// Live local edges of the kernel in progress (peel liveness,
+    /// expansion's inserted set, …).
+    pub alive: EdgeSet,
+    /// Secondary local edge set (expansion's `G*` while `alive` backs a
+    /// validation peel).
+    pub added: EdgeSet,
+    /// Local BFS/DFS discovery marks.
+    pub visited: VertexSet,
+    /// Live local degrees.
+    pub deg: Vec<u32>,
+    /// Weight-sorted local edge order.
+    pub order: Vec<u32>,
+    /// Candidate edge subsets (binary-search probes, expansion's `C*`).
+    pub subset: Vec<u32>,
+    /// Edges removed in the current peel iteration (for rollback).
+    pub removed: Vec<u32>,
+    /// Cascade worklist of local vertex ids.
+    pub cascade: Vec<u32>,
+    /// Traversal stack of local vertex ids.
+    pub stack: Vec<u32>,
+    /// Local result edges.
+    pub out: Vec<u32>,
+    /// Distinct weights (binary search over thresholds).
+    pub weights: Vec<f64>,
+    /// Backing store of the expansion max-heap.
+    pub heap: Vec<HeapEdge>,
+    /// Union-find component tracker for the expansion.
+    pub tracker: ComponentTracker,
+}
+
+impl LocalScratch {
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.alive.heap_bytes()
+            + self.added.heap_bytes()
+            + self.visited.heap_bytes()
+            + self.deg.capacity() * size_of::<u32>()
+            + self.order.capacity() * size_of::<u32>()
+            + self.subset.capacity() * size_of::<u32>()
+            + self.removed.capacity() * size_of::<u32>()
+            + self.cascade.capacity() * size_of::<u32>()
+            + self.stack.capacity() * size_of::<u32>()
+            + self.out.capacity() * size_of::<u32>()
+            + self.weights.capacity() * size_of::<f64>()
+            + self.heap.capacity() * size_of::<HeapEdge>()
+    }
+}
+
+/// Reusable scratch memory for the whole query path (see the
+/// [module docs](self)).
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    /// Graph-sized scratch: index retrieval, online peels, baselines.
+    pub(crate) base: Workspace,
+    /// The re-indexed community, rebuilt in place per query.
+    pub(crate) local: LocalGraph,
+    /// Step-1 result: the community's global edge ids.
+    pub(crate) community: Vec<EdgeId>,
+    /// Community-sized kernel scratch.
+    pub(crate) scratch: LocalScratch,
+    acquisitions: u64,
+    grows: u64,
+}
+
+impl QueryWorkspace {
+    /// An empty workspace; every buffer grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the community-sized scratch can serve a local graph with
+    /// `n` vertices and `m` edges. Grow-only and counted, like
+    /// [`Workspace::fit_sizes`].
+    pub(crate) fn fit_local(&mut self, n: usize, m: usize) {
+        use bigraph::workspace::grow_vec as grow;
+        let s = &mut self.scratch;
+        let mut grows = 0u64;
+        grows += s.alive.ensure(m) as u64;
+        grows += s.added.ensure(m) as u64;
+        grows += s.visited.ensure(n) as u64;
+        grows += grow(&mut s.deg, n) as u64;
+        grows += grow(&mut s.order, m) as u64;
+        grows += grow(&mut s.subset, m) as u64;
+        grows += grow(&mut s.removed, m) as u64;
+        grows += grow(&mut s.cascade, n) as u64;
+        grows += grow(&mut s.stack, n) as u64;
+        grows += grow(&mut s.out, m) as u64;
+        grows += grow(&mut s.weights, m) as u64;
+        grows += grow(&mut s.heap, m) as u64;
+        self.acquisitions += 12;
+        self.grows += grows;
+    }
+
+    /// The graph-sized base workspace (index retrieval, baselines).
+    pub(crate) fn base_mut(&mut self) -> &mut Workspace {
+        &mut self.base
+    }
+
+    /// Runs step 1 through `f`, which receives the base workspace and
+    /// the community output buffer as disjoint borrows.
+    pub(crate) fn retrieve_community(&mut self, f: impl FnOnce(&mut Workspace, &mut Vec<EdgeId>)) {
+        f(&mut self.base, &mut self.community)
+    }
+
+    /// Temporarily moves the community buffer out (so a second-step
+    /// kernel can borrow the rest of the workspace mutably); pair with
+    /// [`Self::restore_community`].
+    pub(crate) fn take_community(&mut self) -> Vec<EdgeId> {
+        std::mem::take(&mut self.community)
+    }
+
+    /// Returns the buffer taken by [`Self::take_community`].
+    pub(crate) fn restore_community(&mut self, community: Vec<EdgeId>) {
+        self.community = community;
+    }
+
+    /// Resident heap bytes across every buffer — what it costs to keep
+    /// this workspace warm. Reported by the service layer next to its
+    /// cache statistics.
+    pub fn heap_bytes(&self) -> usize {
+        self.base.heap_bytes()
+            + self.local.heap_bytes()
+            + self.community.capacity() * std::mem::size_of::<EdgeId>()
+            + self.scratch.heap_bytes()
+    }
+
+    /// Scratch acquisitions served from already-resident memory — the
+    /// buffer set-ups a fresh-buffer implementation would have
+    /// performed with an allocation each, counted once per buffer per
+    /// kernel fit (see
+    /// [`bigraph::workspace::WorkspaceStats::allocations_avoided`]).
+    pub fn allocations_avoided(&self) -> u64 {
+        self.base.allocations_avoided() + (self.acquisitions - self.grows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_local_grows_once_then_reuses() {
+        let mut ws = QueryWorkspace::new();
+        ws.fit_local(10, 20);
+        let bytes = ws.heap_bytes();
+        assert!(bytes > 0);
+        let avoided_before = ws.allocations_avoided();
+        ws.fit_local(10, 20);
+        ws.fit_local(4, 4);
+        assert_eq!(ws.heap_bytes(), bytes, "warm fits must not grow");
+        assert!(ws.allocations_avoided() >= avoided_before + 24);
+        ws.fit_local(100, 300);
+        assert!(ws.heap_bytes() > bytes, "bigger community grows the pool");
+    }
+}

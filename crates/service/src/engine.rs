@@ -32,9 +32,9 @@
 use crate::cache::ShardedCache;
 use crate::stats::{LatencyHistogram, ServiceStats};
 use crate::{CommunitySummary, QueryRequest, QueryResponse};
-use scs::CommunitySearch;
+use scs::{CommunitySearch, QueryWorkspace};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -143,6 +143,17 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// Per-worker scratch accounting, published after every served request
+/// so [`QueryEngine::stats`] can aggregate without touching the
+/// workspaces themselves (they are owned by the worker threads).
+#[derive(Default)]
+struct ScratchSlot {
+    /// Resident bytes of the worker's [`QueryWorkspace`].
+    bytes: AtomicUsize,
+    /// Cumulative scratch acquisitions served without allocating.
+    allocs_avoided: AtomicU64,
+}
+
 /// Shared state between the engine handle and its workers.
 struct Inner {
     search: RwLock<(Arc<CommunitySearch>, u64)>,
@@ -151,6 +162,7 @@ struct Inner {
     hist: LatencyHistogram,
     completed: AtomicU64,
     coalesced: AtomicU64,
+    scratch: Vec<ScratchSlot>,
     started: Instant,
     workers: usize,
 }
@@ -187,7 +199,7 @@ impl Inner {
         Role::Leader(flight)
     }
 
-    fn serve(&self, req: QueryRequest) -> Arc<QueryResponse> {
+    fn serve(&self, req: QueryRequest, ws: &mut QueryWorkspace) -> Arc<QueryResponse> {
         let t0 = Instant::now();
         if let Some(hit) = self.cache.get(&req) {
             let resp = Arc::new(QueryResponse {
@@ -226,11 +238,14 @@ impl Inner {
                     && req.alpha >= 1
                     && req.beta >= 1;
                 let summary = if valid {
-                    let sub = search.significant_community(
+                    // The worker's workspace provides every scratch
+                    // buffer; only the result itself is allocated.
+                    let sub = search.significant_community_in(
                         req.q,
                         req.alpha as usize,
                         req.beta as usize,
                         req.algo,
+                        ws,
                     );
                     Arc::new(CommunitySummary::from_subgraph(&sub))
                 } else {
@@ -325,6 +340,7 @@ impl QueryEngine {
             hist: LatencyHistogram::default(),
             completed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            scratch: (0..workers).map(|_| ScratchSlot::default()).collect(),
             started: Instant::now(),
             workers,
         });
@@ -336,28 +352,39 @@ impl QueryEngine {
                 let rx = rx.clone();
                 std::thread::Builder::new()
                     .name(format!("scs-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the queue lock only across the dequeue so
-                        // workers pull jobs concurrently with compute.
-                        let job = rx.lock().unwrap().recv();
-                        match job {
-                            Ok((req, reply)) => {
-                                // Backstop: a panic in query code must not
-                                // shrink the pool. The flight guard has
-                                // already poisoned that key's followers;
-                                // dropping `reply` unanswered makes this
-                                // submitter's wait() fail loudly.
-                                let resp =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        inner.serve(req)
-                                    }));
-                                if let Ok(resp) = resp {
-                                    // A submitter that dropped its handle
-                                    // just doesn't collect the result.
-                                    let _ = reply.send(resp);
+                    .spawn(move || {
+                        // The worker's scratch arena: reused across every
+                        // query it serves and across index epoch swaps
+                        // (it simply grows on the first query against a
+                        // larger installed graph). After warm-up the
+                        // steady-state compute path stops allocating.
+                        let mut ws = QueryWorkspace::new();
+                        loop {
+                            // Hold the queue lock only across the dequeue so
+                            // workers pull jobs concurrently with compute.
+                            let job = rx.lock().unwrap().recv();
+                            match job {
+                                Ok((req, reply)) => {
+                                    // Backstop: a panic in query code must not
+                                    // shrink the pool. The flight guard has
+                                    // already poisoned that key's followers;
+                                    // dropping `reply` unanswered makes this
+                                    // submitter's wait() fail loudly.
+                                    let resp = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| inner.serve(req, &mut ws)),
+                                    );
+                                    let slot = &inner.scratch[i];
+                                    slot.bytes.store(ws.heap_bytes(), Ordering::Relaxed);
+                                    slot.allocs_avoided
+                                        .store(ws.allocations_avoided(), Ordering::Relaxed);
+                                    if let Ok(resp) = resp {
+                                        // A submitter that dropped its handle
+                                        // just doesn't collect the result.
+                                        let _ = reply.send(resp);
+                                    }
                                 }
+                                Err(_) => break, // all senders gone: shutdown
                             }
-                            Err(_) => break, // all senders gone: shutdown
                         }
                     })
                     .expect("spawn worker thread")
@@ -423,6 +450,16 @@ impl QueryEngine {
             p90_us: inner.hist.quantile_us(0.90),
             p99_us: inner.hist.quantile_us(0.99),
             max_us: inner.hist.max_us(),
+            scratch_bytes: inner
+                .scratch
+                .iter()
+                .map(|s| s.bytes.load(Ordering::Relaxed))
+                .sum(),
+            allocs_avoided: inner
+                .scratch
+                .iter()
+                .map(|s| s.allocs_avoided.load(Ordering::Relaxed))
+                .sum(),
         }
     }
 
@@ -477,6 +514,7 @@ mod tests {
         let st = e.stats();
         assert_eq!(st.completed, 2);
         assert_eq!(st.cache.hits, 1);
+        assert!(st.scratch_bytes > 0, "worker workspace must be resident");
         e.shutdown();
     }
 

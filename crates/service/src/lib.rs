@@ -26,7 +26,13 @@
 //! * in-flight deduplication — when identical queries race, one worker
 //!   computes and the rest wait on the same result (`singleflight`).
 //! * [`stats::ServiceStats`] — QPS, p50/p90/p99 latency from a lock-free
-//!   log-bucketed histogram, cache hit rate, coalescing counters.
+//!   log-bucketed histogram, cache hit rate, coalescing counters, plus
+//!   scratch residency and allocations-avoided from the workers'
+//!   workspaces.
+//! * per-worker scratch reuse — every worker owns a
+//!   [`scs::QueryWorkspace`] reused across queries (and across epoch
+//!   swaps, growing if a larger graph is installed), so the steady-state
+//!   compute path performs no graph-sized allocations.
 //! * epoch swap — [`engine::QueryEngine::install`] atomically replaces
 //!   the index (e.g. a [`scs::DynamicIndex::snapshot`] after edge
 //!   updates) without stopping the workers; the cache is invalidated and

@@ -113,6 +113,15 @@ pub struct ServiceStats {
     pub p99_us: u64,
     /// Worst observed service latency, µs.
     pub max_us: u64,
+    /// Resident bytes of the workers' reusable query workspaces —
+    /// the memory held to keep the query path allocation-free.
+    pub scratch_bytes: usize,
+    /// Scratch-buffer acquisitions served from resident workspace
+    /// memory, counted once per buffer per kernel entry. A query that
+    /// passes through several kernels (e.g. retrieval + peel) counts
+    /// each kernel's buffer set, so this tracks reuse traffic rather
+    /// than a per-query allocation count.
+    pub allocs_avoided: u64,
 }
 
 impl fmt::Display for ServiceStats {
@@ -135,6 +144,8 @@ impl fmt::Display for ServiceStats {
         )?;
         writeln!(f, "│ cache entries       │ {:>12} │", self.cache.entries)?;
         writeln!(f, "│ coalesced queries   │ {:>12} │", self.coalesced)?;
+        writeln!(f, "│ scratch resident    │ {:>11}B │", self.scratch_bytes)?;
+        writeln!(f, "│ allocs avoided      │ {:>12} │", self.allocs_avoided)?;
         writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
         write!(f, "└─────────────────────┴──────────────┘")
     }
@@ -191,10 +202,15 @@ mod tests {
             p90_us: 80,
             p99_us: 200,
             max_us: 900,
+            scratch_bytes: 65536,
+            allocs_avoided: 4321,
         };
         let txt = s.to_string();
         assert!(txt.contains("QPS"));
         assert!(txt.contains("12345.6"));
         assert!(txt.contains("60.0%"));
+        assert!(txt.contains("scratch resident"));
+        assert!(txt.contains("65536B"));
+        assert!(txt.contains("4321"));
     }
 }

@@ -1,0 +1,78 @@
+//! The tentpole guarantee, enforced: with a warm [`QueryWorkspace`] and
+//! a warm output buffer, a repeated query performs **zero** heap
+//! allocations — for every second-step algorithm.
+//!
+//! A counting global allocator wraps the system allocator; the test
+//! warms the workspace with two runs of each query (first run grows the
+//! buffers, second confirms capacities converged), then asserts the
+//! third run's allocation delta is exactly zero. This is the
+//! steady-state compute path of the service workers.
+//!
+//! Kept as a single `#[test]` in its own integration-test binary so no
+//! concurrent test thread can perturb the allocation counter.
+
+use bigraph::builder::figure2_example;
+use scs::{Algorithm, CommunitySearch, QueryWorkspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_workspace_queries_do_not_allocate() {
+    let g = figure2_example();
+    let search = CommunitySearch::new(g);
+    let q = search.graph().upper(2); // u3: nonempty, non-trivial answer
+    let mut ws = QueryWorkspace::new();
+    let mut out = Vec::new();
+
+    for algo in Algorithm::ALL {
+        // Two warm-up runs: the first grows every buffer, the second
+        // proves the capacities converged.
+        search.significant_community_into(q, 2, 2, algo, &mut ws, &mut out);
+        search.significant_community_into(q, 2, 2, algo, &mut ws, &mut out);
+        assert!(!out.is_empty(), "warm-up must produce a real community");
+
+        let before = allocations();
+        search.significant_community_into(q, 2, 2, algo, &mut ws, &mut out);
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "algorithm {algo} allocated {delta} times on a warm workspace"
+        );
+    }
+
+    // Varying the parameters (still within warmed capacity) stays free
+    // too: the buffers are sized by the graph, not by one specific query.
+    for (a, b) in [(1, 1), (3, 3), (2, 3)] {
+        search.significant_community_into(q, a, b, Algorithm::Peel, &mut ws, &mut out);
+        let before = allocations();
+        search.significant_community_into(q, a, b, Algorithm::Peel, &mut ws, &mut out);
+        assert_eq!(allocations() - before, 0, "α={a} β={b}");
+    }
+}
