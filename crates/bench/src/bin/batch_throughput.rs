@@ -1,0 +1,120 @@
+//! Batched-submission smoke benchmark: the same replayed workload
+//! submitted per-request (`QueryEngine::query`, one queue round-trip,
+//! snapshot read and cache handshake per request) versus batched
+//! (`QueryEngine::submit_batch`, those costs paid once per batch).
+//!
+//! The graph is the same grid of small disjoint bicliques as
+//! `workspace_reuse`: every answer is tiny, so the per-request fixed
+//! costs dominate and batching's amortization is exactly what is
+//! measured. Each mode gets a fresh engine (an empty cache) per round;
+//! rounds are interleaved and each mode keeps its best, so one
+//! scheduling hiccup cannot decide the comparison. The binary exits
+//! nonzero if batched submission is not at least as fast as per-request
+//! submission, which makes it a CI guard for the batch path (mirroring
+//! `workspace_reuse` for the workspace layer).
+//!
+//! Knobs: `SCS_QUERIES` (workload size, floor 2000 here), `SCS_SEED`,
+//! `SCS_BATCH` (batch size, default 64), `SCS_CLIENTS` (default 2).
+//!
+//! `cargo run -p scs-bench --release --bin batch_throughput`
+
+use bigraph::GraphBuilder;
+use scs::{Algorithm, CommunitySearch};
+use scs_bench::{print_header, print_row, Config};
+use scs_service::{
+    build_workload, replay, replay_batched, QueryEngine, ServiceConfig, WorkloadSpec,
+};
+
+/// Disjoint `blocks` × (`side` × `side`) bicliques with mixed weights.
+fn biclique_grid(blocks: usize, side: usize) -> bigraph::BipartiteGraph {
+    let mut b = GraphBuilder::new();
+    for blk in 0..blocks {
+        for u in 0..side {
+            for l in 0..side {
+                let w = if (u + l) % 2 == 0 { 5.0 } else { 3.0 };
+                b.add_edge(blk * side + u, blk * side + l, w);
+            }
+        }
+    }
+    b.build().expect("grid is duplicate-free")
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let batch_size = env_usize("SCS_BATCH", 64);
+    let clients = env_usize("SCS_CLIENTS", 2);
+    let workers = 2usize;
+
+    let g = biclique_grid(1500, 4);
+    println!("batch_throughput on {}", g.summary());
+    let search = CommunitySearch::shared(g);
+    let spec = WorkloadSpec {
+        n_queries: cfg.n_queries.max(2000),
+        alpha: 2,
+        beta: 2,
+        algo: Algorithm::Peel,
+        repeat_fraction: 0.3,
+        seed: cfg.seed,
+    };
+    let workload = build_workload(&search, &spec);
+    println!(
+        "workload: {} queries, repeat fraction {:.2}, {clients} clients, {workers} workers, batch size {batch_size}\n",
+        workload.len(),
+        spec.repeat_fraction,
+    );
+
+    let config = ServiceConfig {
+        workers,
+        cache_capacity: 4096,
+        cache_shards: 16,
+    };
+    let mut per_request_best = 0.0f64;
+    let mut batched_best = 0.0f64;
+    let mut last_batches = 0u64;
+    for _ in 0..3 {
+        // Fresh engine per measurement: both modes start from a cold
+        // cache, so neither inherits the other's hits.
+        let engine = QueryEngine::start(search.clone(), config.clone());
+        let (report, _) = replay(&engine, &workload, clients);
+        engine.shutdown();
+        per_request_best = per_request_best.max(report.replay_qps);
+
+        let engine = QueryEngine::start(search.clone(), config.clone());
+        let (report, _) = replay_batched(&engine, &workload, clients, batch_size);
+        engine.shutdown();
+        batched_best = batched_best.max(report.replay_qps);
+        last_batches = report.stats.batches;
+    }
+
+    let widths = [24, 14];
+    print_header(&["mode", "QPS"], &widths);
+    print_row(
+        &["per-request".into(), format!("{per_request_best:.0}")],
+        &widths,
+    );
+    print_row(
+        &[
+            format!("batched ({batch_size}/job)"),
+            format!("{batched_best:.0}"),
+        ],
+        &widths,
+    );
+    println!(
+        "\nspeedup {:.2}x over {} batch jobs",
+        batched_best / per_request_best,
+        last_batches
+    );
+
+    if batched_best < per_request_best {
+        eprintln!("REGRESSION: batched submission throughput fell below per-request submission");
+        std::process::exit(1);
+    }
+}

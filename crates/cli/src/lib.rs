@@ -82,6 +82,8 @@ pub struct ServeBenchArgs {
     pub repeat: f64,
     /// Workload seed.
     pub seed: u64,
+    /// Requests per submitted batch job (1 = per-request submission).
+    pub batch_size: usize,
 }
 
 /// A side-qualified query vertex (`u:3` / `l:17`).
@@ -162,7 +164,8 @@ USAGE:
   scs generate <dir> [--scale S] [--seed N]
   scs serve-bench <edgelist> [--threads N] [--queries K] [--clients C]
              [--alpha A] [--beta B] [--repeat F] [--seed N]
-             [--algo auto|peel|expand|binary|baseline] [--one-based]
+             [--batch-size B] [--algo auto|peel|expand|binary|baseline]
+             [--one-based]
   scs help
 
 Edge lists are `upper lower [weight]` per line; query vertices are
@@ -214,6 +217,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut alpha_flag = 2usize;
     let mut beta_flag = 2usize;
     let mut repeat = 0.5f64;
+    let mut batch_size = 1usize;
     // Subcommand-specific flags seen, so the other subcommands can
     // reject them instead of silently ignoring a misplaced knob.
     let mut serve_flags: Vec<&'static str> = Vec::new();
@@ -299,6 +303,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 if !(0.0..=1.0).contains(&repeat) {
                     return Err(CliError::new("repeat fraction must be in [0, 1]"));
                 }
+            }
+            "--batch-size" => {
+                serve_flags.push("--batch-size");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--batch-size needs a value"))?;
+                batch_size = parse_usize(val, "batch size")?;
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag:?}")))
@@ -398,6 +409,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 algo,
                 repeat,
                 seed,
+                batch_size,
             }))
         }
         other => Err(CliError::new(format!(
@@ -531,7 +543,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 /// `scs serve-bench`: build the index, replay a core-sampled workload
 /// with repeats through the concurrent engine, print the stats table.
 fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
-    use scs_service::{build_workload, replay, QueryEngine, ServiceConfig, WorkloadSpec};
+    use scs_service::{build_workload, replay_batched, QueryEngine, ServiceConfig, WorkloadSpec};
 
     let g = load(&args.path, args.one_based)?;
     let summary = g.summary();
@@ -558,11 +570,16 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
             ..ServiceConfig::default()
         },
     );
-    let (report, _responses) = replay(&engine, &workload, args.clients);
+    let (report, _responses) = replay_batched(&engine, &workload, args.clients, args.batch_size);
+    let submission = if report.batch_size > 1 {
+        format!("batches of {}", report.batch_size)
+    } else {
+        "per-request".into()
+    };
     let mut out = format!(
         "serve-bench {summary}\n\
          workload: {} queries (α={}, β={}, algo={}, repeat={:.2}, seed={})\n\
-         replayed by {} clients over {} workers in {:.3} s — {:.1} QPS\n",
+         replayed by {} clients ({submission}) over {} workers in {:.3} s — {:.1} QPS\n",
         report.n_queries,
         args.alpha,
         args.beta,
@@ -680,6 +697,8 @@ mod tests {
             "0.25",
             "--algo",
             "peel",
+            "--batch-size",
+            "32",
         ]))
         .unwrap();
         assert_eq!(
@@ -695,11 +714,19 @@ mod tests {
                 algo: Algorithm::Peel,
                 repeat: 0.25,
                 seed: 42,
+                batch_size: 32,
             })
         );
+        // batch size defaults to per-request submission.
+        match parse_args(&args(&["serve-bench", "g.tsv"])).unwrap() {
+            Command::ServeBench(a) => assert_eq!(a.batch_size, 1),
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse_args(&args(&["serve-bench"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--threads", "0"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--repeat", "1.5"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--batch-size", "0"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--batch-size"])).is_err());
     }
 
     #[test]
@@ -708,6 +735,7 @@ mod tests {
             parse_args(&args(&["search", "g", "u:1", "2", "2", "--threads", "4"])).unwrap_err();
         assert!(err.to_string().contains("serve-bench"), "{err}");
         assert!(parse_args(&args(&["stats", "g", "--queries", "10"])).is_err());
+        assert!(parse_args(&args(&["stats", "g", "--batch-size", "8"])).is_err());
         assert!(parse_args(&args(&["index", "g", "o", "--repeat", "0.5"])).is_err());
         let err = parse_args(&args(&["serve-bench", "g", "--scale", "0.5"])).unwrap_err();
         assert!(err.to_string().contains("generate"), "{err}");
@@ -762,13 +790,33 @@ mod tests {
             algo: Algorithm::Auto,
             repeat: 0.5,
             seed: 1,
+            batch_size: 1,
         }))
         .unwrap();
         assert!(out.contains("200 queries"), "{out}");
+        assert!(out.contains("per-request"), "{out}");
         assert!(out.contains("QPS"), "{out}");
         assert!(out.contains("cache hit rate"), "{out}");
         // 200 queries over ≤ 18 distinct keys: hits are guaranteed.
         assert!(!out.contains("cache hits          │            0"), "{out}");
+
+        // The same workload submitted in batches reports its batch jobs.
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 4,
+            queries: 200,
+            clients: 2,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            seed: 1,
+            batch_size: 25,
+        }))
+        .unwrap();
+        assert!(out.contains("batches of 25"), "{out}");
+        assert!(!out.contains("batch jobs          │            0"), "{out}");
 
         let err = run(Command::ServeBench(ServeBenchArgs {
             path: path.to_str().unwrap().into(),
@@ -781,6 +829,7 @@ mod tests {
             algo: Algorithm::Auto,
             repeat: 0.0,
             seed: 1,
+            batch_size: 1,
         }))
         .unwrap_err();
         assert!(err.to_string().contains("empty"), "{err}");

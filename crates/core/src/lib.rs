@@ -235,6 +235,46 @@ impl CommunitySearch {
         Subgraph::from_edges(&self.graph, out)
     }
 
+    /// Batch entry point: answers every `(q, α, β)` query in
+    /// `queries`, in order, through **one** workspace.
+    ///
+    /// The epoch-stamped scratch inside `ws` is what makes the batch
+    /// cheaper than a loop over [`Self::significant_community`]: buffer
+    /// clears between adjacent queries are O(1) epoch bumps, never
+    /// graph-sized writes, and every buffer stays resident at the size
+    /// of the largest query served so far. The serving layer's batch
+    /// path (`scs-service`) sits directly on this kernel.
+    pub fn significant_communities_in(
+        &self,
+        queries: &[(Vertex, usize, usize)],
+        algorithm: Algorithm,
+        ws: &mut QueryWorkspace,
+    ) -> Vec<Subgraph<'_>> {
+        let mut outs = Vec::new();
+        self.significant_communities_into(queries, algorithm, ws, &mut outs);
+        outs.into_iter()
+            .map(|edges| Subgraph::from_edges(&self.graph, edges))
+            .collect()
+    }
+
+    /// [`Self::significant_communities_in`] writing into caller-owned
+    /// result buffers: `outs` is resized to `queries.len()` and
+    /// `outs[i]` receives the sorted edge ids of query `i`'s community.
+    /// With a warm `ws` and warm `outs`, a repeated batch performs zero
+    /// heap allocations.
+    pub fn significant_communities_into(
+        &self,
+        queries: &[(Vertex, usize, usize)],
+        algorithm: Algorithm,
+        ws: &mut QueryWorkspace,
+        outs: &mut Vec<Vec<EdgeId>>,
+    ) {
+        outs.resize_with(queries.len(), Vec::new);
+        for (&(q, alpha, beta), out) in queries.iter().zip(outs.iter_mut()) {
+            self.significant_community_into(q, alpha, beta, algorithm, ws, out);
+        }
+    }
+
     /// Fully allocation-free query: `out` is cleared and receives the
     /// sorted edge ids of the significant (α,β)-community. With a warm
     /// `ws` and a warm `out`, a repeated query performs zero heap
@@ -304,6 +344,54 @@ mod tests {
             assert_eq!(r.size(), 4);
             assert_eq!(r.min_weight(), Some(13.0));
         }
+    }
+
+    #[test]
+    fn batch_matches_per_query_results() {
+        let search = CommunitySearch::new(figure2_example());
+        let g = search.graph();
+        let queries: Vec<(Vertex, usize, usize)> = (0..g.n_upper())
+            .flat_map(|i| [(g.upper(i), 2, 2), (g.upper(i), 1, 1)])
+            .collect();
+        for algo in Algorithm::ALL {
+            let mut ws = QueryWorkspace::new();
+            let batched = search.significant_communities_in(&queries, algo, &mut ws);
+            assert_eq!(batched.len(), queries.len());
+            for (&(q, a, b), got) in queries.iter().zip(&batched) {
+                let solo = search.significant_community(q, a, b, algo);
+                assert_eq!(got.edges(), solo.edges(), "q={q:?} α={a} β={b} {algo}");
+            }
+            // A warm workspace answers the same batch without growing.
+            let bytes = ws.heap_bytes();
+            let again = search.significant_communities_in(&queries, algo, &mut ws);
+            assert_eq!(ws.heap_bytes(), bytes, "warm batch must not grow scratch");
+            for (x, y) in batched.iter().zip(&again) {
+                assert_eq!(x.edges(), y.edges());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_result_buffers() {
+        let search = CommunitySearch::new(figure2_example());
+        let q = search.graph().upper(2);
+        let mut ws = QueryWorkspace::new();
+        let mut outs = Vec::new();
+        // A longer batch first, then a shorter one: `outs` must shrink.
+        search.significant_communities_into(
+            &[(q, 2, 2), (q, 1, 1), (q, 3, 3)],
+            Algorithm::Peel,
+            &mut ws,
+            &mut outs,
+        );
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].len(), 4);
+        search.significant_communities_into(&[(q, 2, 2)], Algorithm::Peel, &mut ws, &mut outs);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].len(), 4);
+        // Empty batch: no results, no panic.
+        search.significant_communities_into(&[], Algorithm::Auto, &mut ws, &mut outs);
+        assert!(outs.is_empty());
     }
 
     #[test]

@@ -143,7 +143,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident (across all shards).
     pub entries: usize,
-    /// Total capacity (across all shards).
+    /// The configured total entry budget: residency (`entries`) never
+    /// exceeds it. Per-shard slots are `capacity / shards` (floor), so
+    /// up to `capacity % shards` configured slots go unused; in the
+    /// degenerate `capacity < shards` case every shard still holds one
+    /// entry and the reported capacity is the shard count.
     pub capacity: usize,
     /// Number of shards.
     pub shards: usize,
@@ -170,6 +174,7 @@ impl CacheStats {
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<LruShard<K, V>>>,
     mask: usize,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -177,14 +182,22 @@ pub struct ShardedCache<K, V> {
 impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// `capacity` total entries spread over `shards` (rounded up to a
     /// power of two) independently locked shards.
+    ///
+    /// Each shard gets `capacity / shards` (floor) slots, so total
+    /// residency never exceeds the configured capacity — rounding up
+    /// used to overstate it (`new(100, 7)` held and reported 104).
+    /// Every shard holds at least one entry, so when `capacity` is
+    /// smaller than the shard count the effective capacity is the shard
+    /// count, and that is what [`Self::stats`] reports.
     pub fn new(capacity: usize, shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
-        let per_shard = capacity.div_ceil(n).max(1);
+        let per_shard = (capacity / n).max(1);
         ShardedCache {
             shards: (0..n)
                 .map(|_| Mutex::new(LruShard::new(per_shard)))
                 .collect(),
             mask: n - 1,
+            capacity: capacity.max(n),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -240,7 +253,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
-            capacity: self.shards.len() * self.shards[0].lock().unwrap().capacity,
+            capacity: self.capacity,
             shards: self.shards.len(),
         }
     }
@@ -301,11 +314,36 @@ mod tests {
 
     #[test]
     fn sharded_capacity_bound_under_churn() {
-        let c: ShardedCache<u64, u64> = ShardedCache::new(32, 4);
-        for i in 0..10_000u64 {
-            c.insert(i, i);
+        // Non-power-of-two shard count and indivisible capacity: the
+        // *reported* capacity must itself be the residency bound.
+        for (capacity, shards) in [(32usize, 4usize), (100, 7), (33, 8), (5, 4)] {
+            let c: ShardedCache<u64, u64> = ShardedCache::new(capacity, shards);
+            let bound = c.stats().capacity;
+            for i in 0..10_000u64 {
+                c.insert(i, i);
+            }
+            assert!(
+                c.len() <= bound,
+                "new({capacity}, {shards}): len={} exceeds reported capacity {bound}",
+                c.len()
+            );
         }
-        assert!(c.len() <= 32, "len={} exceeds capacity", c.len());
+    }
+
+    #[test]
+    fn stats_report_configured_capacity() {
+        // Regression: capacity was reported as shards × ceil(cap/shards),
+        // e.g. new(100, 7) → 8 shards × 13 = 104 instead of 100.
+        let c: ShardedCache<u64, u64> = ShardedCache::new(100, 7);
+        assert_eq!(c.stats().capacity, 100);
+        assert_eq!(
+            ShardedCache::<u64, u64>::new(4096, 16).stats().capacity,
+            4096
+        );
+        assert_eq!(ShardedCache::<u64, u64>::new(33, 8).stats().capacity, 33);
+        // Degenerate: fewer slots than shards — one entry per shard, and
+        // the report says so instead of promising an unreachable bound.
+        assert_eq!(ShardedCache::<u64, u64>::new(2, 4).stats().capacity, 4);
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //! 4. The leader publishes the response, installs it in the cache and
 //!    wakes the followers.
 //!
+//! Batches ([`QueryEngine::submit_batch`]) ride the same machinery with
+//! the per-request overheads paid once: one job carries the whole batch
+//! through the queue, the serving worker reads **one** index snapshot,
+//! looks every *unique* key up in the cache once, partitions the misses
+//! into leaders / followers up front, and answers every leader through
+//! one batched kernel call per algorithm
+//! ([`scs::CommunitySearch::significant_communities_in`]) on its single
+//! reused workspace. Responses come back in submission order; duplicate
+//! keys inside a batch are computed once and answered as coalesced.
+//!
 //! [`QueryEngine::install`] atomically replaces the index (one
 //! write-lock), bumps the epoch and clears the cache, so a rebuilt index
 //! — e.g. [`scs::DynamicIndex::snapshot`] after edge updates — goes live
@@ -32,7 +42,8 @@
 use crate::cache::ShardedCache;
 use crate::stats::{LatencyHistogram, ServiceStats};
 use crate::{CommunitySummary, QueryRequest, QueryResponse};
-use scs::{CommunitySearch, QueryWorkspace};
+use bigraph::Vertex;
+use scs::{Algorithm, CommunitySearch, QueryWorkspace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -162,6 +173,8 @@ struct Inner {
     hist: LatencyHistogram,
     completed: AtomicU64,
     coalesced: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
     scratch: Vec<ScratchSlot>,
     started: Instant,
     workers: usize,
@@ -230,14 +243,7 @@ impl Inner {
                     flight,
                     published: false,
                 };
-                // An unservable request (vertex outside the installed
-                // graph, zero constraint) gets the empty community
-                // rather than panicking a worker: the graph can shrink
-                // across installs, so clients cannot validate upfront.
-                let valid = (req.q.index()) < search.graph().n_vertices()
-                    && req.alpha >= 1
-                    && req.beta >= 1;
-                let summary = if valid {
+                let summary = if Self::servable(&req, &search) {
                     // The worker's workspace provides every scratch
                     // buffer; only the result itself is allocated.
                     let sub = search.significant_community_in(
@@ -259,17 +265,7 @@ impl Inner {
                     epoch,
                     service_us: t0.elapsed().as_micros() as u64,
                 });
-                // Cache the result only if no install retired the index
-                // we computed on. Holding the read lock makes the
-                // epoch-check + insert atomic w.r.t. `install`, which
-                // clears the cache under the write lock — so a stale
-                // entry can never land after the clear.
-                {
-                    let lock = self.search.read().unwrap();
-                    if lock.1 == epoch {
-                        self.cache.insert(req, resp.clone());
-                    }
-                }
+                self.cache_if_current(req, &resp, epoch);
                 // Publish, then let the guard's Drop clear the table
                 // entry: a thread that found this flight always gets an
                 // answer; threads arriving after the removal start a
@@ -300,9 +296,245 @@ impl Inner {
         self.hist.record(resp.service_us);
         self.completed.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Whether the engine can compute an answer for `req` on `search`.
+    /// An unservable request (vertex outside the installed graph, zero
+    /// constraint) gets the empty community rather than panicking a
+    /// worker: the graph can shrink across installs, so clients cannot
+    /// validate upfront. Shared by the single and batch paths so the
+    /// two can never drift apart.
+    fn servable(req: &QueryRequest, search: &CommunitySearch) -> bool {
+        req.q.index() < search.graph().n_vertices() && req.alpha >= 1 && req.beta >= 1
+    }
+
+    /// Caches `resp` only if no install retired the index it was
+    /// computed on. Holding the read lock makes the epoch-check +
+    /// insert atomic w.r.t. `install`, which clears the cache under the
+    /// write lock — so a stale entry can never land after the clear.
+    fn cache_if_current(&self, req: QueryRequest, resp: &Arc<QueryResponse>, epoch: u64) {
+        let lock = self.search.read().unwrap();
+        if lock.1 == epoch {
+            self.cache.insert(req, resp.clone());
+        }
+    }
+
+    /// Serves a whole batch on this worker, amortizing the per-request
+    /// costs: one cache lookup per *unique* key, one index-snapshot
+    /// read, one workspace for every leader computation (one batched
+    /// kernel call per algorithm present), and one response vector in
+    /// submission order.
+    fn serve_batch(
+        &self,
+        reqs: &[QueryRequest],
+        ws: &mut QueryWorkspace,
+    ) -> Vec<Arc<QueryResponse>> {
+        let t0 = Instant::now();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let mut out: Vec<Option<Arc<QueryResponse>>> = reqs.iter().map(|_| None).collect();
+        let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
+
+        // Unique keys in first-occurrence order, each with every
+        // submission slot it answers. Duplicates inside the batch are
+        // computed once; the extra slots are answered as coalesced.
+        let mut order: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
+        let mut first: HashMap<QueryRequest, usize> = HashMap::new();
+        for (i, req) in reqs.iter().enumerate() {
+            match first.entry(*req) {
+                std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].1.push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(order.len());
+                    order.push((*req, vec![i]));
+                }
+            }
+        }
+
+        // Pass 1: one cache lookup per unique key.
+        let mut misses: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
+        for (req, slots) in order {
+            if let Some(hit) = self.cache.get(&req) {
+                for &slot in &slots {
+                    let resp = Arc::new(QueryResponse {
+                        cached: true,
+                        coalesced: false,
+                        service_us: us(&t0),
+                        ..(*hit).clone()
+                    });
+                    self.finish(&resp);
+                    out[slot] = Some(resp);
+                }
+            } else {
+                misses.push((req, slots));
+            }
+        }
+
+        if !misses.is_empty() {
+            // One snapshot read for every miss in the batch.
+            let (search, epoch) = self.snapshot();
+            let mut leaders: Vec<(FlightGuard<'_>, Vec<usize>)> = Vec::new();
+            let mut followers: Vec<(Arc<Flight>, QueryRequest, Vec<usize>)> = Vec::new();
+            let mut stale: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
+            for (req, slots) in misses {
+                match self.join_flight(req, epoch) {
+                    Role::Leader(flight) => leaders.push((
+                        FlightGuard {
+                            inner: self,
+                            key: req,
+                            flight,
+                            published: false,
+                        },
+                        slots,
+                    )),
+                    Role::Follower(flight) => followers.push((flight, req, slots)),
+                    // An install raced between our snapshot and this
+                    // join; the per-request path re-reads and retries.
+                    Role::StaleSnapshot => stale.push((req, slots)),
+                }
+            }
+
+            // Resolve every leader on the one snapshot: unservable
+            // requests get the empty community immediately, the rest go
+            // through one batched kernel call per algorithm present.
+            // Each leader is published (cache + flight) the moment its
+            // summary exists — before the next group computes — so an
+            // external follower of one key never waits on the rest of
+            // the batch, only on its own group.
+            let publish_leader =
+                |(mut guard, slots): (FlightGuard<'_>, Vec<usize>),
+                 summary: Arc<CommunitySummary>,
+                 out: &mut Vec<Option<Arc<QueryResponse>>>| {
+                    let req = guard.key;
+                    let resp = Arc::new(QueryResponse {
+                        request: req,
+                        summary,
+                        cached: false,
+                        coalesced: false,
+                        epoch,
+                        service_us: us(&t0),
+                    });
+                    self.cache_if_current(req, &resp, epoch);
+                    guard.publish(resp.clone());
+                    drop(guard);
+                    for (k, &slot) in slots.iter().enumerate() {
+                        let r = if k == 0 {
+                            resp.clone()
+                        } else {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            Arc::new(QueryResponse {
+                                coalesced: true,
+                                service_us: us(&t0),
+                                ..(*resp).clone()
+                            })
+                        };
+                        self.finish(&r);
+                        out[slot] = Some(r);
+                    }
+                };
+            let mut groups: Vec<(Algorithm, Vec<usize>)> = Vec::new();
+            let mut pending: Vec<Option<(FlightGuard<'_>, Vec<usize>)>> =
+                Vec::with_capacity(leaders.len());
+            for (guard, slots) in leaders {
+                if !Self::servable(&guard.key, &search) {
+                    publish_leader(
+                        (guard, slots),
+                        Arc::new(CommunitySummary::empty()),
+                        &mut out,
+                    );
+                    continue;
+                }
+                let idx = pending.len();
+                match groups.iter_mut().find(|(a, _)| *a == guard.key.algo) {
+                    Some((_, g)) => g.push(idx),
+                    None => groups.push((guard.key.algo, vec![idx])),
+                }
+                pending.push(Some((guard, slots)));
+            }
+            for (algo, lis) in groups {
+                let queries: Vec<(Vertex, usize, usize)> = lis
+                    .iter()
+                    .map(|&li| {
+                        let r = pending[li]
+                            .as_ref()
+                            .expect("pending until its group runs")
+                            .0
+                            .key;
+                        (r.q, r.alpha as usize, r.beta as usize)
+                    })
+                    .collect();
+                // A panic inside the kernel unwinds through the
+                // FlightGuards, poisoning every unpublished flight.
+                let subs = search.significant_communities_in(&queries, algo, ws);
+                for (li, sub) in lis.into_iter().zip(&subs) {
+                    let leader = pending[li].take().expect("each leader published once");
+                    publish_leader(
+                        leader,
+                        Arc::new(CommunitySummary::from_subgraph(sub)),
+                        &mut out,
+                    );
+                }
+            }
+            debug_assert!(
+                pending.iter().all(Option::is_none),
+                "leader left unpublished"
+            );
+
+            // Every leader above is published before we wait on anyone
+            // else's flight (the stale retries and followers below), so
+            // two workers batching each other's keys can never deadlock
+            // on one another.
+            // Rare install race: the per-request path re-reads the
+            // snapshot and retries. Runs after our own leaders are
+            // published (it may block as a follower elsewhere).
+            for (req, slots) in stale {
+                let resp = self.serve(req, ws);
+                for (k, &slot) in slots.iter().enumerate() {
+                    let r = if k == 0 {
+                        resp.clone()
+                    } else {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        let r = Arc::new(QueryResponse {
+                            coalesced: true,
+                            service_us: us(&t0),
+                            ..(*resp).clone()
+                        });
+                        self.finish(&r);
+                        r
+                    };
+                    out[slot] = Some(r);
+                }
+            }
+
+            for (flight, req, slots) in followers {
+                let shared = flight.wait().unwrap_or_else(|| {
+                    panic!("in-flight leader for {req:?} panicked before publishing")
+                });
+                for &slot in &slots {
+                    let resp = Arc::new(QueryResponse {
+                        cached: false,
+                        coalesced: true,
+                        service_us: us(&t0),
+                        ..(*shared).clone()
+                    });
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    self.finish(&resp);
+                    out[slot] = Some(resp);
+                }
+            }
+        }
+
+        out.into_iter()
+            .map(|r| r.expect("every batch slot answered"))
+            .collect()
+    }
 }
 
-type Job = (QueryRequest, Sender<Arc<QueryResponse>>);
+enum Job {
+    /// One request, one response.
+    Single(QueryRequest, Sender<Arc<QueryResponse>>),
+    /// N requests served by one worker with amortized snapshot, cache
+    /// and workspace handling; answered as one vector in request order.
+    Batch(Vec<QueryRequest>, Sender<Vec<Arc<QueryResponse>>>),
+}
 
 /// A pending response; produced by [`QueryEngine::submit`].
 pub struct ResponseHandle {
@@ -319,6 +551,26 @@ impl ResponseHandle {
         self.rx
             .recv()
             .expect("query panicked in the engine or engine shut down before responding")
+    }
+}
+
+/// A pending batch of responses; produced by
+/// [`QueryEngine::submit_batch`]. Responses arrive together, in the
+/// order the requests were submitted.
+pub struct BatchHandle {
+    rx: Receiver<Vec<Arc<QueryResponse>>>,
+}
+
+impl BatchHandle {
+    /// Blocks until the engine answers the whole batch.
+    ///
+    /// # Panics
+    /// Panics if a query panicked inside the engine or the engine shut
+    /// down before answering.
+    pub fn wait(self) -> Vec<Arc<QueryResponse>> {
+        self.rx
+            .recv()
+            .expect("batch panicked in the engine or engine shut down before responding")
     }
 }
 
@@ -340,6 +592,8 @@ impl QueryEngine {
             hist: LatencyHistogram::default(),
             completed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
             scratch: (0..workers).map(|_| ScratchSlot::default()).collect(),
             started: Instant::now(),
             workers,
@@ -363,28 +617,39 @@ impl QueryEngine {
                             // Hold the queue lock only across the dequeue so
                             // workers pull jobs concurrently with compute.
                             let job = rx.lock().unwrap().recv();
+                            let Ok(job) = job else {
+                                break; // all senders gone: shutdown
+                            };
+                            // Backstop: a panic in query code must not
+                            // shrink the pool. The flight guards have
+                            // already poisoned their keys' followers;
+                            // dropping `reply` unanswered makes the
+                            // submitter's wait() fail loudly. A submitter
+                            // that dropped its handle just doesn't
+                            // collect the result.
                             match job {
-                                Ok((req, reply)) => {
-                                    // Backstop: a panic in query code must not
-                                    // shrink the pool. The flight guard has
-                                    // already poisoned that key's followers;
-                                    // dropping `reply` unanswered makes this
-                                    // submitter's wait() fail loudly.
+                                Job::Single(req, reply) => {
                                     let resp = std::panic::catch_unwind(
                                         std::panic::AssertUnwindSafe(|| inner.serve(req, &mut ws)),
                                     );
-                                    let slot = &inner.scratch[i];
-                                    slot.bytes.store(ws.heap_bytes(), Ordering::Relaxed);
-                                    slot.allocs_avoided
-                                        .store(ws.allocations_avoided(), Ordering::Relaxed);
                                     if let Ok(resp) = resp {
-                                        // A submitter that dropped its handle
-                                        // just doesn't collect the result.
                                         let _ = reply.send(resp);
                                     }
                                 }
-                                Err(_) => break, // all senders gone: shutdown
+                                Job::Batch(reqs, reply) => {
+                                    let resp =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || inner.serve_batch(&reqs, &mut ws),
+                                        ));
+                                    if let Ok(resp) = resp {
+                                        let _ = reply.send(resp);
+                                    }
+                                }
                             }
+                            let slot = &inner.scratch[i];
+                            slot.bytes.store(ws.heap_bytes(), Ordering::Relaxed);
+                            slot.allocs_avoided
+                                .store(ws.allocations_avoided(), Ordering::Relaxed);
                         }
                     })
                     .expect("spawn worker thread")
@@ -403,14 +668,42 @@ impl QueryEngine {
         self.tx
             .as_ref()
             .expect("engine already shut down")
-            .send((req, reply_tx))
+            .send(Job::Single(req, reply_tx))
             .expect("worker pool hung up");
         ResponseHandle { rx: reply_rx }
+    }
+
+    /// Enqueues a whole batch as **one** job: one queue round-trip, one
+    /// index-snapshot read, one cache lookup per unique key and one
+    /// worker workspace for every computation in the batch (see
+    /// [`scs::CommunitySearch::significant_communities_in`]). The
+    /// handle yields every response in submission order; results are
+    /// identical to submitting each request on its own.
+    ///
+    /// Batching trades intra-batch parallelism for lower per-request
+    /// overhead: the whole batch is served by one worker, so it pays
+    /// off when requests are individually cheap (amortizing the queue
+    /// and snapshot handshakes) or when the submitter is itself one of
+    /// many concurrent clients keeping the pool busy.
+    pub fn submit_batch(&self, reqs: &[QueryRequest]) -> BatchHandle {
+        let (reply_tx, reply_rx) = channel();
+        self.tx
+            .as_ref()
+            .expect("engine already shut down")
+            .send(Job::Batch(reqs.to_vec(), reply_tx))
+            .expect("worker pool hung up");
+        BatchHandle { rx: reply_rx }
     }
 
     /// Submits and waits: one blocking round-trip through the pool.
     pub fn query(&self, req: QueryRequest) -> Arc<QueryResponse> {
         self.submit(req).wait()
+    }
+
+    /// [`Self::submit_batch`] and wait: one blocking round-trip for the
+    /// whole batch.
+    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<Arc<QueryResponse>> {
+        self.submit_batch(reqs).wait()
     }
 
     /// Installs a new index snapshot without stopping the workers: bumps
@@ -442,6 +735,8 @@ impl QueryEngine {
             workers: inner.workers,
             completed,
             coalesced: inner.coalesced.load(Ordering::Relaxed),
+            batches: inner.batches.load(Ordering::Relaxed),
+            batched: inner.batched.load(Ordering::Relaxed),
             cache: inner.cache.stats(),
             epoch: inner.snapshot().1,
             qps: completed as f64 / elapsed,
@@ -564,6 +859,110 @@ mod tests {
         // The pool is still alive and serving real queries.
         let good = e.query(QueryRequest::new(q, 2, 2, Algorithm::Peel));
         assert_eq!(good.summary.size(), 4);
+        e.shutdown();
+    }
+
+    #[test]
+    fn batch_answers_in_submission_order_and_dedups() {
+        let e = engine(2);
+        let g = e.current_index().0.graph().clone();
+        let q = g.upper(2);
+        let other = g.upper(0);
+        let reqs = vec![
+            QueryRequest::new(q, 2, 2, Algorithm::Peel),
+            QueryRequest::new(other, 1, 1, Algorithm::Peel),
+            QueryRequest::new(q, 2, 2, Algorithm::Peel), // in-batch duplicate
+            QueryRequest::new(q, 2, 2, Algorithm::Expand), // distinct key
+        ];
+        let resps = e.query_batch(&reqs);
+        assert_eq!(resps.len(), 4);
+        for (req, resp) in reqs.iter().zip(&resps) {
+            assert_eq!(resp.request, *req, "answers must keep submission order");
+        }
+        assert_eq!(resps[0].summary.size(), 4);
+        assert_eq!(resps[0].summary, resps[2].summary);
+        assert!(!resps[0].cached && !resps[0].coalesced);
+        assert!(
+            resps[2].coalesced,
+            "duplicate key inside a batch shares the leader's computation"
+        );
+        let st = e.stats();
+        assert_eq!(st.completed, 4);
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.batched, 4);
+        assert_eq!(st.coalesced, 1);
+        // 3 unique keys looked up once each, all misses.
+        assert_eq!(st.cache.misses, 3);
+
+        // A second identical batch is all cache hits — again one lookup
+        // per unique key.
+        let again = e.query_batch(&reqs);
+        for (a, b) in resps.iter().zip(&again) {
+            assert!(b.cached);
+            assert_eq!(a.summary, b.summary);
+        }
+        let st = e.stats();
+        assert_eq!(st.cache.hits, 3);
+        assert_eq!(st.completed, 8);
+        e.shutdown();
+    }
+
+    #[test]
+    fn batch_matches_per_request_submission() {
+        let e = engine(2);
+        let g = e.current_index().0.graph().clone();
+        let reqs: Vec<QueryRequest> = (0..g.n_upper())
+            .flat_map(|i| {
+                [
+                    QueryRequest::new(g.upper(i), 2, 2, Algorithm::Peel),
+                    QueryRequest::new(g.upper(i), 1, 2, Algorithm::Expand),
+                ]
+            })
+            .collect();
+        let batched = e.query_batch(&reqs);
+        let e2 = engine(2);
+        for (req, b) in reqs.iter().zip(&batched) {
+            assert_eq!(e2.query(*req).summary, b.summary, "{req:?}");
+        }
+        e.shutdown();
+        e2.shutdown();
+    }
+
+    #[test]
+    fn batch_handles_empty_and_unservable_requests() {
+        let e = engine(2);
+        assert!(e.query_batch(&[]).is_empty());
+        let g_vertices = e.current_index().0.graph().n_vertices();
+        let q = e.current_index().0.graph().upper(2);
+        let reqs = vec![
+            QueryRequest::new(
+                bigraph::Vertex(g_vertices as u32 + 3),
+                2,
+                2,
+                Algorithm::Auto,
+            ),
+            QueryRequest::new(q, 0, 2, Algorithm::Peel),
+            QueryRequest::new(q, 2, 2, Algorithm::Peel),
+        ];
+        let resps = e.query_batch(&reqs);
+        assert_eq!(*resps[0].summary, crate::CommunitySummary::empty());
+        assert_eq!(*resps[1].summary, crate::CommunitySummary::empty());
+        assert_eq!(resps[2].summary.size(), 4);
+        e.shutdown();
+    }
+
+    #[test]
+    fn batch_sees_installs_like_single_requests() {
+        let e = engine(2);
+        let q = e.current_index().0.graph().upper(2);
+        let req = QueryRequest::new(q, 2, 2, Algorithm::Auto);
+        let before = e.query_batch(&[req]);
+        assert_eq!(before[0].epoch, 0);
+        e.install(CommunitySearch::shared(figure2_example()));
+        let after = e.query_batch(&[req]);
+        assert!(!after[0].cached, "install must invalidate the cache");
+        assert_eq!(after[0].epoch, 1);
+        assert_eq!(after[0].summary, before[0].summary);
         e.shutdown();
     }
 

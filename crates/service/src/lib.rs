@@ -21,6 +21,12 @@
 //!
 //! * [`engine::QueryEngine`] — the worker pool. [`engine::QueryEngine::submit`]
 //!   enqueues and returns a handle; [`engine::QueryEngine::query`] blocks.
+//! * batch submission — [`engine::QueryEngine::submit_batch`] carries N
+//!   requests through the queue as one job: one index-snapshot read, one
+//!   cache lookup per unique key, one worker workspace and one batched
+//!   kernel call per algorithm for the whole batch
+//!   ([`scs::CommunitySearch::significant_communities_in`]), answered in
+//!   submission order with results identical to per-request submission.
 //! * [`cache::ShardedCache`] — a power-of-two-sharded, per-shard-locked
 //!   LRU keyed by `(q, α, β, algorithm)` with hit/miss counters.
 //! * in-flight deduplication — when identical queries race, one worker
@@ -71,8 +77,8 @@ pub mod replay;
 pub mod stats;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use engine::{QueryEngine, ResponseHandle, ServiceConfig};
-pub use replay::{build_workload, replay, ReplayReport, WorkloadSpec};
+pub use engine::{BatchHandle, QueryEngine, ResponseHandle, ServiceConfig};
+pub use replay::{build_workload, replay, replay_batched, ReplayReport, WorkloadSpec};
 pub use stats::ServiceStats;
 
 use bigraph::{EdgeId, Subgraph, Vertex};

@@ -32,10 +32,24 @@ pub struct WorkloadSpec {
     pub algo: Algorithm,
     /// Fraction in `[0, 1]` of queries that repeat an earlier query
     /// (drawn uniformly from the history), producing cache hits and
-    /// concurrent duplicates.
+    /// concurrent duplicates. Out-of-range or NaN values are clamped
+    /// into `[0, 1]` (NaN counts as 0) by [`build_workload`].
     pub repeat_fraction: f64,
     /// Generator seed.
     pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// `repeat_fraction` clamped into `[0, 1]`, with NaN as 0 — the
+    /// value the generator actually uses, so a slightly out-of-range
+    /// computed fraction degrades gracefully instead of panicking.
+    pub fn effective_repeat_fraction(&self) -> f64 {
+        if self.repeat_fraction.is_nan() {
+            0.0
+        } else {
+            self.repeat_fraction.clamp(0.0, 1.0)
+        }
+    }
 }
 
 impl Default for WorkloadSpec {
@@ -56,25 +70,38 @@ impl Default for WorkloadSpec {
 /// Fresh queries sample vertices uniformly from the (α,β)-core
 /// ([`datasets::workload::random_core_queries`]); with probability
 /// `repeat_fraction` a query instead repeats a uniformly chosen earlier
-/// one. Returns an empty vec when the core is empty (nothing sensible to
-/// serve).
+/// one. Exactly as many core vertices are drawn as fresh slots exist —
+/// the distinct-query pool matches `(1 − repeat_fraction)·n_queries` in
+/// expectation (an earlier version drew `n_queries` and silently threw
+/// one away per repeat). Returns an empty vec when the core is empty
+/// (nothing sensible to serve).
 pub fn build_workload(search: &CommunitySearch, spec: &WorkloadSpec) -> Vec<QueryRequest> {
+    let repeat = spec.effective_repeat_fraction();
     let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Decide the repeat/fresh pattern first (the first query has no
+    // history, so it is always fresh), then draw exactly the fresh
+    // vertices the pattern consumes.
+    let is_repeat: Vec<bool> = (0..spec.n_queries)
+        .map(|i| i > 0 && rng.gen_bool(repeat))
+        .collect();
+    let n_fresh = is_repeat.iter().filter(|r| !**r).count();
     let fresh = datasets::workload::random_core_queries(
         search.graph(),
         spec.alpha,
         spec.beta,
-        spec.n_queries,
+        n_fresh,
         &mut rng,
     );
     if fresh.is_empty() {
         return Vec::new();
     }
+    let mut fresh = fresh.into_iter();
     let mut out: Vec<QueryRequest> = Vec::with_capacity(spec.n_queries);
-    for q in fresh {
-        let req = if !out.is_empty() && rng.gen_bool(spec.repeat_fraction) {
+    for repeat_slot in is_repeat {
+        let req = if repeat_slot {
             out[rng.gen_range(0..out.len())]
         } else {
+            let q = fresh.next().expect("one draw per fresh slot");
             QueryRequest::new(q, spec.alpha, spec.beta, spec.algo)
         };
         out.push(req);
@@ -91,6 +118,9 @@ pub struct ReplayReport {
     pub n_queries: usize,
     /// Client threads used.
     pub clients: usize,
+    /// Requests per [`QueryEngine::submit_batch`] job (1 = per-request
+    /// submission via [`QueryEngine::query`]).
+    pub batch_size: usize,
     /// Wall-clock duration of the replay itself, seconds.
     pub wall_secs: f64,
     /// `n_queries / wall_secs` — throughput of this replay (the engine's
@@ -101,25 +131,53 @@ pub struct ReplayReport {
 /// Replays `workload` against `engine` from `clients` threads, round-robin
 /// partitioned, collecting every response. Responses are returned in
 /// workload order so callers can compare them one-to-one against an
-/// oracle.
+/// oracle. Per-request submission; see [`replay_batched`] for the
+/// amortized mode.
 pub fn replay(
     engine: &QueryEngine,
     workload: &[QueryRequest],
     clients: usize,
 ) -> (ReplayReport, Vec<Arc<QueryResponse>>) {
+    replay_batched(engine, workload, clients, 1)
+}
+
+/// [`replay`] with batched submission: each client slices its round-robin
+/// share into chunks of `batch_size` and submits every chunk as one
+/// [`QueryEngine::submit_batch`] job, paying the queue round-trip, the
+/// index-snapshot read and the cache handshake once per chunk instead of
+/// once per request. `batch_size ≤ 1` degrades to per-request
+/// submit+wait ([`QueryEngine::query`]), which is how [`replay`] is
+/// implemented. Responses are identical to per-request submission and
+/// returned in workload order.
+pub fn replay_batched(
+    engine: &QueryEngine,
+    workload: &[QueryRequest],
+    clients: usize,
+    batch_size: usize,
+) -> (ReplayReport, Vec<Arc<QueryResponse>>) {
     let clients = clients.max(1);
+    let batch_size = batch_size.max(1);
     let t0 = Instant::now();
     let mut responses: Vec<Option<Arc<QueryResponse>>> = vec![None; workload.len()];
     std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(clients);
         for c in 0..clients {
             joins.push(scope.spawn(move || {
+                // Each client models one synchronous caller submitting
+                // its next request (or next batch) only after the
+                // previous answer arrives, so concurrency = clients.
                 let mut got = Vec::new();
-                for (i, req) in workload.iter().enumerate() {
-                    if i % clients == c {
-                        // submit+wait per request: each client models one
-                        // synchronous caller, so concurrency = clients.
-                        got.push((i, engine.query(*req)));
+                let mine: Vec<usize> = (0..workload.len()).skip(c).step_by(clients).collect();
+                if batch_size == 1 {
+                    for &i in &mine {
+                        got.push((i, engine.query(workload[i])));
+                    }
+                } else {
+                    for chunk in mine.chunks(batch_size) {
+                        let reqs: Vec<QueryRequest> = chunk.iter().map(|&i| workload[i]).collect();
+                        for (&i, resp) in chunk.iter().zip(engine.query_batch(&reqs)) {
+                            got.push((i, resp));
+                        }
                     }
                 }
                 got
@@ -136,6 +194,7 @@ pub fn replay(
         stats: engine.stats(),
         n_queries: workload.len(),
         clients,
+        batch_size,
         wall_secs,
         replay_qps: workload.len() as f64 / wall_secs,
     };
@@ -177,6 +236,82 @@ mod tests {
     }
 
     #[test]
+    fn workload_distinct_pool_matches_repeat_fraction() {
+        // A graph whose (1,1)-core is huge relative to the fresh-draw
+        // count, so sampling-with-replacement collisions stay small and
+        // the distinct pool ≈ the number of fresh draws, which must be
+        // (1 − repeat_fraction)·n_queries in expectation. (The pre-fix
+        // generator drew n_queries core vertices and discarded one per
+        // repeat slot, wasting draws the documentation promised as
+        // distinct queries.)
+        let mut rng = StdRng::seed_from_u64(17);
+        let search = CommunitySearch::shared(bigraph::generators::random_bipartite(
+            3000, 3000, 9000, &mut rng,
+        ));
+        let spec = WorkloadSpec {
+            n_queries: 400,
+            alpha: 1,
+            beta: 1,
+            repeat_fraction: 0.5,
+            ..WorkloadSpec::default()
+        };
+        let w = build_workload(&search, &spec);
+        assert_eq!(w.len(), 400);
+        let mut distinct: Vec<_> = w.iter().map(|r| r.q).collect();
+        distinct.sort();
+        distinct.dedup();
+        let expect = (1.0 - spec.repeat_fraction) * spec.n_queries as f64;
+        assert!(
+            (distinct.len() as f64 - expect).abs() < 30.0,
+            "distinct pool {} far from (1−{})·{} = {expect}",
+            distinct.len(),
+            spec.repeat_fraction,
+            spec.n_queries
+        );
+    }
+
+    #[test]
+    fn workload_repeat_fraction_extremes_and_out_of_range() {
+        let search = small_search();
+        // 0.0: every query fresh; 1.0: one fresh query repeated — both
+        // must generate without panicking.
+        for (rf, max_distinct) in [(0.0, usize::MAX), (1.0, 1)] {
+            let w = build_workload(
+                &search,
+                &WorkloadSpec {
+                    n_queries: 50,
+                    repeat_fraction: rf,
+                    ..WorkloadSpec::default()
+                },
+            );
+            assert_eq!(w.len(), 50, "repeat_fraction={rf}");
+            let mut distinct: Vec<_> = w.clone();
+            distinct.sort_by_key(|r| r.q);
+            distinct.dedup();
+            assert!(distinct.len() <= max_distinct, "repeat_fraction={rf}");
+        }
+        // Out-of-range and NaN specs clamp instead of panicking.
+        for rf in [-0.5, 1.5, f64::NAN] {
+            let spec = WorkloadSpec {
+                n_queries: 40,
+                repeat_fraction: rf,
+                ..WorkloadSpec::default()
+            };
+            assert_eq!(build_workload(&search, &spec).len(), 40, "rf={rf}");
+        }
+        let nan = WorkloadSpec {
+            repeat_fraction: f64::NAN,
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(nan.effective_repeat_fraction(), 0.0);
+        let hot = WorkloadSpec {
+            repeat_fraction: 1.5,
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(hot.effective_repeat_fraction(), 1.0);
+    }
+
+    #[test]
     fn workload_empty_when_core_empty() {
         let search = small_search();
         let spec = WorkloadSpec {
@@ -210,5 +345,36 @@ mod tests {
         }
         assert!(report.stats.cache.hits > 0, "repeats must hit the cache");
         engine.shutdown();
+    }
+
+    #[test]
+    fn batched_replay_matches_per_request() {
+        let search = small_search();
+        let spec = WorkloadSpec {
+            n_queries: 150,
+            repeat_fraction: 0.4,
+            ..WorkloadSpec::default()
+        };
+        let w = build_workload(&search, &spec);
+        let config = ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        };
+        let per_request = QueryEngine::start(search.clone(), config.clone());
+        let (_, base) = replay(&per_request, &w, 3);
+        per_request.shutdown();
+
+        let batched = QueryEngine::start(search, config);
+        let (report, got) = replay_batched(&batched, &w, 3, 16);
+        batched.shutdown();
+
+        assert_eq!(report.batch_size, 16);
+        assert!(report.stats.batches > 0, "no batch jobs recorded");
+        assert_eq!(report.stats.batched, 150);
+        assert_eq!(got.len(), base.len());
+        for (i, (a, b)) in base.iter().zip(&got).enumerate() {
+            assert_eq!(a.request, b.request, "slot {i} out of order");
+            assert_eq!(a.summary, b.summary, "slot {i} diverged");
+        }
     }
 }

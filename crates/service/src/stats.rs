@@ -6,7 +6,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes 0µs).
+/// `[2^i, 2^(i+1))` microseconds for `0 < i < 39`; bucket 0 holds
+/// `[0, 2)` (0µs and 1µs together) and the final bucket 39 is
+/// open-ended, holding every sample `≥ 2^39`µs.
 const BUCKETS: usize = 40;
 
 /// A log-bucketed histogram of latencies in microseconds.
@@ -35,12 +37,20 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Bucket index of a sample: `floor(log2(us))` (0 for both 0µs and
+    /// 1µs), clamped into the open-ended top bucket. The clamp must
+    /// come *after* the ilog2 decrement — clamping first made bucket
+    /// `BUCKETS-1` unreachable and dumped every `us ≥ 2^39` sample one
+    /// bucket low.
+    fn bucket_of(us: u64) -> usize {
+        (64 - us.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1)
+    }
+
     /// Records one sample.
     pub fn record(&self, us: u64) {
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        // us=0 and us=1 both land in bucket 0/1 edge: ilog2-style index.
-        let bucket = bucket.saturating_sub(1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
@@ -95,9 +105,17 @@ pub struct ServiceStats {
     pub workers: usize,
     /// Requests completed since engine start.
     pub completed: u64,
-    /// Responses that waited on an identical in-flight computation.
+    /// Responses that waited on an identical in-flight computation (or
+    /// shared a computation with a duplicate key in the same batch).
     pub coalesced: u64,
-    /// Result-cache counters.
+    /// Batch jobs served through [`crate::QueryEngine::submit_batch`].
+    pub batches: u64,
+    /// Requests that arrived inside a batch job (each still counts in
+    /// `completed`).
+    pub batched: u64,
+    /// Result-cache counters. `cache.capacity` is the configured total
+    /// entry budget across all shards — residency never exceeds it (see
+    /// [`CacheStats::capacity`]).
     pub cache: CacheStats,
     /// Current index epoch (number of `install` calls).
     pub epoch: u64,
@@ -105,7 +123,9 @@ pub struct ServiceStats {
     pub qps: f64,
     /// Mean service latency, µs.
     pub mean_us: f64,
-    /// Median service latency, µs.
+    /// Median service latency, µs — the geometric midpoint of the
+    /// log-bucket containing the median sample, so exact to within the
+    /// factor-of-two bucket width (likewise for p90/p99).
     pub p50_us: u64,
     /// 90th-percentile service latency, µs.
     pub p90_us: u64,
@@ -144,6 +164,8 @@ impl fmt::Display for ServiceStats {
         )?;
         writeln!(f, "│ cache entries       │ {:>12} │", self.cache.entries)?;
         writeln!(f, "│ coalesced queries   │ {:>12} │", self.coalesced)?;
+        writeln!(f, "│ batch jobs          │ {:>12} │", self.batches)?;
+        writeln!(f, "│ batched requests    │ {:>12} │", self.batched)?;
         writeln!(f, "│ scratch resident    │ {:>11}B │", self.scratch_bytes)?;
         writeln!(f, "│ allocs avoided      │ {:>12} │", self.allocs_avoided)?;
         writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
@@ -174,6 +196,43 @@ mod tests {
     }
 
     #[test]
+    fn histogram_top_bucket_is_reachable() {
+        // Regression: the clamp used to run before the ilog2 decrement,
+        // so every sample ≥ 2^39 landed in bucket 38 alongside
+        // [2^38, 2^39) and the final bucket could never fill.
+        let h = LatencyHistogram::default();
+        h.record((1 << 39) - 1); // top of bucket 38
+        h.record(1 << 39); // bottom of bucket 39 (the open-ended top)
+                           // The two samples must land in *different* buckets: the p50
+                           // rank stays in bucket 38 (midpoint 3·2^37) while the p100 rank
+                           // reaches bucket 39, whose huge midpoint is capped by max.
+        assert_eq!(h.quantile_us(0.5), 3 << 37);
+        assert_eq!(h.quantile_us(1.0), 1 << 39);
+        // The bucket index saturates instead of wrapping for any u64;
+        // the top bucket's reported midpoint is 3·2^38.
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), 3 << 38);
+    }
+
+    #[test]
+    fn histogram_exact_bucket_edges() {
+        // bucket_of is floor(log2): 2^k−1 and 2^k straddle an edge.
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        for k in 2..39usize {
+            assert_eq!(LatencyHistogram::bucket_of((1 << k) - 1), k - 1, "2^{k}-1");
+            assert_eq!(LatencyHistogram::bucket_of(1 << k), k, "2^{k}");
+        }
+        // Everything from 2^39 up shares the open-ended top bucket.
+        assert_eq!(LatencyHistogram::bucket_of(1 << 39), BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(1 << 40), BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
     fn histogram_empty_and_zero() {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile_us(0.5), 0);
@@ -188,6 +247,8 @@ mod tests {
             workers: 4,
             completed: 1000,
             coalesced: 3,
+            batches: 12,
+            batched: 384,
             cache: CacheStats {
                 hits: 600,
                 misses: 400,
@@ -212,5 +273,7 @@ mod tests {
         assert!(txt.contains("scratch resident"));
         assert!(txt.contains("65536B"));
         assert!(txt.contains("4321"));
+        assert!(txt.contains("batch jobs"));
+        assert!(txt.contains("384"));
     }
 }

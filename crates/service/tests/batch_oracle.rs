@@ -1,0 +1,160 @@
+//! Integration test: batched submission is indistinguishable from
+//! per-request submission — and both from the single-threaded oracle.
+//!
+//! The same generated workload is replayed twice against identically
+//! configured engines, once with per-request submit+wait and once in
+//! batches, and every pair of responses is compared one-to-one. A mixed
+//! concurrent run (batches racing single submissions against one engine)
+//! then checks that the two paths share caches and flights soundly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scs::{Algorithm, CommunitySearch, QueryWorkspace};
+use scs_service::{
+    build_workload, replay, replay_batched, CommunitySummary, QueryEngine, QueryRequest,
+    ServiceConfig, WorkloadSpec,
+};
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        cache_capacity: 512,
+        cache_shards: 8,
+    }
+}
+
+#[test]
+fn batched_replay_is_bit_identical_to_per_request() {
+    let mut rng = StdRng::seed_from_u64(20210415);
+    let graph = bigraph::generators::random_bipartite(120, 120, 1800, &mut rng);
+    let search = CommunitySearch::shared(graph);
+
+    let spec = WorkloadSpec {
+        n_queries: 1000,
+        alpha: 2,
+        beta: 2,
+        algo: Algorithm::Auto,
+        repeat_fraction: 0.5,
+        seed: 11,
+    };
+    let workload = build_workload(&search, &spec);
+    assert_eq!(workload.len(), 1000, "core must be populated at (2,2)");
+
+    let engine = QueryEngine::start(search.clone(), config());
+    let (_, per_request) = replay(&engine, &workload, 6);
+    engine.shutdown();
+
+    let engine = QueryEngine::start(search.clone(), config());
+    let (report, batched) = replay_batched(&engine, &workload, 6, 32);
+    engine.shutdown();
+
+    assert_eq!(per_request.len(), batched.len());
+    let mut ws = QueryWorkspace::new();
+    for (i, ((req, a), b)) in workload.iter().zip(&per_request).zip(&batched).enumerate() {
+        assert_eq!(a.request, *req, "per-request slot {i} out of order");
+        assert_eq!(b.request, *req, "batched slot {i} out of order");
+        assert_eq!(
+            a.summary, b.summary,
+            "slot {i} diverged between submission modes (batched cached={} coalesced={})",
+            b.cached, b.coalesced
+        );
+        let sub = search.significant_community_in(
+            req.q,
+            req.alpha as usize,
+            req.beta as usize,
+            req.algo,
+            &mut ws,
+        );
+        assert_eq!(
+            *b.summary,
+            CommunitySummary::from_subgraph(&sub),
+            "slot {i} diverged from the single-threaded oracle"
+        );
+    }
+
+    // The batched run actually took the batch path, exercised the cache
+    // through it, and coalesced in-batch duplicates.
+    assert_eq!(report.stats.batched, 1000);
+    assert!(
+        report.stats.batches >= 32,
+        "batches={}",
+        report.stats.batches
+    );
+    assert!(report.stats.cache.hits > 0, "repeats must hit the cache");
+    assert!(batched.iter().any(|r| r.cached), "cached path unexercised");
+    assert!(
+        batched.iter().any(|r| !r.cached && !r.coalesced),
+        "leader path unexercised"
+    );
+}
+
+#[test]
+fn batches_race_single_requests_on_one_engine() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = bigraph::generators::random_bipartite(60, 60, 700, &mut rng);
+    let search = CommunitySearch::shared(graph);
+
+    let spec = WorkloadSpec {
+        n_queries: 400,
+        alpha: 2,
+        beta: 2,
+        algo: Algorithm::Auto,
+        repeat_fraction: 0.6,
+        seed: 3,
+    };
+    let workload = build_workload(&search, &spec);
+    assert!(!workload.is_empty());
+
+    // Half the clients submit per-request, half in batches, all racing
+    // on the same engine over the same keys so batch leaders, single
+    // leaders, followers and cache hits all interleave.
+    let engine = QueryEngine::start(search.clone(), config());
+    let mut collected: Vec<(QueryRequest, CommunitySummary)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..4usize {
+            let engine = &engine;
+            let workload = &workload;
+            joins.push(scope.spawn(move || {
+                let mine: Vec<QueryRequest> = (0..workload.len())
+                    .skip(c)
+                    .step_by(4)
+                    .map(|i| workload[i])
+                    .collect();
+                let mut got = Vec::new();
+                if c % 2 == 0 {
+                    for chunk in mine.chunks(16) {
+                        for (req, resp) in chunk.iter().zip(engine.query_batch(chunk)) {
+                            got.push((*req, (*resp.summary).clone()));
+                        }
+                    }
+                } else {
+                    for req in mine {
+                        got.push((req, (*engine.query(req).summary).clone()));
+                    }
+                }
+                got
+            }));
+        }
+        for j in joins {
+            collected.extend(j.join().expect("client panicked"));
+        }
+    });
+    engine.shutdown();
+
+    let mut ws = QueryWorkspace::new();
+    for (req, summary) in collected {
+        let sub = search.significant_community_in(
+            req.q,
+            req.alpha as usize,
+            req.beta as usize,
+            req.algo,
+            &mut ws,
+        );
+        assert_eq!(
+            summary,
+            CommunitySummary::from_subgraph(&sub),
+            "{req:?} diverged under mixed batch/single racing"
+        );
+    }
+}
