@@ -8,18 +8,17 @@
 //! (analogue name, default `ML`).
 
 use scs::{Algorithm, CommunitySearch};
-use scs_bench::{load_dataset, print_table, Config};
+use scs_bench::{env_or, env_usize, load_dataset, print_table, Config};
 use scs_service::{build_workload, replay, QueryEngine, ServiceConfig, WorkloadSpec};
 
 fn main() {
+    // This binary's own defaults differ from the harness-wide ones;
+    // re-read the knobs through the loud parser so a malformed value
+    // aborts instead of silently measuring the default.
     let mut cfg = Config::from_env();
-    if std::env::var("SCS_SCALE").is_err() {
-        cfg.scale = 0.05;
-    }
-    if std::env::var("SCS_QUERIES").is_err() {
-        cfg.n_queries = 2000;
-    }
-    let dataset = std::env::var("SCS_DATASET").unwrap_or_else(|_| "ML".into());
+    cfg.scale = env_or("SCS_SCALE", 0.05);
+    cfg.n_queries = env_usize("SCS_QUERIES", 2000, 1);
+    let dataset = env_or("SCS_DATASET", "ML".to_string());
 
     let g = load_dataset(&cfg, &dataset);
     println!("service_scaling on {dataset}: {}", g.summary());
@@ -62,6 +61,7 @@ fn main() {
                 workers,
                 cache_capacity: 4096,
                 cache_shards: 16,
+                ..ServiceConfig::default()
             },
         );
         let (report, _) = replay(&engine, &workload, workers * 2);

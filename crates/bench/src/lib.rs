@@ -30,16 +30,64 @@ pub struct Config {
 
 impl Config {
     /// Reads `SCS_SCALE` / `SCS_SEED` / `SCS_QUERIES` with defaults.
+    /// Malformed values terminate the process with a message instead of
+    /// silently benchmarking the default (see [`env_or`]).
     pub fn from_env() -> Config {
-        fn parse<T: std::str::FromStr>(k: &str) -> Option<T> {
-            std::env::var(k).ok().and_then(|v| v.parse().ok())
+        let cfg = Config {
+            scale: env_or("SCS_SCALE", 1.0),
+            seed: env_or("SCS_SEED", 42),
+            n_queries: env_usize("SCS_QUERIES", 100, 1),
+        };
+        // NaN-safe: anything but a positive finite scale is rejected.
+        if !cfg.scale.is_finite() || cfg.scale <= 0.0 {
+            eprintln!("error: SCS_SCALE={} must be positive", cfg.scale);
+            std::process::exit(2);
         }
-        Config {
-            scale: parse("SCS_SCALE").unwrap_or(1.0),
-            seed: parse("SCS_SEED").unwrap_or(42),
-            n_queries: parse("SCS_QUERIES").unwrap_or(100),
+        cfg
+    }
+}
+
+/// Parses env var `key` as a `T`: `Ok(None)` when unset, `Err` with a
+/// user-facing message when set but unparsable. The testable core of
+/// [`env_or`].
+pub fn env_parse<T: std::str::FromStr>(key: &str) -> Result<Option<T>, String> {
+    match std::env::var(key) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{key} is not valid unicode")),
+        Ok(raw) => raw.parse().map(Some).map_err(|_| {
+            format!(
+                "malformed {key}={raw:?} (expected {})",
+                std::any::type_name::<T>()
+            )
+        }),
+    }
+}
+
+/// [`env_parse`] with a default, terminating the process (status 2) on
+/// a malformed value instead of silently falling back — a typo'd
+/// `SCS_BATCH=6 4` must not quietly benchmark the default. Shared by
+/// every bench binary; an earlier per-binary helper swallowed the
+/// parse error.
+pub fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    match env_parse(key) {
+        Ok(Some(v)) => v,
+        Ok(None) => default,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         }
     }
+}
+
+/// [`env_or`] for `usize` knobs with a lower bound, rejecting (loudly)
+/// values below `min` instead of clamping them.
+pub fn env_usize(key: &str, default: usize, min: usize) -> usize {
+    let v = env_or(key, default);
+    if v < min {
+        eprintln!("error: {key}={v} is below the minimum of {min}");
+        std::process::exit(2);
+    }
+    v
 }
 
 /// Builds one dataset analogue under the configured scale.
@@ -165,6 +213,30 @@ mod tests {
         let cfg = Config::from_env();
         assert!(cfg.scale > 0.0);
         assert!(cfg.n_queries > 0);
+    }
+
+    #[test]
+    fn env_parse_distinguishes_unset_from_malformed() {
+        // Keys namespaced to this test: the suite runs multi-threaded
+        // in one process and must not race the SCS_* knobs.
+        std::env::remove_var("SCS_TEST_UNSET");
+        assert_eq!(env_parse::<usize>("SCS_TEST_UNSET"), Ok(None));
+        std::env::set_var("SCS_TEST_GOOD", "64");
+        assert_eq!(env_parse::<usize>("SCS_TEST_GOOD"), Ok(Some(64)));
+        std::env::set_var("SCS_TEST_BAD", "6 4");
+        let err = env_parse::<usize>("SCS_TEST_BAD").unwrap_err();
+        assert!(err.contains("SCS_TEST_BAD"), "{err}");
+        assert!(err.contains("6 4"), "{err}");
+        // The silent-fallback bug: the old helper mapped this Err to
+        // the default; env_or instead exits the process, which is not
+        // testable here — the distinction above is the load-bearing
+        // part.
+        std::env::set_var("SCS_TEST_FLOAT", "0.25");
+        assert_eq!(env_parse::<f64>("SCS_TEST_FLOAT"), Ok(Some(0.25)));
+        assert!(env_parse::<usize>("SCS_TEST_FLOAT").is_err());
+        for k in ["SCS_TEST_GOOD", "SCS_TEST_BAD", "SCS_TEST_FLOAT"] {
+            std::env::remove_var(k);
+        }
     }
 
     #[test]

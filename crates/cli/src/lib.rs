@@ -84,6 +84,9 @@ pub struct ServeBenchArgs {
     pub seed: u64,
     /// Requests per submitted batch job (1 = per-request submission).
     pub batch_size: usize,
+    /// Disable adaptive batch splitting (serve every batch on one
+    /// worker, the pre-split behaviour) — the A/B escape hatch.
+    pub no_split: bool,
 }
 
 /// A side-qualified query vertex (`u:3` / `l:17`).
@@ -164,8 +167,8 @@ USAGE:
   scs generate <dir> [--scale S] [--seed N]
   scs serve-bench <edgelist> [--threads N] [--queries K] [--clients C]
              [--alpha A] [--beta B] [--repeat F] [--seed N]
-             [--batch-size B] [--algo auto|peel|expand|binary|baseline]
-             [--one-based]
+             [--batch-size B] [--no-split]
+             [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs help
 
 Edge lists are `upper lower [weight]` per line; query vertices are
@@ -218,6 +221,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut beta_flag = 2usize;
     let mut repeat = 0.5f64;
     let mut batch_size = 1usize;
+    let mut no_split = false;
     // Subcommand-specific flags seen, so the other subcommands can
     // reject them instead of silently ignoring a misplaced knob.
     let mut serve_flags: Vec<&'static str> = Vec::new();
@@ -310,6 +314,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .next()
                     .ok_or_else(|| CliError::new("--batch-size needs a value"))?;
                 batch_size = parse_usize(val, "batch size")?;
+            }
+            "--no-split" => {
+                serve_flags.push("--no-split");
+                no_split = true;
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag:?}")))
@@ -410,6 +418,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 repeat,
                 seed,
                 batch_size,
+                no_split,
             }))
         }
         other => Err(CliError::new(format!(
@@ -543,7 +552,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 /// `scs serve-bench`: build the index, replay a core-sampled workload
 /// with repeats through the concurrent engine, print the stats table.
 fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
-    use scs_service::{build_workload, replay_batched, QueryEngine, ServiceConfig, WorkloadSpec};
+    use scs_service::{
+        replay_batched, try_build_workload, QueryEngine, ServiceConfig, WorkloadSpec,
+    };
 
     let g = load(&args.path, args.one_based)?;
     let summary = g.summary();
@@ -556,23 +567,27 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
         repeat_fraction: args.repeat,
         seed: args.seed,
     };
-    let workload = build_workload(&search, &spec);
-    if workload.is_empty() {
-        return Err(CliError::new(format!(
-            "the ({},{})-core of {} is empty — nothing to serve; lower --alpha/--beta",
-            args.alpha, args.beta, args.path
-        )));
-    }
+    // The parser guarantees --queries ≥ 1, so the only workload error
+    // left is a genuinely empty core — and try_build_workload keeps the
+    // two cases apart, so an empty request count can never be
+    // misdiagnosed as "lower --alpha/--beta" again.
+    let workload = try_build_workload(&search, &spec)
+        .map_err(|e| CliError::new(format!("{}: {e}; lower --alpha/--beta", args.path)))?;
     let engine = QueryEngine::start(
         search,
         ServiceConfig {
             workers: args.threads,
+            split_batches: !args.no_split,
             ..ServiceConfig::default()
         },
     );
     let (report, _responses) = replay_batched(&engine, &workload, args.clients, args.batch_size);
     let submission = if report.batch_size > 1 {
-        format!("batches of {}", report.batch_size)
+        format!(
+            "batches of {}{}",
+            report.batch_size,
+            if args.no_split { ", no split" } else { "" }
+        )
     } else {
         "per-request".into()
     };
@@ -715,18 +730,54 @@ mod tests {
                 repeat: 0.25,
                 seed: 42,
                 batch_size: 32,
+                no_split: false,
             })
         );
-        // batch size defaults to per-request submission.
+        // batch size defaults to per-request submission; splitting is
+        // on by default and --no-split turns it off.
         match parse_args(&args(&["serve-bench", "g.tsv"])).unwrap() {
-            Command::ServeBench(a) => assert_eq!(a.batch_size, 1),
+            Command::ServeBench(a) => {
+                assert_eq!(a.batch_size, 1);
+                assert!(!a.no_split);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&["serve-bench", "g.tsv", "--no-split"])).unwrap() {
+            Command::ServeBench(a) => assert!(a.no_split),
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&args(&["serve-bench"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--threads", "0"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--repeat", "1.5"])).is_err());
-        assert!(parse_args(&args(&["serve-bench", "g", "--batch-size", "0"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--batch-size"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_rejects_degenerate_counts_in_the_parser() {
+        // --queries 0 must die here with a count diagnosis, never reach
+        // the workload builder and come back as "the core is empty".
+        let err = parse_args(&args(&["serve-bench", "g", "--queries", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        assert!(!err.to_string().contains("core"), "{err}");
+        // --batch-size 0 is rejected up front too (it used to be
+        // silently clamped to 1 deep inside replay_batched), and
+        // negative / non-numeric values name the flag.
+        let err = parse_args(&args(&["serve-bench", "g", "--batch-size", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        for bad in ["-3", "abc", "1.5", ""] {
+            let err = parse_args(&args(&["serve-bench", "g", "--batch-size", bad])).unwrap_err();
+            assert!(
+                err.to_string().contains("invalid batch size"),
+                "{bad:?}: {err}"
+            );
+        }
+        for bad in ["-1", "many"] {
+            let err = parse_args(&args(&["serve-bench", "g", "--queries", bad])).unwrap_err();
+            assert!(
+                err.to_string().contains("invalid query count"),
+                "{bad:?}: {err}"
+            );
+        }
     }
 
     #[test]
@@ -736,6 +787,7 @@ mod tests {
         assert!(err.to_string().contains("serve-bench"), "{err}");
         assert!(parse_args(&args(&["stats", "g", "--queries", "10"])).is_err());
         assert!(parse_args(&args(&["stats", "g", "--batch-size", "8"])).is_err());
+        assert!(parse_args(&args(&["stats", "g", "--no-split"])).is_err());
         assert!(parse_args(&args(&["index", "g", "o", "--repeat", "0.5"])).is_err());
         let err = parse_args(&args(&["serve-bench", "g", "--scale", "0.5"])).unwrap_err();
         assert!(err.to_string().contains("generate"), "{err}");
@@ -791,6 +843,7 @@ mod tests {
             repeat: 0.5,
             seed: 1,
             batch_size: 1,
+            no_split: false,
         }))
         .unwrap();
         assert!(out.contains("200 queries"), "{out}");
@@ -813,10 +866,31 @@ mod tests {
             repeat: 0.5,
             seed: 1,
             batch_size: 25,
+            no_split: false,
         }))
         .unwrap();
         assert!(out.contains("batches of 25"), "{out}");
         assert!(!out.contains("batch jobs          │            0"), "{out}");
+
+        // --no-split: same workload, splitting disabled — the run is
+        // labelled and the splits counter stays at zero.
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 4,
+            queries: 200,
+            clients: 2,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            seed: 1,
+            batch_size: 25,
+            no_split: true,
+        }))
+        .unwrap();
+        assert!(out.contains("batches of 25, no split"), "{out}");
+        assert!(out.contains("batch splits        │            0"), "{out}");
 
         let err = run(Command::ServeBench(ServeBenchArgs {
             path: path.to_str().unwrap().into(),
@@ -830,9 +904,13 @@ mod tests {
             repeat: 0.0,
             seed: 1,
             batch_size: 1,
+            no_split: false,
         }))
         .unwrap_err();
-        assert!(err.to_string().contains("empty"), "{err}");
+        // The empty-core diagnosis names the core, with the lone
+        // possible confusion (--queries 0) ruled out by the parser.
+        assert!(err.to_string().contains("(50,50)-core is empty"), "{err}");
+        assert!(err.to_string().contains("lower --alpha/--beta"), "{err}");
         std::fs::remove_dir_all(dir).ok();
     }
 

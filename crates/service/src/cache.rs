@@ -229,6 +229,24 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         self.shard_of(&key).lock().unwrap().insert(key, value);
     }
 
+    /// Counts one additional hit that was answered from an
+    /// already-performed lookup. The batch path answers duplicate keys
+    /// from one physical lookup (or from the leader's freshly inserted
+    /// result) but must report per-request traffic — per-request
+    /// submission performs one counted lookup per request, and
+    /// [`CacheStats`] may not depend on how requests were submitted.
+    pub fn record_extra_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one additional miss; the counterpart of
+    /// [`Self::record_extra_hit`] for duplicate keys whose shared
+    /// result never made it into the cache (follower flights, or an
+    /// install retiring the epoch between compute and insert).
+    pub fn record_extra_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Drops every entry (counters are kept — they describe traffic, not
     /// contents). Used on epoch swap.
     pub fn clear(&self) {
@@ -310,6 +328,20 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits, 2); // counters survive clear
+    }
+
+    #[test]
+    fn extra_hit_and_miss_counters() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(64, 4);
+        c.insert(1, 100);
+        assert_eq!(c.get(&1), Some(100));
+        c.record_extra_hit();
+        c.record_extra_hit();
+        c.record_extra_miss();
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (3, 1));
+        // Bookkeeping only: nothing about residency or recency changes.
+        assert_eq!(st.entries, 1);
     }
 
     #[test]

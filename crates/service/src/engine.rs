@@ -20,11 +20,33 @@
 //! the per-request overheads paid once: one job carries the whole batch
 //! through the queue, the serving worker reads **one** index snapshot,
 //! looks every *unique* key up in the cache once, partitions the misses
-//! into leaders / followers up front, and answers every leader through
-//! one batched kernel call per algorithm
-//! ([`scs::CommunitySearch::significant_communities_in`]) on its single
-//! reused workspace. Responses come back in submission order; duplicate
-//! keys inside a batch are computed once and answered as coalesced.
+//! into leaders / followers / stale up front, and answers the leaders
+//! through batched kernel calls
+//! ([`scs::CommunitySearch::significant_communities_in`]). Responses
+//! come back in submission order; duplicate keys inside a batch are
+//! computed once and the extra slots answered exactly as a serial
+//! resubmission would be, so [`ServiceStats`] cannot drift between
+//! submission modes.
+//!
+//! When the pool has idle capacity, a batch is additionally **split**:
+//! after the hit/coalesce/leader partition, the leader computations are
+//! carved into per-worker sub-batches and the number of workers woken
+//! to help is bounded by `min(idle workers, ceil(leaders /
+//! min_sub_batch) - 1)` — chunk boundaries respect per-algorithm runs
+//! (each chunk is one batched kernel call), so a many-algorithm batch
+//! may carve more chunks than that, but never runs them any wider.
+//! Chunks are parked in a claimable queue shared with the pool and
+//! advertised with [`Job::Sub`] wake-up hints. Any worker —
+//! the batch owner included — claims and runs sub-batches; each one is
+//! pure compute-and-publish (one batched kernel call, each leader's
+//! flight and cache entry published the moment its summary exists), so
+//! a sub-batch can never wait on another flight and the owner's join
+//! can never deadlock. The owner drains whatever the pool does not
+//! claim, waits for the stragglers, and only then — with every one of
+//! its leaders published — blocks on stale retries and followers,
+//! preserving the no-deadlock ordering argument of the unsplit path.
+//! Results are bit-identical to the unsplit (and per-request) path; the
+//! split only changes which thread runs which leader.
 //!
 //! [`QueryEngine::install`] atomically replaces the index (one
 //! write-lock), bumps the epoch and clears the cache, so a rebuilt index
@@ -60,6 +82,18 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Cache shards (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Batch-splitting granularity: a split batch wakes at most one
+    /// helper per `min_sub_batch` leader computations (and never more
+    /// than the pool's idle capacity), so tiny batches are served
+    /// inline instead of being scattered. Chunks themselves follow
+    /// per-algorithm runs and can be smaller or more numerous than
+    /// this fan-out; they queue behind it. Clamped to ≥ 1.
+    pub min_sub_batch: usize,
+    /// Adaptive batch splitting on/off. Off, every batch is served in
+    /// full by the worker that dequeued it (the pre-split behaviour and
+    /// the `scs serve-bench --no-split` escape hatch); results are
+    /// identical either way.
+    pub split_batches: bool,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +102,8 @@ impl Default for ServiceConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 4096,
             cache_shards: 16,
+            min_sub_batch: 8,
+            split_batches: true,
         }
     }
 }
@@ -123,21 +159,24 @@ enum Role {
 /// query code panics: on unwind the flight is poisoned (waking every
 /// follower, who re-panic with context instead of blocking forever)
 /// and removed so the key is not permanently wedged.
-struct FlightGuard<'a> {
-    inner: &'a Inner,
+///
+/// Owns an `Arc` to the engine state (not a borrow) so a guard can ride
+/// a split batch's sub-batch to another worker thread.
+struct FlightGuard {
+    inner: Arc<Inner>,
     key: QueryRequest,
     flight: Arc<Flight>,
     published: bool,
 }
 
-impl FlightGuard<'_> {
+impl FlightGuard {
     fn publish(&mut self, resp: Arc<QueryResponse>) {
         self.flight.publish(FlightState::Done(resp));
         self.published = true;
     }
 }
 
-impl Drop for FlightGuard<'_> {
+impl Drop for FlightGuard {
     fn drop(&mut self) {
         if !self.published {
             self.flight.publish(FlightState::Poisoned);
@@ -152,6 +191,48 @@ impl Drop for FlightGuard<'_> {
             map.remove(&self.key);
         }
     }
+}
+
+/// One leader computation of a batch: the flight to publish plus every
+/// submission slot its key answers (first slot = the leader's own).
+type Unit = (FlightGuard, Vec<usize>);
+
+/// One fanned-out share of a split batch: a same-algorithm run of
+/// leader units that one worker answers through one batched kernel
+/// call. A popped chunk is owned by its executor, so its flight guards
+/// poison-and-clean on a panic exactly like an inline leader's.
+struct SubChunk {
+    algo: Algorithm,
+    units: Vec<Unit>,
+}
+
+/// Join state shared between a splitting batch owner and the workers
+/// that claim its sub-batches.
+struct BatchShared {
+    /// The owner's index snapshot: every sub-batch computes on it, so a
+    /// split batch is as epoch-consistent as an unsplit one.
+    search: Arc<CommunitySearch>,
+    epoch: u64,
+    /// The batch's dequeue time — response `service_us` is measured
+    /// from it on every worker, as in the unsplit path.
+    t0: Instant,
+    /// Unclaimed sub-batches. Any worker (the owner included) pops and
+    /// executes; a [`Job::Sub`] hint that finds this empty is a no-op.
+    queue: Mutex<Vec<SubChunk>>,
+    /// Chunks carved; the owner waits until `done` reaches it.
+    total: usize,
+    done: Mutex<usize>,
+    cv: Condvar,
+    /// `(submission slot, response)` pairs from executed chunks.
+    results: Mutex<Vec<(usize, Arc<QueryResponse>)>>,
+}
+
+/// The slice of batch context every leader-publishing site needs.
+#[derive(Clone, Copy)]
+struct BatchCtx<'a> {
+    search: &'a CommunitySearch,
+    epoch: u64,
+    t0: Instant,
 }
 
 /// Per-worker scratch accounting, published after every served request
@@ -175,6 +256,20 @@ struct Inner {
     coalesced: AtomicU64,
     batches: AtomicU64,
     batched: AtomicU64,
+    splits: AtomicU64,
+    sub_batches: AtomicU64,
+    /// Workers currently blocked on (or about to block on) the job
+    /// queue — the idle capacity the split heuristic consults. Reads
+    /// are advisory: a stale count only mis-sizes a split, never
+    /// mis-answers one.
+    idle_workers: AtomicUsize,
+    /// Queue sender the batch path uses to post [`Job::Sub`] wake-up
+    /// hints. Taken (to `None`) on shutdown so the channel can
+    /// disconnect; a missing sender only costs parallelism — the batch
+    /// owner runs every sub-batch itself.
+    sub_tx: Mutex<Option<Sender<Job>>>,
+    min_sub_batch: usize,
+    split_batches: bool,
     scratch: Vec<ScratchSlot>,
     started: Instant,
     workers: usize,
@@ -212,86 +307,6 @@ impl Inner {
         Role::Leader(flight)
     }
 
-    fn serve(&self, req: QueryRequest, ws: &mut QueryWorkspace) -> Arc<QueryResponse> {
-        let t0 = Instant::now();
-        if let Some(hit) = self.cache.get(&req) {
-            let resp = Arc::new(QueryResponse {
-                cached: true,
-                coalesced: false,
-                service_us: t0.elapsed().as_micros() as u64,
-                ..(*hit).clone()
-            });
-            self.finish(&resp);
-            return resp;
-        }
-        // Epochs are monotonic, so the retry loop terminates: it only
-        // loops when an install landed between our snapshot and the
-        // join, and each retry re-reads the newer snapshot.
-        let (search, epoch, role) = loop {
-            let (search, epoch) = self.snapshot();
-            match self.join_flight(req, epoch) {
-                Role::StaleSnapshot => continue,
-                role => break (search, epoch, role),
-            }
-        };
-        match role {
-            Role::StaleSnapshot => unreachable!("retried above"),
-            Role::Leader(flight) => {
-                let mut guard = FlightGuard {
-                    inner: self,
-                    key: req,
-                    flight,
-                    published: false,
-                };
-                let summary = if Self::servable(&req, &search) {
-                    // The worker's workspace provides every scratch
-                    // buffer; only the result itself is allocated.
-                    let sub = search.significant_community_in(
-                        req.q,
-                        req.alpha as usize,
-                        req.beta as usize,
-                        req.algo,
-                        ws,
-                    );
-                    Arc::new(CommunitySummary::from_subgraph(&sub))
-                } else {
-                    Arc::new(CommunitySummary::empty())
-                };
-                let resp = Arc::new(QueryResponse {
-                    request: req,
-                    summary,
-                    cached: false,
-                    coalesced: false,
-                    epoch,
-                    service_us: t0.elapsed().as_micros() as u64,
-                });
-                self.cache_if_current(req, &resp, epoch);
-                // Publish, then let the guard's Drop clear the table
-                // entry: a thread that found this flight always gets an
-                // answer; threads arriving after the removal start a
-                // fresh flight (and typically hit the cache first).
-                guard.publish(resp.clone());
-                drop(guard);
-                self.finish(&resp);
-                resp
-            }
-            Role::Follower(flight) => {
-                let shared = flight.wait().unwrap_or_else(|| {
-                    panic!("in-flight leader for {req:?} panicked before publishing")
-                });
-                let resp = Arc::new(QueryResponse {
-                    cached: false,
-                    coalesced: true,
-                    service_us: t0.elapsed().as_micros() as u64,
-                    ..(*shared).clone()
-                });
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
-                self.finish(&resp);
-                resp
-            }
-        }
-    }
-
     fn finish(&self, resp: &QueryResponse) {
         self.hist.record(resp.service_us);
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -308,224 +323,480 @@ impl Inner {
     }
 
     /// Caches `resp` only if no install retired the index it was
-    /// computed on. Holding the read lock makes the epoch-check +
-    /// insert atomic w.r.t. `install`, which clears the cache under the
-    /// write lock — so a stale entry can never land after the clear.
-    fn cache_if_current(&self, req: QueryRequest, resp: &Arc<QueryResponse>, epoch: u64) {
+    /// computed on, and reports whether it did. Holding the read lock
+    /// makes the epoch-check + insert atomic w.r.t. `install`, which
+    /// clears the cache under the write lock — so a stale entry can
+    /// never land after the clear.
+    fn cache_if_current(&self, req: QueryRequest, resp: &Arc<QueryResponse>, epoch: u64) -> bool {
         let lock = self.search.read().unwrap();
         if lock.1 == epoch {
             self.cache.insert(req, resp.clone());
+            true
+        } else {
+            false
         }
     }
 
-    /// Serves a whole batch on this worker, amortizing the per-request
-    /// costs: one cache lookup per *unique* key, one index-snapshot
-    /// read, one workspace for every leader computation (one batched
-    /// kernel call per algorithm present), and one response vector in
-    /// submission order.
-    fn serve_batch(
-        &self,
-        reqs: &[QueryRequest],
-        ws: &mut QueryWorkspace,
-    ) -> Vec<Arc<QueryResponse>> {
-        let t0 = Instant::now();
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched.fetch_add(reqs.len() as u64, Ordering::Relaxed);
-        let mut out: Vec<Option<Arc<QueryResponse>>> = reqs.iter().map(|_| None).collect();
-        let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
-
-        // Unique keys in first-occurrence order, each with every
-        // submission slot it answers. Duplicates inside the batch are
-        // computed once; the extra slots are answered as coalesced.
-        let mut order: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
-        let mut first: HashMap<QueryRequest, usize> = HashMap::new();
-        for (i, req) in reqs.iter().enumerate() {
-            match first.entry(*req) {
-                std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].1.push(i),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(order.len());
-                    order.push((*req, vec![i]));
-                }
-            }
+    /// How many sub-batches to carve `n_units` leader computations
+    /// into: 1 (serve inline) unless splitting is enabled, and
+    /// otherwise capped both by the pool's idle capacity (idle workers
+    /// plus the serving worker itself) and by the one-sub-batch-per-
+    /// `min_sub_batch`-leaders floor, so small batches stay whole.
+    fn split_factor(&self, n_units: usize) -> usize {
+        if !self.split_batches || n_units < 2 {
+            return 1;
         }
+        let idle = self.idle_workers.load(Ordering::Relaxed);
+        (idle + 1).min(n_units.div_ceil(self.min_sub_batch.max(1)))
+    }
+}
 
-        // Pass 1: one cache lookup per unique key.
-        let mut misses: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
-        for (req, slots) in order {
-            if let Some(hit) = self.cache.get(&req) {
-                for &slot in &slots {
-                    let resp = Arc::new(QueryResponse {
-                        cached: true,
-                        coalesced: false,
-                        service_us: us(&t0),
-                        ..(*hit).clone()
-                    });
-                    self.finish(&resp);
-                    out[slot] = Some(resp);
-                }
+/// Serves one request with full per-request accounting: one cache
+/// lookup, then — on a miss — the flight protocol of [`serve_miss`].
+fn serve(inner: &Arc<Inner>, req: QueryRequest, ws: &mut QueryWorkspace) -> Arc<QueryResponse> {
+    let t0 = Instant::now();
+    if let Some(hit) = inner.cache.get(&req) {
+        let resp = Arc::new(QueryResponse {
+            cached: true,
+            coalesced: false,
+            service_us: t0.elapsed().as_micros() as u64,
+            ..(*hit).clone()
+        });
+        inner.finish(&resp);
+        return resp;
+    }
+    serve_miss(inner, req, ws, t0)
+}
+
+/// The miss path of [`serve`]: joins (or opens) the flight for `req`
+/// and computes or waits. Factored out of [`serve`] so the batch path
+/// can resolve a stale-snapshot key without a second cache lookup being
+/// counted — its pass-1 lookup already recorded the miss, exactly the
+/// one lookup a per-request submission performs.
+fn serve_miss(
+    inner: &Arc<Inner>,
+    req: QueryRequest,
+    ws: &mut QueryWorkspace,
+    t0: Instant,
+) -> Arc<QueryResponse> {
+    // Epochs are monotonic, so the retry loop terminates: it only
+    // loops when an install landed between our snapshot and the
+    // join, and each retry re-reads the newer snapshot.
+    let (search, epoch, role) = loop {
+        let (search, epoch) = inner.snapshot();
+        match inner.join_flight(req, epoch) {
+            Role::StaleSnapshot => continue,
+            role => break (search, epoch, role),
+        }
+    };
+    match role {
+        Role::StaleSnapshot => unreachable!("retried above"),
+        Role::Leader(flight) => {
+            let mut guard = FlightGuard {
+                inner: inner.clone(),
+                key: req,
+                flight,
+                published: false,
+            };
+            let summary = if Inner::servable(&req, &search) {
+                // The worker's workspace provides every scratch
+                // buffer; only the result itself is allocated.
+                let sub = search.significant_community_in(
+                    req.q,
+                    req.alpha as usize,
+                    req.beta as usize,
+                    req.algo,
+                    ws,
+                );
+                Arc::new(CommunitySummary::from_subgraph(&sub))
             } else {
-                misses.push((req, slots));
-            }
+                Arc::new(CommunitySummary::empty())
+            };
+            let resp = Arc::new(QueryResponse {
+                request: req,
+                summary,
+                cached: false,
+                coalesced: false,
+                epoch,
+                service_us: t0.elapsed().as_micros() as u64,
+            });
+            inner.cache_if_current(req, &resp, epoch);
+            // Publish, then let the guard's Drop clear the table
+            // entry: a thread that found this flight always gets an
+            // answer; threads arriving after the removal start a
+            // fresh flight (and typically hit the cache first).
+            guard.publish(resp.clone());
+            drop(guard);
+            inner.finish(&resp);
+            resp
         }
-
-        if !misses.is_empty() {
-            // One snapshot read for every miss in the batch.
-            let (search, epoch) = self.snapshot();
-            let mut leaders: Vec<(FlightGuard<'_>, Vec<usize>)> = Vec::new();
-            let mut followers: Vec<(Arc<Flight>, QueryRequest, Vec<usize>)> = Vec::new();
-            let mut stale: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
-            for (req, slots) in misses {
-                match self.join_flight(req, epoch) {
-                    Role::Leader(flight) => leaders.push((
-                        FlightGuard {
-                            inner: self,
-                            key: req,
-                            flight,
-                            published: false,
-                        },
-                        slots,
-                    )),
-                    Role::Follower(flight) => followers.push((flight, req, slots)),
-                    // An install raced between our snapshot and this
-                    // join; the per-request path re-reads and retries.
-                    Role::StaleSnapshot => stale.push((req, slots)),
-                }
-            }
-
-            // Resolve every leader on the one snapshot: unservable
-            // requests get the empty community immediately, the rest go
-            // through one batched kernel call per algorithm present.
-            // Each leader is published (cache + flight) the moment its
-            // summary exists — before the next group computes — so an
-            // external follower of one key never waits on the rest of
-            // the batch, only on its own group.
-            let publish_leader =
-                |(mut guard, slots): (FlightGuard<'_>, Vec<usize>),
-                 summary: Arc<CommunitySummary>,
-                 out: &mut Vec<Option<Arc<QueryResponse>>>| {
-                    let req = guard.key;
-                    let resp = Arc::new(QueryResponse {
-                        request: req,
-                        summary,
-                        cached: false,
-                        coalesced: false,
-                        epoch,
-                        service_us: us(&t0),
-                    });
-                    self.cache_if_current(req, &resp, epoch);
-                    guard.publish(resp.clone());
-                    drop(guard);
-                    for (k, &slot) in slots.iter().enumerate() {
-                        let r = if k == 0 {
-                            resp.clone()
-                        } else {
-                            self.coalesced.fetch_add(1, Ordering::Relaxed);
-                            Arc::new(QueryResponse {
-                                coalesced: true,
-                                service_us: us(&t0),
-                                ..(*resp).clone()
-                            })
-                        };
-                        self.finish(&r);
-                        out[slot] = Some(r);
-                    }
-                };
-            let mut groups: Vec<(Algorithm, Vec<usize>)> = Vec::new();
-            let mut pending: Vec<Option<(FlightGuard<'_>, Vec<usize>)>> =
-                Vec::with_capacity(leaders.len());
-            for (guard, slots) in leaders {
-                if !Self::servable(&guard.key, &search) {
-                    publish_leader(
-                        (guard, slots),
-                        Arc::new(CommunitySummary::empty()),
-                        &mut out,
-                    );
-                    continue;
-                }
-                let idx = pending.len();
-                match groups.iter_mut().find(|(a, _)| *a == guard.key.algo) {
-                    Some((_, g)) => g.push(idx),
-                    None => groups.push((guard.key.algo, vec![idx])),
-                }
-                pending.push(Some((guard, slots)));
-            }
-            for (algo, lis) in groups {
-                let queries: Vec<(Vertex, usize, usize)> = lis
-                    .iter()
-                    .map(|&li| {
-                        let r = pending[li]
-                            .as_ref()
-                            .expect("pending until its group runs")
-                            .0
-                            .key;
-                        (r.q, r.alpha as usize, r.beta as usize)
-                    })
-                    .collect();
-                // A panic inside the kernel unwinds through the
-                // FlightGuards, poisoning every unpublished flight.
-                let subs = search.significant_communities_in(&queries, algo, ws);
-                for (li, sub) in lis.into_iter().zip(&subs) {
-                    let leader = pending[li].take().expect("each leader published once");
-                    publish_leader(
-                        leader,
-                        Arc::new(CommunitySummary::from_subgraph(sub)),
-                        &mut out,
-                    );
-                }
-            }
-            debug_assert!(
-                pending.iter().all(Option::is_none),
-                "leader left unpublished"
-            );
-
-            // Every leader above is published before we wait on anyone
-            // else's flight (the stale retries and followers below), so
-            // two workers batching each other's keys can never deadlock
-            // on one another.
-            // Rare install race: the per-request path re-reads the
-            // snapshot and retries. Runs after our own leaders are
-            // published (it may block as a follower elsewhere).
-            for (req, slots) in stale {
-                let resp = self.serve(req, ws);
-                for (k, &slot) in slots.iter().enumerate() {
-                    let r = if k == 0 {
-                        resp.clone()
-                    } else {
-                        self.coalesced.fetch_add(1, Ordering::Relaxed);
-                        let r = Arc::new(QueryResponse {
-                            coalesced: true,
-                            service_us: us(&t0),
-                            ..(*resp).clone()
-                        });
-                        self.finish(&r);
-                        r
-                    };
-                    out[slot] = Some(r);
-                }
-            }
-
-            for (flight, req, slots) in followers {
-                let shared = flight.wait().unwrap_or_else(|| {
-                    panic!("in-flight leader for {req:?} panicked before publishing")
-                });
-                for &slot in &slots {
-                    let resp = Arc::new(QueryResponse {
-                        cached: false,
-                        coalesced: true,
-                        service_us: us(&t0),
-                        ..(*shared).clone()
-                    });
-                    self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    self.finish(&resp);
-                    out[slot] = Some(resp);
-                }
-            }
+        Role::Follower(flight) => {
+            let shared = flight.wait().unwrap_or_else(|| {
+                panic!("in-flight leader for {req:?} panicked before publishing")
+            });
+            let resp = Arc::new(QueryResponse {
+                cached: false,
+                coalesced: true,
+                service_us: t0.elapsed().as_micros() as u64,
+                ..(*shared).clone()
+            });
+            inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            inner.finish(&resp);
+            resp
         }
-
-        out.into_iter()
-            .map(|r| r.expect("every batch slot answered"))
-            .collect()
     }
+}
+
+/// Builds and publishes one leader's response (cache + flight), then
+/// answers every submission slot of its key into `sink`. Slot 0 is the
+/// leader's own computed response. Duplicate slots are answered the way
+/// a serial per-request resubmission would be: as cache hits when the
+/// leader's result went into the cache, otherwise (an install retired
+/// the epoch before the insert) as misses coalesced onto this
+/// computation — so the cache and coalescing counters cannot drift
+/// between submission modes, provided the cache is large enough to
+/// retain the batch's unique keys (with a cache smaller than one
+/// batch's key set, a duplicate counts as the hit its entry was at
+/// insert time even if eviction would have forced a per-request
+/// resubmission to recompute; deliberately so — re-probing, let alone
+/// recomputing, could block, and sub-batch execution must never wait).
+fn publish_unit(
+    inner: &Arc<Inner>,
+    ctx: BatchCtx<'_>,
+    mut guard: FlightGuard,
+    slots: &[usize],
+    summary: Arc<CommunitySummary>,
+    sink: &mut Vec<(usize, Arc<QueryResponse>)>,
+) {
+    let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
+    let req = guard.key;
+    let resp = Arc::new(QueryResponse {
+        request: req,
+        summary,
+        cached: false,
+        coalesced: false,
+        epoch: ctx.epoch,
+        service_us: us(&ctx.t0),
+    });
+    let resident = inner.cache_if_current(req, &resp, ctx.epoch);
+    guard.publish(resp.clone());
+    drop(guard);
+    inner.finish(&resp);
+    sink.push((slots[0], resp.clone()));
+    for &slot in &slots[1..] {
+        let r = if resident {
+            inner.cache.record_extra_hit();
+            Arc::new(QueryResponse {
+                cached: true,
+                service_us: us(&ctx.t0),
+                ..(*resp).clone()
+            })
+        } else {
+            inner.cache.record_extra_miss();
+            inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            Arc::new(QueryResponse {
+                coalesced: true,
+                service_us: us(&ctx.t0),
+                ..(*resp).clone()
+            })
+        };
+        inner.finish(&r);
+        sink.push((slot, r));
+    }
+}
+
+/// Answers a same-algorithm run of leader units through **one** batched
+/// kernel call on `ws`, publishing each leader the moment its summary
+/// exists and appending `(slot, response)` pairs to `sink`. A panic
+/// inside the kernel unwinds through the guards in `units`, poisoning
+/// every unpublished flight.
+fn run_units(
+    inner: &Arc<Inner>,
+    ctx: BatchCtx<'_>,
+    algo: Algorithm,
+    units: Vec<Unit>,
+    ws: &mut QueryWorkspace,
+    sink: &mut Vec<(usize, Arc<QueryResponse>)>,
+) {
+    let queries: Vec<(Vertex, usize, usize)> = units
+        .iter()
+        .map(|(g, _)| (g.key.q, g.key.alpha as usize, g.key.beta as usize))
+        .collect();
+    let subs = ctx.search.significant_communities_in(&queries, algo, ws);
+    for ((guard, slots), sub) in units.into_iter().zip(&subs) {
+        publish_unit(
+            inner,
+            ctx,
+            guard,
+            &slots,
+            Arc::new(CommunitySummary::from_subgraph(sub)),
+            sink,
+        );
+    }
+}
+
+/// Drains and executes a split batch's unclaimed sub-batches; called by
+/// the batch owner (who runs whatever the pool does not claim) and by
+/// any worker that dequeued a [`Job::Sub`] hint. Chunk execution is
+/// pure compute-and-publish — it never waits on another flight — which
+/// is what keeps the split path deadlock-free: every chunk is either
+/// unclaimed (the owner will run it) or actively computing, so the
+/// owner's join always makes progress.
+fn run_split_chunks(inner: &Arc<Inner>, shared: &BatchShared, ws: &mut QueryWorkspace) {
+    loop {
+        let Some(chunk) = shared.queue.lock().unwrap().pop() else {
+            return;
+        };
+        // Count the chunk done even if the kernel panics (its guards
+        // poison the flights), so the owner's join never hangs — the
+        // missing results make the owner fail loudly instead.
+        struct DoneGuard<'a>(&'a BatchShared);
+        impl Drop for DoneGuard<'_> {
+            fn drop(&mut self) {
+                *self.0.done.lock().unwrap() += 1;
+                self.0.cv.notify_all();
+            }
+        }
+        let _done = DoneGuard(shared);
+        let ctx = BatchCtx {
+            search: &shared.search,
+            epoch: shared.epoch,
+            t0: shared.t0,
+        };
+        let mut sink = Vec::new();
+        run_units(inner, ctx, chunk.algo, chunk.units, ws, &mut sink);
+        shared.results.lock().unwrap().extend(sink);
+    }
+}
+
+/// Serves a whole batch, amortizing the per-request costs: one cache
+/// lookup per *unique* key, one index-snapshot read, batched kernel
+/// calls for the leaders — fanned out across idle workers when the
+/// split heuristic (see [`Inner::split_factor`]) says the pool has
+/// capacity — and one response vector in submission order.
+fn serve_batch(
+    inner: &Arc<Inner>,
+    reqs: &[QueryRequest],
+    ws: &mut QueryWorkspace,
+) -> Vec<Arc<QueryResponse>> {
+    let t0 = Instant::now();
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    inner
+        .batched
+        .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+    let mut out: Vec<Option<Arc<QueryResponse>>> = reqs.iter().map(|_| None).collect();
+    let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
+
+    // Unique keys in first-occurrence order, each with every
+    // submission slot it answers. Duplicates inside the batch are
+    // computed (or looked up) once; the extra slots are answered as a
+    // serial resubmission would be.
+    let mut order: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
+    let mut first: HashMap<QueryRequest, usize> = HashMap::new();
+    for (i, req) in reqs.iter().enumerate() {
+        match first.entry(*req) {
+            std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].1.push(i),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(order.len());
+                order.push((*req, vec![i]));
+            }
+        }
+    }
+
+    // Pass 1: one physical cache lookup per unique key, with duplicate
+    // slots of a hit counted as the hits they are — per-request
+    // submission performs one lookup per request, and the stats must
+    // not depend on how requests were submitted.
+    let mut misses: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
+    for (req, slots) in order {
+        if let Some(hit) = inner.cache.get(&req) {
+            for (k, &slot) in slots.iter().enumerate() {
+                if k > 0 {
+                    inner.cache.record_extra_hit();
+                }
+                let resp = Arc::new(QueryResponse {
+                    cached: true,
+                    coalesced: false,
+                    service_us: us(&t0),
+                    ..(*hit).clone()
+                });
+                inner.finish(&resp);
+                out[slot] = Some(resp);
+            }
+        } else {
+            misses.push((req, slots));
+        }
+    }
+
+    if !misses.is_empty() {
+        // One snapshot read for every miss in the batch.
+        let (search, epoch) = inner.snapshot();
+        let mut leaders: Vec<Unit> = Vec::new();
+        let mut followers: Vec<(Arc<Flight>, QueryRequest, Vec<usize>)> = Vec::new();
+        let mut stale: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
+        for (req, slots) in misses {
+            match inner.join_flight(req, epoch) {
+                Role::Leader(flight) => leaders.push((
+                    FlightGuard {
+                        inner: inner.clone(),
+                        key: req,
+                        flight,
+                        published: false,
+                    },
+                    slots,
+                )),
+                Role::Follower(flight) => followers.push((flight, req, slots)),
+                // An install raced between our snapshot and this
+                // join; resolved below via the per-request miss path.
+                Role::StaleSnapshot => stale.push((req, slots)),
+            }
+        }
+
+        // Partition the servable leaders into per-algorithm runs; the
+        // unservable get the empty community immediately.
+        let ctx = BatchCtx {
+            search: &search,
+            epoch,
+            t0,
+        };
+        let mut sink: Vec<(usize, Arc<QueryResponse>)> = Vec::new();
+        let mut algo_units: Vec<(Algorithm, Vec<Unit>)> = Vec::new();
+        let mut n_units = 0usize;
+        for (guard, slots) in leaders {
+            if !Inner::servable(&guard.key, &search) {
+                publish_unit(
+                    inner,
+                    ctx,
+                    guard,
+                    &slots,
+                    Arc::new(CommunitySummary::empty()),
+                    &mut sink,
+                );
+                continue;
+            }
+            n_units += 1;
+            let algo = guard.key.algo;
+            match algo_units.iter_mut().find(|(a, _)| *a == algo) {
+                Some((_, g)) => g.push((guard, slots)),
+                None => algo_units.push((algo, vec![(guard, slots)])),
+            }
+        }
+
+        let fanout = inner.split_factor(n_units);
+        if fanout <= 1 {
+            // Inline: this worker answers every leader itself, one
+            // batched kernel call per algorithm present.
+            for (algo, units) in algo_units {
+                run_units(inner, ctx, algo, units, ws, &mut sink);
+            }
+        } else {
+            // Split: carve the leader runs into `fanout`-ish chunks
+            // (chunk boundaries respect algorithm runs, so each chunk
+            // is still one kernel call — which also means a batch with
+            // more algorithms than `fanout` carves more, smaller
+            // chunks than `fanout`; the concurrency bound is enforced
+            // on executors below, not on chunk count), park them in a
+            // claimable queue and wake idle workers with hints. We
+            // claim and run whatever the pool does not, then wait for
+            // stragglers.
+            let chunk_size = n_units.div_ceil(fanout);
+            let mut chunks: Vec<SubChunk> = Vec::new();
+            for (algo, mut units) in algo_units {
+                while !units.is_empty() {
+                    let tail = if units.len() > chunk_size {
+                        units.split_off(chunk_size)
+                    } else {
+                        Vec::new()
+                    };
+                    chunks.push(SubChunk { algo, units });
+                    units = tail;
+                }
+            }
+            inner.splits.fetch_add(1, Ordering::Relaxed);
+            inner
+                .sub_batches
+                .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+            let shared = Arc::new(BatchShared {
+                search: search.clone(),
+                epoch,
+                t0,
+                total: chunks.len(),
+                queue: Mutex::new(chunks),
+                done: Mutex::new(0),
+                cv: Condvar::new(),
+                results: Mutex::new(Vec::new()),
+            });
+            // A hint is only a wake-up: whoever pops a chunk runs it,
+            // and a hinted worker drains chunks in a loop — so the
+            // hint count, not the chunk count, is what bounds the
+            // fan-out width. Cap it at `fanout - 1` helpers (idle
+            // capacity), or a many-algorithm batch would wake more
+            // workers than the pool has idle. A missing sender
+            // (shutdown in progress) just means we run every chunk
+            // ourselves.
+            if let Some(tx) = inner.sub_tx.lock().unwrap().as_ref() {
+                for _ in 1..shared.total.min(fanout) {
+                    let _ = tx.send(Job::Sub(shared.clone()));
+                }
+            }
+            run_split_chunks(inner, &shared, ws);
+            let mut done = shared.done.lock().unwrap();
+            while *done < shared.total {
+                done = shared.cv.wait(done).unwrap();
+            }
+            drop(done);
+            sink.extend(shared.results.lock().unwrap().drain(..));
+        }
+        for (slot, resp) in sink {
+            out[slot] = Some(resp);
+        }
+
+        // Every leader above is published before we wait on anyone
+        // else's flight (the stale retries and followers below), so
+        // two workers batching each other's keys can never deadlock
+        // on one another.
+        // Rare install race: resolve each slot through the per-request
+        // path — the first without a second cache lookup (pass 1
+        // already counted this key's miss), duplicates with their own
+        // lookup, exactly as if resubmitted.
+        for (req, slots) in stale {
+            for (k, &slot) in slots.iter().enumerate() {
+                let resp = if k == 0 {
+                    serve_miss(inner, req, ws, t0)
+                } else {
+                    serve(inner, req, ws)
+                };
+                out[slot] = Some(resp);
+            }
+        }
+
+        for (flight, req, slots) in followers {
+            let shared = flight.wait().unwrap_or_else(|| {
+                panic!("in-flight leader for {req:?} panicked before publishing")
+            });
+            for (k, &slot) in slots.iter().enumerate() {
+                if k > 0 {
+                    // Pass 1 counted one miss for this key; its
+                    // duplicates waited on the same flight and are
+                    // accounted like the extra followers they are.
+                    inner.cache.record_extra_miss();
+                }
+                let resp = Arc::new(QueryResponse {
+                    cached: false,
+                    coalesced: true,
+                    service_us: us(&t0),
+                    ..(*shared).clone()
+                });
+                inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                inner.finish(&resp);
+                out[slot] = Some(resp);
+            }
+        }
+    }
+
+    out.into_iter()
+        .map(|r| r.expect("every batch slot answered"))
+        .collect()
 }
 
 enum Job {
@@ -534,6 +805,10 @@ enum Job {
     /// N requests served by one worker with amortized snapshot, cache
     /// and workspace handling; answered as one vector in request order.
     Batch(Vec<QueryRequest>, Sender<Vec<Arc<QueryResponse>>>),
+    /// Wake-up hint that a split batch has unclaimed sub-batches; the
+    /// receiving worker drains [`BatchShared::queue`] (possibly finding
+    /// nothing — the owner and other workers race for chunks).
+    Sub(Arc<BatchShared>),
 }
 
 /// A pending response; produced by [`QueryEngine::submit`].
@@ -594,11 +869,18 @@ impl QueryEngine {
             coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            sub_batches: AtomicU64::new(0),
+            idle_workers: AtomicUsize::new(0),
+            sub_tx: Mutex::new(None),
+            min_sub_batch: config.min_sub_batch.max(1),
+            split_batches: config.split_batches,
             scratch: (0..workers).map(|_| ScratchSlot::default()).collect(),
             started: Instant::now(),
             workers,
         });
         let (tx, rx) = channel::<Job>();
+        *inner.sub_tx.lock().unwrap() = Some(tx.clone());
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|i| {
@@ -614,9 +896,14 @@ impl QueryEngine {
                         // steady-state compute path stops allocating.
                         let mut ws = QueryWorkspace::new();
                         loop {
-                            // Hold the queue lock only across the dequeue so
-                            // workers pull jobs concurrently with compute.
+                            // Advertise idleness while blocked on the
+                            // queue — the split heuristic reads this.
+                            // Hold the queue lock only across the
+                            // dequeue so workers pull jobs concurrently
+                            // with compute.
+                            inner.idle_workers.fetch_add(1, Ordering::Relaxed);
                             let job = rx.lock().unwrap().recv();
+                            inner.idle_workers.fetch_sub(1, Ordering::Relaxed);
                             let Ok(job) = job else {
                                 break; // all senders gone: shutdown
                             };
@@ -627,11 +914,24 @@ impl QueryEngine {
                             // submitter's wait() fail loudly. A submitter
                             // that dropped its handle just doesn't
                             // collect the result.
+                            //
+                            // Scratch accounting is published *before*
+                            // the reply: a submitter that reads stats()
+                            // the moment its blocking query returns must
+                            // see this worker's workspace.
+                            let publish_scratch = |ws: &QueryWorkspace| {
+                                let slot = &inner.scratch[i];
+                                slot.bytes.store(ws.heap_bytes(), Ordering::Relaxed);
+                                slot.allocs_avoided
+                                    .store(ws.allocations_avoided(), Ordering::Relaxed);
+                            };
                             match job {
                                 Job::Single(req, reply) => {
-                                    let resp = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| inner.serve(req, &mut ws)),
-                                    );
+                                    let resp =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || serve(&inner, req, &mut ws),
+                                        ));
+                                    publish_scratch(&ws);
                                     if let Ok(resp) = resp {
                                         let _ = reply.send(resp);
                                     }
@@ -639,17 +939,23 @@ impl QueryEngine {
                                 Job::Batch(reqs, reply) => {
                                     let resp =
                                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || inner.serve_batch(&reqs, &mut ws),
+                                            || serve_batch(&inner, &reqs, &mut ws),
                                         ));
+                                    publish_scratch(&ws);
                                     if let Ok(resp) = resp {
                                         let _ = reply.send(resp);
                                     }
                                 }
+                                Job::Sub(shared) => {
+                                    // A panicking chunk already poisoned
+                                    // its flights and bumped the owner's
+                                    // done-count; the pool survives it.
+                                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        || run_split_chunks(&inner, &shared, &mut ws),
+                                    ));
+                                    publish_scratch(&ws);
+                                }
                             }
-                            let slot = &inner.scratch[i];
-                            slot.bytes.store(ws.heap_bytes(), Ordering::Relaxed);
-                            slot.allocs_avoided
-                                .store(ws.allocations_avoided(), Ordering::Relaxed);
                         }
                     })
                     .expect("spawn worker thread")
@@ -674,17 +980,21 @@ impl QueryEngine {
     }
 
     /// Enqueues a whole batch as **one** job: one queue round-trip, one
-    /// index-snapshot read, one cache lookup per unique key and one
-    /// worker workspace for every computation in the batch (see
+    /// index-snapshot read, one cache lookup per unique key, and
+    /// batched kernel calls for the leaders (see
     /// [`scs::CommunitySearch::significant_communities_in`]). The
     /// handle yields every response in submission order; results are
     /// identical to submitting each request on its own.
     ///
-    /// Batching trades intra-batch parallelism for lower per-request
-    /// overhead: the whole batch is served by one worker, so it pays
-    /// off when requests are individually cheap (amortizing the queue
-    /// and snapshot handshakes) or when the submitter is itself one of
-    /// many concurrent clients keeping the pool busy.
+    /// Batching amortizes the per-request fixed costs; when the pool
+    /// has idle workers the engine additionally **splits** a large
+    /// batch's leader computations into per-worker sub-batches (see the
+    /// [module docs](self) and [`ServiceConfig::min_sub_batch`]), so a
+    /// single big submitter saturates the pool instead of one thread.
+    /// With splitting disabled the whole batch is served by one worker,
+    /// which still pays off when requests are individually cheap or the
+    /// submitter is one of many concurrent clients keeping the pool
+    /// busy.
     pub fn submit_batch(&self, reqs: &[QueryRequest]) -> BatchHandle {
         let (reply_tx, reply_rx) = channel();
         self.tx
@@ -726,6 +1036,14 @@ impl QueryEngine {
         self.inner.snapshot()
     }
 
+    /// Number of leader computations currently registered in the
+    /// in-flight table — a diagnostic for tests and monitoring: at
+    /// quiescence (no request outstanding anywhere) this must be 0, or
+    /// a flight leaked.
+    pub fn inflight_len(&self) -> usize {
+        self.inner.inflight.lock().unwrap().len()
+    }
+
     /// Metrics snapshot since engine start.
     pub fn stats(&self) -> ServiceStats {
         let inner = &self.inner;
@@ -737,6 +1055,8 @@ impl QueryEngine {
             coalesced: inner.coalesced.load(Ordering::Relaxed),
             batches: inner.batches.load(Ordering::Relaxed),
             batched: inner.batched.load(Ordering::Relaxed),
+            splits: inner.splits.load(Ordering::Relaxed),
+            sub_batches: inner.sub_batches.load(Ordering::Relaxed),
             cache: inner.cache.stats(),
             epoch: inner.snapshot().1,
             qps: completed as f64 / elapsed,
@@ -765,6 +1085,9 @@ impl QueryEngine {
 
     fn shutdown_in_place(&mut self) {
         drop(self.tx.take());
+        // Drop the workers' hint sender too, or the channel never
+        // disconnects. A batch mid-split just runs its own chunks.
+        self.inner.sub_tx.lock().unwrap().take();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -790,8 +1113,16 @@ mod tests {
                 workers,
                 cache_capacity: 64,
                 cache_shards: 4,
+                ..ServiceConfig::default()
             },
         )
+    }
+
+    /// Workers advertise idleness once they reach the queue; give a
+    /// freshly spawned pool a beat to park so split-engagement
+    /// assertions don't race thread startup.
+    fn settle() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
     }
 
     #[test]
@@ -883,27 +1214,36 @@ mod tests {
         assert_eq!(resps[0].summary, resps[2].summary);
         assert!(!resps[0].cached && !resps[0].coalesced);
         assert!(
-            resps[2].coalesced,
-            "duplicate key inside a batch shares the leader's computation"
+            resps[2].cached && !resps[2].coalesced,
+            "duplicate key inside a batch is answered like a serial \
+             resubmission: a cache hit on the leader's fresh result"
         );
         let st = e.stats();
         assert_eq!(st.completed, 4);
         assert_eq!(st.batches, 1);
         assert_eq!(st.batched, 4);
-        assert_eq!(st.coalesced, 1);
-        // 3 unique keys looked up once each, all misses.
+        assert_eq!(st.coalesced, 0);
+        // 3 unique keys miss; the duplicate slot counts as the hit a
+        // per-request resubmission would have been.
         assert_eq!(st.cache.misses, 3);
+        assert_eq!(st.cache.hits, 1);
+        assert_eq!(
+            st.cache.hits + st.cache.misses,
+            st.completed,
+            "every request accounts for exactly one lookup"
+        );
 
-        // A second identical batch is all cache hits — again one lookup
-        // per unique key.
+        // A second identical batch is all cache hits — one physical
+        // lookup per unique key, one *counted* per request.
         let again = e.query_batch(&reqs);
         for (a, b) in resps.iter().zip(&again) {
             assert!(b.cached);
             assert_eq!(a.summary, b.summary);
         }
         let st = e.stats();
-        assert_eq!(st.cache.hits, 3);
+        assert_eq!(st.cache.hits, 5);
         assert_eq!(st.completed, 8);
+        assert_eq!(st.cache.hits + st.cache.misses, st.completed);
         e.shutdown();
     }
 
@@ -926,6 +1266,146 @@ mod tests {
         }
         e.shutdown();
         e2.shutdown();
+    }
+
+    #[test]
+    fn batch_counters_match_per_request_submission() {
+        // The same request stream with duplicates and repeats, served
+        // one-by-one and as one batch on fresh engines, must produce
+        // identical ServiceStats — the submission-mode invariance the
+        // batch path promises.
+        // Few enough unique keys that the 64-entry cache retains them
+        // all — the stated precondition of counter invariance (under
+        // mid-batch eviction the batch path still answers correctly
+        // but may count a duplicate as the hit the entry was when the
+        // leader cached it, where per-request resubmission would have
+        // missed the evicted key and recomputed).
+        let per_request = engine(2);
+        let g = per_request.current_index().0.graph().clone();
+        let mut reqs: Vec<QueryRequest> = (0..g.n_upper().min(12))
+            .map(|i| QueryRequest::new(g.upper(i), 2, 2, Algorithm::Peel))
+            .collect();
+        reqs.push(reqs[0]); // duplicate of a computed key
+        reqs.push(reqs[1]);
+        for r in &reqs {
+            per_request.query(*r);
+        }
+        let a = per_request.stats();
+        per_request.shutdown();
+
+        let batched = engine(2);
+        batched.query_batch(&reqs);
+        let b = batched.stats();
+        batched.shutdown();
+
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.cache.hits, b.cache.hits, "hit counters drifted");
+        assert_eq!(a.cache.misses, b.cache.misses, "miss counters drifted");
+        assert_eq!(a.coalesced, b.coalesced, "coalesced counters drifted");
+        assert_eq!(b.cache.hits + b.cache.misses, b.completed);
+    }
+
+    #[test]
+    fn split_batch_matches_unsplit_bit_identically() {
+        let split = QueryEngine::start(
+            CommunitySearch::shared(figure2_example()),
+            ServiceConfig {
+                workers: 4,
+                cache_capacity: 64,
+                cache_shards: 4,
+                min_sub_batch: 1,
+                split_batches: true,
+            },
+        );
+        let unsplit = QueryEngine::start(
+            CommunitySearch::shared(figure2_example()),
+            ServiceConfig {
+                workers: 4,
+                cache_capacity: 64,
+                cache_shards: 4,
+                min_sub_batch: 1,
+                split_batches: false,
+            },
+        );
+        settle();
+        let g = split.current_index().0.graph().clone();
+        let mut reqs: Vec<QueryRequest> = Vec::new();
+        for i in 0..g.n_upper() {
+            reqs.push(QueryRequest::new(g.upper(i), 2, 2, Algorithm::Peel));
+            reqs.push(QueryRequest::new(g.upper(i), 1, 1, Algorithm::Expand));
+        }
+        reqs.push(reqs[0]); // in-batch duplicate rides along
+        let a = split.query_batch(&reqs);
+        let b = unsplit.query_batch(&reqs);
+        assert_eq!(a.len(), reqs.len());
+        for ((req, x), y) in reqs.iter().zip(&a).zip(&b) {
+            assert_eq!(x.request, *req, "split batch broke submission order");
+            assert_eq!(y.request, *req);
+            assert_eq!(x.summary, y.summary, "{req:?} diverged under splitting");
+            assert_eq!(
+                (x.cached, x.coalesced, x.epoch),
+                (y.cached, y.coalesced, y.epoch),
+                "{req:?} flags diverged under splitting"
+            );
+        }
+        let st = split.stats();
+        let su = unsplit.stats();
+        assert_eq!(st.splits, 1, "split path must have engaged");
+        assert!(st.sub_batches >= 2, "sub_batches={}", st.sub_batches);
+        assert_eq!(su.splits, 0, "split disabled by config");
+        assert_eq!(su.sub_batches, 0);
+        assert_eq!((st.completed, st.coalesced), (su.completed, su.coalesced));
+        assert_eq!(
+            (st.cache.hits, st.cache.misses),
+            (su.cache.hits, su.cache.misses),
+            "counters drifted between split and unsplit"
+        );
+        assert_eq!(split.inflight_len(), 0, "split batch leaked a flight");
+        split.shutdown();
+        unsplit.shutdown();
+    }
+
+    #[test]
+    fn many_algorithm_batch_carves_per_algorithm_chunks() {
+        // Five algorithms force five single-algorithm chunks even when
+        // the fan-out width is smaller; the surplus chunks must queue
+        // behind the capped hints (not wake extra workers) and every
+        // slot must still be answered in order.
+        let e = QueryEngine::start(
+            CommunitySearch::shared(figure2_example()),
+            ServiceConfig {
+                workers: 2,
+                cache_capacity: 64,
+                cache_shards: 4,
+                min_sub_batch: 8,
+                split_batches: true,
+            },
+        );
+        settle();
+        let g = e.current_index().0.graph().clone();
+        let g = &g;
+        let reqs: Vec<QueryRequest> = Algorithm::ALL
+            .into_iter()
+            .flat_map(|algo| (0..4).map(move |i| QueryRequest::new(g.upper(i), 2, 2, algo)))
+            .collect();
+        let resps = e.query_batch(&reqs);
+        for (req, resp) in reqs.iter().zip(&resps) {
+            assert_eq!(resp.request, *req, "submission order broken");
+        }
+        // All algorithms agree on the answer, so every response of one
+        // vertex matches regardless of which chunk computed it.
+        for chunk in resps.chunks(4) {
+            assert_eq!(chunk[0].summary, resps[0].summary);
+        }
+        let st = e.stats();
+        assert_eq!(st.splits, 1);
+        assert_eq!(
+            st.sub_batches,
+            Algorithm::ALL.len() as u64,
+            "one chunk per algorithm run"
+        );
+        assert_eq!(e.inflight_len(), 0);
+        e.shutdown();
     }
 
     #[test]

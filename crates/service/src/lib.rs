@@ -27,6 +27,13 @@
 //!   kernel call per algorithm for the whole batch
 //!   ([`scs::CommunitySearch::significant_communities_in`]), answered in
 //!   submission order with results identical to per-request submission.
+//! * adaptive batch splitting — when the pool has idle workers, a large
+//!   batch's leader computations are carved into per-worker sub-batches
+//!   (at most one per [`engine::ServiceConfig::min_sub_batch`] leaders)
+//!   and fanned out through the queue, so one big submitter saturates
+//!   the pool; results and [`stats::ServiceStats`] counters are
+//!   bit-identical to the unsplit path, and `--no-split` /
+//!   [`engine::ServiceConfig::split_batches`] turns it off for A/B runs.
 //! * [`cache::ShardedCache`] — a power-of-two-sharded, per-shard-locked
 //!   LRU keyed by `(q, α, β, algorithm)` with hit/miss counters.
 //! * in-flight deduplication — when identical queries race, one worker
@@ -78,7 +85,10 @@ pub mod stats;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use engine::{BatchHandle, QueryEngine, ResponseHandle, ServiceConfig};
-pub use replay::{build_workload, replay, replay_batched, ReplayReport, WorkloadSpec};
+pub use replay::{
+    build_workload, replay, replay_batched, try_build_workload, ReplayReport, WorkloadError,
+    WorkloadSpec,
+};
 pub use stats::ServiceStats;
 
 use bigraph::{EdgeId, Subgraph, Vertex};

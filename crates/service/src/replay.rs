@@ -16,6 +16,7 @@ use crate::{QueryRequest, QueryResponse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scs::{Algorithm, CommunitySearch};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -65,7 +66,37 @@ impl Default for WorkloadSpec {
     }
 }
 
-/// Generates a replayable request stream for `search`.
+/// Why [`try_build_workload`] could not produce a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The (α,β)-core of the graph has no vertices, so there is no
+    /// query vertex to draw. Distinct from asking for zero queries,
+    /// which is `Ok(vec![])` — an earlier version conflated the two,
+    /// and the CLI diagnosed a perfectly populated core as empty
+    /// whenever the request count was zero.
+    EmptyCore {
+        /// The α the core was computed for.
+        alpha: usize,
+        /// The β the core was computed for.
+        beta: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyCore { alpha, beta } => write!(
+                f,
+                "the ({alpha},{beta})-core is empty — no query vertices to draw"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Generates a replayable request stream for `search`, distinguishing
+/// "nothing requested" from "nothing to serve".
 ///
 /// Fresh queries sample vertices uniformly from the (α,β)-core
 /// ([`datasets::workload::random_core_queries`]); with probability
@@ -73,17 +104,25 @@ impl Default for WorkloadSpec {
 /// one. Exactly as many core vertices are drawn as fresh slots exist —
 /// the distinct-query pool matches `(1 − repeat_fraction)·n_queries` in
 /// expectation (an earlier version drew `n_queries` and silently threw
-/// one away per repeat). Returns an empty vec when the core is empty
-/// (nothing sensible to serve).
-pub fn build_workload(search: &CommunitySearch, spec: &WorkloadSpec) -> Vec<QueryRequest> {
+/// one away per repeat). `n_queries == 0` yields `Ok(vec![])`; an empty
+/// (α,β)-core yields [`WorkloadError::EmptyCore`].
+pub fn try_build_workload(
+    search: &CommunitySearch,
+    spec: &WorkloadSpec,
+) -> Result<Vec<QueryRequest>, WorkloadError> {
     let repeat = spec.effective_repeat_fraction();
     let mut rng = StdRng::seed_from_u64(spec.seed);
     // Decide the repeat/fresh pattern first (the first query has no
     // history, so it is always fresh), then draw exactly the fresh
-    // vertices the pattern consumes.
+    // vertices the pattern consumes. With n_queries ≥ 1 the pattern
+    // always has ≥ 1 fresh slot, so an empty draw can only mean an
+    // empty core.
     let is_repeat: Vec<bool> = (0..spec.n_queries)
         .map(|i| i > 0 && rng.gen_bool(repeat))
         .collect();
+    if is_repeat.is_empty() {
+        return Ok(Vec::new());
+    }
     let n_fresh = is_repeat.iter().filter(|r| !**r).count();
     let fresh = datasets::workload::random_core_queries(
         search.graph(),
@@ -93,7 +132,10 @@ pub fn build_workload(search: &CommunitySearch, spec: &WorkloadSpec) -> Vec<Quer
         &mut rng,
     );
     if fresh.is_empty() {
-        return Vec::new();
+        return Err(WorkloadError::EmptyCore {
+            alpha: spec.alpha,
+            beta: spec.beta,
+        });
     }
     let mut fresh = fresh.into_iter();
     let mut out: Vec<QueryRequest> = Vec::with_capacity(spec.n_queries);
@@ -106,7 +148,15 @@ pub fn build_workload(search: &CommunitySearch, spec: &WorkloadSpec) -> Vec<Quer
         };
         out.push(req);
     }
-    out
+    Ok(out)
+}
+
+/// [`try_build_workload`] flattened to the historical signature: an
+/// empty vec for *both* an empty core and a zero request count. Callers
+/// that report diagnostics should use [`try_build_workload`] and tell
+/// the user which one happened.
+pub fn build_workload(search: &CommunitySearch, spec: &WorkloadSpec) -> Vec<QueryRequest> {
+    try_build_workload(search, spec).unwrap_or_default()
 }
 
 /// Outcome of one replay run.
@@ -320,6 +370,44 @@ mod tests {
             ..WorkloadSpec::default()
         };
         assert!(build_workload(&search, &spec).is_empty());
+        // The checked variant names the reason.
+        assert_eq!(
+            try_build_workload(&search, &spec),
+            Err(WorkloadError::EmptyCore {
+                alpha: 50,
+                beta: 50
+            })
+        );
+        let msg = try_build_workload(&search, &spec).unwrap_err().to_string();
+        assert!(msg.contains("(50,50)-core is empty"), "{msg}");
+    }
+
+    #[test]
+    fn zero_queries_is_not_an_empty_core() {
+        // Regression: n_queries == 0 used to fall through the
+        // empty-draw check and masquerade as an empty core, so the CLI
+        // told users to lower --alpha/--beta on a populated graph.
+        let search = small_search();
+        let spec = WorkloadSpec {
+            n_queries: 0,
+            alpha: 1,
+            beta: 1,
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(try_build_workload(&search, &spec), Ok(Vec::new()));
+        assert!(build_workload(&search, &spec).is_empty());
+        // …while the same spec against an actually empty core still
+        // reports the core, not the count.
+        let starved = WorkloadSpec {
+            n_queries: 10,
+            alpha: 50,
+            beta: 50,
+            ..WorkloadSpec::default()
+        };
+        assert!(matches!(
+            try_build_workload(&search, &starved),
+            Err(WorkloadError::EmptyCore { .. })
+        ));
     }
 
     #[test]

@@ -105,14 +105,29 @@ pub struct ServiceStats {
     pub workers: usize,
     /// Requests completed since engine start.
     pub completed: u64,
-    /// Responses that waited on an identical in-flight computation (or
-    /// shared a computation with a duplicate key in the same batch).
+    /// Responses that waited on an identical in-flight computation, or
+    /// shared a batch-internal computation whose result never reached
+    /// the cache. Duplicate keys of a batch whose leader's result *was*
+    /// cached count as the cache hits a per-request resubmission would
+    /// have been — see the README's stats-semantics section.
     pub coalesced: u64,
     /// Batch jobs served through [`crate::QueryEngine::submit_batch`].
     pub batches: u64,
     /// Requests that arrived inside a batch job (each still counts in
     /// `completed`).
     pub batched: u64,
+    /// Batch jobs whose leader computations were split across the
+    /// worker pool (adaptive batch splitting; a batch splits only when
+    /// idle capacity and enough leaders exist — see
+    /// [`crate::ServiceConfig::min_sub_batch`]).
+    pub splits: u64,
+    /// Sub-batches carved out of split batch jobs, the splitting
+    /// worker's own share included; each is one batched kernel call on
+    /// one worker. Chunk boundaries respect per-algorithm runs, so a
+    /// many-algorithm batch can carve more sub-batches than the
+    /// fan-out width that executes them (which stays capped at the
+    /// pool's idle capacity plus the owner).
+    pub sub_batches: u64,
     /// Result-cache counters. `cache.capacity` is the configured total
     /// entry budget across all shards — residency never exceeds it (see
     /// [`CacheStats::capacity`]).
@@ -166,6 +181,8 @@ impl fmt::Display for ServiceStats {
         writeln!(f, "│ coalesced queries   │ {:>12} │", self.coalesced)?;
         writeln!(f, "│ batch jobs          │ {:>12} │", self.batches)?;
         writeln!(f, "│ batched requests    │ {:>12} │", self.batched)?;
+        writeln!(f, "│ batch splits        │ {:>12} │", self.splits)?;
+        writeln!(f, "│ sub-batches         │ {:>12} │", self.sub_batches)?;
         writeln!(f, "│ scratch resident    │ {:>11}B │", self.scratch_bytes)?;
         writeln!(f, "│ allocs avoided      │ {:>12} │", self.allocs_avoided)?;
         writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
@@ -249,6 +266,8 @@ mod tests {
             coalesced: 3,
             batches: 12,
             batched: 384,
+            splits: 5,
+            sub_batches: 17,
             cache: CacheStats {
                 hits: 600,
                 misses: 400,
@@ -275,5 +294,8 @@ mod tests {
         assert!(txt.contains("4321"));
         assert!(txt.contains("batch jobs"));
         assert!(txt.contains("384"));
+        assert!(txt.contains("batch splits"));
+        assert!(txt.contains("sub-batches"));
+        assert!(txt.contains("17"));
     }
 }

@@ -20,6 +20,7 @@ fn config() -> ServiceConfig {
         workers: 4,
         cache_capacity: 512,
         cache_shards: 8,
+        ..ServiceConfig::default()
     }
 }
 
@@ -73,7 +74,7 @@ fn batched_replay_is_bit_identical_to_per_request() {
     }
 
     // The batched run actually took the batch path, exercised the cache
-    // through it, and coalesced in-batch duplicates.
+    // through it, and deduplicated in-batch repeats.
     assert_eq!(report.stats.batched, 1000);
     assert!(
         report.stats.batches >= 32,
@@ -86,6 +87,86 @@ fn batched_replay_is_bit_identical_to_per_request() {
         batched.iter().any(|r| !r.cached && !r.coalesced),
         "leader path unexercised"
     );
+    // Per-request accounting holds even through the batch path: every
+    // completed request was counted as exactly one lookup.
+    assert_eq!(
+        report.stats.cache.hits + report.stats.cache.misses,
+        report.stats.completed,
+        "batch path drifted from one-counted-lookup-per-request"
+    );
+}
+
+#[test]
+fn service_stats_are_submission_mode_invariant() {
+    // The same workload replayed serially (one client) through three
+    // fresh engines — per-request, batched unsplit, batched split —
+    // must leave identical traffic counters behind: the batch path may
+    // amortize lookups and computations, but it must *account* per
+    // request, and splitting may move work between workers, but never
+    // change what is counted.
+    let mut rng = StdRng::seed_from_u64(20260730);
+    let graph = bigraph::generators::random_bipartite(90, 90, 1200, &mut rng);
+    let search = CommunitySearch::shared(graph);
+    let spec = WorkloadSpec {
+        n_queries: 400,
+        alpha: 2,
+        beta: 2,
+        algo: Algorithm::Auto,
+        repeat_fraction: 0.5,
+        seed: 5,
+    };
+    let workload = build_workload(&search, &spec);
+    assert_eq!(workload.len(), 400);
+
+    let per_request = QueryEngine::start(search.clone(), config());
+    let (_, _) = replay(&per_request, &workload, 1);
+    let a = per_request.stats();
+    per_request.shutdown();
+
+    let unsplit = QueryEngine::start(
+        search.clone(),
+        ServiceConfig {
+            split_batches: false,
+            ..config()
+        },
+    );
+    let (_, _) = replay_batched(&unsplit, &workload, 1, 32);
+    let b = unsplit.stats();
+    unsplit.shutdown();
+
+    let split = QueryEngine::start(
+        search.clone(),
+        ServiceConfig {
+            min_sub_batch: 2,
+            split_batches: true,
+            ..config()
+        },
+    );
+    // Give the 4 workers a beat to park on the queue so the split
+    // heuristic sees the idle capacity it is supposed to use.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let (_, _) = replay_batched(&split, &workload, 1, 32);
+    let c = split.stats();
+    split.shutdown();
+
+    for (label, s) in [("batched", &b), ("batched+split", &c)] {
+        assert_eq!(a.completed, s.completed, "{label}: completed drifted");
+        assert_eq!(a.cache.hits, s.cache.hits, "{label}: hits drifted");
+        assert_eq!(a.cache.misses, s.cache.misses, "{label}: misses drifted");
+        assert_eq!(a.coalesced, s.coalesced, "{label}: coalesced drifted");
+        assert_eq!(
+            s.cache.hits + s.cache.misses,
+            s.completed,
+            "{label}: lookup accounting broken"
+        );
+    }
+    // A serial client coalesces nothing, in any mode.
+    assert_eq!(a.coalesced, 0);
+    assert!(
+        c.splits > 0,
+        "split engine never split — vacuous comparison"
+    );
+    assert_eq!(b.splits, 0, "unsplit engine must not split");
 }
 
 #[test]

@@ -1,0 +1,296 @@
+//! Integration tests for adaptive batch splitting: a split batch must
+//! be indistinguishable — response by response, counter by counter —
+//! from the same batch served unsplit by one worker, from per-request
+//! submission, and from the single-threaded oracle; and the split path
+//! must stay sound (right-epoch answers, no leaked flights) while
+//! `install` swaps the index under the pool.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scs::{Algorithm, CommunitySearch, QueryWorkspace};
+use scs_service::{
+    build_workload, replay, replay_batched, CommunitySummary, QueryEngine, QueryRequest,
+    ServiceConfig, WorkloadSpec,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn config(split: bool) -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        cache_capacity: 4096,
+        cache_shards: 8,
+        // Aggressive splitting so the fan-out path is exercised hard.
+        min_sub_batch: 2,
+        split_batches: split,
+    }
+}
+
+/// Workers advertise idleness once they park on the job queue; give a
+/// freshly spawned pool a beat to get there so assertions that the
+/// split heuristic *engaged* don't race thread startup. (Correctness
+/// never depends on the idle count — only how much fans out does.)
+fn settle() {
+    std::thread::sleep(std::time::Duration::from_millis(100));
+}
+
+#[test]
+fn split_equals_unsplit_equals_per_request_bit_identically() {
+    let mut rng = StdRng::seed_from_u64(20210415);
+    let graph = bigraph::generators::random_bipartite(120, 120, 1800, &mut rng);
+    let search = CommunitySearch::shared(graph);
+    let spec = WorkloadSpec {
+        n_queries: 900,
+        alpha: 2,
+        beta: 2,
+        algo: Algorithm::Auto,
+        repeat_fraction: 0.5,
+        seed: 11,
+    };
+    let workload = build_workload(&search, &spec);
+    assert_eq!(workload.len(), 900, "core must be populated at (2,2)");
+
+    // One client everywhere: the pool has idle capacity (the scenario
+    // splitting exists for) and a serial submitter makes flags and
+    // counters deterministic, so "bit-identical" can include them.
+    let engine = QueryEngine::start(search.clone(), config(true));
+    settle();
+    let (split_report, split) = replay_batched(&engine, &workload, 1, 64);
+    assert_eq!(engine.inflight_len(), 0, "split batches leaked flights");
+    engine.shutdown();
+
+    let engine = QueryEngine::start(search.clone(), config(false));
+    let (unsplit_report, unsplit) = replay_batched(&engine, &workload, 1, 64);
+    engine.shutdown();
+
+    let engine = QueryEngine::start(search.clone(), config(false));
+    let (per_report, per_request) = replay(&engine, &workload, 1);
+    engine.shutdown();
+
+    assert!(
+        split_report.stats.splits > 0,
+        "split path never engaged — nothing was proven"
+    );
+    assert!(
+        split_report.stats.sub_batches >= 2 * split_report.stats.splits,
+        "splits={} sub_batches={}",
+        split_report.stats.splits,
+        split_report.stats.sub_batches
+    );
+    assert_eq!(unsplit_report.stats.splits, 0);
+
+    let mut ws = QueryWorkspace::new();
+    for (i, req) in workload.iter().enumerate() {
+        let (s, u, p) = (&split[i], &unsplit[i], &per_request[i]);
+        assert_eq!(s.request, *req, "split slot {i} out of order");
+        assert_eq!(u.request, *req, "unsplit slot {i} out of order");
+        assert_eq!(p.request, *req, "per-request slot {i} out of order");
+        assert_eq!(s.summary, u.summary, "slot {i}: split vs unsplit diverged");
+        assert_eq!(
+            s.summary, p.summary,
+            "slot {i}: split vs per-request diverged"
+        );
+        assert_eq!(
+            (s.cached, s.coalesced, s.epoch),
+            (u.cached, u.coalesced, u.epoch),
+            "slot {i}: flags diverged between split and unsplit"
+        );
+        assert_eq!(
+            (s.cached, s.coalesced, s.epoch),
+            (p.cached, p.coalesced, p.epoch),
+            "slot {i}: flags diverged between split and per-request"
+        );
+        let sub = search.significant_community_in(
+            req.q,
+            req.alpha as usize,
+            req.beta as usize,
+            req.algo,
+            &mut ws,
+        );
+        assert_eq!(
+            *s.summary,
+            CommunitySummary::from_subgraph(&sub),
+            "slot {i} diverged from the single-threaded oracle"
+        );
+    }
+
+    // Counter equivalence across all three modes.
+    for (label, r) in [("unsplit", &unsplit_report), ("per-request", &per_report)] {
+        assert_eq!(
+            split_report.stats.completed, r.stats.completed,
+            "completed drifted vs {label}"
+        );
+        assert_eq!(
+            split_report.stats.cache.hits, r.stats.cache.hits,
+            "hits drifted vs {label}"
+        );
+        assert_eq!(
+            split_report.stats.cache.misses, r.stats.cache.misses,
+            "misses drifted vs {label}"
+        );
+        assert_eq!(
+            split_report.stats.coalesced, r.stats.coalesced,
+            "coalesced drifted vs {label}"
+        );
+    }
+}
+
+#[test]
+fn one_giant_batch_fans_out_and_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let graph = bigraph::generators::random_bipartite(150, 150, 2200, &mut rng);
+    let search = CommunitySearch::shared(graph);
+    let engine = QueryEngine::start(
+        search.clone(),
+        ServiceConfig {
+            min_sub_batch: 8,
+            ..config(true)
+        },
+    );
+    settle();
+    // Every vertex twice (two algorithms) in one submission: the
+    // single-big-submitter case the ROADMAP called out, where an
+    // unsplit engine would leave 3 of 4 workers idle.
+    let reqs: Vec<QueryRequest> = search
+        .graph()
+        .vertices()
+        .flat_map(|v| {
+            [
+                QueryRequest::new(v, 2, 2, Algorithm::Peel),
+                QueryRequest::new(v, 1, 2, Algorithm::Expand),
+            ]
+        })
+        .collect();
+    let resps = engine.query_batch(&reqs);
+    let st = engine.stats();
+    assert_eq!(st.splits, 1, "one giant batch must split once");
+    assert!(st.sub_batches >= 2, "sub_batches={}", st.sub_batches);
+    assert_eq!(engine.inflight_len(), 0, "flights leaked");
+    engine.shutdown();
+
+    let mut ws = QueryWorkspace::new();
+    for (req, resp) in reqs.iter().zip(&resps) {
+        assert_eq!(resp.request, *req, "submission order broken");
+        let sub = search.significant_community_in(
+            req.q,
+            req.alpha as usize,
+            req.beta as usize,
+            req.algo,
+            &mut ws,
+        );
+        assert_eq!(
+            *resp.summary,
+            CommunitySummary::from_subgraph(&sub),
+            "{req:?} diverged from the oracle"
+        );
+    }
+}
+
+#[test]
+fn split_batches_stay_sound_under_concurrent_installs() {
+    // Two structurally different graphs of the same shape are installed
+    // alternately while clients hammer the engine with split batches.
+    // Every response's epoch tag must be self-consistent: the summary
+    // must equal the single-threaded oracle on the graph that epoch
+    // served (even epochs = graph A, odd = graph B). At quiescence the
+    // in-flight table must be empty — no flight may leak, however the
+    // sub-batches interleaved with the swaps.
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph_a = bigraph::generators::random_bipartite(80, 80, 1000, &mut rng);
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph_b = bigraph::generators::random_bipartite(80, 80, 1400, &mut rng);
+    let search_a = CommunitySearch::shared(graph_a);
+    let search_b = CommunitySearch::shared(graph_b);
+
+    // Pre-compute both oracles for every key the clients may submit.
+    let keys: Vec<QueryRequest> = search_a
+        .graph()
+        .vertices()
+        .step_by(2)
+        .flat_map(|v| {
+            [
+                QueryRequest::new(v, 2, 2, Algorithm::Auto),
+                QueryRequest::new(v, 1, 2, Algorithm::Peel),
+            ]
+        })
+        .collect();
+    let mut ws = QueryWorkspace::new();
+    let mut expected: HashMap<QueryRequest, [CommunitySummary; 2]> = HashMap::new();
+    for req in &keys {
+        let mut on = |search: &Arc<CommunitySearch>| {
+            let sub = search.significant_community_in(
+                req.q,
+                req.alpha as usize,
+                req.beta as usize,
+                req.algo,
+                &mut ws,
+            );
+            CommunitySummary::from_subgraph(&sub)
+        };
+        expected.insert(*req, [on(&search_a), on(&search_b)]);
+    }
+    assert!(
+        expected.values().any(|[a, b]| a != b),
+        "graphs must disagree somewhere or epoch mixing is undetectable"
+    );
+
+    let engine = QueryEngine::start(
+        search_a.clone(),
+        ServiceConfig {
+            min_sub_batch: 1,
+            ..config(true)
+        },
+    );
+    settle();
+    const INSTALLS: u64 = 12;
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let keys = &keys;
+        let expected = &expected;
+        for c in 0..3u64 {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + c);
+                for _ in 0..25 {
+                    let batch: Vec<QueryRequest> = (0..48)
+                        .map(|_| keys[rng.gen_range(0..keys.len())])
+                        .collect();
+                    for resp in engine.query_batch(&batch) {
+                        let want = &expected[&resp.request][(resp.epoch % 2) as usize];
+                        assert_eq!(
+                            *resp.summary, *want,
+                            "epoch {} answer for {:?} does not match that epoch's graph \
+                             (cached={} coalesced={})",
+                            resp.epoch, resp.request, resp.cached, resp.coalesced
+                        );
+                    }
+                }
+            });
+        }
+        scope.spawn(move || {
+            for i in 0..INSTALLS {
+                std::thread::sleep(std::time::Duration::from_millis(7));
+                let next = if i % 2 == 0 {
+                    search_b.clone()
+                } else {
+                    search_a.clone()
+                };
+                engine.install(next);
+            }
+        });
+    });
+
+    let st = engine.stats();
+    assert_eq!(st.epoch, INSTALLS, "installer must have finished");
+    assert!(st.splits > 0, "split path never engaged under installs");
+    assert_eq!(
+        st.cache.hits + st.cache.misses,
+        st.completed,
+        "per-request lookup accounting broke under installs"
+    );
+    assert_eq!(
+        engine.inflight_len(),
+        0,
+        "a flight leaked across the epoch swaps"
+    );
+    engine.shutdown();
+}

@@ -52,6 +52,7 @@ fn thousand_concurrent_queries_match_single_threaded_oracle() {
             workers: 4,
             cache_capacity: 512,
             cache_shards: 8,
+            ..ServiceConfig::default()
         },
     );
     let (report, responses) = replay(&engine, &workload, 8);
@@ -116,6 +117,7 @@ fn mixed_algorithms_and_parameters_match_oracle() {
             workers: 6,
             cache_capacity: 4096,
             cache_shards: 8,
+            ..ServiceConfig::default()
         },
     );
     let (_, responses) = replay(&engine, &doubled, 6);
@@ -137,6 +139,7 @@ fn epoch_swap_serves_updated_index_without_restart() {
             workers: 4,
             cache_capacity: 256,
             cache_shards: 4,
+            ..ServiceConfig::default()
         },
     );
 
