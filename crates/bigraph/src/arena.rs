@@ -1,0 +1,525 @@
+//! Bump-arena storage for query *results*.
+//!
+//! The workspace layer ([`crate::workspace`]) made the query pipeline's
+//! scratch allocation-free; results were the last per-query heap
+//! traffic: every answer materialised its edge list in a fresh
+//! `Vec<EdgeId>`. A [`ResultArena`] removes that cost. It owns a small
+//! pool of fixed-size **slabs** (flat `EdgeId` arrays) and hands out
+//! result storage by bump allocation: storing a result copies its edge
+//! ids into the tail of the current slab and returns an [`ArenaEdges`]
+//! handle — a shared, immutable view that can be cached and shipped
+//! across threads like a `Vec`, at the price of one refcount bump per
+//! clone and **zero** allocations per store once the pool is warm.
+//!
+//! # Slab lifecycle
+//!
+//! ```text
+//!   open ──fill──▶ sealed ──all handles dropped──▶ free ──reuse──▶ open
+//!                     ▲                              │ (generation += 1)
+//!                     └── live handles pin the slab ─┘
+//! ```
+//!
+//! * Every slab is owned by its arena's pool forever (an `Arc` held in
+//!   `pool`); handles hold additional `Arc`s.
+//! * A slab is **recycled** only when the arena observes
+//!   `Arc::strong_count == 1`, i.e. no handle anywhere references it —
+//!   so a live handle (a cached result, a response a client still
+//!   holds, a summary published by another worker's sub-batch) pins its
+//!   slab and can never observe recycled storage.
+//! * Recycling bumps the slab's **generation** tag. Handles record the
+//!   generation they were created under; [`ArenaEdges::pinned`] lets
+//!   tests prove the invariant (a live handle's generation always
+//!   matches its slab's).
+//!
+//! The arena is single-owner (`&mut self` to store); one arena per
+//! worker thread is the intended deployment, mirroring the per-worker
+//! workspaces. Handles are `Send + Sync`.
+//!
+//! # Safety
+//!
+//! Slab contents are written through [`std::cell::UnsafeCell`] while
+//! earlier regions of the same slab may be read through handles. This
+//! is sound because the regions are disjoint and frozen:
+//!
+//! * only the owning arena writes, and only at `fill..` (the unfrozen
+//!   tail); every handle covers a range below the `fill` at its
+//!   creation, which never shrinks within a generation;
+//! * a generation reset (`fill = 0`) requires `strong_count == 1`, and
+//!   an `Acquire` fence after that observation pairs with `Arc`'s
+//!   `Release` refcount decrement, so the last handle's final reads —
+//!   on any thread — happen-before the overwrites;
+//! * cross-thread visibility of the writes is established by whatever
+//!   synchronisation transfers the handle (a mutex-protected cache or
+//!   flight table, a channel) — the same argument as for any `Send`
+//!   value.
+
+use crate::graph::EdgeId;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default slab capacity in edges (256 KiB of `EdgeId`s): large enough
+/// that slab turnover is rare, small enough that a pinned slab is cheap
+/// to keep resident.
+pub const DEFAULT_SLAB_EDGES: usize = 1 << 16;
+
+/// One fixed-capacity storage block. Created by a [`ResultArena`],
+/// shared with [`ArenaEdges`] handles, recycled in place (generation
+/// bump) when no handle references it.
+pub struct Slab {
+    data: Box<[UnsafeCell<EdgeId>]>,
+    generation: AtomicU64,
+}
+
+// SAFETY: concurrent access is write-once-then-read-only per region —
+// see the module-level safety argument.
+unsafe impl Sync for Slab {}
+
+impl Slab {
+    fn with_capacity(cap: usize) -> Slab {
+        Slab {
+            data: (0..cap).map(|_| UnsafeCell::new(EdgeId(0))).collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in edges.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The current generation (bumped on every recycle).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+impl fmt::Debug for Slab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("capacity", &self.capacity())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+/// The process-wide zero-capacity slab backing empty results, so that
+/// storing an empty edge list never opens (or consumes) real storage.
+fn empty_slab() -> Arc<Slab> {
+    static EMPTY: OnceLock<Arc<Slab>> = OnceLock::new();
+    EMPTY
+        .get_or_init(|| Arc::new(Slab::with_capacity(0)))
+        .clone()
+}
+
+/// A shared, immutable edge-id list stored in an arena slab — the
+/// allocation-free stand-in for an owned `Vec<EdgeId>` result.
+///
+/// Cloning is a refcount bump. The handle pins its slab: as long as it
+/// (or any clone) lives, the slab cannot be recycled, so
+/// [`Self::as_slice`] is always the bytes that were stored.
+#[derive(Clone)]
+pub struct ArenaEdges {
+    slab: Arc<Slab>,
+    off: u32,
+    len: u32,
+    generation: u64,
+}
+
+impl ArenaEdges {
+    /// An empty result; backed by the shared zero-capacity slab, so no
+    /// arena (and no allocation, after the first call process-wide) is
+    /// needed.
+    pub fn empty() -> ArenaEdges {
+        ArenaEdges {
+            slab: empty_slab(),
+            off: 0,
+            len: 0,
+            generation: 0,
+        }
+    }
+
+    /// The stored edge ids (sorted and deduplicated if the producer
+    /// stored them so — the kernels do).
+    pub fn as_slice(&self) -> &[EdgeId] {
+        // SAFETY: the range [off, off+len) was fully written before the
+        // handle was created and is frozen while any handle pins the
+        // slab (see the module-level argument). UnsafeCell<EdgeId> is
+        // layout-compatible with EdgeId.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.slab
+                    .data
+                    .as_ptr()
+                    .cast::<EdgeId>()
+                    .add(self.off as usize),
+                self.len as usize,
+            )
+        }
+    }
+
+    /// Number of stored edges.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` iff no edge is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slab generation this handle was created under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The backing slab's *current* generation.
+    pub fn slab_generation(&self) -> u64 {
+        self.slab.generation()
+    }
+
+    /// `true` iff the backing storage still belongs to this handle's
+    /// generation. For a live handle this is **always** true (the
+    /// handle's refcount prevents recycling); tests assert it to prove
+    /// the recycling protocol can never pull storage out from under a
+    /// live result.
+    pub fn pinned(&self) -> bool {
+        self.generation == self.slab.generation()
+    }
+}
+
+impl fmt::Debug for ArenaEdges {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArenaEdges")
+            .field("edges", &self.as_slice())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl PartialEq for ArenaEdges {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for ArenaEdges {}
+
+/// Reuse accounting for a [`ResultArena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slabs owned by the arena (free, open or pinned).
+    pub slabs: usize,
+    /// Total slab storage, bytes — the price of keeping results
+    /// allocation-free.
+    pub resident_bytes: usize,
+    /// Results stored since construction.
+    pub stored: u64,
+    /// Edges stored since construction.
+    pub edges_stored: u64,
+    /// Slab recycles (generation bumps) — stores served by reclaiming
+    /// storage whose results had all been dropped.
+    pub recycled: u64,
+    /// Fresh slab allocations (the arena's only allocator traffic).
+    pub allocated: u64,
+}
+
+/// Bump allocator for query results over recyclable slabs. See the
+/// [module docs](self) for the lifecycle and safety argument.
+#[derive(Debug, Default)]
+pub struct ResultArena {
+    pool: Vec<Arc<Slab>>,
+    current: Option<Open>,
+    slab_edges: usize,
+    stored: u64,
+    edges_stored: u64,
+    recycled: u64,
+    allocated: u64,
+}
+
+#[derive(Debug)]
+struct Open {
+    slab: Arc<Slab>,
+    fill: usize,
+}
+
+impl ResultArena {
+    /// An arena with the default slab capacity
+    /// ([`DEFAULT_SLAB_EDGES`]). No slab is allocated until the first
+    /// nonempty store.
+    pub fn new() -> ResultArena {
+        ResultArena::with_slab_capacity(DEFAULT_SLAB_EDGES)
+    }
+
+    /// An arena whose slabs hold `slab_edges` edges each (clamped into
+    /// `1..=u32::MAX` — handle offsets are `u32`, so a larger slab
+    /// could wrap them). Oversized results get a dedicated right-sized
+    /// slab.
+    pub fn with_slab_capacity(slab_edges: usize) -> ResultArena {
+        ResultArena {
+            slab_edges: slab_edges.clamp(1, u32::MAX as usize),
+            ..ResultArena::default()
+        }
+    }
+
+    /// Copies `edges` into slab storage and returns the handle. With a
+    /// warm pool (every previously stored result dropped, or capacity
+    /// already grown to the live set) this performs **zero** heap
+    /// allocations; a store that finds no free slab allocates one and
+    /// counts it in [`ArenaStats::allocated`].
+    ///
+    /// A result at least one slab long gets a **dedicated** slab that
+    /// never becomes the bump target: oversized results never share
+    /// storage, so one long-lived big result can only pin itself —
+    /// without this, a big slab would fill with small results of mixed
+    /// lifetimes and residency would grow with traffic instead of with
+    /// the live set.
+    pub fn store(&mut self, edges: &[EdgeId]) -> ArenaEdges {
+        self.stored += 1;
+        if edges.is_empty() {
+            return ArenaEdges::empty();
+        }
+        let n = edges.len();
+        assert!(u32::try_from(n).is_ok(), "result exceeds u32 edge count");
+        if n >= self.slab_edges {
+            let slab = self.acquire_slab(n, usize::MAX);
+            let handle = Self::write(&slab, 0, edges);
+            self.edges_stored += n as u64;
+            return handle;
+        }
+        let has_room = self
+            .current
+            .as_ref()
+            .is_some_and(|c| c.fill + n <= c.slab.capacity());
+        if !has_room {
+            // Seal: drop the arena's extra ref so the (possibly
+            // still-pinned) slab can become free once its handles drop.
+            // The bump target is capped at the nominal slab size so a
+            // freed *dedicated* (oversized) slab is never repurposed as
+            // the shared bump slab — it stays reserved for big results.
+            self.current = None;
+            let slab = self.acquire_slab(self.slab_edges, self.slab_edges);
+            self.current = Some(Open { slab, fill: 0 });
+        }
+        let cur = self.current.as_mut().expect("slab opened above");
+        let handle = Self::write(&cur.slab, cur.fill, edges);
+        cur.fill += n;
+        self.edges_stored += n as u64;
+        handle
+    }
+
+    /// Copies `edges` into `slab` at `off` and returns the handle.
+    /// `off` always fits a `u32`: slab capacities are clamped to
+    /// `u32::MAX` (bump slabs) or equal a `u32`-checked result length
+    /// (dedicated slabs), and `off + edges.len() <= capacity`.
+    fn write(slab: &Arc<Slab>, off: usize, edges: &[EdgeId]) -> ArenaEdges {
+        debug_assert!(u32::try_from(off).is_ok(), "offset exceeds u32");
+        for (i, &e) in edges.iter().enumerate() {
+            // SAFETY: [off, off+n) is unreferenced storage — either the
+            // unfrozen tail of the open slab or a freshly
+            // acquired dedicated slab (module-level argument).
+            unsafe { *slab.data[off + i].get() = e };
+        }
+        ArenaEdges {
+            slab: slab.clone(),
+            off: off as u32,
+            len: edges.len() as u32,
+            generation: slab.generation.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A slab with room for `need` edges and capacity at most `max`:
+    /// the best-fitting free pooled slab (smallest adequate capacity —
+    /// big slabs are kept for big results), recycled in place with a
+    /// generation bump, else a freshly allocated one of `need` edges.
+    fn acquire_slab(&mut self, need: usize, max: usize) -> Arc<Slab> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, s) in self.pool.iter().enumerate() {
+            let cap = s.capacity();
+            if cap >= need
+                && cap <= max
+                && Arc::strong_count(s) == 1
+                && best.is_none_or(|(_, best_cap)| cap < best_cap)
+            {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let slab = self.pool[i].clone();
+                // strong_count was 1, so no handle exists to observe
+                // the bump or the subsequent overwrites — but the last
+                // handle may have been dropped on *another* thread, and
+                // its final reads must happen-before our writes. The
+                // Acquire fence pairs with `Arc`'s Release decrement on
+                // drop (the same protocol `Arc::get_mut` uses).
+                std::sync::atomic::fence(Ordering::Acquire);
+                slab.generation.fetch_add(1, Ordering::Release);
+                self.recycled += 1;
+                slab
+            }
+            None => {
+                let slab = Arc::new(Slab::with_capacity(need));
+                self.pool.push(slab.clone());
+                self.allocated += 1;
+                slab
+            }
+        }
+    }
+
+    /// Total slab storage, bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pool.iter().map(|s| s.capacity()).sum::<usize>() * std::mem::size_of::<EdgeId>()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            slabs: self.pool.len(),
+            resident_bytes: self.resident_bytes(),
+            stored: self.stored,
+            edges_stored: self.edges_stored,
+            recycled: self.recycled,
+            allocated: self.allocated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<EdgeId> {
+        xs.iter().map(|&x| EdgeId(x)).collect()
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let mut arena = ResultArena::new();
+        let a = arena.store(&ids(&[1, 2, 5]));
+        let b = arena.store(&ids(&[7]));
+        assert_eq!(a.as_slice(), &ids(&[1, 2, 5])[..]);
+        assert_eq!(b.as_slice(), &ids(&[7])[..]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        // Both results share one slab.
+        assert_eq!(arena.stats().slabs, 1);
+        assert_eq!(arena.stats().stored, 2);
+        assert_eq!(arena.stats().edges_stored, 4);
+        // Clones are views of the same storage.
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert!(a.pinned() && c.pinned());
+    }
+
+    #[test]
+    fn empty_results_need_no_slab() {
+        let mut arena = ResultArena::new();
+        let e = arena.store(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.as_slice(), &[]);
+        assert_eq!(arena.stats().slabs, 0);
+        assert_eq!(arena.stats().resident_bytes, 0);
+        assert!(e.pinned());
+        assert_eq!(e, ArenaEdges::empty());
+    }
+
+    #[test]
+    fn full_slab_is_recycled_when_handles_drop() {
+        let mut arena = ResultArena::with_slab_capacity(4);
+        for round in 0..10 {
+            // Fill the slab and drop the handles immediately: every
+            // round after the first must reuse the same storage.
+            for i in 0..2 {
+                let h = arena.store(&ids(&[i, i + 1]));
+                assert!(h.pinned(), "round {round}");
+            }
+        }
+        let st = arena.stats();
+        assert_eq!(st.slabs, 1, "one slab serves the whole stream");
+        assert_eq!(st.allocated, 1);
+        assert!(st.recycled >= 8, "recycled={}", st.recycled);
+    }
+
+    #[test]
+    fn live_handles_pin_their_slab() {
+        let mut arena = ResultArena::with_slab_capacity(4);
+        let pinned = arena.store(&ids(&[9, 10, 11, 12])); // fills slab 1
+        let gen_at_store = pinned.generation();
+        // The next stores need a new slab: slab 1 is full *and* pinned.
+        for i in 0..20 {
+            arena.store(&ids(&[i, i + 1, i + 2, i + 3]));
+        }
+        assert_eq!(arena.stats().slabs, 2, "pinned slab cannot be recycled");
+        // The pinned handle still reads its original bytes under the
+        // generation it was stored at.
+        assert_eq!(pinned.as_slice(), &ids(&[9, 10, 11, 12])[..]);
+        assert!(pinned.pinned());
+        assert_eq!(pinned.generation(), gen_at_store);
+        assert_eq!(pinned.slab_generation(), gen_at_store);
+        // Dropping it frees the slab for the next turnover.
+        drop(pinned);
+        let before = arena.stats().recycled;
+        for i in 0..20 {
+            arena.store(&ids(&[i, i + 1, i + 2, i + 3]));
+        }
+        assert_eq!(arena.stats().slabs, 2, "no further growth");
+        assert!(arena.stats().recycled > before);
+    }
+
+    #[test]
+    fn oversized_result_gets_dedicated_slab() {
+        let mut arena = ResultArena::with_slab_capacity(2);
+        let big = arena.store(&ids(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(big.len(), 8);
+        assert_eq!(big.as_slice()[7], EdgeId(7));
+        let st = arena.stats();
+        assert_eq!(st.slabs, 1);
+        assert_eq!(st.resident_bytes, 8 * std::mem::size_of::<EdgeId>());
+    }
+
+    #[test]
+    fn handles_read_correctly_across_threads() {
+        let mut arena = ResultArena::new();
+        let h = arena.store(&ids(&[3, 1, 4, 1, 5]));
+        let h2 = h.clone();
+        let joined = std::thread::spawn(move || h2.as_slice().to_vec())
+            .join()
+            .unwrap();
+        assert_eq!(joined, ids(&[3, 1, 4, 1, 5]));
+        assert!(h.pinned());
+    }
+
+    #[test]
+    fn freed_dedicated_slab_never_becomes_the_bump_target() {
+        let mut arena = ResultArena::with_slab_capacity(4);
+        // A big result gets a dedicated 12-cap slab; dropping it frees
+        // the slab but must NOT make it the shared bump slab — else one
+        // long-lived small result would pin 12 slots.
+        let big = arena.store(&ids(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]));
+        drop(big);
+        let small = arena.store(&ids(&[1, 2]));
+        assert_eq!(small.as_slice(), &ids(&[1, 2])[..]);
+        // The small store opened a fresh 4-cap bump slab instead of
+        // recycling the 12-cap one.
+        assert_eq!(arena.stats().slabs, 2);
+        assert_eq!(arena.stats().recycled, 0);
+        // The 12-cap slab is still recycled for the next big result.
+        let big2 = arena.store(&ids(&[5, 6, 7, 8, 9, 10]));
+        assert_eq!(big2.len(), 6);
+        assert_eq!(arena.stats().recycled, 1);
+        assert_eq!(arena.stats().slabs, 2);
+    }
+
+    #[test]
+    fn generation_tags_advance_only_on_recycle() {
+        let mut arena = ResultArena::with_slab_capacity(2);
+        let a = arena.store(&ids(&[1, 2]));
+        assert_eq!(a.generation(), 0);
+        drop(a);
+        let b = arena.store(&ids(&[3, 4])); // forces a recycle of slab 1
+        assert_eq!(b.generation(), 1);
+        assert!(b.pinned());
+        assert_eq!(arena.stats().recycled, 1);
+    }
+}

@@ -64,6 +64,7 @@ pub use index::{BasicIndex, DeltaIndex, DynamicIndex};
 pub use query::{scs_baseline, scs_binary, scs_expand, scs_peel};
 pub use workspace::QueryWorkspace;
 
+use bigraph::arena::{ArenaEdges, ResultArena};
 use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
 use std::fmt;
 use std::sync::Arc;
@@ -275,6 +276,51 @@ impl CommunitySearch {
         }
     }
 
+    /// [`Self::significant_community_into`] storing the result in
+    /// arena storage: the community's sorted edge ids are copied into a
+    /// slab of `arena` and the returned [`ArenaEdges`] handle pins
+    /// them. With a warm `ws` **and** a warm arena (a free slab — every
+    /// result of a retired generation dropped), a repeated query
+    /// performs zero heap allocations *including the result itself* —
+    /// the contract the serving layer's leader path is built on.
+    pub fn significant_community_arena(
+        &self,
+        q: Vertex,
+        alpha: usize,
+        beta: usize,
+        algorithm: Algorithm,
+        ws: &mut QueryWorkspace,
+        arena: &mut ResultArena,
+    ) -> ArenaEdges {
+        let mut out = std::mem::take(&mut ws.result);
+        self.significant_community_into(q, alpha, beta, algorithm, ws, &mut out);
+        let stored = arena.store(&out);
+        ws.result = out;
+        stored
+    }
+
+    /// Batch form of [`Self::significant_community_arena`]: answers
+    /// every query through one workspace and one arena, pushing one
+    /// handle per query into `outs` (cleared first; previous handles
+    /// are released, returning their slab space to circulation once
+    /// nothing else pins it). Warm, a repeated batch is allocation-free
+    /// end to end.
+    pub fn significant_communities_arena(
+        &self,
+        queries: &[(Vertex, usize, usize)],
+        algorithm: Algorithm,
+        ws: &mut QueryWorkspace,
+        arena: &mut ResultArena,
+        outs: &mut Vec<ArenaEdges>,
+    ) {
+        outs.clear();
+        outs.reserve(queries.len());
+        for &(q, alpha, beta) in queries {
+            let stored = self.significant_community_arena(q, alpha, beta, algorithm, ws, arena);
+            outs.push(stored);
+        }
+    }
+
     /// Fully allocation-free query: `out` is cleared and receives the
     /// sorted edge ids of the significant (α,β)-community. With a warm
     /// `ws` and a warm `out`, a repeated query performs zero heap
@@ -392,6 +438,40 @@ mod tests {
         // Empty batch: no results, no panic.
         search.significant_communities_into(&[], Algorithm::Auto, &mut ws, &mut outs);
         assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn arena_results_match_vec_results() {
+        let search = CommunitySearch::new(figure2_example());
+        let g = search.graph();
+        let queries: Vec<(Vertex, usize, usize)> = (0..g.n_upper())
+            .flat_map(|i| [(g.upper(i), 2, 2), (g.upper(i), 1, 1)])
+            .collect();
+        let mut ws = QueryWorkspace::new();
+        let mut arena = ResultArena::new();
+        let mut handles = Vec::new();
+        for algo in Algorithm::ALL {
+            search.significant_communities_arena(&queries, algo, &mut ws, &mut arena, &mut handles);
+            assert_eq!(handles.len(), queries.len());
+            for (&(q, a, b), stored) in queries.iter().zip(&handles) {
+                let solo = search.significant_community(q, a, b, algo);
+                assert_eq!(
+                    stored.as_slice(),
+                    solo.edges(),
+                    "q={q:?} α={a} β={b} {algo}"
+                );
+                assert!(stored.pinned());
+            }
+        }
+        // Single-query form agrees too, sharing the same arena.
+        let q = g.upper(2);
+        let one = search.significant_community_arena(q, 2, 2, Algorithm::Peel, &mut ws, &mut arena);
+        assert_eq!(
+            one.as_slice(),
+            search
+                .significant_community(q, 2, 2, Algorithm::Peel)
+                .edges()
+        );
     }
 
     #[test]

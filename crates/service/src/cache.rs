@@ -5,6 +5,15 @@
 //! independently locked shards (keys are assigned by hash), each holding
 //! an O(1) intrusive-list LRU. Hit/miss counters are process-wide
 //! atomics so [`CacheStats`] needs no locks to read.
+//!
+//! Values are stored by value and dropped on eviction (or [`clear`], the
+//! epoch-swap path) — which is the service's arena-recycling hook: an
+//! evicted `QueryResponse` releases its summary's [`bigraph::arena`]
+//! slab handle, and once a slab's last handle is gone the owning worker
+//! recycles it in place. No explicit eviction callback is needed; the
+//! `Drop` is the hook.
+//!
+//! [`clear`]: ShardedCache::clear
 
 use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
 use std::collections::HashMap;

@@ -3,18 +3,43 @@
 //!
 //! Life of a request:
 //!
-//! 1. [`QueryEngine::submit`] pushes a job onto the mpsc queue and
-//!    returns a [`ResponseHandle`]; [`QueryEngine::query`] is the
-//!    blocking convenience.
+//! 1. [`QueryEngine::submit`] pushes a job onto the queue and returns a
+//!    [`ResponseHandle`]; [`QueryEngine::query`] is the blocking
+//!    convenience.
 //! 2. A worker dequeues, checks the sharded LRU cache, and on a hit
 //!    responds immediately (`cached = true`).
 //! 3. On a miss it joins the in-flight table. The first thread for a key
-//!    becomes the *leader* and computes `significant_community` on the
+//!    becomes the *leader* and computes the significant community on the
 //!    current index snapshot; threads that arrive while the leader runs
 //!    become *followers* and block on the flight's condvar instead of
 //!    duplicating work (`coalesced = true`).
 //! 4. The leader publishes the response, installs it in the cache and
 //!    wakes the followers.
+//!
+//! # The warm leader path allocates nothing
+//!
+//! Together with the per-worker [`QueryWorkspace`] (PR 2) and
+//! [`ResultArena`], every piece of per-request state is recycled, so a
+//! warm engine serves leader queries with **zero** heap allocations end
+//! to end (proven by `tests/alloc_free_service.rs`):
+//!
+//! * the job queue is a mutex-protected ring (`VecDeque`) instead of a
+//!   node-allocating channel;
+//! * reply slots ([`ReplyCell`]) and flights are pooled `Arc`s, reused
+//!   whenever their refcount proves nothing else holds them;
+//! * results are written into the worker's [`ResultArena`] — the
+//!   [`crate::CommunitySummary`] wraps a slab view, not a fresh `Vec` —
+//!   and [`crate::QueryResponse`] travels **by value** (cloning is a
+//!   refcount bump), so there is no `Arc::new` per response;
+//! * cache entries hold responses by value; **eviction (or an
+//!   epoch-swap clear) drops the entry's slab handle, and once every
+//!   handle of a slab's generation is gone the owning worker recycles
+//!   the slab in place** — live handles, including results published to
+//!   other threads by a split batch, pin their slab via refcount and a
+//!   generation tag proves they can never observe recycled storage;
+//! * batch bookkeeping (slot grouping, leader/follower partitions,
+//!   sub-batch descriptors) lives in per-worker scratch and a pooled
+//!   [`BatchShared`], all capacity-retaining.
 //!
 //! Batches ([`QueryEngine::submit_batch`]) ride the same machinery with
 //! the per-request overheads paid once: one job carries the whole batch
@@ -22,7 +47,7 @@
 //! looks every *unique* key up in the cache once, partitions the misses
 //! into leaders / followers / stale up front, and answers the leaders
 //! through batched kernel calls
-//! ([`scs::CommunitySearch::significant_communities_in`]). Responses
+//! ([`scs::CommunitySearch::significant_communities_arena`]). Responses
 //! come back in submission order; duplicate keys inside a batch are
 //! computed once and the extra slots answered exactly as a serial
 //! resubmission would be, so [`ServiceStats`] cannot drift between
@@ -39,14 +64,16 @@
 //! advertised with [`Job::Sub`] wake-up hints. Any worker —
 //! the batch owner included — claims and runs sub-batches; each one is
 //! pure compute-and-publish (one batched kernel call, each leader's
-//! flight and cache entry published the moment its summary exists), so
-//! a sub-batch can never wait on another flight and the owner's join
-//! can never deadlock. The owner drains whatever the pool does not
-//! claim, waits for the stragglers, and only then — with every one of
-//! its leaders published — blocks on stale retries and followers,
-//! preserving the no-deadlock ordering argument of the unsplit path.
-//! Results are bit-identical to the unsplit (and per-request) path; the
-//! split only changes which thread runs which leader.
+//! flight and cache entry published the moment its summary exists —
+//! into the *executing* worker's arena, whose slab the published
+//! handles pin), so a sub-batch can never wait on another flight and
+//! the owner's join can never deadlock. The owner drains whatever the
+//! pool does not claim, waits for the stragglers, and only then — with
+//! every one of its leaders published — blocks on stale retries and
+//! followers, preserving the no-deadlock ordering argument of the
+//! unsplit path. Results are bit-identical to the unsplit (and
+//! per-request) path; the split only changes which thread runs which
+//! leader.
 //!
 //! [`QueryEngine::install`] atomically replaces the index (one
 //! write-lock), bumps the epoch and clears the cache, so a rebuilt index
@@ -64,11 +91,11 @@
 use crate::cache::ShardedCache;
 use crate::stats::{LatencyHistogram, ServiceStats};
 use crate::{CommunitySummary, QueryRequest, QueryResponse};
+use bigraph::arena::ResultArena;
 use bigraph::Vertex;
 use scs::{Algorithm, CommunitySearch, QueryWorkspace};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -94,6 +121,12 @@ pub struct ServiceConfig {
     /// the `scs serve-bench --no-split` escape hatch); results are
     /// identical either way.
     pub split_batches: bool,
+    /// Edge capacity of each result-arena slab (per worker). Smaller
+    /// slabs turn over — and recycle — faster at the cost of more
+    /// pinned-slab fragmentation; the default
+    /// ([`bigraph::arena::DEFAULT_SLAB_EDGES`]) suits production, tests
+    /// shrink it to exercise recycling. Clamped to ≥ 1.
+    pub arena_slab_edges: usize,
 }
 
 impl Default for ServiceConfig {
@@ -104,6 +137,7 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             min_sub_batch: 8,
             split_batches: true,
+            arena_slab_edges: bigraph::arena::DEFAULT_SLAB_EDGES,
         }
     }
 }
@@ -113,7 +147,7 @@ enum FlightState {
     /// Leader still computing.
     Pending,
     /// Leader published.
-    Done(Arc<QueryResponse>),
+    Done(QueryResponse),
     /// Leader unwound without publishing (panic in the query code).
     Poisoned,
 }
@@ -122,15 +156,17 @@ enum FlightState {
 /// fills `slot`. `epoch` is the index epoch the leader computes on —
 /// followers only join flights of the epoch they themselves observed as
 /// current, so a post-install request can never coalesce onto a
-/// pre-install computation.
+/// pre-install computation. Flights are pooled: after the guard removes
+/// one from the table it returns to [`Inner::flight_pool`], and it is
+/// reset and reused once its last follower drops its reference.
 struct Flight {
-    epoch: u64,
+    epoch: AtomicU64,
     slot: Mutex<FlightState>,
     cv: Condvar,
 }
 
 impl Flight {
-    fn wait(&self) -> Option<Arc<QueryResponse>> {
+    fn wait(&self) -> Option<QueryResponse> {
         let mut slot = self.slot.lock().unwrap();
         loop {
             match &*slot {
@@ -158,7 +194,8 @@ enum Role {
 /// Cleans a leader's flight out of the in-flight table even if the
 /// query code panics: on unwind the flight is poisoned (waking every
 /// follower, who re-panic with context instead of blocking forever)
-/// and removed so the key is not permanently wedged.
+/// and removed so the key is not permanently wedged. The flight then
+/// returns to the pool for reuse.
 ///
 /// Owns an `Arc` to the engine state (not a borrow) so a guard can ride
 /// a split batch's sub-batch to another worker thread.
@@ -170,7 +207,7 @@ struct FlightGuard {
 }
 
 impl FlightGuard {
-    fn publish(&mut self, resp: Arc<QueryResponse>) {
+    fn publish(&mut self, resp: QueryResponse) {
         self.flight.publish(FlightState::Done(resp));
         self.published = true;
     }
@@ -183,31 +220,52 @@ impl Drop for FlightGuard {
         }
         // Remove only our own flight — a newer-epoch leader may have
         // replaced the entry under this key.
-        let mut map = self.inner.inflight.lock().unwrap();
-        if map
-            .get(&self.key)
-            .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
         {
-            map.remove(&self.key);
+            let mut map = self.inner.inflight.lock().unwrap();
+            if map
+                .get(&self.key)
+                .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
+            {
+                map.remove(&self.key);
+            }
         }
+        // Pool the flight. If no follower holds it (the common case —
+        // it is out of the table, so none can appear), drop the
+        // published response now rather than at reuse: a stale `Done`
+        // would pin its summary's arena slab for as long as the flight
+        // sat in the pool. Followers may still hold references
+        // otherwise; the pool only hands the flight back out once the
+        // refcount proves they are gone.
+        if Arc::strong_count(&self.flight) == 1 {
+            *self.flight.slot.lock().unwrap() = FlightState::Pending;
+        }
+        self.inner.flight_pool.put(self.flight.clone());
     }
 }
 
-/// One leader computation of a batch: the flight to publish plus every
-/// submission slot its key answers (first slot = the leader's own).
-type Unit = (FlightGuard, Vec<usize>);
+/// One leader computation of a batch: the flight to publish plus the
+/// submission slots its key answers, as a `(start, end)` range into a
+/// slot store (the owner's grouped slot table inline, the shared copy
+/// when split). Slot `store[start]` is the leader's own.
+struct Unit {
+    guard: FlightGuard,
+    slots: (u32, u32),
+}
 
 /// One fanned-out share of a split batch: a same-algorithm run of
-/// leader units that one worker answers through one batched kernel
-/// call. A popped chunk is owned by its executor, so its flight guards
-/// poison-and-clean on a panic exactly like an inline leader's.
-struct SubChunk {
+/// leader units (a range into [`BatchShared::units`]) that one worker
+/// answers through one batched kernel call. Whoever pops a range owns
+/// its units, so their flight guards poison-and-clean on a panic
+/// exactly like an inline leader's.
+struct SubRange {
     algo: Algorithm,
-    units: Vec<Unit>,
+    units: std::ops::Range<usize>,
 }
 
 /// Join state shared between a splitting batch owner and the workers
-/// that claim its sub-batches.
+/// that claim its sub-batches. Pooled and recycled across batches: all
+/// contained buffers retain capacity, so a warm split batch allocates
+/// nothing.
 struct BatchShared {
     /// The owner's index snapshot: every sub-batch computes on it, so a
     /// split batch is as epoch-consistent as an unsplit one.
@@ -216,15 +274,22 @@ struct BatchShared {
     /// The batch's dequeue time — response `service_us` is measured
     /// from it on every worker, as in the unsplit path.
     t0: Instant,
-    /// Unclaimed sub-batches. Any worker (the owner included) pops and
-    /// executes; a [`Job::Sub`] hint that finds this empty is a no-op.
-    queue: Mutex<Vec<SubChunk>>,
     /// Chunks carved; the owner waits until `done` reaches it.
     total: usize,
+    /// Submission slots of every split unit, grouped per unit (the
+    /// owner copies each unit's group here so executors need no access
+    /// to the owner's scratch). Read-only once hints are posted.
+    slot_store: Vec<u32>,
+    /// The split units; executors `take()` the ones in their claimed
+    /// range.
+    units: Mutex<Vec<Option<Unit>>>,
+    /// Unclaimed sub-batches. Any worker (the owner included) pops and
+    /// executes; a [`Job::Sub`] hint that finds this empty is a no-op.
+    queue: Mutex<Vec<SubRange>>,
     done: Mutex<usize>,
     cv: Condvar,
     /// `(submission slot, response)` pairs from executed chunks.
-    results: Mutex<Vec<(usize, Arc<QueryResponse>)>>,
+    results: Mutex<Vec<(u32, QueryResponse)>>,
 }
 
 /// The slice of batch context every leader-publishing site needs.
@@ -235,6 +300,178 @@ struct BatchCtx<'a> {
     t0: Instant,
 }
 
+/// A pooled one-shot reply slot: the worker `put`s exactly once (or
+/// `abandon`s on panic), the submitter `take`s exactly once. The
+/// **worker** returns the cell to the pool right after answering — the
+/// submitter's own `Arc` keeps it out of circulation until its `wait`
+/// completes (the pool only reissues refcount-1 entries), so by the
+/// time the submitter can submit again the cell is deterministically
+/// free. A cell whose submitter never waited keeps its stale value
+/// until reuse, which resets it.
+struct ReplyCell<T> {
+    state: Mutex<ReplyState<T>>,
+    cv: Condvar,
+}
+
+enum ReplyState<T> {
+    Pending,
+    Done(T),
+    Abandoned,
+}
+
+impl<T> ReplyCell<T> {
+    fn new() -> Self {
+        ReplyCell {
+            state: Mutex::new(ReplyState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the worker answers (`None` if the worker panicked
+    /// and abandoned the cell).
+    fn take(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *state, ReplyState::Pending) {
+                ReplyState::Pending => state = self.cv.wait(state).unwrap(),
+                ReplyState::Done(v) => return Some(v),
+                ReplyState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// Answers a reply cell (`Some` = response, `None` = the computation
+/// panicked) and moves the worker's reference into the pool, **holding
+/// the pool lock across both**. The ordering is what makes warm
+/// submits deterministic: the submitter cannot finish its `take` until
+/// the state lock is released, and cannot reach `take_free` until the
+/// pool lock is released — by which point the cell is pooled and the
+/// worker's reference gone, so after the submitter drops its handle the
+/// cell is free. Without this, the worker's "pool it" step could lag
+/// behind a fast submitter and force a fresh allocation.
+fn respond_and_pool<T>(pool: &ArcPool<ReplyCell<T>>, cell: Arc<ReplyCell<T>>, value: Option<T>) {
+    let mut items = pool.items.lock().unwrap();
+    {
+        let mut state = cell.state.lock().unwrap();
+        *state = match value {
+            Some(v) => ReplyState::Done(v),
+            None => ReplyState::Abandoned,
+        };
+        cell.cv.notify_all();
+    }
+    items.push(cell);
+}
+
+/// A pool of reusable `Arc`'d objects. `take_free` only returns an
+/// entry whose strong count is 1 — nothing else references it, so the
+/// caller may reset and reuse it; busy entries (a follower still
+/// holding a pooled flight, an unconsumed sub-batch hint) stay pooled
+/// until they free up. Warm `put`s push within retained capacity.
+struct ArcPool<T> {
+    items: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> ArcPool<T> {
+    fn new() -> Self {
+        ArcPool {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take_free(&self) -> Option<Arc<T>> {
+        let mut items = self.items.lock().unwrap();
+        let i = items.iter().position(|a| Arc::strong_count(a) == 1)?;
+        Some(items.swap_remove(i))
+    }
+
+    fn put(&self, item: Arc<T>) {
+        self.items.lock().unwrap().push(item);
+    }
+}
+
+/// A pool of reusable plain `Vec`s (cleared on return, capacity kept).
+struct VecPool<T> {
+    items: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> VecPool<T> {
+    fn new() -> Self {
+        VecPool {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take(&self) -> Vec<T> {
+        self.items.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut v: Vec<T>) {
+        v.clear();
+        self.items.lock().unwrap().push(v);
+    }
+}
+
+/// The job queue: a mutex-protected ring with a condvar, in place of a
+/// channel whose every send allocates a node. Workers parked here are
+/// counted in `idle_workers` (the split heuristic's input).
+struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues unless the queue is closed; returns whether it did.
+    fn push(&self, job: Job) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if !state.open {
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Dequeues, advertising idleness while parked. `None` once the
+    /// queue is closed **and** drained — pending jobs are always
+    /// served.
+    fn pop(&self, idle: &AtomicUsize) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            idle.fetch_add(1, Ordering::Relaxed);
+            state = self.cv.wait(state).unwrap();
+            idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().open = false;
+        self.cv.notify_all();
+    }
+}
+
 /// Per-worker scratch accounting, published after every served request
 /// so [`QueryEngine::stats`] can aggregate without touching the
 /// workspaces themselves (they are owned by the worker threads).
@@ -242,15 +479,20 @@ struct BatchCtx<'a> {
 struct ScratchSlot {
     /// Resident bytes of the worker's [`QueryWorkspace`].
     bytes: AtomicUsize,
+    /// Resident bytes of the worker's [`ResultArena`] slabs.
+    arena_bytes: AtomicUsize,
     /// Cumulative scratch acquisitions served without allocating.
     allocs_avoided: AtomicU64,
+    /// Cumulative slab recycles in the worker's arena.
+    arena_recycled: AtomicU64,
 }
 
 /// Shared state between the engine handle and its workers.
 struct Inner {
     search: RwLock<(Arc<CommunitySearch>, u64)>,
-    cache: ShardedCache<QueryRequest, Arc<QueryResponse>>,
+    cache: ShardedCache<QueryRequest, QueryResponse>,
     inflight: Mutex<HashMap<QueryRequest, Arc<Flight>>>,
+    queue: JobQueue,
     hist: LatencyHistogram,
     completed: AtomicU64,
     coalesced: AtomicU64,
@@ -258,19 +500,19 @@ struct Inner {
     batched: AtomicU64,
     splits: AtomicU64,
     sub_batches: AtomicU64,
-    /// Workers currently blocked on (or about to block on) the job
-    /// queue — the idle capacity the split heuristic consults. Reads
-    /// are advisory: a stale count only mis-sizes a split, never
-    /// mis-answers one.
+    /// Workers currently parked on the job queue — the idle capacity
+    /// the split heuristic consults. Reads are advisory: a stale count
+    /// only mis-sizes a split, never mis-answers one.
     idle_workers: AtomicUsize,
-    /// Queue sender the batch path uses to post [`Job::Sub`] wake-up
-    /// hints. Taken (to `None`) on shutdown so the channel can
-    /// disconnect; a missing sender only costs parallelism — the batch
-    /// owner runs every sub-batch itself.
-    sub_tx: Mutex<Option<Sender<Job>>>,
     min_sub_batch: usize,
     split_batches: bool,
     scratch: Vec<ScratchSlot>,
+    reply_pool: ArcPool<ReplyCell<QueryResponse>>,
+    batch_reply_pool: ArcPool<ReplyCell<Vec<QueryResponse>>>,
+    flight_pool: ArcPool<Flight>,
+    shared_pool: ArcPool<BatchShared>,
+    req_pool: VecPool<QueryRequest>,
+    resp_pool: VecPool<QueryResponse>,
     started: Instant,
     workers: usize,
 }
@@ -291,20 +533,71 @@ impl Inner {
     fn join_flight(&self, key: QueryRequest, epoch: u64) -> Role {
         let mut map = self.inflight.lock().unwrap();
         if let Some(flight) = map.get(&key) {
-            if flight.epoch == epoch {
+            let fe = flight.epoch.load(Ordering::Relaxed);
+            if fe == epoch {
                 return Role::Follower(flight.clone());
             }
-            if flight.epoch > epoch {
+            if fe > epoch {
                 return Role::StaleSnapshot;
             }
         }
-        let flight = Arc::new(Flight {
-            epoch,
-            slot: Mutex::new(FlightState::Pending),
-            cv: Condvar::new(),
-        });
+        // Reuse a pooled flight if one is free (refcount 1 ⇒ every
+        // previous follower is gone, so the reset is unobservable).
+        let flight = match self.take_free_flight() {
+            Some(f) => {
+                f.epoch.store(epoch, Ordering::Relaxed);
+                f
+            }
+            None => Arc::new(Flight {
+                epoch: AtomicU64::new(epoch),
+                slot: Mutex::new(FlightState::Pending),
+                cv: Condvar::new(),
+            }),
+        };
         map.insert(key, flight.clone());
         Role::Leader(flight)
+    }
+
+    /// Takes a free pooled flight, sweeping stale state as it scans: a
+    /// flight pooled while its followers were still live keeps its
+    /// `Done` response — which pins an arena slab — until they drop,
+    /// and nothing else ever revisits it. The sweep resets every
+    /// flight that has since become free (the slot already Pending in
+    /// the common case), so a pooled flight pins a slab only until the
+    /// next leader creation or the next install ([`Self::sweep_flights`]
+    /// also runs there, covering all-cache-hit steady states between
+    /// epoch swaps); only traffic that is 100% hits with no installs
+    /// retains the (bounded, transient-follower-sized) residue.
+    fn take_free_flight(&self) -> Option<Arc<Flight>> {
+        let mut pool = self.flight_pool.items.lock().unwrap();
+        let first_free = Self::sweep_flight_slots(&mut pool);
+        first_free.map(|i| pool.swap_remove(i))
+    }
+
+    /// Resets the slot of every free pooled flight (dropping any stale
+    /// published response) and returns the index of one free entry.
+    fn sweep_flight_slots(pool: &mut [Arc<Flight>]) -> Option<usize> {
+        let mut first_free = None;
+        for (i, flight) in pool.iter().enumerate() {
+            if Arc::strong_count(flight) == 1 {
+                let mut slot = flight.slot.lock().unwrap();
+                if !matches!(*slot, FlightState::Pending) {
+                    *slot = FlightState::Pending;
+                }
+                if first_free.is_none() {
+                    first_free = Some(i);
+                }
+            }
+        }
+        first_free
+    }
+
+    /// Sweeps the flight pool without taking anything — called on
+    /// install so stale `Done` responses can't outlive the epoch that
+    /// produced them.
+    fn sweep_flights(&self) {
+        let mut pool = self.flight_pool.items.lock().unwrap();
+        Self::sweep_flight_slots(&mut pool);
     }
 
     fn finish(&self, resp: &QueryResponse) {
@@ -327,7 +620,7 @@ impl Inner {
     /// makes the epoch-check + insert atomic w.r.t. `install`, which
     /// clears the cache under the write lock — so a stale entry can
     /// never land after the clear.
-    fn cache_if_current(&self, req: QueryRequest, resp: &Arc<QueryResponse>, epoch: u64) -> bool {
+    fn cache_if_current(&self, req: QueryRequest, resp: &QueryResponse, epoch: u64) -> bool {
         let lock = self.search.read().unwrap();
         if lock.1 == epoch {
             self.cache.insert(req, resp.clone());
@@ -349,23 +642,129 @@ impl Inner {
         let idle = self.idle_workers.load(Ordering::Relaxed);
         (idle + 1).min(n_units.div_ceil(self.min_sub_batch.max(1)))
     }
+
+    /// A recycled (or fresh) [`BatchShared`] with its plain fields set
+    /// and every buffer empty-but-warm.
+    fn batch_shared(
+        &self,
+        search: Arc<CommunitySearch>,
+        epoch: u64,
+        t0: Instant,
+    ) -> Arc<BatchShared> {
+        match self.shared_pool.take_free() {
+            Some(mut shared) => {
+                let s = Arc::get_mut(&mut shared).expect("pool returned a free entry");
+                s.search = search;
+                s.epoch = epoch;
+                s.t0 = t0;
+                s.total = 0;
+                s.slot_store.clear();
+                s.units.get_mut().unwrap().clear();
+                s.queue.get_mut().unwrap().clear();
+                *s.done.get_mut().unwrap() = 0;
+                s.results.get_mut().unwrap().clear();
+                shared
+            }
+            None => Arc::new(BatchShared {
+                search,
+                epoch,
+                t0,
+                total: 0,
+                slot_store: Vec::new(),
+                units: Mutex::new(Vec::new()),
+                queue: Mutex::new(Vec::new()),
+                done: Mutex::new(0),
+                cv: Condvar::new(),
+                results: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+}
+
+/// The per-worker compute state: the reusable workspace, the result
+/// arena, and the kernel-call staging buffers. One per worker thread,
+/// reused across every query, batch, sub-batch and epoch swap it
+/// serves.
+struct KernelState {
+    ws: QueryWorkspace,
+    arena: ResultArena,
+    /// Batched-kernel query list, rebuilt per run.
+    queries: Vec<(Vertex, usize, usize)>,
+    /// Batched-kernel result handles, drained per run.
+    handles: Vec<bigraph::arena::ArenaEdges>,
+}
+
+impl KernelState {
+    fn new(arena_slab_edges: usize) -> Self {
+        KernelState {
+            ws: QueryWorkspace::new(),
+            arena: ResultArena::with_slab_capacity(arena_slab_edges),
+            queries: Vec::new(),
+            handles: Vec::new(),
+        }
+    }
+}
+
+/// Owner-side batch bookkeeping, all capacity-retaining. The unique-key
+/// table is a counting-sort grouping: key `k` (in first-occurrence
+/// order) answers submission slots
+/// `key_slots[key_start[k]..key_start[k+1]]`, ascending.
+#[derive(Default)]
+struct BatchScratch {
+    out: Vec<Option<QueryResponse>>,
+    keys: Vec<QueryRequest>,
+    key_of_slot: Vec<u32>,
+    key_start: Vec<u32>,
+    key_cursor: Vec<u32>,
+    key_slots: Vec<u32>,
+    first: HashMap<QueryRequest, u32>,
+    miss_keys: Vec<u32>,
+    leaders: Vec<(FlightGuard, u32)>,
+    followers: Vec<(Arc<Flight>, u32)>,
+    stale_keys: Vec<u32>,
+    sink: Vec<(u32, QueryResponse)>,
+    /// One bucket per [`Algorithm::ALL`] entry.
+    algo_units: Vec<Vec<Unit>>,
+}
+
+/// Sub-batch executor scratch, separate from [`BatchScratch`] because a
+/// worker can run another owner's chunks while its own batch scratch is
+/// in use.
+#[derive(Default)]
+struct SubScratch {
+    units: Vec<Unit>,
+    sink: Vec<(u32, QueryResponse)>,
+}
+
+/// Everything a worker thread owns.
+struct WorkerState {
+    kernel: KernelState,
+    batch: BatchScratch,
+    sub: SubScratch,
+}
+
+fn algo_rank(algo: Algorithm) -> usize {
+    Algorithm::ALL
+        .iter()
+        .position(|&a| a == algo)
+        .expect("every algorithm is in ALL")
 }
 
 /// Serves one request with full per-request accounting: one cache
 /// lookup, then — on a miss — the flight protocol of [`serve_miss`].
-fn serve(inner: &Arc<Inner>, req: QueryRequest, ws: &mut QueryWorkspace) -> Arc<QueryResponse> {
+fn serve(inner: &Arc<Inner>, req: QueryRequest, k: &mut KernelState) -> QueryResponse {
     let t0 = Instant::now();
     if let Some(hit) = inner.cache.get(&req) {
-        let resp = Arc::new(QueryResponse {
+        let resp = QueryResponse {
             cached: true,
             coalesced: false,
             service_us: t0.elapsed().as_micros() as u64,
-            ..(*hit).clone()
-        });
+            ..hit
+        };
         inner.finish(&resp);
         return resp;
     }
-    serve_miss(inner, req, ws, t0)
+    serve_miss(inner, req, k, t0)
 }
 
 /// The miss path of [`serve`]: joins (or opens) the flight for `req`
@@ -376,9 +775,9 @@ fn serve(inner: &Arc<Inner>, req: QueryRequest, ws: &mut QueryWorkspace) -> Arc<
 fn serve_miss(
     inner: &Arc<Inner>,
     req: QueryRequest,
-    ws: &mut QueryWorkspace,
+    k: &mut KernelState,
     t0: Instant,
-) -> Arc<QueryResponse> {
+) -> QueryResponse {
     // Epochs are monotonic, so the retry loop terminates: it only
     // loops when an install landed between our snapshot and the
     // join, and each retry re-reads the newer snapshot.
@@ -399,27 +798,29 @@ fn serve_miss(
                 published: false,
             };
             let summary = if Inner::servable(&req, &search) {
-                // The worker's workspace provides every scratch
-                // buffer; only the result itself is allocated.
-                let sub = search.significant_community_in(
+                // The worker's workspace provides every scratch buffer
+                // and its arena the result storage; nothing is
+                // allocated once both are warm.
+                let edges = search.significant_community_arena(
                     req.q,
                     req.alpha as usize,
                     req.beta as usize,
                     req.algo,
-                    ws,
+                    &mut k.ws,
+                    &mut k.arena,
                 );
-                Arc::new(CommunitySummary::from_subgraph(&sub))
+                CommunitySummary::from_arena_edges(search.graph(), edges, &mut k.ws)
             } else {
-                Arc::new(CommunitySummary::empty())
+                CommunitySummary::empty()
             };
-            let resp = Arc::new(QueryResponse {
+            let resp = QueryResponse {
                 request: req,
                 summary,
                 cached: false,
                 coalesced: false,
                 epoch,
                 service_us: t0.elapsed().as_micros() as u64,
-            });
+            };
             inner.cache_if_current(req, &resp, epoch);
             // Publish, then let the guard's Drop clear the table
             // entry: a thread that found this flight always gets an
@@ -434,12 +835,12 @@ fn serve_miss(
             let shared = flight.wait().unwrap_or_else(|| {
                 panic!("in-flight leader for {req:?} panicked before publishing")
             });
-            let resp = Arc::new(QueryResponse {
+            let resp = QueryResponse {
                 cached: false,
                 coalesced: true,
                 service_us: t0.elapsed().as_micros() as u64,
-                ..(*shared).clone()
-            });
+                ..shared
+            };
             inner.coalesced.fetch_add(1, Ordering::Relaxed);
             inner.finish(&resp);
             resp
@@ -448,36 +849,36 @@ fn serve_miss(
 }
 
 /// Builds and publishes one leader's response (cache + flight), then
-/// answers every submission slot of its key into `sink`. Slot 0 is the
-/// leader's own computed response. Duplicate slots are answered the way
-/// a serial per-request resubmission would be: as cache hits when the
-/// leader's result went into the cache, otherwise (an install retired
-/// the epoch before the insert) as misses coalesced onto this
-/// computation — so the cache and coalescing counters cannot drift
-/// between submission modes, provided the cache is large enough to
-/// retain the batch's unique keys (with a cache smaller than one
-/// batch's key set, a duplicate counts as the hit its entry was at
-/// insert time even if eviction would have forced a per-request
-/// resubmission to recompute; deliberately so — re-probing, let alone
-/// recomputing, could block, and sub-batch execution must never wait).
+/// answers every submission slot of its key into `sink`. `slots[0]` is
+/// the leader's own. Duplicate slots are answered the way a serial
+/// per-request resubmission would be: as cache hits when the leader's
+/// result went into the cache, otherwise (an install retired the epoch
+/// before the insert) as misses coalesced onto this computation — so
+/// the cache and coalescing counters cannot drift between submission
+/// modes, provided the cache is large enough to retain the batch's
+/// unique keys (with a cache smaller than one batch's key set, a
+/// duplicate counts as the hit its entry was at insert time even if
+/// eviction would have forced a per-request resubmission to recompute;
+/// deliberately so — re-probing, let alone recomputing, could block,
+/// and sub-batch execution must never wait).
 fn publish_unit(
     inner: &Arc<Inner>,
     ctx: BatchCtx<'_>,
     mut guard: FlightGuard,
-    slots: &[usize],
-    summary: Arc<CommunitySummary>,
-    sink: &mut Vec<(usize, Arc<QueryResponse>)>,
+    slots: &[u32],
+    summary: CommunitySummary,
+    sink: &mut Vec<(u32, QueryResponse)>,
 ) {
     let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
     let req = guard.key;
-    let resp = Arc::new(QueryResponse {
+    let resp = QueryResponse {
         request: req,
         summary,
         cached: false,
         coalesced: false,
         epoch: ctx.epoch,
         service_us: us(&ctx.t0),
-    });
+    };
     let resident = inner.cache_if_current(req, &resp, ctx.epoch);
     guard.publish(resp.clone());
     drop(guard);
@@ -486,19 +887,19 @@ fn publish_unit(
     for &slot in &slots[1..] {
         let r = if resident {
             inner.cache.record_extra_hit();
-            Arc::new(QueryResponse {
+            QueryResponse {
                 cached: true,
                 service_us: us(&ctx.t0),
-                ..(*resp).clone()
-            })
+                ..resp.clone()
+            }
         } else {
             inner.cache.record_extra_miss();
             inner.coalesced.fetch_add(1, Ordering::Relaxed);
-            Arc::new(QueryResponse {
+            QueryResponse {
                 coalesced: true,
                 service_us: us(&ctx.t0),
-                ..(*resp).clone()
-            })
+                ..resp.clone()
+            }
         };
         inner.finish(&r);
         sink.push((slot, r));
@@ -506,30 +907,59 @@ fn publish_unit(
 }
 
 /// Answers a same-algorithm run of leader units through **one** batched
-/// kernel call on `ws`, publishing each leader the moment its summary
-/// exists and appending `(slot, response)` pairs to `sink`. A panic
-/// inside the kernel unwinds through the guards in `units`, poisoning
-/// every unpublished flight.
+/// kernel call on the executing worker's kernel state — results land in
+/// that worker's arena — publishing each leader the moment its summary
+/// exists and appending `(slot, response)` pairs to `sink`. `units` is
+/// drained (capacity kept); `store` resolves each unit's slot range. A
+/// panic inside the kernel unwinds through the remaining guards,
+/// poisoning every unpublished flight.
 fn run_units(
     inner: &Arc<Inner>,
     ctx: BatchCtx<'_>,
     algo: Algorithm,
-    units: Vec<Unit>,
-    ws: &mut QueryWorkspace,
-    sink: &mut Vec<(usize, Arc<QueryResponse>)>,
+    units: &mut Vec<Unit>,
+    store: &[u32],
+    k: &mut KernelState,
+    sink: &mut Vec<(u32, QueryResponse)>,
 ) {
-    let queries: Vec<(Vertex, usize, usize)> = units
-        .iter()
-        .map(|(g, _)| (g.key.q, g.key.alpha as usize, g.key.beta as usize))
-        .collect();
-    let subs = ctx.search.significant_communities_in(&queries, algo, ws);
-    for ((guard, slots), sub) in units.into_iter().zip(&subs) {
+    k.queries.clear();
+    k.queries.extend(units.iter().map(|u| {
+        (
+            u.guard.key.q,
+            u.guard.key.alpha as usize,
+            u.guard.key.beta as usize,
+        )
+    }));
+    // `units` lives in caller-owned reusable scratch, so a panic
+    // unwinding out of the kernel would no longer drop the guards by
+    // itself (it did when units was an owned Vec) — clear the buffer
+    // before re-raising so every unpublished flight is poisoned and no
+    // stale unit (whose slot range indexes *this* batch's tables) can
+    // leak into the next batch served from the same scratch.
+    let kernel = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctx.search.significant_communities_arena(
+            &k.queries,
+            algo,
+            &mut k.ws,
+            &mut k.arena,
+            &mut k.handles,
+        )
+    }));
+    if let Err(panic) = kernel {
+        units.clear();
+        std::panic::resume_unwind(panic);
+    }
+    // A panic below (publishing) is already safe: `Drain` drops the
+    // not-yet-yielded units on unwind, poisoning their flights.
+    for (unit, edges) in units.drain(..).zip(k.handles.drain(..)) {
+        let summary = CommunitySummary::from_arena_edges(ctx.search.graph(), edges, &mut k.ws);
+        let (s0, s1) = unit.slots;
         publish_unit(
             inner,
             ctx,
-            guard,
-            &slots,
-            Arc::new(CommunitySummary::from_subgraph(sub)),
+            unit.guard,
+            &store[s0 as usize..s1 as usize],
+            summary,
             sink,
         );
     }
@@ -542,9 +972,14 @@ fn run_units(
 /// is what keeps the split path deadlock-free: every chunk is either
 /// unclaimed (the owner will run it) or actively computing, so the
 /// owner's join always makes progress.
-fn run_split_chunks(inner: &Arc<Inner>, shared: &BatchShared, ws: &mut QueryWorkspace) {
+fn run_split_chunks(
+    inner: &Arc<Inner>,
+    shared: &BatchShared,
+    k: &mut KernelState,
+    sub: &mut SubScratch,
+) {
     loop {
-        let Some(chunk) = shared.queue.lock().unwrap().pop() else {
+        let Some(range) = shared.queue.lock().unwrap().pop() else {
             return;
         };
         // Count the chunk done even if the kernel panics (its guards
@@ -563,9 +998,26 @@ fn run_split_chunks(inner: &Arc<Inner>, shared: &BatchShared, ws: &mut QueryWork
             epoch: shared.epoch,
             t0: shared.t0,
         };
-        let mut sink = Vec::new();
-        run_units(inner, ctx, chunk.algo, chunk.units, ws, &mut sink);
-        shared.results.lock().unwrap().extend(sink);
+        sub.units.clear();
+        {
+            let mut units = shared.units.lock().unwrap();
+            for i in range.units.clone() {
+                if let Some(unit) = units[i].take() {
+                    sub.units.push(unit);
+                }
+            }
+        }
+        sub.sink.clear();
+        run_units(
+            inner,
+            ctx,
+            range.algo,
+            &mut sub.units,
+            &shared.slot_store,
+            k,
+            &mut sub.sink,
+        );
+        shared.results.lock().unwrap().extend(sub.sink.drain(..));
     }
 }
 
@@ -573,82 +1025,127 @@ fn run_split_chunks(inner: &Arc<Inner>, shared: &BatchShared, ws: &mut QueryWork
 /// lookup per *unique* key, one index-snapshot read, batched kernel
 /// calls for the leaders — fanned out across idle workers when the
 /// split heuristic (see [`Inner::split_factor`]) says the pool has
-/// capacity — and one response vector in submission order.
+/// capacity — and one response vector (pooled) in submission order.
 fn serve_batch(
     inner: &Arc<Inner>,
     reqs: &[QueryRequest],
-    ws: &mut QueryWorkspace,
-) -> Vec<Arc<QueryResponse>> {
+    state: &mut WorkerState,
+) -> Vec<QueryResponse> {
+    let WorkerState {
+        kernel: k,
+        batch: b,
+        sub,
+    } = state;
     let t0 = Instant::now();
     inner.batches.fetch_add(1, Ordering::Relaxed);
     inner
         .batched
         .fetch_add(reqs.len() as u64, Ordering::Relaxed);
-    let mut out: Vec<Option<Arc<QueryResponse>>> = reqs.iter().map(|_| None).collect();
     let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
 
-    // Unique keys in first-occurrence order, each with every
-    // submission slot it answers. Duplicates inside the batch are
-    // computed (or looked up) once; the extra slots are answered as a
-    // serial resubmission would be.
-    let mut order: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
-    let mut first: HashMap<QueryRequest, usize> = HashMap::new();
-    for (i, req) in reqs.iter().enumerate() {
-        match first.entry(*req) {
-            std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].1.push(i),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(order.len());
-                order.push((*req, vec![i]));
-            }
-        }
+    // Reset every buffer a previous batch could have left populated by
+    // panicking mid-serve (the worker survives panics): leftover sink
+    // responses would pin arena slabs, leftover follower/leader
+    // entries would pin pooled flights, and a stale unit's slot range
+    // would index *this* batch's tables. Clears are O(leftovers) and
+    // free in the steady state.
+    b.sink.clear();
+    b.followers.clear();
+    b.leaders.clear();
+    for bucket in &mut b.algo_units {
+        bucket.clear();
     }
+
+    // Unique keys in first-occurrence order, each with every submission
+    // slot it answers (counting-sort grouping, all reusable buffers).
+    // Duplicates inside the batch are computed (or looked up) once; the
+    // extra slots are answered as a serial resubmission would be.
+    b.keys.clear();
+    b.key_of_slot.clear();
+    b.first.clear();
+    for req in reqs {
+        let idx = match b.first.entry(*req) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let i = b.keys.len() as u32;
+                e.insert(i);
+                b.keys.push(*req);
+                i
+            }
+        };
+        b.key_of_slot.push(idx);
+    }
+    let nk = b.keys.len();
+    b.key_start.clear();
+    b.key_start.resize(nk + 1, 0);
+    for &kx in &b.key_of_slot {
+        b.key_start[kx as usize + 1] += 1;
+    }
+    for i in 0..nk {
+        b.key_start[i + 1] += b.key_start[i];
+    }
+    b.key_cursor.clear();
+    b.key_cursor.extend_from_slice(&b.key_start[..nk]);
+    b.key_slots.clear();
+    b.key_slots.resize(reqs.len(), 0);
+    for (slot, &kx) in b.key_of_slot.iter().enumerate() {
+        let cursor = &mut b.key_cursor[kx as usize];
+        b.key_slots[*cursor as usize] = slot as u32;
+        *cursor += 1;
+    }
+
+    b.out.clear();
+    b.out.resize(reqs.len(), None);
 
     // Pass 1: one physical cache lookup per unique key, with duplicate
     // slots of a hit counted as the hits they are — per-request
     // submission performs one lookup per request, and the stats must
     // not depend on how requests were submitted.
-    let mut misses: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
-    for (req, slots) in order {
+    b.miss_keys.clear();
+    for kx in 0..nk {
+        let req = b.keys[kx];
+        let (s0, s1) = (b.key_start[kx] as usize, b.key_start[kx + 1] as usize);
         if let Some(hit) = inner.cache.get(&req) {
-            for (k, &slot) in slots.iter().enumerate() {
-                if k > 0 {
+            for (j, &slot) in b.key_slots[s0..s1].iter().enumerate() {
+                if j > 0 {
                     inner.cache.record_extra_hit();
                 }
-                let resp = Arc::new(QueryResponse {
+                let resp = QueryResponse {
                     cached: true,
                     coalesced: false,
                     service_us: us(&t0),
-                    ..(*hit).clone()
-                });
+                    ..hit.clone()
+                };
                 inner.finish(&resp);
-                out[slot] = Some(resp);
+                b.out[slot as usize] = Some(resp);
             }
         } else {
-            misses.push((req, slots));
+            b.miss_keys.push(kx as u32);
         }
     }
 
-    if !misses.is_empty() {
+    if !b.miss_keys.is_empty() {
         // One snapshot read for every miss in the batch.
         let (search, epoch) = inner.snapshot();
-        let mut leaders: Vec<Unit> = Vec::new();
-        let mut followers: Vec<(Arc<Flight>, QueryRequest, Vec<usize>)> = Vec::new();
-        let mut stale: Vec<(QueryRequest, Vec<usize>)> = Vec::new();
-        for (req, slots) in misses {
+        b.leaders.clear();
+        b.followers.clear();
+        b.stale_keys.clear();
+        for &kx in &b.miss_keys {
+            let req = b.keys[kx as usize];
             match inner.join_flight(req, epoch) {
-                Role::Leader(flight) => leaders.push((
+                Role::Leader(flight) => b.leaders.push((
                     FlightGuard {
                         inner: inner.clone(),
                         key: req,
                         flight,
                         published: false,
                     },
-                    slots,
+                    kx,
                 )),
-                Role::Follower(flight) => followers.push((flight, req, slots)),
+                Role::Follower(flight) => b.followers.push((flight, kx)),
                 // An install raced between our snapshot and this
                 // join; resolved below via the per-request miss path.
-                Role::StaleSnapshot => stale.push((req, slots)),
+                Role::StaleSnapshot => b.stale_keys.push(kx),
             }
         }
 
@@ -659,35 +1156,48 @@ fn serve_batch(
             epoch,
             t0,
         };
-        let mut sink: Vec<(usize, Arc<QueryResponse>)> = Vec::new();
-        let mut algo_units: Vec<(Algorithm, Vec<Unit>)> = Vec::new();
+        b.sink.clear();
+        while b.algo_units.len() < Algorithm::ALL.len() {
+            b.algo_units.push(Vec::new());
+        }
         let mut n_units = 0usize;
-        for (guard, slots) in leaders {
+        for (guard, kx) in b.leaders.drain(..) {
+            let (s0, s1) = (b.key_start[kx as usize], b.key_start[kx as usize + 1]);
             if !Inner::servable(&guard.key, &search) {
                 publish_unit(
                     inner,
                     ctx,
                     guard,
-                    &slots,
-                    Arc::new(CommunitySummary::empty()),
-                    &mut sink,
+                    &b.key_slots[s0 as usize..s1 as usize],
+                    CommunitySummary::empty(),
+                    &mut b.sink,
                 );
                 continue;
             }
             n_units += 1;
-            let algo = guard.key.algo;
-            match algo_units.iter_mut().find(|(a, _)| *a == algo) {
-                Some((_, g)) => g.push((guard, slots)),
-                None => algo_units.push((algo, vec![(guard, slots)])),
-            }
+            b.algo_units[algo_rank(guard.key.algo)].push(Unit {
+                guard,
+                slots: (s0, s1),
+            });
         }
 
         let fanout = inner.split_factor(n_units);
         if fanout <= 1 {
             // Inline: this worker answers every leader itself, one
             // batched kernel call per algorithm present.
-            for (algo, units) in algo_units {
-                run_units(inner, ctx, algo, units, ws, &mut sink);
+            for rank in 0..Algorithm::ALL.len() {
+                if b.algo_units[rank].is_empty() {
+                    continue;
+                }
+                run_units(
+                    inner,
+                    ctx,
+                    Algorithm::ALL[rank],
+                    &mut b.algo_units[rank],
+                    &b.key_slots,
+                    k,
+                    &mut b.sink,
+                );
             }
         } else {
             // Split: carve the leader runs into `fanout`-ish chunks
@@ -696,59 +1206,73 @@ fn serve_batch(
             // more algorithms than `fanout` carves more, smaller
             // chunks than `fanout`; the concurrency bound is enforced
             // on executors below, not on chunk count), park them in a
-            // claimable queue and wake idle workers with hints. We
-            // claim and run whatever the pool does not, then wait for
-            // stragglers.
+            // pooled, claimable [`BatchShared`] and wake idle workers
+            // with hints. We claim and run whatever the pool does not,
+            // then wait for stragglers.
             let chunk_size = n_units.div_ceil(fanout);
-            let mut chunks: Vec<SubChunk> = Vec::new();
-            for (algo, mut units) in algo_units {
-                while !units.is_empty() {
-                    let tail = if units.len() > chunk_size {
-                        units.split_off(chunk_size)
-                    } else {
-                        Vec::new()
-                    };
-                    chunks.push(SubChunk { algo, units });
-                    units = tail;
+            let mut shared = inner.batch_shared(search.clone(), epoch, t0);
+            {
+                let s = Arc::get_mut(&mut shared).expect("owner holds the only reference");
+                for rank in 0..Algorithm::ALL.len() {
+                    if b.algo_units[rank].is_empty() {
+                        continue;
+                    }
+                    let algo = Algorithm::ALL[rank];
+                    let units_store = s.units.get_mut().unwrap();
+                    let queue = s.queue.get_mut().unwrap();
+                    for (taken, unit) in b.algo_units[rank].drain(..).enumerate() {
+                        // Re-home the unit's slot group into the shared
+                        // store so executors never touch owner scratch.
+                        let (s0, s1) = unit.slots;
+                        let ns0 = s.slot_store.len() as u32;
+                        s.slot_store
+                            .extend_from_slice(&b.key_slots[s0 as usize..s1 as usize]);
+                        let ns1 = s.slot_store.len() as u32;
+                        if taken % chunk_size == 0 {
+                            let at = units_store.len();
+                            queue.push(SubRange {
+                                algo,
+                                units: at..at,
+                            });
+                        }
+                        units_store.push(Some(Unit {
+                            guard: unit.guard,
+                            slots: (ns0, ns1),
+                        }));
+                        queue.last_mut().expect("range opened above").units.end = units_store.len();
+                    }
                 }
+                s.total = s.queue.get_mut().unwrap().len();
             }
             inner.splits.fetch_add(1, Ordering::Relaxed);
             inner
                 .sub_batches
-                .fetch_add(chunks.len() as u64, Ordering::Relaxed);
-            let shared = Arc::new(BatchShared {
-                search: search.clone(),
-                epoch,
-                t0,
-                total: chunks.len(),
-                queue: Mutex::new(chunks),
-                done: Mutex::new(0),
-                cv: Condvar::new(),
-                results: Mutex::new(Vec::new()),
-            });
+                .fetch_add(shared.total as u64, Ordering::Relaxed);
             // A hint is only a wake-up: whoever pops a chunk runs it,
             // and a hinted worker drains chunks in a loop — so the
             // hint count, not the chunk count, is what bounds the
             // fan-out width. Cap it at `fanout - 1` helpers (idle
             // capacity), or a many-algorithm batch would wake more
-            // workers than the pool has idle. A missing sender
-            // (shutdown in progress) just means we run every chunk
-            // ourselves.
-            if let Some(tx) = inner.sub_tx.lock().unwrap().as_ref() {
-                for _ in 1..shared.total.min(fanout) {
-                    let _ = tx.send(Job::Sub(shared.clone()));
+            // workers than the pool has idle. A closed queue (shutdown
+            // in progress) just means we run every chunk ourselves.
+            for _ in 1..shared.total.min(fanout) {
+                if !inner.queue.push(Job::Sub(shared.clone())) {
+                    break;
                 }
             }
-            run_split_chunks(inner, &shared, ws);
+            run_split_chunks(inner, &shared, k, sub);
             let mut done = shared.done.lock().unwrap();
             while *done < shared.total {
                 done = shared.cv.wait(done).unwrap();
             }
             drop(done);
-            sink.extend(shared.results.lock().unwrap().drain(..));
+            b.sink.extend(shared.results.lock().unwrap().drain(..));
+            // Recycle the shared state; unconsumed hints still holding
+            // it keep it out of circulation until they drain.
+            inner.shared_pool.put(shared);
         }
-        for (slot, resp) in sink {
-            out[slot] = Some(resp);
+        for (slot, resp) in b.sink.drain(..) {
+            b.out[slot as usize] = Some(resp);
         }
 
         // Every leader above is published before we wait on anyone
@@ -759,52 +1283,64 @@ fn serve_batch(
         // path — the first without a second cache lookup (pass 1
         // already counted this key's miss), duplicates with their own
         // lookup, exactly as if resubmitted.
-        for (req, slots) in stale {
-            for (k, &slot) in slots.iter().enumerate() {
-                let resp = if k == 0 {
-                    serve_miss(inner, req, ws, t0)
+        for i in 0..b.stale_keys.len() {
+            let kx = b.stale_keys[i] as usize;
+            let req = b.keys[kx];
+            let (s0, s1) = (b.key_start[kx] as usize, b.key_start[kx + 1] as usize);
+            for (j, &slot) in b.key_slots[s0..s1].iter().enumerate() {
+                let resp = if j == 0 {
+                    serve_miss(inner, req, k, t0)
                 } else {
-                    serve(inner, req, ws)
+                    serve(inner, req, k)
                 };
-                out[slot] = Some(resp);
+                b.out[slot as usize] = Some(resp);
             }
         }
 
-        for (flight, req, slots) in followers {
+        for i in 0..b.followers.len() {
+            let (flight, kx) = (b.followers[i].0.clone(), b.followers[i].1 as usize);
+            let req = b.keys[kx];
             let shared = flight.wait().unwrap_or_else(|| {
                 panic!("in-flight leader for {req:?} panicked before publishing")
             });
-            for (k, &slot) in slots.iter().enumerate() {
-                if k > 0 {
+            let (s0, s1) = (b.key_start[kx] as usize, b.key_start[kx + 1] as usize);
+            for (j, &slot) in b.key_slots[s0..s1].iter().enumerate() {
+                if j > 0 {
                     // Pass 1 counted one miss for this key; its
                     // duplicates waited on the same flight and are
                     // accounted like the extra followers they are.
                     inner.cache.record_extra_miss();
                 }
-                let resp = Arc::new(QueryResponse {
+                let resp = QueryResponse {
                     cached: false,
                     coalesced: true,
                     service_us: us(&t0),
-                    ..(*shared).clone()
-                });
+                    ..shared.clone()
+                };
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 inner.finish(&resp);
-                out[slot] = Some(resp);
+                b.out[slot as usize] = Some(resp);
             }
         }
+        b.followers.clear();
     }
 
-    out.into_iter()
-        .map(|r| r.expect("every batch slot answered"))
-        .collect()
+    let mut responses = inner.resp_pool.take();
+    responses.extend(
+        b.out
+            .drain(..)
+            .map(|r| r.expect("every batch slot answered")),
+    );
+    responses
 }
 
 enum Job {
     /// One request, one response.
-    Single(QueryRequest, Sender<Arc<QueryResponse>>),
+    Single(QueryRequest, Arc<ReplyCell<QueryResponse>>),
     /// N requests served by one worker with amortized snapshot, cache
     /// and workspace handling; answered as one vector in request order.
-    Batch(Vec<QueryRequest>, Sender<Vec<Arc<QueryResponse>>>),
+    /// The request vector is pooled and returned after serving.
+    Batch(Vec<QueryRequest>, Arc<ReplyCell<Vec<QueryResponse>>>),
     /// Wake-up hint that a split batch has unclaimed sub-batches; the
     /// receiving worker drains [`BatchShared::queue`] (possibly finding
     /// nothing — the owner and other workers race for chunks).
@@ -813,7 +1349,7 @@ enum Job {
 
 /// A pending response; produced by [`QueryEngine::submit`].
 pub struct ResponseHandle {
-    rx: Receiver<Arc<QueryResponse>>,
+    cell: Arc<ReplyCell<QueryResponse>>,
 }
 
 impl ResponseHandle {
@@ -822,9 +1358,9 @@ impl ResponseHandle {
     /// # Panics
     /// Panics if the query panicked inside the engine or the engine
     /// shut down before answering.
-    pub fn wait(self) -> Arc<QueryResponse> {
-        self.rx
-            .recv()
+    pub fn wait(self) -> QueryResponse {
+        self.cell
+            .take()
             .expect("query panicked in the engine or engine shut down before responding")
     }
 }
@@ -833,7 +1369,8 @@ impl ResponseHandle {
 /// [`QueryEngine::submit_batch`]. Responses arrive together, in the
 /// order the requests were submitted.
 pub struct BatchHandle {
-    rx: Receiver<Vec<Arc<QueryResponse>>>,
+    cell: Arc<ReplyCell<Vec<QueryResponse>>>,
+    inner: Arc<Inner>,
 }
 
 impl BatchHandle {
@@ -842,17 +1379,29 @@ impl BatchHandle {
     /// # Panics
     /// Panics if a query panicked inside the engine or the engine shut
     /// down before answering.
-    pub fn wait(self) -> Vec<Arc<QueryResponse>> {
-        self.rx
-            .recv()
+    pub fn wait(self) -> Vec<QueryResponse> {
+        self.cell
+            .take()
             .expect("batch panicked in the engine or engine shut down before responding")
+    }
+
+    /// [`Self::wait`] into a caller-owned buffer: appends every
+    /// response to `out` and returns the engine's internal vector to
+    /// its pool, so a caller reusing `out` completes a warm batch
+    /// without a single allocation on either side.
+    pub fn wait_into(self, out: &mut Vec<QueryResponse>) {
+        let mut got = self
+            .cell
+            .take()
+            .expect("batch panicked in the engine or engine shut down before responding");
+        out.append(&mut got);
+        self.inner.resp_pool.put(got);
     }
 }
 
 /// The concurrent query-serving engine. See the [module docs](self).
 pub struct QueryEngine {
     inner: Arc<Inner>,
-    tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -860,10 +1409,12 @@ impl QueryEngine {
     /// Spawns the worker pool and returns the serving handle.
     pub fn start(search: Arc<CommunitySearch>, config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
+        let arena_slab_edges = config.arena_slab_edges.max(1);
         let inner = Arc::new(Inner {
             search: RwLock::new((search, 0)),
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             inflight: Mutex::new(HashMap::new()),
+            queue: JobQueue::new(),
             hist: LatencyHistogram::default(),
             completed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -872,45 +1423,40 @@ impl QueryEngine {
             splits: AtomicU64::new(0),
             sub_batches: AtomicU64::new(0),
             idle_workers: AtomicUsize::new(0),
-            sub_tx: Mutex::new(None),
             min_sub_batch: config.min_sub_batch.max(1),
             split_batches: config.split_batches,
             scratch: (0..workers).map(|_| ScratchSlot::default()).collect(),
+            reply_pool: ArcPool::new(),
+            batch_reply_pool: ArcPool::new(),
+            flight_pool: ArcPool::new(),
+            shared_pool: ArcPool::new(),
+            req_pool: VecPool::new(),
+            resp_pool: VecPool::new(),
             started: Instant::now(),
             workers,
         });
-        let (tx, rx) = channel::<Job>();
-        *inner.sub_tx.lock().unwrap() = Some(tx.clone());
-        let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
-                let rx = rx.clone();
                 std::thread::Builder::new()
                     .name(format!("scs-worker-{i}"))
                     .spawn(move || {
-                        // The worker's scratch arena: reused across every
+                        // The worker's compute state: workspace, result
+                        // arena and staging buffers, reused across every
                         // query it serves and across index epoch swaps
-                        // (it simply grows on the first query against a
-                        // larger installed graph). After warm-up the
-                        // steady-state compute path stops allocating.
-                        let mut ws = QueryWorkspace::new();
-                        loop {
-                            // Advertise idleness while blocked on the
-                            // queue — the split heuristic reads this.
-                            // Hold the queue lock only across the
-                            // dequeue so workers pull jobs concurrently
-                            // with compute.
-                            inner.idle_workers.fetch_add(1, Ordering::Relaxed);
-                            let job = rx.lock().unwrap().recv();
-                            inner.idle_workers.fetch_sub(1, Ordering::Relaxed);
-                            let Ok(job) = job else {
-                                break; // all senders gone: shutdown
-                            };
+                        // (buffers simply grow on the first query against
+                        // a larger installed graph). After warm-up the
+                        // steady-state serving path stops allocating.
+                        let mut state = WorkerState {
+                            kernel: KernelState::new(arena_slab_edges),
+                            batch: BatchScratch::default(),
+                            sub: SubScratch::default(),
+                        };
+                        while let Some(job) = inner.queue.pop(&inner.idle_workers) {
                             // Backstop: a panic in query code must not
                             // shrink the pool. The flight guards have
                             // already poisoned their keys' followers;
-                            // dropping `reply` unanswered makes the
+                            // abandoning the reply cell makes the
                             // submitter's wait() fail loudly. A submitter
                             // that dropped its handle just doesn't
                             // collect the result.
@@ -918,42 +1464,53 @@ impl QueryEngine {
                             // Scratch accounting is published *before*
                             // the reply: a submitter that reads stats()
                             // the moment its blocking query returns must
-                            // see this worker's workspace.
-                            let publish_scratch = |ws: &QueryWorkspace| {
+                            // see this worker's workspace and arena.
+                            let publish_scratch = |k: &KernelState| {
                                 let slot = &inner.scratch[i];
-                                slot.bytes.store(ws.heap_bytes(), Ordering::Relaxed);
+                                slot.bytes.store(k.ws.heap_bytes(), Ordering::Relaxed);
+                                slot.arena_bytes
+                                    .store(k.arena.resident_bytes(), Ordering::Relaxed);
                                 slot.allocs_avoided
-                                    .store(ws.allocations_avoided(), Ordering::Relaxed);
+                                    .store(k.ws.allocations_avoided(), Ordering::Relaxed);
+                                slot.arena_recycled
+                                    .store(k.arena.stats().recycled, Ordering::Relaxed);
                             };
                             match job {
                                 Job::Single(req, reply) => {
                                     let resp =
                                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || serve(&inner, req, &mut ws),
+                                            || serve(&inner, req, &mut state.kernel),
                                         ));
-                                    publish_scratch(&ws);
-                                    if let Ok(resp) = resp {
-                                        let _ = reply.send(resp);
-                                    }
+                                    publish_scratch(&state.kernel);
+                                    // Answer and pool the cell in one
+                                    // step; the submitter's handle keeps
+                                    // it unissuable until wait() is done.
+                                    respond_and_pool(&inner.reply_pool, reply, resp.ok());
                                 }
                                 Job::Batch(reqs, reply) => {
                                     let resp =
                                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || serve_batch(&inner, &reqs, &mut ws),
+                                            || serve_batch(&inner, &reqs, &mut state),
                                         ));
-                                    publish_scratch(&ws);
-                                    if let Ok(resp) = resp {
-                                        let _ = reply.send(resp);
-                                    }
+                                    publish_scratch(&state.kernel);
+                                    inner.req_pool.put(reqs);
+                                    respond_and_pool(&inner.batch_reply_pool, reply, resp.ok());
                                 }
                                 Job::Sub(shared) => {
                                     // A panicking chunk already poisoned
                                     // its flights and bumped the owner's
                                     // done-count; the pool survives it.
                                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                        || run_split_chunks(&inner, &shared, &mut ws),
+                                        || {
+                                            run_split_chunks(
+                                                &inner,
+                                                &shared,
+                                                &mut state.kernel,
+                                                &mut state.sub,
+                                            )
+                                        },
                                     ));
-                                    publish_scratch(&ws);
+                                    publish_scratch(&state.kernel);
                                 }
                             }
                         }
@@ -961,28 +1518,33 @@ impl QueryEngine {
                     .expect("spawn worker thread")
             })
             .collect();
-        QueryEngine {
-            inner,
-            tx: Some(tx),
-            handles,
-        }
+        QueryEngine { inner, handles }
     }
 
     /// Enqueues a request; the returned handle yields the response.
+    /// The reply slot comes from (and returns to) a pool, so a warm
+    /// submit+wait round-trip allocates nothing.
     pub fn submit(&self, req: QueryRequest) -> ResponseHandle {
-        let (reply_tx, reply_rx) = channel();
-        self.tx
-            .as_ref()
-            .expect("engine already shut down")
-            .send(Job::Single(req, reply_tx))
-            .expect("worker pool hung up");
-        ResponseHandle { rx: reply_rx }
+        let cell = match self.inner.reply_pool.take_free() {
+            // A reissued cell may hold the stale value of a submitter
+            // that never waited; reset it (refcount 1 ⇒ unobservable).
+            Some(cell) => {
+                *cell.state.lock().unwrap() = ReplyState::Pending;
+                cell
+            }
+            None => Arc::new(ReplyCell::new()),
+        };
+        assert!(
+            self.inner.queue.push(Job::Single(req, cell.clone())),
+            "engine already shut down"
+        );
+        ResponseHandle { cell }
     }
 
     /// Enqueues a whole batch as **one** job: one queue round-trip, one
     /// index-snapshot read, one cache lookup per unique key, and
     /// batched kernel calls for the leaders (see
-    /// [`scs::CommunitySearch::significant_communities_in`]). The
+    /// [`scs::CommunitySearch::significant_communities_arena`]). The
     /// handle yields every response in submission order; results are
     /// identical to submitting each request on its own.
     ///
@@ -996,30 +1558,48 @@ impl QueryEngine {
     /// submitter is one of many concurrent clients keeping the pool
     /// busy.
     pub fn submit_batch(&self, reqs: &[QueryRequest]) -> BatchHandle {
-        let (reply_tx, reply_rx) = channel();
-        self.tx
-            .as_ref()
-            .expect("engine already shut down")
-            .send(Job::Batch(reqs.to_vec(), reply_tx))
-            .expect("worker pool hung up");
-        BatchHandle { rx: reply_rx }
+        let mut owned = self.inner.req_pool.take();
+        owned.extend_from_slice(reqs);
+        let cell = match self.inner.batch_reply_pool.take_free() {
+            Some(cell) => {
+                *cell.state.lock().unwrap() = ReplyState::Pending;
+                cell
+            }
+            None => Arc::new(ReplyCell::new()),
+        };
+        assert!(
+            self.inner.queue.push(Job::Batch(owned, cell.clone())),
+            "engine already shut down"
+        );
+        BatchHandle {
+            cell,
+            inner: self.inner.clone(),
+        }
     }
 
     /// Submits and waits: one blocking round-trip through the pool.
-    pub fn query(&self, req: QueryRequest) -> Arc<QueryResponse> {
+    pub fn query(&self, req: QueryRequest) -> QueryResponse {
         self.submit(req).wait()
     }
 
     /// [`Self::submit_batch`] and wait: one blocking round-trip for the
     /// whole batch.
-    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<Arc<QueryResponse>> {
+    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
         self.submit_batch(reqs).wait()
+    }
+
+    /// [`Self::query_batch`] appending into a caller-reused buffer (see
+    /// [`BatchHandle::wait_into`]) — the allocation-free form.
+    pub fn query_batch_into(&self, reqs: &[QueryRequest], out: &mut Vec<QueryResponse>) {
+        self.submit_batch(reqs).wait_into(out);
     }
 
     /// Installs a new index snapshot without stopping the workers: bumps
     /// the epoch and invalidates the result cache. Queries already
     /// computing finish on the snapshot they started with (tagged with
-    /// the prior epoch).
+    /// the prior epoch). Dropping the cached responses releases their
+    /// arena handles, freeing the backing slabs for recycling once no
+    /// client holds a response either.
     pub fn install(&self, search: Arc<CommunitySearch>) -> u64 {
         let mut guard = self.inner.search.write().unwrap();
         guard.0 = search;
@@ -1028,6 +1608,11 @@ impl QueryEngine {
         // Clear under the write lock: leaders re-check the epoch before
         // caching, so no stale entry can be inserted after this clear.
         self.inner.cache.clear();
+        drop(guard);
+        // Free pooled flights may still hold responses published to
+        // now-departed followers; drop them with the cache so their
+        // arena slabs recycle too.
+        self.inner.sweep_flights();
         epoch
     }
 
@@ -1070,10 +1655,20 @@ impl QueryEngine {
                 .iter()
                 .map(|s| s.bytes.load(Ordering::Relaxed))
                 .sum(),
+            arena_bytes: inner
+                .scratch
+                .iter()
+                .map(|s| s.arena_bytes.load(Ordering::Relaxed))
+                .sum(),
             allocs_avoided: inner
                 .scratch
                 .iter()
                 .map(|s| s.allocs_avoided.load(Ordering::Relaxed))
+                .sum(),
+            arena_recycled: inner
+                .scratch
+                .iter()
+                .map(|s| s.arena_recycled.load(Ordering::Relaxed))
                 .sum(),
         }
     }
@@ -1084,10 +1679,7 @@ impl QueryEngine {
     }
 
     fn shutdown_in_place(&mut self) {
-        drop(self.tx.take());
-        // Drop the workers' hint sender too, or the channel never
-        // disconnects. A batch mid-split just runs its own chunks.
-        self.inner.sub_tx.lock().unwrap().take();
+        self.inner.queue.close();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -1145,6 +1737,29 @@ mod tests {
     }
 
     #[test]
+    fn arena_bytes_published_before_reply() {
+        // PR 4 regression class: scratch accounting must be visible to
+        // a submitter the moment its blocking query returns — now for
+        // the arena too, not just the workspace.
+        let e = engine(1);
+        let q = e.current_index().0.graph().upper(2);
+        e.query(QueryRequest::new(q, 2, 2, Algorithm::Peel));
+        let st = e.stats();
+        assert!(st.scratch_bytes > 0, "workspace bytes not published");
+        assert!(
+            st.arena_bytes > 0,
+            "arena bytes must be published before the reply"
+        );
+        // The leader's summary is arena-backed.
+        let resp = e.query(QueryRequest::new(q, 1, 1, Algorithm::Peel));
+        assert!(matches!(
+            resp.summary.store(),
+            crate::EdgeStore::Arena(a) if a.pinned()
+        ));
+        e.shutdown();
+    }
+
+    #[test]
     fn distinct_algorithms_get_distinct_cache_slots() {
         let e = engine(1);
         let q = e.current_index().0.graph().upper(2);
@@ -1182,11 +1797,11 @@ mod tests {
             2,
             Algorithm::Auto,
         ));
-        assert_eq!(*bad.summary, crate::CommunitySummary::empty());
+        assert_eq!(bad.summary, crate::CommunitySummary::empty());
         // Zero degree constraint (the index asserts ≥ 1): also empty.
         let q = e.current_index().0.graph().upper(2);
         let zero = e.query(QueryRequest::new(q, 0, 2, Algorithm::Peel));
-        assert_eq!(*zero.summary, crate::CommunitySummary::empty());
+        assert_eq!(zero.summary, crate::CommunitySummary::empty());
         // The pool is still alive and serving real queries.
         let good = e.query(QueryRequest::new(q, 2, 2, Algorithm::Peel));
         assert_eq!(good.summary.size(), 4);
@@ -1315,6 +1930,7 @@ mod tests {
                 cache_shards: 4,
                 min_sub_batch: 1,
                 split_batches: true,
+                ..ServiceConfig::default()
             },
         );
         let unsplit = QueryEngine::start(
@@ -1325,6 +1941,7 @@ mod tests {
                 cache_shards: 4,
                 min_sub_batch: 1,
                 split_batches: false,
+                ..ServiceConfig::default()
             },
         );
         settle();
@@ -1379,6 +1996,7 @@ mod tests {
                 cache_shards: 4,
                 min_sub_batch: 8,
                 split_batches: true,
+                ..ServiceConfig::default()
             },
         );
         settle();
@@ -1425,8 +2043,8 @@ mod tests {
             QueryRequest::new(q, 2, 2, Algorithm::Peel),
         ];
         let resps = e.query_batch(&reqs);
-        assert_eq!(*resps[0].summary, crate::CommunitySummary::empty());
-        assert_eq!(*resps[1].summary, crate::CommunitySummary::empty());
+        assert_eq!(resps[0].summary, crate::CommunitySummary::empty());
+        assert_eq!(resps[1].summary, crate::CommunitySummary::empty());
         assert_eq!(resps[2].summary.size(), 4);
         e.shutdown();
     }
@@ -1443,6 +2061,27 @@ mod tests {
         assert!(!after[0].cached, "install must invalidate the cache");
         assert_eq!(after[0].epoch, 1);
         assert_eq!(after[0].summary, before[0].summary);
+        e.shutdown();
+    }
+
+    #[test]
+    fn batch_into_reuses_the_response_buffer() {
+        let e = engine(2);
+        let g = e.current_index().0.graph().clone();
+        let reqs: Vec<QueryRequest> = (0..g.n_upper())
+            .map(|i| QueryRequest::new(g.upper(i), 2, 2, Algorithm::Peel))
+            .collect();
+        let mut out = Vec::new();
+        e.query_batch_into(&reqs, &mut out);
+        assert_eq!(out.len(), reqs.len());
+        let direct = e.query_batch(&reqs);
+        for ((req, a), b) in reqs.iter().zip(&out).zip(&direct) {
+            assert_eq!(a.request, *req);
+            assert_eq!(a.summary, b.summary);
+        }
+        // Appending: a second wait_into extends rather than clobbers.
+        e.query_batch_into(&reqs, &mut out);
+        assert_eq!(out.len(), 2 * reqs.len());
         e.shutdown();
     }
 

@@ -40,12 +40,20 @@
 //!   computes and the rest wait on the same result (`singleflight`).
 //! * [`stats::ServiceStats`] — QPS, p50/p90/p99 latency from a lock-free
 //!   log-bucketed histogram, cache hit rate, coalescing counters, plus
-//!   scratch residency and allocations-avoided from the workers'
-//!   workspaces.
-//! * per-worker scratch reuse — every worker owns a
-//!   [`scs::QueryWorkspace`] reused across queries (and across epoch
-//!   swaps, growing if a larger graph is installed), so the steady-state
-//!   compute path performs no graph-sized allocations.
+//!   scratch/arena residency, allocations-avoided and slab-recycle
+//!   counts from the workers' workspaces and arenas.
+//! * per-worker scratch **and result** reuse — every worker owns a
+//!   [`scs::QueryWorkspace`] and a [`bigraph::arena::ResultArena`],
+//!   both reused across queries (and across epoch swaps, growing if a
+//!   larger graph is installed). Summaries are arena-backed
+//!   ([`EdgeStore::Arena`]), responses travel by value, and reply
+//!   slots, flights and batch descriptors are pooled, so the
+//!   steady-state **warm leader path performs zero heap allocations
+//!   end to end** — enforced by the counting-allocator binary
+//!   `tests/alloc_free_service.rs`. Slabs recycle when the cache
+//!   evicts (or an install clears) the last handle into them; live
+//!   handles pin their slab by refcount, with generation tags as the
+//!   auditable proof.
 //! * epoch swap — [`engine::QueryEngine::install`] atomically replaces
 //!   the index (e.g. a [`scs::DynamicIndex::snapshot`] after edge
 //!   updates) without stopping the workers; the cache is invalidated and
@@ -91,8 +99,9 @@ pub use replay::{
 };
 pub use stats::ServiceStats;
 
-use bigraph::{EdgeId, Subgraph, Vertex};
-use scs::Algorithm;
+use bigraph::arena::ArenaEdges;
+use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};
+use scs::{Algorithm, QueryWorkspace};
 
 /// One community-search query, as accepted by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,18 +133,41 @@ impl QueryRequest {
     }
 }
 
+/// Backing storage of a [`CommunitySummary`]'s edge list: an owned
+/// `Vec` (oracle comparisons, tooling, anything without an arena) or a
+/// shared view into a [`bigraph::arena::ResultArena`] slab (the serving
+/// hot path — cloning is a refcount bump, and the live handle pins its
+/// slab against recycling).
+#[derive(Debug, Clone)]
+pub enum EdgeStore {
+    /// Heap-owned edge list.
+    Owned(Vec<EdgeId>),
+    /// Arena-slab view; see [`bigraph::arena`] for lifetime semantics.
+    Arena(ArenaEdges),
+}
+
+impl EdgeStore {
+    /// The edge ids, whatever the backing.
+    pub fn as_slice(&self) -> &[EdgeId] {
+        match self {
+            EdgeStore::Owned(v) => v,
+            EdgeStore::Arena(a) => a.as_slice(),
+        }
+    }
+}
+
 /// An owned, thread-independent description of a query result — the
 /// significant (α,β)-community detached from the graph's lifetime so it
 /// can be cached and shipped across threads.
 ///
 /// Two summaries are equal iff the underlying communities are identical
-/// (same edge set of the same graph), which is what the oracle test
-/// asserts against direct [`scs::CommunitySearch::significant_community`]
-/// calls.
-#[derive(Debug, Clone, PartialEq)]
+/// (same edge set of the same graph, regardless of how the edge list is
+/// stored), which is what the oracle tests assert against direct
+/// [`scs::CommunitySearch::significant_community`] calls.
+#[derive(Debug, Clone)]
 pub struct CommunitySummary {
-    /// The community's edge ids, sorted (empty result ⇒ empty vec).
-    pub edges: Vec<EdgeId>,
+    /// The community's edge ids, sorted (empty result ⇒ empty store).
+    edges: EdgeStore,
     /// Upper-side member count.
     pub n_upper: usize,
     /// Lower-side member count.
@@ -145,45 +177,92 @@ pub struct CommunitySummary {
     pub min_weight: Option<f64>,
 }
 
+impl PartialEq for CommunitySummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.edges() == other.edges()
+            && self.n_upper == other.n_upper
+            && self.n_lower == other.n_lower
+            && self.min_weight == other.min_weight
+    }
+}
+
 impl CommunitySummary {
-    /// Captures a borrowed [`Subgraph`] into an owned summary.
+    /// Captures a borrowed [`Subgraph`] into an owned summary
+    /// (allocating — the path for oracles and one-off callers; the
+    /// engine's leader path uses [`Self::from_arena_edges`]).
     pub fn from_subgraph(sub: &Subgraph<'_>) -> Self {
         let (us, ls) = sub.layer_vertices();
         CommunitySummary {
-            edges: sub.edges().to_vec(),
+            edges: EdgeStore::Owned(sub.edges().to_vec()),
             n_upper: us.len(),
             n_lower: ls.len(),
             min_weight: sub.min_weight(),
         }
     }
 
+    /// Builds a summary around an arena-stored edge list without
+    /// allocating: member counts come from `ws.layer_counts` (reusable
+    /// scratch) and the minimum weight from one pass over the edges.
+    pub fn from_arena_edges(
+        g: &BipartiteGraph,
+        edges: ArenaEdges,
+        ws: &mut QueryWorkspace,
+    ) -> Self {
+        let (n_upper, n_lower) = ws.layer_counts(g, edges.as_slice());
+        let min_weight = edges
+            .as_slice()
+            .iter()
+            .map(|&e| g.weight(e))
+            .min_by(|a, b| a.total_cmp(b));
+        CommunitySummary {
+            edges: EdgeStore::Arena(edges),
+            n_upper,
+            n_lower,
+            min_weight,
+        }
+    }
+
     /// The empty community — what the engine answers for requests no
     /// community can satisfy (query vertex outside the installed graph,
-    /// or a zero degree constraint).
+    /// or a zero degree constraint). Allocation-free.
     pub fn empty() -> Self {
         CommunitySummary {
-            edges: Vec::new(),
+            edges: EdgeStore::Owned(Vec::new()),
             n_upper: 0,
             n_lower: 0,
             min_weight: None,
         }
     }
 
+    /// The community's sorted edge ids.
+    pub fn edges(&self) -> &[EdgeId] {
+        self.edges.as_slice()
+    }
+
+    /// The backing storage (owned vs arena) — exposed so tests can
+    /// assert the slab-pinning invariants of arena-backed results.
+    pub fn store(&self) -> &EdgeStore {
+        &self.edges
+    }
+
     /// Number of edges in the community.
     pub fn size(&self) -> usize {
-        self.edges.len()
+        self.edges.as_slice().len()
     }
 }
 
 /// What the engine hands back for one request.
+///
+/// Passed **by value**: the summary's edge list lives in shared arena
+/// storage (or an empty vec), so cloning a response is a refcount bump
+/// plus a few scalar copies — no `Arc<QueryResponse>` box and no deep
+/// copy anywhere on the cached or coalesced paths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResponse {
     /// The request this answers.
     pub request: QueryRequest,
-    /// The community. Behind an `Arc` so cache hits and coalesced
-    /// responses share one summary instead of deep-copying the edge
-    /// list on the very path the cache exists to make cheap.
-    pub summary: std::sync::Arc<CommunitySummary>,
+    /// The community.
+    pub summary: CommunitySummary,
     /// `true` if served from the result cache (no recomputation).
     pub cached: bool,
     /// `true` if this thread waited on another in-flight identical query

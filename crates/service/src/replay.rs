@@ -17,7 +17,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scs::{Algorithm, CommunitySearch};
 use std::fmt;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Shape of a generated workload.
@@ -187,7 +186,7 @@ pub fn replay(
     engine: &QueryEngine,
     workload: &[QueryRequest],
     clients: usize,
-) -> (ReplayReport, Vec<Arc<QueryResponse>>) {
+) -> (ReplayReport, Vec<QueryResponse>) {
     replay_batched(engine, workload, clients, 1)
 }
 
@@ -204,11 +203,11 @@ pub fn replay_batched(
     workload: &[QueryRequest],
     clients: usize,
     batch_size: usize,
-) -> (ReplayReport, Vec<Arc<QueryResponse>>) {
+) -> (ReplayReport, Vec<QueryResponse>) {
     let clients = clients.max(1);
     let batch_size = batch_size.max(1);
     let t0 = Instant::now();
-    let mut responses: Vec<Option<Arc<QueryResponse>>> = vec![None; workload.len()];
+    let mut responses: Vec<Option<QueryResponse>> = vec![None; workload.len()];
     std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(clients);
         for c in 0..clients {
@@ -260,6 +259,7 @@ mod tests {
     use super::*;
     use crate::ServiceConfig;
     use bigraph::generators::random_bipartite;
+    use std::sync::Arc;
 
     fn small_search() -> Arc<CommunitySearch> {
         let mut rng = StdRng::seed_from_u64(9);

@@ -149,14 +149,24 @@ pub struct ServiceStats {
     /// Worst observed service latency, µs.
     pub max_us: u64,
     /// Resident bytes of the workers' reusable query workspaces —
-    /// the memory held to keep the query path allocation-free.
+    /// the memory held to keep the query path's *scratch*
+    /// allocation-free.
     pub scratch_bytes: usize,
+    /// Resident bytes of the workers' result-arena slabs — the memory
+    /// held to keep the *results* allocation-free too. Published before
+    /// each reply, like `scratch_bytes`, so a submitter reading stats
+    /// right after a blocking query sees the serving worker's arena.
+    pub arena_bytes: usize,
     /// Scratch-buffer acquisitions served from resident workspace
     /// memory, counted once per buffer per kernel entry. A query that
     /// passes through several kernels (e.g. retrieval + peel) counts
     /// each kernel's buffer set, so this tracks reuse traffic rather
     /// than a per-query allocation count.
     pub allocs_avoided: u64,
+    /// Arena slab recycles across the workers: stores served by
+    /// reclaiming a slab whose every result (cache entry, client
+    /// response, coalesced copy) had been dropped.
+    pub arena_recycled: u64,
 }
 
 impl fmt::Display for ServiceStats {
@@ -184,7 +194,9 @@ impl fmt::Display for ServiceStats {
         writeln!(f, "│ batch splits        │ {:>12} │", self.splits)?;
         writeln!(f, "│ sub-batches         │ {:>12} │", self.sub_batches)?;
         writeln!(f, "│ scratch resident    │ {:>11}B │", self.scratch_bytes)?;
+        writeln!(f, "│ arena resident      │ {:>11}B │", self.arena_bytes)?;
         writeln!(f, "│ allocs avoided      │ {:>12} │", self.allocs_avoided)?;
+        writeln!(f, "│ arena recycles      │ {:>12} │", self.arena_recycled)?;
         writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
         write!(f, "└─────────────────────┴──────────────┘")
     }
@@ -283,7 +295,9 @@ mod tests {
             p99_us: 200,
             max_us: 900,
             scratch_bytes: 65536,
+            arena_bytes: 262144,
             allocs_avoided: 4321,
+            arena_recycled: 9,
         };
         let txt = s.to_string();
         assert!(txt.contains("QPS"));
@@ -291,6 +305,9 @@ mod tests {
         assert!(txt.contains("60.0%"));
         assert!(txt.contains("scratch resident"));
         assert!(txt.contains("65536B"));
+        assert!(txt.contains("arena resident"));
+        assert!(txt.contains("262144B"));
+        assert!(txt.contains("arena recycles"));
         assert!(txt.contains("4321"));
         assert!(txt.contains("batch jobs"));
         assert!(txt.contains("384"));

@@ -67,7 +67,7 @@ fn batched_replay_is_bit_identical_to_per_request() {
             &mut ws,
         );
         assert_eq!(
-            *b.summary,
+            b.summary,
             CommunitySummary::from_subgraph(&sub),
             "slot {i} diverged from the single-threaded oracle"
         );
@@ -206,12 +206,12 @@ fn batches_race_single_requests_on_one_engine() {
                 if c % 2 == 0 {
                     for chunk in mine.chunks(16) {
                         for (req, resp) in chunk.iter().zip(engine.query_batch(chunk)) {
-                            got.push((*req, (*resp.summary).clone()));
+                            got.push((*req, resp.summary.clone()));
                         }
                     }
                 } else {
                     for req in mine {
-                        got.push((req, (*engine.query(req).summary).clone()));
+                        got.push((req, engine.query(req).summary.clone()));
                     }
                 }
                 got

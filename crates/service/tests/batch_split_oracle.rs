@@ -4,6 +4,13 @@
 //! submission, and from the single-threaded oracle; and the split path
 //! must stay sound (right-epoch answers, no leaked flights) while
 //! `install` swaps the index under the pool.
+//!
+//! Results are arena-backed throughout (summaries are views into
+//! per-worker slab storage), so every bit-identity assertion here also
+//! proves the arena layer: a sub-batch published from another worker's
+//! arena reads the same as an inline one, and the concurrent-install
+//! test at the bottom runs with deliberately tiny slabs and cache so
+//! recycling churns *under* the epoch swaps.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +30,7 @@ fn config(split: bool) -> ServiceConfig {
         // Aggressive splitting so the fan-out path is exercised hard.
         min_sub_batch: 2,
         split_batches: split,
+        ..ServiceConfig::default()
     }
 }
 
@@ -108,7 +116,7 @@ fn split_equals_unsplit_equals_per_request_bit_identically() {
             &mut ws,
         );
         assert_eq!(
-            *s.summary,
+            s.summary,
             CommunitySummary::from_subgraph(&sub),
             "slot {i} diverged from the single-threaded oracle"
         );
@@ -179,7 +187,7 @@ fn one_giant_batch_fans_out_and_matches_oracle() {
             &mut ws,
         );
         assert_eq!(
-            *resp.summary,
+            resp.summary,
             CommunitySummary::from_subgraph(&sub),
             "{req:?} diverged from the oracle"
         );
@@ -257,7 +265,7 @@ fn split_batches_stay_sound_under_concurrent_installs() {
                     for resp in engine.query_batch(&batch) {
                         let want = &expected[&resp.request][(resp.epoch % 2) as usize];
                         assert_eq!(
-                            *resp.summary, *want,
+                            resp.summary, *want,
                             "epoch {} answer for {:?} does not match that epoch's graph \
                              (cached={} coalesced={})",
                             resp.epoch, resp.request, resp.cached, resp.coalesced
@@ -292,5 +300,152 @@ fn split_batches_stay_sound_under_concurrent_installs() {
         0,
         "a flight leaked across the epoch swaps"
     );
+    engine.shutdown();
+}
+
+#[test]
+fn arena_recycling_stays_bit_identical_under_concurrent_installs() {
+    // The concurrent arena oracle: split batches, per-request racers
+    // and ≥ 12 epoch-swap installs over an engine configured so arena
+    // slabs recycle constantly (64-edge slabs, 16-entry cache). Every
+    // response — whichever worker's arena produced it, however many
+    // slab generations turned over beneath the cache — must stay
+    // bit-identical to the single-threaded oracle for the epoch that
+    // served it, and responses held across the whole run must keep
+    // reading their original bytes (generation tags prove their slabs
+    // were never recycled while live).
+    let mut rng = StdRng::seed_from_u64(41);
+    let graph_a = bigraph::generators::random_bipartite(70, 70, 900, &mut rng);
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph_b = bigraph::generators::random_bipartite(70, 70, 1200, &mut rng);
+    let search_a = CommunitySearch::shared(graph_a);
+    let search_b = CommunitySearch::shared(graph_b);
+
+    let keys: Vec<QueryRequest> = search_a
+        .graph()
+        .vertices()
+        .step_by(2)
+        .flat_map(|v| {
+            [
+                QueryRequest::new(v, 2, 2, Algorithm::Peel),
+                QueryRequest::new(v, 1, 2, Algorithm::Expand),
+            ]
+        })
+        .collect();
+    let mut ws = QueryWorkspace::new();
+    let mut expected: HashMap<QueryRequest, [CommunitySummary; 2]> = HashMap::new();
+    for req in &keys {
+        let mut on = |search: &Arc<CommunitySearch>| {
+            let sub = search.significant_community_in(
+                req.q,
+                req.alpha as usize,
+                req.beta as usize,
+                req.algo,
+                &mut ws,
+            );
+            CommunitySummary::from_subgraph(&sub)
+        };
+        expected.insert(*req, [on(&search_a), on(&search_b)]);
+    }
+    assert!(
+        expected.values().any(|[a, b]| a != b),
+        "graphs must disagree somewhere or epoch mixing is undetectable"
+    );
+
+    let engine = QueryEngine::start(
+        search_a.clone(),
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 16,
+            cache_shards: 4,
+            min_sub_batch: 1,
+            split_batches: true,
+            arena_slab_edges: 64,
+        },
+    );
+    settle();
+    const INSTALLS: u64 = 12;
+    let mut held: Vec<scs_service::QueryResponse> = Vec::new();
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let keys = &keys;
+        let expected = &expected;
+        let mut joins = Vec::new();
+        for c in 0..3u64 {
+            joins.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(500 + c);
+                let mut kept = Vec::new();
+                for round in 0..25 {
+                    let batch: Vec<QueryRequest> = (0..40)
+                        .map(|_| keys[rng.gen_range(0..keys.len())])
+                        .collect();
+                    let resps = if round % 5 == 4 {
+                        // Some per-request traffic races the batches.
+                        batch.iter().map(|&r| engine.query(r)).collect()
+                    } else {
+                        engine.query_batch(&batch)
+                    };
+                    for (i, resp) in resps.into_iter().enumerate() {
+                        let want = &expected[&resp.request][(resp.epoch % 2) as usize];
+                        assert_eq!(
+                            resp.summary, *want,
+                            "epoch {} answer for {:?} does not match that epoch's graph \
+                             (cached={} coalesced={})",
+                            resp.epoch, resp.request, resp.cached, resp.coalesced
+                        );
+                        if i % 9 == 0 {
+                            kept.push(resp);
+                        }
+                    }
+                }
+                kept
+            }));
+        }
+        scope.spawn(move || {
+            for i in 0..INSTALLS {
+                std::thread::sleep(std::time::Duration::from_millis(7));
+                let next = if i % 2 == 0 {
+                    search_b.clone()
+                } else {
+                    search_a.clone()
+                };
+                engine.install(next);
+            }
+        });
+        for j in joins {
+            held.extend(j.join().expect("client panicked"));
+        }
+    });
+
+    let st = engine.stats();
+    assert_eq!(st.epoch, INSTALLS, "installer must have finished");
+    assert!(st.splits > 0, "split path never engaged under installs");
+    assert!(
+        st.arena_recycled > 0,
+        "slabs never recycled — the arena was not stressed"
+    );
+    assert_eq!(engine.inflight_len(), 0, "a flight leaked");
+
+    // Responses held across the whole run — installs, evictions and
+    // slab recycles included — still read their original bytes, and
+    // their generation tags prove the storage was never reused.
+    assert!(!held.is_empty());
+    for resp in &held {
+        let want = &expected[&resp.request][(resp.epoch % 2) as usize];
+        assert_eq!(
+            resp.summary, *want,
+            "held response for {:?} (epoch {}) corrupted by recycling",
+            resp.request, resp.epoch
+        );
+        if let scs_service::EdgeStore::Arena(handle) = resp.summary.store() {
+            assert!(
+                handle.pinned(),
+                "{:?}: live handle generation {} != slab generation {}",
+                resp.request,
+                handle.generation(),
+                handle.slab_generation()
+            );
+        }
+    }
     engine.shutdown();
 }

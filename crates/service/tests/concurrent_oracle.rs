@@ -63,7 +63,7 @@ fn thousand_concurrent_queries_match_single_threaded_oracle() {
         assert_eq!(resp.request, *req);
         let expect = oracle(&search, req, &mut ws);
         assert_eq!(
-            *resp.summary, expect,
+            resp.summary, expect,
             "response {i} diverged from the oracle (cached={}, coalesced={})",
             resp.cached, resp.coalesced
         );
@@ -123,7 +123,7 @@ fn mixed_algorithms_and_parameters_match_oracle() {
     let (_, responses) = replay(&engine, &doubled, 6);
     let mut ws = QueryWorkspace::new();
     for (req, resp) in doubled.iter().zip(&responses) {
-        assert_eq!(*resp.summary, oracle(&search, req, &mut ws), "req {req:?}");
+        assert_eq!(resp.summary, oracle(&search, req, &mut ws), "req {req:?}");
     }
     engine.shutdown();
 }
@@ -169,7 +169,7 @@ fn epoch_swap_serves_updated_index_without_restart() {
         let req = QueryRequest::new(v, 2, 2, Algorithm::Auto);
         let resp = engine.query(req);
         assert_eq!(resp.epoch, 1);
-        assert_eq!(*resp.summary, oracle(&updated, &req, &mut ws));
+        assert_eq!(resp.summary, oracle(&updated, &req, &mut ws));
     }
     engine.shutdown();
 }
