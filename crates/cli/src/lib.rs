@@ -87,6 +87,13 @@ pub struct ServeBenchArgs {
     /// Disable adaptive batch splitting (serve every batch on one
     /// worker, the pre-split behaviour) — the A/B escape hatch.
     pub no_split: bool,
+    /// Warmup queries replayed (and then excluded from the steady-state
+    /// window) before the measured run; defaults to `queries / 10`.
+    pub warmup: Option<usize>,
+    /// Write the engine's Prometheus text exposition here after the run.
+    pub metrics_out: Option<String>,
+    /// Write the schema-versioned `BENCH_service.json` artifact here.
+    pub bench_json: Option<String>,
 }
 
 /// A side-qualified query vertex (`u:3` / `l:17`).
@@ -167,7 +174,8 @@ USAGE:
   scs generate <dir> [--scale S] [--seed N]
   scs serve-bench <edgelist> [--threads N] [--queries K] [--clients C]
              [--alpha A] [--beta B] [--repeat F] [--seed N]
-             [--batch-size B] [--no-split]
+             [--batch-size B] [--no-split] [--warmup W]
+             [--metrics-out FILE] [--bench-json FILE]
              [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs help
 
@@ -222,6 +230,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut repeat = 0.5f64;
     let mut batch_size = 1usize;
     let mut no_split = false;
+    let mut warmup: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut bench_json: Option<String> = None;
     // Subcommand-specific flags seen, so the other subcommands can
     // reject them instead of silently ignoring a misplaced knob.
     let mut serve_flags: Vec<&'static str> = Vec::new();
@@ -318,6 +329,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--no-split" => {
                 serve_flags.push("--no-split");
                 no_split = true;
+            }
+            "--warmup" => {
+                serve_flags.push("--warmup");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--warmup needs a value"))?;
+                // Zero is meaningful here (no warmup), so parse directly
+                // instead of through `parse_usize`.
+                warmup = Some(
+                    val.parse()
+                        .map_err(|_| CliError::new(format!("invalid warmup count {val:?}")))?,
+                );
+            }
+            "--metrics-out" => {
+                serve_flags.push("--metrics-out");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--metrics-out needs a path"))?;
+                metrics_out = Some(val.to_string());
+            }
+            "--bench-json" => {
+                serve_flags.push("--bench-json");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--bench-json needs a path"))?;
+                bench_json = Some(val.to_string());
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag:?}")))
@@ -419,6 +456,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 batch_size,
                 no_split,
+                warmup,
+                metrics_out,
+                bench_json,
             }))
         }
         other => Err(CliError::new(format!(
@@ -550,17 +590,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 }
 
 /// `scs serve-bench`: build the index, replay a core-sampled workload
-/// with repeats through the concurrent engine, print the stats table.
+/// with repeats through the concurrent engine, print the stats table
+/// (plus a steady-state window excluding warmup), and optionally export
+/// Prometheus text and the `BENCH_service.json` artifact.
 fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
     use scs_service::{
-        replay_batched, try_build_workload, QueryEngine, ServiceConfig, WorkloadSpec,
+        render_bench_json, replay_batched, try_build_workload, validate_bench_json,
+        validate_prometheus, BenchMeta, QueryEngine, ServiceConfig, WorkloadSpec,
     };
 
+    let warmup = args.warmup.unwrap_or(args.queries / 10);
     let g = load(&args.path, args.one_based)?;
     let summary = g.summary();
     let search = CommunitySearch::shared(g);
     let spec = WorkloadSpec {
-        n_queries: args.queries,
+        // One workload covers warmup + measured run, so the measured
+        // requests see a cache already primed by the same distribution.
+        n_queries: warmup + args.queries,
         alpha: args.alpha,
         beta: args.beta,
         algo: args.algo,
@@ -581,7 +627,15 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
             ..ServiceConfig::default()
         },
     );
-    let (report, _responses) = replay_batched(&engine, &workload, args.clients, args.batch_size);
+    if warmup > 0 {
+        let _ = replay_batched(&engine, &workload[..warmup], args.clients, args.batch_size);
+    }
+    // Reset the window baseline so `steady` covers exactly the measured
+    // replay — warmup requests stay in the cumulative table only.
+    let _ = engine.stats_window();
+    let (report, _responses) =
+        replay_batched(&engine, &workload[warmup..], args.clients, args.batch_size);
+    let steady = engine.stats_window();
     let submission = if report.batch_size > 1 {
         format!(
             "batches of {}{}",
@@ -593,7 +647,7 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
     };
     let mut out = format!(
         "serve-bench {summary}\n\
-         workload: {} queries (α={}, β={}, algo={}, repeat={:.2}, seed={})\n\
+         workload: {} queries (+{warmup} warmup) (α={}, β={}, algo={}, repeat={:.2}, seed={})\n\
          replayed by {} clients ({submission}) over {} workers in {:.3} s — {:.1} QPS\n",
         report.n_queries,
         args.alpha,
@@ -607,6 +661,43 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
         report.replay_qps,
     );
     out.push_str(&report.stats.to_string());
+    if !out.ends_with('\n') {
+        out.push('\n'); // the stats table ends flush after the slow-query ring
+    }
+    out.push_str(&format!(
+        "steady state (excl. warmup): {} queries in window — {:.1} QPS, \
+         mean {:.1}µs, p50 {}µs, p99 {}µs, max {}µs\n",
+        steady.completed, steady.qps, steady.mean_us, steady.p50_us, steady.p99_us, steady.max_us,
+    ));
+    if let Some(path) = &args.metrics_out {
+        let text = engine.render_metrics();
+        validate_prometheus(&text)
+            .map_err(|e| CliError::new(format!("metrics self-validation failed: {e}")))?;
+        std::fs::write(path, &text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        out.push_str(&format!("wrote Prometheus metrics → {path}\n"));
+    }
+    if let Some(path) = &args.bench_json {
+        let meta = BenchMeta {
+            dataset: &args.path,
+            threads: args.threads,
+            queries: args.queries,
+            warmup,
+            clients: report.clients,
+            batch_size: args.batch_size,
+            alpha: args.alpha,
+            beta: args.beta,
+            algo: args.algo,
+            repeat_fraction: args.repeat,
+            seed: args.seed,
+            split_batches: !args.no_split,
+            wall_secs: report.wall_secs,
+        };
+        let json = render_bench_json(&meta, &report.stats, &steady);
+        validate_bench_json(&json)
+            .map_err(|e| CliError::new(format!("bench-json self-validation failed: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        out.push_str(&format!("wrote bench artifact → {path}\n"));
+    }
     engine.shutdown();
     Ok(out)
 }
@@ -731,6 +822,9 @@ mod tests {
                 seed: 42,
                 batch_size: 32,
                 no_split: false,
+                warmup: None,
+                metrics_out: None,
+                bench_json: None,
             })
         );
         // batch size defaults to per-request submission; splitting is
@@ -750,6 +844,39 @@ mod tests {
         assert!(parse_args(&args(&["serve-bench", "g", "--threads", "0"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--repeat", "1.5"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--batch-size"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_bench_telemetry_flags() {
+        let cmd = parse_args(&args(&[
+            "serve-bench",
+            "g.tsv",
+            "--warmup",
+            "0",
+            "--metrics-out",
+            "m.prom",
+            "--bench-json",
+            "b.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::ServeBench(a) => {
+                // --warmup 0 is legal (disables warmup); absent means
+                // the runner defaults to queries / 10.
+                assert_eq!(a.warmup, Some(0));
+                assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+                assert_eq!(a.bench_json.as_deref(), Some("b.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["serve-bench", "g", "--warmup", "x"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--metrics-out"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--bench-json"])).is_err());
+        // Telemetry flags are serve-bench-only, like the rest.
+        let err = parse_args(&args(&["stats", "g", "--warmup", "5"])).unwrap_err();
+        assert!(err.to_string().contains("serve-bench"), "{err}");
+        assert!(parse_args(&args(&["stats", "g", "--metrics-out", "m"])).is_err());
+        assert!(parse_args(&args(&["stats", "g", "--bench-json", "b"])).is_err());
     }
 
     #[test]
@@ -844,6 +971,9 @@ mod tests {
             seed: 1,
             batch_size: 1,
             no_split: false,
+            warmup: None,
+            metrics_out: None,
+            bench_json: None,
         }))
         .unwrap();
         assert!(out.contains("200 queries"), "{out}");
@@ -867,6 +997,9 @@ mod tests {
             seed: 1,
             batch_size: 25,
             no_split: false,
+            warmup: None,
+            metrics_out: None,
+            bench_json: None,
         }))
         .unwrap();
         assert!(out.contains("batches of 25"), "{out}");
@@ -887,6 +1020,9 @@ mod tests {
             seed: 1,
             batch_size: 25,
             no_split: true,
+            warmup: None,
+            metrics_out: None,
+            bench_json: None,
         }))
         .unwrap();
         assert!(out.contains("batches of 25, no split"), "{out}");
@@ -905,12 +1041,68 @@ mod tests {
             seed: 1,
             batch_size: 1,
             no_split: false,
+            warmup: None,
+            metrics_out: None,
+            bench_json: None,
         }))
         .unwrap_err();
         // The empty-core diagnosis names the core, with the lone
         // possible confusion (--queries 0) ruled out by the parser.
         assert!(err.to_string().contains("(50,50)-core is empty"), "{err}");
         assert!(err.to_string().contains("lower --alpha/--beta"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_exports_metrics_and_bench_json() {
+        let dir = std::env::temp_dir().join("scs_cli_serve_bench_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        let mut body = String::new();
+        for u in 0..3 {
+            for l in 0..3 {
+                let w = if u == 2 && l == 2 { 1 } else { 5 };
+                body.push_str(&format!("{u} {l} {w}\n"));
+            }
+        }
+        std::fs::write(&path, body).unwrap();
+        let metrics = dir.join("metrics.prom");
+        let bench = dir.join("BENCH_service.json");
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 4,
+            queries: 200,
+            clients: 4,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            seed: 1,
+            batch_size: 8,
+            no_split: false,
+            warmup: Some(40),
+            metrics_out: Some(metrics.to_str().unwrap().into()),
+            bench_json: Some(bench.to_str().unwrap().into()),
+        }))
+        .unwrap();
+        assert!(out.contains("200 queries (+40 warmup)"), "{out}");
+        assert!(out.contains("steady state (excl. warmup)"), "{out}");
+        assert!(out.contains("wrote Prometheus metrics"), "{out}");
+        assert!(out.contains("wrote bench artifact"), "{out}");
+
+        // Both artifacts exist and re-validate from disk.
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        scs_service::validate_prometheus(&prom).unwrap();
+        assert!(prom.contains("scs_requests_total"), "{prom}");
+        assert!(prom.contains("scs_stage_duration_us_bucket"), "{prom}");
+        let json = std::fs::read_to_string(&bench).unwrap();
+        scs_service::validate_bench_json(&json).unwrap();
+        assert!(json.contains(scs_service::BENCH_SCHEMA), "{json}");
+        // Warmup is excluded from the steady window: 200 measured of
+        // 240 replayed.
+        assert!(json.contains("\"queries\": 200"), "{json}");
+        assert!(json.contains("\"warmup\": 40"), "{json}");
         std::fs::remove_dir_all(dir).ok();
     }
 

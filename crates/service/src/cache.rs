@@ -88,7 +88,9 @@ impl<K: Hash + Eq + Clone, V> LruShard<K, V> {
         Some(&self.nodes[i].value)
     }
 
-    fn insert(&mut self, key: K, value: V) {
+    /// Inserts (or refreshes) `key`; returns `true` iff a resident
+    /// entry was evicted to make room (the telemetry eviction counter).
+    fn insert(&mut self, key: K, value: V) -> bool {
         match self.map.entry(key.clone()) {
             MapEntry::Occupied(slot) => {
                 let i = *slot.get();
@@ -97,6 +99,7 @@ impl<K: Hash + Eq + Clone, V> LruShard<K, V> {
                     self.unlink(i);
                     self.push_front(i);
                 }
+                false
             }
             MapEntry::Vacant(slot) => {
                 let i = if let Some(i) = self.free.pop() {
@@ -125,17 +128,24 @@ impl<K: Hash + Eq + Clone, V> LruShard<K, V> {
                     let old_key = self.nodes[victim].key.clone();
                     self.map.remove(&old_key);
                     self.free.push(victim);
+                    true
+                } else {
+                    false
                 }
             }
         }
     }
 
-    fn clear(&mut self) {
+    /// Drops everything; returns how many resident entries were dropped
+    /// (the telemetry invalidation counter).
+    fn clear(&mut self) -> usize {
+        let dropped = self.map.len();
         self.map.clear();
         self.nodes.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        dropped
     }
 
     fn len(&self) -> usize {
@@ -160,6 +170,12 @@ pub struct CacheStats {
     pub capacity: usize,
     /// Number of shards.
     pub shards: usize,
+    /// Resident entries dropped by LRU eviction (capacity pressure in
+    /// their shard).
+    pub evictions: u64,
+    /// Resident entries dropped by [`ShardedCache::clear`] — the
+    /// epoch-swap (index install) invalidation path.
+    pub invalidated: u64,
 }
 
 impl CacheStats {
@@ -186,6 +202,8 @@ pub struct ShardedCache<K, V> {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
@@ -209,6 +227,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             capacity: capacity.max(n),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -233,9 +253,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    /// Inserts (or refreshes) `key`, evicting within its shard if full.
+    /// Inserts (or refreshes) `key`, evicting within its shard if full
+    /// (counted in [`CacheStats::evictions`]).
     pub fn insert(&self, key: K, value: V) {
-        self.shard_of(&key).lock().unwrap().insert(key, value);
+        if self.shard_of(&key).lock().unwrap().insert(key, value) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Counts one additional hit that was answered from an
@@ -257,10 +280,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Drops every entry (counters are kept — they describe traffic, not
-    /// contents). Used on epoch swap.
+    /// contents). Used on epoch swap; the dropped residents are counted
+    /// in [`CacheStats::invalidated`].
     pub fn clear(&self) {
+        let mut dropped = 0u64;
         for shard in &self.shards {
-            shard.lock().unwrap().clear();
+            dropped += shard.lock().unwrap().clear() as u64;
+        }
+        if dropped > 0 {
+            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
         }
     }
 
@@ -282,6 +310,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             entries: self.len(),
             capacity: self.capacity,
             shards: self.shards.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
         }
     }
 }
@@ -351,6 +381,33 @@ mod tests {
         assert_eq!((st.hits, st.misses), (3, 1));
         // Bookkeeping only: nothing about residency or recency changes.
         assert_eq!(st.entries, 1);
+    }
+
+    #[test]
+    fn eviction_and_invalidation_counters() {
+        // One shard, two slots: inserts beyond capacity evict exactly
+        // one resident each, refreshes evict nothing.
+        let c: ShardedCache<u64, u64> = ShardedCache::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.stats().evictions, 0);
+        c.insert(1, 11); // refresh — no eviction
+        assert_eq!(c.stats().evictions, 0);
+        c.insert(3, 30); // evicts 2
+        c.insert(4, 40); // evicts 1
+        let st = c.stats();
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.invalidated, 0);
+        // clear() counts the dropped residents as invalidations, not
+        // evictions.
+        c.clear();
+        let st = c.stats();
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.invalidated, 2);
+        assert_eq!(st.entries, 0);
+        // Clearing an empty cache invalidates nothing.
+        c.clear();
+        assert_eq!(c.stats().invalidated, 2);
     }
 
     #[test]

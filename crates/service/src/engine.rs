@@ -89,7 +89,8 @@
 //! request never receives a pre-install result.
 
 use crate::cache::ShardedCache;
-use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats};
+use crate::telemetry::{Provenance, Stage, StageRecorder, StageSet, Telemetry, TelemetrySnapshot};
 use crate::{CommunitySummary, QueryRequest, QueryResponse};
 use bigraph::arena::ResultArena;
 use bigraph::Vertex;
@@ -127,6 +128,11 @@ pub struct ServiceConfig {
     /// ([`bigraph::arena::DEFAULT_SLAB_EDGES`]) suits production, tests
     /// shrink it to exercise recycling. Clamped to ≥ 1.
     pub arena_slab_edges: usize,
+    /// Capacity of the slow-query ring: how many worst-latency requests
+    /// the telemetry plane retains with their full stage breakdown
+    /// (see [`crate::telemetry`]). 0 disables retention (recording
+    /// skips the ring entirely); the histograms stay on regardless.
+    pub slow_ring_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -138,6 +144,7 @@ impl Default for ServiceConfig {
             min_sub_batch: 8,
             split_batches: true,
             arena_slab_edges: bigraph::arena::DEFAULT_SLAB_EDGES,
+            slow_ring_capacity: 16,
         }
     }
 }
@@ -250,6 +257,10 @@ impl Drop for FlightGuard {
 struct Unit {
     guard: FlightGuard,
     slots: (u32, u32),
+    /// This key's pass-1 cache-lookup time, µs — carried so the unit's
+    /// eventual publisher can attribute the cache-lookup stage no
+    /// matter which worker runs the unit.
+    cache_us: u64,
 }
 
 /// One fanned-out share of a split batch: a same-algorithm run of
@@ -274,6 +285,11 @@ struct BatchShared {
     /// The batch's dequeue time — response `service_us` is measured
     /// from it on every worker, as in the unsplit path.
     t0: Instant,
+    /// The batch's queue wait (enqueue → dequeue), µs — the base of
+    /// every split unit's stage attribution.
+    queue_us: u64,
+    /// The owner's snapshot-acquire + flight-join window, µs.
+    snapshot_us: u64,
     /// Chunks carved; the owner waits until `done` reaches it.
     total: usize,
     /// Submission slots of every split unit, grouped per unit (the
@@ -298,6 +314,12 @@ struct BatchCtx<'a> {
     search: &'a CommunitySearch,
     epoch: u64,
     t0: Instant,
+    /// Batch-level stage bases shared by every unit: the queue wait and
+    /// the owner's snapshot-acquire window, µs.
+    queue_us: u64,
+    snapshot_us: u64,
+    /// How this unit reached the kernel: inline batch or split chunk.
+    prov: Provenance,
 }
 
 /// A pooled one-shot reply slot: the worker `put`s exactly once (or
@@ -487,6 +509,45 @@ struct ScratchSlot {
     arena_recycled: AtomicU64,
 }
 
+/// The previous [`QueryEngine::stats_window`] baseline: plain-value
+/// copies of every cumulative counter and histogram, subtracted from
+/// the current values to yield the window's deltas.
+struct WindowBase {
+    at: Instant,
+    service: HistSnapshot,
+    telem: TelemetrySnapshot,
+    completed: u64,
+    coalesced: u64,
+    batches: u64,
+    batched: u64,
+    splits: u64,
+    sub_batches: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    cache_invalidated: u64,
+}
+
+impl WindowBase {
+    fn zero(at: Instant) -> Self {
+        WindowBase {
+            at,
+            service: HistSnapshot::empty(),
+            telem: TelemetrySnapshot::empty(),
+            completed: 0,
+            coalesced: 0,
+            batches: 0,
+            batched: 0,
+            splits: 0,
+            sub_batches: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_invalidated: 0,
+        }
+    }
+}
+
 /// Shared state between the engine handle and its workers.
 struct Inner {
     search: RwLock<(Arc<CommunitySearch>, u64)>,
@@ -515,6 +576,13 @@ struct Inner {
     resp_pool: VecPool<QueryResponse>,
     started: Instant,
     workers: usize,
+    /// The preallocated telemetry plane: per-algorithm × per-stage
+    /// histograms, the slow-query ring and event counters. Recording
+    /// is lock-free and allocation-free (see [`crate::telemetry`]).
+    telemetry: Telemetry,
+    /// Baseline of the last [`QueryEngine::stats_window`] call. Off the
+    /// serving path entirely — only stats readers lock it.
+    window: Mutex<WindowBase>,
 }
 
 impl Inner {
@@ -626,6 +694,7 @@ impl Inner {
             self.cache.insert(req, resp.clone());
             true
         } else {
+            self.telemetry.note_stale_publish();
             false
         }
     }
@@ -650,6 +719,8 @@ impl Inner {
         search: Arc<CommunitySearch>,
         epoch: u64,
         t0: Instant,
+        queue_us: u64,
+        snapshot_us: u64,
     ) -> Arc<BatchShared> {
         match self.shared_pool.take_free() {
             Some(mut shared) => {
@@ -657,6 +728,8 @@ impl Inner {
                 s.search = search;
                 s.epoch = epoch;
                 s.t0 = t0;
+                s.queue_us = queue_us;
+                s.snapshot_us = snapshot_us;
                 s.total = 0;
                 s.slot_store.clear();
                 s.units.get_mut().unwrap().clear();
@@ -669,6 +742,8 @@ impl Inner {
                 search,
                 epoch,
                 t0,
+                queue_us,
+                snapshot_us,
                 total: 0,
                 slot_store: Vec::new(),
                 units: Mutex::new(Vec::new()),
@@ -717,6 +792,8 @@ struct BatchScratch {
     key_start: Vec<u32>,
     key_cursor: Vec<u32>,
     key_slots: Vec<u32>,
+    /// Pass-1 cache-lookup time per unique key, µs (stage attribution).
+    key_cache_us: Vec<u64>,
     first: HashMap<QueryRequest, u32>,
     miss_keys: Vec<u32>,
     leaders: Vec<(FlightGuard, u32)>,
@@ -741,6 +818,9 @@ struct WorkerState {
     kernel: KernelState,
     batch: BatchScratch,
     sub: SubScratch,
+    /// Per-request stage stopwatch — plain scalars, reused forever, so
+    /// stage attribution costs clock reads and nothing else.
+    rec: StageRecorder,
 }
 
 fn algo_rank(algo: Algorithm) -> usize {
@@ -752,9 +832,22 @@ fn algo_rank(algo: Algorithm) -> usize {
 
 /// Serves one request with full per-request accounting: one cache
 /// lookup, then — on a miss — the flight protocol of [`serve_miss`].
-fn serve(inner: &Arc<Inner>, req: QueryRequest, k: &mut KernelState) -> QueryResponse {
+///
+/// `rec` must have been started by the caller (who owns the enqueue
+/// timestamp); this function marks the cache-lookup stage and
+/// [`serve_miss`] the rest. The caller records the trace after the
+/// reply, so a panicking request is never recorded — mirroring the
+/// `completed` counter.
+fn serve(
+    inner: &Arc<Inner>,
+    req: QueryRequest,
+    k: &mut KernelState,
+    rec: &mut StageRecorder,
+) -> QueryResponse {
     let t0 = Instant::now();
-    if let Some(hit) = inner.cache.get(&req) {
+    let hit = inner.cache.get(&req);
+    rec.mark(Stage::CacheLookup);
+    if let Some(hit) = hit {
         let resp = QueryResponse {
             cached: true,
             coalesced: false,
@@ -764,7 +857,7 @@ fn serve(inner: &Arc<Inner>, req: QueryRequest, k: &mut KernelState) -> QueryRes
         inner.finish(&resp);
         return resp;
     }
-    serve_miss(inner, req, k, t0)
+    serve_miss(inner, req, k, t0, rec)
 }
 
 /// The miss path of [`serve`]: joins (or opens) the flight for `req`
@@ -777,6 +870,7 @@ fn serve_miss(
     req: QueryRequest,
     k: &mut KernelState,
     t0: Instant,
+    rec: &mut StageRecorder,
 ) -> QueryResponse {
     // Epochs are monotonic, so the retry loop terminates: it only
     // loops when an install landed between our snapshot and the
@@ -788,6 +882,7 @@ fn serve_miss(
             role => break (search, epoch, role),
         }
     };
+    rec.mark(Stage::Snapshot);
     match role {
         Role::StaleSnapshot => unreachable!("retried above"),
         Role::Leader(flight) => {
@@ -813,6 +908,7 @@ fn serve_miss(
             } else {
                 CommunitySummary::empty()
             };
+            rec.mark(Stage::Kernel);
             let resp = QueryResponse {
                 request: req,
                 summary,
@@ -829,12 +925,16 @@ fn serve_miss(
             guard.publish(resp.clone());
             drop(guard);
             inner.finish(&resp);
+            rec.mark(Stage::Publish);
             resp
         }
         Role::Follower(flight) => {
             let shared = flight.wait().unwrap_or_else(|| {
                 panic!("in-flight leader for {req:?} panicked before publishing")
             });
+            // A coalesced request's "kernel" is the wait on the
+            // leader's computation — that is where its time went.
+            rec.mark(Stage::Kernel);
             let resp = QueryResponse {
                 cached: false,
                 coalesced: true,
@@ -843,6 +943,7 @@ fn serve_miss(
             };
             inner.coalesced.fetch_add(1, Ordering::Relaxed);
             inner.finish(&resp);
+            rec.mark(Stage::Publish);
             resp
         }
     }
@@ -861,15 +962,19 @@ fn serve_miss(
 /// eviction would have forced a per-request resubmission to recompute;
 /// deliberately so — re-probing, let alone recomputing, could block,
 /// and sub-batch execution must never wait).
+#[allow(clippy::too_many_arguments)] // internal plumbing; the args are the trace
 fn publish_unit(
     inner: &Arc<Inner>,
     ctx: BatchCtx<'_>,
     mut guard: FlightGuard,
     slots: &[u32],
     summary: CommunitySummary,
+    kernel_us: u64,
+    cache_us: u64,
     sink: &mut Vec<(u32, QueryResponse)>,
 ) {
     let us = |t0: &Instant| t0.elapsed().as_micros() as u64;
+    let pt0 = Instant::now();
     let req = guard.key;
     let resp = QueryResponse {
         request: req,
@@ -883,6 +988,26 @@ fn publish_unit(
     guard.publish(resp.clone());
     drop(guard);
     inner.finish(&resp);
+    // Stage attribution for every slot this unit answers: the batch's
+    // queue wait and snapshot window, this key's pass-1 lookup, the
+    // (shared) kernel-call window and this unit's publish window — all
+    // disjoint wall-clock sub-intervals, so the stage sum never
+    // exceeds the end-to-end total.
+    let mut stages = StageSet::new();
+    stages
+        .set(Stage::QueueWait, ctx.queue_us)
+        .set(Stage::Snapshot, ctx.snapshot_us)
+        .set(Stage::CacheLookup, cache_us)
+        .set(Stage::Kernel, kernel_us)
+        .set(Stage::Publish, us(&pt0));
+    inner.telemetry.record(&stages.trace(
+        &req,
+        ctx.epoch,
+        false,
+        false,
+        ctx.prov,
+        ctx.queue_us + us(&ctx.t0),
+    ));
     sink.push((slots[0], resp.clone()));
     for &slot in &slots[1..] {
         let r = if resident {
@@ -902,6 +1027,14 @@ fn publish_unit(
             }
         };
         inner.finish(&r);
+        inner.telemetry.record(&stages.trace(
+            &req,
+            ctx.epoch,
+            r.cached,
+            r.coalesced,
+            ctx.prov,
+            ctx.queue_us + r.service_us,
+        ));
         sink.push((slot, r));
     }
 }
@@ -936,6 +1069,7 @@ fn run_units(
     // before re-raising so every unpublished flight is poisoned and no
     // stale unit (whose slot range indexes *this* batch's tables) can
     // leak into the next batch served from the same scratch.
+    let kt0 = Instant::now();
     let kernel = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         ctx.search.significant_communities_arena(
             &k.queries,
@@ -949,6 +1083,11 @@ fn run_units(
         units.clear();
         std::panic::resume_unwind(panic);
     }
+    // One batched call served the whole run, so each of its units is
+    // attributed the full kernel window — the cost the run's members
+    // shared; a per-unit split would misstate where the batch's time
+    // went (the units ran *inside* this window, not after each other).
+    let kernel_us = kt0.elapsed().as_micros() as u64;
     // A panic below (publishing) is already safe: `Drain` drops the
     // not-yet-yielded units on unwind, poisoning their flights.
     for (unit, edges) in units.drain(..).zip(k.handles.drain(..)) {
@@ -960,6 +1099,8 @@ fn run_units(
             unit.guard,
             &store[s0 as usize..s1 as usize],
             summary,
+            kernel_us,
+            unit.cache_us,
             sink,
         );
     }
@@ -997,6 +1138,9 @@ fn run_split_chunks(
             search: &shared.search,
             epoch: shared.epoch,
             t0: shared.t0,
+            queue_us: shared.queue_us,
+            snapshot_us: shared.snapshot_us,
+            prov: Provenance::Split,
         };
         sub.units.clear();
         {
@@ -1030,13 +1174,18 @@ fn serve_batch(
     inner: &Arc<Inner>,
     reqs: &[QueryRequest],
     state: &mut WorkerState,
+    enqueued: Instant,
 ) -> Vec<QueryResponse> {
     let WorkerState {
         kernel: k,
         batch: b,
         sub,
+        rec,
     } = state;
     let t0 = Instant::now();
+    // The whole batch waited in the queue together; every one of its
+    // requests is attributed the same queue-wait stage.
+    let queue_us = t0.saturating_duration_since(enqueued).as_micros() as u64;
     inner.batches.fetch_add(1, Ordering::Relaxed);
     inner
         .batched
@@ -1102,10 +1251,19 @@ fn serve_batch(
     // submission performs one lookup per request, and the stats must
     // not depend on how requests were submitted.
     b.miss_keys.clear();
+    b.key_cache_us.clear();
     for kx in 0..nk {
         let req = b.keys[kx];
         let (s0, s1) = (b.key_start[kx] as usize, b.key_start[kx + 1] as usize);
-        if let Some(hit) = inner.cache.get(&req) {
+        let lt0 = Instant::now();
+        let hit = inner.cache.get(&req);
+        let cache_us = lt0.elapsed().as_micros() as u64;
+        b.key_cache_us.push(cache_us);
+        if let Some(hit) = hit {
+            let mut stages = StageSet::new();
+            stages
+                .set(Stage::QueueWait, queue_us)
+                .set(Stage::CacheLookup, cache_us);
             for (j, &slot) in b.key_slots[s0..s1].iter().enumerate() {
                 if j > 0 {
                     inner.cache.record_extra_hit();
@@ -1117,6 +1275,14 @@ fn serve_batch(
                     ..hit.clone()
                 };
                 inner.finish(&resp);
+                inner.telemetry.record(&stages.trace(
+                    &req,
+                    resp.epoch,
+                    true,
+                    false,
+                    Provenance::Batch,
+                    queue_us + resp.service_us,
+                ));
                 b.out[slot as usize] = Some(resp);
             }
         } else {
@@ -1125,7 +1291,10 @@ fn serve_batch(
     }
 
     if !b.miss_keys.is_empty() {
-        // One snapshot read for every miss in the batch.
+        // One snapshot read for every miss in the batch; the
+        // snapshot-acquire stage covers it together with the flight
+        // joins, matching the per-request path's attribution.
+        let st0 = Instant::now();
         let (search, epoch) = inner.snapshot();
         b.leaders.clear();
         b.followers.clear();
@@ -1148,6 +1317,7 @@ fn serve_batch(
                 Role::StaleSnapshot => b.stale_keys.push(kx),
             }
         }
+        let snapshot_us = st0.elapsed().as_micros() as u64;
 
         // Partition the servable leaders into per-algorithm runs; the
         // unservable get the empty community immediately.
@@ -1155,6 +1325,9 @@ fn serve_batch(
             search: &search,
             epoch,
             t0,
+            queue_us,
+            snapshot_us,
+            prov: Provenance::Batch,
         };
         b.sink.clear();
         while b.algo_units.len() < Algorithm::ALL.len() {
@@ -1164,20 +1337,26 @@ fn serve_batch(
         for (guard, kx) in b.leaders.drain(..) {
             let (s0, s1) = (b.key_start[kx as usize], b.key_start[kx as usize + 1]);
             if !Inner::servable(&guard.key, &search) {
+                // No kernel ran for an unservable key; a 0µs kernel
+                // stage still marks the path it took.
                 publish_unit(
                     inner,
                     ctx,
                     guard,
                     &b.key_slots[s0 as usize..s1 as usize],
                     CommunitySummary::empty(),
+                    0,
+                    b.key_cache_us[kx as usize],
                     &mut b.sink,
                 );
                 continue;
             }
             n_units += 1;
+            let cache_us = b.key_cache_us[kx as usize];
             b.algo_units[algo_rank(guard.key.algo)].push(Unit {
                 guard,
                 slots: (s0, s1),
+                cache_us,
             });
         }
 
@@ -1210,7 +1389,7 @@ fn serve_batch(
             // with hints. We claim and run whatever the pool does not,
             // then wait for stragglers.
             let chunk_size = n_units.div_ceil(fanout);
-            let mut shared = inner.batch_shared(search.clone(), epoch, t0);
+            let mut shared = inner.batch_shared(search.clone(), epoch, t0, queue_us, snapshot_us);
             {
                 let s = Arc::get_mut(&mut shared).expect("owner holds the only reference");
                 for rank in 0..Algorithm::ALL.len() {
@@ -1238,6 +1417,7 @@ fn serve_batch(
                         units_store.push(Some(Unit {
                             guard: unit.guard,
                             slots: (ns0, ns1),
+                            cache_us: unit.cache_us,
                         }));
                         queue.last_mut().expect("range opened above").units.end = units_store.len();
                     }
@@ -1288,11 +1468,22 @@ fn serve_batch(
             let req = b.keys[kx];
             let (s0, s1) = (b.key_start[kx] as usize, b.key_start[kx + 1] as usize);
             for (j, &slot) in b.key_slots[s0..s1].iter().enumerate() {
+                // The per-request path records through the worker's
+                // stage stopwatch; the batch's queue wait is its base
+                // and the trace carries batch provenance.
+                rec.start_with_queue_us(queue_us);
                 let resp = if j == 0 {
-                    serve_miss(inner, req, k, t0)
+                    serve_miss(inner, req, k, t0, rec)
                 } else {
-                    serve(inner, req, k)
+                    serve(inner, req, k, rec)
                 };
+                inner.telemetry.record(&rec.trace(
+                    &req,
+                    resp.epoch,
+                    resp.cached,
+                    resp.coalesced,
+                    Provenance::Batch,
+                ));
                 b.out[slot as usize] = Some(resp);
             }
         }
@@ -1300,9 +1491,19 @@ fn serve_batch(
         for i in 0..b.followers.len() {
             let (flight, kx) = (b.followers[i].0.clone(), b.followers[i].1 as usize);
             let req = b.keys[kx];
+            let wt0 = Instant::now();
             let shared = flight.wait().unwrap_or_else(|| {
                 panic!("in-flight leader for {req:?} panicked before publishing")
             });
+            // As on the per-request path, a coalesced request's kernel
+            // stage is the wait on the leader's computation.
+            let kernel_us = wt0.elapsed().as_micros() as u64;
+            let mut stages = StageSet::new();
+            stages
+                .set(Stage::QueueWait, queue_us)
+                .set(Stage::Snapshot, snapshot_us)
+                .set(Stage::CacheLookup, b.key_cache_us[kx])
+                .set(Stage::Kernel, kernel_us);
             let (s0, s1) = (b.key_start[kx] as usize, b.key_start[kx + 1] as usize);
             for (j, &slot) in b.key_slots[s0..s1].iter().enumerate() {
                 if j > 0 {
@@ -1319,6 +1520,14 @@ fn serve_batch(
                 };
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 inner.finish(&resp);
+                inner.telemetry.record(&stages.trace(
+                    &req,
+                    resp.epoch,
+                    false,
+                    true,
+                    Provenance::Batch,
+                    queue_us + resp.service_us,
+                ));
                 b.out[slot as usize] = Some(resp);
             }
         }
@@ -1335,12 +1544,18 @@ fn serve_batch(
 }
 
 enum Job {
-    /// One request, one response.
-    Single(QueryRequest, Arc<ReplyCell<QueryResponse>>),
+    /// One request, one response; the `Instant` is the enqueue time
+    /// (the queue-wait stage is measured from it at dequeue).
+    Single(QueryRequest, Arc<ReplyCell<QueryResponse>>, Instant),
     /// N requests served by one worker with amortized snapshot, cache
     /// and workspace handling; answered as one vector in request order.
-    /// The request vector is pooled and returned after serving.
-    Batch(Vec<QueryRequest>, Arc<ReplyCell<Vec<QueryResponse>>>),
+    /// The request vector is pooled and returned after serving. The
+    /// `Instant` is the enqueue time, as in [`Job::Single`].
+    Batch(
+        Vec<QueryRequest>,
+        Arc<ReplyCell<Vec<QueryResponse>>>,
+        Instant,
+    ),
     /// Wake-up hint that a split batch has unclaimed sub-batches; the
     /// receiving worker drains [`BatchShared::queue`] (possibly finding
     /// nothing — the owner and other workers race for chunks).
@@ -1434,6 +1649,8 @@ impl QueryEngine {
             resp_pool: VecPool::new(),
             started: Instant::now(),
             workers,
+            telemetry: Telemetry::new(config.slow_ring_capacity),
+            window: Mutex::new(WindowBase::zero(Instant::now())),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -1451,6 +1668,7 @@ impl QueryEngine {
                             kernel: KernelState::new(arena_slab_edges),
                             batch: BatchScratch::default(),
                             sub: SubScratch::default(),
+                            rec: StageRecorder::new(),
                         };
                         while let Some(job) = inner.queue.pop(&inner.idle_workers) {
                             // Backstop: a panic in query code must not
@@ -1476,21 +1694,43 @@ impl QueryEngine {
                                     .store(k.arena.stats().recycled, Ordering::Relaxed);
                             };
                             match job {
-                                Job::Single(req, reply) => {
-                                    let resp =
-                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || serve(&inner, req, &mut state.kernel),
-                                        ));
+                                Job::Single(req, reply, enqueued) => {
+                                    state.rec.start(enqueued);
+                                    let resp = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            serve(&inner, req, &mut state.kernel, &mut state.rec)
+                                        }),
+                                    );
                                     publish_scratch(&state.kernel);
+                                    // Trace metadata before the response
+                                    // moves into the reply cell; the
+                                    // record itself happens after the
+                                    // reply so the reply stage is real,
+                                    // and not at all on a panic (the
+                                    // completed counter skips it too).
+                                    let meta = resp
+                                        .as_ref()
+                                        .ok()
+                                        .map(|r| (r.epoch, r.cached, r.coalesced));
                                     // Answer and pool the cell in one
                                     // step; the submitter's handle keeps
                                     // it unissuable until wait() is done.
                                     respond_and_pool(&inner.reply_pool, reply, resp.ok());
+                                    if let Some((epoch, cached, coalesced)) = meta {
+                                        state.rec.mark(Stage::Reply);
+                                        inner.telemetry.record(&state.rec.trace(
+                                            &req,
+                                            epoch,
+                                            cached,
+                                            coalesced,
+                                            Provenance::Single,
+                                        ));
+                                    }
                                 }
-                                Job::Batch(reqs, reply) => {
+                                Job::Batch(reqs, reply, enqueued) => {
                                     let resp =
                                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || serve_batch(&inner, &reqs, &mut state),
+                                            || serve_batch(&inner, &reqs, &mut state, enqueued),
                                         ));
                                     publish_scratch(&state.kernel);
                                     inner.req_pool.put(reqs);
@@ -1535,7 +1775,9 @@ impl QueryEngine {
             None => Arc::new(ReplyCell::new()),
         };
         assert!(
-            self.inner.queue.push(Job::Single(req, cell.clone())),
+            self.inner
+                .queue
+                .push(Job::Single(req, cell.clone(), Instant::now())),
             "engine already shut down"
         );
         ResponseHandle { cell }
@@ -1568,7 +1810,9 @@ impl QueryEngine {
             None => Arc::new(ReplyCell::new()),
         };
         assert!(
-            self.inner.queue.push(Job::Batch(owned, cell.clone())),
+            self.inner
+                .queue
+                .push(Job::Batch(owned, cell.clone(), Instant::now())),
             "engine already shut down"
         );
         BatchHandle {
@@ -1613,6 +1857,7 @@ impl QueryEngine {
         // now-departed followers; drop them with the cache so their
         // arena slabs recycle too.
         self.inner.sweep_flights();
+        self.inner.telemetry.note_install();
         epoch
     }
 
@@ -1634,6 +1879,7 @@ impl QueryEngine {
         let inner = &self.inner;
         let completed = inner.completed.load(Ordering::Relaxed);
         let elapsed = inner.started.elapsed().as_secs_f64().max(1e-9);
+        let telem = inner.telemetry.snapshot();
         ServiceStats {
             workers: inner.workers,
             completed,
@@ -1644,6 +1890,8 @@ impl QueryEngine {
             sub_batches: inner.sub_batches.load(Ordering::Relaxed),
             cache: inner.cache.stats(),
             epoch: inner.snapshot().1,
+            installs: telem.installs,
+            stale_publishes: telem.stale_publishes,
             qps: completed as f64 / elapsed,
             mean_us: inner.hist.mean_us(),
             p50_us: inner.hist.quantile_us(0.50),
@@ -1670,7 +1918,115 @@ impl QueryEngine {
                 .iter()
                 .map(|s| s.arena_recycled.load(Ordering::Relaxed))
                 .sum(),
+            stages: telem.stage_summaries(),
+            algos: telem.algo_stats(),
+            slow: inner.telemetry.slow_queries(),
         }
+    }
+
+    /// Metrics for the window since the previous `stats_window` call
+    /// (or engine start, for the first call): counters, rates and
+    /// latency quantiles cover only the requests completed inside the
+    /// window, so a benchmark can discard warmup by calling this once
+    /// after warmup and once after the measured run — the second
+    /// snapshot is the steady state.
+    ///
+    /// Point-in-time fields (workers, epoch, cache residency/capacity,
+    /// scratch/arena residency, the cumulative `allocs_avoided` /
+    /// `arena_recycled` reuse counters) and the slow-query ring report
+    /// current values — residency and worst-ever requests have no
+    /// meaningful delta.
+    pub fn stats_window(&self) -> ServiceStats {
+        let inner = &self.inner;
+        let mut base = inner.window.lock().unwrap();
+        let now = Instant::now();
+        let service = inner.hist.snapshot();
+        let telem = inner.telemetry.snapshot();
+        let completed = inner.completed.load(Ordering::Relaxed);
+        let coalesced = inner.coalesced.load(Ordering::Relaxed);
+        let batches = inner.batches.load(Ordering::Relaxed);
+        let batched = inner.batched.load(Ordering::Relaxed);
+        let splits = inner.splits.load(Ordering::Relaxed);
+        let sub_batches = inner.sub_batches.load(Ordering::Relaxed);
+        let cache = inner.cache.stats();
+        let d_service = service.delta(&base.service);
+        let d_telem = telem.delta(&base.telem);
+        let d_completed = completed.saturating_sub(base.completed);
+        let secs = now.saturating_duration_since(base.at).as_secs_f64();
+        let stats = ServiceStats {
+            workers: inner.workers,
+            completed: d_completed,
+            coalesced: coalesced.saturating_sub(base.coalesced),
+            batches: batches.saturating_sub(base.batches),
+            batched: batched.saturating_sub(base.batched),
+            splits: splits.saturating_sub(base.splits),
+            sub_batches: sub_batches.saturating_sub(base.sub_batches),
+            cache: crate::cache::CacheStats {
+                hits: cache.hits.saturating_sub(base.cache_hits),
+                misses: cache.misses.saturating_sub(base.cache_misses),
+                evictions: cache.evictions.saturating_sub(base.cache_evictions),
+                invalidated: cache.invalidated.saturating_sub(base.cache_invalidated),
+                ..cache
+            },
+            epoch: inner.snapshot().1,
+            installs: d_telem.installs,
+            stale_publishes: d_telem.stale_publishes,
+            qps: d_completed as f64 / secs.max(1e-9),
+            mean_us: d_service.mean_us(),
+            p50_us: d_service.quantile_us(0.50),
+            p90_us: d_service.quantile_us(0.90),
+            p99_us: d_service.quantile_us(0.99),
+            max_us: d_service.max_us(),
+            scratch_bytes: inner
+                .scratch
+                .iter()
+                .map(|s| s.bytes.load(Ordering::Relaxed))
+                .sum(),
+            arena_bytes: inner
+                .scratch
+                .iter()
+                .map(|s| s.arena_bytes.load(Ordering::Relaxed))
+                .sum(),
+            allocs_avoided: inner
+                .scratch
+                .iter()
+                .map(|s| s.allocs_avoided.load(Ordering::Relaxed))
+                .sum(),
+            arena_recycled: inner
+                .scratch
+                .iter()
+                .map(|s| s.arena_recycled.load(Ordering::Relaxed))
+                .sum(),
+            stages: d_telem.stage_summaries(),
+            algos: d_telem.algo_stats(),
+            slow: inner.telemetry.slow_queries(),
+        };
+        *base = WindowBase {
+            at: now,
+            service,
+            telem,
+            completed,
+            coalesced,
+            batches,
+            batched,
+            splits,
+            sub_batches,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_invalidated: cache.invalidated,
+        };
+        stats
+    }
+
+    /// The engine's metrics in Prometheus text exposition format
+    /// (version 0.0.4): every counter and gauge of
+    /// [`ServiceStats`] plus the per-algorithm end-to-end and
+    /// per-algorithm × per-stage latency histograms. Cumulative since
+    /// engine start; scrape-ready (`scs serve-bench --metrics-out`
+    /// writes exactly this).
+    pub fn render_metrics(&self) -> String {
+        crate::telemetry::render_prometheus(&self.stats(), &self.inner.telemetry.snapshot())
     }
 
     /// Stops accepting work, drains the queue and joins every worker.

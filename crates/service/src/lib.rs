@@ -42,6 +42,16 @@
 //!   log-bucketed histogram, cache hit rate, coalescing counters, plus
 //!   scratch/arena residency, allocations-avoided and slab-recycle
 //!   counts from the workers' workspaces and arenas.
+//! * [`telemetry`] — per-stage latency attribution (queue wait, snapshot
+//!   acquire, cache lookup, kernel compute, arena publish, reply) into
+//!   per-algorithm × per-stage lock-free histograms, a fixed-capacity
+//!   slow-query ring retaining the worst requests with their full stage
+//!   breakdown and provenance, and machine-readable exporters:
+//!   Prometheus text ([`engine::QueryEngine::render_metrics`]) and the
+//!   schema-versioned `BENCH_service.json` bench artifact. Recording is
+//!   lock-free and allocation-free, on by default — the counting-
+//!   allocator gate runs with telemetry enabled. Windowed snapshots
+//!   ([`engine::QueryEngine::stats_window`]) report steady-state rates.
 //! * per-worker scratch **and result** reuse — every worker owns a
 //!   [`scs::QueryWorkspace`] and a [`bigraph::arena::ResultArena`],
 //!   both reused across queries (and across epoch swaps, growing if a
@@ -90,6 +100,7 @@ pub mod cache;
 pub mod engine;
 pub mod replay;
 pub mod stats;
+pub mod telemetry;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use engine::{BatchHandle, QueryEngine, ResponseHandle, ServiceConfig};
@@ -97,7 +108,11 @@ pub use replay::{
     build_workload, replay, replay_batched, try_build_workload, ReplayReport, WorkloadError,
     WorkloadSpec,
 };
-pub use stats::ServiceStats;
+pub use stats::{HistSnapshot, LatencyHistogram, ServiceStats};
+pub use telemetry::{
+    render_bench_json, render_prometheus, validate_bench_json, validate_prometheus, AlgoStats,
+    BenchMeta, LatencySummary, Provenance, SlowQuery, Stage, BENCH_SCHEMA, N_STAGES,
+};
 
 use bigraph::arena::ArenaEdges;
 use bigraph::{BipartiteGraph, EdgeId, Subgraph, Vertex};

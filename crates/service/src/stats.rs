@@ -1,7 +1,9 @@
-//! Service-side metrics: a lock-free latency histogram and the
-//! [`ServiceStats`] snapshot the CLI prints.
+//! Service-side metrics: a lock-free latency histogram, raw histogram
+//! snapshots (the currency of windowed stats and the metrics exporters),
+//! and the [`ServiceStats`] snapshot the CLI prints.
 
 use crate::cache::CacheStats;
+use crate::telemetry::{AlgoStats, LatencySummary, SlowQuery, Stage, N_STAGES};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -9,14 +11,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `[2^i, 2^(i+1))` microseconds for `0 < i < 39`; bucket 0 holds
 /// `[0, 2)` (0µs and 1µs together) and the final bucket 39 is
 /// open-ended, holding every sample `≥ 2^39`µs.
-const BUCKETS: usize = 40;
+pub(crate) const BUCKETS: usize = 40;
 
 /// A log-bucketed histogram of latencies in microseconds.
 ///
 /// Recording is a single relaxed `fetch_add`, so worker threads never
-/// contend; quantiles are read by scanning the 40 buckets and are exact
-/// to within a factor of two (the bucket width), reported at the bucket's
-/// geometric midpoint.
+/// contend; quantiles are read by scanning the 40 buckets, with linear
+/// interpolation inside the bucket containing the quantile rank (and
+/// capped by the observed maximum), so a bucket holding `c` samples
+/// reports `c` evenly spaced values instead of one midpoint.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
@@ -63,12 +66,7 @@ impl LatencyHistogram {
 
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-        }
+        self.snapshot().mean_us()
     }
 
     /// Largest recorded sample.
@@ -76,34 +74,174 @@ impl LatencyHistogram {
         self.max_us.load(Ordering::Relaxed)
     }
 
-    /// Approximate `q`-quantile (`0 < q ≤ 1`) in microseconds: the
-    /// geometric midpoint of the bucket containing the quantile rank.
+    /// Approximate `q`-quantile (`0 < q ≤ 1`) in microseconds — see
+    /// [`HistSnapshot::quantile_us`].
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
+        self.snapshot().quantile_us(q)
+    }
+
+    /// A point-in-time copy of every counter, the input of windowed
+    /// deltas and the metrics exporters. Loads are relaxed: a snapshot
+    /// taken while workers record is internally consistent to within
+    /// the records in flight at that instant.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
         }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                let lo = if i == 0 { 0u64 } else { 1u64 << i };
-                let hi = 1u64 << (i + 1);
-                return ((lo + hi) / 2).min(self.max_us());
+    }
+}
+
+/// A plain-value copy of a [`LatencyHistogram`]: subtractable (windowed
+/// stats), mergeable (aggregating algorithms into one stage row) and
+/// walkable bucket by bucket (the Prometheus exposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl HistSnapshot {
+    /// Number of buckets every snapshot carries.
+    pub const N_BUCKETS: usize = BUCKETS;
+
+    /// The all-zero snapshot (identity of [`Self::merge`]).
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Mean sample, µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample the snapshot can vouch for. For a windowed delta
+    /// this is an upper bound (see [`Self::delta`]), not necessarily a
+    /// sample inside the window.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Samples in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Exclusive upper edge of bucket `i` in µs, `None` for the
+    /// open-ended top bucket (`+Inf` in Prometheus terms).
+    pub fn bucket_upper_edge(i: usize) -> Option<u64> {
+        if i + 1 >= BUCKETS {
+            None
+        } else {
+            Some(1u64 << (i + 1))
+        }
+    }
+
+    /// `self − prev`, the histogram of samples recorded between the two
+    /// snapshots (`prev` taken earlier from the same histogram).
+    /// Bucket counts and sums subtract exactly; the maximum is not
+    /// recoverable from counters alone, so the delta reports the
+    /// tightest available upper bound: the cumulative max clamped to
+    /// the highest bucket the window actually touched.
+    pub fn delta(&self, prev: &HistSnapshot) -> HistSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].saturating_sub(prev.buckets[i]));
+        let mut max_us = 0;
+        for (i, &c) in buckets.iter().enumerate() {
+            if c > 0 {
+                max_us = Self::bucket_upper_edge(i)
+                    .map_or(self.max_us, |hi| self.max_us.min(hi.saturating_sub(1)));
             }
         }
-        self.max_us()
+        HistSnapshot {
+            buckets,
+            count: self.count.saturating_sub(prev.count),
+            sum_us: self.sum_us.saturating_sub(prev.sum_us),
+            max_us,
+        }
+    }
+
+    /// Bucket-wise sum of two snapshots (aggregating per-algorithm
+    /// histograms into one per-stage row).
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum_us: self.sum_us + other.sum_us,
+            max_us: self.max_us.max(other.max_us),
+        }
+    }
+
+    /// Approximate `q`-quantile (`0 < q ≤ 1`) in microseconds: linear
+    /// interpolation inside the bucket containing the quantile rank —
+    /// the `r`-th of a bucket's `c` samples reports
+    /// `lo + ((r − 0.5) / c) · (hi − lo)` — capped by the observed
+    /// maximum. A bucket holding a single sample therefore reports its
+    /// arithmetic midpoint, the pre-interpolation behaviour.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if seen + c >= rank && c > 0 {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64 << (i + 1);
+                let frac = ((rank - seen) as f64 - 0.5) / c as f64;
+                let v = (lo as f64 + frac * (hi - lo) as f64) as u64;
+                return v.min(self.max_us);
+            }
+            seen += c;
+        }
+        self.max_us
+    }
+
+    /// The five-number summary derived from this snapshot.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+            max_us: if self.count == 0 { 0 } else { self.max_us },
+        }
     }
 }
 
 /// A point-in-time snapshot of a running engine, as printed by
-/// `scs serve-bench` and the scaling benchmark.
+/// `scs serve-bench` and the scaling benchmark. Produced either
+/// cumulatively ([`crate::QueryEngine::stats`], counters since engine
+/// start) or as a window ([`crate::QueryEngine::stats_window`], deltas
+/// since the previous window call — the steady-state view).
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
     /// Worker threads serving the queue.
     pub workers: usize,
-    /// Requests completed since engine start.
+    /// Requests completed (since engine start, or within the window).
     pub completed: u64,
     /// Responses that waited on an identical in-flight computation, or
     /// shared a batch-internal computation whose result never reached
@@ -132,21 +270,31 @@ pub struct ServiceStats {
     /// entry budget across all shards — residency never exceeds it (see
     /// [`CacheStats::capacity`]).
     pub cache: CacheStats,
-    /// Current index epoch (number of `install` calls).
+    /// Current index epoch (number of `install` calls since process
+    /// start — point-in-time even in a window).
     pub epoch: u64,
-    /// Completed requests per wall-clock second since engine start.
+    /// Index installs (within the period). Each install retires the
+    /// previous epoch and clears the result cache.
+    pub installs: u64,
+    /// Leader results whose index epoch was retired by an install
+    /// before they could be cached — the computation still answered its
+    /// requester and any coalesced followers, but never reached the
+    /// cache.
+    pub stale_publishes: u64,
+    /// Completed requests per wall-clock second over the period.
     pub qps: f64,
     /// Mean service latency, µs.
     pub mean_us: f64,
-    /// Median service latency, µs — the geometric midpoint of the
-    /// log-bucket containing the median sample, so exact to within the
-    /// factor-of-two bucket width (likewise for p90/p99).
+    /// Median service latency, µs — linearly interpolated inside the
+    /// log-bucket containing the median sample and capped by the
+    /// observed maximum (likewise for p90/p99).
     pub p50_us: u64,
     /// 90th-percentile service latency, µs.
     pub p90_us: u64,
     /// 99th-percentile service latency, µs.
     pub p99_us: u64,
-    /// Worst observed service latency, µs.
+    /// Worst observed service latency, µs (for a window: an upper
+    /// bound — see [`HistSnapshot::delta`]).
     pub max_us: u64,
     /// Resident bytes of the workers' reusable query workspaces —
     /// the memory held to keep the query path's *scratch*
@@ -167,6 +315,21 @@ pub struct ServiceStats {
     /// reclaiming a slab whose every result (cache entry, client
     /// response, coalesced copy) had been dropped.
     pub arena_recycled: u64,
+    /// Per-stage latency summaries aggregated over every algorithm —
+    /// where a request's time goes: queue wait, snapshot acquire, cache
+    /// lookup, kernel compute, arena publish, reply. Indexed by
+    /// [`Stage`]; see [`crate::telemetry`] for attribution semantics
+    /// (for coalesced requests the kernel stage is the wait on the
+    /// leader's computation).
+    pub stages: [LatencySummary; N_STAGES],
+    /// Per-algorithm end-to-end latency (including queue wait and, for
+    /// per-request submissions, the reply) with the per-stage split —
+    /// indexed in [`scs::Algorithm::ALL`] order.
+    pub algos: [AlgoStats; crate::telemetry::N_ALGOS],
+    /// The worst requests observed since engine start (the slow-query
+    /// ring is cumulative even in windowed snapshots), sorted
+    /// worst-first.
+    pub slow: Vec<SlowQuery>,
 }
 
 impl fmt::Display for ServiceStats {
@@ -188,6 +351,12 @@ impl fmt::Display for ServiceStats {
             self.cache.hit_rate() * 100.0
         )?;
         writeln!(f, "│ cache entries       │ {:>12} │", self.cache.entries)?;
+        writeln!(f, "│ cache evictions     │ {:>12} │", self.cache.evictions)?;
+        writeln!(
+            f,
+            "│ cache invalidated   │ {:>12} │",
+            self.cache.invalidated
+        )?;
         writeln!(f, "│ coalesced queries   │ {:>12} │", self.coalesced)?;
         writeln!(f, "│ batch jobs          │ {:>12} │", self.batches)?;
         writeln!(f, "│ batched requests    │ {:>12} │", self.batched)?;
@@ -198,13 +367,62 @@ impl fmt::Display for ServiceStats {
         writeln!(f, "│ allocs avoided      │ {:>12} │", self.allocs_avoided)?;
         writeln!(f, "│ arena recycles      │ {:>12} │", self.arena_recycled)?;
         writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
-        write!(f, "└─────────────────────┴──────────────┘")
+        writeln!(f, "│ installs            │ {:>12} │", self.installs)?;
+        writeln!(f, "│ stale publishes     │ {:>12} │", self.stale_publishes)?;
+        writeln!(f, "└─────────────────────┴──────────────┘")?;
+        writeln!(
+            f,
+            "stage breakdown (µs)   {:>10} {:>9} {:>8} {:>8} {:>8}",
+            "count", "mean", "p50", "p99", "max"
+        )?;
+        for stage in Stage::ALL {
+            let s = &self.stages[stage as usize];
+            writeln!(
+                f,
+                "  {:<20} {:>10} {:>9.1} {:>8} {:>8} {:>8}",
+                stage.name(),
+                s.count,
+                s.mean_us,
+                s.p50_us,
+                s.p99_us,
+                s.max_us
+            )?;
+        }
+        write!(
+            f,
+            "per-algorithm (µs)     {:>10} {:>9} {:>8} {:>8} {:>8}",
+            "count", "mean", "p50", "p99", "kern p99"
+        )?;
+        for a in &self.algos {
+            if a.total.count == 0 {
+                continue;
+            }
+            write!(
+                f,
+                "\n  {:<20} {:>10} {:>9.1} {:>8} {:>8} {:>8}",
+                a.algo.name(),
+                a.total.count,
+                a.total.mean_us,
+                a.total.p50_us,
+                a.total.p99_us,
+                a.stages[Stage::Kernel as usize].p99_us
+            )?;
+        }
+        if !self.slow.is_empty() {
+            write!(f, "\nslow queries (worst {})", self.slow.len())?;
+            for (i, s) in self.slow.iter().enumerate() {
+                write!(f, "\n  {:>2}. {}", i + 1, s)?;
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::N_ALGOS;
+    use scs::Algorithm;
 
     #[test]
     fn histogram_quantiles_bracket_samples() {
@@ -214,14 +432,42 @@ mod tests {
         }
         assert_eq!(h.count(), 7);
         assert_eq!(h.max_us(), 10_000);
+        // In-bucket linear interpolation makes quantiles deterministic
+        // and tighter than the bucket width. p25: rank 2 of the three
+        // samples in [8,16) → 8 + (1.5/3)·8 = 12 — the actual sample.
+        assert_eq!(h.quantile_us(0.25), 12);
+        // Median sample is 16, alone in [16,32) → its midpoint 24,
+        // within half a bucket of the true value (pre-interpolation the
+        // only guarantee was the factor-of-two bucket [16,32)).
         let p50 = h.quantile_us(0.5);
-        // Median sample is 16 → its bucket [16,32) midpoint is 24.
-        assert!((8..=32).contains(&p50), "p50={p50}");
-        let p99 = h.quantile_us(0.99);
-        assert!(p99 >= 1000, "p99={p99}");
-        assert!(h.quantile_us(1.0) <= 10_000);
+        assert_eq!(p50, 24);
+        assert!((16..=24).contains(&(p50.min(24))), "p50={p50}");
+        // p99 rank is the 10_000µs sample, alone in [8192,16384) —
+        // interpolation says 12288 but the ≤max cap tightens it to the
+        // exact sample.
+        assert_eq!(h.quantile_us(0.99), 10_000);
+        assert_eq!(h.quantile_us(1.0), 10_000);
         let mean = h.mean_us();
         assert!((mean - 11152.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_interpolation_is_monotone_within_a_bucket() {
+        // 8 samples in one bucket [64,128): interpolated quantiles must
+        // increase with q and stay inside the bucket (capped by max).
+        let h = LatencyHistogram::default();
+        for i in 0..8u64 {
+            h.record(64 + 8 * i); // 64, 72, ..., 120
+        }
+        let mut prev = 0;
+        for q in [0.125, 0.25, 0.5, 0.75, 0.875, 1.0] {
+            let v = h.quantile_us(q);
+            assert!((64..=120).contains(&v), "q={q} v={v}");
+            assert!(v >= prev, "quantiles must be monotone: q={q} v={v}");
+            prev = v;
+        }
+        // Rank r of c samples sits at lo + ((r−0.5)/c)·(hi−lo).
+        assert_eq!(h.quantile_us(0.5), 64 + ((4.0 - 0.5) / 8.0 * 64.0) as u64);
     }
 
     #[test]
@@ -233,8 +479,9 @@ mod tests {
         h.record((1 << 39) - 1); // top of bucket 38
         h.record(1 << 39); // bottom of bucket 39 (the open-ended top)
                            // The two samples must land in *different* buckets: the p50
-                           // rank stays in bucket 38 (midpoint 3·2^37) while the p100 rank
-                           // reaches bucket 39, whose huge midpoint is capped by max.
+                           // rank stays in bucket 38 (a single sample interpolates to the
+                           // midpoint 3·2^37) while the p100 rank reaches bucket 39, whose
+                           // huge midpoint is capped by max.
         assert_eq!(h.quantile_us(0.5), 3 << 37);
         assert_eq!(h.quantile_us(1.0), 1 << 39);
         // The bucket index saturates instead of wrapping for any u64;
@@ -271,7 +518,56 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_delta_and_merge() {
+        let h = LatencyHistogram::default();
+        h.record(10);
+        h.record(100);
+        let first = h.snapshot();
+        assert_eq!(first.count(), 2);
+        assert_eq!(first.sum_us(), 110);
+        h.record(1100);
+        h.record(1200);
+        let second = h.snapshot();
+        let window = second.delta(&first);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum_us(), 2300);
+        // The delta's max is an upper bound from the touched buckets:
+        // both samples are in [1024,2048), cumulative max 1200.
+        assert_eq!(window.max_us(), 1200);
+        assert_eq!(window.quantile_us(1.0), 1200);
+        // Quantiles of the window see only the window's samples.
+        assert!(window.quantile_us(0.5) >= 1024, "window p50 must be ≥ 1024");
+        // Merge is bucket-wise addition.
+        let merged = first.merge(&window);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.sum_us(), 2410);
+        assert_eq!(merged.max_us(), 1200);
+        // Empty delta behaves like an empty histogram.
+        let none = second.delta(&second);
+        assert_eq!(none.count(), 0);
+        assert_eq!(none.quantile_us(0.99), 0);
+        assert_eq!(none.max_us(), 0);
+    }
+
+    #[test]
     fn stats_table_renders() {
+        let mut stages = [LatencySummary::empty(); N_STAGES];
+        stages[Stage::Kernel as usize] = LatencySummary {
+            count: 1000,
+            mean_us: 37.5,
+            p50_us: 31,
+            p99_us: 170,
+            max_us: 800,
+        };
+        let mut algos: [AlgoStats; N_ALGOS] =
+            std::array::from_fn(|i| AlgoStats::empty(Algorithm::ALL[i]));
+        algos[1].total = LatencySummary {
+            count: 600,
+            mean_us: 40.0,
+            p50_us: 28,
+            p99_us: 190,
+            max_us: 900,
+        };
         let s = ServiceStats {
             workers: 4,
             completed: 1000,
@@ -286,8 +582,12 @@ mod tests {
                 entries: 128,
                 capacity: 1024,
                 shards: 8,
+                evictions: 23,
+                invalidated: 77,
             },
             epoch: 1,
+            installs: 1,
+            stale_publishes: 0,
             qps: 12345.6,
             mean_us: 42.0,
             p50_us: 30,
@@ -298,6 +598,20 @@ mod tests {
             arena_bytes: 262144,
             allocs_avoided: 4321,
             arena_recycled: 9,
+            stages,
+            algos,
+            slow: vec![SlowQuery {
+                q: 17,
+                alpha: 2,
+                beta: 3,
+                algo: Algorithm::Peel,
+                epoch: 1,
+                provenance: crate::telemetry::Provenance::Batch,
+                cached: false,
+                coalesced: false,
+                total_us: 900,
+                stages_us: [1, 2, 3, 880, 10, 4],
+            }],
         };
         let txt = s.to_string();
         assert!(txt.contains("QPS"));
@@ -314,5 +628,17 @@ mod tests {
         assert!(txt.contains("batch splits"));
         assert!(txt.contains("sub-batches"));
         assert!(txt.contains("17"));
+        // New observability sections.
+        assert!(txt.contains("cache evictions"));
+        assert!(txt.contains("installs"));
+        assert!(txt.contains("stale publishes"));
+        assert!(txt.contains("stage breakdown"));
+        assert!(txt.contains("kernel"));
+        assert!(txt.contains("per-algorithm"));
+        assert!(txt.contains("peel"));
+        assert!(txt.contains("slow queries (worst 1)"));
+        assert!(txt.contains("q=17"));
+        // Algorithms that served nothing stay out of the table.
+        assert!(!txt.contains("baseline"));
     }
 }

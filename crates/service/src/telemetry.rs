@@ -1,0 +1,2004 @@
+//! Zero-allocation service telemetry: per-stage latency attribution,
+//! per-algorithm × per-stage lock-free histograms, a fixed-capacity
+//! slow-query ring, and machine-readable exporters (Prometheus text,
+//! schema-versioned bench JSON).
+//!
+//! ## Design constraints
+//!
+//! The serving hot path proves **zero heap allocations per warm leader
+//! query** (`tests/alloc_free_service.rs`), and telemetry is on by
+//! default — so every recording structure is preallocated at engine
+//! construction and every record operation is a handful of relaxed
+//! atomic adds (histograms) or a bounded seqlock write (slow-query
+//! ring). Reading — snapshots, quantiles, exporters — may allocate; it
+//! happens off the hot path, in `stats()` / `render_metrics()` callers.
+//!
+//! ## Stage attribution
+//!
+//! A request's end-to-end latency (enqueue → reply handed back) is
+//! split into six stages ([`Stage`]). On the per-request path the
+//! worker's [`StageRecorder`] checkpoint-tiles the whole interval, so
+//! stage sums reconcile with the total to within per-stage truncation
+//! (≤ 1µs per recorded stage — asserted by `tests/telemetry_stress.rs`).
+//! On the batched path the batch-wide phases (queue wait, snapshot
+//! acquire) are measured once and attributed to every request they
+//! covered, the per-key phases (cache lookup, kernel run, publish) are
+//! measured per key or per unit, and unattributed gaps (e.g. waiting
+//! for a sibling sub-batch) are left out — so batched stage sums are a
+//! **lower bound** on the total (`Σ stages ≤ total`), never an
+//! overcount of any single wall-clock interval. For coalesced
+//! requests the kernel stage is the wait on the leader's computation.
+//! The reply stage (handing the pooled response back to the submitter)
+//! is only measurable on the per-request path; batch entries leave it
+//! untouched rather than guessing.
+
+use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats};
+use crate::QueryRequest;
+use scs::Algorithm;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of fixed stages every request's latency is split into.
+pub const N_STAGES: usize = 6;
+
+/// Number of algorithms telemetry is keyed by (the
+/// [`Algorithm::ALL`] order).
+pub const N_ALGOS: usize = Algorithm::ALL.len();
+
+/// Dense rank of an algorithm in [`Algorithm::ALL`] — the index into
+/// every per-algorithm telemetry array.
+pub fn algo_rank(algo: Algorithm) -> usize {
+    match algo {
+        Algorithm::Auto => 0,
+        Algorithm::Peel => 1,
+        Algorithm::Expand => 2,
+        Algorithm::Binary => 3,
+        Algorithm::Baseline => 4,
+    }
+}
+
+/// One fixed stage of a request's lifetime. Also the index into
+/// per-stage arrays (`stage as usize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Enqueue to dequeue: time spent waiting for a worker.
+    QueueWait = 0,
+    /// Acquiring the epoch-consistent index snapshot and joining (or
+    /// founding) the in-flight table entry.
+    Snapshot = 1,
+    /// Result-cache probe (and, for batches, the per-key dedup lookup).
+    CacheLookup = 2,
+    /// Kernel compute — for coalesced requests, the wait on the
+    /// leader's computation; for batch members, their unit's batched
+    /// kernel run.
+    Kernel = 3,
+    /// Publishing the result: cache insert, flight publish, response
+    /// construction, counters.
+    Publish = 4,
+    /// Handing the response back to the submitter (per-request
+    /// submissions only).
+    Reply = 5,
+}
+
+impl Stage {
+    /// Every stage, in array-index order.
+    pub const ALL: [Stage; N_STAGES] = [
+        Stage::QueueWait,
+        Stage::Snapshot,
+        Stage::CacheLookup,
+        Stage::Kernel,
+        Stage::Publish,
+        Stage::Reply,
+    ];
+
+    /// Canonical machine name — used as the Prometheus `stage` label,
+    /// the JSON key, and the stats-table row header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Snapshot => "snapshot",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Kernel => "kernel",
+            Stage::Publish => "publish",
+            Stage::Reply => "reply",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        1 << (self as usize)
+    }
+}
+
+/// How a request reached the engine — retained in the slow-query ring
+/// so a pathological latency can be traced to its submission shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Per-request submission (`submit` / `query`).
+    Single = 0,
+    /// Member of a batch job served inline by one worker.
+    Batch = 1,
+    /// Member of a batch whose leader computations were split into
+    /// sub-batches across the pool.
+    Split = 2,
+}
+
+impl Provenance {
+    /// Human/machine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Provenance::Single => "single",
+            Provenance::Batch => "batch",
+            Provenance::Split => "split",
+        }
+    }
+
+    fn from_u8(v: u8) -> Provenance {
+        match v {
+            1 => Provenance::Batch,
+            2 => Provenance::Split,
+            _ => Provenance::Single,
+        }
+    }
+}
+
+/// Five-number latency summary derived from one histogram snapshot —
+/// the building block of [`ServiceStats`]' stage and algorithm tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarised.
+    pub count: u64,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Interpolated median, µs.
+    pub p50_us: u64,
+    /// Interpolated 99th percentile, µs.
+    pub p99_us: u64,
+    /// Maximum, µs.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// The all-zero summary.
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean_us: 0.0,
+            p50_us: 0,
+            p99_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+/// Per-algorithm latency: end-to-end summary plus the per-stage split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoStats {
+    /// Which algorithm.
+    pub algo: Algorithm,
+    /// End-to-end latency (enqueue → recorded) of requests served with
+    /// this algorithm.
+    pub total: LatencySummary,
+    /// Per-stage summaries, indexed by [`Stage`]. A stage's count can
+    /// be below `total.count`: only stages a request actually passed
+    /// through are recorded (a cache hit has no kernel stage).
+    pub stages: [LatencySummary; N_STAGES],
+}
+
+impl AlgoStats {
+    /// The empty stats row for `algo`.
+    pub fn empty(algo: Algorithm) -> Self {
+        AlgoStats {
+            algo,
+            total: LatencySummary::empty(),
+            stages: [LatencySummary::empty(); N_STAGES],
+        }
+    }
+}
+
+/// One retained worst-case request, as read back from the slow-query
+/// ring: the full key, provenance and stage breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Query vertex (raw id).
+    pub q: u32,
+    /// α degree constraint.
+    pub alpha: u32,
+    /// β degree constraint.
+    pub beta: u32,
+    /// Second-step algorithm.
+    pub algo: Algorithm,
+    /// Index epoch that served it.
+    pub epoch: u64,
+    /// Submission shape.
+    pub provenance: Provenance,
+    /// Served from the result cache.
+    pub cached: bool,
+    /// Waited on an identical in-flight computation.
+    pub coalesced: bool,
+    /// End-to-end latency, µs.
+    pub total_us: u64,
+    /// Per-stage attribution, µs, indexed by [`Stage`]. Stages the
+    /// request never entered are 0.
+    pub stages_us: [u64; N_STAGES],
+}
+
+impl fmt::Display for SlowQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}µs q={} (α={},β={}) algo={} epoch={} {}",
+            self.total_us,
+            self.q,
+            self.alpha,
+            self.beta,
+            self.algo.name(),
+            self.epoch,
+            self.provenance.name(),
+        )?;
+        if self.cached {
+            write!(f, " cached")?;
+        }
+        if self.coalesced {
+            write!(f, " coalesced")?;
+        }
+        for stage in Stage::ALL {
+            write!(f, " {}={}", stage.name(), self.stages_us[stage as usize])?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything [`Telemetry::record`] needs about one completed request.
+/// Built on the stack (engine hot path — no allocation) either from a
+/// [`StageRecorder`] (per-request path) or a [`StageSet`] (batched
+/// attribution).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestTrace {
+    /// Query vertex (raw id).
+    pub q: u32,
+    /// α degree constraint.
+    pub alpha: u32,
+    /// β degree constraint.
+    pub beta: u32,
+    /// Second-step algorithm.
+    pub algo: Algorithm,
+    /// Index epoch that served it.
+    pub epoch: u64,
+    /// Submission shape.
+    pub provenance: Provenance,
+    /// Served from the result cache.
+    pub cached: bool,
+    /// Waited on an identical in-flight computation.
+    pub coalesced: bool,
+    /// End-to-end latency, µs.
+    pub total_us: u64,
+    /// Per-stage attribution, µs.
+    pub stages_us: [u64; N_STAGES],
+    /// Bitmask of stages the request actually passed through — only
+    /// these are recorded into the per-stage histograms, so a 0µs cache
+    /// lookup still counts while an absent kernel stage does not.
+    pub touched: u8,
+}
+
+/// Explicit stage attribution for the batched path: set the stages you
+/// measured, leave the rest untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageSet {
+    stages_us: [u64; N_STAGES],
+    touched: u8,
+}
+
+impl StageSet {
+    /// No stages attributed yet.
+    pub fn new() -> Self {
+        StageSet::default()
+    }
+
+    /// Attributes `us` microseconds to `stage` (marking it touched —
+    /// call with 0 for a stage that ran but took under a microsecond).
+    pub fn set(&mut self, stage: Stage, us: u64) -> &mut Self {
+        self.stages_us[stage as usize] = us;
+        self.touched |= stage.bit();
+        self
+    }
+
+    /// Assembles the trace for one request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace(
+        &self,
+        req: &QueryRequest,
+        epoch: u64,
+        cached: bool,
+        coalesced: bool,
+        provenance: Provenance,
+        total_us: u64,
+    ) -> RequestTrace {
+        RequestTrace {
+            q: req.q.0,
+            alpha: req.alpha,
+            beta: req.beta,
+            algo: req.algo,
+            epoch,
+            provenance,
+            cached,
+            coalesced,
+            total_us,
+            stages_us: self.stages_us,
+            touched: self.touched,
+        }
+    }
+}
+
+/// Per-worker stage stopwatch for the per-request path. Preallocated
+/// (plain scalars, no heap) and reused across requests.
+///
+/// Usage: [`Self::start`] at dequeue (attributing the queue wait),
+/// then [`Self::mark`] at each stage boundary — the elapsed time since
+/// the previous checkpoint is attributed to the finished stage.
+/// Internally nanoseconds, so the µs stage sums reconcile with
+/// [`Self::total_us`] to within 1µs truncation per marked stage.
+#[derive(Debug)]
+pub struct StageRecorder {
+    stage_ns: [u64; N_STAGES],
+    touched: u8,
+    queue_us: u64,
+    start: Instant,
+    last: Instant,
+}
+
+impl Default for StageRecorder {
+    fn default() -> Self {
+        let now = Instant::now();
+        StageRecorder {
+            stage_ns: [0; N_STAGES],
+            touched: 0,
+            queue_us: 0,
+            start: now,
+            last: now,
+        }
+    }
+}
+
+impl StageRecorder {
+    /// Fresh recorder (equivalent to `default()`).
+    pub fn new() -> Self {
+        StageRecorder::default()
+    }
+
+    /// Resets and starts timing a request that was enqueued at
+    /// `enqueued`; the elapsed wait becomes the queue-wait stage.
+    pub fn start(&mut self, enqueued: Instant) {
+        let now = Instant::now();
+        self.start_with_queue_us(dur_us(now.saturating_duration_since(enqueued)));
+    }
+
+    /// Resets and starts timing with an externally measured queue wait
+    /// (the batched path measures it once per batch).
+    pub fn start_with_queue_us(&mut self, queue_us: u64) {
+        let now = Instant::now();
+        self.stage_ns = [0; N_STAGES];
+        self.touched = Stage::QueueWait.bit();
+        self.queue_us = queue_us;
+        self.start = now;
+        self.last = now;
+    }
+
+    /// Attributes the time since the previous checkpoint to `stage`
+    /// and advances the checkpoint.
+    pub fn mark(&mut self, stage: Stage) {
+        let now = Instant::now();
+        self.stage_ns[stage as usize] += dur_ns(now.saturating_duration_since(self.last));
+        self.touched |= stage.bit();
+        self.last = now;
+    }
+
+    /// Total attributed time: queue wait plus everything up to the
+    /// last checkpoint, µs.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + dur_us(self.last.saturating_duration_since(self.start))
+    }
+
+    /// Assembles the trace for the request just recorded.
+    pub fn trace(
+        &self,
+        req: &QueryRequest,
+        epoch: u64,
+        cached: bool,
+        coalesced: bool,
+        provenance: Provenance,
+    ) -> RequestTrace {
+        let mut stages_us = [0u64; N_STAGES];
+        for (i, ns) in self.stage_ns.iter().enumerate() {
+            stages_us[i] = ns / 1_000;
+        }
+        stages_us[Stage::QueueWait as usize] = self.queue_us;
+        RequestTrace {
+            q: req.q.0,
+            alpha: req.alpha,
+            beta: req.beta,
+            algo: req.algo,
+            epoch,
+            provenance,
+            cached,
+            coalesced,
+            total_us: self.total_us(),
+            stages_us,
+            touched: self.touched,
+        }
+    }
+}
+
+fn dur_us(d: std::time::Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+fn dur_ns(d: std::time::Duration) -> u64 {
+    d.as_nanos() as u64
+}
+
+/// The engine's preallocated telemetry plane: per-algorithm end-to-end
+/// and per-stage histograms, the slow-query ring, and event counters.
+/// Recording ([`Self::record`]) is lock-free and allocation-free;
+/// reading allocates and belongs in stats/exporter paths.
+#[derive(Debug)]
+pub struct Telemetry {
+    stage_hists: [[LatencyHistogram; N_STAGES]; N_ALGOS],
+    total_hists: [LatencyHistogram; N_ALGOS],
+    ring: SlowRing,
+    installs: AtomicU64,
+    stale_publishes: AtomicU64,
+}
+
+impl Telemetry {
+    /// Allocates every recording structure up front. `slow_ring_capacity`
+    /// is the number of worst-case requests retained (0 disables the
+    /// ring; recording then skips it entirely).
+    pub fn new(slow_ring_capacity: usize) -> Self {
+        Telemetry {
+            stage_hists: std::array::from_fn(|_| {
+                std::array::from_fn(|_| LatencyHistogram::default())
+            }),
+            total_hists: std::array::from_fn(|_| LatencyHistogram::default()),
+            ring: SlowRing::new(slow_ring_capacity),
+            installs: AtomicU64::new(0),
+            stale_publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed request: its end-to-end latency into the
+    /// per-algorithm histogram, each touched stage into the
+    /// per-algorithm × per-stage histogram, and an offer to the
+    /// slow-query ring. Atomic adds and a bounded seqlock write — no
+    /// locks, no allocation.
+    pub fn record(&self, t: &RequestTrace) {
+        let a = algo_rank(t.algo);
+        self.total_hists[a].record(t.total_us);
+        for stage in Stage::ALL {
+            if t.touched & stage.bit() != 0 {
+                self.stage_hists[a][stage as usize].record(t.stages_us[stage as usize]);
+            }
+        }
+        self.ring.offer(t);
+    }
+
+    /// Counts one index install (epoch retirement).
+    pub fn note_install(&self) {
+        self.installs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one leader result whose epoch was retired before it could
+    /// be cached.
+    pub fn note_stale_publish(&self) {
+        self.stale_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every histogram and counter (not the ring
+    /// — see [`Self::slow_queries`]).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            stage: std::array::from_fn(|a| {
+                std::array::from_fn(|s| self.stage_hists[a][s].snapshot())
+            }),
+            total: std::array::from_fn(|a| self.total_hists[a].snapshot()),
+            installs: self.installs.load(Ordering::Relaxed),
+            stale_publishes: self.stale_publishes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The retained worst requests, worst-first. Allocates the output
+    /// vector — reading belongs off the hot path.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        let mut out = Vec::with_capacity(self.ring.capacity());
+        self.ring.snapshot_into(&mut out);
+        out
+    }
+}
+
+/// Plain-value copy of a [`Telemetry`]'s histograms and counters:
+/// subtractable for windowed stats, and the input of the exporters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// `stage[algo_rank][stage]` histograms.
+    pub stage: [[HistSnapshot; N_STAGES]; N_ALGOS],
+    /// Per-algorithm end-to-end latency histograms.
+    pub total: [HistSnapshot; N_ALGOS],
+    /// Index installs so far.
+    pub installs: u64,
+    /// Stale publishes so far.
+    pub stale_publishes: u64,
+}
+
+impl TelemetrySnapshot {
+    /// The all-zero snapshot (the baseline of the first window).
+    pub fn empty() -> Self {
+        TelemetrySnapshot {
+            stage: [[HistSnapshot::empty(); N_STAGES]; N_ALGOS],
+            total: [HistSnapshot::empty(); N_ALGOS],
+            installs: 0,
+            stale_publishes: 0,
+        }
+    }
+
+    /// `self − prev`: the telemetry recorded between two snapshots.
+    pub fn delta(&self, prev: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            stage: std::array::from_fn(|a| {
+                std::array::from_fn(|s| self.stage[a][s].delta(&prev.stage[a][s]))
+            }),
+            total: std::array::from_fn(|a| self.total[a].delta(&prev.total[a])),
+            installs: self.installs.saturating_sub(prev.installs),
+            stale_publishes: self.stale_publishes.saturating_sub(prev.stale_publishes),
+        }
+    }
+
+    /// Per-stage summaries aggregated over every algorithm (the stats
+    /// table's stage-breakdown section).
+    pub fn stage_summaries(&self) -> [LatencySummary; N_STAGES] {
+        std::array::from_fn(|s| {
+            let mut merged = HistSnapshot::empty();
+            for a in 0..N_ALGOS {
+                merged = merged.merge(&self.stage[a][s]);
+            }
+            merged.summary()
+        })
+    }
+
+    /// Per-algorithm stats rows, in [`Algorithm::ALL`] order.
+    pub fn algo_stats(&self) -> [AlgoStats; N_ALGOS] {
+        std::array::from_fn(|a| AlgoStats {
+            algo: Algorithm::ALL[a],
+            total: self.total[a].summary(),
+            stages: std::array::from_fn(|s| self.stage[a][s].summary()),
+        })
+    }
+}
+
+/// One slow-query ring slot: a seqlock (even `seq` = stable, odd =
+/// being written) around relaxed plain-value fields. `total_us == 0`
+/// means the slot has never been filled.
+#[derive(Debug)]
+struct RingSlot {
+    seq: AtomicU64,
+    total_us: AtomicU64,
+    /// `q << 32 | alpha`.
+    lo: AtomicU64,
+    /// `beta << 32 | algo << 16 | provenance << 8 | flags`
+    /// (bit 0 cached, bit 1 coalesced).
+    mid: AtomicU64,
+    epoch: AtomicU64,
+    stages: [AtomicU64; N_STAGES],
+}
+
+impl RingSlot {
+    fn new() -> Self {
+        RingSlot {
+            seq: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            lo: AtomicU64::new(0),
+            mid: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            stages: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Fixed-capacity lock-free "keep the K worst" ring. Writers replace
+/// the current minimum when they beat it; a cached copy of that
+/// minimum makes the common case (request not slow enough) one relaxed
+/// load. Insertion is best-effort under contention: a writer that
+/// loses its CAS race a few times drops its offer rather than spin —
+/// the ring is diagnostics, not accounting, and under a race the slot
+/// was just taken by a comparably slow request.
+#[derive(Debug)]
+struct SlowRing {
+    slots: Box<[RingSlot]>,
+    /// Lower bound on the smallest retained `total_us` (0 while any
+    /// slot is empty or a write is in flight) — the reject fast path.
+    threshold: AtomicU64,
+}
+
+impl SlowRing {
+    fn new(capacity: usize) -> Self {
+        SlowRing {
+            slots: (0..capacity).map(|_| RingSlot::new()).collect(),
+            threshold: AtomicU64::new(0),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn offer(&self, t: &RequestTrace) {
+        if self.slots.is_empty() || t.total_us == 0 {
+            return;
+        }
+        if t.total_us <= self.threshold.load(Ordering::Relaxed) {
+            return;
+        }
+        let flags = u64::from(t.cached) | (u64::from(t.coalesced) << 1);
+        let lo = (u64::from(t.q) << 32) | u64::from(t.alpha);
+        let mid = (u64::from(t.beta) << 32)
+            | ((algo_rank(t.algo) as u64) << 16)
+            | ((t.provenance as u64) << 8)
+            | flags;
+        for _attempt in 0..4 {
+            // Victim: the stable slot holding the smallest total.
+            let mut min_i = usize::MAX;
+            let mut min_total = u64::MAX;
+            for (i, s) in self.slots.iter().enumerate() {
+                if s.seq.load(Ordering::Acquire) & 1 == 1 {
+                    continue;
+                }
+                let st = s.total_us.load(Ordering::Relaxed);
+                if st < min_total {
+                    min_total = st;
+                    min_i = i;
+                }
+            }
+            if min_i == usize::MAX {
+                return; // every slot mid-write; drop the offer
+            }
+            if t.total_us <= min_total {
+                // The ring already retains K requests at least this
+                // slow; remember that so future offers reject in one
+                // load.
+                self.threshold.store(min_total, Ordering::Relaxed);
+                return;
+            }
+            let s = &self.slots[min_i];
+            let seq = s.seq.load(Ordering::Acquire);
+            if seq & 1 == 1 || s.total_us.load(Ordering::Relaxed) != min_total {
+                continue; // raced; re-scan
+            }
+            if s.seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            s.total_us.store(t.total_us, Ordering::Relaxed);
+            s.lo.store(lo, Ordering::Relaxed);
+            s.mid.store(mid, Ordering::Relaxed);
+            s.epoch.store(t.epoch, Ordering::Relaxed);
+            for (slot, &us) in s.stages.iter().zip(t.stages_us.iter()) {
+                slot.store(us, Ordering::Relaxed);
+            }
+            s.seq.store(seq + 2, Ordering::Release);
+            self.refresh_threshold();
+            return;
+        }
+    }
+
+    fn refresh_threshold(&self) {
+        let mut min = u64::MAX;
+        for s in &self.slots {
+            if s.seq.load(Ordering::Acquire) & 1 == 1 {
+                // A write is in flight; its final total is unknown, so
+                // publish the conservative "accept everything" bound.
+                self.threshold.store(0, Ordering::Relaxed);
+                return;
+            }
+            min = min.min(s.total_us.load(Ordering::Relaxed));
+        }
+        if min != u64::MAX {
+            self.threshold.store(min, Ordering::Relaxed);
+        }
+    }
+
+    fn read_slot(s: &RingSlot) -> Option<SlowQuery> {
+        for _ in 0..8 {
+            let seq = s.seq.load(Ordering::Acquire);
+            if seq & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let total_us = s.total_us.load(Ordering::Relaxed);
+            let lo = s.lo.load(Ordering::Relaxed);
+            let mid = s.mid.load(Ordering::Relaxed);
+            let epoch = s.epoch.load(Ordering::Relaxed);
+            let mut stages_us = [0u64; N_STAGES];
+            for (out, slot) in stages_us.iter_mut().zip(s.stages.iter()) {
+                *out = slot.load(Ordering::Relaxed);
+            }
+            std::sync::atomic::fence(Ordering::Acquire);
+            if s.seq.load(Ordering::Relaxed) != seq {
+                continue; // torn read; retry
+            }
+            if total_us == 0 {
+                return None; // never filled
+            }
+            return Some(SlowQuery {
+                q: (lo >> 32) as u32,
+                alpha: lo as u32,
+                beta: (mid >> 32) as u32,
+                algo: Algorithm::ALL[((mid >> 16) & 0xff) as usize % N_ALGOS],
+                epoch,
+                provenance: Provenance::from_u8((mid >> 8) as u8),
+                cached: mid & 1 != 0,
+                coalesced: mid & 2 != 0,
+                total_us,
+                stages_us,
+            });
+        }
+        None
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<SlowQuery>) {
+        for s in self.slots.iter() {
+            if let Some(q) = Self::read_slot(s) {
+                out.push(q);
+            }
+        }
+        out.sort_by_key(|q| std::cmp::Reverse(q.total_us));
+    }
+}
+
+// ─── Prometheus text exposition ──────────────────────────────────────
+
+/// Renders the engine's metrics in Prometheus text exposition format
+/// (version 0.0.4): every counter in the stats table, the residency
+/// gauges, and the per-algorithm / per-algorithm×stage latency
+/// histograms with cumulative `le` buckets ending in `+Inf`. Bucket
+/// lists are trimmed to the highest occupied bucket (plus `+Inf`), so
+/// quiet series stay small; differing `le` sets across series of one
+/// family are valid exposition.
+pub fn render_prometheus(stats: &ServiceStats, telem: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    let mut counter = |name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    };
+    counter(
+        "scs_requests_total",
+        "Requests completed since engine start.",
+        stats.completed,
+    );
+    counter(
+        "scs_coalesced_total",
+        "Requests that waited on an identical in-flight computation.",
+        stats.coalesced,
+    );
+    counter("scs_batches_total", "Batch jobs served.", stats.batches);
+    counter(
+        "scs_batched_requests_total",
+        "Requests that arrived inside a batch job.",
+        stats.batched,
+    );
+    counter(
+        "scs_batch_splits_total",
+        "Batch jobs split across the worker pool.",
+        stats.splits,
+    );
+    counter(
+        "scs_sub_batches_total",
+        "Sub-batches carved out of split batch jobs.",
+        stats.sub_batches,
+    );
+    counter(
+        "scs_cache_hits_total",
+        "Result-cache hits.",
+        stats.cache.hits,
+    );
+    counter(
+        "scs_cache_misses_total",
+        "Result-cache misses.",
+        stats.cache.misses,
+    );
+    counter(
+        "scs_cache_evictions_total",
+        "Result-cache LRU evictions (capacity pressure).",
+        stats.cache.evictions,
+    );
+    counter(
+        "scs_cache_invalidated_total",
+        "Result-cache entries dropped by index installs.",
+        stats.cache.invalidated,
+    );
+    counter(
+        "scs_installs_total",
+        "Index installs (epoch retirements).",
+        telem.installs,
+    );
+    counter(
+        "scs_stale_publishes_total",
+        "Leader results retired by an install before caching.",
+        telem.stale_publishes,
+    );
+    counter(
+        "scs_allocs_avoided_total",
+        "Scratch-buffer acquisitions served from resident workspace memory.",
+        stats.allocs_avoided,
+    );
+    counter(
+        "scs_arena_recycles_total",
+        "Result-arena slab recycles.",
+        stats.arena_recycled,
+    );
+    let mut gauge = |name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+        ));
+    };
+    gauge(
+        "scs_workers",
+        "Worker threads serving the queue.",
+        stats.workers as u64,
+    );
+    gauge("scs_index_epoch", "Current index epoch.", stats.epoch);
+    gauge(
+        "scs_cache_entries",
+        "Resident result-cache entries.",
+        stats.cache.entries as u64,
+    );
+    gauge(
+        "scs_cache_capacity",
+        "Configured result-cache entry budget.",
+        stats.cache.capacity as u64,
+    );
+    gauge(
+        "scs_scratch_resident_bytes",
+        "Resident bytes of reusable query workspaces.",
+        stats.scratch_bytes as u64,
+    );
+    gauge(
+        "scs_arena_resident_bytes",
+        "Resident bytes of result-arena slabs.",
+        stats.arena_bytes as u64,
+    );
+
+    out.push_str(
+        "# HELP scs_request_duration_us End-to-end request latency (enqueue to reply), microseconds.\n\
+         # TYPE scs_request_duration_us histogram\n",
+    );
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        let labels = format!("algo=\"{}\"", algo.name());
+        render_histogram(
+            &mut out,
+            "scs_request_duration_us",
+            &labels,
+            &telem.total[a],
+        );
+    }
+    out.push_str(
+        "# HELP scs_stage_duration_us Per-stage request latency attribution, microseconds.\n\
+         # TYPE scs_stage_duration_us histogram\n",
+    );
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        for stage in Stage::ALL {
+            let labels = format!("algo=\"{}\",stage=\"{}\"", algo.name(), stage.name());
+            render_histogram(
+                &mut out,
+                "scs_stage_duration_us",
+                &labels,
+                &telem.stage[a][stage as usize],
+            );
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &HistSnapshot) {
+    let top = (0..HistSnapshot::N_BUCKETS)
+        .rev()
+        .find(|&i| h.bucket_count(i) > 0);
+    let mut cum = 0u64;
+    if let Some(top) = top {
+        for i in 0..=top {
+            cum += h.bucket_count(i);
+            match HistSnapshot::bucket_upper_edge(i) {
+                Some(le) => out.push_str(&format!("{name}_bucket{{{labels},le=\"{le}\"}} {cum}\n")),
+                None => break, // top bucket folds into +Inf below
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {}\n{name}_sum{{{labels}}} {}\n{name}_count{{{labels}}} {}\n",
+        h.count(),
+        h.sum_us(),
+        h.count()
+    ));
+}
+
+/// Validates Prometheus text exposition: parseable lines, legal metric
+/// and label names, no unnamed or duplicate series, a `# TYPE` for
+/// every sample's family, and well-formed histograms (ascending `le`,
+/// non-decreasing cumulative counts, a `+Inf` bucket equal to
+/// `_count`). Used by the CLI before writing `--metrics-out` and by CI.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::{HashMap, HashSet};
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    // (family, labels-minus-le) → ascending (le, cumulative) pairs.
+    let mut buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: &str| Err(format!("line {}: {msg}: {raw}", ln + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(ty)) = (it.next(), it.next()) else {
+                return err("malformed TYPE comment");
+            };
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                return err("unknown metric type");
+            }
+            if types.insert(name.to_string(), ty.to_string()).is_some() {
+                return err("duplicate TYPE for family");
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (name, labels, value) =
+            parse_sample(line).map_err(|m| format!("line {}: {m}: {raw}", ln + 1))?;
+        if value.is_nan() {
+            return err("NaN sample value");
+        }
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(&name)
+            .to_string();
+        if !types.contains_key(&family) {
+            return err("sample without a # TYPE for its family");
+        }
+        let mut sorted = labels.clone();
+        sorted.sort();
+        let series_id = format!("{name}{{{}}}", sorted.join(","));
+        if !seen.insert(series_id) {
+            return err("duplicate series");
+        }
+        let le = labels.iter().find_map(|l| l.strip_prefix("le=\""));
+        let others: Vec<&String> = labels.iter().filter(|l| !l.starts_with("le=\"")).collect();
+        let key = (
+            family.clone(),
+            others
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        if name.ends_with("_bucket") && types.get(&family).map(String::as_str) == Some("histogram")
+        {
+            let Some(le) = le else {
+                return err("histogram bucket without an le label");
+            };
+            let le = le.trim_end_matches('"');
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("line {}: unparseable le value: {raw}", ln + 1))?
+            };
+            buckets.entry(key).or_default().push((le, value));
+        } else if name.ends_with("_count")
+            && types.get(&family).map(String::as_str) == Some("histogram")
+        {
+            counts.insert(key, value);
+        }
+    }
+    for ((family, labels), series) in &buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_v = 0.0f64;
+        for &(le, v) in series {
+            if le <= prev_le {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: le values not ascending"
+                ));
+            }
+            if v < prev_v {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: cumulative counts decrease"
+                ));
+            }
+            prev_le = le;
+            prev_v = v;
+        }
+        let Some(&(last_le, last_v)) = series.last() else {
+            continue;
+        };
+        if last_le != f64::INFINITY {
+            return Err(format!(
+                "histogram {family}{{{labels}}}: missing +Inf bucket"
+            ));
+        }
+        match counts.get(&(family.clone(), labels.clone())) {
+            Some(&c) if c == last_v => {}
+            Some(_) => {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: +Inf bucket != _count"
+                ))
+            }
+            None => return Err(format!("histogram {family}{{{labels}}}: missing _count")),
+        }
+    }
+    Ok(())
+}
+
+/// Parses one sample line into `(name, labels, value)`. Labels are
+/// returned as raw `key="value"` strings.
+fn parse_sample(line: &str) -> Result<(String, Vec<String>, f64), String> {
+    fn is_name_char(c: char, first: bool) -> bool {
+        c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+    }
+    let mut chars = line.char_indices().peekable();
+    let mut name_end = 0;
+    for (i, c) in chars.by_ref() {
+        if is_name_char(c, i == 0) {
+            name_end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    if name_end == 0 {
+        return Err("unnamed series (sample without a metric name)".into());
+    }
+    let name = &line[..name_end];
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(inner) = rest.strip_prefix('{') {
+        let close = inner.find('}').ok_or("unterminated label set")?;
+        let body = &inner[..close];
+        let mut labels = Vec::new();
+        for part in body.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = part.split_once('=').ok_or("label without =")?;
+            if k.is_empty() || !k.chars().enumerate().all(|(i, c)| is_name_char(c, i == 0)) {
+                return Err("illegal label name".into());
+            }
+            if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                return Err("unquoted label value".into());
+            }
+            labels.push(part.to_string());
+        }
+        (labels, &inner[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut fields = rest.split_whitespace();
+    let value = fields.next().ok_or("sample without a value")?;
+    let value = if value == "+Inf" {
+        f64::INFINITY
+    } else if value == "-Inf" {
+        f64::NEG_INFINITY
+    } else {
+        value
+            .parse::<f64>()
+            .map_err(|_| "unparseable sample value")?
+    };
+    if fields.next().is_some() {
+        return Err("unexpected trailing token (timestamps not emitted)".into());
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+// ─── Bench JSON (schema-versioned perf trajectory) ───────────────────
+
+/// Schema identifier stamped into every `BENCH_service.json`.
+pub const BENCH_SCHEMA: &str = "scs-bench-service/v1";
+
+/// Workload and run parameters recorded alongside the measured stats
+/// in `BENCH_service.json`, so a trajectory of artifacts is
+/// self-describing.
+#[derive(Debug, Clone)]
+pub struct BenchMeta<'a> {
+    /// Dataset path or name the workload was built from.
+    pub dataset: &'a str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Measured queries (excluding warmup).
+    pub queries: usize,
+    /// Warmup queries replayed before the measured window.
+    pub warmup: usize,
+    /// Client threads replaying.
+    pub clients: usize,
+    /// Batch size (0 = per-request submission).
+    pub batch_size: usize,
+    /// α degree constraint.
+    pub alpha: usize,
+    /// β degree constraint.
+    pub beta: usize,
+    /// Second-step algorithm.
+    pub algo: Algorithm,
+    /// Fraction of repeated keys in the workload.
+    pub repeat_fraction: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Whether adaptive batch splitting was enabled.
+    pub split_batches: bool,
+    /// Wall-clock seconds of the measured replay.
+    pub wall_secs: f64,
+}
+
+fn j_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn j_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".into();
+    }
+    format!("{v:.3}")
+}
+
+fn j_summary(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        s.count,
+        j_f64(s.mean_us),
+        s.p50_us,
+        s.p99_us,
+        s.max_us
+    )
+}
+
+fn j_stages(stages: &[LatencySummary; N_STAGES]) -> String {
+    let body: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&st| format!("\"{}\":{}", st.name(), j_summary(&stages[st as usize])))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn j_stats(stats: &ServiceStats) -> String {
+    let algos: Vec<String> = stats
+        .algos
+        .iter()
+        .map(|a| {
+            format!(
+                "\"{}\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{},\"stages\":{}}}",
+                a.algo.name(),
+                a.total.count,
+                j_f64(a.total.mean_us),
+                a.total.p50_us,
+                a.total.p99_us,
+                a.total.max_us,
+                j_stages(&a.stages)
+            )
+        })
+        .collect();
+    let slow: Vec<String> = stats
+        .slow
+        .iter()
+        .map(|s| {
+            let stages: Vec<String> = Stage::ALL
+                .iter()
+                .map(|&st| format!("\"{}\":{}", st.name(), s.stages_us[st as usize]))
+                .collect();
+            format!(
+                "{{\"q\":{},\"alpha\":{},\"beta\":{},\"algo\":{},\"epoch\":{},\"provenance\":{},\
+                 \"cached\":{},\"coalesced\":{},\"total_us\":{},\"stages_us\":{{{}}}}}",
+                s.q,
+                s.alpha,
+                s.beta,
+                j_escape(s.algo.name()),
+                s.epoch,
+                j_escape(s.provenance.name()),
+                s.cached,
+                s.coalesced,
+                s.total_us,
+                stages.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workers\":{},\"completed\":{},\"qps\":{},\
+         \"latency_us\":{{\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\
+         \"stages\":{},\"algorithms\":{{{}}},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{},\"evictions\":{},\"invalidated\":{}}},\
+         \"events\":{{\"installs\":{},\"stale_publishes\":{},\"epoch\":{}}},\
+         \"batching\":{{\"batches\":{},\"batched\":{},\"splits\":{},\"sub_batches\":{},\"coalesced\":{}}},\
+         \"memory\":{{\"scratch_bytes\":{},\"arena_bytes\":{},\"allocs_avoided\":{},\"arena_recycled\":{}}},\
+         \"slow_queries\":[{}]}}",
+        stats.workers,
+        stats.completed,
+        j_f64(stats.qps),
+        j_f64(stats.mean_us),
+        stats.p50_us,
+        stats.p90_us,
+        stats.p99_us,
+        stats.max_us,
+        j_stages(&stats.stages),
+        algos.join(","),
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.entries,
+        stats.cache.capacity,
+        stats.cache.evictions,
+        stats.cache.invalidated,
+        stats.installs,
+        stats.stale_publishes,
+        stats.epoch,
+        stats.batches,
+        stats.batched,
+        stats.splits,
+        stats.sub_batches,
+        stats.coalesced,
+        stats.scratch_bytes,
+        stats.arena_bytes,
+        stats.allocs_avoided,
+        stats.arena_recycled,
+        slow.join(",")
+    )
+}
+
+/// Renders the schema-versioned `BENCH_service.json` artifact:
+/// workload parameters, the cumulative run stats, and the steady-state
+/// window ([`crate::QueryEngine::stats_window`] deltas excluding
+/// warmup). Pretty-printed for reviewable diffs across PRs.
+pub fn render_bench_json(
+    meta: &BenchMeta<'_>,
+    cumulative: &ServiceStats,
+    steady: &ServiceStats,
+) -> String {
+    let compact = format!(
+        "{{\"schema\":{},\"bench\":\"serve-bench\",\
+         \"workload\":{{\"dataset\":{},\"threads\":{},\"queries\":{},\"warmup\":{},\
+         \"clients\":{},\"batch_size\":{},\"alpha\":{},\"beta\":{},\"algo\":{},\
+         \"repeat_fraction\":{},\"seed\":{},\"split_batches\":{}}},\
+         \"wall_secs\":{},\"cumulative\":{},\"steady\":{}}}",
+        j_escape(BENCH_SCHEMA),
+        j_escape(meta.dataset),
+        meta.threads,
+        meta.queries,
+        meta.warmup,
+        meta.clients,
+        meta.batch_size,
+        meta.alpha,
+        meta.beta,
+        j_escape(meta.algo.name()),
+        j_f64(meta.repeat_fraction),
+        meta.seed,
+        meta.split_batches,
+        j_f64(meta.wall_secs),
+        j_stats(cumulative),
+        j_stats(steady)
+    );
+    let value = json_parse(&compact).expect("render_bench_json must emit valid JSON");
+    let mut out = String::with_capacity(compact.len() * 2);
+    render_pretty(&value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn render_pretty(v: &JsonValue, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => out.push_str(&fmt_num(*n)),
+        JsonValue::Str(s) => out.push_str(&j_escape(s)),
+        JsonValue::Arr(items) if items.is_empty() => out.push_str("[]"),
+        JsonValue::Arr(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                render_pretty(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        JsonValue::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+        JsonValue::Obj(pairs) => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&pad_in);
+                out.push_str(&j_escape(k));
+                out.push_str(": ");
+                render_pretty(val, indent + 1, out);
+                out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+// ─── Minimal JSON parser (std-only; validation of our own artifacts) ──
+
+/// A parsed JSON value. The repo is std-only (no serde), so the bench
+/// artifact is validated with this minimal recursive-descent parser —
+/// objects keep insertion order, numbers are f64.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object's fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (strict: one value, no trailing garbage).
+pub fn json_parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number bytes")?;
+            s.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("unparseable number {s:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("expected {lit} at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape \\{}", esc as char)),
+                }
+            }
+            _ => {
+                // Re-sync to the char boundary for multi-byte UTF-8.
+                let start = *pos - 1;
+                let width = utf8_width(c);
+                let end = start + width;
+                let s = b.get(start..end).ok_or("truncated UTF-8")?;
+                out.push_str(std::str::from_utf8(s).map_err(|_| "invalid UTF-8")?);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Validates a `BENCH_service.json` document against
+/// [`BENCH_SCHEMA`]: schema tag, workload parameters, and — for both
+/// the cumulative and steady sections — latency quantiles, all six
+/// stage summaries, per-algorithm p50/p99 with stage breakdowns, and
+/// the cache/event/batching/memory counter blocks.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = json_parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema {schema:?} != {BENCH_SCHEMA:?}"));
+    }
+    let workload = doc.get("workload").ok_or("missing workload")?;
+    workload
+        .get("dataset")
+        .and_then(JsonValue::as_str)
+        .ok_or("workload.dataset missing")?;
+    for key in [
+        "threads",
+        "queries",
+        "warmup",
+        "clients",
+        "batch_size",
+        "alpha",
+        "beta",
+        "repeat_fraction",
+        "seed",
+    ] {
+        workload
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("workload.{key} missing or not a number"))?;
+    }
+    doc.get("wall_secs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("wall_secs missing")?;
+    for section in ["cumulative", "steady"] {
+        let s = doc
+            .get(section)
+            .ok_or_else(|| format!("missing {section} section"))?;
+        validate_stats_obj(s).map_err(|e| format!("{section}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_summary_obj(v: &JsonValue) -> Result<(), String> {
+    for key in ["count", "mean_us", "p50_us", "p99_us", "max_us"] {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("summary field {key} missing or not a number"))?;
+    }
+    Ok(())
+}
+
+fn validate_stages_obj(v: &JsonValue) -> Result<(), String> {
+    for stage in Stage::ALL {
+        let s = v
+            .get(stage.name())
+            .ok_or_else(|| format!("stage {} missing", stage.name()))?;
+        validate_summary_obj(s).map_err(|e| format!("stage {}: {e}", stage.name()))?;
+    }
+    Ok(())
+}
+
+fn validate_stats_obj(v: &JsonValue) -> Result<(), String> {
+    for key in ["workers", "completed", "qps"] {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{key} missing or not a number"))?;
+    }
+    let lat = v.get("latency_us").ok_or("latency_us missing")?;
+    for key in ["mean", "p50", "p90", "p99", "max"] {
+        lat.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("latency_us.{key} missing"))?;
+    }
+    validate_stages_obj(v.get("stages").ok_or("stages missing")?)?;
+    let algos = v
+        .get("algorithms")
+        .and_then(JsonValue::as_obj)
+        .ok_or("algorithms missing or not an object")?;
+    if algos.is_empty() {
+        return Err("algorithms object is empty".into());
+    }
+    for (name, a) in algos {
+        validate_summary_obj(a).map_err(|e| format!("algorithm {name}: {e}"))?;
+        validate_stages_obj(
+            a.get("stages")
+                .ok_or_else(|| format!("algorithm {name}: stages missing"))?,
+        )
+        .map_err(|e| format!("algorithm {name}: {e}"))?;
+    }
+    for (block, keys) in [
+        (
+            "cache",
+            &[
+                "hits",
+                "misses",
+                "entries",
+                "capacity",
+                "evictions",
+                "invalidated",
+            ][..],
+        ),
+        ("events", &["installs", "stale_publishes", "epoch"][..]),
+        (
+            "batching",
+            &["batches", "batched", "splits", "sub_batches", "coalesced"][..],
+        ),
+        (
+            "memory",
+            &[
+                "scratch_bytes",
+                "arena_bytes",
+                "allocs_avoided",
+                "arena_recycled",
+            ][..],
+        ),
+    ] {
+        let o = v.get(block).ok_or_else(|| format!("{block} missing"))?;
+        for key in keys {
+            o.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{block}.{key} missing or not a number"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+    use bigraph::Vertex;
+
+    fn req(q: u32, algo: Algorithm) -> QueryRequest {
+        QueryRequest {
+            q: Vertex(q),
+            alpha: 2,
+            beta: 3,
+            algo,
+        }
+    }
+
+    fn trace(q: u32, algo: Algorithm, total_us: u64, kernel_us: u64) -> RequestTrace {
+        let mut s = StageSet::new();
+        s.set(Stage::QueueWait, 1)
+            .set(Stage::CacheLookup, 0)
+            .set(Stage::Kernel, kernel_us);
+        s.trace(&req(q, algo), 7, false, false, Provenance::Single, total_us)
+    }
+
+    fn stats_for(telem: &Telemetry) -> ServiceStats {
+        let snap = telem.snapshot();
+        let total = snap
+            .total
+            .iter()
+            .fold(HistSnapshot::empty(), |acc, h| acc.merge(h));
+        ServiceStats {
+            workers: 2,
+            completed: total.count(),
+            coalesced: 0,
+            batches: 1,
+            batched: 2,
+            splits: 0,
+            sub_batches: 0,
+            cache: CacheStats {
+                hits: 1,
+                misses: 2,
+                entries: 1,
+                capacity: 64,
+                shards: 4,
+                evictions: 0,
+                invalidated: 1,
+            },
+            epoch: 7,
+            installs: snap.installs,
+            stale_publishes: snap.stale_publishes,
+            qps: 1000.0,
+            mean_us: total.mean_us(),
+            p50_us: total.quantile_us(0.5),
+            p90_us: total.quantile_us(0.9),
+            p99_us: total.quantile_us(0.99),
+            max_us: total.max_us(),
+            scratch_bytes: 4096,
+            arena_bytes: 8192,
+            allocs_avoided: 10,
+            arena_recycled: 1,
+            stages: snap.stage_summaries(),
+            algos: snap.algo_stats(),
+            slow: telem.slow_queries(),
+        }
+    }
+
+    #[test]
+    fn recorder_tiles_the_request_interval() {
+        let mut rec = StageRecorder::new();
+        rec.start_with_queue_us(5);
+        rec.mark(Stage::CacheLookup);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.mark(Stage::Kernel);
+        rec.mark(Stage::Publish);
+        let t = rec.trace(
+            &req(3, Algorithm::Peel),
+            1,
+            false,
+            false,
+            Provenance::Single,
+        );
+        assert_eq!(t.q, 3);
+        assert_eq!(t.alpha, 2);
+        assert_eq!(t.beta, 3);
+        assert_eq!(t.stages_us[Stage::QueueWait as usize], 5);
+        assert!(t.stages_us[Stage::Kernel as usize] >= 2_000);
+        assert_eq!(t.touched & Stage::Reply.bit(), 0);
+        assert_ne!(t.touched & Stage::CacheLookup.bit(), 0);
+        // Stage sums reconcile with the total to ≤1µs truncation per
+        // marked stage.
+        let sum: u64 = t.stages_us.iter().sum();
+        let marked = 4; // queue + cache + kernel + publish
+        assert!(sum <= t.total_us, "sum {sum} > total {}", t.total_us);
+        assert!(
+            sum + marked >= t.total_us,
+            "sum {sum} + {marked} < total {}",
+            t.total_us
+        );
+        // Restarting fully resets.
+        rec.start_with_queue_us(0);
+        let t2 = rec.trace(&req(3, Algorithm::Peel), 1, true, false, Provenance::Single);
+        assert_eq!(t2.stages_us[Stage::Kernel as usize], 0);
+        assert_eq!(t2.touched, Stage::QueueWait.bit());
+    }
+
+    #[test]
+    fn record_fills_per_algo_and_per_stage_histograms() {
+        let telem = Telemetry::new(4);
+        telem.record(&trace(1, Algorithm::Peel, 100, 90));
+        telem.record(&trace(2, Algorithm::Peel, 200, 180));
+        telem.record(&trace(3, Algorithm::Expand, 50, 40));
+        telem.note_install();
+        telem.note_stale_publish();
+        let snap = telem.snapshot();
+        assert_eq!(snap.total[algo_rank(Algorithm::Peel)].count(), 2);
+        assert_eq!(snap.total[algo_rank(Algorithm::Expand)].count(), 1);
+        assert_eq!(snap.total[algo_rank(Algorithm::Auto)].count(), 0);
+        assert_eq!(snap.installs, 1);
+        assert_eq!(snap.stale_publishes, 1);
+        // Touched stages (even 0µs ones) are histogrammed; untouched
+        // stages are not.
+        let peel = &snap.stage[algo_rank(Algorithm::Peel)];
+        assert_eq!(peel[Stage::CacheLookup as usize].count(), 2);
+        assert_eq!(peel[Stage::Kernel as usize].count(), 2);
+        assert_eq!(peel[Stage::Reply as usize].count(), 0);
+        // Aggregation across algorithms.
+        let stages = snap.stage_summaries();
+        assert_eq!(stages[Stage::Kernel as usize].count, 3);
+        let algos = snap.algo_stats();
+        assert_eq!(algos[algo_rank(Algorithm::Peel)].total.count, 2);
+        assert_eq!(algos[algo_rank(Algorithm::Peel)].total.max_us, 200);
+        // Windowed delta.
+        telem.record(&trace(4, Algorithm::Peel, 400, 390));
+        let d = telem.snapshot().delta(&snap);
+        assert_eq!(d.total[algo_rank(Algorithm::Peel)].count(), 1);
+        assert_eq!(d.total[algo_rank(Algorithm::Expand)].count(), 0);
+        assert_eq!(d.installs, 0);
+    }
+
+    #[test]
+    fn ring_retains_the_k_worst() {
+        let telem = Telemetry::new(3);
+        for (q, us) in [
+            (1u32, 50u64),
+            (2, 500),
+            (3, 10),
+            (4, 300),
+            (5, 40),
+            (6, 900),
+        ] {
+            telem.record(&trace(q, Algorithm::Auto, us, us));
+        }
+        let slow = telem.slow_queries();
+        assert_eq!(slow.len(), 3);
+        let totals: Vec<u64> = slow.iter().map(|s| s.total_us).collect();
+        assert_eq!(totals, vec![900, 500, 300]);
+        assert_eq!(slow[0].q, 6);
+        assert_eq!(slow[0].algo, Algorithm::Auto);
+        assert_eq!(slow[0].epoch, 7);
+        assert_eq!(slow[0].provenance, Provenance::Single);
+        assert_eq!(slow[0].stages_us[Stage::Kernel as usize], 900);
+        // A faster request than the retained minimum is rejected (and
+        // exercises the cached-threshold fast path).
+        telem.record(&trace(7, Algorithm::Auto, 100, 100));
+        assert_eq!(telem.slow_queries().len(), 3);
+        assert_eq!(telem.slow_queries()[2].total_us, 300);
+        // Capacity 0 disables retention but never panics.
+        let off = Telemetry::new(0);
+        off.record(&trace(1, Algorithm::Auto, 1000, 900));
+        assert!(off.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn slow_query_display_is_greppable() {
+        let telem = Telemetry::new(1);
+        telem.record(&trace(17, Algorithm::Peel, 900, 880));
+        let s = telem.slow_queries()[0].to_string();
+        assert!(s.contains("q=17"), "{s}");
+        assert!(s.contains("algo=peel"), "{s}");
+        assert!(s.contains("kernel=880"), "{s}");
+        assert!(s.contains("single"), "{s}");
+    }
+
+    #[test]
+    fn prometheus_render_passes_its_own_validator() {
+        let telem = Telemetry::new(4);
+        for i in 0..50u32 {
+            telem.record(&trace(
+                i,
+                Algorithm::ALL[i as usize % 5],
+                10 + 7 * i as u64,
+                5,
+            ));
+        }
+        let stats = stats_for(&telem);
+        let text = render_prometheus(&stats, &telem.snapshot());
+        validate_prometheus(&text).expect("rendered metrics must validate");
+        assert!(text.contains("# TYPE scs_requests_total counter"));
+        assert!(text.contains("scs_requests_total 50"));
+        assert!(text.contains("# TYPE scs_request_duration_us histogram"));
+        assert!(text.contains("scs_request_duration_us_bucket{algo=\"peel\",le=\"+Inf\"} 10"));
+        assert!(text.contains(
+            "scs_stage_duration_us_bucket{algo=\"auto\",stage=\"kernel\",le=\"+Inf\"} 10"
+        ));
+        assert!(text.contains("scs_stage_duration_us_count{algo=\"auto\",stage=\"queue_wait\"} 10"));
+        assert!(text.contains("scs_cache_evictions_total"));
+        assert!(text.contains("scs_scratch_resident_bytes 4096"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_text() {
+        // Valid skeleton.
+        let ok = "# TYPE a counter\na 1\n";
+        assert!(validate_prometheus(ok).is_ok());
+        // Duplicate series.
+        let dup = "# TYPE a counter\na 1\na 2\n";
+        assert!(validate_prometheus(dup).unwrap_err().contains("duplicate"));
+        // Sample without a TYPE.
+        let untyped = "b 1\n";
+        assert!(validate_prometheus(untyped).is_err());
+        // Unnamed sample.
+        assert!(validate_prometheus("# TYPE a counter\n{x=\"1\"} 2\n").is_err());
+        // Histogram without +Inf.
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate_prometheus(no_inf).unwrap_err().contains("+Inf"));
+        // Histogram with decreasing cumulative counts.
+        let dec = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate_prometheus(dec).unwrap_err().contains("decrease"));
+        // +Inf bucket disagreeing with _count.
+        let bad_count = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        assert!(validate_prometheus(bad_count)
+            .unwrap_err()
+            .contains("_count"));
+        // NaN values.
+        assert!(validate_prometheus("# TYPE a gauge\na NaN\n").is_err());
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_validates() {
+        let telem = Telemetry::new(4);
+        for i in 0..20u32 {
+            telem.record(&trace(i, Algorithm::ALL[i as usize % 5], 10 + i as u64, 5));
+        }
+        let stats = stats_for(&telem);
+        let meta = BenchMeta {
+            dataset: "/tmp/ds/ml.tsv",
+            threads: 4,
+            queries: 200,
+            warmup: 20,
+            clients: 2,
+            batch_size: 25,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat_fraction: 0.5,
+            seed: 42,
+            split_batches: true,
+            wall_secs: 0.125,
+        };
+        let text = render_bench_json(&meta, &stats, &stats);
+        validate_bench_json(&text).expect("rendered bench JSON must validate");
+        let doc = json_parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("workload")
+                .and_then(|w| w.get("dataset"))
+                .and_then(JsonValue::as_str),
+            Some("/tmp/ds/ml.tsv")
+        );
+        let peel = doc
+            .get("steady")
+            .and_then(|s| s.get("algorithms"))
+            .and_then(|a| a.get("peel"))
+            .expect("per-algorithm block");
+        assert!(peel.get("p99_us").and_then(JsonValue::as_f64).is_some());
+        assert!(peel
+            .get("stages")
+            .and_then(|s| s.get("kernel"))
+            .and_then(|k| k.get("p50_us"))
+            .is_some());
+        // Tampering breaks validation.
+        let broken = text.replace("\"kernel\"", "\"kernle\"");
+        assert!(validate_bench_json(&broken).is_err());
+        let wrong_schema = text.replace(BENCH_SCHEMA, "something-else/v9");
+        assert!(validate_bench_json(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(json_parse("{").is_err());
+        assert!(json_parse("{}x").is_err());
+        assert!(json_parse("{\"a\":}").is_err());
+        assert!(json_parse("[1,]").is_err());
+        assert!(json_parse("\"\\q\"").is_err());
+        assert_eq!(
+            json_parse("[1, 2]").unwrap(),
+            JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)])
+        );
+        let v = json_parse("{\"a\": {\"b\": [true, null, \"x\\n\"]}}").unwrap();
+        assert_eq!(
+            v.get("a").and_then(|a| a.get("b")),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Bool(true),
+                JsonValue::Null,
+                JsonValue::Str("x\n".into())
+            ]))
+        );
+    }
+}

@@ -361,6 +361,7 @@ fn arena_recycling_stays_bit_identical_under_concurrent_installs() {
             min_sub_batch: 1,
             split_batches: true,
             arena_slab_edges: 64,
+            ..ServiceConfig::default()
         },
     );
     settle();

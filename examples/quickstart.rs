@@ -1,10 +1,13 @@
 //! Quickstart: build a small weighted bipartite graph, index it, and run
-//! a significant (α,β)-community search — the paper's Figure 1 scenario.
+//! a significant (α,β)-community search — the paper's Figure 1 scenario —
+//! then serve the same queries concurrently and read back the engine's
+//! per-stage latency telemetry.
 //!
-//! Run with: `cargo run -p scs-core --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
 use bigraph::builder::figure1_example;
 use scs::{Algorithm, CommunitySearch};
+use scs_service::{QueryEngine, QueryRequest, ServiceConfig, Stage};
 
 fn main() {
     // The user–movie network of the paper's Figure 1: 7 users, 7 movies,
@@ -56,4 +59,49 @@ fn main() {
         assert!(r.same_edges(&sc));
     }
     println!("\npeel / expand / binary all agree ✓");
+
+    // The serving layer: the same graph behind a concurrent engine,
+    // queried per-request and in a batch. Telemetry is on by default
+    // (and allocation-free), so afterwards the stats can say where each
+    // microsecond went — queue wait, snapshot, cache, kernel, publish,
+    // reply.
+    let engine = QueryEngine::start(
+        CommunitySearch::shared(figure1_example()),
+        ServiceConfig::default(),
+    );
+    let g = engine.current_index().0.graph().clone();
+    let reqs: Vec<QueryRequest> = (0..g.n_upper())
+        .map(|i| QueryRequest::new(g.upper(i), 2, 2, Algorithm::Auto))
+        .collect();
+    for req in &reqs {
+        engine.query(*req); // cold: leaders compute
+    }
+    engine.query_batch(&reqs); // warm: one batch job, served from cache
+
+    let stats = engine.stats();
+    println!(
+        "\nserved {} requests ({} batch job) — stage breakdown:",
+        stats.completed, stats.batches
+    );
+    println!(
+        "  {:<11} {:>6} {:>9} {:>7} {:>7}",
+        "stage", "count", "mean µs", "p99 µs", "max µs"
+    );
+    for (stage, s) in Stage::ALL.iter().zip(stats.stages.iter()) {
+        if s.count == 0 {
+            continue; // stages no request passed through stay silent
+        }
+        println!(
+            "  {:<11} {:>6} {:>9.1} {:>7} {:>7}",
+            stage.name(),
+            s.count,
+            s.mean_us,
+            s.p99_us,
+            s.max_us
+        );
+    }
+    if let Some(sq) = stats.slow.first() {
+        println!("slowest retained request: {sq}");
+    }
+    engine.shutdown();
 }
