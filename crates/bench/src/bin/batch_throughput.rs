@@ -101,6 +101,7 @@ fn main() {
         beta: 2,
         algo: Algorithm::Peel,
         repeat_fraction: 0.3,
+        zipf: 0.0,
         seed: cfg.seed,
     };
     let workload = build_workload(&search, &spec);

@@ -1,6 +1,8 @@
 //! Serving-throughput scaling: replays the same workload through the
 //! `scs-service` engine with 1/2/4/8 workers and reports QPS, speedup
-//! over the single-worker run, latency quantiles and cache hit rate.
+//! over the single-worker run, latency quantiles and cache hit rate —
+//! then re-runs the widest configuration sharded (2 shards) and gates
+//! on every shard actually serving traffic.
 //!
 //! Knobs: `SCS_SCALE` (dataset scale, default 0.05 here — serving runs
 //! live on a bigger graph than the micro-benches), `SCS_SEED`,
@@ -29,6 +31,7 @@ fn main() {
         beta: 2,
         algo: Algorithm::Auto,
         repeat_fraction: 0.5,
+        zipf: 0.0,
         seed: cfg.seed,
     };
     let workload = build_workload(&search, &spec);
@@ -79,4 +82,40 @@ fn main() {
         ]);
     }
     print_table(&header, &rows);
+
+    // Sharded run: same workload, 8 workers split across 2 shards. The
+    // gate is engagement, not speed — every shard must have completed
+    // work (the router spreads core-sampled vertices), and the shard
+    // rows must account for the full aggregate.
+    let engine = QueryEngine::start(
+        search.clone(),
+        ServiceConfig {
+            workers: 8,
+            shards: 2,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            ..ServiceConfig::default()
+        },
+    );
+    let (report, _) = replay(&engine, &workload, 16);
+    engine.shutdown();
+    let st = &report.stats;
+    println!(
+        "\nsharded (2 shards × 4 workers): {:.0} QPS, p99 {} µs",
+        report.replay_qps, st.p99_us
+    );
+    for s in &st.per_shard {
+        println!(
+            "  shard {}: {} completed, {} hits, {} misses",
+            s.shard, s.completed, s.cache_hits, s.cache_misses
+        );
+    }
+    if st.per_shard.len() != 2 || st.per_shard.iter().any(|s| s.completed == 0) {
+        eprintln!("sharded engine left a shard idle: {:?}", st.per_shard);
+        std::process::exit(1);
+    }
+    if st.per_shard.iter().map(|s| s.completed).sum::<u64>() != st.completed {
+        eprintln!("per-shard rows do not sum to the aggregate: {st:?}");
+        std::process::exit(1);
+    }
 }

@@ -68,6 +68,9 @@ pub struct ServeBenchArgs {
     pub one_based: bool,
     /// Worker threads in the engine.
     pub threads: usize,
+    /// Engine shards the workers (and caches, arenas, index replicas)
+    /// are partitioned into.
+    pub shards: usize,
     /// Queries in the replayed workload.
     pub queries: usize,
     /// Client threads submitting the workload.
@@ -80,6 +83,8 @@ pub struct ServeBenchArgs {
     pub algo: Algorithm,
     /// Fraction of repeated queries in the workload.
     pub repeat: f64,
+    /// Zipf exponent for fresh-query popularity (0 = uniform).
+    pub zipf: f64,
     /// Workload seed.
     pub seed: u64,
     /// Requests per submitted batch job (1 = per-request submission).
@@ -172,10 +177,10 @@ USAGE:
              [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs index <edgelist> <out.scsidx> [--one-based]
   scs generate <dir> [--scale S] [--seed N]
-  scs serve-bench <edgelist> [--threads N] [--queries K] [--clients C]
-             [--alpha A] [--beta B] [--repeat F] [--seed N]
-             [--batch-size B] [--no-split] [--warmup W]
-             [--metrics-out FILE] [--bench-json FILE]
+  scs serve-bench <edgelist> [--threads N] [--shards S] [--queries K]
+             [--clients C] [--alpha A] [--beta B] [--repeat F]
+             [--zipf Z] [--seed N] [--batch-size B] [--no-split]
+             [--warmup W] [--metrics-out FILE] [--bench-json FILE]
              [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs help
 
@@ -223,11 +228,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut scale = 1.0f64;
     let mut seed = 42u64;
     let mut threads = 4usize;
+    let mut shards = 1usize;
     let mut queries = 1000usize;
     let mut clients: Option<usize> = None;
     let mut alpha_flag = 2usize;
     let mut beta_flag = 2usize;
     let mut repeat = 0.5f64;
+    let mut zipf = 0.0f64;
     let mut batch_size = 1usize;
     let mut no_split = false;
     let mut warmup: Option<usize> = None;
@@ -279,6 +286,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::new("--threads needs a value"))?;
                 threads = parse_usize(val, "thread count")?;
             }
+            "--shards" => {
+                serve_flags.push("--shards");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--shards needs a value"))?;
+                shards = parse_usize(val, "shard count")?;
+            }
             "--queries" => {
                 serve_flags.push("--queries");
                 let val = it
@@ -317,6 +331,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::new(format!("invalid repeat fraction {val:?}")))?;
                 if !(0.0..=1.0).contains(&repeat) {
                     return Err(CliError::new("repeat fraction must be in [0, 1]"));
+                }
+            }
+            "--zipf" => {
+                serve_flags.push("--zipf");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--zipf needs a value"))?;
+                zipf = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid zipf exponent {val:?}")))?;
+                // Mirrors WorkloadError::InvalidZipf, but at parse time
+                // so the bad flag dies before any graph is loaded.
+                if !zipf.is_finite() || zipf < 0.0 {
+                    return Err(CliError::new(
+                        "zipf exponent must be a finite value ≥ 0 (0 = uniform)",
+                    ));
                 }
             }
             "--batch-size" => {
@@ -447,12 +477,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 path: rest[0].into(),
                 one_based,
                 threads,
+                shards,
                 queries,
                 clients: clients.unwrap_or(threads * 2),
                 alpha: alpha_flag,
                 beta: beta_flag,
                 algo,
                 repeat,
+                zipf,
                 seed,
                 batch_size,
                 no_split,
@@ -611,6 +643,7 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
         beta: args.beta,
         algo: args.algo,
         repeat_fraction: args.repeat,
+        zipf: args.zipf,
         seed: args.seed,
     };
     // The parser guarantees --queries ≥ 1, so the only workload error
@@ -623,6 +656,7 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
         search,
         ServiceConfig {
             workers: args.threads,
+            shards: args.shards,
             split_batches: !args.no_split,
             ..ServiceConfig::default()
         },
@@ -647,16 +681,20 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
     };
     let mut out = format!(
         "serve-bench {summary}\n\
-         workload: {} queries (+{warmup} warmup) (α={}, β={}, algo={}, repeat={:.2}, seed={})\n\
-         replayed by {} clients ({submission}) over {} workers in {:.3} s — {:.1} QPS\n",
+         workload: {} queries (+{warmup} warmup) (α={}, β={}, algo={}, repeat={:.2}, \
+         zipf={:.2}, seed={})\n\
+         replayed by {} clients ({submission}) over {} workers in {} shard(s) \
+         in {:.3} s — {:.1} QPS\n",
         report.n_queries,
         args.alpha,
         args.beta,
         args.algo,
         args.repeat,
+        args.zipf,
         args.seed,
         report.clients,
         report.stats.workers,
+        args.shards,
         report.wall_secs,
         report.replay_qps,
     );
@@ -680,6 +718,7 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
         let meta = BenchMeta {
             dataset: &args.path,
             threads: args.threads,
+            shards: args.shards,
             queries: args.queries,
             warmup,
             clients: report.clients,
@@ -688,6 +727,7 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
             beta: args.beta,
             algo: args.algo,
             repeat_fraction: args.repeat,
+            zipf: args.zipf,
             seed: args.seed,
             split_batches: !args.no_split,
             wall_secs: report.wall_secs,
@@ -801,6 +841,10 @@ mod tests {
             "4",
             "--repeat",
             "0.25",
+            "--zipf",
+            "1.1",
+            "--shards",
+            "2",
             "--algo",
             "peel",
             "--batch-size",
@@ -813,12 +857,14 @@ mod tests {
                 path: "g.tsv".into(),
                 one_based: false,
                 threads: 8,
+                shards: 2,
                 queries: 500,
                 clients: 16, // defaults to 2 × threads
                 alpha: 3,
                 beta: 4,
                 algo: Algorithm::Peel,
                 repeat: 0.25,
+                zipf: 1.1,
                 seed: 42,
                 batch_size: 32,
                 no_split: false,
@@ -833,6 +879,9 @@ mod tests {
             Command::ServeBench(a) => {
                 assert_eq!(a.batch_size, 1);
                 assert!(!a.no_split);
+                // One shard and a uniform workload unless asked.
+                assert_eq!(a.shards, 1);
+                assert_eq!(a.zipf, 0.0);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -844,6 +893,17 @@ mod tests {
         assert!(parse_args(&args(&["serve-bench", "g", "--threads", "0"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--repeat", "1.5"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "g", "--batch-size"])).is_err());
+        // Shard and zipf validation: zero shards and NaN/negative/
+        // non-finite exponents die in the parser with the flag named.
+        assert!(parse_args(&args(&["serve-bench", "g", "--shards", "0"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "g", "--shards"])).is_err());
+        for bad in ["nan", "-0.5", "inf", "abc"] {
+            let err = parse_args(&args(&["serve-bench", "g", "--zipf", bad])).unwrap_err();
+            assert!(err.to_string().contains("zipf"), "{bad:?}: {err}");
+        }
+        // --shards / --zipf are serve-bench-only like the other knobs.
+        assert!(parse_args(&args(&["stats", "g", "--shards", "2"])).is_err());
+        assert!(parse_args(&args(&["stats", "g", "--zipf", "1.0"])).is_err());
     }
 
     #[test]
@@ -962,12 +1022,14 @@ mod tests {
             path: path.to_str().unwrap().into(),
             one_based: false,
             threads: 4,
+            shards: 1,
             queries: 200,
             clients: 4,
             alpha: 2,
             beta: 2,
             algo: Algorithm::Auto,
             repeat: 0.5,
+            zipf: 0.0,
             seed: 1,
             batch_size: 1,
             no_split: false,
@@ -988,12 +1050,14 @@ mod tests {
             path: path.to_str().unwrap().into(),
             one_based: false,
             threads: 4,
+            shards: 2,
             queries: 200,
             clients: 2,
             alpha: 2,
             beta: 2,
             algo: Algorithm::Auto,
             repeat: 0.5,
+            zipf: 0.0,
             seed: 1,
             batch_size: 25,
             no_split: false,
@@ -1011,12 +1075,14 @@ mod tests {
             path: path.to_str().unwrap().into(),
             one_based: false,
             threads: 4,
+            shards: 1,
             queries: 200,
             clients: 2,
             alpha: 2,
             beta: 2,
             algo: Algorithm::Auto,
             repeat: 0.5,
+            zipf: 0.0,
             seed: 1,
             batch_size: 25,
             no_split: true,
@@ -1032,12 +1098,14 @@ mod tests {
             path: path.to_str().unwrap().into(),
             one_based: false,
             threads: 2,
+            shards: 1,
             queries: 10,
             clients: 2,
             alpha: 50,
             beta: 50,
             algo: Algorithm::Auto,
             repeat: 0.0,
+            zipf: 0.0,
             seed: 1,
             batch_size: 1,
             no_split: false,
@@ -1072,12 +1140,14 @@ mod tests {
             path: path.to_str().unwrap().into(),
             one_based: false,
             threads: 4,
+            shards: 2,
             queries: 200,
             clients: 4,
             alpha: 2,
             beta: 2,
             algo: Algorithm::Auto,
             repeat: 0.5,
+            zipf: 0.0,
             seed: 1,
             batch_size: 8,
             no_split: false,

@@ -21,6 +21,15 @@ pub fn random_vertices<R: Rng>(g: &BipartiteGraph, n: usize, rng: &mut R) -> Vec
         .collect()
 }
 
+/// The vertices of the (α,β)-core in a deterministic (vertex-id) order
+/// — the population every core-restricted workload samples from. Empty
+/// when the core is empty. Exposed so callers that need a non-uniform
+/// draw (e.g. a Zipf-skewed query stream) can weight the same
+/// population [`random_core_queries`] uses.
+pub fn core_members(g: &BipartiteGraph, alpha: usize, beta: usize) -> Vec<Vertex> {
+    abcore(g, alpha, beta).vertices(g).collect()
+}
+
 /// Samples `n` query vertices uniformly from the (α,β)-core, with
 /// replacement, so every query has a nonempty community. Returns an
 /// empty vector when the core is empty.
@@ -31,8 +40,7 @@ pub fn random_core_queries<R: Rng>(
     n: usize,
     rng: &mut R,
 ) -> Vec<Vertex> {
-    let core = abcore(g, alpha, beta);
-    let members: Vec<Vertex> = core.vertices(g).collect();
+    let members = core_members(g, alpha, beta);
     if members.is_empty() {
         return Vec::new();
     }
@@ -58,6 +66,17 @@ mod tests {
         for q in qs {
             assert!(core.contains(q));
         }
+    }
+
+    #[test]
+    fn core_members_are_deterministic_and_in_core() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_bipartite(40, 40, 300, &mut rng);
+        let m = core_members(&g, 2, 2);
+        assert_eq!(m, core_members(&g, 2, 2), "population order must be stable");
+        let core = abcore(&g, 2, 2);
+        assert!(!m.is_empty());
+        assert!(m.iter().all(|&v| core.contains(v)));
     }
 
     #[test]

@@ -232,10 +232,22 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+    /// Index of the internal sub-shard `key` lands on.
+    ///
+    /// Exposed so the engine's router-decorrelation regression test can
+    /// observe the cache's key→shard mapping: the engine routes query
+    /// vertices with a different mixer family (splitmix64) than the
+    /// `DefaultHasher` used here, and the test asserts that keys
+    /// uniform over vertices land near-uniform over *both* mappings
+    /// jointly.
+    pub fn shard_index(&self, key: &K) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & self.mask]
+        (h.finish() as usize) & self.mask
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Looks `key` up, refreshing its recency and counting hit/miss.

@@ -75,10 +75,31 @@
 //! per-request) path; the split only changes which thread runs which
 //! leader.
 //!
+//! # Sharding
+//!
+//! The engine is built from `ServiceConfig::shards` **independent
+//! shards**: each owns its worker pool, job queue, result-cache slice,
+//! in-flight table, workspaces + result arenas, telemetry plane and
+//! `Arc<CommunitySearch>` index replica. Requests route to a shard by
+//! a stable hash of the query vertex ([`route_of`] — a splitmix64
+//! mixer, deliberately decorrelated from the cache's internal SipHash
+//! sharding), so a given key always lands on the same shard and every
+//! single-shard invariant above (coalescing, caching, counter
+//! invariance, the allocation-free warm path) holds per shard and
+//! therefore engine-wide. Cross-shard batches are partitioned into
+//! per-shard sub-batches and reassembled in submission order by the
+//! [`BatchHandle`]; installs fan out to every shard (serialized, so
+//! all shards agree on the epoch sequence); stats aggregate. On Linux,
+//! each shard's workers are pinned to a distinct CPU set
+//! (best-effort); elsewhere pinning is a no-op and sharding still
+//! isolates the queues, caches and arenas. The split queue is
+//! shard-local — sub-batch claiming never crosses a shard boundary
+//! (cross-shard stealing is a ROADMAP follow-up).
+//!
 //! [`QueryEngine::install`] atomically replaces the index (one
-//! write-lock), bumps the epoch and clears the cache, so a rebuilt index
-//! — e.g. [`scs::DynamicIndex::snapshot`] after edge updates — goes live
-//! without stopping the workers. In-flight leaders that started on the
+//! write-lock per shard), bumps the epoch and clears the cache, so a
+//! rebuilt index — e.g. [`scs::DynamicIndex::snapshot`] after edge
+//! updates — goes live without stopping the workers. In-flight leaders that started on the
 //! old snapshot finish on it (their Arc keeps it alive) and their
 //! responses carry the old epoch; the cache only ever holds entries
 //! inserted under the epoch read together with the snapshot, and is
@@ -88,9 +109,11 @@
 //! epoch matches the one it observed as current, so a post-install
 //! request never receives a pre-install result.
 
-use crate::cache::ShardedCache;
-use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats};
-use crate::telemetry::{Provenance, Stage, StageRecorder, StageSet, Telemetry, TelemetrySnapshot};
+use crate::cache::{CacheStats, ShardedCache};
+use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
+use crate::telemetry::{
+    Provenance, SlowQuery, Stage, StageRecorder, StageSet, Telemetry, TelemetrySnapshot,
+};
 use crate::{CommunitySummary, QueryRequest, QueryResponse};
 use bigraph::arena::ResultArena;
 use bigraph::Vertex;
@@ -104,18 +127,36 @@ use std::time::Instant;
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads (≥ 1).
+    /// Worker threads (≥ 1), distributed across the shards. When
+    /// `shards` does not divide this evenly the first shards get the
+    /// remainder; every shard gets at least one worker, so `shards >
+    /// workers` raises the effective total (reported by
+    /// [`crate::stats::ServiceStats::workers`]).
     pub workers: usize,
+    /// Independent engine shards (≥ 1). Each shard owns its worker
+    /// pool, job queue, result-cache slice, in-flight table, telemetry
+    /// plane and index replica; requests are routed by a stable hash of
+    /// the query vertex, so one key always lands on one shard and the
+    /// single-shard coalescing/caching guarantees carry over verbatim.
+    /// On Linux each shard's workers are additionally pinned to a
+    /// distinct CPU set (best-effort; elsewhere pinning is a no-op).
+    pub shards: usize,
     /// Total result-cache entries across all shards.
     pub cache_capacity: usize,
     /// Cache shards (rounded up to a power of two).
     pub cache_shards: usize,
-    /// Batch-splitting granularity: a split batch wakes at most one
-    /// helper per `min_sub_batch` leader computations (and never more
-    /// than the pool's idle capacity), so tiny batches are served
-    /// inline instead of being scattered. Chunks themselves follow
-    /// per-algorithm runs and can be smaller or more numerous than
-    /// this fan-out; they queue behind it. Clamped to ≥ 1.
+    /// Batch-splitting granularity **floor**: a split batch wakes at
+    /// most one helper per effective-`min_sub_batch` leader
+    /// computations (and never more than the pool's idle capacity), so
+    /// tiny batches are served inline instead of being scattered.
+    /// Once enough kernel-stage samples exist the engine raises the
+    /// effective value from the observed per-leader kernel cost —
+    /// cheap kernels get coarser chunks so scheduling overhead cannot
+    /// dominate — but never below this floor (visible per shard via
+    /// [`crate::stats::ShardStats::min_sub_batch_effective`]). Chunks
+    /// themselves follow per-algorithm runs and can be smaller or more
+    /// numerous than this fan-out; they queue behind it. Clamped to
+    /// ≥ 1.
     pub min_sub_batch: usize,
     /// Adaptive batch splitting on/off. Off, every batch is served in
     /// full by the worker that dequeued it (the pre-split behaviour and
@@ -139,6 +180,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            shards: 1,
             cache_capacity: 4096,
             cache_shards: 16,
             min_sub_batch: 8,
@@ -548,7 +590,10 @@ impl WindowBase {
     }
 }
 
-/// Shared state between the engine handle and its workers.
+/// One engine shard: everything its workers share. A shard is a
+/// complete single-threaded-safe engine in itself — index replica,
+/// cache slice, in-flight table, job queue, pools, telemetry — so the
+/// sharded engine above it only routes, fans out and aggregates.
 struct Inner {
     search: RwLock<(Arc<CommunitySearch>, u64)>,
     cache: ShardedCache<QueryRequest, QueryResponse>,
@@ -574,18 +619,21 @@ struct Inner {
     shared_pool: ArcPool<BatchShared>,
     req_pool: VecPool<QueryRequest>,
     resp_pool: VecPool<QueryResponse>,
-    started: Instant,
+    /// Worker threads owned by this shard.
     workers: usize,
     /// The preallocated telemetry plane: per-algorithm × per-stage
     /// histograms, the slow-query ring and event counters. Recording
     /// is lock-free and allocation-free (see [`crate::telemetry`]).
     telemetry: Telemetry,
-    /// Baseline of the last [`QueryEngine::stats_window`] call. Off the
-    /// serving path entirely — only stats readers lock it.
-    window: Mutex<WindowBase>,
 }
 
 impl Inner {
+    /// Target kernel time per sub-batch, µs — the knob behind the
+    /// dynamic [`Self::effective_min_sub_batch`]. Large enough that a
+    /// chunk's compute dwarfs its queue/wake cost, small enough that a
+    /// medium batch still fans out.
+    const TARGET_CHUNK_US: u64 = 200;
+
     /// The current `(index snapshot, epoch)` pair, read consistently.
     fn snapshot(&self) -> (Arc<CommunitySearch>, u64) {
         let guard = self.search.read().unwrap();
@@ -699,17 +747,44 @@ impl Inner {
         }
     }
 
+    /// The split granularity actually in force: the configured
+    /// `min_sub_batch` floor, raised — once enough kernel-stage
+    /// samples exist — so that one sub-batch covers roughly
+    /// [`Self::TARGET_CHUNK_US`] of observed per-leader kernel time.
+    /// Cheap kernels thus get coarser chunks (scheduling overhead
+    /// cannot dominate the work), expensive kernels fall back to the
+    /// floor (maximum fan-out). Two relaxed loads per algorithm; a
+    /// stale reading only mis-sizes a split, never mis-answers one.
+    ///
+    /// Batch units record the *shared* kernel-call window, so the
+    /// per-unit mean overestimates true per-leader cost under batch
+    /// traffic — which only biases chunks larger, the safe direction.
+    fn effective_min_sub_batch(&self) -> usize {
+        /// Kernel-stage samples required before the feedback engages;
+        /// below it the configured floor rules (a cold engine behaves
+        /// exactly as configured).
+        const MIN_SAMPLES: u64 = 32;
+        let (count, sum) = self.telemetry.kernel_cost_us();
+        if count < MIN_SAMPLES {
+            return self.min_sub_batch;
+        }
+        let per_unit_us = (sum / count).max(1);
+        self.min_sub_batch
+            .max(((Self::TARGET_CHUNK_US / per_unit_us).max(1)) as usize)
+    }
+
     /// How many sub-batches to carve `n_units` leader computations
     /// into: 1 (serve inline) unless splitting is enabled, and
     /// otherwise capped both by the pool's idle capacity (idle workers
     /// plus the serving worker itself) and by the one-sub-batch-per-
-    /// `min_sub_batch`-leaders floor, so small batches stay whole.
+    /// [`Self::effective_min_sub_batch`]-leaders floor, so small
+    /// batches stay whole.
     fn split_factor(&self, n_units: usize) -> usize {
         if !self.split_batches || n_units < 2 {
             return 1;
         }
         let idle = self.idle_workers.load(Ordering::Relaxed);
-        (idle + 1).min(n_units.div_ceil(self.min_sub_batch.max(1)))
+        (idle + 1).min(n_units.div_ceil(self.effective_min_sub_batch()))
     }
 
     /// A recycled (or fresh) [`BatchShared`] with its plain fields set
@@ -1582,11 +1657,37 @@ impl ResponseHandle {
 
 /// A pending batch of responses; produced by
 /// [`QueryEngine::submit_batch`]. Responses arrive together, in the
-/// order the requests were submitted.
+/// order the requests were submitted — also when the batch was fanned
+/// out across engine shards, in which case the handle reassembles the
+/// per-shard answers on `wait`.
 pub struct BatchHandle {
-    cell: Arc<ReplyCell<Vec<QueryResponse>>>,
-    inner: Arc<Inner>,
+    parts: BatchParts,
 }
+
+enum BatchParts {
+    /// The whole batch went to one shard (always the case with one
+    /// shard configured): the answer vector passes through unchanged,
+    /// so this path stays allocation-free for warm callers.
+    Single {
+        cell: Arc<ReplyCell<Vec<QueryResponse>>>,
+        inner: Arc<Inner>,
+    },
+    /// The batch was partitioned across shards: one sub-batch job per
+    /// participating shard, answers merged back into submission order
+    /// by walking `route` with per-shard cursors. Responses are cloned
+    /// out of the per-shard vectors — a refcount bump for arena-backed
+    /// summaries — and every buffer returns to its owning shard's pool.
+    Fanout {
+        /// `(shard index, pending reply)` per participating shard, in
+        /// shard order.
+        parts: Vec<(u32, Arc<ReplyCell<Vec<QueryResponse>>>)>,
+        /// Slot → shard route of the original submission order.
+        route: Vec<u32>,
+        core: Arc<EngineCore>,
+    },
+}
+
+const BATCH_WAIT_MSG: &str = "batch panicked in the engine or engine shut down before responding";
 
 impl BatchHandle {
     /// Blocks until the engine answers the whole batch.
@@ -1595,177 +1696,432 @@ impl BatchHandle {
     /// Panics if a query panicked inside the engine or the engine shut
     /// down before answering.
     pub fn wait(self) -> Vec<QueryResponse> {
-        self.cell
-            .take()
-            .expect("batch panicked in the engine or engine shut down before responding")
+        match self.parts {
+            BatchParts::Single { cell, .. } => cell.take().expect(BATCH_WAIT_MSG),
+            fanout @ BatchParts::Fanout { .. } => {
+                let mut out = Vec::new();
+                BatchHandle { parts: fanout }.wait_into(&mut out);
+                out
+            }
+        }
     }
 
     /// [`Self::wait`] into a caller-owned buffer: appends every
-    /// response to `out` and returns the engine's internal vector to
-    /// its pool, so a caller reusing `out` completes a warm batch
-    /// without a single allocation on either side.
+    /// response to `out` and returns the engine's internal vectors to
+    /// their pools, so a caller reusing `out` completes a warm
+    /// single-shard batch without a single allocation on either side.
+    /// (A cross-shard batch allocates modest merge bookkeeping; the
+    /// responses themselves are still refcount bumps.)
     pub fn wait_into(self, out: &mut Vec<QueryResponse>) {
-        let mut got = self
-            .cell
-            .take()
-            .expect("batch panicked in the engine or engine shut down before responding");
-        out.append(&mut got);
-        self.inner.resp_pool.put(got);
+        match self.parts {
+            BatchParts::Single { cell, inner } => {
+                let mut got = cell.take().expect(BATCH_WAIT_MSG);
+                out.append(&mut got);
+                inner.resp_pool.put(got);
+            }
+            BatchParts::Fanout { parts, route, core } => {
+                let mut got: Vec<(u32, Vec<QueryResponse>, usize)> = parts
+                    .into_iter()
+                    .map(|(s, cell)| (s, cell.take().expect(BATCH_WAIT_MSG), 0usize))
+                    .collect();
+                out.reserve(route.len());
+                for &s in &route {
+                    let (_, answers, cursor) = got
+                        .iter_mut()
+                        .find(|(sid, _, _)| *sid == s)
+                        .expect("every routed shard answered");
+                    out.push(answers[*cursor].clone());
+                    *cursor += 1;
+                }
+                for (s, answers, _) in got {
+                    core.shards[s as usize].resp_pool.put(answers);
+                }
+                core.route_pool.put(route);
+            }
+        }
     }
 }
 
-/// The concurrent query-serving engine. See the [module docs](self).
-pub struct QueryEngine {
-    inner: Arc<Inner>,
+/// Engine-shard router: a splitmix64 finalizer over the query vertex,
+/// range-reduced by widening multiply (exact for any shard count, not
+/// just powers of two). Deliberately a *different* mixer family than
+/// the `DefaultHasher` (SipHash) inside [`ShardedCache`], so
+/// engine-shard routing cannot correlate with cache-sub-shard
+/// placement and concentrate one shard's keys onto one cache slice —
+/// regression-tested by `router_and_cache_hashes_decorrelate`.
+fn route_of(vertex: Vertex, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    let mut x = (vertex.index() as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    ((x as u128 * n_shards as u128) >> 64) as usize
+}
+
+/// Best-effort CPU pinning: confines the calling worker thread to the
+/// CPU set `{c : c ≡ shard (mod n_shards)}`, so each shard's workers
+/// share cache/NUMA locality and shards don't migrate onto each
+/// other's cores. Linux-only (`sched_setaffinity` via a std-only FFI
+/// shim — no crate dependency); failure is ignored (a restricted
+/// cpuset or exotic kernel just leaves the scheduler in charge), and
+/// on other platforms it is a no-op — sharding still isolates queues,
+/// caches and arenas.
+#[cfg(target_os = "linux")]
+fn pin_worker(shard: usize, n_shards: usize) {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let mut mask = [0u64; 16]; // cpu_set_t-sized: 1024 CPUs
+    let cpus = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(mask.len() * 64);
+    let mut any = false;
+    let mut c = shard;
+    while c < cpus {
+        mask[c / 64] |= 1 << (c % 64);
+        any = true;
+        c += n_shards;
+    }
+    if !any {
+        // Fewer CPUs than shards: leave this shard unpinned rather
+        // than pinning it to an empty set (which would fail anyway).
+        return;
+    }
+    // pid 0 = the calling thread.
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_worker(_shard: usize, _n_shards: usize) {}
+
+/// What the engine handle holds above its shards: the routing table,
+/// cross-shard pools and the aggregate-stats state. Shards never see
+/// it — all cross-shard coordination (installs, stats, batch fan-out)
+/// goes through the handle.
+struct EngineCore {
+    shards: Vec<Arc<Inner>>,
+    /// Pool for [`BatchParts::Fanout`] route vectors, so warm
+    /// cross-shard batches reuse their slot→shard maps.
+    route_pool: VecPool<u32>,
+    started: Instant,
+    /// Baseline of the last [`QueryEngine::stats_window`] call. Off the
+    /// serving path entirely — only stats readers lock it.
+    window: Mutex<WindowBase>,
+    /// Serializes [`QueryEngine::install`]: installs fan out shard by
+    /// shard, and serializing them keeps every shard's epoch sequence
+    /// identical — which is what lets `install` return *the* new epoch
+    /// and flights/caches reason about "the" current epoch per key.
+    install_lock: Mutex<()>,
+    /// Configured slow-ring capacity: the cross-shard slow-query merge
+    /// keeps the worst this-many entries.
+    slow_ring: usize,
+}
+
+/// Cross-shard cumulative totals plus the per-shard rows, computed by
+/// one fold over the shards and shared by [`QueryEngine::stats`],
+/// [`QueryEngine::stats_window`] and [`QueryEngine::render_metrics`].
+struct Agg {
+    workers: usize,
+    completed: u64,
+    coalesced: u64,
+    batches: u64,
+    batched: u64,
+    splits: u64,
+    sub_batches: u64,
+    cache: CacheStats,
+    epoch: u64,
+    service: HistSnapshot,
+    telem: TelemetrySnapshot,
+    scratch_bytes: usize,
+    arena_bytes: usize,
+    allocs_avoided: u64,
+    arena_recycled: u64,
+    per_shard: Vec<ShardStats>,
+    slow: Vec<SlowQuery>,
+}
+
+impl EngineCore {
+    fn aggregate(&self) -> Agg {
+        let mut agg = Agg {
+            workers: 0,
+            completed: 0,
+            coalesced: 0,
+            batches: 0,
+            batched: 0,
+            splits: 0,
+            sub_batches: 0,
+            cache: CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                capacity: 0,
+                shards: 0,
+                evictions: 0,
+                invalidated: 0,
+            },
+            epoch: 0,
+            service: HistSnapshot::empty(),
+            telem: TelemetrySnapshot::empty(),
+            scratch_bytes: 0,
+            arena_bytes: 0,
+            allocs_avoided: 0,
+            arena_recycled: 0,
+            per_shard: Vec::with_capacity(self.shards.len()),
+            slow: Vec::new(),
+        };
+        for (i, inner) in self.shards.iter().enumerate() {
+            let completed = inner.completed.load(Ordering::Relaxed);
+            let coalesced = inner.coalesced.load(Ordering::Relaxed);
+            let splits = inner.splits.load(Ordering::Relaxed);
+            let cache = inner.cache.stats();
+            let hist = inner.hist.snapshot();
+            agg.workers += inner.workers;
+            agg.completed += completed;
+            agg.coalesced += coalesced;
+            agg.batches += inner.batches.load(Ordering::Relaxed);
+            agg.batched += inner.batched.load(Ordering::Relaxed);
+            agg.splits += splits;
+            agg.sub_batches += inner.sub_batches.load(Ordering::Relaxed);
+            agg.cache.hits += cache.hits;
+            agg.cache.misses += cache.misses;
+            agg.cache.entries += cache.entries;
+            agg.cache.capacity += cache.capacity;
+            agg.cache.shards += cache.shards;
+            agg.cache.evictions += cache.evictions;
+            agg.cache.invalidated += cache.invalidated;
+            // Serialized installs keep every shard at the same epoch;
+            // max (not first) stays meaningful even mid-install.
+            agg.epoch = agg.epoch.max(inner.snapshot().1);
+            agg.service = agg.service.merge(&hist);
+            agg.telem = agg.telem.merge(&inner.telemetry.snapshot());
+            for s in &inner.scratch {
+                agg.scratch_bytes += s.bytes.load(Ordering::Relaxed);
+                agg.arena_bytes += s.arena_bytes.load(Ordering::Relaxed);
+                agg.allocs_avoided += s.allocs_avoided.load(Ordering::Relaxed);
+                agg.arena_recycled += s.arena_recycled.load(Ordering::Relaxed);
+            }
+            agg.per_shard.push(ShardStats {
+                shard: i,
+                workers: inner.workers,
+                completed,
+                coalesced,
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                splits,
+                p50_us: hist.quantile_us(0.50),
+                p99_us: hist.quantile_us(0.99),
+                min_sub_batch_effective: inner.effective_min_sub_batch(),
+            });
+            agg.slow.extend(inner.telemetry.slow_queries());
+        }
+        // Per-shard rings each hold their shard's worst; the engine's
+        // slow list is the global worst `slow_ring` of the union.
+        agg.slow.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+        agg.slow.truncate(self.slow_ring);
+        agg
+    }
+}
+
+/// The concurrent query-serving engine — since the sharding refactor a
+/// thin router over `ServiceConfig::shards` independent shards (see
+/// the [module docs](self)); `QueryEngine` remains the primary name.
+pub type QueryEngine = ShardedEngine;
+
+/// The sharded query-serving engine. See the [module docs](self).
+pub struct ShardedEngine {
+    core: Arc<EngineCore>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl QueryEngine {
-    /// Spawns the worker pool and returns the serving handle.
+impl ShardedEngine {
+    /// Spawns every shard's worker pool and returns the serving handle.
     pub fn start(search: Arc<CommunitySearch>, config: ServiceConfig) -> Self {
-        let workers = config.workers.max(1);
+        let n_shards = config.shards.max(1);
+        let total_workers = config.workers.max(1);
         let arena_slab_edges = config.arena_slab_edges.max(1);
-        let inner = Arc::new(Inner {
-            search: RwLock::new((search, 0)),
-            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
-            inflight: Mutex::new(HashMap::new()),
-            queue: JobQueue::new(),
-            hist: LatencyHistogram::default(),
-            completed: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched: AtomicU64::new(0),
-            splits: AtomicU64::new(0),
-            sub_batches: AtomicU64::new(0),
-            idle_workers: AtomicUsize::new(0),
-            min_sub_batch: config.min_sub_batch.max(1),
-            split_batches: config.split_batches,
-            scratch: (0..workers).map(|_| ScratchSlot::default()).collect(),
-            reply_pool: ArcPool::new(),
-            batch_reply_pool: ArcPool::new(),
-            flight_pool: ArcPool::new(),
-            shared_pool: ArcPool::new(),
-            req_pool: VecPool::new(),
-            resp_pool: VecPool::new(),
-            started: Instant::now(),
-            workers,
-            telemetry: Telemetry::new(config.slow_ring_capacity),
-            window: Mutex::new(WindowBase::zero(Instant::now())),
-        });
-        let handles = (0..workers)
-            .map(|i| {
+        // Each shard gets a slice of the configured cache budget, so
+        // the engine-wide capacity keeps its meaning across shard
+        // counts (± the per-slice ≥-1-entry floor).
+        let slice_capacity = (config.cache_capacity / n_shards).max(1);
+        let now = Instant::now();
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut handles = Vec::new();
+        for s in 0..n_shards {
+            // Distribute workers round-robin-ish: the first
+            // `total % n` shards absorb the remainder, and every shard
+            // runs at least one worker.
+            let workers =
+                (total_workers / n_shards + usize::from(s < total_workers % n_shards)).max(1);
+            let inner = Arc::new(Inner {
+                search: RwLock::new((search.clone(), 0)),
+                cache: ShardedCache::new(slice_capacity, config.cache_shards),
+                inflight: Mutex::new(HashMap::new()),
+                queue: JobQueue::new(),
+                hist: LatencyHistogram::default(),
+                completed: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                batched: AtomicU64::new(0),
+                splits: AtomicU64::new(0),
+                sub_batches: AtomicU64::new(0),
+                idle_workers: AtomicUsize::new(0),
+                min_sub_batch: config.min_sub_batch.max(1),
+                split_batches: config.split_batches,
+                scratch: (0..workers).map(|_| ScratchSlot::default()).collect(),
+                reply_pool: ArcPool::new(),
+                batch_reply_pool: ArcPool::new(),
+                flight_pool: ArcPool::new(),
+                shared_pool: ArcPool::new(),
+                req_pool: VecPool::new(),
+                resp_pool: VecPool::new(),
+                workers,
+                telemetry: Telemetry::new(config.slow_ring_capacity),
+            });
+            for i in 0..workers {
                 let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("scs-worker-{i}"))
-                    .spawn(move || {
-                        // The worker's compute state: workspace, result
-                        // arena and staging buffers, reused across every
-                        // query it serves and across index epoch swaps
-                        // (buffers simply grow on the first query against
-                        // a larger installed graph). After warm-up the
-                        // steady-state serving path stops allocating.
-                        let mut state = WorkerState {
-                            kernel: KernelState::new(arena_slab_edges),
-                            batch: BatchScratch::default(),
-                            sub: SubScratch::default(),
-                            rec: StageRecorder::new(),
-                        };
-                        while let Some(job) = inner.queue.pop(&inner.idle_workers) {
-                            // Backstop: a panic in query code must not
-                            // shrink the pool. The flight guards have
-                            // already poisoned their keys' followers;
-                            // abandoning the reply cell makes the
-                            // submitter's wait() fail loudly. A submitter
-                            // that dropped its handle just doesn't
-                            // collect the result.
-                            //
-                            // Scratch accounting is published *before*
-                            // the reply: a submitter that reads stats()
-                            // the moment its blocking query returns must
-                            // see this worker's workspace and arena.
-                            let publish_scratch = |k: &KernelState| {
-                                let slot = &inner.scratch[i];
-                                slot.bytes.store(k.ws.heap_bytes(), Ordering::Relaxed);
-                                slot.arena_bytes
-                                    .store(k.arena.resident_bytes(), Ordering::Relaxed);
-                                slot.allocs_avoided
-                                    .store(k.ws.allocations_avoided(), Ordering::Relaxed);
-                                slot.arena_recycled
-                                    .store(k.arena.stats().recycled, Ordering::Relaxed);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("scs-worker-{s}-{i}"))
+                        .spawn(move || {
+                            if n_shards > 1 {
+                                pin_worker(s, n_shards);
+                            }
+                            // The worker's compute state: workspace, result
+                            // arena and staging buffers, reused across every
+                            // query it serves and across index epoch swaps
+                            // (buffers simply grow on the first query against
+                            // a larger installed graph). After warm-up the
+                            // steady-state serving path stops allocating.
+                            let mut state = WorkerState {
+                                kernel: KernelState::new(arena_slab_edges),
+                                batch: BatchScratch::default(),
+                                sub: SubScratch::default(),
+                                rec: StageRecorder::new(),
                             };
-                            match job {
-                                Job::Single(req, reply, enqueued) => {
-                                    state.rec.start(enqueued);
-                                    let resp = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            serve(&inner, req, &mut state.kernel, &mut state.rec)
-                                        }),
-                                    );
-                                    publish_scratch(&state.kernel);
-                                    // Trace metadata before the response
-                                    // moves into the reply cell; the
-                                    // record itself happens after the
-                                    // reply so the reply stage is real,
-                                    // and not at all on a panic (the
-                                    // completed counter skips it too).
-                                    let meta = resp
-                                        .as_ref()
-                                        .ok()
-                                        .map(|r| (r.epoch, r.cached, r.coalesced));
-                                    // Answer and pool the cell in one
-                                    // step; the submitter's handle keeps
-                                    // it unissuable until wait() is done.
-                                    respond_and_pool(&inner.reply_pool, reply, resp.ok());
-                                    if let Some((epoch, cached, coalesced)) = meta {
-                                        state.rec.mark(Stage::Reply);
-                                        inner.telemetry.record(&state.rec.trace(
-                                            &req,
-                                            epoch,
-                                            cached,
-                                            coalesced,
-                                            Provenance::Single,
-                                        ));
+                            while let Some(job) = inner.queue.pop(&inner.idle_workers) {
+                                // Backstop: a panic in query code must not
+                                // shrink the pool. The flight guards have
+                                // already poisoned their keys' followers;
+                                // abandoning the reply cell makes the
+                                // submitter's wait() fail loudly. A submitter
+                                // that dropped its handle just doesn't
+                                // collect the result.
+                                //
+                                // Scratch accounting is published *before*
+                                // the reply: a submitter that reads stats()
+                                // the moment its blocking query returns must
+                                // see this worker's workspace and arena.
+                                let publish_scratch = |k: &KernelState| {
+                                    let slot = &inner.scratch[i];
+                                    slot.bytes.store(k.ws.heap_bytes(), Ordering::Relaxed);
+                                    slot.arena_bytes
+                                        .store(k.arena.resident_bytes(), Ordering::Relaxed);
+                                    slot.allocs_avoided
+                                        .store(k.ws.allocations_avoided(), Ordering::Relaxed);
+                                    slot.arena_recycled
+                                        .store(k.arena.stats().recycled, Ordering::Relaxed);
+                                };
+                                match job {
+                                    Job::Single(req, reply, enqueued) => {
+                                        state.rec.start(enqueued);
+                                        let resp = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                serve(
+                                                    &inner,
+                                                    req,
+                                                    &mut state.kernel,
+                                                    &mut state.rec,
+                                                )
+                                            }),
+                                        );
+                                        publish_scratch(&state.kernel);
+                                        // Trace metadata before the response
+                                        // moves into the reply cell; the
+                                        // record itself happens after the
+                                        // reply so the reply stage is real,
+                                        // and not at all on a panic (the
+                                        // completed counter skips it too).
+                                        let meta = resp
+                                            .as_ref()
+                                            .ok()
+                                            .map(|r| (r.epoch, r.cached, r.coalesced));
+                                        // Answer and pool the cell in one
+                                        // step; the submitter's handle keeps
+                                        // it unissuable until wait() is done.
+                                        respond_and_pool(&inner.reply_pool, reply, resp.ok());
+                                        if let Some((epoch, cached, coalesced)) = meta {
+                                            state.rec.mark(Stage::Reply);
+                                            inner.telemetry.record(&state.rec.trace(
+                                                &req,
+                                                epoch,
+                                                cached,
+                                                coalesced,
+                                                Provenance::Single,
+                                            ));
+                                        }
+                                    }
+                                    Job::Batch(reqs, reply, enqueued) => {
+                                        let resp =
+                                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                                || serve_batch(&inner, &reqs, &mut state, enqueued),
+                                            ));
+                                        publish_scratch(&state.kernel);
+                                        inner.req_pool.put(reqs);
+                                        respond_and_pool(&inner.batch_reply_pool, reply, resp.ok());
+                                    }
+                                    Job::Sub(shared) => {
+                                        // A panicking chunk already poisoned
+                                        // its flights and bumped the owner's
+                                        // done-count; the pool survives it.
+                                        let _ = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                run_split_chunks(
+                                                    &inner,
+                                                    &shared,
+                                                    &mut state.kernel,
+                                                    &mut state.sub,
+                                                )
+                                            }),
+                                        );
+                                        publish_scratch(&state.kernel);
                                     }
                                 }
-                                Job::Batch(reqs, reply, enqueued) => {
-                                    let resp =
-                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || serve_batch(&inner, &reqs, &mut state, enqueued),
-                                        ));
-                                    publish_scratch(&state.kernel);
-                                    inner.req_pool.put(reqs);
-                                    respond_and_pool(&inner.batch_reply_pool, reply, resp.ok());
-                                }
-                                Job::Sub(shared) => {
-                                    // A panicking chunk already poisoned
-                                    // its flights and bumped the owner's
-                                    // done-count; the pool survives it.
-                                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                        || {
-                                            run_split_chunks(
-                                                &inner,
-                                                &shared,
-                                                &mut state.kernel,
-                                                &mut state.sub,
-                                            )
-                                        },
-                                    ));
-                                    publish_scratch(&state.kernel);
-                                }
                             }
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        QueryEngine { inner, handles }
+                        })
+                        .expect("spawn worker thread"),
+                );
+            }
+            shards.push(inner);
+        }
+        let core = Arc::new(EngineCore {
+            shards,
+            route_pool: VecPool::new(),
+            started: now,
+            window: Mutex::new(WindowBase::zero(now)),
+            install_lock: Mutex::new(()),
+            slow_ring: config.slow_ring_capacity,
+        });
+        ShardedEngine { core, handles }
     }
 
-    /// Enqueues a request; the returned handle yields the response.
-    /// The reply slot comes from (and returns to) a pool, so a warm
-    /// submit+wait round-trip allocates nothing.
+    /// The shard serving `vertex`'s requests.
+    fn shard_for(&self, vertex: Vertex) -> &Arc<Inner> {
+        &self.core.shards[route_of(vertex, self.core.shards.len())]
+    }
+
+    /// Enqueues a request on the shard its query vertex routes to; the
+    /// returned handle yields the response. The reply slot comes from
+    /// (and returns to) the shard's pool, so a warm submit+wait
+    /// round-trip allocates nothing.
     pub fn submit(&self, req: QueryRequest) -> ResponseHandle {
-        let cell = match self.inner.reply_pool.take_free() {
+        let inner = self.shard_for(req.q);
+        let cell = match inner.reply_pool.take_free() {
             // A reissued cell may hold the stale value of a submitter
             // that never waited; reset it (refcount 1 ⇒ unobservable).
             Some(cell) => {
@@ -1775,7 +2131,7 @@ impl QueryEngine {
             None => Arc::new(ReplyCell::new()),
         };
         assert!(
-            self.inner
+            inner
                 .queue
                 .push(Job::Single(req, cell.clone(), Instant::now())),
             "engine already shut down"
@@ -1799,25 +2155,76 @@ impl QueryEngine {
     /// which still pays off when requests are individually cheap or the
     /// submitter is one of many concurrent clients keeping the pool
     /// busy.
+    ///
+    /// With more than one shard the batch is partitioned by the shard
+    /// router into per-shard sub-batches — each rides the machinery
+    /// above on its own shard (one job, one snapshot read, one batched
+    /// kernel call per algorithm *per shard*), and the handle merges
+    /// the answers back into submission order. Each per-shard
+    /// sub-batch counts one `batches` job in the stats, so a
+    /// cross-shard batch over k shards bumps `batches` by k; the
+    /// per-request counters (hits, misses, coalesced, completed) stay
+    /// submission-mode-invariant because routing is a pure function of
+    /// the key.
     pub fn submit_batch(&self, reqs: &[QueryRequest]) -> BatchHandle {
-        let mut owned = self.inner.req_pool.take();
-        owned.extend_from_slice(reqs);
-        let cell = match self.inner.batch_reply_pool.take_free() {
+        let take_cell = |inner: &Inner| match inner.batch_reply_pool.take_free() {
             Some(cell) => {
                 *cell.state.lock().unwrap() = ReplyState::Pending;
                 cell
             }
             None => Arc::new(ReplyCell::new()),
         };
-        assert!(
-            self.inner
-                .queue
-                .push(Job::Batch(owned, cell.clone(), Instant::now())),
-            "engine already shut down"
-        );
+        let shards = &self.core.shards;
+        if shards.len() == 1 {
+            let inner = &shards[0];
+            let mut owned = inner.req_pool.take();
+            owned.extend_from_slice(reqs);
+            let cell = take_cell(inner);
+            assert!(
+                inner
+                    .queue
+                    .push(Job::Batch(owned, cell.clone(), Instant::now())),
+                "engine already shut down"
+            );
+            return BatchHandle {
+                parts: BatchParts::Single {
+                    cell,
+                    inner: inner.clone(),
+                },
+            };
+        }
+        // Cross-shard fan-out: partition the batch, preserving relative
+        // order inside each shard (so each shard's dedup/counting sees
+        // exactly the subsequence a per-shard submitter would send).
+        let mut route = self.core.route_pool.take();
+        route.extend(reqs.iter().map(|r| route_of(r.q, shards.len()) as u32));
+        let mut owned: Vec<Vec<QueryRequest>> =
+            shards.iter().map(|inner| inner.req_pool.take()).collect();
+        for (&s, req) in route.iter().zip(reqs) {
+            owned[s as usize].push(*req);
+        }
+        let mut parts = Vec::new();
+        for (s, sub) in owned.into_iter().enumerate() {
+            let inner = &shards[s];
+            if sub.is_empty() {
+                inner.req_pool.put(sub);
+                continue;
+            }
+            let cell = take_cell(inner);
+            assert!(
+                inner
+                    .queue
+                    .push(Job::Batch(sub, cell.clone(), Instant::now())),
+                "engine already shut down"
+            );
+            parts.push((s as u32, cell));
+        }
         BatchHandle {
-            cell,
-            inner: self.inner.clone(),
+            parts: BatchParts::Fanout {
+                parts,
+                route,
+                core: self.core.clone(),
+            },
         }
     }
 
@@ -1844,83 +2251,87 @@ impl QueryEngine {
     /// the prior epoch). Dropping the cached responses releases their
     /// arena handles, freeing the backing slabs for recycling once no
     /// client holds a response either.
+    ///
+    /// With multiple shards the install fans out: every shard gets the
+    /// new `Arc` replica, bumps its epoch and clears its cache slice,
+    /// shard by shard, and the call returns only once the last shard
+    /// has published. Installs are serialized against each other, so
+    /// all shards step through the same epoch sequence — a mixed-epoch
+    /// window exists only *across* shards mid-install, never within
+    /// one, and per-key consistency (one key, one shard) is untouched.
     pub fn install(&self, search: Arc<CommunitySearch>) -> u64 {
-        let mut guard = self.inner.search.write().unwrap();
-        guard.0 = search;
-        guard.1 += 1;
-        let epoch = guard.1;
-        // Clear under the write lock: leaders re-check the epoch before
-        // caching, so no stale entry can be inserted after this clear.
-        self.inner.cache.clear();
-        drop(guard);
-        // Free pooled flights may still hold responses published to
-        // now-departed followers; drop them with the cache so their
-        // arena slabs recycle too.
-        self.inner.sweep_flights();
-        self.inner.telemetry.note_install();
+        let _serial = self.core.install_lock.lock().unwrap();
+        let mut epoch = 0;
+        for inner in &self.core.shards {
+            let mut guard = inner.search.write().unwrap();
+            guard.0 = search.clone();
+            guard.1 += 1;
+            epoch = guard.1;
+            // Clear under the write lock: leaders re-check the epoch
+            // before caching, so no stale entry can land after this.
+            inner.cache.clear();
+            drop(guard);
+            // Free pooled flights may still hold responses published
+            // to now-departed followers; drop them with the cache so
+            // their arena slabs recycle too.
+            inner.sweep_flights();
+            inner.telemetry.note_install();
+        }
         epoch
     }
 
-    /// The current `(index snapshot, epoch)` pair.
+    /// The current `(index snapshot, epoch)` pair (shard 0's replica —
+    /// identical across shards outside an in-progress install).
     pub fn current_index(&self) -> (Arc<CommunitySearch>, u64) {
-        self.inner.snapshot()
+        self.core.shards[0].snapshot()
     }
 
     /// Number of leader computations currently registered in the
-    /// in-flight table — a diagnostic for tests and monitoring: at
-    /// quiescence (no request outstanding anywhere) this must be 0, or
-    /// a flight leaked.
+    /// in-flight tables, summed over shards — a diagnostic for tests
+    /// and monitoring: at quiescence (no request outstanding anywhere)
+    /// this must be 0, or a flight leaked.
     pub fn inflight_len(&self) -> usize {
-        self.inner.inflight.lock().unwrap().len()
+        self.core
+            .shards
+            .iter()
+            .map(|inner| inner.inflight.lock().unwrap().len())
+            .sum()
     }
 
-    /// Metrics snapshot since engine start.
+    /// Metrics snapshot since engine start, aggregated across shards:
+    /// every total keeps its unsharded meaning (counters sum,
+    /// histograms merge, the cache section is the union of the
+    /// slices), and `per_shard` carries one row per shard for
+    /// imbalance diagnostics.
     pub fn stats(&self) -> ServiceStats {
-        let inner = &self.inner;
-        let completed = inner.completed.load(Ordering::Relaxed);
-        let elapsed = inner.started.elapsed().as_secs_f64().max(1e-9);
-        let telem = inner.telemetry.snapshot();
+        let agg = self.core.aggregate();
+        let elapsed = self.core.started.elapsed().as_secs_f64().max(1e-9);
         ServiceStats {
-            workers: inner.workers,
-            completed,
-            coalesced: inner.coalesced.load(Ordering::Relaxed),
-            batches: inner.batches.load(Ordering::Relaxed),
-            batched: inner.batched.load(Ordering::Relaxed),
-            splits: inner.splits.load(Ordering::Relaxed),
-            sub_batches: inner.sub_batches.load(Ordering::Relaxed),
-            cache: inner.cache.stats(),
-            epoch: inner.snapshot().1,
-            installs: telem.installs,
-            stale_publishes: telem.stale_publishes,
-            qps: completed as f64 / elapsed,
-            mean_us: inner.hist.mean_us(),
-            p50_us: inner.hist.quantile_us(0.50),
-            p90_us: inner.hist.quantile_us(0.90),
-            p99_us: inner.hist.quantile_us(0.99),
-            max_us: inner.hist.max_us(),
-            scratch_bytes: inner
-                .scratch
-                .iter()
-                .map(|s| s.bytes.load(Ordering::Relaxed))
-                .sum(),
-            arena_bytes: inner
-                .scratch
-                .iter()
-                .map(|s| s.arena_bytes.load(Ordering::Relaxed))
-                .sum(),
-            allocs_avoided: inner
-                .scratch
-                .iter()
-                .map(|s| s.allocs_avoided.load(Ordering::Relaxed))
-                .sum(),
-            arena_recycled: inner
-                .scratch
-                .iter()
-                .map(|s| s.arena_recycled.load(Ordering::Relaxed))
-                .sum(),
-            stages: telem.stage_summaries(),
-            algos: telem.algo_stats(),
-            slow: inner.telemetry.slow_queries(),
+            workers: agg.workers,
+            completed: agg.completed,
+            coalesced: agg.coalesced,
+            batches: agg.batches,
+            batched: agg.batched,
+            splits: agg.splits,
+            sub_batches: agg.sub_batches,
+            cache: agg.cache,
+            epoch: agg.epoch,
+            installs: agg.telem.installs,
+            stale_publishes: agg.telem.stale_publishes,
+            qps: agg.completed as f64 / elapsed,
+            mean_us: agg.service.mean_us(),
+            p50_us: agg.service.quantile_us(0.50),
+            p90_us: agg.service.quantile_us(0.90),
+            p99_us: agg.service.quantile_us(0.99),
+            max_us: agg.service.max_us(),
+            scratch_bytes: agg.scratch_bytes,
+            arena_bytes: agg.arena_bytes,
+            allocs_avoided: agg.allocs_avoided,
+            arena_recycled: agg.arena_recycled,
+            stages: agg.telem.stage_summaries(),
+            algos: agg.telem.algo_stats(),
+            slow: agg.slow,
+            per_shard: agg.per_shard,
         }
     }
 
@@ -1936,39 +2347,34 @@ impl QueryEngine {
     /// `arena_recycled` reuse counters) and the slow-query ring report
     /// current values — residency and worst-ever requests have no
     /// meaningful delta.
+    ///
+    /// The `per_shard` rows stay cumulative even here — shard balance
+    /// is a property of the whole run, and windowed per-shard deltas
+    /// would cost a per-shard baseline for marginal insight.
     pub fn stats_window(&self) -> ServiceStats {
-        let inner = &self.inner;
-        let mut base = inner.window.lock().unwrap();
+        let mut base = self.core.window.lock().unwrap();
         let now = Instant::now();
-        let service = inner.hist.snapshot();
-        let telem = inner.telemetry.snapshot();
-        let completed = inner.completed.load(Ordering::Relaxed);
-        let coalesced = inner.coalesced.load(Ordering::Relaxed);
-        let batches = inner.batches.load(Ordering::Relaxed);
-        let batched = inner.batched.load(Ordering::Relaxed);
-        let splits = inner.splits.load(Ordering::Relaxed);
-        let sub_batches = inner.sub_batches.load(Ordering::Relaxed);
-        let cache = inner.cache.stats();
-        let d_service = service.delta(&base.service);
-        let d_telem = telem.delta(&base.telem);
-        let d_completed = completed.saturating_sub(base.completed);
+        let agg = self.core.aggregate();
+        let d_service = agg.service.delta(&base.service);
+        let d_telem = agg.telem.delta(&base.telem);
+        let d_completed = agg.completed.saturating_sub(base.completed);
         let secs = now.saturating_duration_since(base.at).as_secs_f64();
         let stats = ServiceStats {
-            workers: inner.workers,
+            workers: agg.workers,
             completed: d_completed,
-            coalesced: coalesced.saturating_sub(base.coalesced),
-            batches: batches.saturating_sub(base.batches),
-            batched: batched.saturating_sub(base.batched),
-            splits: splits.saturating_sub(base.splits),
-            sub_batches: sub_batches.saturating_sub(base.sub_batches),
-            cache: crate::cache::CacheStats {
-                hits: cache.hits.saturating_sub(base.cache_hits),
-                misses: cache.misses.saturating_sub(base.cache_misses),
-                evictions: cache.evictions.saturating_sub(base.cache_evictions),
-                invalidated: cache.invalidated.saturating_sub(base.cache_invalidated),
-                ..cache
+            coalesced: agg.coalesced.saturating_sub(base.coalesced),
+            batches: agg.batches.saturating_sub(base.batches),
+            batched: agg.batched.saturating_sub(base.batched),
+            splits: agg.splits.saturating_sub(base.splits),
+            sub_batches: agg.sub_batches.saturating_sub(base.sub_batches),
+            cache: CacheStats {
+                hits: agg.cache.hits.saturating_sub(base.cache_hits),
+                misses: agg.cache.misses.saturating_sub(base.cache_misses),
+                evictions: agg.cache.evictions.saturating_sub(base.cache_evictions),
+                invalidated: agg.cache.invalidated.saturating_sub(base.cache_invalidated),
+                ..agg.cache
             },
-            epoch: inner.snapshot().1,
+            epoch: agg.epoch,
             installs: d_telem.installs,
             stale_publishes: d_telem.stale_publishes,
             qps: d_completed as f64 / secs.max(1e-9),
@@ -1977,44 +2383,29 @@ impl QueryEngine {
             p90_us: d_service.quantile_us(0.90),
             p99_us: d_service.quantile_us(0.99),
             max_us: d_service.max_us(),
-            scratch_bytes: inner
-                .scratch
-                .iter()
-                .map(|s| s.bytes.load(Ordering::Relaxed))
-                .sum(),
-            arena_bytes: inner
-                .scratch
-                .iter()
-                .map(|s| s.arena_bytes.load(Ordering::Relaxed))
-                .sum(),
-            allocs_avoided: inner
-                .scratch
-                .iter()
-                .map(|s| s.allocs_avoided.load(Ordering::Relaxed))
-                .sum(),
-            arena_recycled: inner
-                .scratch
-                .iter()
-                .map(|s| s.arena_recycled.load(Ordering::Relaxed))
-                .sum(),
+            scratch_bytes: agg.scratch_bytes,
+            arena_bytes: agg.arena_bytes,
+            allocs_avoided: agg.allocs_avoided,
+            arena_recycled: agg.arena_recycled,
             stages: d_telem.stage_summaries(),
             algos: d_telem.algo_stats(),
-            slow: inner.telemetry.slow_queries(),
+            slow: agg.slow,
+            per_shard: agg.per_shard,
         };
         *base = WindowBase {
             at: now,
-            service,
-            telem,
-            completed,
-            coalesced,
-            batches,
-            batched,
-            splits,
-            sub_batches,
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_evictions: cache.evictions,
-            cache_invalidated: cache.invalidated,
+            service: agg.service,
+            telem: agg.telem,
+            completed: agg.completed,
+            coalesced: agg.coalesced,
+            batches: agg.batches,
+            batched: agg.batched,
+            splits: agg.splits,
+            sub_batches: agg.sub_batches,
+            cache_hits: agg.cache.hits,
+            cache_misses: agg.cache.misses,
+            cache_evictions: agg.cache.evictions,
+            cache_invalidated: agg.cache.invalidated,
         };
         stats
     }
@@ -2026,23 +2417,27 @@ impl QueryEngine {
     /// engine start; scrape-ready (`scs serve-bench --metrics-out`
     /// writes exactly this).
     pub fn render_metrics(&self) -> String {
-        crate::telemetry::render_prometheus(&self.stats(), &self.inner.telemetry.snapshot())
+        let agg = self.core.aggregate();
+        crate::telemetry::render_prometheus(&self.stats(), &agg.telem)
     }
 
-    /// Stops accepting work, drains the queue and joins every worker.
+    /// Stops accepting work, drains every shard's queue and joins
+    /// every worker.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
     fn shutdown_in_place(&mut self) {
-        self.inner.queue.close();
+        for inner in &self.core.shards {
+            inner.queue.close();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-impl Drop for QueryEngine {
+impl Drop for ShardedEngine {
     fn drop(&mut self) {
         self.shutdown_in_place();
     }
@@ -2447,5 +2842,203 @@ mod tests {
         let q = e.current_index().0.graph().upper(0);
         e.query(QueryRequest::new(q, 1, 1, Algorithm::Auto));
         drop(e); // must not hang or leak panicking threads
+    }
+
+    #[test]
+    fn router_and_cache_hashes_decorrelate() {
+        // Keys uniform over vertices must land near-uniform over the
+        // joint (engine shard × cache sub-shard) grid: if the two hash
+        // families correlated, one engine shard's keys would pile onto
+        // few cache sub-shards and its slice would degrade to a couple
+        // of lock-contended LRU lists. Tested for a power-of-two and a
+        // prime engine-shard count.
+        const N: usize = 80_000;
+        const CACHE_SHARDS: usize = 16;
+        let cache: ShardedCache<QueryRequest, ()> = ShardedCache::new(1024, CACHE_SHARDS);
+        for &n_shards in &[4usize, 7] {
+            let mut grid = vec![vec![0u32; CACHE_SHARDS]; n_shards];
+            for v in 0..N as u32 {
+                let req = QueryRequest::new(Vertex(v), 2, 2, Algorithm::Peel);
+                grid[route_of(req.q, n_shards)][cache.shard_index(&req)] += 1;
+            }
+            let expect = (N / (n_shards * CACHE_SHARDS)) as u32;
+            for (s, row) in grid.iter().enumerate() {
+                // Engine-shard marginal: each shard gets ~1/n of keys.
+                let row_total: u32 = row.iter().sum();
+                let row_expect = (N / n_shards) as u32;
+                assert!(
+                    row_total > row_expect / 2 && row_total < row_expect * 2,
+                    "engine shard {s}/{n_shards} got {row_total} of {N} keys"
+                );
+                // Joint cells: no cache sub-shard starves or floods
+                // within any engine shard.
+                for (c, &count) in row.iter().enumerate() {
+                    assert!(
+                        count > expect / 2 && count < expect * 2,
+                        "cell (engine {s}, cache {c}) got {count}, expected ~{expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_covers_every_shard() {
+        // The widening-multiply range reduction must reach all shards,
+        // including non-power-of-two counts, and stay in bounds.
+        for &n in &[1usize, 2, 3, 7, 12] {
+            let mut seen = vec![false; n];
+            for v in 0..10_000u32 {
+                let s = route_of(Vertex(v), n);
+                assert!(s < n);
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "shard starved at n={n}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_serves_and_aggregates() {
+        let e = QueryEngine::start(
+            CommunitySearch::shared(figure2_example()),
+            ServiceConfig {
+                workers: 4,
+                shards: 3,
+                cache_capacity: 768,
+                cache_shards: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let g = e.current_index().0.graph().clone();
+        // 120 unique keys ≪ capacity: every shard slice retains its
+        // whole key share — this test is about routing/aggregation,
+        // not eviction (cache.rs covers that).
+        let reqs: Vec<QueryRequest> = (0..g.n_upper().min(60))
+            .flat_map(|i| {
+                [
+                    QueryRequest::new(g.upper(i), 2, 2, Algorithm::Peel),
+                    QueryRequest::new(g.upper(i), 1, 1, Algorithm::Expand),
+                ]
+            })
+            .collect();
+        // Cross-shard batch: submission order and results survive the
+        // fan-out/merge round-trip.
+        let batched = e.query_batch(&reqs);
+        assert_eq!(batched.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&batched) {
+            assert_eq!(resp.request, *req, "fan-out broke submission order");
+            assert!(!resp.cached);
+        }
+        // Per-request resubmission hits the same shard's cache slice.
+        for (req, first) in reqs.iter().zip(&batched) {
+            let again = e.query(*req);
+            assert!(again.cached, "{req:?} routed away from its cache entry");
+            assert_eq!(again.summary, first.summary);
+        }
+        let st = e.stats();
+        assert_eq!(st.per_shard.len(), 3);
+        assert_eq!(st.completed, 2 * reqs.len() as u64);
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.completed).sum::<u64>(),
+            st.completed,
+            "per-shard rows must sum to the aggregate"
+        );
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.workers).sum::<usize>(),
+            st.workers
+        );
+        assert_eq!(st.cache.hits + st.cache.misses, st.completed);
+        // 60 distinct query vertices spread over 3 shards: every
+        // shard should have seen work (the router test above proves
+        // coverage in the large; this is the end-to-end check).
+        assert!(
+            st.per_shard.iter().filter(|s| s.completed > 0).count() >= 2,
+            "traffic did not spread: {:?}",
+            st.per_shard
+        );
+        // Install fans out: every shard at the new epoch, counted once.
+        let epoch = e.install(CommunitySearch::shared(figure2_example()));
+        assert_eq!(epoch, 1);
+        let st = e.stats();
+        assert_eq!(st.epoch, 1);
+        assert_eq!(st.installs, 1, "per-shard install fan-out multiply-counted");
+        let after = e.query(reqs[0]);
+        assert!(!after.cached, "install must clear every cache slice");
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.summary, batched[0].summary);
+        assert_eq!(e.inflight_len(), 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn sharded_engine_matches_unsharded_bit_identically() {
+        // The quick in-module version of tests/shard_oracle.rs: same
+        // requests, 1 vs 3 shards, identical summaries and flags.
+        let sharded = QueryEngine::start(
+            CommunitySearch::shared(figure2_example()),
+            ServiceConfig {
+                workers: 3,
+                shards: 3,
+                cache_capacity: 64,
+                cache_shards: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let unsharded = engine(2);
+        let g = sharded.current_index().0.graph().clone();
+        let mut reqs: Vec<QueryRequest> = (0..g.n_upper())
+            .map(|i| QueryRequest::new(g.upper(i), 2, 2, Algorithm::Peel))
+            .collect();
+        reqs.push(reqs[0]); // duplicate rides along
+        let a = sharded.query_batch(&reqs);
+        let b = unsharded.query_batch(&reqs);
+        for ((req, x), y) in reqs.iter().zip(&a).zip(&b) {
+            assert_eq!(x.request, *req);
+            assert_eq!(x.summary, y.summary, "{req:?} diverged under sharding");
+            assert_eq!(
+                (x.cached, x.coalesced, x.epoch),
+                (y.cached, y.coalesced, y.epoch),
+                "{req:?} flags diverged under sharding"
+            );
+        }
+        let (sa, sb) = (sharded.stats(), unsharded.stats());
+        assert_eq!(sa.completed, sb.completed);
+        assert_eq!(sa.coalesced, sb.coalesced);
+        assert_eq!(
+            (sa.cache.hits, sa.cache.misses),
+            (sb.cache.hits, sb.cache.misses),
+            "counters drifted between sharded and unsharded"
+        );
+        sharded.shutdown();
+        unsharded.shutdown();
+    }
+
+    #[test]
+    fn min_sub_batch_feedback_respects_the_floor() {
+        let e = engine(1);
+        // Cold engine: below the sample gate, the configured floor
+        // rules (default config floor is 8).
+        assert_eq!(e.stats().per_shard.len(), 1);
+        assert_eq!(e.stats().per_shard[0].min_sub_batch_effective, 8);
+        // Warm it past the gate with unique leader queries (each
+        // records one kernel-stage sample).
+        let g = e.current_index().0.graph().clone();
+        let mut n = 0;
+        'outer: for algo in Algorithm::ALL {
+            for i in 0..g.n_upper() {
+                for (a, b) in [(1usize, 1usize), (1, 2), (2, 1), (2, 2)] {
+                    e.query(QueryRequest::new(g.upper(i), a, b, algo));
+                    n += 1;
+                    if n >= 48 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // figure2 kernels are cheap, so the feedback can only raise
+        // the effective value — never drop it below the floor.
+        let eff = e.stats().per_shard[0].min_sub_batch_effective;
+        assert!(eff >= 8, "effective {eff} fell below the configured floor");
+        e.shutdown();
     }
 }

@@ -103,12 +103,12 @@ pub mod stats;
 pub mod telemetry;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use engine::{BatchHandle, QueryEngine, ResponseHandle, ServiceConfig};
+pub use engine::{BatchHandle, QueryEngine, ResponseHandle, ServiceConfig, ShardedEngine};
 pub use replay::{
     build_workload, replay, replay_batched, try_build_workload, ReplayReport, WorkloadError,
     WorkloadSpec,
 };
-pub use stats::{HistSnapshot, LatencyHistogram, ServiceStats};
+pub use stats::{HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
 pub use telemetry::{
     render_bench_json, render_prometheus, validate_bench_json, validate_prometheus, AlgoStats,
     BenchMeta, LatencySummary, Provenance, SlowQuery, Stage, BENCH_SCHEMA, N_STAGES,

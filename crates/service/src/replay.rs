@@ -35,6 +35,15 @@ pub struct WorkloadSpec {
     /// concurrent duplicates. Out-of-range or NaN values are clamped
     /// into `[0, 1]` (NaN counts as 0) by [`build_workload`].
     pub repeat_fraction: f64,
+    /// Zipf exponent `s` for fresh-vertex popularity. `0.0` (the
+    /// default) keeps the historical uniform draw bit-for-bit; `s > 0`
+    /// weights the (α,β)-core members by `1/(rank+1)^s` in their
+    /// deterministic population order, so a few vertices dominate the
+    /// stream — the skew that concentrates traffic on a handful of
+    /// engine shards and cache slices. NaN or negative values are
+    /// rejected ([`WorkloadError::InvalidZipf`]), not clamped: a bad
+    /// skew silently becoming uniform would invalidate a benchmark.
+    pub zipf: f64,
     /// Generator seed.
     pub seed: u64,
 }
@@ -60,13 +69,15 @@ impl Default for WorkloadSpec {
             beta: 2,
             algo: Algorithm::Auto,
             repeat_fraction: 0.5,
+            zipf: 0.0,
             seed: 42,
         }
     }
 }
 
 /// Why [`try_build_workload`] could not produce a workload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// PartialEq without Eq: `InvalidZipf` carries the offending f64.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadError {
     /// The (α,β)-core of the graph has no vertices, so there is no
     /// query vertex to draw. Distinct from asking for zero queries,
@@ -79,6 +90,15 @@ pub enum WorkloadError {
         /// The β the core was computed for.
         beta: usize,
     },
+    /// [`WorkloadSpec::zipf`] is NaN or negative. Unlike
+    /// `repeat_fraction` (clamped — a ULP of drift is harmless), a bad
+    /// Zipf exponent means the caller asked for a skew that does not
+    /// exist; serving a uniform stream instead would silently change
+    /// what a benchmark measures.
+    InvalidZipf {
+        /// The rejected exponent.
+        zipf: f64,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -87,6 +107,11 @@ impl fmt::Display for WorkloadError {
             WorkloadError::EmptyCore { alpha, beta } => write!(
                 f,
                 "the ({alpha},{beta})-core is empty — no query vertices to draw"
+            ),
+            WorkloadError::InvalidZipf { zipf } => write!(
+                f,
+                "zipf exponent {zipf} is invalid — must be a finite value ≥ 0 \
+                 (0 = uniform, larger = more skewed)"
             ),
         }
     }
@@ -97,18 +122,24 @@ impl std::error::Error for WorkloadError {}
 /// Generates a replayable request stream for `search`, distinguishing
 /// "nothing requested" from "nothing to serve".
 ///
-/// Fresh queries sample vertices uniformly from the (α,β)-core
-/// ([`datasets::workload::random_core_queries`]); with probability
-/// `repeat_fraction` a query instead repeats a uniformly chosen earlier
-/// one. Exactly as many core vertices are drawn as fresh slots exist —
-/// the distinct-query pool matches `(1 − repeat_fraction)·n_queries` in
-/// expectation (an earlier version drew `n_queries` and silently threw
-/// one away per repeat). `n_queries == 0` yields `Ok(vec![])`; an empty
-/// (α,β)-core yields [`WorkloadError::EmptyCore`].
+/// Fresh queries sample vertices from the (α,β)-core — uniformly
+/// ([`datasets::workload::random_core_queries`]) when
+/// [`WorkloadSpec::zipf`] is 0, Zipf-weighted over the core population
+/// otherwise; with probability `repeat_fraction` a query instead
+/// repeats a uniformly chosen earlier one. Exactly as many core
+/// vertices are drawn as fresh slots exist — the distinct-query pool
+/// matches `(1 − repeat_fraction)·n_queries` in expectation (an earlier
+/// version drew `n_queries` and silently threw one away per repeat).
+/// `n_queries == 0` yields `Ok(vec![])`; an empty (α,β)-core yields
+/// [`WorkloadError::EmptyCore`]; a NaN, negative or non-finite `zipf`
+/// yields [`WorkloadError::InvalidZipf`].
 pub fn try_build_workload(
     search: &CommunitySearch,
     spec: &WorkloadSpec,
 ) -> Result<Vec<QueryRequest>, WorkloadError> {
+    if !spec.zipf.is_finite() || spec.zipf < 0.0 {
+        return Err(WorkloadError::InvalidZipf { zipf: spec.zipf });
+    }
     let repeat = spec.effective_repeat_fraction();
     let mut rng = StdRng::seed_from_u64(spec.seed);
     // Decide the repeat/fresh pattern first (the first query has no
@@ -123,13 +154,19 @@ pub fn try_build_workload(
         return Ok(Vec::new());
     }
     let n_fresh = is_repeat.iter().filter(|r| !**r).count();
-    let fresh = datasets::workload::random_core_queries(
-        search.graph(),
-        spec.alpha,
-        spec.beta,
-        n_fresh,
-        &mut rng,
-    );
+    let fresh = if spec.zipf > 0.0 {
+        zipf_core_queries(search, spec, n_fresh, &mut rng)
+    } else {
+        // zipf == 0.0 takes the historical uniform path verbatim, so
+        // existing seeds reproduce their exact pre-zipf streams.
+        datasets::workload::random_core_queries(
+            search.graph(),
+            spec.alpha,
+            spec.beta,
+            n_fresh,
+            &mut rng,
+        )
+    };
     if fresh.is_empty() {
         return Err(WorkloadError::EmptyCore {
             alpha: spec.alpha,
@@ -148,6 +185,37 @@ pub fn try_build_workload(
         out.push(req);
     }
     Ok(out)
+}
+
+/// Draws `n` query vertices from the (α,β)-core with Zipf popularity:
+/// member at population rank `r` (the deterministic order of
+/// [`datasets::workload::core_members`]) has weight `1/(r+1)^s`.
+/// Sampling inverts the cumulative weight with a binary search, so a
+/// draw costs O(log |core|). Empty core ⇒ empty vec (the caller turns
+/// that into [`WorkloadError::EmptyCore`]).
+fn zipf_core_queries(
+    search: &CommunitySearch,
+    spec: &WorkloadSpec,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<bigraph::Vertex> {
+    let members = datasets::workload::core_members(search.graph(), spec.alpha, spec.beta);
+    if members.is_empty() {
+        return Vec::new();
+    }
+    let mut cumulative = Vec::with_capacity(members.len());
+    let mut total = 0.0f64;
+    for rank in 0..members.len() {
+        total += ((rank + 1) as f64).powf(-spec.zipf);
+        cumulative.push(total);
+    }
+    (0..n)
+        .map(|_| {
+            let u = rng.gen::<f64>() * total; // in [0, total)
+            let i = cumulative.partition_point(|&c| c <= u);
+            members[i.min(members.len() - 1)]
+        })
+        .collect()
 }
 
 /// [`try_build_workload`] flattened to the historical signature: an
@@ -359,6 +427,84 @@ mod tests {
             ..WorkloadSpec::default()
         };
         assert_eq!(hot.effective_repeat_fraction(), 1.0);
+    }
+
+    #[test]
+    fn zipf_workload_is_deterministic_and_skewed() {
+        // Big core so skew is visible: rank the draw counts and compare
+        // the head's share under uniform vs. heavy Zipf.
+        let mut rng = StdRng::seed_from_u64(23);
+        let search = CommunitySearch::shared(bigraph::generators::random_bipartite(
+            500, 500, 2500, &mut rng,
+        ));
+        let spec = WorkloadSpec {
+            n_queries: 2000,
+            alpha: 1,
+            beta: 1,
+            repeat_fraction: 0.0,
+            zipf: 1.5,
+            ..WorkloadSpec::default()
+        };
+        let w = build_workload(&search, &spec);
+        assert_eq!(w.len(), 2000);
+        // Same seed, same stream.
+        assert_eq!(w, build_workload(&search, &spec));
+        let top_share = |w: &[QueryRequest]| {
+            let mut counts = std::collections::HashMap::new();
+            for r in w {
+                *counts.entry(r.q).or_insert(0usize) += 1;
+            }
+            *counts.values().max().unwrap() as f64 / w.len() as f64
+        };
+        let skewed = top_share(&w);
+        let uniform = top_share(&build_workload(
+            &search,
+            &WorkloadSpec { zipf: 0.0, ..spec },
+        ));
+        // s = 1.5 puts ≳30% of the mass on rank 0 (1/ζ(1.5) ≈ 0.38);
+        // uniform over a core of hundreds puts well under 5% anywhere.
+        assert!(
+            skewed > 0.2 && skewed > 4.0 * uniform,
+            "zipf head share {skewed} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_reproduces_the_uniform_stream() {
+        let search = small_search();
+        let spec = WorkloadSpec {
+            n_queries: 100,
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(spec.zipf, 0.0, "uniform must be the default");
+        // zipf: 0.0 is spelled out vs. defaulted — same stream either
+        // way, so adding the knob changed no existing workload.
+        let explicit = WorkloadSpec {
+            zipf: 0.0,
+            ..spec.clone()
+        };
+        assert_eq!(
+            build_workload(&search, &spec),
+            build_workload(&search, &explicit)
+        );
+    }
+
+    #[test]
+    fn invalid_zipf_is_rejected_loudly() {
+        let search = small_search();
+        for bad in [f64::NAN, -0.1, -3.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let spec = WorkloadSpec {
+                zipf: bad,
+                ..WorkloadSpec::default()
+            };
+            let err = try_build_workload(&search, &spec).unwrap_err();
+            assert!(
+                matches!(err, WorkloadError::InvalidZipf { .. }),
+                "zipf={bad} accepted"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("zipf") && msg.contains("invalid"), "{msg}");
+        }
     }
 
     #[test]

@@ -64,6 +64,13 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples, µs. Together with [`Self::count`]
+    /// this is the two-load mean the split-sizing feedback reads on the
+    /// batch path — cheaper than a full [`Self::snapshot`].
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
         self.snapshot().mean_us()
@@ -232,6 +239,39 @@ impl HistSnapshot {
     }
 }
 
+/// One engine shard's slice of the totals, as reported in
+/// [`ServiceStats::per_shard`]. The aggregate fields of `ServiceStats`
+/// keep their unsharded meaning (sums, or merged histograms, over every
+/// shard); these rows are where imbalance — a hot key concentrating on
+/// one shard, a shard with a colder cache — becomes visible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (the router's output for this shard's keys).
+    pub shard: usize,
+    /// Worker threads owned by this shard.
+    pub workers: usize,
+    /// Requests this shard completed.
+    pub completed: u64,
+    /// Requests that coalesced onto an in-flight computation here.
+    pub coalesced: u64,
+    /// This shard's cache-slice hits.
+    pub cache_hits: u64,
+    /// This shard's cache-slice misses.
+    pub cache_misses: u64,
+    /// Batch jobs this shard split across its own pool.
+    pub splits: u64,
+    /// Median service latency on this shard, µs.
+    pub p50_us: u64,
+    /// 99th-percentile service latency on this shard, µs.
+    pub p99_us: u64,
+    /// The sub-batch granularity this shard's split heuristic is
+    /// currently using: the configured
+    /// [`crate::ServiceConfig::min_sub_batch`] floor, raised once enough
+    /// kernel-cost samples exist to size chunks from the observed
+    /// per-record kernel time (see the engine's split-sizing feedback).
+    pub min_sub_batch_effective: usize,
+}
+
 /// A point-in-time snapshot of a running engine, as printed by
 /// `scs serve-bench` and the scaling benchmark. Produced either
 /// cumulatively ([`crate::QueryEngine::stats`], counters since engine
@@ -330,6 +370,11 @@ pub struct ServiceStats {
     /// ring is cumulative even in windowed snapshots), sorted
     /// worst-first.
     pub slow: Vec<SlowQuery>,
+    /// Per-shard slices of the totals above, one row per engine shard
+    /// in shard order (a single row when the engine is unsharded).
+    /// Cumulative since engine start even in windowed snapshots — the
+    /// rows diagnose imbalance, which a short window would hide.
+    pub per_shard: Vec<ShardStats>,
 }
 
 impl fmt::Display for ServiceStats {
@@ -407,6 +452,27 @@ impl fmt::Display for ServiceStats {
                 a.total.p99_us,
                 a.stages[Stage::Kernel as usize].p99_us
             )?;
+        }
+        if self.per_shard.len() > 1 {
+            write!(
+                f,
+                "\nper-shard          {:>8} {:>10} {:>9} {:>9} {:>8} {:>8} {:>9}",
+                "workers", "completed", "hits", "misses", "p50", "p99", "min-sub"
+            )?;
+            for s in &self.per_shard {
+                write!(
+                    f,
+                    "\n  shard {:<11} {:>8} {:>10} {:>9} {:>9} {:>8} {:>8} {:>9}",
+                    s.shard,
+                    s.workers,
+                    s.completed,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.p50_us,
+                    s.p99_us,
+                    s.min_sub_batch_effective
+                )?;
+            }
         }
         if !self.slow.is_empty() {
             write!(f, "\nslow queries (worst {})", self.slow.len())?;
@@ -612,6 +678,32 @@ mod tests {
                 total_us: 900,
                 stages_us: [1, 2, 3, 880, 10, 4],
             }],
+            per_shard: vec![
+                ShardStats {
+                    shard: 0,
+                    workers: 2,
+                    completed: 640,
+                    coalesced: 2,
+                    cache_hits: 400,
+                    cache_misses: 240,
+                    splits: 3,
+                    p50_us: 29,
+                    p99_us: 180,
+                    min_sub_batch_effective: 8,
+                },
+                ShardStats {
+                    shard: 1,
+                    workers: 2,
+                    completed: 360,
+                    coalesced: 1,
+                    cache_hits: 200,
+                    cache_misses: 160,
+                    splits: 2,
+                    p50_us: 33,
+                    p99_us: 230,
+                    min_sub_batch_effective: 12,
+                },
+            ],
         };
         let txt = s.to_string();
         assert!(txt.contains("QPS"));
@@ -640,5 +732,70 @@ mod tests {
         assert!(txt.contains("q=17"));
         // Algorithms that served nothing stay out of the table.
         assert!(!txt.contains("baseline"));
+        // The per-shard section renders one row per shard with the
+        // effective split granularity.
+        assert!(txt.contains("per-shard"));
+        assert!(txt.contains("shard 0"));
+        assert!(txt.contains("shard 1"));
+        assert!(txt.contains("min-sub"));
+    }
+
+    #[test]
+    fn single_shard_stats_hide_the_per_shard_section() {
+        // An unsharded engine still carries its one row (the effective
+        // min_sub_batch is visible programmatically) but the table
+        // skips the section — nothing to compare.
+        let mut s = ServiceStats {
+            workers: 1,
+            completed: 0,
+            coalesced: 0,
+            batches: 0,
+            batched: 0,
+            splits: 0,
+            sub_batches: 0,
+            cache: CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                capacity: 64,
+                shards: 4,
+                evictions: 0,
+                invalidated: 0,
+            },
+            epoch: 0,
+            installs: 0,
+            stale_publishes: 0,
+            qps: 0.0,
+            mean_us: 0.0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            max_us: 0,
+            scratch_bytes: 0,
+            arena_bytes: 0,
+            allocs_avoided: 0,
+            arena_recycled: 0,
+            stages: [LatencySummary::empty(); N_STAGES],
+            algos: std::array::from_fn(|i| AlgoStats::empty(Algorithm::ALL[i])),
+            slow: Vec::new(),
+            per_shard: vec![ShardStats {
+                shard: 0,
+                workers: 1,
+                completed: 0,
+                coalesced: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                splits: 0,
+                p50_us: 0,
+                p99_us: 0,
+                min_sub_batch_effective: 8,
+            }],
+        };
+        assert!(!s.to_string().contains("per-shard"));
+        s.per_shard.push(ShardStats {
+            shard: 1,
+            ..s.per_shard[0]
+        });
+        assert!(s.to_string().contains("per-shard"));
     }
 }

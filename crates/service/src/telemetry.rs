@@ -32,7 +32,7 @@
 //! is only measurable on the per-request path; batch entries leave it
 //! untouched rather than guessing.
 
-use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats};
+use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
 use crate::QueryRequest;
 use scs::Algorithm;
 use std::fmt;
@@ -513,6 +513,21 @@ impl Telemetry {
         self.ring.snapshot_into(&mut out);
         out
     }
+
+    /// `(count, sum_us)` over every kernel-stage sample recorded so
+    /// far, across all algorithms. Two relaxed loads per algorithm —
+    /// cheap enough for the batch path to read per submission when
+    /// sizing sub-batches from the observed per-leader kernel cost.
+    pub fn kernel_cost_us(&self) -> (u64, u64) {
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for a in 0..N_ALGOS {
+            let h = &self.stage_hists[a][Stage::Kernel as usize];
+            count += h.count();
+            sum += h.sum_us();
+        }
+        (count, sum)
+    }
 }
 
 /// Plain-value copy of a [`Telemetry`]'s histograms and counters:
@@ -549,6 +564,22 @@ impl TelemetrySnapshot {
             total: std::array::from_fn(|a| self.total[a].delta(&prev.total[a])),
             installs: self.installs.saturating_sub(prev.installs),
             stale_publishes: self.stale_publishes.saturating_sub(prev.stale_publishes),
+        }
+    }
+
+    /// Element-wise union of two snapshots: histograms merge
+    /// bucket-wise and `stale_publishes` adds, but `installs` takes the
+    /// max — an install fans out to every shard of a sharded engine, so
+    /// summing per-shard planes would multiply-count each install by
+    /// the shard count.
+    pub fn merge(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            stage: std::array::from_fn(|a| {
+                std::array::from_fn(|s| self.stage[a][s].merge(&other.stage[a][s]))
+            }),
+            total: std::array::from_fn(|a| self.total[a].merge(&other.total[a])),
+            installs: self.installs.max(other.installs),
+            stale_publishes: self.stale_publishes + other.stale_publishes,
         }
     }
 
@@ -869,6 +900,55 @@ pub fn render_prometheus(stats: &ServiceStats, telem: &TelemetrySnapshot) -> Str
         stats.arena_bytes as u64,
     );
 
+    // Per-shard families: one series per shard, labeled `shard="N"`.
+    // Emitted even for a single shard so dashboards keep a stable
+    // query shape across `--shards` values.
+    let mut shard_counter = |name: &str, help: &str, pick: &dyn Fn(&ShardStats) -> u64| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for row in &stats.per_shard {
+            out.push_str(&format!(
+                "{name}{{shard=\"{}\"}} {}\n",
+                row.shard,
+                pick(row)
+            ));
+        }
+    };
+    shard_counter(
+        "scs_shard_requests_total",
+        "Requests completed, by engine shard.",
+        &|r| r.completed,
+    );
+    shard_counter(
+        "scs_shard_cache_hits_total",
+        "Result-cache hits, by engine shard.",
+        &|r| r.cache_hits,
+    );
+    shard_counter(
+        "scs_shard_cache_misses_total",
+        "Result-cache misses, by engine shard.",
+        &|r| r.cache_misses,
+    );
+    let mut shard_gauge = |name: &str, help: &str, pick: &dyn Fn(&ShardStats) -> u64| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        for row in &stats.per_shard {
+            out.push_str(&format!(
+                "{name}{{shard=\"{}\"}} {}\n",
+                row.shard,
+                pick(row)
+            ));
+        }
+    };
+    shard_gauge(
+        "scs_shard_workers",
+        "Worker threads owned by each engine shard.",
+        &|r| r.workers as u64,
+    );
+    shard_gauge(
+        "scs_shard_min_sub_batch_effective",
+        "Effective sub-batch floor after kernel-cost feedback, by shard.",
+        &|r| r.min_sub_batch_effective as u64,
+    );
+
     out.push_str(
         "# HELP scs_request_duration_us End-to-end request latency (enqueue to reply), microseconds.\n\
          # TYPE scs_request_duration_us histogram\n",
@@ -1114,6 +1194,8 @@ pub struct BenchMeta<'a> {
     pub dataset: &'a str,
     /// Worker threads.
     pub threads: usize,
+    /// Engine shards the workers were partitioned across.
+    pub shards: usize,
     /// Measured queries (excluding warmup).
     pub queries: usize,
     /// Warmup queries replayed before the measured window.
@@ -1132,6 +1214,8 @@ pub struct BenchMeta<'a> {
     pub repeat_fraction: f64,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Zipf exponent of the key distribution (0 = uniform).
+    pub zipf: f64,
     /// Whether adaptive batch splitting was enabled.
     pub split_batches: bool,
     /// Wall-clock seconds of the measured replay.
@@ -1275,13 +1359,15 @@ pub fn render_bench_json(
 ) -> String {
     let compact = format!(
         "{{\"schema\":{},\"bench\":\"serve-bench\",\
-         \"workload\":{{\"dataset\":{},\"threads\":{},\"queries\":{},\"warmup\":{},\
-         \"clients\":{},\"batch_size\":{},\"alpha\":{},\"beta\":{},\"algo\":{},\
-         \"repeat_fraction\":{},\"seed\":{},\"split_batches\":{}}},\
+         \"workload\":{{\"dataset\":{},\"threads\":{},\"shards\":{},\"queries\":{},\
+         \"warmup\":{},\"clients\":{},\"batch_size\":{},\"alpha\":{},\"beta\":{},\
+         \"algo\":{},\"repeat_fraction\":{},\"seed\":{},\"zipf\":{},\
+         \"split_batches\":{}}},\
          \"wall_secs\":{},\"cumulative\":{},\"steady\":{}}}",
         j_escape(BENCH_SCHEMA),
         j_escape(meta.dataset),
         meta.threads,
+        meta.shards,
         meta.queries,
         meta.warmup,
         meta.clients,
@@ -1291,6 +1377,7 @@ pub fn render_bench_json(
         j_escape(meta.algo.name()),
         j_f64(meta.repeat_fraction),
         meta.seed,
+        j_f64(meta.zipf),
         meta.split_batches,
         j_f64(meta.wall_secs),
         j_stats(cumulative),
@@ -1580,6 +1667,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         .ok_or("workload.dataset missing")?;
     for key in [
         "threads",
+        "shards",
         "queries",
         "warmup",
         "clients",
@@ -1588,6 +1676,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         "beta",
         "repeat_fraction",
         "seed",
+        "zipf",
     ] {
         workload
             .get(key)
@@ -1752,6 +1841,18 @@ mod tests {
             stages: snap.stage_summaries(),
             algos: snap.algo_stats(),
             slow: telem.slow_queries(),
+            per_shard: vec![ShardStats {
+                shard: 0,
+                workers: 2,
+                completed: total.count(),
+                coalesced: 0,
+                cache_hits: 1,
+                cache_misses: 2,
+                splits: 0,
+                p50_us: total.quantile_us(0.5),
+                p99_us: total.quantile_us(0.99),
+                min_sub_batch_effective: 8,
+            }],
         }
     }
 
@@ -1937,6 +2038,7 @@ mod tests {
         let meta = BenchMeta {
             dataset: "/tmp/ds/ml.tsv",
             threads: 4,
+            shards: 2,
             queries: 200,
             warmup: 20,
             clients: 2,
@@ -1946,6 +2048,7 @@ mod tests {
             algo: Algorithm::Auto,
             repeat_fraction: 0.5,
             seed: 42,
+            zipf: 0.0,
             split_batches: true,
             wall_secs: 0.125,
         };

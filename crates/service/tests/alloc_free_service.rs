@@ -79,6 +79,7 @@ fn workload(search: &CommunitySearch, n: usize) -> Vec<QueryRequest> {
             beta: 2,
             algo: Algorithm::Auto,
             repeat_fraction: 0.0,
+            zipf: 0.0,
             seed: 3,
         },
     );
@@ -239,8 +240,68 @@ fn main() {
         engine.shutdown();
     }
 
+    // ── Phase 4: sharded engine, per-request leader path ─────────────
+    // Two shards, telemetry on (the default): hashing the request to
+    // its shard, serving it on that shard's worker from that shard's
+    // arena and cache slice, and the install fan-out that precedes each
+    // round must all be as allocation-free as the unsharded engine.
+    {
+        let engine = QueryEngine::start(
+            search.clone(),
+            ServiceConfig {
+                workers: 2,
+                shards: 2,
+                cache_capacity: 64,
+                cache_shards: 4,
+                split_batches: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut reqs = workload(&search, 16);
+        reqs.sort_by_key(|r| r.q);
+        reqs.dedup_by_key(|r| r.q);
+        reqs.truncate(8);
+        for _ in 0..6 {
+            engine.install(search.clone());
+            for r in &reqs {
+                let resp = engine.query(*r);
+                assert!(!resp.cached && !resp.coalesced);
+                assert!(!resp.summary.edges().is_empty(), "warm-up must compute");
+            }
+        }
+        // Both shards must actually be serving, or the sharded claim
+        // is vacuous.
+        let st = engine.stats();
+        assert!(
+            st.per_shard.len() == 2 && st.per_shard.iter().all(|s| s.completed > 0),
+            "a shard sat idle, proving nothing: {:?}",
+            st.per_shard
+        );
+        let before = allocations();
+        engine.install(search.clone());
+        for r in &reqs {
+            let resp = engine.query(*r);
+            assert!(!resp.cached, "install must have cleared every slice");
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta,
+            0,
+            "a warm sharded round of {} leader queries allocated {delta} times",
+            reqs.len()
+        );
+        // Warm cross-shard cache hits are free too.
+        let before = allocations();
+        for r in &reqs {
+            assert!(engine.query(*r).cached);
+        }
+        let delta = allocations() - before;
+        assert_eq!(delta, 0, "a warm sharded cache hit allocated {delta} times");
+        engine.shutdown();
+    }
+
     println!(
         "alloc_free_service: warm leader queries allocated 0 times end to end \
-         (per-request, cache hit, unsplit batch, split batch) — ok"
+         (per-request, cache hit, unsplit batch, split batch, 2-shard engine) — ok"
     );
 }

@@ -36,6 +36,7 @@ fn batched_replay_is_bit_identical_to_per_request() {
         beta: 2,
         algo: Algorithm::Auto,
         repeat_fraction: 0.5,
+        zipf: 0.0,
         seed: 11,
     };
     let workload = build_workload(&search, &spec);
@@ -113,6 +114,7 @@ fn service_stats_are_submission_mode_invariant() {
         beta: 2,
         algo: Algorithm::Auto,
         repeat_fraction: 0.5,
+        zipf: 0.0,
         seed: 5,
     };
     let workload = build_workload(&search, &spec);
@@ -181,6 +183,7 @@ fn batches_race_single_requests_on_one_engine() {
         beta: 2,
         algo: Algorithm::Auto,
         repeat_fraction: 0.6,
+        zipf: 0.0,
         seed: 3,
     };
     let workload = build_workload(&search, &spec);

@@ -53,6 +53,7 @@ fn split_equals_unsplit_equals_per_request_bit_identically() {
         beta: 2,
         algo: Algorithm::Auto,
         repeat_fraction: 0.5,
+        zipf: 0.0,
         seed: 11,
     };
     let workload = build_workload(&search, &spec);

@@ -41,6 +41,7 @@ fn thousand_concurrent_queries_match_single_threaded_oracle() {
         beta: 2,
         algo: Algorithm::Auto,
         repeat_fraction: 0.5,
+        zipf: 0.0,
         seed: 7,
     };
     let workload = build_workload(&search, &spec);
