@@ -1,0 +1,881 @@
+//! # scs-analyze — repo-specific concurrency-correctness lints
+//!
+//! The serving engine is built on hand-rolled lock-free protocols (the
+//! seqlock slow-query ring, epoch-swap installs, pooled one-shot reply
+//! cells, generation-tagged arena slabs). Their invariants live in
+//! comments; this crate makes the comments *mandatory* and machine-checks
+//! the repo conventions clippy cannot express:
+//!
+//! * [`Rule::SafetyComment`] — every `unsafe` site (block, fn, impl,
+//!   trait) carries a `// SAFETY:` justification on the same line or in
+//!   the comment block immediately above. Clippy's
+//!   `undocumented_unsafe_blocks` covers blocks only; this rule also
+//!   covers `unsafe fn` / `unsafe impl` and runs on test code.
+//! * [`Rule::OrderingComment`] — every explicit atomic ordering
+//!   (`Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel` / `SeqCst`,
+//!   including fences) in the audited hot-path files
+//!   ([`ORDERING_AUDIT_FILES`]: `engine.rs`, `telemetry.rs`, `arena.rs`)
+//!   carries a `// ordering:` comment naming what it pairs with (or why
+//!   no pairing is needed). The comment may sit on the same line or up to
+//!   [`ORDERING_COMMENT_WINDOW`] lines above, so one comment can justify
+//!   a short cluster of stores that publish together.
+//! * [`Rule::AllocFree`] — regions bracketed by `// scs-lint: alloc-free`
+//!   and `// scs-lint: end-alloc-free` may not call heap APIs
+//!   (`Box::new`, `Vec::new`/`with_capacity`, `vec!`/`format!`,
+//!   `to_vec`/`to_owned`/`to_string`, `collect`, `clone`). A line-level
+//!   `// alloc-ok: <reason>` waiver admits the false positives
+//!   (refcount-bump `Arc::clone`, `Copy` clones) *with a written reason*.
+//!   These regions are the static complement of the release-mode
+//!   counting-allocator gates: the gates prove the warm path allocated
+//!   nothing at runtime, the regions keep allocation from being
+//!   *introduced* where the gates don't reach.
+//! * [`Rule::UnsafeAllowlist`] — the workspace's `unsafe` footprint is
+//!   pinned by [`ALLOWLIST_FILE`] at the workspace root: per-file site
+//!   budgets that must match reality in both directions (a new `unsafe`
+//!   outside the budget fails; a stale over-budget entry fails too, so
+//!   the allowlist can only shrink or be edited deliberately).
+//!
+//! Everything is std-only and offline: a hand-rolled lexer strips
+//! comments, strings and char literals well enough to lint without a
+//! full parser, [`analyze_workspace`] walks the tree (skipping `target`,
+//! VCS dirs and lint-fixture trees), and diagnostics come back as
+//! sorted `file:line: [rule] message` records. `scs analyze` exits
+//! non-zero when any diagnostic survives the `--allow` set, which is
+//! what CI gates on.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files whose atomic orderings must each carry a `// ordering:` comment.
+pub const ORDERING_AUDIT_FILES: [&str; 3] = ["engine.rs", "telemetry.rs", "arena.rs"];
+
+/// How many lines above an atomic op an `// ordering:` comment may sit.
+pub const ORDERING_COMMENT_WINDOW: usize = 6;
+
+/// How many comment/attribute-only lines above an `unsafe` site a
+/// `// SAFETY:` comment may sit.
+pub const SAFETY_COMMENT_WINDOW: usize = 12;
+
+/// The per-file unsafe budget, looked up relative to the analysis root.
+pub const ALLOWLIST_FILE: &str = "unsafe-allowlist.txt";
+
+/// Region markers for [`Rule::AllocFree`].
+pub const REGION_START: &str = "scs-lint: alloc-free";
+/// Closes a [`REGION_START`] region.
+pub const REGION_END: &str = "scs-lint: end-alloc-free";
+/// Line-level waiver inside an alloc-free region; must carry a reason.
+pub const ALLOC_WAIVER: &str = "alloc-ok:";
+
+/// Heap-API call patterns forbidden inside alloc-free regions. Matched
+/// against comment- and string-stripped source, so mentions in docs or
+/// literals don't fire.
+pub const HEAP_PATTERNS: [&str; 13] = [
+    "Box::new",
+    "Vec::new",
+    "Vec::with_capacity",
+    "vec!",
+    "format!",
+    "String::new",
+    "String::from",
+    ".to_vec(",
+    ".to_owned(",
+    ".to_string(",
+    ".collect(",
+    ".collect::",
+    ".clone(",
+];
+
+const ORDERING_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One lint rule. `--allow <name>` disables a rule for a run (the CI
+/// invocation allows nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unsafe` without an adjacent `// SAFETY:` justification.
+    SafetyComment,
+    /// Explicit atomic ordering without a `// ordering:` pairing note.
+    OrderingComment,
+    /// Heap API call inside a `scs-lint: alloc-free` region.
+    AllocFree,
+    /// `unsafe` footprint drifted from `unsafe-allowlist.txt`.
+    UnsafeAllowlist,
+}
+
+impl Rule {
+    /// Every rule, in diagnostic-sort order.
+    pub const ALL: [Rule; 4] = [
+        Rule::SafetyComment,
+        Rule::OrderingComment,
+        Rule::AllocFree,
+        Rule::UnsafeAllowlist,
+    ];
+
+    /// Stable name used in diagnostics and `--allow`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "unsafe-safety-comment",
+            Rule::OrderingComment => "atomic-ordering-comment",
+            Rule::AllocFree => "alloc-free-region",
+            Rule::UnsafeAllowlist => "unsafe-allowlist",
+        }
+    }
+
+    /// Inverse of [`Self::name`].
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: `path:line: [rule] message`, path relative to the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the analysis root, `/`-separated.
+    pub path: String,
+    /// 1-based line of the offending site (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-facing explanation with the expected fix.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// What to analyze and which rules to skip.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding [`ALLOWLIST_FILE`]).
+    pub root: PathBuf,
+    /// Rules disabled via `--allow`.
+    pub disabled: Vec<Rule>,
+}
+
+impl Config {
+    /// All rules enabled.
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            disabled: Vec::new(),
+        }
+    }
+
+    fn enabled(&self, rule: Rule) -> bool {
+        !self.disabled.contains(&rule)
+    }
+}
+
+/// The result of a run: diagnostics plus coverage counters, so a "clean"
+/// run can be told apart from a run that scanned nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Sorted findings (path, then line, then rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// `unsafe` sites seen (compliant or not).
+    pub unsafe_sites: usize,
+    /// Explicit atomic orderings seen in audited files.
+    pub ordering_sites: usize,
+    /// `scs-lint: alloc-free` regions seen.
+    pub alloc_free_regions: usize,
+}
+
+impl Analysis {
+    /// `true` iff no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The report `scs analyze` prints: every diagnostic, then a
+    /// one-line coverage summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "scs analyze: {} file(s), {} unsafe site(s), {} audited ordering(s), {} alloc-free region(s): {}",
+            self.files_scanned,
+            self.unsafe_sites,
+            self.ordering_sites,
+            self.alloc_free_regions,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", self.diagnostics.len())
+            }
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split each line into code text and comment text.
+// ---------------------------------------------------------------------------
+
+/// One source line after lexing: `code` is the original text with
+/// comments and literal *contents* blanked to spaces (delimiters kept,
+/// so column positions survive); `comment` is the concatenated comment
+/// text that touches the line.
+#[derive(Debug, Default, Clone)]
+struct Line {
+    code: String,
+    comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LexState {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Comment/string-aware line splitter. Handles nested block comments,
+/// escapes in string/char literals, raw strings with hashes, and the
+/// `'lifetime` vs `'c'` ambiguity well enough for pattern lints; it is
+/// not a full lexer and does not need to be.
+fn lex(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = LexState::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == LexState::LineComment {
+                state = LexState::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        let line = lines.last_mut().expect("pushed at start");
+        match state {
+            LexState::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = LexState::LineComment;
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = LexState::BlockComment(1);
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = LexState::Str;
+                        line.code.push('"');
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." / r#"..."#.
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                line.code.push(' ');
+                            }
+                            line.code.pop();
+                            line.code.push('"');
+                            state = LexState::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                        line.code.push(c);
+                    }
+                    '\'' => {
+                        // 'x' or '\n' is a char literal; 'ident is a
+                        // lifetime and stays code.
+                        let is_char = match next {
+                            Some('\\') => true,
+                            Some(_) => chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            state = LexState::CharLit;
+                        }
+                        line.code.push('\'');
+                    }
+                    _ => line.code.push(c),
+                }
+                i += 1;
+            }
+            LexState::LineComment => {
+                line.comment.push(c);
+                line.code.push(' ');
+                i += 1;
+            }
+            LexState::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = LexState::BlockComment(depth + 1);
+                    line.comment.push_str("/*");
+                    line.code.push_str("  ");
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                match c {
+                    '\\' => {
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = LexState::Code;
+                        line.code.push('"');
+                    }
+                    _ => line.code.push(' '),
+                }
+                i += 1;
+            }
+            LexState::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push(' ');
+                        }
+                        state = LexState::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                line.code.push(' ');
+                i += 1;
+            }
+            LexState::CharLit => {
+                match c {
+                    '\\' => {
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        state = LexState::Code;
+                        line.code.push('\'');
+                    }
+                    _ => line.code.push(' '),
+                }
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `code` (word
+/// characters are `[A-Za-z0-9_]`, so `unsafe_code` does not contain the
+/// word `unsafe`).
+fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_word(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_word(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    out
+}
+
+/// `true` if the line is blank, comment-only, or an attribute — the
+/// lines a SAFETY comment is allowed to look through.
+fn is_skippable_above_unsafe(line: &Line) -> bool {
+    let code = line.code.trim();
+    code.is_empty() || code.starts_with("#[") || code.starts_with("#![")
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanning.
+// ---------------------------------------------------------------------------
+
+/// Everything one file contributes before cross-file rules run.
+#[derive(Debug, Default)]
+struct FileScan {
+    diagnostics: Vec<Diagnostic>,
+    /// 1-based lines of `unsafe` keyword sites.
+    unsafe_lines: Vec<usize>,
+    ordering_sites: usize,
+    alloc_free_regions: usize,
+}
+
+/// Runs the per-file rules over one lexed file. `rel` is the
+/// `/`-separated path reported in diagnostics.
+fn scan_file(rel: &str, src: &str, cfg: &Config) -> FileScan {
+    let lines = lex(src);
+    let mut scan = FileScan::default();
+    let file_name = rel.rsplit('/').next().unwrap_or(rel);
+    let audited = ORDERING_AUDIT_FILES.contains(&file_name);
+    let mut region_start: Option<usize> = None;
+
+    for idx in 0..lines.len() {
+        let lineno = idx + 1;
+        let line = &lines[idx];
+
+        // -- unsafe sites ---------------------------------------------------
+        for _ in word_positions(&line.code, "unsafe") {
+            scan.unsafe_lines.push(lineno);
+            let mut justified = line.comment.contains("SAFETY:");
+            if !justified {
+                let mut j = idx;
+                for _ in 0..SAFETY_COMMENT_WINDOW {
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                    if !is_skippable_above_unsafe(&lines[j]) {
+                        break;
+                    }
+                    if lines[j].comment.contains("SAFETY:") {
+                        justified = true;
+                        break;
+                    }
+                }
+            }
+            if !justified && cfg.enabled(Rule::SafetyComment) {
+                scan.diagnostics.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::SafetyComment,
+                    msg: "`unsafe` without a `// SAFETY:` justification on the same line or \
+                          in the comment block directly above"
+                        .to_string(),
+                });
+            }
+        }
+
+        // -- atomic orderings ----------------------------------------------
+        if audited {
+            for pos in word_positions(&line.code, "Ordering") {
+                let rest = &line.code[pos..];
+                let Some(tail) = rest.strip_prefix("Ordering::") else {
+                    continue;
+                };
+                let variant = ORDERING_VARIANTS.iter().find(|v| {
+                    tail.starts_with(**v)
+                        && !tail[v.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                });
+                let Some(variant) = variant else { continue };
+                scan.ordering_sites += 1;
+                let has_note = (idx.saturating_sub(ORDERING_COMMENT_WINDOW)..=idx)
+                    .any(|j| lines[j].comment.contains("ordering:"));
+                if !has_note && cfg.enabled(Rule::OrderingComment) {
+                    scan.diagnostics.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: Rule::OrderingComment,
+                        msg: format!(
+                            "`Ordering::{variant}` without a `// ordering:` comment naming its \
+                             pairing (same line or within {ORDERING_COMMENT_WINDOW} lines above)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // -- alloc-free regions --------------------------------------------
+        // A marker is a *directive* only when it opens the comment text:
+        // prose that merely mentions a marker (like this crate's own
+        // documentation) must not open a region. The end marker is
+        // tested first: both directives share the `scs-lint:` prefix.
+        if directive(&line.comment, REGION_END) {
+            if region_start.is_none() && cfg.enabled(Rule::AllocFree) {
+                scan.diagnostics.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::AllocFree,
+                    msg: format!("`{REGION_END}` without an open `{REGION_START}` region"),
+                });
+            }
+            region_start = None;
+        } else if directive(&line.comment, REGION_START) {
+            if let Some(open) = region_start {
+                if cfg.enabled(Rule::AllocFree) {
+                    scan.diagnostics.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: Rule::AllocFree,
+                        msg: format!(
+                            "nested `{REGION_START}` (previous region opened on line {open} \
+                             was never closed)"
+                        ),
+                    });
+                }
+            }
+            region_start = Some(lineno);
+            scan.alloc_free_regions += 1;
+        } else if region_start.is_some() && !line.comment.contains(ALLOC_WAIVER) {
+            for pat in HEAP_PATTERNS {
+                if line.code.contains(pat) && cfg.enabled(Rule::AllocFree) {
+                    scan.diagnostics.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: Rule::AllocFree,
+                        msg: format!(
+                            "heap API `{pat}` inside a `{REGION_START}` region (waive a \
+                             justified false positive with `// {ALLOC_WAIVER} <reason>`)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(open) = region_start {
+        if cfg.enabled(Rule::AllocFree) {
+            scan.diagnostics.push(Diagnostic {
+                path: rel.to_string(),
+                line: open,
+                rule: Rule::AllocFree,
+                msg: format!("`{REGION_START}` region is never closed with `{REGION_END}`"),
+            });
+        }
+    }
+    scan
+}
+
+/// `true` iff the comment text attached to a line *begins* with
+/// `marker` — the shape of a deliberate lint directive, as opposed to
+/// documentation that merely mentions one.
+fn directive(comment: &str, marker: &str) -> bool {
+    comment.trim_start().starts_with(marker)
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist.
+// ---------------------------------------------------------------------------
+
+/// Parsed [`ALLOWLIST_FILE`]: `(path, budget)` per non-comment line.
+fn parse_allowlist(text: &str) -> Result<Vec<(String, usize)>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "{ALLOWLIST_FILE}:{}: expected `<path> <max-unsafe-sites>`, got {line:?}",
+                i + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{ALLOWLIST_FILE}:{}: invalid site count {count:?}", i + 1))?;
+        out.push((path.to_string(), count));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk + entry points.
+// ---------------------------------------------------------------------------
+
+/// Directories never scanned: build output, VCS state, and lint-fixture
+/// trees (which contain violations *on purpose*).
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == ".git" || name == "fixtures" || name.starts_with('.')
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries: Vec<_> = entries
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if ty.is_dir() {
+            if !skip_dir(&name) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every `.rs` file under `cfg.root` and applies the allowlist.
+/// `Err` is an I/O or allowlist-syntax failure, *not* a lint finding —
+/// findings come back in [`Analysis::diagnostics`].
+pub fn analyze_workspace(cfg: &Config) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    collect_rs_files(&cfg.root, &mut files)?;
+    let mut analysis = Analysis::default();
+    let mut unsafe_by_file: Vec<(String, Vec<usize>)> = Vec::new();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let scan = scan_file(&rel, &src, cfg);
+        analysis.files_scanned += 1;
+        analysis.unsafe_sites += scan.unsafe_lines.len();
+        analysis.ordering_sites += scan.ordering_sites;
+        analysis.alloc_free_regions += scan.alloc_free_regions;
+        analysis.diagnostics.extend(scan.diagnostics);
+        if !scan.unsafe_lines.is_empty() {
+            unsafe_by_file.push((rel, scan.unsafe_lines));
+        }
+    }
+
+    if cfg.enabled(Rule::UnsafeAllowlist) {
+        let allowlist_path = cfg.root.join(ALLOWLIST_FILE);
+        let allowlist = match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => parse_allowlist(&text)?,
+            Err(_) => Vec::new(),
+        };
+        for (rel, lines) in &unsafe_by_file {
+            let budget = allowlist
+                .iter()
+                .find(|(p, _)| p == rel)
+                .map_or(0, |(_, n)| *n);
+            if lines.len() > budget {
+                analysis.diagnostics.push(Diagnostic {
+                    path: rel.clone(),
+                    line: lines[budget.min(lines.len() - 1)],
+                    rule: Rule::UnsafeAllowlist,
+                    msg: format!(
+                        "{} unsafe site(s) but {ALLOWLIST_FILE} budgets {budget}; new unsafe \
+                         must be admitted there deliberately",
+                        lines.len()
+                    ),
+                });
+            }
+        }
+        // Stale budgets fail too: the allowlist must stay minimal, so it
+        // documents exactly the unsafe that exists.
+        for (path, budget) in &allowlist {
+            let actual = unsafe_by_file
+                .iter()
+                .find(|(p, _)| p == path)
+                .map_or(0, |(_, l)| l.len());
+            if actual < *budget {
+                analysis.diagnostics.push(Diagnostic {
+                    path: path.clone(),
+                    line: 0,
+                    rule: Rule::UnsafeAllowlist,
+                    msg: format!(
+                        "{ALLOWLIST_FILE} budgets {budget} unsafe site(s) but only {actual} \
+                         exist; tighten the entry"
+                    ),
+                });
+            }
+        }
+    }
+
+    analysis
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all() -> Config {
+        Config::new(".")
+    }
+
+    fn scan(rel: &str, src: &str) -> FileScan {
+        scan_file(rel, src, &cfg_all())
+    }
+
+    #[test]
+    fn lexer_strips_comments_strings_and_chars() {
+        let lines = lex("let x = \"unsafe\"; // unsafe here\nlet c = 'u'; /* Ordering::Relaxed */ let l: &'static str = \"\";");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe here"));
+        assert!(!lines[1].code.contains("Ordering"));
+        assert!(lines[1].code.contains("'static"));
+        assert!(lines[1].comment.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_nested_block_comments() {
+        let lines = lex("let s = r#\"unsafe \" quote\"#; let t = 1;\n/* outer /* unsafe */ still comment */ let u = 2;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let t"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[1].code.contains("let u"));
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = scan("a.rs", "fn f() {\n    unsafe { g() }\n}\n");
+        assert_eq!(bad.diagnostics.len(), 1);
+        assert_eq!(bad.diagnostics[0].rule, Rule::SafetyComment);
+        assert_eq!(bad.diagnostics[0].line, 2);
+
+        let same_line = scan(
+            "a.rs",
+            "fn f() {\n    unsafe { g() } // SAFETY: g is pure\n}\n",
+        );
+        assert!(same_line.diagnostics.is_empty());
+
+        let above = scan(
+            "a.rs",
+            "fn f() {\n    // SAFETY: g upholds X\n    #[allow(clippy::x)]\n    unsafe { g() }\n}\n",
+        );
+        assert!(above.diagnostics.is_empty());
+        assert_eq!(above.unsafe_lines, vec![4]);
+    }
+
+    #[test]
+    fn safety_comment_does_not_reach_past_code() {
+        let src = "// SAFETY: stale comment\nfn g() {}\nunsafe fn h() {}\n";
+        let s = scan("a.rs", src);
+        assert_eq!(s.diagnostics.len(), 1);
+        assert_eq!(s.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn identifiers_containing_unsafe_do_not_count() {
+        let s = scan("a.rs", "#![forbid(unsafe_code)]\nfn unsafe_name() {}\n");
+        assert!(s.diagnostics.is_empty());
+        assert!(s.unsafe_lines.is_empty());
+    }
+
+    #[test]
+    fn ordering_rule_applies_only_to_audited_files() {
+        let src = "x.load(Ordering::Relaxed);\n";
+        assert_eq!(scan("telemetry.rs", src).diagnostics.len(), 1);
+        assert_eq!(
+            scan("crates/service/src/engine.rs", src).diagnostics.len(),
+            1
+        );
+        assert!(scan("stats.rs", src).diagnostics.is_empty());
+        assert_eq!(scan("stats.rs", src).ordering_sites, 0);
+    }
+
+    #[test]
+    fn ordering_comment_satisfies_within_window() {
+        let ok =
+            "// ordering: pairs with the Release store in publish()\nx.load(Ordering::Acquire);\n";
+        assert!(scan("arena.rs", ok).diagnostics.is_empty());
+        let far = format!(
+            "// ordering: too far\n{}x.load(Ordering::Acquire);\n",
+            "\n".repeat(ORDERING_COMMENT_WINDOW)
+        );
+        assert_eq!(scan("arena.rs", &far).diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn alloc_free_region_flags_heap_calls() {
+        let src = "\
+// scs-lint: alloc-free
+fn hot() {
+    let v = Vec::new();
+    let w = x.clone(); // alloc-ok: Arc refcount bump
+}
+// scs-lint: end-alloc-free
+fn cold() { let v = Vec::new(); }
+";
+        let s = scan("a.rs", src);
+        assert_eq!(s.diagnostics.len(), 1, "{:?}", s.diagnostics);
+        assert_eq!(s.diagnostics[0].line, 3);
+        assert_eq!(s.alloc_free_regions, 1);
+    }
+
+    #[test]
+    fn unterminated_region_is_reported_at_its_start() {
+        let s = scan("a.rs", "// scs-lint: alloc-free\nfn f() {}\n");
+        assert_eq!(s.diagnostics.len(), 1);
+        assert_eq!(s.diagnostics[0].line, 1);
+        assert!(s.diagnostics[0].msg.contains("never closed"));
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let ok = parse_allowlist("# comment\n\ncrates/a.rs 2\n  b.rs   0\n").unwrap();
+        assert_eq!(ok, vec![("crates/a.rs".into(), 2), ("b.rs".into(), 0)]);
+        assert!(parse_allowlist("a.rs\n").is_err());
+        assert!(parse_allowlist("a.rs two\n").is_err());
+        assert!(parse_allowlist("a.rs 1 extra\n").is_err());
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let mut cfg = cfg_all();
+        cfg.disabled.push(Rule::SafetyComment);
+        let s = scan_file("a.rs", "unsafe fn f() {}\n", &cfg);
+        assert!(s.diagnostics.is_empty());
+        // Sites are still counted for the allowlist rule.
+        assert_eq!(s.unsafe_lines, vec![1]);
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nonsense"), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a heap call inside a declared alloc-free region, next to a
+//! properly waived one.
+
+// scs-lint: alloc-free
+pub fn hot(xs: &[u32], shared: &std::sync::Arc<Vec<u32>>) -> std::sync::Arc<Vec<u32>> {
+    let mut sum = 0u32;
+    for &x in xs {
+        sum = sum.wrapping_add(x);
+    }
+    let doomed = format!("sum = {sum}");
+    let _ = doomed;
+    shared.clone() // alloc-ok: Arc refcount bump, no heap traffic
+}
+// scs-lint: end-alloc-free
+
+pub fn cold() -> Vec<u32> {
+    Vec::with_capacity(8)
+}

@@ -1,0 +1,14 @@
+//! Fixture: two justified unsafe sites against a budget of one, plus a
+//! stale allowlist entry — both directions of allowlist drift.
+
+pub struct RacyCell(std::cell::UnsafeCell<u32>);
+
+// SAFETY: fixture stand-in; access is externally serialized.
+unsafe impl Sync for RacyCell {}
+
+impl RacyCell {
+    pub fn get(&self) -> u32 {
+        // SAFETY: fixture stand-in; no concurrent writer exists.
+        unsafe { *self.0.get() }
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: a file that satisfies every rule — justified unsafe, an
+//! ordering comment, and an alloc-free region with only a waived clone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Shared(std::cell::UnsafeCell<u64>);
+
+// SAFETY: writes are externally serialized by the owning engine; readers
+// only observe frozen regions (fixture stand-in for the arena argument).
+unsafe impl Sync for Shared {}
+
+// scs-lint: alloc-free
+pub fn publish(seq: &AtomicU64, value: u64, shared: &std::sync::Arc<u64>) -> std::sync::Arc<u64> {
+    // ordering: Release pairs with the Acquire load in subscribe() so the
+    // value write is visible before the new sequence number.
+    seq.store(value, Ordering::Release);
+    shared.clone() // alloc-ok: Arc refcount bump
+}
+// scs-lint: end-alloc-free
+
+pub fn subscribe(seq: &AtomicU64) -> u64 {
+    // ordering: Acquire pairs with the Release store in publish().
+    seq.load(Ordering::Acquire)
+}

@@ -1,0 +1,6 @@
+//! Fixture: one `unsafe` site with no SAFETY justification.
+//! The allowlist admits the site, so only `unsafe-safety-comment` fires.
+
+pub struct RacyCell(std::cell::UnsafeCell<u32>);
+
+unsafe impl Sync for RacyCell {}

@@ -1,0 +1,13 @@
+//! Fixture: an explicit atomic order in an audited file name
+//! (`telemetry.rs`) with no pairing note on the increment below.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read(counter: &AtomicU64) -> u64 {
+    // ordering: standalone counter; pairs with nothing, Relaxed is enough.
+    counter.load(Ordering::Relaxed)
+}

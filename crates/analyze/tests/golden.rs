@@ -1,0 +1,112 @@
+//! Golden-output tests for `scs analyze`: each seeded fixture tree must
+//! produce *exactly one* diagnostic with the exact rendered text, the
+//! clean tree must produce none, and `--allow` must silence a rule.
+//!
+//! The fixture trees live under `tests/fixtures/`, which the workspace
+//! walk skips by name — so `scs analyze` on the real repo never sees the
+//! seeded violations.
+
+use scs_analyze::{analyze_workspace, Analysis, Config, Rule};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str) -> Analysis {
+    analyze_workspace(&Config::new(fixture(name))).expect("fixture tree analyzes")
+}
+
+#[test]
+fn missing_safety_comment_is_exactly_one_diagnostic() {
+    let a = run("missing_safety");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "lib.rs:6: [unsafe-safety-comment] `unsafe` without a `// SAFETY:` justification \
+             on the same line or in the comment block directly above"
+                .to_string()
+        ]
+    );
+    assert_eq!(a.unsafe_sites, 1);
+}
+
+#[test]
+fn unjustified_ordering_is_exactly_one_diagnostic() {
+    let a = run("ordering");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "telemetry.rs:7: [atomic-ordering-comment] `Ordering::Relaxed` without a \
+             `// ordering:` comment naming its pairing (same line or within 6 lines above)"
+                .to_string()
+        ]
+    );
+    // The justified load in the same file is counted but not flagged.
+    assert_eq!(a.ordering_sites, 2);
+}
+
+#[test]
+fn alloc_call_in_alloc_free_region_is_exactly_one_diagnostic() {
+    let a = run("alloc_region");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "lib.rs:10: [alloc-free-region] heap API `format!` inside a \
+             `scs-lint: alloc-free` region (waive a justified false positive with \
+             `// alloc-ok: <reason>`)"
+                .to_string()
+        ]
+    );
+    assert_eq!(a.alloc_free_regions, 1);
+}
+
+#[test]
+fn clean_tree_produces_no_diagnostics() {
+    let a = run("clean");
+    assert!(a.is_clean(), "unexpected diagnostics: {:?}", a.diagnostics);
+    // ...and actually exercised every rule's subject matter.
+    assert_eq!(a.unsafe_sites, 1);
+    assert!(a.ordering_sites >= 2);
+    assert_eq!(a.alloc_free_regions, 1);
+    assert!(a.render().ends_with("clean"));
+}
+
+#[test]
+fn unsafe_allowlist_drift_fails_in_both_directions() {
+    let a = run("allowlist");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "gone.rs:0: [unsafe-allowlist] unsafe-allowlist.txt budgets 3 unsafe site(s) \
+             but only 0 exist; tighten the entry"
+                .to_string(),
+            "lib.rs:12: [unsafe-allowlist] 2 unsafe site(s) but unsafe-allowlist.txt \
+             budgets 1; new unsafe must be admitted there deliberately"
+                .to_string(),
+        ]
+    );
+    assert_eq!(a.unsafe_sites, 2);
+}
+
+#[test]
+fn allow_flag_silences_a_rule() {
+    let mut cfg = Config::new(fixture("alloc_region"));
+    cfg.disabled.push(Rule::AllocFree);
+    let a = analyze_workspace(&cfg).unwrap();
+    assert!(a.is_clean(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn render_reports_violation_counts() {
+    let a = run("missing_safety");
+    let text = a.render();
+    assert!(text.contains("1 violation(s)"), "{text}");
+    assert!(text.starts_with("lib.rs:6:"), "{text}");
+}

@@ -13,6 +13,9 @@
 //! * `SCS_QUERIES` — queries per measurement (default 100, as in the
 //!   paper).
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 use bigraph::{BipartiteGraph, Vertex};
 use datasets::DatasetSpec;
 use std::time::{Duration, Instant};

@@ -12,6 +12,9 @@
 //! * [`bicore_index`] — the bicore index `Iv` of Liu et al. (WWW'19) and
 //!   its query algorithm `Qv`, the indexed baseline of the paper's Fig. 8.
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 pub mod abcore;
 pub mod bicore_index;
 pub mod decompose;

@@ -53,6 +53,11 @@
 //!   flight table, a channel) — the same argument as for any `Send`
 //!   value.
 
+// The crate denies `unsafe_code`; this module is the one exception,
+// for the `UnsafeCell` slab storage. Every site is budgeted in
+// `unsafe-allowlist.txt` and checked by `scs analyze`.
+#![allow(unsafe_code)]
+
 use crate::graph::EdgeId;
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -91,6 +96,9 @@ impl Slab {
 
     /// The current generation (bumped on every recycle).
     pub fn generation(&self) -> u64 {
+        // ordering: Acquire pairs with the Release `fetch_add` in
+        // `acquire_slab`: a reader that sees generation g also sees
+        // every write that preceded the bump to g.
         self.generation.load(Ordering::Acquire)
     }
 }
@@ -142,6 +150,8 @@ impl ArenaEdges {
 
     /// The stored edge ids (sorted and deduplicated if the producer
     /// stored them so — the kernels do).
+    // scs-lint: alloc-free — reading a stored result is the warm leader
+    // path's last step; the release allocation gates cover it.
     pub fn as_slice(&self) -> &[EdgeId] {
         // SAFETY: the range [off, off+len) was fully written before the
         // handle was created and is frozen while any handle pins the
@@ -158,6 +168,7 @@ impl ArenaEdges {
             )
         }
     }
+    // scs-lint: end-alloc-free
 
     /// Number of stored edges.
     pub fn len(&self) -> usize {
@@ -312,6 +323,9 @@ impl ResultArena {
     /// `off` always fits a `u32`: slab capacities are clamped to
     /// `u32::MAX` (bump slabs) or equal a `u32`-checked result length
     /// (dedicated slabs), and `off + edges.len() <= capacity`.
+    // scs-lint: alloc-free — storing into an already-open slab must not
+    // touch the heap; growth happens in `acquire_slab`, outside this
+    // region.
     fn write(slab: &Arc<Slab>, off: usize, edges: &[EdgeId]) -> ArenaEdges {
         debug_assert!(u32::try_from(off).is_ok(), "offset exceeds u32");
         for (i, &e) in edges.iter().enumerate() {
@@ -321,12 +335,16 @@ impl ResultArena {
             unsafe { *slab.data[off + i].get() = e };
         }
         ArenaEdges {
-            slab: slab.clone(),
+            slab: slab.clone(), // alloc-ok: Arc refcount bump, no heap
             off: off as u32,
             len: edges.len() as u32,
+            // ordering: Relaxed — the producer thread owns the open slab;
+            // it is the only generation writer while the slab is open, so
+            // this read races with nothing.
             generation: slab.generation.load(Ordering::Relaxed),
         }
     }
+    // scs-lint: end-alloc-free
 
     /// A slab with room for `need` edges and capacity at most `max`:
     /// the best-fitting free pooled slab (smallest adequate capacity —
@@ -353,7 +371,10 @@ impl ResultArena {
                 // its final reads must happen-before our writes. The
                 // Acquire fence pairs with `Arc`'s Release decrement on
                 // drop (the same protocol `Arc::get_mut` uses).
+                // ordering: Acquire fence — see above.
                 std::sync::atomic::fence(Ordering::Acquire);
+                // ordering: Release pairs with `Slab::generation`'s
+                // Acquire load, sealing prior writes behind the bump.
                 slab.generation.fetch_add(1, Ordering::Release);
                 self.recycled += 1;
                 slab

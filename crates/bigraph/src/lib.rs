@@ -34,6 +34,10 @@
 //! newtype; use [`BipartiteGraph::upper`]/[`BipartiteGraph::lower`] or the
 //! [`Side`] accessors to move between the typed view and raw indices.
 
+// Unsafe is confined to the one module that needs it (see the
+// module-level `allow`); everything else in the crate is checked.
+#![deny(unsafe_code)]
+
 pub mod arena;
 pub mod builder;
 pub mod edgelist;

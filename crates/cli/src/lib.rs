@@ -10,6 +10,9 @@
 //! * `serve-bench <edgelist> [--threads N] [--queries K] ...` — replay a
 //!   generated query workload through the concurrent `scs-service`
 //!   engine and print the QPS/latency/cache stats table;
+//! * `analyze [--root DIR] [--allow RULE]` — run the workspace's
+//!   concurrency-correctness lint pass (see `scs-analyze`); exits
+//!   non-zero when any diagnostic fires, so CI can gate on it.
 //!
 //! Query vertices are written `u:<i>` or `l:<j>` (side-local 0-based
 //! indices). Edge lists are whitespace-separated `upper lower [weight]`
@@ -17,6 +20,9 @@
 //!
 //! The argument handling is deliberately dependency-free (the approved
 //! crate set has no CLI parser); [`parse_args`] is pure and unit-tested.
+
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
 
 use bigraph::edgelist::{read_edgelist_file, ReadOptions};
 use bigraph::{BipartiteGraph, Side, Vertex};
@@ -57,6 +63,13 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Replay a generated workload through the concurrent query engine.
     ServeBench(ServeBenchArgs),
+    /// Run the concurrency-correctness lint pass over the workspace.
+    Analyze {
+        /// Workspace root to scan (defaults to the current directory).
+        root: String,
+        /// Rule names to disable (`--allow`), already validated.
+        allow: Vec<String>,
+    },
 }
 
 /// Arguments of `scs serve-bench`.
@@ -182,6 +195,7 @@ USAGE:
              [--zipf Z] [--seed N] [--batch-size B] [--no-split]
              [--warmup W] [--metrics-out FILE] [--bench-json FILE]
              [--algo auto|peel|expand|binary|baseline] [--one-based]
+  scs analyze [--root DIR] [--allow RULE]...
   scs help
 
 Edge lists are `upper lower [weight]` per line; query vertices are
@@ -240,6 +254,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut warmup: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut bench_json: Option<String> = None;
+    let mut analyze_root: Option<String> = None;
+    let mut analyze_allow: Vec<String> = Vec::new();
+    let mut analyze_flags: Vec<&'static str> = Vec::new();
     // Subcommand-specific flags seen, so the other subcommands can
     // reject them instead of silently ignoring a misplaced knob.
     let mut serve_flags: Vec<&'static str> = Vec::new();
@@ -386,6 +403,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::new("--bench-json needs a path"))?;
                 bench_json = Some(val.to_string());
             }
+            "--root" => {
+                analyze_flags.push("--root");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--root needs a directory"))?;
+                analyze_root = Some(val.to_string());
+            }
+            "--allow" => {
+                analyze_flags.push("--allow");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--allow needs a rule name"))?;
+                if scs_analyze::Rule::from_name(val).is_none() {
+                    let known: Vec<&str> =
+                        scs_analyze::Rule::ALL.iter().map(|r| r.name()).collect();
+                    return Err(CliError::new(format!(
+                        "unknown rule {val:?}; rules: {}",
+                        known.join(", ")
+                    )));
+                }
+                analyze_allow.push(val.to_string());
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag:?}")))
             }
@@ -399,6 +438,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         if let Some(flag) = serve_flags.first() {
             return Err(CliError::new(format!(
                 "{flag} only applies to `scs serve-bench`"
+            )));
+        }
+    }
+    if cmd != "analyze" {
+        if let Some(flag) = analyze_flags.first() {
+            return Err(CliError::new(format!(
+                "{flag} only applies to `scs analyze`"
             )));
         }
     }
@@ -470,6 +516,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 scale,
                 seed,
             }))
+        }
+        "analyze" => {
+            need(0)?;
+            Ok(Command::Analyze {
+                root: analyze_root.unwrap_or_else(|| ".".to_string()),
+                allow: analyze_allow,
+            })
         }
         "serve-bench" => {
             need(1)?;
@@ -602,6 +655,21 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::ServeBench(args) => run_serve_bench(args),
+        Command::Analyze { root, allow } => {
+            let mut cfg = scs_analyze::Config::new(&root);
+            cfg.disabled = allow
+                .iter()
+                .filter_map(|name| scs_analyze::Rule::from_name(name))
+                .collect();
+            let analysis = scs_analyze::analyze_workspace(&cfg).map_err(CliError::new)?;
+            if analysis.is_clean() {
+                Ok(analysis.render())
+            } else {
+                // Diagnostics go through the error path so `main` exits
+                // non-zero — the property the CI gate relies on.
+                Err(CliError::new(analysis.render()))
+            }
+        }
         Command::Index {
             path,
             one_based,
@@ -1173,6 +1241,74 @@ mod tests {
         // 240 replayed.
         assert!(json.contains("\"queries\": 200"), "{json}");
         assert!(json.contains("\"warmup\": 40"), "{json}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse_args(&args(&["analyze"])).unwrap(),
+            Command::Analyze {
+                root: ".".into(),
+                allow: vec![]
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "analyze",
+                "--root",
+                "/tmp/ws",
+                "--allow",
+                "unsafe-allowlist",
+                "--allow",
+                "alloc-free-region",
+            ]))
+            .unwrap(),
+            Command::Analyze {
+                root: "/tmp/ws".into(),
+                allow: vec!["unsafe-allowlist".into(), "alloc-free-region".into()]
+            }
+        );
+        // Unknown rules die in the parser, naming the valid set.
+        let err = parse_args(&args(&["analyze", "--allow", "bogus"])).unwrap_err();
+        assert!(err.to_string().contains("unsafe-safety-comment"), "{err}");
+        assert!(parse_args(&args(&["analyze", "--root"])).is_err());
+        assert!(parse_args(&args(&["analyze", "extra"])).is_err());
+        // Analyze flags are analyze-only, like every other knob.
+        let err = parse_args(&args(&["stats", "g", "--root", "/x"])).unwrap_err();
+        assert!(err.to_string().contains("analyze"), "{err}");
+        assert!(parse_args(&args(&["stats", "g", "--allow", "unsafe-allowlist"])).is_err());
+    }
+
+    #[test]
+    fn analyze_runs_against_a_seeded_tree() {
+        let dir = std::env::temp_dir().join("scs_cli_analyze_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // One unsafe block with no SAFETY comment and no allowlist:
+        // two rules fire, and the CLI surfaces them as an error.
+        std::fs::write(
+            dir.join("lib.rs"),
+            "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        )
+        .unwrap();
+        let err = run(Command::Analyze {
+            root: dir.to_str().unwrap().into(),
+            allow: vec![],
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unsafe-safety-comment"), "{err}");
+        assert!(err.to_string().contains("lib.rs:2"), "{err}");
+        // Allowing both rules turns the same tree clean.
+        let out = run(Command::Analyze {
+            root: dir.to_str().unwrap().into(),
+            allow: vec!["unsafe-safety-comment".into(), "unsafe-allowlist".into()],
+        })
+        .unwrap();
+        assert!(
+            out.contains("0 diagnostics") || out.contains("clean"),
+            "{out}"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

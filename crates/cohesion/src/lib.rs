@@ -18,6 +18,9 @@
 //! and biclique are purely structural; `C4★` is purely weight-based),
 //! which is exactly the gap the significant (α,β)-community model fills.
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 pub mod biclique;
 pub mod bitruss;
 pub mod butterfly;

@@ -54,6 +54,9 @@
 //! Dynamic graphs are supported through [`index::DynamicIndex`], which
 //! maintains `Iδ` under edge insertions and removals.
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 pub mod index;
 pub mod query;
 pub mod workspace;

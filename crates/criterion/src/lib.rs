@@ -10,6 +10,9 @@
 //! absolute numbers are honest wall-clock timings — only the outlier
 //! rejection and plots of real criterion are missing.
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle, passed to every `criterion_group!` target.

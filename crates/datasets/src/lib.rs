@@ -10,6 +10,9 @@
 //! require, and query workload sampling. See DESIGN.md §3 for the full
 //! substitution argument.
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod movielens;
 pub mod workload;

@@ -15,6 +15,9 @@
 //! If the real `rand` crate ever becomes available, deleting this crate
 //! and adding the registry dependency is a drop-in swap.
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 /// A source of randomness: the core sampling interface.
 pub trait Rng {
     /// The next 64 uniformly random bits.

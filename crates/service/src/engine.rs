@@ -109,6 +109,11 @@
 //! epoch matches the one it observed as current, so a post-install
 //! request never receives a pre-install result.
 
+// The crate denies `unsafe_code`; this module is the one exception,
+// for the `sched_setaffinity` FFI shim in `pin_worker`. Every site
+// is budgeted in `unsafe-allowlist.txt` and checked by `scs analyze`.
+#![allow(unsafe_code)]
+
 use crate::cache::{CacheStats, ShardedCache};
 use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
 use crate::telemetry::{
@@ -524,8 +529,12 @@ impl JobQueue {
             if !state.open {
                 return None;
             }
+            // ordering: Relaxed — `idle` is an advisory gauge read by
+            // `split_factor`; a stale count only skews the split
+            // heuristic, never correctness. Pairs with nothing.
             idle.fetch_add(1, Ordering::Relaxed);
             state = self.cv.wait(state).unwrap();
+            // ordering: Relaxed — same advisory gauge as above.
             idle.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -649,6 +658,8 @@ impl Inner {
     fn join_flight(&self, key: QueryRequest, epoch: u64) -> Role {
         let mut map = self.inflight.lock().unwrap();
         if let Some(flight) = map.get(&key) {
+            // ordering: Relaxed — `epoch` is only read/written under the
+            // `inflight` mutex held here; the lock orders the accesses.
             let fe = flight.epoch.load(Ordering::Relaxed);
             if fe == epoch {
                 return Role::Follower(flight.clone());
@@ -661,6 +672,8 @@ impl Inner {
         // previous follower is gone, so the reset is unobservable).
         let flight = match self.take_free_flight() {
             Some(f) => {
+                // ordering: Relaxed — written under the `inflight` mutex,
+                // which orders it against every reader (see `join_flight`).
                 f.epoch.store(epoch, Ordering::Relaxed);
                 f
             }
@@ -716,10 +729,14 @@ impl Inner {
         Self::sweep_flight_slots(&mut pool);
     }
 
+    // scs-lint: alloc-free — every served request ends here; the release
+    // counting-allocator gates assert the warm path stays heap-silent.
     fn finish(&self, resp: &QueryResponse) {
         self.hist.record(resp.service_us);
+        // ordering: Relaxed — independent statistic; pairs with nothing.
         self.completed.fetch_add(1, Ordering::Relaxed);
     }
+    // scs-lint: end-alloc-free
 
     /// Whether the engine can compute an answer for `req` on `search`.
     /// An unservable request (vertex outside the installed graph, zero
@@ -779,13 +796,18 @@ impl Inner {
     /// plus the serving worker itself) and by the one-sub-batch-per-
     /// [`Self::effective_min_sub_batch`]-leaders floor, so small
     /// batches stay whole.
+    // scs-lint: alloc-free — the split decision runs per batch on the
+    // worker; it must stay a couple of loads and a division.
     fn split_factor(&self, n_units: usize) -> usize {
         if !self.split_batches || n_units < 2 {
             return 1;
         }
+        // ordering: Relaxed — advisory gauge written by `JobQueue::pop`;
+        // a stale value only changes the split heuristic.
         let idle = self.idle_workers.load(Ordering::Relaxed);
         (idle + 1).min(n_units.div_ceil(self.effective_min_sub_batch()))
     }
+    // scs-lint: end-alloc-free
 
     /// A recycled (or fresh) [`BatchShared`] with its plain fields set
     /// and every buffer empty-but-warm.
@@ -1016,6 +1038,7 @@ fn serve_miss(
                 service_us: t0.elapsed().as_micros() as u64,
                 ..shared
             };
+            // ordering: Relaxed — independent statistic; pairs with nothing.
             inner.coalesced.fetch_add(1, Ordering::Relaxed);
             inner.finish(&resp);
             rec.mark(Stage::Publish);
@@ -1094,6 +1117,7 @@ fn publish_unit(
             }
         } else {
             inner.cache.record_extra_miss();
+            // ordering: Relaxed — independent statistic; pairs with nothing.
             inner.coalesced.fetch_add(1, Ordering::Relaxed);
             QueryResponse {
                 coalesced: true,
@@ -1261,6 +1285,7 @@ fn serve_batch(
     // The whole batch waited in the queue together; every one of its
     // requests is attributed the same queue-wait stage.
     let queue_us = t0.saturating_duration_since(enqueued).as_micros() as u64;
+    // ordering: Relaxed — independent statistics; pair with nothing.
     inner.batches.fetch_add(1, Ordering::Relaxed);
     inner
         .batched
@@ -1499,6 +1524,8 @@ fn serve_batch(
                 }
                 s.total = s.queue.get_mut().unwrap().len();
             }
+            // ordering: Relaxed — independent statistics; pair with
+            // nothing.
             inner.splits.fetch_add(1, Ordering::Relaxed);
             inner
                 .sub_batches
@@ -1593,6 +1620,8 @@ fn serve_batch(
                     service_us: us(&t0),
                     ..shared.clone()
                 };
+                // ordering: Relaxed — independent statistic; pairs with
+                // nothing.
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 inner.finish(&resp);
                 inner.telemetry.record(&stages.trace(
@@ -1749,6 +1778,8 @@ impl BatchHandle {
 /// engine-shard routing cannot correlate with cache-sub-shard
 /// placement and concentrate one shard's keys onto one cache slice —
 /// regression-tested by `router_and_cache_hashes_decorrelate`.
+// scs-lint: alloc-free — routing runs on the submitter for every
+// request; it is pure integer mixing by construction and must stay so.
 fn route_of(vertex: Vertex, n_shards: usize) -> usize {
     if n_shards <= 1 {
         return 0;
@@ -1761,6 +1792,7 @@ fn route_of(vertex: Vertex, n_shards: usize) -> usize {
     x ^= x >> 31;
     ((x as u128 * n_shards as u128) >> 64) as usize
 }
+// scs-lint: end-alloc-free
 
 /// Best-effort CPU pinning: confines the calling worker thread to the
 /// CPU set `{c : c ≡ shard (mod n_shards)}`, so each shard's workers
@@ -1791,7 +1823,10 @@ fn pin_worker(shard: usize, n_shards: usize) {
         // than pinning it to an empty set (which would fail anyway).
         return;
     }
-    // pid 0 = the calling thread.
+    // SAFETY: `mask` is a live, properly sized local; the kernel only
+    // reads `size_of_val(&mask)` bytes from it. pid 0 means "the calling
+    // thread", so no other thread's state is touched, and a failing call
+    // (bad mask, restricted cpuset) just leaves the affinity unchanged.
     unsafe {
         sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
     }
@@ -1876,6 +1911,8 @@ impl EngineCore {
             slow: Vec::new(),
         };
         for (i, inner) in self.shards.iter().enumerate() {
+            // ordering: Relaxed — statistics reads; the counters are
+            // independent and stats() promises no cross-counter snapshot.
             let completed = inner.completed.load(Ordering::Relaxed);
             let coalesced = inner.coalesced.load(Ordering::Relaxed);
             let splits = inner.splits.load(Ordering::Relaxed);
@@ -1884,6 +1921,7 @@ impl EngineCore {
             agg.workers += inner.workers;
             agg.completed += completed;
             agg.coalesced += coalesced;
+            // ordering: Relaxed — statistics reads, as above.
             agg.batches += inner.batches.load(Ordering::Relaxed);
             agg.batched += inner.batched.load(Ordering::Relaxed);
             agg.splits += splits;
@@ -1901,6 +1939,9 @@ impl EngineCore {
             agg.service = agg.service.merge(&hist);
             agg.telem = agg.telem.merge(&inner.telemetry.snapshot());
             for s in &inner.scratch {
+                // ordering: Relaxed — residency gauges; a submitter that
+                // must see its own query's effect is ordered by the
+                // reply-cell mutex handoff, not by these loads.
                 agg.scratch_bytes += s.bytes.load(Ordering::Relaxed);
                 agg.arena_bytes += s.arena_bytes.load(Ordering::Relaxed);
                 agg.allocs_avoided += s.allocs_avoided.load(Ordering::Relaxed);
@@ -2019,12 +2060,17 @@ impl ShardedEngine {
                                 // see this worker's workspace and arena.
                                 let publish_scratch = |k: &KernelState| {
                                     let slot = &inner.scratch[i];
+                                    // ordering: Relaxed — gauge stores; the
+                                    // reply-cell mutex handoff that follows
+                                    // publishes them to the submitter.
                                     slot.bytes.store(k.ws.heap_bytes(), Ordering::Relaxed);
                                     slot.arena_bytes
                                         .store(k.arena.resident_bytes(), Ordering::Relaxed);
                                     slot.allocs_avoided
+                                        // ordering: Relaxed — as above.
                                         .store(k.ws.allocations_avoided(), Ordering::Relaxed);
                                     slot.arena_recycled
+                                        // ordering: Relaxed — as above.
                                         .store(k.arena.stats().recycled, Ordering::Relaxed);
                                 };
                                 match job {

@@ -96,6 +96,10 @@
 //! engine.shutdown();
 //! ```
 
+// Unsafe is confined to the one module that needs it (see the
+// module-level `allow`); everything else in the crate is checked.
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod engine;
 pub mod replay;

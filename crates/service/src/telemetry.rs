@@ -471,6 +471,8 @@ impl Telemetry {
     /// per-algorithm × per-stage histogram, and an offer to the
     /// slow-query ring. Atomic adds and a bounded seqlock write — no
     /// locks, no allocation.
+    // scs-lint: alloc-free — recording sits on every request's exit path
+    // and is covered by the release counting-allocator gates.
     pub fn record(&self, t: &RequestTrace) {
         let a = algo_rank(t.algo);
         self.total_hists[a].record(t.total_us);
@@ -481,15 +483,19 @@ impl Telemetry {
         }
         self.ring.offer(t);
     }
+    // scs-lint: end-alloc-free
 
     /// Counts one index install (epoch retirement).
     pub fn note_install(&self) {
+        // ordering: Relaxed — independent statistic; pairs with nothing,
+        // snapshot tolerates being a few counts behind.
         self.installs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one leader result whose epoch was retired before it could
     /// be cached.
     pub fn note_stale_publish(&self) {
+        // ordering: Relaxed — independent statistic; see `note_install`.
         self.stale_publishes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -501,6 +507,8 @@ impl Telemetry {
                 std::array::from_fn(|s| self.stage_hists[a][s].snapshot())
             }),
             total: std::array::from_fn(|a| self.total_hists[a].snapshot()),
+            // ordering: Relaxed — statistics reads; each counter is
+            // independent, no cross-field consistency is promised.
             installs: self.installs.load(Ordering::Relaxed),
             stale_publishes: self.stale_publishes.load(Ordering::Relaxed),
         }
@@ -661,10 +669,15 @@ impl SlowRing {
         self.slots.len()
     }
 
+    // scs-lint: alloc-free — the writer and reader sides of the seqlock
+    // ring run on request exit paths; only `snapshot_into` (below the
+    // region) may allocate.
     fn offer(&self, t: &RequestTrace) {
         if self.slots.is_empty() || t.total_us == 0 {
             return;
         }
+        // ordering: Relaxed — `threshold` is a monotone hint, not a gate;
+        // a stale read only costs a redundant scan below.
         if t.total_us <= self.threshold.load(Ordering::Relaxed) {
             return;
         }
@@ -679,9 +692,14 @@ impl SlowRing {
             let mut min_i = usize::MAX;
             let mut min_total = u64::MAX;
             for (i, s) in self.slots.iter().enumerate() {
+                // ordering: Acquire on `seq` pairs with the Release
+                // publish in `offer`; an even value makes the writer's
+                // stores below visible to this scan.
                 if s.seq.load(Ordering::Acquire) & 1 == 1 {
                     continue;
                 }
+                // ordering: Relaxed — ordered by the Acquire `seq` load
+                // above; the CAS re-validates the victim anyway.
                 let st = s.total_us.load(Ordering::Relaxed);
                 if st < min_total {
                     min_total = st;
@@ -695,27 +713,52 @@ impl SlowRing {
                 // The ring already retains K requests at least this
                 // slow; remember that so future offers reject in one
                 // load.
+                // ordering: Relaxed — hint store; see the fast-path load.
                 self.threshold.store(min_total, Ordering::Relaxed);
                 return;
             }
             let s = &self.slots[min_i];
+            // ordering: Acquire pairs with the Release publish so the
+            // stability re-check below sees the victim's settled fields.
             let seq = s.seq.load(Ordering::Acquire);
+            // ordering: Relaxed re-check — ordered by the Acquire above.
             if seq & 1 == 1 || s.total_us.load(Ordering::Relaxed) != min_total {
                 continue; // raced; re-scan
             }
+            // ordering: Acquire on success pairs with the previous
+            // writer's Release publish of `seq`; Relaxed on failure —
+            // a lost race just re-scans.
             if s.seq
                 .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
             {
                 continue;
             }
+            // Regression note: without the fence below the data stores
+            // could be reordered ahead of the odd-sequence announcement
+            // on weakly-ordered hardware, letting a concurrent reader
+            // pass its seq1 == seq2 check while observing a half-written
+            // slot — exactly the torn read the seqlock exists to prevent
+            // (modelled by `Seqlock::buggy()` in scs-interleave, caught
+            // by TSan on the nightly job).
+            //
+            // ordering: Release fence pairs with the readers' Acquire
+            // loads of `seq` (in `read_slot` and the victim scan): the
+            // odd `seq` from the CAS above must become visible before
+            // any of the Relaxed data stores below.
+            std::sync::atomic::fence(Ordering::Release);
+            // ordering: Relaxed data stores — fenced off from the odd
+            // `seq` above and published by the Release store below.
             s.total_us.store(t.total_us, Ordering::Relaxed);
             s.lo.store(lo, Ordering::Relaxed);
             s.mid.store(mid, Ordering::Relaxed);
             s.epoch.store(t.epoch, Ordering::Relaxed);
             for (slot, &us) in s.stages.iter().zip(t.stages_us.iter()) {
+                // ordering: Relaxed — same data-store batch as above.
                 slot.store(us, Ordering::Relaxed);
             }
+            // ordering: Release publish pairs with readers' Acquire
+            // loads of `seq`, sealing the data stores above.
             s.seq.store(seq + 2, Ordering::Release);
             self.refresh_threshold();
             return;
@@ -725,34 +768,47 @@ impl SlowRing {
     fn refresh_threshold(&self) {
         let mut min = u64::MAX;
         for s in &self.slots {
+            // ordering: Acquire on `seq` pairs with the Release publish
+            // in `offer`, ordering the `total_us` load below.
             if s.seq.load(Ordering::Acquire) & 1 == 1 {
                 // A write is in flight; its final total is unknown, so
                 // publish the conservative "accept everything" bound.
+                // ordering: Relaxed — hint store; see the fast path.
                 self.threshold.store(0, Ordering::Relaxed);
                 return;
             }
+            // ordering: Relaxed — ordered by the Acquire `seq` load.
             min = min.min(s.total_us.load(Ordering::Relaxed));
         }
         if min != u64::MAX {
+            // ordering: Relaxed — `threshold` is only a reject hint.
             self.threshold.store(min, Ordering::Relaxed);
         }
     }
 
     fn read_slot(s: &RingSlot) -> Option<SlowQuery> {
         for _ in 0..8 {
+            // ordering: Acquire `seq` pairs with the writer's Release
+            // publish in `offer`; the data loads below happen-after.
             let seq = s.seq.load(Ordering::Acquire);
             if seq & 1 == 1 {
                 std::hint::spin_loop();
                 continue;
             }
+            // ordering: Relaxed data loads — bracketed by the Acquire
+            // `seq` load above and the Acquire fence + re-check below.
             let total_us = s.total_us.load(Ordering::Relaxed);
             let lo = s.lo.load(Ordering::Relaxed);
             let mid = s.mid.load(Ordering::Relaxed);
             let epoch = s.epoch.load(Ordering::Relaxed);
             let mut stages_us = [0u64; N_STAGES];
             for (out, slot) in stages_us.iter_mut().zip(s.stages.iter()) {
+                // ordering: Relaxed — same data-load batch as above.
                 *out = slot.load(Ordering::Relaxed);
             }
+            // ordering: Acquire fence pairs with the writer's Release
+            // fence after its odd CAS — the `seq` re-check below may be
+            // Relaxed because the fence orders it after the data loads.
             std::sync::atomic::fence(Ordering::Acquire);
             if s.seq.load(Ordering::Relaxed) != seq {
                 continue; // torn read; retry
@@ -775,6 +831,7 @@ impl SlowRing {
         }
         None
     }
+    // scs-lint: end-alloc-free
 
     fn snapshot_into(&self, out: &mut Vec<SlowQuery>) {
         for s in self.slots.iter() {
@@ -1960,6 +2017,66 @@ mod tests {
         let off = Telemetry::new(0);
         off.record(&trace(1, Algorithm::Auto, 1000, 900));
         assert!(off.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn seqlock_slots_never_tear_under_concurrent_offers() {
+        use std::sync::Arc;
+        // Every offered trace is self-consistent — `q`, `total_us` and
+        // the kernel stage all encode the same value — so a torn read
+        // (fields mixed from two different writes) breaks the
+        // equations the reader checks. Bounds are small on purpose:
+        // the nightly CI job replays this test under Miri, which
+        // emulates weak memory but runs orders of magnitude slower
+        // than native.
+        let ring = Arc::new(SlowRing::new(2));
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 1..=12u64 {
+                        let total = i * 100 + w;
+                        ring.offer(&trace(total as u32, Algorithm::Peel, total, total));
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for _ in 0..64 {
+                    seen.clear();
+                    ring.snapshot_into(&mut seen);
+                    for s in &seen {
+                        assert_eq!(u64::from(s.q), s.total_us, "torn slot: {s:?}");
+                        assert_eq!(
+                            s.stages_us[Stage::Kernel as usize],
+                            s.total_us,
+                            "torn slot: {s:?}"
+                        );
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for t in writers {
+            t.join().unwrap();
+        }
+        reader.join().unwrap();
+        // With the contention over, one more offer from this thread
+        // must land deterministically (writes are only best-effort
+        // while a race is in flight), and everything retained is
+        // self-consistent.
+        ring.offer(&trace(9999, Algorithm::Peel, 9999, 9999));
+        let mut fin = Vec::new();
+        ring.snapshot_into(&mut fin);
+        assert_eq!(fin.len(), 2);
+        assert_eq!(fin[0].total_us, 9999);
+        for s in &fin {
+            assert_eq!(u64::from(s.q), s.total_us);
+            assert_eq!(s.stages_us[Stage::Kernel as usize], s.total_us);
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! | [`datasets`] | Table-I synthetic analogues and query workloads |
 //! | [`scs_service`] | concurrent query-serving engine (`scs serve-bench`) |
 
+// No unsafe in this crate — and none may creep in.
+#![forbid(unsafe_code)]
+
 pub use bicore;
 pub use bigraph;
 pub use cohesion;

@@ -24,19 +24,28 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump;
+// every contract obligation is forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller contract identical to `System`'s, to which we delegate.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller contract identical to `System`'s, to which we delegate.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr`/`layout` come from our `alloc`, which delegated
+        // to `System` with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller contract identical to `System`'s, to which we delegate.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: forwarded unchanged from our own caller's contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
