@@ -1,0 +1,168 @@
+//! Loader for the root `scs-analyze.toml` — a hand-rolled parser for
+//! the tiny TOML subset the analyzer needs (std-only, no dependencies):
+//! `#` comments, `[section]` headers, `key = "string"` and
+//! `key = [ "a", "b" ]` (single- or multi-line) entries.
+//!
+//! ```toml
+//! [ordering]
+//! audit = [
+//!     "engine.rs",
+//!     "telemetry.rs",
+//! ]
+//! ```
+//!
+//! A missing file falls back to the built-in defaults so ad-hoc runs
+//! (and fixture trees) keep working; a malformed file is an error — a
+//! config that silently parses to nothing would silently disable the
+//! audit.
+
+use std::path::Path;
+
+/// File name looked up at the workspace root.
+pub const CONFIG_FILE: &str = "scs-analyze.toml";
+
+/// Parsed analyzer configuration.
+#[derive(Debug, Default, Clone)]
+pub struct AnalyzeToml {
+    /// `[ordering] audit = [...]`: file names (or `/`-separated path
+    /// suffixes) whose atomic `Ordering::` sites must carry
+    /// `// ordering:` comments. `None` when no config file exists.
+    pub ordering_audit: Option<Vec<String>>,
+}
+
+/// Reads and parses `<root>/scs-analyze.toml`. `Ok(default)` when the
+/// file does not exist; `Err` with a `file:line:` message when it does
+/// but cannot be parsed.
+pub fn load(root: &Path) -> Result<AnalyzeToml, String> {
+    let path = root.join(CONFIG_FILE);
+    let Ok(src) = std::fs::read_to_string(&path) else {
+        return Ok(AnalyzeToml::default());
+    };
+    parse(&src).map_err(|(line, msg)| format!("{CONFIG_FILE}:{line}: {msg}"))
+}
+
+/// Parses config text. Errors carry the 1-based line number.
+pub fn parse(src: &str) -> Result<AnalyzeToml, (usize, String)> {
+    let mut cfg = AnalyzeToml::default();
+    let mut section = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let Some(name) = name.strip_suffix(']') else {
+                return Err((lineno, format!("unterminated section header `{line}`")));
+            };
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        if value.starts_with('[') && !value.ends_with(']') {
+            // Multi-line array: accumulate until the closing bracket.
+            loop {
+                let Some((_, cont)) = lines.next() else {
+                    return Err((lineno, format!("unterminated array for key `{key}`")));
+                };
+                let cont = strip_comment(cont).trim().to_string();
+                value.push(' ');
+                value.push_str(&cont);
+                if cont.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        match (section.as_str(), key) {
+            ("ordering", "audit") => {
+                cfg.ordering_audit = Some(parse_string_array(&value, lineno)?);
+            }
+            _ => {
+                return Err((
+                    lineno,
+                    format!(
+                        "unknown key `{key}` in section `[{section}]` (known: [ordering] audit)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, (usize, String)> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| (lineno, format!("expected `[ ... ]` array, got `{value}`")))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        let s = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| {
+                (
+                    lineno,
+                    format!("array items must be quoted strings, got `{item}`"),
+                )
+            })?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_line_audit_array() {
+        let cfg = parse(
+            "# analyzer config\n[ordering]\naudit = [\n    \"engine.rs\", # hot path\n    \"telemetry.rs\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.ordering_audit,
+            Some(vec!["engine.rs".to_string(), "telemetry.rs".to_string()])
+        );
+    }
+
+    #[test]
+    fn parses_single_line_array_and_empty_file() {
+        let cfg = parse("[ordering]\naudit = [\"a.rs\"]\n").unwrap();
+        assert_eq!(cfg.ordering_audit, Some(vec!["a.rs".to_string()]));
+        assert!(parse("").unwrap().ordering_audit.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_syntax() {
+        assert!(parse("[ordering]\nbudget = 3\n").is_err());
+        assert!(parse("[typo\n").is_err());
+        assert!(parse("[ordering]\naudit = [\"a.rs\"\n").is_err());
+        assert!(parse("[ordering]\naudit = [a.rs]\n").is_err());
+        let err = parse("stray\n").unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Line-oriented Rust lexer: splits each source line into *code* text
+//! (comments removed, string/char-literal contents blanked to spaces so
+//! column positions survive), *comment* text (plain `//` and `/* */`
+//! comments — the only place lint directives are honored) and *doc*
+//! text (`///`, `//!`, `/** */`, `/*! */` — documentation, where a
+//! mention of a marker is prose, never a directive).
+//!
+//! It is not a full lexer and does not need to be: it handles nested
+//! block comments, escapes in string/char literals, raw strings with
+//! hashes, and the `'lifetime` vs `'c'` ambiguity well enough for the
+//! pattern- and token-level analyses built on top.
+
+/// One source line after lexing.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Original text with comments and literal contents blanked.
+    pub code: String,
+    /// Concatenated plain-comment text touching the line. Lint
+    /// directives (`scs-lint:`, `scs-contract:`, waivers, `SAFETY:`,
+    /// `ordering:`) are only read from here.
+    pub comment: String,
+    /// Concatenated doc-comment text touching the line. Kept separate
+    /// so documentation can *talk about* directives without issuing
+    /// them (regression-tested).
+    pub doc: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LexState {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: u32, doc: bool },
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Comment/string-aware line splitter.
+pub fn lex(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = LexState::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, LexState::LineComment { .. }) {
+                state = LexState::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        let line = lines.last_mut().expect("pushed at start");
+        match state {
+            LexState::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        // `///` and `//!` are doc comments; `////…` is a
+                        // plain comment again (rustdoc's rule).
+                        let c2 = chars.get(i + 2).copied();
+                        let doc = (c2 == Some('/') && chars.get(i + 3).copied() != Some('/'))
+                            || c2 == Some('!');
+                        state = LexState::LineComment { doc };
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        let c2 = chars.get(i + 2).copied();
+                        let doc = (c2 == Some('*') && chars.get(i + 3).copied() != Some('/'))
+                            || c2 == Some('!');
+                        state = LexState::BlockComment { depth: 1, doc };
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = LexState::Str;
+                        line.code.push('"');
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." / r#"..."#.
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                line.code.push(' ');
+                            }
+                            line.code.pop();
+                            line.code.push('"');
+                            state = LexState::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                        line.code.push(c);
+                    }
+                    '\'' => {
+                        // 'x' or '\n' is a char literal; 'ident is a
+                        // lifetime and stays code.
+                        let is_char = match next {
+                            Some('\\') => true,
+                            Some(_) => chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            state = LexState::CharLit;
+                        }
+                        line.code.push('\'');
+                    }
+                    _ => line.code.push(c),
+                }
+                i += 1;
+            }
+            LexState::LineComment { doc } => {
+                if doc {
+                    line.doc.push(c);
+                } else {
+                    line.comment.push(c);
+                }
+                line.code.push(' ');
+                i += 1;
+            }
+            LexState::BlockComment { depth, doc } => {
+                let next = chars.get(i + 1).copied();
+                fn sink(line: &mut Line, doc: bool) -> &mut String {
+                    if doc {
+                        &mut line.doc
+                    } else {
+                        &mut line.comment
+                    }
+                }
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        }
+                    };
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = LexState::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                    sink(line, doc).push_str("/*");
+                    line.code.push_str("  ");
+                    i += 2;
+                } else {
+                    sink(line, doc).push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                match c {
+                    '\\' => {
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = LexState::Code;
+                        line.code.push('"');
+                    }
+                    _ => line.code.push(' '),
+                }
+                i += 1;
+            }
+            LexState::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push(' ');
+                        }
+                        state = LexState::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                line.code.push(' ');
+                i += 1;
+            }
+            LexState::CharLit => {
+                match c {
+                    '\\' => {
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        state = LexState::Code;
+                        line.code.push('\'');
+                    }
+                    _ => line.code.push(' '),
+                }
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `code` (word
+/// characters are `[A-Za-z0-9_]`, so `unsafe_code` does not contain the
+/// word `unsafe`).
+pub fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_word(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_word(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_comments_strings_and_chars() {
+        let lines = lex("let x = \"unsafe\"; // unsafe here\nlet c = 'u'; /* Ordering::Relaxed */ let l: &'static str = \"\";");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe here"));
+        assert!(!lines[1].code.contains("Ordering"));
+        assert!(lines[1].code.contains("'static"));
+        assert!(lines[1].comment.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_nested_block_comments() {
+        let lines = lex("let s = r#\"unsafe \" quote\"#; let t = 1;\n/* outer /* unsafe */ still comment */ let u = 2;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let t"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[1].code.contains("let u"));
+    }
+
+    #[test]
+    fn doc_comments_are_kept_apart_from_plain_comments() {
+        let lines = lex("/// scs-lint: alloc-free (prose)\n//! module docs\n// scs-lint: alloc-free\n/** block doc */ fn f() {}\n//// four slashes is plain again\n");
+        assert!(lines[0].doc.contains("scs-lint"));
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[1].doc.contains("module docs"));
+        assert!(lines[2].comment.contains("scs-lint: alloc-free"));
+        assert!(lines[2].doc.is_empty());
+        assert!(lines[3].doc.contains("block doc"));
+        assert!(lines[3].code.contains("fn f"));
+        assert!(lines[4].comment.contains("four slashes"));
+        assert!(lines[4].doc.is_empty());
+    }
+
+    #[test]
+    fn word_positions_respect_word_boundaries() {
+        assert_eq!(word_positions("unsafe unsafe_code", "unsafe"), vec![0]);
+        assert!(word_positions("#![forbid(unsafe_code)]", "unsafe").is_empty());
+    }
+}

@@ -1,10 +1,14 @@
-//! # scs-analyze — repo-specific concurrency-correctness lints
+//! # scs-analyze — workspace-wide concurrency & allocation contract analyzer
 //!
 //! The serving engine is built on hand-rolled lock-free protocols (the
 //! seqlock slow-query ring, epoch-swap installs, pooled one-shot reply
-//! cells, generation-tagged arena slabs). Their invariants live in
-//! comments; this crate makes the comments *mandatory* and machine-checks
-//! the repo conventions clippy cannot express:
+//! cells, generation-tagged arena slabs) and a zero-allocation leader
+//! query path. Their invariants live in comments; this crate makes the
+//! comments *mandatory* and machine-checks the repo conventions clippy
+//! cannot express. Since PR 9 it is call-graph-aware: a std-only lexer
+//! ([`lexer`]) and item/block parser ([`parser`]) build a cross-crate
+//! call graph over the whole workspace, and two whole-program passes run
+//! on top of the four line-level rules:
 //!
 //! * [`Rule::SafetyComment`] — every `unsafe` site (block, fn, impl,
 //!   trait) carries a `// SAFETY:` justification on the same line or in
@@ -13,42 +17,53 @@
 //!   covers `unsafe fn` / `unsafe impl` and runs on test code.
 //! * [`Rule::OrderingComment`] — every explicit atomic ordering
 //!   (`Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel` / `SeqCst`,
-//!   including fences) in the audited hot-path files
-//!   ([`ORDERING_AUDIT_FILES`]: `engine.rs`, `telemetry.rs`, `arena.rs`)
-//!   carries a `// ordering:` comment naming what it pairs with (or why
-//!   no pairing is needed). The comment may sit on the same line or up to
-//!   [`ORDERING_COMMENT_WINDOW`] lines above, so one comment can justify
-//!   a short cluster of stores that publish together.
+//!   including fences) in the audited files carries a `// ordering:`
+//!   comment naming what it pairs with (or why no pairing is needed).
+//!   The audit set comes from `scs-analyze.toml` (`[ordering] audit`,
+//!   see [`config`]), falling back to [`ORDERING_AUDIT_FILES`]; a file
+//!   *outside* the set that uses explicit atomics in non-test code is
+//!   itself a finding, with a hint to opt it in.
 //! * [`Rule::AllocFree`] — regions bracketed by `// scs-lint: alloc-free`
-//!   and `// scs-lint: end-alloc-free` may not call heap APIs
-//!   (`Box::new`, `Vec::new`/`with_capacity`, `vec!`/`format!`,
-//!   `to_vec`/`to_owned`/`to_string`, `collect`, `clone`). A line-level
-//!   `// alloc-ok: <reason>` waiver admits the false positives
-//!   (refcount-bump `Arc::clone`, `Copy` clones) *with a written reason*.
-//!   These regions are the static complement of the release-mode
-//!   counting-allocator gates: the gates prove the warm path allocated
-//!   nothing at runtime, the regions keep allocation from being
-//!   *introduced* where the gates don't reach.
+//!   and `// scs-lint: end-alloc-free` may not call heap APIs. Retained
+//!   for surgical spans; new hot-path code should prefer a `no-alloc`
+//!   contract, which follows calls.
 //! * [`Rule::UnsafeAllowlist`] — the workspace's `unsafe` footprint is
-//!   pinned by [`ALLOWLIST_FILE`] at the workspace root: per-file site
-//!   budgets that must match reality in both directions (a new `unsafe`
-//!   outside the budget fails; a stale over-budget entry fails too, so
-//!   the allowlist can only shrink or be edited deliberately).
+//!   pinned by [`ALLOWLIST_FILE`]: per-file budgets that must match
+//!   reality in both directions.
+//! * [`Rule::Contract`] — **contract propagation** ([`contracts`]): a fn
+//!   annotated `// scs-contract: no-alloc | no-panic | no-block` has its
+//!   *entire transitive call tree* checked against the contract's
+//!   deny-list (heap constructors; panic sources incl. indexing;
+//!   blocking primitives). Violations print the call chain from the
+//!   contract root to the offending line; deliberate exceptions are
+//!   waived per site with `// contract-ok: <reason>`.
+//! * [`Rule::LockOrder`] — the **lock-order graph** ([`lockorder`]):
+//!   guard scopes and transitive acquisitions build a global
+//!   acquired-while-held graph; a cycle is a potential deadlock and
+//!   fails CI. False pairings are waived with `// lock-ok: <reason>`.
 //!
-//! Everything is std-only and offline: a hand-rolled lexer strips
-//! comments, strings and char literals well enough to lint without a
-//! full parser, [`analyze_workspace`] walks the tree (skipping `target`,
-//! VCS dirs and lint-fixture trees), and diagnostics come back as
-//! sorted `file:line: [rule] message` records. `scs analyze` exits
-//! non-zero when any diagnostic survives the `--allow` set, which is
-//! what CI gates on.
+//! Everything is std-only and offline. [`analyze_workspace`] walks the
+//! tree (skipping `target`, VCS dirs and lint-fixture trees), runs the
+//! per-file rules, then the whole-program passes, and returns sorted
+//! `file:line: [rule] message` diagnostics renderable as human text,
+//! GitHub annotations or JSON ([`Format`]). `scs analyze` exits non-zero
+//! when any diagnostic survives the `--allow` set, which is what CI
+//! gates on.
 
 #![forbid(unsafe_code)]
 
+pub mod config;
+pub mod contracts;
+pub mod lexer;
+pub mod lockorder;
+pub mod parser;
+
+use lexer::{lex, word_positions, Line};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Files whose atomic orderings must each carry a `// ordering:` comment.
+/// Fallback audit set when no `scs-analyze.toml` is present: files whose
+/// atomic orderings must each carry a `// ordering:` comment.
 pub const ORDERING_AUDIT_FILES: [&str; 3] = ["engine.rs", "telemetry.rs", "arena.rs"];
 
 /// How many lines above an atomic op an `// ordering:` comment may sit.
@@ -70,7 +85,8 @@ pub const ALLOC_WAIVER: &str = "alloc-ok:";
 
 /// Heap-API call patterns forbidden inside alloc-free regions. Matched
 /// against comment- and string-stripped source, so mentions in docs or
-/// literals don't fire.
+/// literals don't fire. The `no-alloc` contract uses the wider
+/// [`contracts::ContractKind::deny_patterns`] list.
 pub const HEAP_PATTERNS: [&str; 13] = [
     "Box::new",
     "Vec::new",
@@ -95,21 +111,29 @@ const ORDERING_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel",
 pub enum Rule {
     /// `unsafe` without an adjacent `// SAFETY:` justification.
     SafetyComment,
-    /// Explicit atomic ordering without a `// ordering:` pairing note.
+    /// Explicit atomic ordering without a `// ordering:` pairing note,
+    /// or in a file missing from the `[ordering] audit` config.
     OrderingComment,
     /// Heap API call inside a `scs-lint: alloc-free` region.
     AllocFree,
     /// `unsafe` footprint drifted from `unsafe-allowlist.txt`.
     UnsafeAllowlist,
+    /// `scs-contract:` violation anywhere in a contract root's
+    /// transitive call tree.
+    Contract,
+    /// Cycle in the workspace lock-order graph.
+    LockOrder,
 }
 
 impl Rule {
     /// Every rule, in diagnostic-sort order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 6] = [
         Rule::SafetyComment,
         Rule::OrderingComment,
         Rule::AllocFree,
         Rule::UnsafeAllowlist,
+        Rule::Contract,
+        Rule::LockOrder,
     ];
 
     /// Stable name used in diagnostics and `--allow`.
@@ -119,6 +143,8 @@ impl Rule {
             Rule::OrderingComment => "atomic-ordering-comment",
             Rule::AllocFree => "alloc-free-region",
             Rule::UnsafeAllowlist => "unsafe-allowlist",
+            Rule::Contract => "contract",
+            Rule::LockOrder => "lock-order",
         }
     }
 
@@ -157,10 +183,43 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Output format for [`Analysis::render_as`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// `file:line: [rule] message` lines plus a coverage summary.
+    #[default]
+    Human,
+    /// GitHub Actions workflow commands (`::error file=…,line=…::…`),
+    /// one per diagnostic, plus the summary as plain text.
+    Github,
+    /// A machine-readable JSON object (hand-rolled, std-only).
+    Json,
+}
+
+impl Format {
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Human => "human",
+            Format::Github => "github",
+            Format::Json => "json",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "human" => Some(Format::Human),
+            "github" => Some(Format::Github),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
 /// What to analyze and which rules to skip.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Workspace root (the directory holding [`ALLOWLIST_FILE`]).
+    /// Workspace root (the directory holding [`ALLOWLIST_FILE`] and
+    /// `scs-analyze.toml`).
     pub root: PathBuf,
     /// Rules disabled via `--allow`.
     pub disabled: Vec<Rule>,
@@ -194,6 +253,14 @@ pub struct Analysis {
     pub ordering_sites: usize,
     /// `scs-lint: alloc-free` regions seen.
     pub alloc_free_regions: usize,
+    /// Functions carrying at least one `scs-contract:`.
+    pub contract_roots: usize,
+    /// (contract, fn) pairs proven — the size of the checked call trees.
+    pub contract_fns_checked: usize,
+    /// Lock acquisition sites feeding the lock-order graph.
+    pub lock_sites: usize,
+    /// Distinct edges in the lock-order graph.
+    pub lock_edges: usize,
 }
 
 impl Analysis {
@@ -202,231 +269,127 @@ impl Analysis {
         self.diagnostics.is_empty()
     }
 
-    /// The report `scs analyze` prints: every diagnostic, then a
-    /// one-line coverage summary.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(&d.to_string());
-            out.push('\n');
-        }
-        out.push_str(&format!(
-            "scs analyze: {} file(s), {} unsafe site(s), {} audited ordering(s), {} alloc-free region(s): {}",
+    fn summary(&self) -> String {
+        format!(
+            "scs analyze: {} file(s), {} unsafe site(s), {} audited ordering(s), {} alloc-free \
+             region(s), {} contract root(s) ({} fn(s) proven), {} lock site(s) ({} edge(s), \
+             cycle-free unless reported): {}",
             self.files_scanned,
             self.unsafe_sites,
             self.ordering_sites,
             self.alloc_free_regions,
+            self.contract_roots,
+            self.contract_fns_checked,
+            self.lock_sites,
+            self.lock_edges,
             if self.is_clean() {
                 "clean".to_string()
             } else {
                 format!("{} violation(s)", self.diagnostics.len())
             }
-        ));
-        out
+        )
     }
-}
 
-// ---------------------------------------------------------------------------
-// Lexing: split each line into code text and comment text.
-// ---------------------------------------------------------------------------
+    /// The report `scs analyze` prints: every diagnostic, then a
+    /// one-line coverage summary.
+    pub fn render(&self) -> String {
+        self.render_as(Format::Human)
+    }
 
-/// One source line after lexing: `code` is the original text with
-/// comments and literal *contents* blanked to spaces (delimiters kept,
-/// so column positions survive); `comment` is the concatenated comment
-/// text that touches the line.
-#[derive(Debug, Default, Clone)]
-struct Line {
-    code: String,
-    comment: String,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum LexState {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    CharLit,
-}
-
-/// Comment/string-aware line splitter. Handles nested block comments,
-/// escapes in string/char literals, raw strings with hashes, and the
-/// `'lifetime` vs `'c'` ambiguity well enough for pattern lints; it is
-/// not a full lexer and does not need to be.
-fn lex(src: &str) -> Vec<Line> {
-    let mut lines: Vec<Line> = vec![Line::default()];
-    let mut state = LexState::Code;
-    let chars: Vec<char> = src.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if state == LexState::LineComment {
-                state = LexState::Code;
-            }
-            lines.push(Line::default());
-            i += 1;
-            continue;
-        }
-        let line = lines.last_mut().expect("pushed at start");
-        match state {
-            LexState::Code => {
-                let next = chars.get(i + 1).copied();
-                match c {
-                    '/' if next == Some('/') => {
-                        state = LexState::LineComment;
-                        line.code.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    '/' if next == Some('*') => {
-                        state = LexState::BlockComment(1);
-                        line.code.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        state = LexState::Str;
-                        line.code.push('"');
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string r"..." / r#"..."#.
-                        let mut j = i + 1;
-                        let mut hashes = 0u32;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            for _ in i..=j {
-                                line.code.push(' ');
-                            }
-                            line.code.pop();
-                            line.code.push('"');
-                            state = LexState::RawStr(hashes);
-                            i = j + 1;
-                            continue;
-                        }
-                        line.code.push(c);
-                    }
-                    '\'' => {
-                        // 'x' or '\n' is a char literal; 'ident is a
-                        // lifetime and stays code.
-                        let is_char = match next {
-                            Some('\\') => true,
-                            Some(_) => chars.get(i + 2) == Some(&'\''),
-                            None => false,
-                        };
-                        if is_char {
-                            state = LexState::CharLit;
-                        }
-                        line.code.push('\'');
-                    }
-                    _ => line.code.push(c),
+    /// Renders the report in the requested [`Format`].
+    pub fn render_as(&self, format: Format) -> String {
+        match format {
+            Format::Human => {
+                let mut out = String::new();
+                for d in &self.diagnostics {
+                    out.push_str(&d.to_string());
+                    out.push('\n');
                 }
-                i += 1;
+                out.push_str(&self.summary());
+                out
             }
-            LexState::LineComment => {
-                line.comment.push(c);
-                line.code.push(' ');
-                i += 1;
-            }
-            LexState::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        LexState::Code
-                    } else {
-                        LexState::BlockComment(depth - 1)
-                    };
-                    line.code.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = LexState::BlockComment(depth + 1);
-                    line.comment.push_str("/*");
-                    line.code.push_str("  ");
-                    i += 2;
-                } else {
-                    line.comment.push(c);
-                    line.code.push(' ');
-                    i += 1;
+            Format::Github => {
+                let mut out = String::new();
+                for d in &self.diagnostics {
+                    out.push_str(&format!(
+                        "::error file={},line={},title=scs-analyze {}::{}\n",
+                        github_escape_property(&d.path),
+                        d.line.max(1),
+                        github_escape_property(d.rule.name()),
+                        github_escape_data(&d.msg)
+                    ));
                 }
+                out.push_str(&self.summary());
+                out
             }
-            LexState::Str => {
-                match c {
-                    '\\' => {
-                        line.code.push_str("  ");
-                        i += 2;
-                        continue;
+            Format::Json => {
+                let mut out = String::from("{\n  \"diagnostics\": [");
+                for (i, d) in self.diagnostics.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
                     }
-                    '"' => {
-                        state = LexState::Code;
-                        line.code.push('"');
-                    }
-                    _ => line.code.push(' '),
+                    out.push_str(&format!(
+                        "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                        json_string(&d.path),
+                        d.line,
+                        json_string(d.rule.name()),
+                        json_string(&d.msg)
+                    ));
                 }
-                i += 1;
-            }
-            LexState::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0u32;
-                    while seen < hashes && chars.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        line.code.push('"');
-                        for _ in 0..hashes {
-                            line.code.push(' ');
-                        }
-                        state = LexState::Code;
-                        i = j;
-                        continue;
-                    }
+                if !self.diagnostics.is_empty() {
+                    out.push_str("\n  ");
                 }
-                line.code.push(' ');
-                i += 1;
-            }
-            LexState::CharLit => {
-                match c {
-                    '\\' => {
-                        line.code.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    '\'' => {
-                        state = LexState::Code;
-                        line.code.push('\'');
-                    }
-                    _ => line.code.push(' '),
-                }
-                i += 1;
+                out.push_str(&format!(
+                    "],\n  \"summary\": {{\"files_scanned\": {}, \"unsafe_sites\": {}, \
+                     \"ordering_sites\": {}, \"alloc_free_regions\": {}, \"contract_roots\": {}, \
+                     \"contract_fns_checked\": {}, \"lock_sites\": {}, \"lock_edges\": {}, \
+                     \"clean\": {}}}\n}}",
+                    self.files_scanned,
+                    self.unsafe_sites,
+                    self.ordering_sites,
+                    self.alloc_free_regions,
+                    self.contract_roots,
+                    self.contract_fns_checked,
+                    self.lock_sites,
+                    self.lock_edges,
+                    self.is_clean()
+                ));
+                out
             }
         }
     }
-    lines
 }
 
-/// Byte offsets of whole-word occurrences of `word` in `code` (word
-/// characters are `[A-Za-z0-9_]`, so `unsafe_code` does not contain the
-/// word `unsafe`).
-fn word_positions(code: &str, word: &str) -> Vec<usize> {
-    let bytes = code.as_bytes();
-    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(word) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_word(bytes[at - 1]);
-        let end = at + word.len();
-        let after_ok = end >= bytes.len() || !is_word(bytes[end]);
-        if before_ok && after_ok {
-            out.push(at);
+/// Escapes a GitHub workflow-command *data* payload (the message).
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a GitHub workflow-command *property* value (file, title).
+fn github_escape_property(s: &str) -> String {
+    github_escape_data(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Minimal JSON string encoder (std-only, ASCII control escapes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-        from = at + word.len().max(1);
     }
+    out.push('"');
     out
 }
 
@@ -451,20 +414,42 @@ struct FileScan {
     alloc_free_regions: usize,
 }
 
-/// Runs the per-file rules over one lexed file. `rel` is the
-/// `/`-separated path reported in diagnostics.
-fn scan_file(rel: &str, src: &str, cfg: &Config) -> FileScan {
-    let lines = lex(src);
-    let mut scan = FileScan::default();
+/// `true` when `rel` (or its file name) is covered by the audit list:
+/// bare names match the file name, entries with `/` match as path
+/// suffixes.
+fn audited_for_ordering(rel: &str, audit: &[String]) -> bool {
     let file_name = rel.rsplit('/').next().unwrap_or(rel);
-    let audited = ORDERING_AUDIT_FILES.contains(&file_name);
+    audit.iter().any(|a| {
+        if a.contains('/') {
+            rel == a || rel.ends_with(&format!("/{a}"))
+        } else {
+            file_name == a
+        }
+    })
+}
+
+/// Runs the per-file rules over one lexed file. `rel` is the
+/// `/`-separated path reported in diagnostics; `in_test(line)` masks
+/// `#[cfg(test)]` code for the rules that skip it.
+fn scan_file(
+    rel: &str,
+    lines: &[Line],
+    in_test: &dyn Fn(usize) -> bool,
+    cfg: &Config,
+    audit: &[String],
+) -> FileScan {
+    let mut scan = FileScan::default();
+    let audited = audited_for_ordering(rel, audit);
     let mut region_start: Option<usize> = None;
+    let mut unaudited_hint_sent = false;
 
     for idx in 0..lines.len() {
         let lineno = idx + 1;
         let line = &lines[idx];
 
         // -- unsafe sites ---------------------------------------------------
+        // Deliberately also runs on test code: a test's unsafe needs a
+        // justification just as much.
         for _ in word_positions(&line.code, "unsafe") {
             scan.unsafe_lines.push(lineno);
             let mut justified = line.comment.contains("SAFETY:");
@@ -497,24 +482,26 @@ fn scan_file(rel: &str, src: &str, cfg: &Config) -> FileScan {
         }
 
         // -- atomic orderings ----------------------------------------------
-        if audited {
-            for pos in word_positions(&line.code, "Ordering") {
-                let rest = &line.code[pos..];
-                let Some(tail) = rest.strip_prefix("Ordering::") else {
-                    continue;
-                };
-                let variant = ORDERING_VARIANTS.iter().find(|v| {
-                    tail.starts_with(**v)
-                        && !tail[v.len()..]
-                            .chars()
-                            .next()
-                            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
-                });
-                let Some(variant) = variant else { continue };
+        for pos in word_positions(&line.code, "Ordering") {
+            let rest = &line.code[pos..];
+            let Some(tail) = rest.strip_prefix("Ordering::") else {
+                continue;
+            };
+            let variant = ORDERING_VARIANTS.iter().find(|v| {
+                tail.starts_with(**v)
+                    && !tail[v.len()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            });
+            let Some(variant) = variant else { continue };
+            if audited {
                 scan.ordering_sites += 1;
                 let has_note = (idx.saturating_sub(ORDERING_COMMENT_WINDOW)..=idx)
                     .any(|j| lines[j].comment.contains("ordering:"));
-                if !has_note && cfg.enabled(Rule::OrderingComment) {
+                // Test-only atomics are not production surface; the
+                // audit covers what ships.
+                if !has_note && !in_test(lineno) && cfg.enabled(Rule::OrderingComment) {
                     scan.diagnostics.push(Diagnostic {
                         path: rel.to_string(),
                         line: lineno,
@@ -525,6 +512,23 @@ fn scan_file(rel: &str, src: &str, cfg: &Config) -> FileScan {
                         ),
                     });
                 }
+            } else if !in_test(lineno) && !unaudited_hint_sent && cfg.enabled(Rule::OrderingComment)
+            {
+                // Explicit atomics in a file nobody audits: the file
+                // must be opted in, so its orderings get reviewed.
+                unaudited_hint_sent = true;
+                let file_name = rel.rsplit('/').next().unwrap_or(rel);
+                scan.diagnostics.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::OrderingComment,
+                    msg: format!(
+                        "`Ordering::{variant}` in a file not in the ordering audit list; add \
+                         `\"{file_name}\"` to `[ordering] audit` in {} and justify each site \
+                         with a `// ordering:` comment",
+                        config::CONFIG_FILE
+                    ),
+                });
             }
         }
 
@@ -533,6 +537,11 @@ fn scan_file(rel: &str, src: &str, cfg: &Config) -> FileScan {
         // prose that merely mentions a marker (like this crate's own
         // documentation) must not open a region. The end marker is
         // tested first: both directives share the `scs-lint:` prefix.
+        // Test code is exempt: fixtures and tests may quote markers and
+        // allocate freely.
+        if in_test(lineno) {
+            continue;
+        }
         if directive(&line.comment, REGION_END) {
             if region_start.is_none() && cfg.enabled(Rule::AllocFree) {
                 scan.diagnostics.push(Diagnostic {
@@ -656,16 +665,30 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Analyzes every `.rs` file under `cfg.root` and applies the allowlist.
-/// `Err` is an I/O or allowlist-syntax failure, *not* a lint finding —
+/// `true` when the whole file is test/bench/example collateral, so its
+/// fns never join the production call graph.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Analyzes every `.rs` file under `cfg.root`: the per-file rules, the
+/// unsafe allowlist, contract propagation and the lock-order graph.
+/// `Err` is an I/O or config-syntax failure, *not* a lint finding —
 /// findings come back in [`Analysis::diagnostics`].
 pub fn analyze_workspace(cfg: &Config) -> Result<Analysis, String> {
-    let mut files = Vec::new();
-    collect_rs_files(&cfg.root, &mut files)?;
+    let toml = config::load(&cfg.root)?;
+    let audit: Vec<String> = toml
+        .ordering_audit
+        .unwrap_or_else(|| ORDERING_AUDIT_FILES.iter().map(|s| s.to_string()).collect());
+
+    let mut paths = Vec::new();
+    collect_rs_files(&cfg.root, &mut paths)?;
     let mut analysis = Analysis::default();
     let mut unsafe_by_file: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut files: Vec<contracts::SourceFile> = Vec::new();
 
-    for path in &files {
+    for path in &paths {
         let rel = path
             .strip_prefix(&cfg.root)
             .unwrap_or(path)
@@ -674,15 +697,30 @@ pub fn analyze_workspace(cfg: &Config) -> Result<Analysis, String> {
             .collect::<Vec<_>>()
             .join("/");
         let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let scan = scan_file(&rel, &src, cfg);
+        let lines = lex(&src);
+        let in_test_file = is_test_path(&rel);
+        let ast = parser::parse(&lines, in_test_file);
+        let scan = scan_file(
+            &rel,
+            &lines,
+            &|line| in_test_file || ast.in_test_range(line),
+            cfg,
+            &audit,
+        );
         analysis.files_scanned += 1;
         analysis.unsafe_sites += scan.unsafe_lines.len();
         analysis.ordering_sites += scan.ordering_sites;
         analysis.alloc_free_regions += scan.alloc_free_regions;
         analysis.diagnostics.extend(scan.diagnostics);
         if !scan.unsafe_lines.is_empty() {
-            unsafe_by_file.push((rel, scan.unsafe_lines));
+            unsafe_by_file.push((rel.clone(), scan.unsafe_lines));
         }
+        files.push(contracts::SourceFile {
+            rel,
+            lines,
+            ast,
+            in_test_file,
+        });
     }
 
     if cfg.enabled(Rule::UnsafeAllowlist) {
@@ -730,6 +768,21 @@ pub fn analyze_workspace(cfg: &Config) -> Result<Analysis, String> {
         }
     }
 
+    // Whole-program passes share one name-resolution index.
+    let index = contracts::FnIndex::build(&files);
+    if cfg.enabled(Rule::Contract) {
+        let (diags, stats) = contracts::check_contracts(&files, &index);
+        analysis.diagnostics.extend(diags);
+        analysis.contract_roots = stats.roots;
+        analysis.contract_fns_checked = stats.fns_checked;
+    }
+    if cfg.enabled(Rule::LockOrder) {
+        let (diags, stats) = lockorder::check_lock_order(&files, &index);
+        analysis.diagnostics.extend(diags);
+        analysis.lock_sites = stats.sites;
+        analysis.lock_edges = stats.edges;
+    }
+
     analysis
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
@@ -744,27 +797,20 @@ mod tests {
         Config::new(".")
     }
 
+    fn default_audit() -> Vec<String> {
+        ORDERING_AUDIT_FILES.iter().map(|s| s.to_string()).collect()
+    }
+
     fn scan(rel: &str, src: &str) -> FileScan {
-        scan_file(rel, src, &cfg_all())
-    }
-
-    #[test]
-    fn lexer_strips_comments_strings_and_chars() {
-        let lines = lex("let x = \"unsafe\"; // unsafe here\nlet c = 'u'; /* Ordering::Relaxed */ let l: &'static str = \"\";");
-        assert!(!lines[0].code.contains("unsafe"));
-        assert!(lines[0].comment.contains("unsafe here"));
-        assert!(!lines[1].code.contains("Ordering"));
-        assert!(lines[1].code.contains("'static"));
-        assert!(lines[1].comment.contains("Ordering::Relaxed"));
-    }
-
-    #[test]
-    fn lexer_handles_raw_strings_and_nested_block_comments() {
-        let lines = lex("let s = r#\"unsafe \" quote\"#; let t = 1;\n/* outer /* unsafe */ still comment */ let u = 2;");
-        assert!(!lines[0].code.contains("unsafe"));
-        assert!(lines[0].code.contains("let t"));
-        assert!(!lines[1].code.contains("unsafe"));
-        assert!(lines[1].code.contains("let u"));
+        let lines = lex(src);
+        let ast = parser::parse(&lines, false);
+        scan_file(
+            rel,
+            &lines,
+            &|line| ast.in_test_range(line),
+            &cfg_all(),
+            &default_audit(),
+        )
     }
 
     #[test]
@@ -811,8 +857,33 @@ mod tests {
             scan("crates/service/src/engine.rs", src).diagnostics.len(),
             1
         );
-        assert!(scan("stats.rs", src).diagnostics.is_empty());
         assert_eq!(scan("stats.rs", src).ordering_sites, 0);
+    }
+
+    #[test]
+    fn unaudited_atomics_get_one_hint() {
+        let src =
+            "fn f(x: &A) {\n    x.load(Ordering::Relaxed);\n    x.load(Ordering::Acquire);\n}\n";
+        let s = scan("stats.rs", src);
+        assert_eq!(s.diagnostics.len(), 1, "{:?}", s.diagnostics);
+        assert!(
+            s.diagnostics[0].msg.contains("audit"),
+            "{}",
+            s.diagnostics[0].msg
+        );
+        assert!(s.diagnostics[0].msg.contains("stats.rs"));
+        // Test-only atomics do not need opt-in.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    fn t(x: &A) { x.load(Ordering::SeqCst); }\n}\n";
+        assert!(scan("stats.rs", test_only).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn audit_entries_match_names_and_suffixes() {
+        let audit = vec!["engine.rs".to_string(), "service/src/stats.rs".to_string()];
+        assert!(audited_for_ordering("crates/service/src/engine.rs", &audit));
+        assert!(audited_for_ordering("crates/service/src/stats.rs", &audit));
+        assert!(!audited_for_ordering("crates/other/src/stats.rs", &audit));
     }
 
     #[test]
@@ -853,6 +924,27 @@ fn cold() { let v = Vec::new(); }
     }
 
     #[test]
+    fn markers_in_tests_strings_and_docs_do_not_fire() {
+        // In a #[cfg(test)] module: markers and heap calls are exempt.
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    // scs-lint: alloc-free
+    fn t() {
+        let v = Vec::new();
+    }
+}
+";
+        assert!(scan("a.rs", in_test).diagnostics.is_empty(), "cfg(test)");
+        // In a string literal: the marker is data, not a directive.
+        let in_str = "fn f() -> &'static str {\n    \"// scs-lint: alloc-free\"\n}\nfn g() { let v = Vec::new(); }\n";
+        assert!(scan("a.rs", in_str).diagnostics.is_empty(), "string");
+        // In a doc comment: prose, not a directive.
+        let in_doc = "/// scs-lint: alloc-free\nfn f() { let v = Vec::new(); }\n";
+        assert!(scan("a.rs", in_doc).diagnostics.is_empty(), "doc");
+    }
+
+    #[test]
     fn allowlist_parses_and_rejects_garbage() {
         let ok = parse_allowlist("# comment\n\ncrates/a.rs 2\n  b.rs   0\n").unwrap();
         assert_eq!(ok, vec![("crates/a.rs".into(), 2), ("b.rs".into(), 0)]);
@@ -865,7 +957,15 @@ fn cold() { let v = Vec::new(); }
     fn disabled_rules_do_not_fire() {
         let mut cfg = cfg_all();
         cfg.disabled.push(Rule::SafetyComment);
-        let s = scan_file("a.rs", "unsafe fn f() {}\n", &cfg);
+        let lines = lex("unsafe fn f() {}\n");
+        let ast = parser::parse(&lines, false);
+        let s = scan_file(
+            "a.rs",
+            &lines,
+            &|line| ast.in_test_range(line),
+            &cfg,
+            &default_audit(),
+        );
         assert!(s.diagnostics.is_empty());
         // Sites are still counted for the allowlist rule.
         assert_eq!(s.unsafe_lines, vec![1]);
@@ -877,5 +977,39 @@ fn cold() { let v = Vec::new(); }
             assert_eq!(Rule::from_name(r.name()), Some(r));
         }
         assert_eq!(Rule::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn formats_render_diagnostics_and_summary() {
+        let analysis = Analysis {
+            diagnostics: vec![Diagnostic {
+                path: "a.rs".to_string(),
+                line: 3,
+                rule: Rule::Contract,
+                msg: "`Vec::new` violates `no-alloc`\nsecond line".to_string(),
+            }],
+            files_scanned: 1,
+            ..Analysis::default()
+        };
+        let human = analysis.render_as(Format::Human);
+        assert!(human.starts_with("a.rs:3: [contract]"), "{human}");
+        let github = analysis.render_as(Format::Github);
+        assert!(
+            github.starts_with("::error file=a.rs,line=3,title=scs-analyze contract::"),
+            "{github}"
+        );
+        assert!(github.contains("%0A"), "newline must be escaped: {github}");
+        let json = analysis.render_as(Format::Json);
+        assert!(json.contains("\"rule\": \"contract\""), "{json}");
+        assert!(json.contains("\\nsecond line"), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [Format::Human, Format::Github, Format::Json] {
+            assert_eq!(Format::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Format::from_name("xml"), None);
     }
 }

@@ -1,0 +1,357 @@
+//! Lock-order graph: a static deadlock analysis on the parsed
+//! workspace.
+//!
+//! Every `.lock()` / `.read()` / `.write()` site gets a normalized lock
+//! key (see [`crate::parser`]); whenever lock `B` is acquired — directly
+//! or through any transitively called function — while a guard for lock
+//! `A` is still live, the graph gains the edge `A → B`. A cycle in that
+//! graph means two code paths can acquire the same locks in opposite
+//! orders: a potential deadlock, reported as a diagnostic and failed in
+//! CI. Acyclic nesting is fine and common (pool parent → slot child).
+//!
+//! Keys deliberately under-merge (two different receivers named
+//! `pool.items` on different types stay distinct only if their paths
+//! differ textually), because a falsely-merged pair can invent a cycle
+//! while a falsely-split pair can only miss one. A site that the
+//! analysis misreads is waived with `// lock-ok: <reason>`.
+
+use crate::contracts::{FnId, FnIndex, SourceFile};
+use crate::{Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Per-site waiver: excludes the lock or call site from the graph.
+pub const LOCK_WAIVER: &str = "lock-ok:";
+
+/// Counters the lock-order pass reports.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LockStats {
+    /// Lock acquisition sites seen in non-test code.
+    pub sites: usize,
+    /// Distinct ordered edges in the lock graph.
+    pub edges: usize,
+}
+
+/// Where an edge was established.
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    file: String,
+    line: usize,
+    in_fn: String,
+    /// Set when the inner lock is reached through a call rather than
+    /// taken directly in `in_fn`.
+    via: Option<String>,
+}
+
+/// Runs the lock-order analysis over the workspace.
+pub fn check_lock_order(files: &[SourceFile], index: &FnIndex) -> (Vec<Diagnostic>, LockStats) {
+    let mut stats = LockStats::default();
+    // acquires[fn] = every lock key the fn may take, transitively.
+    // Fixpoint over the call graph (cycle-safe: the union only grows).
+    let mut acquires: HashMap<FnId, BTreeSet<String>> = HashMap::new();
+    let mut fn_ids: Vec<FnId> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.ast.fns.iter().enumerate() {
+            if f.in_test || f.body.is_none() {
+                continue;
+            }
+            fn_ids.push((fi, gi));
+            let mut direct = BTreeSet::new();
+            for l in &f.locks {
+                if waived(files, fi, l.line) {
+                    continue;
+                }
+                stats.sites += 1;
+                direct.insert(l.key.clone());
+            }
+            acquires.insert((fi, gi), direct);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for &id in &fn_ids {
+            let f = &files[id.0].ast.fns[id.1];
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for call in &f.calls {
+                if waived(files, id.0, call.line) {
+                    continue;
+                }
+                for target in index.resolve(files, id, call) {
+                    if let Some(keys) = acquires.get(&target) {
+                        add.extend(keys.iter().cloned());
+                    }
+                }
+            }
+            let mine = acquires.get_mut(&id).expect("seeded above");
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build edges: inner acquisitions (direct or via calls) while an
+    // outer guard is live.
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for &id in &fn_ids {
+        let file = &files[id.0];
+        let f = &file.ast.fns[id.1];
+        for outer in &f.locks {
+            if waived(files, id.0, outer.line) {
+                continue;
+            }
+            let live = |seq: usize| seq > outer.seq && seq < outer.end_seq;
+            for inner in &f.locks {
+                if !live(inner.seq) || waived(files, id.0, inner.line) {
+                    continue;
+                }
+                edges
+                    .entry((outer.key.clone(), inner.key.clone()))
+                    .or_insert_with(|| EdgeSite {
+                        file: file.rel.clone(),
+                        line: inner.line,
+                        in_fn: f.qualified(),
+                        via: None,
+                    });
+            }
+            for ev in &f.call_events {
+                if !live(ev.seq) {
+                    continue;
+                }
+                let call = &f.calls[ev.call];
+                if waived(files, id.0, call.line) {
+                    continue;
+                }
+                for target in index.resolve(files, id, call) {
+                    let callee = files[target.0].ast.fns[target.1].qualified();
+                    let Some(keys) = acquires.get(&target) else {
+                        continue;
+                    };
+                    for key in keys {
+                        edges
+                            .entry((outer.key.clone(), key.clone()))
+                            .or_insert_with(|| EdgeSite {
+                                file: file.rel.clone(),
+                                line: call.line,
+                                in_fn: f.qualified(),
+                                via: Some(callee.clone()),
+                            });
+                    }
+                }
+            }
+        }
+    }
+    stats.edges = edges.len();
+
+    // Cycle detection: DFS over the key graph, reporting each distinct
+    // cycle once (normalized by rotating to its smallest key).
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut diags = Vec::new();
+    let mut seen_cycles: HashSet<Vec<String>> = HashSet::new();
+    let nodes: Vec<&String> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<(&String, usize)> = vec![(start, 0)];
+        let mut path: Vec<&String> = vec![start];
+        let mut on_path: HashSet<&String> = HashSet::new();
+        on_path.insert(start);
+        while let Some((node, child)) = stack.last_mut() {
+            let succ = adj.get(*node).map(Vec::as_slice).unwrap_or(&[]);
+            if *child < succ.len() {
+                let next = succ[*child];
+                *child += 1;
+                if on_path.contains(next) {
+                    // Cycle: from `next`'s position in path to the end.
+                    let pos = path.iter().position(|k| *k == next).expect("on path");
+                    let cyc: Vec<String> = path[pos..].iter().map(|k| (*k).clone()).collect();
+                    if let Some(d) = report_cycle(&cyc, &edges, &mut seen_cycles) {
+                        diags.push(d);
+                    }
+                } else {
+                    on_path.insert(next);
+                    path.push(next);
+                    stack.push((next, 0));
+                }
+            } else {
+                on_path.remove(*node);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    (diags, stats)
+}
+
+fn waived(files: &[SourceFile], file_idx: usize, line: usize) -> bool {
+    files[file_idx].lines[line - 1]
+        .comment
+        .contains(LOCK_WAIVER)
+}
+
+/// Renders one cycle into a diagnostic, or `None` if an equivalent
+/// rotation was already reported.
+fn report_cycle(
+    cycle: &[String],
+    edges: &BTreeMap<(String, String), EdgeSite>,
+    seen: &mut HashSet<Vec<String>>,
+) -> Option<Diagnostic> {
+    // Normalize: rotate so the smallest key leads.
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, k)| k.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut norm: Vec<String> = Vec::with_capacity(cycle.len());
+    for i in 0..cycle.len() {
+        norm.push(cycle[(min + i) % cycle.len()].clone());
+    }
+    if !seen.insert(norm.clone()) {
+        return None;
+    }
+    let mut ring = String::new();
+    let mut provenance = Vec::new();
+    for i in 0..norm.len() {
+        let from = &norm[i];
+        let to = &norm[(i + 1) % norm.len()];
+        ring.push_str(&format!("`{from}` → "));
+        if let Some(site) = edges.get(&(from.clone(), to.clone())) {
+            let via = site
+                .via
+                .as_ref()
+                .map(|v| format!(" via {v}"))
+                .unwrap_or_default();
+            provenance.push(format!(
+                "`{from}` → `{to}` in {} ({}:{}{via})",
+                site.in_fn, site.file, site.line
+            ));
+        }
+    }
+    ring.push_str(&format!("`{}`", norm[0]));
+    let anchor = edges
+        .get(&(
+            norm[0].clone(),
+            norm.get(1).cloned().unwrap_or_else(|| norm[0].clone()),
+        ))
+        .cloned();
+    let (path, line) = anchor
+        .map(|s| (s.file, s.line))
+        .unwrap_or_else(|| ("<workspace>".to_string(), 1));
+    Some(Diagnostic {
+        path,
+        line,
+        rule: Rule::LockOrder,
+        msg: format!(
+            "lock-order cycle (potential deadlock): {ring}; acquired as {}; pick one \
+             acquisition order or waive a misread site with `// {LOCK_WAIVER} <reason>`",
+            provenance.join("; ")
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        let lines = lex(src);
+        let ast = parse(&lines, false);
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+            ast,
+            in_test_file: false,
+        }
+    }
+
+    fn run(files: Vec<SourceFile>) -> (Vec<Diagnostic>, LockStats) {
+        let index = FnIndex::build(&files);
+        check_lock_order(&files, &index)
+    }
+
+    #[test]
+    fn consistent_nesting_has_no_cycle() {
+        let (diags, stats) = run(vec![file(
+            "a.rs",
+            "fn f(p: &P) {\n    let a = p.outer.lock().unwrap();\n    let b = p.inner.lock().unwrap();\n}\nfn g(p: &P) {\n    let a = p.outer.lock().unwrap();\n    let b = p.inner.lock().unwrap();\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.sites, 4);
+        assert_eq!(stats.edges, 1);
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let (diags, _) = run(vec![file(
+            "a.rs",
+            "fn f(p: &P) {\n    let a = p.x.lock().unwrap();\n    let b = p.y.lock().unwrap();\n}\nfn g(p: &P) {\n    let b = p.y.lock().unwrap();\n    let a = p.x.lock().unwrap();\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].msg.contains("lock-order cycle"),
+            "{}",
+            diags[0].msg
+        );
+        assert!(diags[0].msg.contains("`p.x` → `p.y`"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_caught() {
+        let (diags, _) = run(vec![file(
+            "a.rs",
+            "fn f(p: &P) {\n    let a = p.x.lock().unwrap();\n    take_y(p);\n}\nfn take_y(p: &P) {\n    let b = p.y.lock().unwrap();\n}\nfn g(p: &P) {\n    let b = p.y.lock().unwrap();\n    let a = p.x.lock().unwrap();\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].msg.contains("via take_y"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn dead_guard_does_not_order_later_locks() {
+        // The temporary dies at the end of its statement; the scoped
+        // guard dies at its block's `}` — neither orders what follows.
+        let (diags, stats) = run(vec![file(
+            "a.rs",
+            "fn f(p: &P) {\n    p.x.lock().unwrap().bump();\n    let b = p.y.lock().unwrap();\n}\nfn g(p: &P) {\n    {\n        let a = p.y.lock().unwrap();\n    }\n    let b = p.x.lock().unwrap();\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn waiver_removes_the_edge() {
+        let (diags, _) = run(vec![file(
+            "a.rs",
+            "fn f(p: &P) {\n    let a = p.x.lock().unwrap();\n    let b = p.y.lock().unwrap(); // lock-ok: distinct pools, never aliased\n}\nfn g(p: &P) {\n    let b = p.y.lock().unwrap();\n    let a = p.x.lock().unwrap();\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn self_nesting_of_one_key_is_reported() {
+        let (diags, _) = run(vec![file(
+            "a.rs",
+            "struct Q;\nimpl Q {\n    fn f(&self) {\n        let a = self.items.lock().unwrap();\n        let b = self.items.lock().unwrap();\n    }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].msg.contains("`Q::items` → `Q::items`"),
+            "{}",
+            diags[0].msg
+        );
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let (diags, stats) = run(vec![file(
+            "a.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f(p: &P) {\n        let a = p.x.lock().unwrap();\n        let b = p.y.lock().unwrap();\n    }\n    fn g(p: &P) {\n        let b = p.y.lock().unwrap();\n        let a = p.x.lock().unwrap();\n    }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.sites, 0);
+    }
+}

@@ -1,0 +1,1169 @@
+//! Item/block parser over the lexed token stream: enough Rust structure
+//! to build a cross-crate call graph without a real compiler. It
+//! recognizes `mod` items (tracking `#[cfg(test)]` subtrees), `impl`
+//! blocks (for method qualification), `struct` items (field types, for
+//! receiver-chain resolution), `fn` items with their body spans and
+//! local/parameter types, call expressions (free, path-qualified,
+//! method and macro calls) and `.lock()`-family acquisitions with guard
+//! scopes.
+//!
+//! Method receivers are resolved *typedly*, not by name: `inner.serve()`
+//! binds only when `inner`'s type is known (a parameter annotation, a
+//! `let x = Type::new(..)` / `let x = Type { .. }` / `let x: Type`
+//! binding, or a struct-field chain like `self.cache.get()` through
+//! parsed field types). An unknown receiver resolves to nothing — a
+//! deliberate precision-over-recall choice: guessing by method name
+//! alone would bind std collection calls (`push`, `get`, `len`…) to
+//! same-named workspace methods and fabricate call-graph edges (and
+//! with them, phantom lock-order cycles).
+//!
+//! Everything downstream — contract propagation, the lock-order graph —
+//! consumes the [`FileAst`] produced here.
+
+use crate::lexer::Line;
+use std::collections::HashMap;
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub line: usize,
+    pub kind: TokKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    Ident(String),
+    /// `::`
+    PathSep,
+    Punct(char),
+}
+
+/// Tokenizes the comment/string-stripped code text of every line.
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b.is_ascii_alphanumeric() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: lineno,
+                    kind: TokKind::Ident(line.code[start..i].to_string()),
+                });
+            } else if b == b':' && bytes.get(i + 1) == Some(&b':') {
+                toks.push(Tok {
+                    line: lineno,
+                    kind: TokKind::PathSep,
+                });
+                i += 2;
+            } else {
+                toks.push(Tok {
+                    line: lineno,
+                    kind: TokKind::Punct(b as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments of the callee; the last one is the function name.
+    /// `foo(` → `["foo"]`, `Type::foo(` → `["Type", "foo"]`,
+    /// `.foo(` → `["foo"]` with `method = true`.
+    pub path: Vec<String>,
+    /// `true` for `recv.name(...)` method-call syntax.
+    pub method: bool,
+    /// Receiver chain in source order for method calls: `self.cache`
+    /// for `self.cache.get(..)`. Empty for non-method calls.
+    pub recv: Vec<String>,
+    /// `false` when the receiver chain hit something the parser cannot
+    /// name (an indexing result, a parenthesized expression, a literal)
+    /// — such a call never resolves.
+    pub recv_complete: bool,
+    /// `true` for `name!(...)` macro invocations.
+    pub is_macro: bool,
+    pub line: usize,
+}
+
+impl CallSite {
+    /// The callee's unqualified name.
+    pub fn name(&self) -> &str {
+        self.path.last().expect("path is never empty")
+    }
+}
+
+/// One `.lock()` / `.read()` / `.write()` acquisition.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Normalized lock identity — see [`FileAst`] docs.
+    pub key: String,
+    pub line: usize,
+    /// `true` when the guard is `let`-bound (lives to end of enclosing
+    /// block); `false` for a temporary consumed within its statement.
+    pub let_bound: bool,
+    /// Brace depth (within the fn body) at the acquisition.
+    pub depth: usize,
+    /// Index into the owning function's event list, so the lock-order
+    /// pass can replay acquisitions and calls in program order.
+    pub seq: usize,
+    /// First event index at which the guard is certainly dead: end of
+    /// the enclosing block for `let`-bound guards, end of the statement
+    /// for temporaries. Events with `seq` in `(self.seq, self.end_seq)`
+    /// run while this guard is (conservatively) held.
+    pub end_seq: usize,
+}
+
+/// A call made inside a function, in program order with the locks.
+#[derive(Debug, Clone)]
+pub struct CallEvent {
+    pub call: usize,
+    pub depth: usize,
+    pub seq: usize,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Unqualified name.
+    pub name: String,
+    /// Enclosing `impl` type, when the fn is a method/associated fn.
+    pub impl_type: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Body line span (line of `{` … line of matching `}`), or `None`
+    /// for bodiless trait-declaration fns.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]` subtree (or a tests/ file — the walker
+    /// sets that).
+    pub in_test: bool,
+    /// Contracts declared via `// scs-contract:` directly above.
+    pub contracts: Vec<crate::contracts::ContractKind>,
+    /// Known types of parameters and `let`-bound locals, for receiver
+    /// resolution. Wrapper-stripped: `inner: &Arc<Inner>` → `Inner`.
+    pub local_types: HashMap<String, String>,
+    /// Calls made in the body, program order.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions in the body, program order.
+    pub locks: Vec<LockSite>,
+    /// Calls annotated with their position relative to lock scopes.
+    pub call_events: Vec<CallEvent>,
+}
+
+impl FnDef {
+    /// `Type::name` when the fn is an associated item, else `name`.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    pub fns: Vec<FnDef>,
+    /// Named-field structs: type name → (field → wrapper-stripped field
+    /// type), for `recv.field.method()` chain resolution.
+    pub structs: HashMap<String, HashMap<String, String>>,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` modules.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileAst {
+    /// `true` when `line` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_range(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Receiver-method names treated as lock acquisitions.
+pub const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+const KEYWORDS: [&str; 31] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "mut", "let",
+    "else", "fn", "impl", "use", "pub", "where", "break", "continue", "struct", "enum", "trait",
+    "type", "const", "static", "crate", "super", "unsafe", "dyn", "box",
+];
+
+/// Smart pointers that deref transparently: a receiver of type
+/// `Arc<Inner>` takes `Inner`'s methods. `Mutex`/`RwLock` and friends
+/// are deliberately *not* here — their receivers get *their* methods.
+const DEREF_WRAPPERS: [&str; 3] = ["Arc", "Rc", "Box"];
+
+struct Scope {
+    kind: ScopeKind,
+}
+
+enum ScopeKind {
+    Mod { test: bool, start_line: usize },
+    Impl { type_name: Option<String> },
+    Fn { index: usize },
+    Struct { name: String },
+    Other,
+}
+
+/// Parses the token stream of one lexed file. `file_in_test` marks
+/// whole-file test context (integration tests, benches, examples).
+pub fn parse(lines: &[Line], file_in_test: bool) -> FileAst {
+    let toks = tokenize(lines);
+    let mut ast = FileAst::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth = 0usize;
+    // `#[cfg(test)]`-attribute pending for the next item.
+    let mut pending_cfg_test = false;
+    let mut i = 0;
+
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('#') => {
+                // Attribute: `#[...]` or `#![...]` — scan it whole,
+                // noting cfg(test).
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('!'))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('['))) {
+                    let mut bdepth = 0usize;
+                    let mut text = String::new();
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            TokKind::Punct('[') => bdepth += 1,
+                            TokKind::Punct(']') => {
+                                bdepth -= 1;
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Ident(id) => {
+                                text.push_str(id);
+                                text.push(' ');
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if text.contains("cfg ") && text.contains("test ") {
+                        pending_cfg_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "mod" => {
+                let test = pending_cfg_test;
+                pending_cfg_test = false;
+                let start_line = toks[i].line;
+                // `mod name {` opens a scope; `mod name;` does not.
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('{') => {
+                            depth += 1;
+                            let parent_test = in_test(&scopes);
+                            scopes.push(Scope {
+                                kind: ScopeKind::Mod {
+                                    test: test || parent_test,
+                                    start_line,
+                                },
+                            });
+                            break;
+                        }
+                        TokKind::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(id) if id == "struct" => {
+                pending_cfg_test = false;
+                // `struct Name { field: Type, ... }` records field
+                // types; `struct Name(...);` / `struct Name;` do not.
+                let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let mut j = i + 2;
+                // Skip generics `<...>`.
+                let mut angle = 0usize;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => angle = angle.saturating_sub(1),
+                        TokKind::Punct('{') if angle == 0 => break,
+                        TokKind::Punct(';') | TokKind::Punct('(') if angle == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].kind == TokKind::Punct('{') {
+                    depth += 1;
+                    scopes.push(Scope {
+                        kind: ScopeKind::Struct { name },
+                    });
+                    i = parse_struct_fields(&toks, j + 1, &mut ast, &mut depth, &mut scopes);
+                } else {
+                    // Unit or tuple struct: known type, no named fields.
+                    ast.structs.entry(name).or_default();
+                    i = j + 1;
+                }
+            }
+            TokKind::Ident(id) if id == "impl" => {
+                pending_cfg_test = false;
+                // Extract the implemented type: the path after `for` if
+                // present, else the first path after the generics.
+                let mut j = i + 1;
+                // Skip `<...>` generics.
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+                    let mut adepth = 0usize;
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            TokKind::Punct('<') => adepth += 1,
+                            TokKind::Punct('>') => {
+                                adepth -= 1;
+                                if adepth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                let mut type_name: Option<String> = None;
+                let mut last_ident: Option<String> = None;
+                let mut angle = 0usize;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('{') if angle == 0 => break,
+                        TokKind::Punct(';') if angle == 0 => break,
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => angle = angle.saturating_sub(1),
+                        TokKind::Ident(t) if angle == 0 => {
+                            if t == "for" {
+                                // Everything before was the trait; the
+                                // type comes after.
+                                last_ident = None;
+                            } else if t != "where" && t != "dyn" {
+                                last_ident = Some(t.clone());
+                            } else if t == "where" {
+                                // `impl X where …` — type already seen.
+                                if type_name.is_none() {
+                                    type_name = last_ident.clone();
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if type_name.is_none() {
+                    type_name = last_ident;
+                }
+                if j < toks.len() && toks[j].kind == TokKind::Punct('{') {
+                    depth += 1;
+                    scopes.push(Scope {
+                        kind: ScopeKind::Impl { type_name },
+                    });
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(id) if id == "fn" => {
+                i = parse_fn(
+                    &toks,
+                    i,
+                    lines,
+                    &mut ast,
+                    &mut depth,
+                    &mut scopes,
+                    file_in_test,
+                );
+                pending_cfg_test = false;
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                scopes.push(Scope {
+                    kind: ScopeKind::Other,
+                });
+                pending_cfg_test = false;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                close_scope(&mut scopes, &mut depth, toks[i].line, &mut ast);
+                i += 1;
+            }
+            _ => {
+                if !matches!(toks[i].kind, TokKind::Punct(_)) {
+                    pending_cfg_test = pending_cfg_test
+                        && matches!(toks[i].kind, TokKind::Ident(ref t) if t == "pub");
+                }
+                i += 1;
+            }
+        }
+    }
+    // Close any unterminated scopes (truncated file) so spans stay sane.
+    let last_line = lines.len();
+    while !scopes.is_empty() {
+        close_scope(&mut scopes, &mut depth, last_line, &mut ast);
+    }
+    ast
+}
+
+fn in_test(scopes: &[Scope]) -> bool {
+    scopes
+        .iter()
+        .any(|s| matches!(s.kind, ScopeKind::Mod { test: true, .. }))
+}
+
+fn close_scope(scopes: &mut Vec<Scope>, depth: &mut usize, line: usize, ast: &mut FileAst) {
+    if let Some(scope) = scopes.pop() {
+        match scope.kind {
+            ScopeKind::Mod {
+                test: true,
+                start_line,
+            } => {
+                ast.test_ranges.push((start_line, line));
+            }
+            ScopeKind::Fn { index } => {
+                if let Some((start, _)) = ast.fns[index].body {
+                    ast.fns[index].body = Some((start, line));
+                }
+            }
+            _ => {}
+        }
+    }
+    *depth = depth.saturating_sub(1);
+}
+
+/// The head type of a type-token run: skips references, lifetimes,
+/// `mut`/`dyn`/`impl`, and deref-transparent wrappers ([`DEREF_WRAPPERS`]
+/// followed by `<`), returning the first type name. `&Arc<Inner>` →
+/// `Inner`; `&mut KernelState` → `KernelState`; `RwLock<T>` → `RwLock`
+/// (not transparent — its receiver gets RwLock's methods).
+fn type_head(toks: &[Tok], mut i: usize, end: usize) -> Option<String> {
+    while i < end {
+        match &toks[i].kind {
+            TokKind::Punct('\'') => i += 2, // lifetime: `'` + ident
+            TokKind::Punct('&') | TokKind::Punct('*') | TokKind::Punct('(') => i += 1,
+            TokKind::Ident(t) if t == "mut" || t == "dyn" || t == "impl" || t == "const" => i += 1,
+            TokKind::Ident(t)
+                if DEREF_WRAPPERS.contains(&t.as_str())
+                    && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('<'))) =>
+            {
+                i += 2
+            }
+            // `path::To::Type` — skip leading module segments.
+            TokKind::Ident(_)
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::PathSep)) =>
+            {
+                i += 2
+            }
+            TokKind::Ident(t) => return Some(t.clone()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Parses the fields of a named-field struct body starting right after
+/// its `{`. Returns the index after the closing `}`.
+fn parse_struct_fields(
+    toks: &[Tok],
+    mut i: usize,
+    ast: &mut FileAst,
+    depth: &mut usize,
+    scopes: &mut Vec<Scope>,
+) -> usize {
+    let name = match &scopes.last().expect("struct scope pushed").kind {
+        ScopeKind::Struct { name } => name.clone(),
+        _ => unreachable!("caller pushes a Struct scope"),
+    };
+    let mut fields = HashMap::new();
+    let mut bdepth = 1usize; // inside the struct's `{`
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('{') | TokKind::Punct('<') | TokKind::Punct('(') => {
+                bdepth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') | TokKind::Punct('>') | TokKind::Punct(')') => {
+                bdepth -= 1;
+                if bdepth == 0 {
+                    close_scope(scopes, depth, toks[i].line, ast);
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            TokKind::Ident(fname)
+                if bdepth == 1
+                    && !KEYWORDS.contains(&fname.as_str())
+                    && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(':'))) =>
+            {
+                // Field: find the end of its type (the `,` or `}` at
+                // this level) and take the head type.
+                let ty_start = i + 2;
+                let mut j = ty_start;
+                let mut fdepth = 0usize;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => {
+                            fdepth += 1
+                        }
+                        TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                            fdepth = fdepth.saturating_sub(1)
+                        }
+                        TokKind::Punct(',') if fdepth == 0 => break,
+                        TokKind::Punct('}') if fdepth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(ty) = type_head(toks, ty_start, j) {
+                    fields.insert(fname.clone(), ty);
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    ast.structs.insert(name, fields);
+    i
+}
+
+/// Parses one `fn` item starting at its `fn` keyword token. Returns the
+/// index after the item (after the body's `}` or the decl's `;`).
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    toks: &[Tok],
+    i: usize,
+    lines: &[Line],
+    ast: &mut FileAst,
+    depth: &mut usize,
+    scopes: &mut Vec<Scope>,
+    file_in_test: bool,
+) -> usize {
+    let fn_line = toks[i].line;
+    let name = match toks.get(i + 1).map(|t| &t.kind) {
+        Some(TokKind::Ident(n)) => n.clone(),
+        _ => return i + 1,
+    };
+    let impl_type = scopes.iter().rev().find_map(|s| match &s.kind {
+        ScopeKind::Impl { type_name } => Some(type_name.clone()),
+        ScopeKind::Fn { .. } => Some(None), // nested fn: free
+        _ => None,
+    });
+    let in_test_scope = file_in_test
+        || in_test(scopes)
+        || scopes
+            .iter()
+            .any(|s| matches!(s.kind, ScopeKind::Fn { index } if ast.fns[index].in_test));
+    let contracts = crate::contracts::contracts_above(lines, fn_line);
+    // Walk the signature: record parameter types, then find the body
+    // `{` (or `;` for a bodiless decl). Angle brackets are not
+    // depth-tracked between `)` and `{` — `{`/`;` cannot appear inside
+    // them in a signature.
+    let mut local_types: HashMap<String, String> = HashMap::new();
+    let mut j = i + 2;
+    // Skip generics on the fn itself.
+    if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        let mut adepth = 0usize;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('<') => adepth += 1,
+                TokKind::Punct('>') => {
+                    adepth -= 1;
+                    if adepth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Parameter list.
+    if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('('))) {
+        let mut pdepth = 0usize;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => {
+                    pdepth += 1;
+                    j += 1;
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('>') => {
+                    pdepth -= 1;
+                    if pdepth == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                TokKind::Ident(pname)
+                    if pdepth == 1
+                        && !KEYWORDS.contains(&pname.as_str())
+                        && pname != "self"
+                        && matches!(
+                            toks.get(j + 1).map(|t| &t.kind),
+                            Some(TokKind::Punct(':'))
+                        ) =>
+                {
+                    // `name: Type` — type runs to the `,` at depth 1 or
+                    // the closing `)`.
+                    let ty_start = j + 2;
+                    let mut k = ty_start;
+                    let mut tdepth = 1usize; // the param list's `(`
+                    while k < toks.len() {
+                        match &toks[k].kind {
+                            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => {
+                                tdepth += 1
+                            }
+                            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('>') => {
+                                tdepth -= 1;
+                                if tdepth == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Punct(',') if tdepth == 1 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if let Some(ty) = type_head(toks, ty_start, k) {
+                        local_types.insert(pname.clone(), ty);
+                    }
+                    j = k;
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    // Return type / where clause: scan to `{` or `;`.
+    let mut body = None;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct(';') => break,
+            TokKind::Punct('{') => {
+                body = Some(toks[j].line);
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    let index = ast.fns.len();
+    ast.fns.push(FnDef {
+        name,
+        impl_type: impl_type.flatten(),
+        line: fn_line,
+        body: body.map(|b| (b, b)), // end patched at scope exit
+        in_test: in_test_scope,
+        contracts,
+        local_types,
+        calls: Vec::new(),
+        locks: Vec::new(),
+        call_events: Vec::new(),
+    });
+    if body.is_some() {
+        *depth += 1;
+        scopes.push(Scope {
+            kind: ScopeKind::Fn { index },
+        });
+        parse_body(toks, j + 1, lines, ast, index, depth, scopes)
+    } else {
+        j + 1
+    }
+}
+
+/// Walks a receiver chain backwards from the `.` at `dot_idx`
+/// (`a.b.c` for `a.b.c.method()`). Returns the segments in source order
+/// plus whether the chain start was nameable: `(expr).m()`, `arr[i].m()`
+/// and literal receivers return `complete = false`. A call in the chain
+/// is kept as `name()`.
+fn receiver_chain(toks: &[Tok], dot_idx: usize) -> (Vec<String>, bool) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut r = dot_idx; // index of the current `.`
+    loop {
+        if r == 0 {
+            return (segs, false);
+        }
+        match &toks[r - 1].kind {
+            TokKind::Ident(seg) if !KEYWORDS.contains(&seg.as_str()) => {
+                segs.insert(0, seg.clone());
+                r -= 1;
+            }
+            TokKind::Punct(')') => {
+                // A call result: skip the balanced parens and keep the
+                // called name as `name()`.
+                let mut pdepth = 0usize;
+                while r > 0 {
+                    match &toks[r - 1].kind {
+                        TokKind::Punct(')') => pdepth += 1,
+                        TokKind::Punct('(') => {
+                            pdepth -= 1;
+                            if pdepth == 0 {
+                                r -= 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    r -= 1;
+                }
+                match (r > 0).then(|| &toks[r - 1].kind) {
+                    Some(TokKind::Ident(fname)) if !KEYWORDS.contains(&fname.as_str()) => {
+                        segs.insert(0, format!("{fname}()"));
+                        r -= 1;
+                    }
+                    _ => return (segs, false), // `(expr).m()`
+                }
+            }
+            _ => return (segs, false), // `[..].m()`, literals, …
+        }
+        // The chain continues only through another `.`.
+        if r > 0 && toks[r - 1].kind == TokKind::Punct('.') {
+            r -= 1;
+        } else {
+            return (segs, true);
+        }
+    }
+}
+
+/// Parses one fn body: records calls, locks, local types and nested
+/// scopes. Returns the index after the body's closing `}`.
+fn parse_body(
+    toks: &[Tok],
+    mut i: usize,
+    lines: &[Line],
+    ast: &mut FileAst,
+    fn_index: usize,
+    depth: &mut usize,
+    scopes: &mut Vec<Scope>,
+) -> usize {
+    let body_depth = *depth; // depth of the fn's own scope
+    let mut seq = 0usize;
+    // Is the current statement a `let` binding? Tracked so a `.lock()`
+    // temporary inside `let g = other.lock();` is attributed correctly.
+    let mut stmt_is_let = false;
+
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                *depth += 1;
+                scopes.push(Scope {
+                    kind: ScopeKind::Other,
+                });
+                stmt_is_let = false;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                // Guards acquired in the closing scope die here.
+                let closing = *depth;
+                for l in ast.fns[fn_index].locks.iter_mut() {
+                    if l.end_seq == usize::MAX && l.depth >= closing {
+                        l.end_seq = seq;
+                    }
+                }
+                if *depth == body_depth {
+                    // End of the fn body itself.
+                    close_scope(scopes, depth, toks[i].line, ast);
+                    return i + 1;
+                }
+                close_scope(scopes, depth, toks[i].line, ast);
+                i += 1;
+            }
+            TokKind::Punct(';') => {
+                stmt_is_let = false;
+                // Statement end: temporaries acquired in this statement
+                // at this depth are dropped now.
+                let d = *depth;
+                for l in ast.fns[fn_index].locks.iter_mut() {
+                    if l.end_seq == usize::MAX && !l.let_bound && l.depth == d {
+                        l.end_seq = seq;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "let" => {
+                stmt_is_let = true;
+                // Local-type heuristics: `let [mut] name: Type`,
+                // `let [mut] name = Type { .. }`,
+                // `let [mut] name = Type::ctor(..)`.
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Ident(m)) if m == "mut") {
+                    j += 1;
+                }
+                if let Some(TokKind::Ident(vname)) = toks.get(j).map(|t| &t.kind) {
+                    if !KEYWORDS.contains(&vname.as_str()) {
+                        let vname = vname.clone();
+                        let ty = match toks.get(j + 1).map(|t| &t.kind) {
+                            Some(TokKind::Punct(':')) => {
+                                // Annotated: type runs to `=` or `;`.
+                                let ty_start = j + 2;
+                                let mut k = ty_start;
+                                let mut tdepth = 0usize;
+                                while k < toks.len() {
+                                    match &toks[k].kind {
+                                        TokKind::Punct('<')
+                                        | TokKind::Punct('(')
+                                        | TokKind::Punct('[') => tdepth += 1,
+                                        TokKind::Punct('>')
+                                        | TokKind::Punct(')')
+                                        | TokKind::Punct(']') => tdepth = tdepth.saturating_sub(1),
+                                        TokKind::Punct('=') | TokKind::Punct(';')
+                                            if tdepth == 0 =>
+                                        {
+                                            break
+                                        }
+                                        _ => {}
+                                    }
+                                    k += 1;
+                                }
+                                type_head(toks, ty_start, k)
+                            }
+                            Some(TokKind::Punct('=')) => init_type(toks, j + 2),
+                            _ => None,
+                        };
+                        if let Some(ty) = ty {
+                            ast.fns[fn_index].local_types.insert(vname, ty);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "fn" => {
+                // Nested fn item (rare): parse as a fresh def.
+                i = parse_fn(toks, i, lines, ast, depth, scopes, false);
+            }
+            TokKind::Ident(name) => {
+                // A call is Ident followed by `(`, or `Ident !` + open
+                // delimiter for macros.
+                let next = toks.get(i + 1).map(|t| &t.kind);
+                let is_macro = matches!(next, Some(TokKind::Punct('!')))
+                    && matches!(
+                        toks.get(i + 2).map(|t| &t.kind),
+                        Some(TokKind::Punct('('))
+                            | Some(TokKind::Punct('['))
+                            | Some(TokKind::Punct('{'))
+                    );
+                let is_call = matches!(next, Some(TokKind::Punct('(')));
+                if (is_call || is_macro) && !KEYWORDS.contains(&name.as_str()) {
+                    // Walk back to collect the path / receiver shape.
+                    let mut path = vec![name.clone()];
+                    let mut k = i;
+                    let mut method = false;
+                    let mut recv: Vec<String> = Vec::new();
+                    let mut recv_complete = true;
+                    // Leading `path::` segments.
+                    while k >= 2
+                        && toks[k - 1].kind == TokKind::PathSep
+                        && matches!(toks[k - 2].kind, TokKind::Ident(_))
+                    {
+                        if let TokKind::Ident(seg) = &toks[k - 2].kind {
+                            path.insert(0, seg.clone());
+                        }
+                        k -= 2;
+                    }
+                    if k >= 1 && toks[k - 1].kind == TokKind::Punct('.') {
+                        method = true;
+                        let (chain, complete) = receiver_chain(toks, k - 1);
+                        recv = chain;
+                        recv_complete = complete;
+                    }
+                    let line = toks[i].line;
+                    let fd = &mut ast.fns[fn_index];
+                    let call_idx = fd.calls.len();
+                    fd.calls.push(CallSite {
+                        path,
+                        method,
+                        recv,
+                        recv_complete,
+                        is_macro,
+                        line,
+                    });
+                    fd.call_events.push(CallEvent {
+                        call: call_idx,
+                        depth: *depth,
+                        seq,
+                    });
+                    seq += 1;
+                    // Lock acquisition?
+                    if is_call && method && LOCK_METHODS.contains(&name.as_str()) {
+                        let key = lock_key(&ast.fns[fn_index], ast.fns[fn_index].calls.len() - 1);
+                        let fd = &mut ast.fns[fn_index];
+                        fd.locks.push(LockSite {
+                            key,
+                            line,
+                            let_bound: stmt_is_let,
+                            depth: *depth,
+                            seq: seq - 1,
+                            end_seq: usize::MAX,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// The constructed type of a `let name = …` initializer, when the
+/// initializer's shape names one: `Type { .. }` (struct literal) or
+/// `Type::ctor(..)` / `mod::Type::ctor(..)` (associated-fn call).
+/// `Self` maps to the enclosing impl at resolution time.
+fn init_type(toks: &[Tok], start: usize) -> Option<String> {
+    // Collect the leading `A::B::c` path.
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = start;
+    while let Some(TokKind::Ident(seg)) = toks.get(j).map(|t| &t.kind) {
+        if KEYWORDS.contains(&seg.as_str()) {
+            return None;
+        }
+        segs.push(seg.clone());
+        match toks.get(j + 1).map(|t| &t.kind) {
+            Some(TokKind::PathSep) => j += 2,
+            _ => {
+                j += 1;
+                break;
+            }
+        }
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    let starts_upper = |s: &str| s.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+    match toks.get(j).map(|t| &t.kind) {
+        // `Type { .. }` struct literal.
+        Some(TokKind::Punct('{')) if segs.len() == 1 && starts_upper(&segs[0]) => {
+            Some(segs[0].clone())
+        }
+        // `Type::ctor(..)`: the type is the segment before the fn.
+        Some(TokKind::Punct('(')) if segs.len() >= 2 => {
+            let ty = &segs[segs.len() - 2];
+            (starts_upper(ty) || ty == "Self").then(|| ty.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Normalized identity of the lock behind a `recv.lock()` site, built
+/// from the receiver chain: `self.X` is qualified by the enclosing impl
+/// type (`JobQueue::state`), a call receiver keeps its call shape
+/// (`shard_of()` → `Impl::shard_of()` when reached via `self`), and any
+/// other receiver keeps its dotted path (`pool.items`).
+fn lock_key(fd: &FnDef, call_idx: usize) -> String {
+    let call = &fd.calls[call_idx];
+    if call.recv.is_empty() {
+        return "<expr>".to_string();
+    }
+    if call.recv[0] == "self" {
+        if let Some(t) = &fd.impl_type {
+            return if call.recv.len() == 1 {
+                t.clone()
+            } else {
+                format!("{t}::{}", call.recv[1..].join("."))
+            };
+        }
+    }
+    let joined = call.recv.join(".");
+    if call.recv_complete {
+        joined
+    } else {
+        format!("<expr>.{joined}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileAst {
+        parse(&lex(src), false)
+    }
+
+    #[test]
+    fn finds_fns_with_spans_and_impl_types() {
+        let src = "\
+struct S;
+impl S {
+    pub fn new() -> S {
+        S
+    }
+}
+fn free() {
+    helper(1);
+}
+";
+        let ast = parse_src(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].qualified(), "S::new");
+        assert_eq!(ast.fns[0].body, Some((3, 5)));
+        assert_eq!(ast.fns[1].qualified(), "free");
+        assert_eq!(ast.fns[1].calls.len(), 1);
+        assert_eq!(ast.fns[1].calls[0].name(), "helper");
+    }
+
+    #[test]
+    fn impl_trait_for_type_qualifies_by_type() {
+        let ast = parse_src("impl Drop for Guard {\n    fn drop(&mut self) { self.clean(); }\n}\n");
+        assert_eq!(ast.fns[0].qualified(), "Guard::drop");
+        assert_eq!(ast.fns[0].calls[0].recv, vec!["self"]);
+    }
+
+    #[test]
+    fn cfg_test_mods_are_ranged_and_fns_marked() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn t() { prod(); }
+}
+";
+        let ast = parse_src(src);
+        assert!(!ast.fns[0].in_test);
+        assert!(ast.fns[1].in_test);
+        assert_eq!(ast.test_ranges, vec![(3, 5)]);
+        assert!(ast.in_test_range(4));
+        assert!(!ast.in_test_range(1));
+    }
+
+    #[test]
+    fn calls_capture_paths_methods_and_macros() {
+        let src = "\
+fn f(x: &T) {
+    free(1);
+    Type::assoc(2);
+    x.method(3);
+    self_like::path::deep(4);
+    println!(\"hi\");
+    if cond(x) { }
+}
+";
+        let ast = parse_src(src);
+        let calls = &ast.fns[0].calls;
+        let names: Vec<&str> = calls.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["free", "assoc", "method", "deep", "println", "cond"]
+        );
+        assert_eq!(calls[1].path, vec!["Type", "assoc"]);
+        assert!(calls[2].method);
+        assert_eq!(calls[2].recv, vec!["x"]);
+        assert!(calls[4].is_macro);
+    }
+
+    #[test]
+    fn receiver_chains_stop_at_keywords_and_expressions() {
+        let src = "\
+fn f(p: &P) {
+    let s = if p.cond() { p.shard_of(1).lock() } else { p.b.lock() };
+    arr[0].lock();
+}
+";
+        let ast = parse_src(src);
+        let locks = &ast.fns[0].locks;
+        assert_eq!(locks.len(), 3, "{locks:?}");
+        // `if` must not leak into the chain.
+        assert_eq!(locks[0].key, "p.shard_of()");
+        assert_eq!(locks[1].key, "p.b");
+        // Indexing results are unnameable.
+        assert!(locks[2].key.starts_with("<expr>"), "{}", locks[2].key);
+    }
+
+    #[test]
+    fn param_and_let_types_are_recorded() {
+        let src = "\
+fn f(inner: &Arc<Inner>, k: &mut KernelState, n: usize) {
+    let guard = FlightGuard { inner: 1 };
+    let mut q: JobQueue = mk();
+    let c = Cell::new(0);
+    let d = foo();
+}
+";
+        let ast = parse_src(src);
+        let t = &ast.fns[0].local_types;
+        assert_eq!(t.get("inner").map(String::as_str), Some("Inner"));
+        assert_eq!(t.get("k").map(String::as_str), Some("KernelState"));
+        assert_eq!(t.get("n").map(String::as_str), Some("usize"));
+        assert_eq!(t.get("guard").map(String::as_str), Some("FlightGuard"));
+        assert_eq!(t.get("q").map(String::as_str), Some("JobQueue"));
+        assert_eq!(t.get("c").map(String::as_str), Some("Cell"));
+        assert_eq!(t.get("d"), None, "plain call does not name a type");
+    }
+
+    #[test]
+    fn struct_fields_record_head_types() {
+        let src = "\
+pub struct Inner {
+    pub cache: ShardedCache,
+    search: RwLock<Arc<SearchIndex>>,
+    pool: ArcPool<ReplyCell>,
+    n: usize,
+}
+struct Unit;
+struct Tuple(u32, u32);
+";
+        let ast = parse_src(src);
+        let f = &ast.structs["Inner"];
+        assert_eq!(f.get("cache").map(String::as_str), Some("ShardedCache"));
+        // RwLock is not deref-transparent: its receiver gets RwLock's
+        // methods, not the payload's.
+        assert_eq!(f.get("search").map(String::as_str), Some("RwLock"));
+        assert_eq!(f.get("pool").map(String::as_str), Some("ArcPool"));
+        assert_eq!(f.get("n").map(String::as_str), Some("usize"));
+        assert!(ast.structs.get("Unit").is_some_and(HashMap::is_empty));
+        assert!(ast.structs.get("Tuple").is_some_and(HashMap::is_empty));
+    }
+
+    #[test]
+    fn lock_sites_get_keys_and_scopes() {
+        let src = "\
+struct Q;
+impl Q {
+    fn nested(&self, pool: &Pool) {
+        let a = self.items.lock().unwrap();
+        pool.state.lock().unwrap().push(1);
+        drop(a);
+    }
+    fn call_recv(&self) {
+        self.shard_of(3).lock().unwrap();
+    }
+}
+";
+        let ast = parse_src(src);
+        let locks = &ast.fns[0].locks;
+        assert_eq!(locks.len(), 2);
+        assert_eq!(locks[0].key, "Q::items");
+        assert!(locks[0].let_bound);
+        assert_eq!(locks[1].key, "pool.state");
+        assert!(!locks[1].let_bound);
+        assert_eq!(ast.fns[1].locks[0].key, "Q::shard_of()");
+    }
+
+    #[test]
+    fn bodiless_trait_fns_are_recorded_without_spans() {
+        let ast = parse_src("trait T {\n    fn required(&self) -> usize;\n}\n");
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].body, None);
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded: a `no-block` function that takes a mutex one call down.
+
+use std::sync::Mutex;
+
+pub struct Gauge {
+    value: Mutex<u64>,
+}
+
+impl Gauge {
+    // scs-contract: no-block
+    pub fn sample(&self) -> u64 {
+        self.read_locked()
+    }
+
+    fn read_locked(&self) -> u64 {
+        *self.value.lock().unwrap()
+    }
+}

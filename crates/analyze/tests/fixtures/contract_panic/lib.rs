@@ -1,0 +1,7 @@
+//! Seeded: a `no-panic` function that unwraps in its own body.
+
+// scs-contract: no-panic
+pub fn read_slot(slots: &[u64], i: usize) -> u64 {
+    let v = slots.get(i).copied();
+    v.unwrap()
+}

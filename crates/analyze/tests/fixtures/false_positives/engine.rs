@@ -1,0 +1,33 @@
+//! Regression tree: everything in here LOOKS like a violation but is
+//! commentary, string data, or test-only code — the analyzer must stay
+//! silent. The file is named `engine.rs` so it sits on the default
+//! ordering audit list.
+
+/// Doc comments may discuss `Vec::new()`, `format!` and `.push(` —
+/// prose about heap APIs is not a call to them. Even a literal
+/// `scs-lint: alloc-free` marker in a doc comment opens no region.
+// scs-contract: no-alloc
+pub fn hot(out: &mut [u64]) -> u64 {
+    // An inert marker in a string: "scs-lint: alloc-free" must not
+    // open a region, and deny patterns inside literals must not fire.
+    let banner = "Vec::new() format! .push( scs-lint: alloc-free";
+    out[0] = banner.len() as u64;
+    out[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn test_hot_allocates_freely() {
+        // Test-only code allocates and touches atomics without
+        // ordering comments; none of it is production surface.
+        let mut out = vec![0u64; 4];
+        let copied = out.to_vec();
+        let gauge = AtomicU64::new(copied.len() as u64);
+        gauge.fetch_add(hot(&mut out), Ordering::Relaxed);
+        assert_eq!(gauge.load(Ordering::Relaxed), 46 + 4);
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded: two locks taken in opposite orders by two methods — the
+//! classic two-lock inversion the lock-order pass must flag as a cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded: several independent findings in one file — the renderer
+//! must report each of them, sorted by line.
+
+// scs-contract: no-alloc
+pub fn hot(out: &mut [u64]) -> String {
+    let label = format!("{} slots", out.len());
+    let copy = out.to_vec();
+    out[0] = copy.len() as u64;
+    label
+}
+
+// scs-contract: no-bloc
+pub fn typo() {}

@@ -1,0 +1,15 @@
+//! Seeded: this file IS on the config audit list, so a bare
+//! `Ordering::Relaxed` is a full diagnostic, not an opt-in hint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read() -> u64 {
+    // ordering: Relaxed — monotonic counter, read for display only.
+    HITS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,16 @@
+//! Seeded: explicit atomics in a file nobody audits — the analyzer
+//! should emit one hint pointing at the config opt-in, not one
+//! diagnostic per site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+pub static MISSES: AtomicU64 = AtomicU64::new(0);
+
+pub fn hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn miss() {
+    MISSES.fetch_add(1, Ordering::Relaxed);
+}

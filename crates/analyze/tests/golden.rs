@@ -110,3 +110,184 @@ fn render_reports_violation_counts() {
     assert!(text.contains("1 violation(s)"), "{text}");
     assert!(text.starts_with("lib.rs:6:"), "{text}");
 }
+
+// ---------------------------------------------------------------------------
+// Contract propagation, lock order, config-driven audit.
+
+#[test]
+fn transitive_no_alloc_violation_prints_the_full_call_chain() {
+    // The heap call sits three calls below the contract root; the
+    // diagnostic must name every hop with file:line provenance.
+    let a = run("contract_chain");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "serve.rs:18: [contract] `Vec::with_capacity` violates the `no-alloc` contract \
+             of `serve_one`; call chain: serve_one (serve.rs:5) → route (serve.rs:9) → \
+             gather (serve.rs:13) → emit (serve.rs:17); waive a justified site with \
+             `// contract-ok: <reason>`"
+                .to_string()
+        ]
+    );
+    assert_eq!(a.contract_roots, 1);
+    // Root plus all three transitive callees were proven.
+    assert_eq!(a.contract_fns_checked, 4);
+}
+
+#[test]
+fn no_panic_contract_flags_an_unwrap_in_the_root() {
+    let a = run("contract_panic");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "lib.rs:6: [contract] `.unwrap(` violates the `no-panic` contract of \
+             `read_slot`; call chain: read_slot (lib.rs:4); waive a justified site with \
+             `// contract-ok: <reason>`"
+                .to_string()
+        ]
+    );
+}
+
+#[test]
+fn no_block_contract_follows_a_method_call_to_a_lock() {
+    // `sample` never locks directly; the violation is in the callee it
+    // resolves through `self`.
+    let a = run("contract_block");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "lib.rs:16: [contract] `.lock(` violates the `no-block` contract of \
+             `Gauge::sample`; call chain: Gauge::sample (lib.rs:11) → Gauge::read_locked \
+             (lib.rs:15); waive a justified site with `// contract-ok: <reason>`"
+                .to_string()
+        ]
+    );
+}
+
+#[test]
+fn two_lock_inversion_is_reported_as_a_cycle_with_provenance() {
+    let a = run("lock_inversion");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "lib.rs:14: [lock-order] lock-order cycle (potential deadlock): `Pair::a` → \
+             `Pair::b` → `Pair::a`; acquired as `Pair::a` → `Pair::b` in Pair::forward \
+             (lib.rs:14); `Pair::b` → `Pair::a` in Pair::backward (lib.rs:20); pick one \
+             acquisition order or waive a misread site with `// lock-ok: <reason>`"
+                .to_string()
+        ]
+    );
+    assert_eq!(a.lock_sites, 4);
+    assert_eq!(a.lock_edges, 2);
+}
+
+#[test]
+fn unaudited_atomics_get_one_hint_naming_the_config_file() {
+    // Two bare `Relaxed` sites, but only ONE hint: the finding is "this
+    // file needs opting in", not a per-site scold.
+    let a = run("ordering_hint");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "counters.rs:11: [atomic-ordering-comment] `Ordering::Relaxed` in a file not \
+             in the ordering audit list; add `\"counters.rs\"` to `[ordering] audit` in \
+             scs-analyze.toml and justify each site with a `// ordering:` comment"
+                .to_string()
+        ]
+    );
+    assert_eq!(a.ordering_sites, 0);
+}
+
+#[test]
+fn config_file_opts_a_file_into_the_full_ordering_audit() {
+    // Same file name as the hint fixture, but `scs-analyze.toml` lists
+    // it — so the bare site is a real diagnostic and the justified one
+    // passes.
+    let a = run("ordering_config");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "counters.rs:9: [atomic-ordering-comment] `Ordering::Relaxed` without a \
+             `// ordering:` comment naming its pairing (same line or within 6 lines above)"
+                .to_string()
+        ]
+    );
+    assert_eq!(a.ordering_sites, 2);
+}
+
+#[test]
+fn one_file_can_carry_several_diagnostics() {
+    let a = run("multi_diag");
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "lib.rs:6: [contract] `format!` violates the `no-alloc` contract of `hot`; \
+             call chain: hot (lib.rs:5); waive a justified site with \
+             `// contract-ok: <reason>`"
+                .to_string(),
+            "lib.rs:7: [contract] `.to_vec(` violates the `no-alloc` contract of `hot`; \
+             call chain: hot (lib.rs:5); waive a justified site with \
+             `// contract-ok: <reason>`"
+                .to_string(),
+            "lib.rs:12: [contract] unknown contract `no-bloc` (contracts: no-alloc, \
+             no-panic, no-block)"
+                .to_string(),
+        ]
+    );
+}
+
+#[test]
+fn markers_in_strings_docs_and_test_modules_do_not_fire() {
+    // Deny patterns in doc comments and string literals, plus
+    // allocation and bare atomics inside `#[cfg(test)]` of an audited
+    // file: all inert.
+    let a = run("false_positives");
+    assert!(a.is_clean(), "unexpected diagnostics: {:?}", a.diagnostics);
+    assert_eq!(
+        a.alloc_free_regions, 0,
+        "marker in a string opened a region"
+    );
+    // The test-range atomics are still counted as audited sites —
+    // they are just not diagnosed.
+    assert_eq!(a.ordering_sites, 2);
+    assert_eq!(a.contract_roots, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Output formats.
+
+#[test]
+fn github_format_emits_one_error_command_per_diagnostic() {
+    let a = run("multi_diag");
+    let text = a.render_as(scs_analyze::Format::Github);
+    assert_eq!(text.matches("::error ").count(), 3, "{text}");
+    assert!(
+        text.starts_with("::error file=lib.rs,line=6,title=scs-analyze contract::"),
+        "{text}"
+    );
+    // Commas/colons in the message body are escaped per the workflow-
+    // command grammar only in properties; the data payload keeps them.
+    assert!(text.contains("violates the `no-alloc` contract"), "{text}");
+    assert!(text.ends_with("3 violation(s)"), "{text}");
+}
+
+#[test]
+fn json_format_is_machine_readable_and_self_describing() {
+    let a = run("lock_inversion");
+    let text = a.render_as(scs_analyze::Format::Json);
+    assert!(text.contains("\"rule\": \"lock-order\""), "{text}");
+    assert!(text.contains("\"path\": \"lib.rs\""), "{text}");
+    assert!(text.contains("\"line\": 14"), "{text}");
+    assert!(text.contains("\"lock_edges\": 2"), "{text}");
+    assert!(text.contains("\"clean\": false"), "{text}");
+    let clean = run("false_positives").render_as(scs_analyze::Format::Json);
+    assert!(clean.contains("\"diagnostics\": []"), "{clean}");
+    assert!(clean.contains("\"clean\": true"), "{clean}");
+}

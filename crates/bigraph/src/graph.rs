@@ -244,7 +244,7 @@ impl BipartiteGraph {
     ) -> impl ExactSizeIterator<Item = (Vertex, EdgeId)> + '_ {
         let i = v.index();
         let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
-        self.neighbors[range.clone()]
+        self.neighbors[range.clone()] // contract-ok: Range clone is a stack copy
             .iter()
             .copied()
             .zip(self.edge_ids[range].iter().copied())

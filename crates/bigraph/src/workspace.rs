@@ -449,7 +449,7 @@ impl Workspace {
 /// the pipeline follows one growth policy.
 pub fn grow_vec<T>(v: &mut Vec<T>, n: usize) -> bool {
     if v.capacity() < n {
-        v.reserve(n - v.len());
+        v.reserve(n - v.len()); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         true
     } else {
         false

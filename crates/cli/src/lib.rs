@@ -69,6 +69,8 @@ pub enum Command {
         root: String,
         /// Rule names to disable (`--allow`), already validated.
         allow: Vec<String>,
+        /// Report format name (`--format`), already validated.
+        format: String,
     },
 }
 
@@ -195,7 +197,7 @@ USAGE:
              [--zipf Z] [--seed N] [--batch-size B] [--no-split]
              [--warmup W] [--metrics-out FILE] [--bench-json FILE]
              [--algo auto|peel|expand|binary|baseline] [--one-based]
-  scs analyze [--root DIR] [--allow RULE]...
+  scs analyze [--root DIR] [--allow RULE]... [--format human|github|json]
   scs help
 
 Edge lists are `upper lower [weight]` per line; query vertices are
@@ -256,6 +258,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut bench_json: Option<String> = None;
     let mut analyze_root: Option<String> = None;
     let mut analyze_allow: Vec<String> = Vec::new();
+    let mut analyze_format: Option<String> = None;
     let mut analyze_flags: Vec<&'static str> = Vec::new();
     // Subcommand-specific flags seen, so the other subcommands can
     // reject them instead of silently ignoring a misplaced knob.
@@ -425,6 +428,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 analyze_allow.push(val.to_string());
             }
+            "--format" => {
+                analyze_flags.push("--format");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--format needs a format name"))?;
+                if scs_analyze::Format::from_name(val).is_none() {
+                    return Err(CliError::new(format!(
+                        "unknown format {val:?}; formats: human, github, json"
+                    )));
+                }
+                analyze_format = Some(val.to_string());
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag:?}")))
             }
@@ -522,6 +537,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Analyze {
                 root: analyze_root.unwrap_or_else(|| ".".to_string()),
                 allow: analyze_allow,
+                format: analyze_format.unwrap_or_else(|| "human".to_string()),
             })
         }
         "serve-bench" => {
@@ -655,19 +671,35 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::ServeBench(args) => run_serve_bench(args),
-        Command::Analyze { root, allow } => {
+        Command::Analyze {
+            root,
+            allow,
+            format,
+        } => {
             let mut cfg = scs_analyze::Config::new(&root);
             cfg.disabled = allow
                 .iter()
                 .filter_map(|name| scs_analyze::Rule::from_name(name))
                 .collect();
+            let format = scs_analyze::Format::from_name(&format)
+                .ok_or_else(|| CliError::new(format!("unknown format {format:?}")))?;
             let analysis = scs_analyze::analyze_workspace(&cfg).map_err(CliError::new)?;
             if analysis.is_clean() {
-                Ok(analysis.render())
-            } else {
+                Ok(analysis.render_as(format))
+            } else if format == scs_analyze::Format::Human {
                 // Diagnostics go through the error path so `main` exits
                 // non-zero — the property the CI gate relies on.
                 Err(CliError::new(analysis.render()))
+            } else {
+                // Machine formats must reach stdout intact: GitHub only
+                // parses `::error` commands from stdout, and the error
+                // path would prefix every report with `error: `. Print
+                // here, then exit non-zero with a one-line summary.
+                println!("{}", analysis.render_as(format));
+                Err(CliError::new(format!(
+                    "scs analyze: {} diagnostic(s)",
+                    analysis.diagnostics.len()
+                )))
             }
         }
         Command::Index {
@@ -1250,7 +1282,8 @@ mod tests {
             parse_args(&args(&["analyze"])).unwrap(),
             Command::Analyze {
                 root: ".".into(),
-                allow: vec![]
+                allow: vec![],
+                format: "human".into()
             }
         );
         assert_eq!(
@@ -1262,17 +1295,24 @@ mod tests {
                 "unsafe-allowlist",
                 "--allow",
                 "alloc-free-region",
+                "--format",
+                "github",
             ]))
             .unwrap(),
             Command::Analyze {
                 root: "/tmp/ws".into(),
-                allow: vec!["unsafe-allowlist".into(), "alloc-free-region".into()]
+                allow: vec!["unsafe-allowlist".into(), "alloc-free-region".into()],
+                format: "github".into()
             }
         );
         // Unknown rules die in the parser, naming the valid set.
         let err = parse_args(&args(&["analyze", "--allow", "bogus"])).unwrap_err();
         assert!(err.to_string().contains("unsafe-safety-comment"), "{err}");
+        // Unknown formats likewise, naming the valid set.
+        let err = parse_args(&args(&["analyze", "--format", "xml"])).unwrap_err();
+        assert!(err.to_string().contains("github"), "{err}");
         assert!(parse_args(&args(&["analyze", "--root"])).is_err());
+        assert!(parse_args(&args(&["analyze", "--format"])).is_err());
         assert!(parse_args(&args(&["analyze", "extra"])).is_err());
         // Analyze flags are analyze-only, like every other knob.
         let err = parse_args(&args(&["stats", "g", "--root", "/x"])).unwrap_err();
@@ -1295,14 +1335,33 @@ mod tests {
         let err = run(Command::Analyze {
             root: dir.to_str().unwrap().into(),
             allow: vec![],
+            format: "human".into(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("unsafe-safety-comment"), "{err}");
         assert!(err.to_string().contains("lib.rs:2"), "{err}");
-        // Allowing both rules turns the same tree clean.
+        // Machine formats print the report to stdout and keep only a
+        // one-line count on the error path.
+        let err = run(Command::Analyze {
+            root: dir.to_str().unwrap().into(),
+            allow: vec![],
+            format: "github".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("diagnostic(s)"), "{err}");
+        assert!(!err.to_string().contains("::error"), "{err}");
+        // Allowing both rules turns the same tree clean, in any format.
         let out = run(Command::Analyze {
             root: dir.to_str().unwrap().into(),
             allow: vec!["unsafe-safety-comment".into(), "unsafe-allowlist".into()],
+            format: "json".into(),
+        })
+        .unwrap();
+        assert!(out.contains("\"diagnostics\": []"), "{out}");
+        let out = run(Command::Analyze {
+            root: dir.to_str().unwrap().into(),
+            allow: vec!["unsafe-safety-comment".into(), "unsafe-allowlist".into()],
+            format: "human".into(),
         })
         .unwrap();
         assert!(

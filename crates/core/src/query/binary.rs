@@ -55,7 +55,7 @@ fn feasible(
 ) -> bool {
     s.subset.clear();
     s.subset
-        .extend((0..lg.n_edges() as u32).filter(|&le| lg.weight(le) >= w));
+        .extend((0..lg.n_edges() as u32).filter(|&le| lg.weight(le) >= w)); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
     let subset = std::mem::take(&mut s.subset);
     degree_peel_in(
         lg,
@@ -73,6 +73,7 @@ fn feasible(
 /// Allocation-free `SCS-Binary` over a community given as a sorted
 /// edge-id slice; `out` is cleared first and receives the sorted result
 /// edges.
+// scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
 pub fn scs_binary_into(
     g: &BipartiteGraph,
     community: &[EdgeId],
@@ -101,7 +102,7 @@ pub fn scs_binary_into(
     // Distinct weights, ascending.
     s.weights.clear();
     s.weights
-        .extend((0..lg.n_edges() as u32).map(|le| lg.weight(le)));
+        .extend((0..lg.n_edges() as u32).map(|le| lg.weight(le))); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
     s.weights.sort_unstable_by(|a, b| a.total_cmp(b));
     s.weights.dedup_by(|a, b| a.total_cmp(b).is_eq());
     let weights = std::mem::take(&mut s.weights);

@@ -163,6 +163,7 @@ pub fn scs_expand_with_options_in<'g>(
 /// edge-id slice; `out` is cleared first and receives the sorted result
 /// edges.
 #[allow(clippy::too_many_arguments)] // mirrors the wrapper's signature plus scratch
+                                     // scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
 pub fn scs_expand_into(
     g: &BipartiteGraph,
     community: &[EdgeId],
@@ -198,7 +199,7 @@ pub fn scs_expand_into(
     if let Some((lo, hi)) = lg.weight_bounds() {
         if lo.total_cmp(&hi).is_eq() {
             s.subset.clear();
-            s.subset.extend(0..lg.n_edges() as u32);
+            s.subset.extend(0..lg.n_edges() as u32); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             let subset = std::mem::take(&mut s.subset);
             degree_peel_in(
                 lg,
@@ -231,6 +232,7 @@ pub fn scs_expand_into(
     // borrows its backing store from the workspace.
     let mut heap_buf = std::mem::take(&mut s.heap);
     heap_buf.clear();
+    // contract-ok: warm workspace scratch; growth is cold
     heap_buf.extend((0..lg.n_edges() as u32).map(|le| HeapEdge {
         w: lg.weight(le),
         le,

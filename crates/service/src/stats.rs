@@ -52,6 +52,8 @@ impl LatencyHistogram {
     }
 
     /// Records one sample.
+    // ordering: Relaxed throughout — each counter is an independent
+    // statistic; nothing synchronizes on histogram contents.
     pub fn record(&self, us: u64) {
         self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -60,6 +62,7 @@ impl LatencyHistogram {
     }
 
     /// Number of recorded samples.
+    // ordering: Relaxed — monotone statistic, no pairing.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
@@ -67,6 +70,7 @@ impl LatencyHistogram {
     /// Sum of all recorded samples, µs. Together with [`Self::count`]
     /// this is the two-load mean the split-sizing feedback reads on the
     /// batch path — cheaper than a full [`Self::snapshot`].
+    // ordering: Relaxed — monotone statistic, no pairing.
     pub fn sum_us(&self) -> u64 {
         self.sum_us.load(Ordering::Relaxed)
     }
@@ -77,6 +81,7 @@ impl LatencyHistogram {
     }
 
     /// Largest recorded sample.
+    // ordering: Relaxed — monotone statistic, no pairing.
     pub fn max_us(&self) -> u64 {
         self.max_us.load(Ordering::Relaxed)
     }
@@ -91,12 +96,14 @@ impl LatencyHistogram {
     /// deltas and the metrics exporters. Loads are relaxed: a snapshot
     /// taken while workers record is internally consistent to within
     /// the records in flight at that instant.
+    // ordering: Relaxed loads — tearing across counters is accepted;
+    // a snapshot is consistent to within the records in flight.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count: self.count.load(Ordering::Relaxed),
             sum_us: self.sum_us.load(Ordering::Relaxed),
-            max_us: self.max_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed), // ordering: Relaxed, as above
         }
     }
 }

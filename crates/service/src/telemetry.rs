@@ -471,8 +471,8 @@ impl Telemetry {
     /// per-algorithm × per-stage histogram, and an offer to the
     /// slow-query ring. Atomic adds and a bounded seqlock write — no
     /// locks, no allocation.
-    // scs-lint: alloc-free — recording sits on every request's exit path
-    // and is covered by the release counting-allocator gates.
+    // scs-contract: no-alloc, no-block — recording sits on every
+    // request's exit path: atomic adds and a bounded seqlock write only.
     pub fn record(&self, t: &RequestTrace) {
         let a = algo_rank(t.algo);
         self.total_hists[a].record(t.total_us);
@@ -483,9 +483,9 @@ impl Telemetry {
         }
         self.ring.offer(t);
     }
-    // scs-lint: end-alloc-free
 
     /// Counts one index install (epoch retirement).
+    // scs-contract: no-alloc, no-block
     pub fn note_install(&self) {
         // ordering: Relaxed — independent statistic; pairs with nothing,
         // snapshot tolerates being a few counts behind.
@@ -494,6 +494,7 @@ impl Telemetry {
 
     /// Counts one leader result whose epoch was retired before it could
     /// be cached.
+    // scs-contract: no-alloc, no-block
     pub fn note_stale_publish(&self) {
         // ordering: Relaxed — independent statistic; see `note_install`.
         self.stale_publishes.fetch_add(1, Ordering::Relaxed);
@@ -669,9 +670,9 @@ impl SlowRing {
         self.slots.len()
     }
 
-    // scs-lint: alloc-free — the writer and reader sides of the seqlock
-    // ring run on request exit paths; only `snapshot_into` (below the
-    // region) may allocate.
+    // scs-contract: no-alloc, no-block — the writer side of the seqlock
+    // ring runs on every request's exit path; only `snapshot_into` (not
+    // under contract) may allocate.
     fn offer(&self, t: &RequestTrace) {
         if self.slots.is_empty() || t.total_us == 0 {
             return;
@@ -765,6 +766,7 @@ impl SlowRing {
         }
     }
 
+    // scs-contract: no-alloc, no-block — runs inside `offer`.
     fn refresh_threshold(&self) {
         let mut min = u64::MAX;
         for s in &self.slots {
@@ -786,6 +788,8 @@ impl SlowRing {
         }
     }
 
+    // scs-contract: no-alloc, no-block — the reader side of the seqlock:
+    // bounded retries, no locks, plain loads into stack storage.
     fn read_slot(s: &RingSlot) -> Option<SlowQuery> {
         for _ in 0..8 {
             // ordering: Acquire `seq` pairs with the writer's Release
@@ -831,7 +835,6 @@ impl SlowRing {
         }
         None
     }
-    // scs-lint: end-alloc-free
 
     fn snapshot_into(&self, out: &mut Vec<SlowQuery>) {
         for s in self.slots.iter() {
