@@ -7,9 +7,15 @@
 //! * `search <edgelist> <side:q> <alpha> <beta> [--algo ...]` — the
 //!   significant (α,β)-community;
 //! * `index <edgelist> <out.scsidx>` — build and save the `Iδ` index;
+//! * `serve <edgelist> [--addr HOST:PORT] ...` — serve queries over a
+//!   std-only HTTP/1.1 front end with admission control and deadline
+//!   batching (see `scs-service`'s `server` module); prints the bound
+//!   address, then blocks until killed;
 //! * `serve-bench <edgelist> [--threads N] [--queries K] ...` — replay a
 //!   generated query workload through the concurrent `scs-service`
-//!   engine and print the QPS/latency/cache stats table;
+//!   engine and print the QPS/latency/cache stats table; with
+//!   `--remote HOST:PORT` the same workload is driven over HTTP
+//!   against a running `scs serve` instead;
 //! * `analyze [--root DIR] [--allow RULE]` — run the workspace's
 //!   concurrency-correctness lint pass (see `scs-analyze`); exits
 //!   non-zero when any diagnostic fires, so CI can gate on it.
@@ -61,6 +67,8 @@ pub enum Command {
     },
     /// Write the 11 synthetic dataset analogues as edge lists.
     Generate(GenerateArgs),
+    /// Serve queries over the std-only network front end.
+    Serve(ServeArgs),
     /// Replay a generated workload through the concurrent query engine.
     ServeBench(ServeBenchArgs),
     /// Run the concurrency-correctness lint pass over the workspace.
@@ -114,6 +122,37 @@ pub struct ServeBenchArgs {
     pub metrics_out: Option<String>,
     /// Write the schema-versioned `BENCH_service.json` artifact here.
     pub bench_json: Option<String>,
+    /// Drive the workload over HTTP against a running `scs serve` at
+    /// this address instead of an in-process engine.
+    pub remote: Option<String>,
+}
+
+/// Arguments of `scs serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Edge-list path.
+    pub path: String,
+    /// KONECT-style 1-based ids.
+    pub one_based: bool,
+    /// Listen address (`host:port`; port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads in the engine.
+    pub threads: usize,
+    /// Engine shards.
+    pub shards: usize,
+    /// Admission budget: admitted-but-unanswered requests past this
+    /// are shed with `429 + Retry-After`.
+    pub pending_budget: usize,
+    /// Deadline-batcher flush deadline, milliseconds (0 = no batching).
+    pub batch_deadline_ms: u64,
+    /// Deadline-batcher size flush threshold.
+    pub batch_max: usize,
+    /// Per-tenant token-bucket refill rate, requests/second (0 = off).
+    pub tenant_rate: u64,
+    /// Per-tenant token-bucket burst capacity.
+    pub tenant_burst: u64,
+    /// Socket read/write timeout, milliseconds (0 = none).
+    pub socket_timeout_ms: u64,
 }
 
 /// A side-qualified query vertex (`u:3` / `l:17`).
@@ -192,10 +231,15 @@ USAGE:
              [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs index <edgelist> <out.scsidx> [--one-based]
   scs generate <dir> [--scale S] [--seed N]
+  scs serve <edgelist> [--addr HOST:PORT] [--threads N] [--shards S]
+             [--pending-budget N] [--batch-deadline-ms MS]
+             [--batch-max N] [--tenant-rate R] [--tenant-burst B]
+             [--socket-timeout-ms MS] [--one-based]
   scs serve-bench <edgelist> [--threads N] [--shards S] [--queries K]
              [--clients C] [--alpha A] [--beta B] [--repeat F]
              [--zipf Z] [--seed N] [--batch-size B] [--no-split]
              [--warmup W] [--metrics-out FILE] [--bench-json FILE]
+             [--remote HOST:PORT]
              [--algo auto|peel|expand|binary|baseline] [--one-based]
   scs analyze [--root DIR] [--allow RULE]... [--format human|github|json]
   scs help
@@ -259,10 +303,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut analyze_root: Option<String> = None;
     let mut analyze_allow: Vec<String> = Vec::new();
     let mut analyze_format: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut remote: Option<String> = None;
+    let serve_defaults = scs_service::ServiceConfig::default();
+    let mut pending_budget = serve_defaults.pending_budget;
+    let mut batch_deadline_ms = serve_defaults.batch_deadline_ms;
+    let mut batch_max = serve_defaults.batch_max;
+    let mut tenant_rate = serve_defaults.tenant_rate;
+    let mut tenant_burst = serve_defaults.tenant_burst;
+    let mut socket_timeout_ms = serve_defaults.socket_timeout_ms;
     let mut analyze_flags: Vec<&'static str> = Vec::new();
     // Subcommand-specific flags seen, so the other subcommands can
     // reject them instead of silently ignoring a misplaced knob.
     let mut serve_flags: Vec<&'static str> = Vec::new();
+    // Engine sizing shared by `serve` and `serve-bench`.
+    let mut engine_flags: Vec<&'static str> = Vec::new();
+    // Admission/batching knobs of `serve` only.
+    let mut serve_only_flags: Vec<&'static str> = Vec::new();
     let mut scale_flag_seen = false;
     let mut algo_flag_seen = false;
     let mut seed_flag_seen = false;
@@ -300,18 +357,83 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::new(format!("invalid seed {val:?}")))?;
             }
             "--threads" => {
-                serve_flags.push("--threads");
+                engine_flags.push("--threads");
                 let val = it
                     .next()
                     .ok_or_else(|| CliError::new("--threads needs a value"))?;
                 threads = parse_usize(val, "thread count")?;
             }
             "--shards" => {
-                serve_flags.push("--shards");
+                engine_flags.push("--shards");
                 let val = it
                     .next()
                     .ok_or_else(|| CliError::new("--shards needs a value"))?;
                 shards = parse_usize(val, "shard count")?;
+            }
+            "--addr" => {
+                serve_only_flags.push("--addr");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--addr needs a host:port value"))?;
+                addr = Some(val.to_string());
+            }
+            "--pending-budget" => {
+                serve_only_flags.push("--pending-budget");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--pending-budget needs a value"))?;
+                pending_budget = parse_usize(val, "pending budget")?;
+            }
+            "--batch-deadline-ms" => {
+                serve_only_flags.push("--batch-deadline-ms");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--batch-deadline-ms needs a value"))?;
+                // Zero is meaningful (batching off), so parse directly.
+                batch_deadline_ms = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid batch deadline {val:?}")))?;
+            }
+            "--batch-max" => {
+                serve_only_flags.push("--batch-max");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--batch-max needs a value"))?;
+                batch_max = parse_usize(val, "batch max")?;
+            }
+            "--tenant-rate" => {
+                serve_only_flags.push("--tenant-rate");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--tenant-rate needs a value"))?;
+                // Zero is meaningful (quotas off), so parse directly.
+                tenant_rate = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid tenant rate {val:?}")))?;
+            }
+            "--tenant-burst" => {
+                serve_only_flags.push("--tenant-burst");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--tenant-burst needs a value"))?;
+                tenant_burst = parse_usize(val, "tenant burst")? as u64;
+            }
+            "--socket-timeout-ms" => {
+                serve_only_flags.push("--socket-timeout-ms");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--socket-timeout-ms needs a value"))?;
+                // Zero is meaningful (no timeout), so parse directly.
+                socket_timeout_ms = val
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid socket timeout {val:?}")))?;
+            }
+            "--remote" => {
+                serve_flags.push("--remote");
+                let val = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--remote needs a host:port value"))?;
+                remote = Some(val.to_string());
             }
             "--queries" => {
                 serve_flags.push("--queries");
@@ -456,6 +578,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             )));
         }
     }
+    if !matches!(cmd, "serve" | "serve-bench") {
+        if let Some(flag) = engine_flags.first() {
+            return Err(CliError::new(format!(
+                "{flag} only applies to `scs serve` and `scs serve-bench`"
+            )));
+        }
+    }
+    if cmd != "serve" {
+        if let Some(flag) = serve_only_flags.first() {
+            return Err(CliError::new(format!("{flag} only applies to `scs serve`")));
+        }
+    }
     if cmd != "analyze" {
         if let Some(flag) = analyze_flags.first() {
             return Err(CliError::new(format!(
@@ -540,6 +674,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 format: analyze_format.unwrap_or_else(|| "human".to_string()),
             })
         }
+        "serve" => {
+            need(1)?;
+            Ok(Command::Serve(ServeArgs {
+                path: rest[0].into(),
+                one_based,
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7474".to_string()),
+                threads,
+                shards,
+                pending_budget,
+                batch_deadline_ms,
+                batch_max,
+                tenant_rate,
+                tenant_burst,
+                socket_timeout_ms,
+            }))
+        }
         "serve-bench" => {
             need(1)?;
             Ok(Command::ServeBench(ServeBenchArgs {
@@ -560,6 +710,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 warmup,
                 metrics_out,
                 bench_json,
+                remote,
             }))
         }
         other => Err(CliError::new(format!(
@@ -670,6 +821,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Serve(args) => run_serve(args),
         Command::ServeBench(args) => run_serve_bench(args),
         Command::Analyze {
             root,
@@ -721,17 +873,88 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
     }
 }
 
+/// `scs serve`: build the engine from the edge list, bind the std-only
+/// HTTP front end (admission control + deadline batching, see
+/// `scs-service`'s `server` module) and serve until killed. Prints the
+/// bound address up front — flushed, so supervisors and the CI smoke
+/// job can poll readiness — and never returns on success.
+fn run_serve(args: ServeArgs) -> Result<String, CliError> {
+    use scs_service::{QueryEngine, Server, ServiceConfig};
+    use std::io::Write as _;
+
+    let g = load(&args.path, args.one_based)?;
+    let summary = g.summary();
+    let search = CommunitySearch::shared(g);
+    let config = ServiceConfig {
+        workers: args.threads,
+        shards: args.shards,
+        pending_budget: args.pending_budget,
+        batch_deadline_ms: args.batch_deadline_ms,
+        batch_max: args.batch_max,
+        tenant_rate: args.tenant_rate,
+        tenant_burst: args.tenant_burst,
+        socket_timeout_ms: args.socket_timeout_ms,
+        ..ServiceConfig::default()
+    };
+    let engine = QueryEngine::start(search, config.clone());
+    let handle = Server::start(engine, &args.addr, &config)
+        .map_err(|e| CliError::new(format!("{}: {e}", args.addr)))?;
+    println!("scs serve: {summary}");
+    println!(
+        "listening on {} — {} worker(s) in {} shard(s), pending budget {}, \
+         batches of ≤ {} flushed after {} ms, tenant quota {}/s (burst {}), \
+         socket timeout {} ms",
+        handle.local_addr(),
+        args.threads,
+        args.shards,
+        args.pending_budget,
+        args.batch_max,
+        args.batch_deadline_ms,
+        args.tenant_rate,
+        args.tenant_burst,
+        args.socket_timeout_ms,
+    );
+    println!("endpoints: /query /metrics /stats /healthz — Ctrl-C to stop");
+    std::io::stdout().flush().ok();
+    loop {
+        // Serve until the process is killed; the handle's threads do
+        // all the work. `park` may wake spuriously, hence the loop.
+        std::thread::park();
+    }
+}
+
+/// The derived `--warmup` default: `queries / 10`, rounded **up** to a
+/// whole number of `--batch-size` submission batches. An unaligned
+/// default (e.g. 10 warmup with batches of 16) would end the warmup
+/// replay on a partial batch, so warmed caches and the batch-size
+/// steady state would disagree with what the measured window claims to
+/// measure. An explicit `--warmup` is taken verbatim.
+fn aligned_default_warmup(queries: usize, batch_size: usize) -> usize {
+    let base = queries / 10;
+    if batch_size <= 1 || base == 0 {
+        return base;
+    }
+    base.div_ceil(batch_size) * batch_size
+}
+
 /// `scs serve-bench`: build the index, replay a core-sampled workload
 /// with repeats through the concurrent engine, print the stats table
 /// (plus a steady-state window excluding warmup), and optionally export
-/// Prometheus text and the `BENCH_service.json` artifact.
+/// Prometheus text and the `BENCH_service.json` artifact. With
+/// `--remote`, the same workload is driven over HTTP against a running
+/// `scs serve` instead ([`run_remote_bench`]).
 fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
     use scs_service::{
         render_bench_json, replay_batched, try_build_workload, validate_bench_json,
         validate_prometheus, BenchMeta, QueryEngine, ServiceConfig, WorkloadSpec,
     };
 
-    let warmup = args.warmup.unwrap_or(args.queries / 10);
+    let warmup = args
+        .warmup
+        .unwrap_or_else(|| aligned_default_warmup(args.queries, args.batch_size));
+    if let Some(remote) = args.remote.clone() {
+        return run_remote_bench(&args, &remote, warmup);
+    }
     let g = load(&args.path, args.one_based)?;
     let summary = g.summary();
     let search = CommunitySearch::shared(g);
@@ -840,6 +1063,204 @@ fn run_serve_bench(args: ServeBenchArgs) -> Result<String, CliError> {
     }
     engine.shutdown();
     Ok(out)
+}
+
+/// `scs serve-bench --remote`: drive the generated workload over
+/// keep-alive HTTP connections against a running `scs serve`, counting
+/// `200`s, `429` sheds and errors and measuring client-side latency.
+/// The engine knobs (`--threads`, `--shards`, `--batch-size`,
+/// `--no-split`) belong to the server process and are ignored here;
+/// `--bench-json` needs in-process engine stats and is rejected.
+fn run_remote_bench(
+    args: &ServeBenchArgs,
+    remote: &str,
+    warmup: usize,
+) -> Result<String, CliError> {
+    use scs_service::{try_build_workload, validate_prometheus, LatencyHistogram, WorkloadSpec};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    if args.bench_json.is_some() {
+        return Err(CliError::new(
+            "--bench-json needs in-process engine stats; not available with --remote",
+        ));
+    }
+    let g = load(&args.path, args.one_based)?;
+    let summary = g.summary();
+    let search = CommunitySearch::new(g);
+    let spec = WorkloadSpec {
+        n_queries: warmup + args.queries,
+        alpha: args.alpha,
+        beta: args.beta,
+        algo: args.algo,
+        repeat_fraction: args.repeat,
+        zipf: args.zipf,
+        seed: args.seed,
+    };
+    let workload = try_build_workload(&search, &spec)
+        .map_err(|e| CliError::new(format!("{}: {e}; lower --alpha/--beta", args.path)))?;
+    drop(search); // the client side needs only the request list
+
+    // Warmup over one connection, results discarded (the server's
+    // caches and batch heuristics see the same distribution the
+    // measured run uses).
+    if warmup > 0 {
+        let mut conn = HttpClient::connect(remote)?;
+        for req in &workload[..warmup] {
+            conn.query(req)?;
+        }
+    }
+
+    let hist = Arc::new(LatencyHistogram::default());
+    let measured = &workload[warmup..];
+    let clients = args.clients.clamp(1, measured.len().max(1));
+    let t0 = Instant::now();
+    let counts = std::thread::scope(|scope| -> Result<(u64, u64, u64), CliError> {
+        let mut joins = Vec::with_capacity(clients);
+        for chunk in measured.chunks(measured.len().div_ceil(clients)) {
+            let hist = Arc::clone(&hist);
+            joins.push(scope.spawn(move || -> Result<(u64, u64, u64), CliError> {
+                let mut conn = HttpClient::connect(remote)?;
+                let (mut ok, mut shed, mut other) = (0u64, 0u64, 0u64);
+                for req in chunk {
+                    let t = Instant::now();
+                    let (status, _body) = conn.query(req)?;
+                    hist.record(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    match status {
+                        200 => ok += 1,
+                        429 => shed += 1,
+                        _ => other += 1,
+                    }
+                }
+                Ok((ok, shed, other))
+            }));
+        }
+        let mut total = (0u64, 0u64, 0u64);
+        for j in joins {
+            let (ok, shed, other) = j
+                .join()
+                .map_err(|_| CliError::new("bench client thread panicked"))??;
+            total.0 += ok;
+            total.1 += shed;
+            total.2 += other;
+        }
+        Ok(total)
+    })?;
+    let wall = t0.elapsed().as_secs_f64();
+    let (ok, shed, other) = counts;
+    let lat = hist.snapshot().summary();
+    let mut out = format!(
+        "serve-bench --remote {remote} {summary}\n\
+         workload: {} queries (+{warmup} warmup) (α={}, β={}, algo={}, repeat={:.2}, \
+         zipf={:.2}, seed={})\n\
+         driven by {clients} HTTP client(s) in {wall:.3} s — {:.1} QPS\n\
+         ok (200) {ok}, shed (429) {shed}, other {other}\n\
+         client latency: mean {:.1}µs, p50 {}µs, p99 {}µs, max {}µs\n",
+        measured.len(),
+        args.alpha,
+        args.beta,
+        args.algo,
+        args.repeat,
+        args.zipf,
+        args.seed,
+        measured.len() as f64 / wall.max(1e-9),
+        lat.mean_us,
+        lat.p50_us,
+        lat.p99_us,
+        lat.max_us,
+    );
+    if let Some(path) = &args.metrics_out {
+        let mut conn = HttpClient::connect(remote)?;
+        let (status, text) = conn.get("/metrics")?;
+        if status != 200 {
+            return Err(CliError::new(format!("{remote}/metrics returned {status}")));
+        }
+        validate_prometheus(&text)
+            .map_err(|e| CliError::new(format!("served metrics failed validation: {e}")))?;
+        std::fs::write(path, &text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        out.push_str(&format!("wrote Prometheus metrics → {path}\n"));
+    }
+    Ok(out)
+}
+
+/// A minimal keep-alive HTTP/1.1 client for `scs serve` — request per
+/// call, content-length framed responses, no dependencies.
+struct HttpClient {
+    write: std::net::TcpStream,
+    read: std::io::BufReader<std::net::TcpStream>,
+    addr: String,
+}
+
+impl HttpClient {
+    fn connect(addr: &str) -> Result<Self, CliError> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| CliError::new(format!("{addr}: connect failed: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let read = std::io::BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| CliError::new(format!("{addr}: {e}")))?,
+        );
+        Ok(HttpClient {
+            write: stream,
+            read,
+            addr: addr.to_string(),
+        })
+    }
+
+    fn query(&mut self, req: &scs_service::QueryRequest) -> Result<(u16, String), CliError> {
+        let target = format!(
+            "/query?q={}&alpha={}&beta={}&algo={}",
+            req.q.0,
+            req.alpha,
+            req.beta,
+            req.algo.name()
+        );
+        self.get(&target)
+    }
+
+    fn get(&mut self, target: &str) -> Result<(u16, String), CliError> {
+        use std::io::{BufRead, Read, Write};
+
+        write!(self.write, "GET {target} HTTP/1.1\r\nHost: scs\r\n\r\n")
+            .and_then(|()| self.write.flush())
+            .map_err(|e| CliError::new(format!("{}: send failed: {e}", self.addr)))?;
+        let mut line = String::new();
+        self.read
+            .read_line(&mut line)
+            .map_err(|e| CliError::new(format!("{}: read failed: {e}", self.addr)))?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| {
+                CliError::new(format!("{}: malformed status line {line:?}", self.addr))
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.read
+                .read_line(&mut header)
+                .map_err(|e| CliError::new(format!("{}: read failed: {e}", self.addr)))?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| CliError::new(format!("{}: bad content length", self.addr)))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.read
+            .read_exact(&mut body)
+            .map_err(|e| CliError::new(format!("{}: read failed: {e}", self.addr)))?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
 }
 
 #[cfg(test)]
@@ -971,6 +1392,7 @@ mod tests {
                 warmup: None,
                 metrics_out: None,
                 bench_json: None,
+                remote: None,
             })
         );
         // batch size defaults to per-request submission; splitting is
@@ -1136,6 +1558,7 @@ mod tests {
             warmup: None,
             metrics_out: None,
             bench_json: None,
+            remote: None,
         }))
         .unwrap();
         assert!(out.contains("200 queries"), "{out}");
@@ -1164,6 +1587,7 @@ mod tests {
             warmup: None,
             metrics_out: None,
             bench_json: None,
+            remote: None,
         }))
         .unwrap();
         assert!(out.contains("batches of 25"), "{out}");
@@ -1189,6 +1613,7 @@ mod tests {
             warmup: None,
             metrics_out: None,
             bench_json: None,
+            remote: None,
         }))
         .unwrap();
         assert!(out.contains("batches of 25, no split"), "{out}");
@@ -1212,6 +1637,7 @@ mod tests {
             warmup: None,
             metrics_out: None,
             bench_json: None,
+            remote: None,
         }))
         .unwrap_err();
         // The empty-core diagnosis names the core, with the lone
@@ -1254,6 +1680,7 @@ mod tests {
             warmup: Some(40),
             metrics_out: Some(metrics.to_str().unwrap().into()),
             bench_json: Some(bench.to_str().unwrap().into()),
+            remote: None,
         }))
         .unwrap();
         assert!(out.contains("200 queries (+40 warmup)"), "{out}");
@@ -1273,6 +1700,255 @@ mod tests {
         // 240 replayed.
         assert!(json.contains("\"queries\": 200"), "{json}");
         assert!(json.contains("\"warmup\": 40"), "{json}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse_args(&args(&["serve", "g.tsv"])).unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.path, "g.tsv");
+                assert_eq!(a.addr, "127.0.0.1:7474");
+                // Admission knobs default to the ServiceConfig values.
+                let d = scs_service::ServiceConfig::default();
+                assert_eq!(a.pending_budget, d.pending_budget);
+                assert_eq!(a.batch_deadline_ms, d.batch_deadline_ms);
+                assert_eq!(a.batch_max, d.batch_max);
+                assert_eq!(a.tenant_rate, d.tenant_rate);
+                assert_eq!(a.tenant_burst, d.tenant_burst);
+                assert_eq!(a.socket_timeout_ms, d.socket_timeout_ms);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "serve",
+            "g.tsv",
+            "--addr",
+            "0.0.0.0:0",
+            "--threads",
+            "8",
+            "--shards",
+            "2",
+            "--pending-budget",
+            "64",
+            "--batch-deadline-ms",
+            "0",
+            "--batch-max",
+            "16",
+            "--tenant-rate",
+            "100",
+            "--tenant-burst",
+            "10",
+            "--socket-timeout-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                path: "g.tsv".into(),
+                one_based: false,
+                addr: "0.0.0.0:0".into(),
+                threads: 8,
+                shards: 2,
+                pending_budget: 64,
+                batch_deadline_ms: 0,
+                batch_max: 16,
+                tenant_rate: 100,
+                tenant_burst: 10,
+                socket_timeout_ms: 500,
+            })
+        );
+        // Serve knobs are serve-only; engine sizing is shared with
+        // serve-bench; bench knobs stay bench-only.
+        let err = parse_args(&args(&["serve-bench", "g", "--addr", "x:1"])).unwrap_err();
+        assert!(err.to_string().contains("`scs serve`"), "{err}");
+        assert!(parse_args(&args(&["stats", "g", "--pending-budget", "9"])).is_err());
+        assert!(parse_args(&args(&["serve", "g", "--queries", "10"])).is_err());
+        assert!(parse_args(&args(&["serve", "g", "--threads", "2"])).is_ok());
+        assert!(parse_args(&args(&["stats", "g", "--threads", "2"])).is_err());
+        assert!(parse_args(&args(&["serve", "g", "--pending-budget", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "g", "--batch-max", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "g", "--addr"])).is_err());
+        assert!(parse_args(&args(&["serve"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_bench_remote() {
+        match parse_args(&args(&[
+            "serve-bench",
+            "g.tsv",
+            "--remote",
+            "10.0.0.1:7474",
+        ]))
+        .unwrap()
+        {
+            Command::ServeBench(a) => assert_eq!(a.remote.as_deref(), Some("10.0.0.1:7474")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["serve-bench", "g", "--remote"])).is_err());
+        let err = parse_args(&args(&["stats", "g", "--remote", "x:1"])).unwrap_err();
+        assert!(err.to_string().contains("serve-bench"), "{err}");
+    }
+
+    #[test]
+    fn derived_warmup_aligns_to_the_batch_size() {
+        // Per-request submission keeps the plain tenth.
+        assert_eq!(aligned_default_warmup(1000, 1), 100);
+        // Unaligned tenths round UP to whole batches: 100/10 = 10 → 16.
+        assert_eq!(aligned_default_warmup(100, 16), 16);
+        assert_eq!(aligned_default_warmup(1000, 16), 112);
+        // Already aligned stays put.
+        assert_eq!(aligned_default_warmup(1000, 25), 100);
+        // No warmup stays no warmup (nothing to align).
+        assert_eq!(aligned_default_warmup(5, 16), 0);
+    }
+
+    #[test]
+    fn serve_bench_default_warmup_lands_on_a_batch_boundary() {
+        let dir = std::env::temp_dir().join("scs_cli_warmup_align_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        let mut body = String::new();
+        for u in 0..3 {
+            for l in 0..3 {
+                body.push_str(&format!("{u} {l} 5\n"));
+            }
+        }
+        std::fs::write(&path, body).unwrap();
+        // queries=100, batch-size=16: the old derived default (10)
+        // ended warmup on a partial batch; the aligned default is 16.
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 2,
+            shards: 1,
+            queries: 100,
+            clients: 2,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            zipf: 0.0,
+            seed: 1,
+            batch_size: 16,
+            no_split: false,
+            warmup: None,
+            metrics_out: None,
+            bench_json: None,
+            remote: None,
+        }))
+        .unwrap();
+        assert!(out.contains("(+16 warmup)"), "{out}");
+        // An explicit --warmup is never realigned.
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 2,
+            shards: 1,
+            queries: 100,
+            clients: 2,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            zipf: 0.0,
+            seed: 1,
+            batch_size: 16,
+            no_split: false,
+            warmup: Some(10),
+            metrics_out: None,
+            bench_json: None,
+            remote: None,
+        }))
+        .unwrap();
+        assert!(out.contains("(+10 warmup)"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn remote_bench_drives_a_live_server() {
+        use scs_service::{QueryEngine, Server, ServiceConfig};
+
+        let dir = std::env::temp_dir().join("scs_cli_remote_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        let mut body = String::new();
+        for u in 0..3 {
+            for l in 0..3 {
+                let w = if u == 2 && l == 2 { 1 } else { 5 };
+                body.push_str(&format!("{u} {l} {w}\n"));
+            }
+        }
+        std::fs::write(&path, body).unwrap();
+        // A real server on an ephemeral loopback port, fed from the
+        // same edge list the client derives its workload from.
+        let g = load(path.to_str().unwrap(), false).unwrap();
+        let config = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let engine = QueryEngine::start(CommunitySearch::shared(g), config.clone());
+        let server = Server::start(engine, "127.0.0.1:0", &config).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let metrics = dir.join("remote_metrics.prom");
+        let out = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 2,
+            shards: 1,
+            queries: 60,
+            clients: 3,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.5,
+            zipf: 0.0,
+            seed: 1,
+            batch_size: 1,
+            no_split: false,
+            warmup: Some(5),
+            metrics_out: Some(metrics.to_str().unwrap().into()),
+            bench_json: None,
+            remote: Some(addr.clone()),
+        }))
+        .unwrap();
+        assert!(out.contains("--remote"), "{out}");
+        assert!(out.contains("ok (200) 60"), "{out}");
+        assert!(out.contains("shed (429) 0"), "{out}");
+        assert!(out.contains("wrote Prometheus metrics"), "{out}");
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("scs_admission_admitted_total"), "{prom}");
+
+        // --bench-json needs the in-process engine and says so.
+        let err = run(Command::ServeBench(ServeBenchArgs {
+            path: path.to_str().unwrap().into(),
+            one_based: false,
+            threads: 2,
+            shards: 1,
+            queries: 10,
+            clients: 1,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Auto,
+            repeat: 0.0,
+            zipf: 0.0,
+            seed: 1,
+            batch_size: 1,
+            no_split: false,
+            warmup: Some(0),
+            metrics_out: None,
+            bench_json: Some(dir.join("b.json").to_str().unwrap().into()),
+            remote: Some(addr),
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("--remote"), "{err}");
+
+        let fin = server.stop();
+        assert_eq!(fin.admitted, fin.served + fin.shed_after_admit);
+        assert!(fin.admitted >= 65, "{fin:?}");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -115,7 +115,7 @@
 #![allow(unsafe_code)]
 
 use crate::cache::{CacheStats, ShardedCache};
-use crate::stats::{HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
+use crate::stats::{AdmissionStats, HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
 use crate::telemetry::{
     Provenance, SlowQuery, Stage, StageRecorder, StageSet, Telemetry, TelemetrySnapshot,
 };
@@ -179,6 +179,29 @@ pub struct ServiceConfig {
     /// (see [`crate::telemetry`]). 0 disables retention (recording
     /// skips the ring entirely); the histograms stay on regardless.
     pub slow_ring_capacity: usize,
+    /// Network front end ([`crate::Server`]) only — the engine itself
+    /// never sheds. Maximum requests admitted but not yet answered;
+    /// past it new requests get `429 + Retry-After` instead of
+    /// queueing unboundedly. Clamped to ≥ 1.
+    pub pending_budget: usize,
+    /// Server only: how long an accumulation bucket may wait for
+    /// compatible requests before the deadline batcher flushes it into
+    /// [`QueryEngine::submit_batch`], milliseconds. 0 flushes every
+    /// request immediately (batching off).
+    pub batch_deadline_ms: u64,
+    /// Server only: an accumulation bucket reaching this many requests
+    /// flushes immediately, deadline or not. Clamped to ≥ 1.
+    pub batch_max: usize,
+    /// Server only: per-tenant token-bucket refill rate,
+    /// requests/second. 0 disables tenant quotas.
+    pub tenant_rate: u64,
+    /// Server only: per-tenant token-bucket burst capacity. Clamped to
+    /// ≥ 1 when quotas are on.
+    pub tenant_burst: u64,
+    /// Server only: socket read/write timeout, milliseconds — a slow
+    /// or dead client is disconnected instead of pinning a connection
+    /// thread. 0 means no timeout.
+    pub socket_timeout_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -192,6 +215,12 @@ impl Default for ServiceConfig {
             split_batches: true,
             arena_slab_edges: bigraph::arena::DEFAULT_SLAB_EDGES,
             slow_ring_capacity: 16,
+            pending_budget: 1024,
+            batch_deadline_ms: 2,
+            batch_max: 64,
+            tenant_rate: 0,
+            tenant_burst: 64,
+            socket_timeout_ms: 10_000,
         }
     }
 }
@@ -2390,6 +2419,7 @@ impl ShardedEngine {
             arena_recycled: agg.arena_recycled,
             stages: agg.telem.stage_summaries(),
             algos: agg.telem.algo_stats(),
+            admission: AdmissionStats::default(),
             slow: agg.slow,
             per_shard: agg.per_shard,
         }
@@ -2411,10 +2441,44 @@ impl ShardedEngine {
     /// The `per_shard` rows stay cumulative even here — shard balance
     /// is a property of the whole run, and windowed per-shard deltas
     /// would cost a per-shard baseline for marginal insight.
+    ///
+    /// The slow-query list reports the worst requests *of the window*:
+    /// each call re-arms every shard's slow ring (clearing the slots
+    /// and the reject threshold), so a fast window following a slow
+    /// warmup still surfaces its own spikes instead of losing them
+    /// under the warmup's stale threshold.
+    ///
+    /// If the baseline is found to be *ahead* of the current counters —
+    /// any histogram bucket, count or plain counter going backwards,
+    /// which proves the counters were replaced or reset mid-window —
+    /// the stale baseline is discarded and the window is recomputed
+    /// from zero (everything since the reset), rather than returning
+    /// saturated per-field deltas whose `count` disagrees with
+    /// `Σ buckets` and whose quantiles read the wrong bucket.
     pub fn stats_window(&self) -> ServiceStats {
         let mut base = self.core.window.lock().unwrap();
         let now = Instant::now();
         let agg = self.core.aggregate();
+        let regressed = agg.service.regressed_from(&base.service)
+            || agg.telem.regressed_from(&base.telem)
+            || agg.completed < base.completed
+            || agg.coalesced < base.coalesced
+            || agg.batches < base.batches
+            || agg.batched < base.batched
+            || agg.splits < base.splits
+            || agg.sub_batches < base.sub_batches
+            || agg.cache.hits < base.cache_hits
+            || agg.cache.misses < base.cache_misses
+            || agg.cache.evictions < base.cache_evictions
+            || agg.cache.invalidated < base.cache_invalidated;
+        if regressed {
+            // Resnapshot: the recorded baseline belongs to storage that
+            // no longer backs the counters. Zeroing it makes every
+            // subtraction below exact (delta vs. zero ≡ the cumulative
+            // values since the reset, which all fall inside this
+            // window) and keeps count ≡ Σ buckets for the quantiles.
+            *base = WindowBase::zero(base.at);
+        }
         let d_service = agg.service.delta(&base.service);
         let d_telem = agg.telem.delta(&base.telem);
         let d_completed = agg.completed.saturating_sub(base.completed);
@@ -2449,9 +2513,17 @@ impl ShardedEngine {
             arena_recycled: agg.arena_recycled,
             stages: d_telem.stage_summaries(),
             algos: d_telem.algo_stats(),
+            admission: AdmissionStats::default(),
             slow: agg.slow,
             per_shard: agg.per_shard,
         };
+        // Re-arm the slow rings for the next window (the worst-of-window
+        // list above was already captured by `aggregate`). Without this
+        // the reject threshold ratchets up during a slow warmup and a
+        // fast measured window records no slow queries at all.
+        for inner in &self.core.shards {
+            inner.telemetry.reset_slow_window();
+        }
         *base = WindowBase {
             at: now,
             service: agg.service,
@@ -2477,8 +2549,31 @@ impl ShardedEngine {
     /// engine start; scrape-ready (`scs serve-bench --metrics-out`
     /// writes exactly this).
     pub fn render_metrics(&self) -> String {
+        self.render_metrics_with(AdmissionStats::default())
+    }
+
+    /// [`Self::render_metrics`] with the network front end's admission
+    /// counters spliced in — the `scs_admission_*` families are always
+    /// emitted (zero for in-process engines), so dashboards keep a
+    /// stable shape whether or not `scs serve` fronts the engine.
+    pub fn render_metrics_with(&self, admission: AdmissionStats) -> String {
         let agg = self.core.aggregate();
-        crate::telemetry::render_prometheus(&self.stats(), &agg.telem)
+        let mut stats = self.stats();
+        stats.admission = admission;
+        crate::telemetry::render_prometheus(&stats, &agg.telem)
+    }
+
+    /// Records one network-front-end accept window (socket accept →
+    /// engine enqueue, µs) into the [`crate::telemetry::Stage::Accept`]
+    /// histogram of the shard that will serve `req` — so the stage
+    /// breakdown attributes front-end time to the same per-algorithm
+    /// plane as the engine-side stages. Only [`crate::Server`] calls
+    /// this; the in-process submission paths never touch the stage.
+    pub fn record_accept(&self, req: &QueryRequest, accept_us: u64) {
+        let shard = route_of(req.q, self.core.shards.len());
+        self.core.shards[shard]
+            .telemetry
+            .record_accept(req.algo, accept_us);
     }
 
     /// Stops accepting work, drains every shard's queue and joins
@@ -3099,6 +3194,98 @@ mod tests {
         // the effective value — never drop it below the floor.
         let eff = e.stats().per_shard[0].min_sub_batch_effective;
         assert!(eff >= 8, "effective {eff} fell below the configured floor");
+        e.shutdown();
+    }
+
+    #[test]
+    fn stats_window_resnapshots_on_baseline_regression() {
+        // Regression (ISSUE 10, satellite 1): a window baseline that is
+        // *ahead* of the live counters (the counters were replaced or
+        // reset after the baseline was taken) used to produce saturated
+        // per-field deltas — `completed` clamped to 0 while histogram
+        // buckets kept nonzero counts, so quantiles read garbage. The
+        // fix detects the regression and resnapshots from zero.
+        let e = engine(1);
+        let q = e.current_index().0.graph().upper(2);
+        e.query(QueryRequest::new(q, 2, 2, Algorithm::Peel));
+        e.stats_window(); // establish a legitimate baseline
+        e.query(QueryRequest::new(q, 3, 2, Algorithm::Peel));
+        e.query(QueryRequest::new(q, 2, 1, Algorithm::Peel));
+        let live_completed = e.stats().completed;
+        // Force the mid-window reset: overwrite the baseline with one
+        // recorded from different (busier) storage, exactly what a
+        // telemetry-plane swap mid-window looks like to the reader.
+        {
+            let ahead = LatencyHistogram::default();
+            for _ in 0..1000 {
+                ahead.record(50);
+            }
+            let mut base = e.core.window.lock().unwrap();
+            base.completed = 1_000_000;
+            base.service = ahead.snapshot();
+        }
+        let w = e.stats_window();
+        // The stale baseline is discarded: the window reports everything
+        // the counters currently hold (all of it post-"reset"), not a
+        // zero count over nonzero buckets.
+        assert_eq!(
+            w.completed, live_completed,
+            "regressed baseline must be resnapshotted, not saturated"
+        );
+        assert!(w.mean_us > 0.0, "window quantiles must see the samples");
+        // And the rollover leaves a sane baseline behind: the next
+        // window counts only its own traffic.
+        e.query(QueryRequest::new(q, 1, 2, Algorithm::Peel));
+        assert_eq!(e.stats_window().completed, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn stats_window_rearms_the_slow_ring() {
+        // Regression (ISSUE 10, satellite 2), engine-level: each window
+        // rollover clears the per-shard slow rings, so a window's slow
+        // list holds that window's worst — not warmup's — and the
+        // ratcheted reject threshold cannot suppress a later window's
+        // spikes.
+        // Real queries on figure2 can finish in 0µs (which the ring
+        // ignores by design), so drive the shard's telemetry plane with
+        // synthetic traces of known latency for determinism.
+        let e = engine(1);
+        let trace = |q: u32, total_us: u64| crate::telemetry::RequestTrace {
+            q,
+            alpha: 2,
+            beta: 2,
+            algo: Algorithm::Peel,
+            epoch: 0,
+            provenance: Provenance::Single,
+            cached: false,
+            coalesced: false,
+            total_us,
+            stages_us: [0; crate::telemetry::N_STAGES],
+            touched: 0,
+        };
+        // Slow warmup fills the ring and ratchets the reject threshold.
+        for (q, us) in [(1u32, 10_000u64), (2, 12_000), (3, 14_000)] {
+            e.core.shards[0].telemetry.record(&trace(q, us));
+        }
+        let w1 = e.stats_window();
+        assert_eq!(w1.slow.len(), 3, "warmup queries must be retained");
+        // Rollover cleared the ring: cumulative stats see none until
+        // new traffic arrives...
+        assert!(e.stats().slow.is_empty(), "rollover must re-arm the ring");
+        // ...and the next window captures its own spike, even though it
+        // is far below the warmup latencies the old threshold retained.
+        e.core.shards[0].telemetry.record(&trace(9, 500));
+        let w2 = e.stats_window();
+        assert_eq!(
+            w2.slow
+                .iter()
+                .filter(|s| s.q == 9 && s.total_us == 500)
+                .count(),
+            1,
+            "post-rollover spike lost: {:?}",
+            w2.slow
+        );
         e.shutdown();
     }
 }

@@ -100,19 +100,23 @@
 // module-level `allow`); everything else in the crate is checked.
 #![deny(unsafe_code)]
 
+pub mod batcher;
 pub mod cache;
 pub mod engine;
 pub mod replay;
+pub mod server;
 pub mod stats;
 pub mod telemetry;
 
+pub use batcher::{DeadlineBuckets, FlushCause, TenantQuotas, TokenBucket};
 pub use cache::{CacheStats, ShardedCache};
 pub use engine::{BatchHandle, QueryEngine, ResponseHandle, ServiceConfig, ShardedEngine};
 pub use replay::{
     build_workload, replay, replay_batched, try_build_workload, ReplayReport, WorkloadError,
     WorkloadSpec,
 };
-pub use stats::{HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
+pub use server::{Server, ServerHandle};
+pub use stats::{AdmissionStats, HistSnapshot, LatencyHistogram, ServiceStats, ShardStats};
 pub use telemetry::{
     render_bench_json, render_prometheus, validate_bench_json, validate_prometheus, AlgoStats,
     BenchMeta, LatencySummary, Provenance, SlowQuery, Stage, BENCH_SCHEMA, N_STAGES,

@@ -1,0 +1,1182 @@
+//! `scs serve` — a std-only TCP network front end over the
+//! [`QueryEngine`], with admission control, deadline batching and
+//! graceful overload.
+//!
+//! # Protocol
+//!
+//! Hand-rolled minimal HTTP/1.1 (same no-dependency policy as the
+//! vendored crates): one `GET` per request, keep-alive by default,
+//! JSON responses. Endpoints:
+//!
+//! * `GET /query?q=<vertex>&alpha=<a>&beta=<b>[&algo=<name>]`
+//!   `[&tenant=<id>][&deadline_ms=<ms>]` — answer one
+//!   (α,β)-community query. `algo` is one of
+//!   `auto|peel|expand|binary|baseline` (default `auto`); `tenant`
+//!   attributes the request to a per-tenant quota bucket;
+//!   `deadline_ms` tightens (never loosens) the deadline batcher's
+//!   flush for the bucket this request lands in. The response carries
+//!   the community's size and minimum weight, epoch provenance
+//!   (`epoch`, `cached`, `coalesced`) and per-request timings:
+//!   `accept_us` (socket accept → engine enqueue — the batching
+//!   latency the operator dialed in), `service_us` (engine dequeue →
+//!   response) and `total_us` (admission → reply handoff).
+//! * `GET /metrics` — Prometheus text exposition, the engine families
+//!   plus the live `scs_admission_*` counters.
+//! * `GET /stats` — the human-readable stats table.
+//! * `GET /healthz` — liveness probe.
+//!
+//! # Admission control and overload
+//!
+//! A request is admitted only if (a) its tenant's token bucket
+//! ([`crate::TenantQuotas`]) has a token and (b) the **pending
+//! budget** ([`ServiceConfig::pending_budget`]) — admitted requests
+//! not yet answered — has room. Anything else is shed *immediately*
+//! with `429 Too Many Requests` and a `Retry-After` whose value is
+//! derived from the observed accept-stage p99 (how long admitted
+//! requests are currently waiting to reach the engine), jittered
+//! ±25% so a synchronized client herd does not return as one wave.
+//! Under overload the server therefore degrades by answering fast
+//! 429s rather than growing an unbounded queue; admitted requests
+//! keep bounded latency because the budget caps what can be in
+//! flight. Socket read/write timeouts
+//! ([`ServiceConfig::socket_timeout_ms`]) stop a slow or dead client
+//! from pinning its connection thread.
+//!
+//! At quiescence the counters reconcile exactly:
+//! `admitted == served + shed_after_admit` — every admitted request
+//! is resolved by its owning connection thread as either a written
+//! reply or a recorded post-admission shed (client death, reply
+//! timeout or shutdown drain). No reply is lost or duplicated: each
+//! request has exactly one reply channel, each flushed batch member
+//! is answered from [`submit_batch`]'s submission-order responses.
+//!
+//! # Deadline batching
+//!
+//! Admitted requests flow to a single batcher thread that accumulates
+//! them in per-`(α, β, algorithm)` buckets ([`DeadlineBuckets`]) and
+//! flushes a bucket into [`QueryEngine::submit_batch`] when it holds
+//! [`ServiceConfig::batch_max`] requests or its deadline
+//! ([`ServiceConfig::batch_deadline_ms`]) expires — converting bursty
+//! single-request socket traffic into the engine's batch path (one
+//! queue job, one snapshot, one cache pass, batched kernel calls). A
+//! small responder pool waits on the [`BatchHandle`]s so the batcher
+//! never blocks on the engine.
+//!
+//! [`submit_batch`]: QueryEngine::submit_batch
+
+use crate::batcher::{DeadlineBuckets, Flush, FlushCause, TenantQuotas};
+use crate::engine::{BatchHandle, QueryEngine, ServiceConfig};
+use crate::stats::{AdmissionStats, LatencyHistogram, ServiceStats};
+use crate::{QueryRequest, QueryResponse};
+use bigraph::Vertex;
+use scs::Algorithm;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Maximum bytes of one request head (request line + headers).
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Responder threads waiting on in-flight [`BatchHandle`]s. Two keep
+/// the batcher pipelined: a new batch can form while the previous one
+/// computes.
+const N_RESPONDERS: usize = 2;
+
+/// One admitted request in flight between a connection thread and the
+/// batcher.
+struct Admitted {
+    req: QueryRequest,
+    /// Where the responder delivers this request's answer.
+    tx: mpsc::Sender<QueryResponse>,
+    /// When the connection thread admitted it (accept-stage start).
+    t_admit: Instant,
+    /// The request's own `deadline_ms`, if it sent one.
+    deadline: Option<Duration>,
+}
+
+/// One flushed batch on its way to a responder thread: the engine's
+/// pending handle plus the reply channels in submission order.
+struct Dispatch {
+    handle: BatchHandle,
+    txs: Vec<mpsc::Sender<QueryResponse>>,
+}
+
+/// Everything the server's threads share.
+struct ServerInner {
+    engine: QueryEngine,
+    stop: AtomicBool,
+    /// Admitted-but-unanswered requests, bounded by `pending_budget`.
+    pending: AtomicUsize,
+    pending_budget: usize,
+    socket_timeout: Option<Duration>,
+    /// How long a connection thread waits for its admitted request's
+    /// reply before declaring it shed-after-admit.
+    reply_timeout: Duration,
+    admitted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    quota_rejected: AtomicU64,
+    shed_after_admit: AtomicU64,
+    deadline_flushes: AtomicU64,
+    size_flushes: AtomicU64,
+    quotas: Mutex<TenantQuotas>,
+    /// Accept-stage (admission → engine enqueue) samples; its p99
+    /// feeds the `Retry-After` hint on 429s.
+    queue_wait: LatencyHistogram,
+    /// Jitter state for `Retry-After` (a splitmix64 counter — no
+    /// external RNG, deterministic per process but decorrelated across
+    /// rejections).
+    jitter: AtomicU64,
+    /// The batcher's intake. `None` once the server started shutting
+    /// down.
+    batch_tx: Mutex<Option<mpsc::Sender<Admitted>>>,
+    /// Clones of live connection sockets, so shutdown can unblock
+    /// reads immediately instead of waiting out socket timeouts.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Connection threads to join on shutdown.
+    conn_joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerInner {
+    fn admission(&self) -> AdmissionStats {
+        // ordering: Relaxed — statistics reads; each counter is
+        // independent and the reconciliation invariant is only claimed
+        // at quiescence (no concurrent writers).
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed), // ordering: Relaxed, as above
+            shed_after_admit: self.shed_after_admit.load(Ordering::Relaxed), // ordering: Relaxed, as above
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed), // ordering: Relaxed, as above
+            size_flushes: self.size_flushes.load(Ordering::Relaxed), // ordering: Relaxed, as above
+        }
+    }
+
+    /// The jittered `Retry-After` hint, milliseconds: the observed
+    /// accept-stage p99 (how long admitted requests currently wait to
+    /// reach the engine), clamped to [50ms, 5s], ±25% jitter.
+    fn retry_after_ms(&self) -> u64 {
+        let p99_us = self.queue_wait.snapshot().quantile_us(0.99);
+        let base_ms = (p99_us / 1000).clamp(50, 5000);
+        // splitmix64 over a counter: cheap decorrelated jitter.
+        // ordering: Relaxed — the counter only needs uniqueness-ish,
+        // not ordering.
+        let mut x = self
+            .jitter
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        // jitter in [-25%, +25%] of base.
+        let span = base_ms / 2;
+        let off = if span == 0 { 0 } else { x % (span + 1) };
+        base_ms - span / 2 + off
+    }
+}
+
+/// The running network front end. Construct with [`Server::start`];
+/// the handle stops (and joins) everything on [`ServerHandle::stop`].
+pub struct Server;
+
+/// Handle to a running [`Server`]: the bound address, live stats and
+/// the shutdown switch. Dropping the handle without calling
+/// [`Self::stop`] leaks the serving threads (they keep serving) — the
+/// CLI relies on that to serve "forever".
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    responders: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), takes
+    /// ownership of `engine` and starts the accept loop, the deadline
+    /// batcher and the responder pool. Admission/batching knobs come
+    /// from `config` (the same struct that sized the engine).
+    pub fn start(
+        engine: QueryEngine,
+        addr: &str,
+        config: &ServiceConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let socket_timeout = match config.socket_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        let reply_timeout = Duration::from_millis(
+            config
+                .socket_timeout_ms
+                .max(config.batch_deadline_ms.saturating_mul(2) + 1_000)
+                .max(1_000),
+        );
+        let (batch_tx, batch_rx) = mpsc::channel::<Admitted>();
+        let inner = Arc::new(ServerInner {
+            engine,
+            stop: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            pending_budget: config.pending_budget.max(1),
+            socket_timeout,
+            reply_timeout,
+            admitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            shed_after_admit: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            size_flushes: AtomicU64::new(0),
+            quotas: Mutex::new(TenantQuotas::new(config.tenant_rate, config.tenant_burst)),
+            queue_wait: LatencyHistogram::default(),
+            jitter: AtomicU64::new(0x5ca1_ab1e),
+            batch_tx: Mutex::new(Some(batch_tx)),
+            conns: Mutex::new(Vec::new()),
+            conn_joins: Mutex::new(Vec::new()),
+        });
+
+        let (disp_tx, disp_rx) = mpsc::channel::<Dispatch>();
+        let responders = {
+            let disp_rx = Arc::new(Mutex::new(disp_rx));
+            (0..N_RESPONDERS)
+                .map(|i| {
+                    let rx = Arc::clone(&disp_rx);
+                    std::thread::Builder::new()
+                        .name(format!("scs-respond-{i}"))
+                        .spawn(move || responder_loop(&rx))
+                        .expect("spawn responder")
+                })
+                .collect()
+        };
+
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            let batch_max = config.batch_max.max(1);
+            let deadline = Duration::from_millis(config.batch_deadline_ms);
+            std::thread::Builder::new()
+                .name("scs-batcher".into())
+                .spawn(move || batcher_loop(&inner, &batch_rx, &disp_tx, batch_max, deadline))
+                .expect("spawn batcher")
+        };
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("scs-accept".into())
+                .spawn(move || accept_loop(&inner, &listener))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            inner,
+            addr: local,
+            accept: Some(accept),
+            batcher: Some(batcher),
+            responders,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live admission counters.
+    pub fn admission(&self) -> AdmissionStats {
+        self.inner.admission()
+    }
+
+    /// Engine stats with the live admission counters spliced in.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.inner.engine.stats();
+        stats.admission = self.inner.admission();
+        stats
+    }
+
+    /// Graceful shutdown: stop accepting, unblock and join every
+    /// connection thread (their in-flight requests resolve as served
+    /// or shed-after-admit), drain the batcher into the engine, join
+    /// the responders, then shut the engine down. Returns the final
+    /// admission counters, reconciled
+    /// (`admitted == served + shed_after_admit`).
+    pub fn stop(mut self) -> AdmissionStats {
+        // ordering: Release pairs with the Acquire loads in the accept
+        // and connection loops — threads that observe the flag also
+        // observe everything the stopper did before raising it.
+        self.inner.stop.store(true, Ordering::Release);
+        // Unblock the accept loop: it checks `stop` after every
+        // accept, so one throwaway connection gets it to exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Unblock connection threads stuck in read() and join them;
+        // each resolves its in-flight request on the way out.
+        {
+            let mut conns = self.inner.conns.lock().unwrap();
+            for c in conns.drain(..) {
+                let _ = c.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let joins: Vec<_> = {
+            let mut j = self.inner.conn_joins.lock().unwrap();
+            j.drain(..).collect()
+        };
+        for h in joins {
+            let _ = h.join();
+        }
+        // With every connection thread gone, dropping the server's
+        // sender disconnects the batcher's intake; it drains its
+        // buckets into the engine and exits.
+        self.inner.batch_tx.lock().unwrap().take();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for h in self.responders.drain(..) {
+            let _ = h.join();
+        }
+        self.inner.admission()
+        // `self.inner` drops here; the engine's Drop drains and joins
+        // its workers.
+    }
+}
+
+fn accept_loop(inner: &Arc<ServerInner>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                // ordering: Acquire pairs with the stopper's Release.
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        // ordering: Acquire pairs with the stopper's Release store.
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(inner.socket_timeout);
+        let _ = stream.set_write_timeout(inner.socket_timeout);
+        if let Ok(clone) = stream.try_clone() {
+            inner.conns.lock().unwrap().push(clone);
+        }
+        let inner2 = Arc::clone(inner);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("scs-conn".into())
+            .spawn(move || connection_loop(&inner2, stream))
+        {
+            inner.conn_joins.lock().unwrap().push(h);
+        }
+    }
+}
+
+/// One HTTP request head, split into what the handler needs.
+struct HttpRequest<'a> {
+    method: &'a str,
+    path: &'a str,
+    query: &'a str,
+    keep_alive: bool,
+}
+
+/// One response on its way out.
+struct HttpResponse {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+    retry_after_ms: Option<u64>,
+}
+
+impl HttpResponse {
+    fn json(status: u16, reason: &'static str, body: String) -> Self {
+        HttpResponse {
+            status,
+            reason,
+            content_type: "application/json",
+            body,
+            retry_after_ms: None,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, msg: &str) -> Self {
+        HttpResponse::json(status, reason, format!("{{\"error\":\"{msg}\"}}\n"))
+    }
+}
+
+/// What a `/query` request resolved to, for the admission ledger.
+enum QueryOutcome {
+    /// Not admitted (shed, quota-rejected, parse error…) — nothing to
+    /// reconcile.
+    NotAdmitted,
+    /// Admitted and a reply is in hand: a successful socket write
+    /// counts `served`, a failed one `shed_after_admit`.
+    Delivered,
+}
+
+fn connection_loop(inner: &Arc<ServerInner>, mut stream: TcpStream) {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        // ordering: Acquire pairs with the stopper's Release store.
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let head = match read_request_head(&mut stream, &mut buf) {
+            Ok(Some(head)) => head,
+            Ok(None) => return, // clean EOF between requests
+            Err(_) => return,   // timeout / reset / oversized head
+        };
+        let (resp, outcome) = match parse_request(&head) {
+            Ok(req) => handle_request(inner, &req),
+            Err(msg) => (
+                HttpResponse::error(400, "Bad Request", msg),
+                QueryOutcome::NotAdmitted,
+            ),
+        };
+        let keep_alive = parse_request(&head).is_ok_and(|r| r.keep_alive);
+        let wrote = write_response(&mut stream, &resp, keep_alive).is_ok();
+        if let QueryOutcome::Delivered = outcome {
+            if wrote {
+                // ordering: Relaxed — independent statistics counters;
+                // quiescent reconciliation needs no ordering.
+                inner.served.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // ordering: Relaxed — as above.
+                inner.shed_after_admit.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if !wrote || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Reads one request head (through `\r\n\r\n`) into `buf` and returns
+/// it as text. `Ok(None)` on clean EOF before any byte.
+fn read_request_head(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Option<String>> {
+    buf.clear();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(buf) {
+            let head = String::from_utf8_lossy(buf.get(..end).unwrap_or_default()).into_owned();
+            return Ok(Some(head));
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-request",
+                ))
+            };
+        }
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+// The per-connection request handler must never take the whole server
+// down: a malformed request, an unexpected parameter or a dead socket
+// ends at worst this one connection. The analyzer proves the handler
+// and its transitive callees free of panic sites.
+// scs-contract: no-panic
+fn parse_request<'a>(head: &'a str) -> Result<HttpRequest<'a>, &'static str> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?;
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    // Keep-alive: HTTP/1.1 defaults on, `Connection: close` (or an
+    // HTTP/1.0 client) turns it off.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("connection") {
+            let v = value.trim();
+            if v.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if v.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        keep_alive,
+    })
+}
+
+// scs-contract: no-panic — see `parse_request`; this is the dispatch
+// half of the connection handler.
+fn handle_request(inner: &Arc<ServerInner>, req: &HttpRequest<'_>) -> (HttpResponse, QueryOutcome) {
+    if req.method != "GET" {
+        return (
+            HttpResponse::error(405, "Method Not Allowed", "only GET is served"),
+            QueryOutcome::NotAdmitted,
+        );
+    }
+    match req.path {
+        "/query" => handle_query(inner, req.query),
+        "/metrics" => {
+            let text = inner.engine.render_metrics_with(inner.admission());
+            (
+                HttpResponse {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain; version=0.0.4",
+                    body: text,
+                    retry_after_ms: None,
+                },
+                QueryOutcome::NotAdmitted,
+            )
+        }
+        "/stats" => {
+            let mut stats = inner.engine.stats();
+            stats.admission = inner.admission();
+            (
+                HttpResponse {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain; charset=utf-8",
+                    body: stats.to_string(),
+                    retry_after_ms: None,
+                },
+                QueryOutcome::NotAdmitted,
+            )
+        }
+        "/healthz" => (
+            HttpResponse::json(200, "OK", "{\"ok\":true}\n".to_string()),
+            QueryOutcome::NotAdmitted,
+        ),
+        _ => (
+            HttpResponse::error(404, "Not Found", "unknown path"),
+            QueryOutcome::NotAdmitted,
+        ),
+    }
+}
+
+/// Query-string parameters of `/query`, parsed but not yet validated
+/// as a complete request.
+#[derive(Default)]
+struct QueryParams {
+    q: Option<u32>,
+    alpha: Option<u32>,
+    beta: Option<u32>,
+    algo: Option<Algorithm>,
+    tenant: Option<String>,
+    deadline_ms: Option<u64>,
+}
+
+// scs-contract: no-panic — parameter parsing runs on every socket
+// request; a hostile query string must yield a 400, not a panic.
+fn parse_query_params(query: &str) -> Result<QueryParams, &'static str> {
+    let mut p = QueryParams::default();
+    for pair in query.split('&').filter(|s| !s.is_empty()) {
+        let (key, value) = pair.split_once('=').ok_or("parameter without value")?;
+        match key {
+            "q" => p.q = Some(value.parse().map_err(|_| "q must be a u32 vertex id")?),
+            "alpha" => p.alpha = Some(value.parse().map_err(|_| "alpha must be a u32")?),
+            "beta" => p.beta = Some(value.parse().map_err(|_| "beta must be a u32")?),
+            "algo" => {
+                p.algo = Some(match value {
+                    "auto" => Algorithm::Auto,
+                    "peel" => Algorithm::Peel,
+                    "expand" => Algorithm::Expand,
+                    "binary" => Algorithm::Binary,
+                    "baseline" => Algorithm::Baseline,
+                    _ => return Err("unknown algo (auto|peel|expand|binary|baseline)"),
+                })
+            }
+            "tenant" => p.tenant = Some(url_decode(value).ok_or("bad tenant encoding")?),
+            "deadline_ms" => {
+                p.deadline_ms = Some(value.parse().map_err(|_| "deadline_ms must be a u64")?)
+            }
+            _ => {} // ignore unknown parameters (forward compatibility)
+        }
+    }
+    Ok(p)
+}
+
+// scs-contract: no-panic — runs on attacker-controlled input.
+fn url_decode(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut bytes = s.bytes();
+    while let Some(b) = bytes.next() {
+        match b {
+            b'%' => {
+                let hi = hex_val(bytes.next()?)?;
+                let lo = hex_val(bytes.next()?)?;
+                out.push(char::from(hi * 16 + lo));
+            }
+            b'+' => out.push(' '),
+            _ => out.push(char::from(b)),
+        }
+    }
+    Some(out)
+}
+
+// scs-contract: no-panic
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// The `/query` path: admission control, the deadline batcher
+/// round-trip, and the JSON reply.
+// scs-contract: no-panic — the heart of the connection handler: every
+// exit is an HTTP response, never an unwind.
+fn handle_query(inner: &Arc<ServerInner>, query: &str) -> (HttpResponse, QueryOutcome) {
+    let params = match parse_query_params(query) {
+        Ok(p) => p,
+        Err(msg) => {
+            return (
+                HttpResponse::error(400, "Bad Request", msg),
+                QueryOutcome::NotAdmitted,
+            )
+        }
+    };
+    let (Some(q), Some(alpha), Some(beta)) = (params.q, params.alpha, params.beta) else {
+        return (
+            HttpResponse::error(400, "Bad Request", "q, alpha and beta are required"),
+            QueryOutcome::NotAdmitted,
+        );
+    };
+    let req = QueryRequest {
+        q: Vertex(q),
+        alpha,
+        beta,
+        algo: params.algo.unwrap_or(Algorithm::Auto),
+    };
+    let t_admit = Instant::now();
+
+    // Tenant quota first: a quota-limited tenant must not consume
+    // pending budget.
+    {
+        let mut quotas = match inner.quotas.lock() {
+            Ok(g) => g,
+            // Quota state is plain counters; a writer can't have left
+            // them inconsistent mid-panic in any way that matters.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if !quotas.admit(params.tenant.as_deref(), t_admit) {
+            // ordering: Relaxed — independent statistics counter.
+            inner.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            drop(quotas); // contract-ok: dropping a MutexGuard cannot panic
+            return (
+                reject_429(inner, "tenant quota exhausted"),
+                QueryOutcome::NotAdmitted,
+            );
+        }
+    }
+
+    // Pending budget: admit or shed, never queue unboundedly.
+    // ordering: Relaxed — the budget is a statistical bound, not a
+    // synchronization point; a transient overshoot of one is benign
+    // and immediately corrected below.
+    let prior = inner.pending.fetch_add(1, Ordering::Relaxed);
+    if prior >= inner.pending_budget {
+        // ordering: Relaxed — undoing the optimistic increment above.
+        inner.pending.fetch_sub(1, Ordering::Relaxed);
+        // ordering: Relaxed — independent statistics counter.
+        inner.shed.fetch_add(1, Ordering::Relaxed);
+        return (
+            reject_429(inner, "pending budget exhausted"),
+            QueryOutcome::NotAdmitted,
+        );
+    }
+    // ordering: Relaxed — independent statistics counter.
+    inner.admitted.fetch_add(1, Ordering::Relaxed);
+
+    // Hand the request to the batcher and wait for its reply.
+    let (tx, rx) = mpsc::channel();
+    let sent = {
+        let guard = match inner.batch_tx.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match guard.as_ref() {
+            Some(batch_tx) => batch_tx
+                .send(Admitted {
+                    req,
+                    tx,
+                    t_admit,
+                    deadline: params.deadline_ms.map(Duration::from_millis),
+                })
+                .is_ok(),
+            None => false,
+        }
+    };
+    if !sent {
+        // Shutting down: the admission is resolved here as shed.
+        // ordering: Relaxed — statistics counters, as above.
+        inner.pending.fetch_sub(1, Ordering::Relaxed);
+        inner.shed_after_admit.fetch_add(1, Ordering::Relaxed);
+        return (
+            HttpResponse::error(503, "Service Unavailable", "server is shutting down"),
+            QueryOutcome::NotAdmitted,
+        );
+    }
+    match rx.recv_timeout(inner.reply_timeout) {
+        Ok(resp) => {
+            // ordering: Relaxed — budget release; see the admission
+            // increment above.
+            inner.pending.fetch_sub(1, Ordering::Relaxed);
+            let total_us = u64::try_from(t_admit.elapsed().as_micros()).unwrap_or(u64::MAX);
+            (
+                HttpResponse::json(200, "OK", render_query_json(&resp, total_us)),
+                QueryOutcome::Delivered,
+            )
+        }
+        Err(_) => {
+            // Reply never arrived (engine wedged or shutdown drain
+            // raced us): resolve as shed-after-admit. The late reply,
+            // if any, lands in a closed channel and is dropped — never
+            // double-delivered.
+            // ordering: Relaxed — statistics counters, as above.
+            inner.pending.fetch_sub(1, Ordering::Relaxed);
+            inner.shed_after_admit.fetch_add(1, Ordering::Relaxed);
+            (
+                HttpResponse::error(503, "Service Unavailable", "reply timed out"),
+                QueryOutcome::NotAdmitted,
+            )
+        }
+    }
+}
+
+// scs-contract: no-panic — the overload exit must itself be
+// panic-free or shedding would be the crash it exists to prevent.
+fn reject_429(inner: &Arc<ServerInner>, msg: &str) -> HttpResponse {
+    let retry_ms = inner.retry_after_ms();
+    HttpResponse {
+        status: 429,
+        reason: "Too Many Requests",
+        content_type: "application/json",
+        body: format!("{{\"error\":\"{msg}\",\"retry_after_ms\":{retry_ms}}}\n"),
+        retry_after_ms: Some(retry_ms),
+    }
+}
+
+fn render_query_json(resp: &QueryResponse, total_us: u64) -> String {
+    let r = &resp.request;
+    let min_weight = match resp.summary.min_weight {
+        Some(w) => format!("{w}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"q\":{},\"alpha\":{},\"beta\":{},\"algo\":\"{}\",\"epoch\":{},\
+         \"cached\":{},\"coalesced\":{},\"n_upper\":{},\"n_lower\":{},\
+         \"edges\":{},\"min_weight\":{},\"service_us\":{},\"total_us\":{}}}\n",
+        r.q.0,
+        r.alpha,
+        r.beta,
+        r.algo.name(),
+        resp.epoch,
+        resp.cached,
+        resp.coalesced,
+        resp.summary.n_upper,
+        resp.summary.n_lower,
+        resp.summary.size(),
+        min_weight,
+        resp.service_us,
+        total_us,
+    )
+}
+
+fn write_response(stream: &mut TcpStream, resp: &HttpResponse, keep_alive: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        resp.reason,
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(ms) = resp.retry_after_ms {
+        // The header is whole seconds (RFC 9110), rounded up and ≥ 1;
+        // the JSON body carries the precise milliseconds.
+        head.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// The deadline batcher: accumulates admitted requests in
+/// per-(α, β, algorithm) buckets and flushes them into the engine by
+/// size or deadline. Exits (after draining) when every sender is gone.
+fn batcher_loop(
+    inner: &Arc<ServerInner>,
+    rx: &mpsc::Receiver<Admitted>,
+    disp_tx: &mpsc::Sender<Dispatch>,
+    batch_max: usize,
+    deadline: Duration,
+) {
+    let mut buckets: DeadlineBuckets<(mpsc::Sender<QueryResponse>, Instant)> =
+        DeadlineBuckets::new(batch_max, deadline);
+    loop {
+        let now = Instant::now();
+        // Sleep until the earliest bucket deadline (or indefinitely
+        // when empty — a new request wakes us).
+        let msg = match buckets.next_deadline() {
+            Some(due) => rx.recv_timeout(due.saturating_duration_since(now)),
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        };
+        match msg {
+            Ok(adm) => {
+                let now = Instant::now();
+                if let Some(flush) = buckets.push(adm.req, (adm.tx, adm.t_admit), now, adm.deadline)
+                {
+                    dispatch(inner, disp_tx, flush, now);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Shutdown: drain what's accumulated into the engine —
+                // the admitted requests still get real answers (their
+                // connection threads may still be waiting).
+                let now = Instant::now();
+                for flush in buckets.drain() {
+                    dispatch(inner, disp_tx, flush, now);
+                }
+                return;
+            }
+        }
+        // Flush everything that came due while we slept or pushed.
+        let now = Instant::now();
+        while let Some(flush) = buckets.expired(now) {
+            dispatch(inner, disp_tx, flush, now);
+        }
+    }
+}
+
+/// Submits one flushed bucket to the engine and hands the pending
+/// handle to the responder pool. Records each member's accept-stage
+/// latency (admission → this enqueue) into the telemetry plane and
+/// the server's Retry-After histogram.
+fn dispatch(
+    inner: &Arc<ServerInner>,
+    disp_tx: &mpsc::Sender<Dispatch>,
+    flush: Flush<(mpsc::Sender<QueryResponse>, Instant)>,
+    now: Instant,
+) {
+    match flush.cause {
+        // ordering: Relaxed — independent statistics counters.
+        FlushCause::Size => inner.size_flushes.fetch_add(1, Ordering::Relaxed),
+        // ordering: Relaxed — as above. A drain flush counts as a
+        // deadline flush: the deadline was simply "now".
+        FlushCause::Deadline | FlushCause::Drain => {
+            inner.deadline_flushes.fetch_add(1, Ordering::Relaxed)
+        }
+    };
+    let mut reqs = Vec::with_capacity(flush.items.len());
+    let mut txs = Vec::with_capacity(flush.items.len());
+    for (req, (tx, t_admit)) in flush.items {
+        let us =
+            u64::try_from(now.saturating_duration_since(t_admit).as_micros()).unwrap_or(u64::MAX);
+        inner.engine.record_accept(&req, us);
+        inner.queue_wait.record(us);
+        reqs.push(req);
+        txs.push(tx);
+    }
+    let handle = inner.engine.submit_batch(&reqs);
+    if disp_tx.send(Dispatch { handle, txs }).is_err() {
+        // Responders are gone (shutdown tail): nobody will wait on the
+        // handle; dropping it leaves the engine to answer into the
+        // pooled cell, which is reclaimed on engine shutdown. The
+        // waiting connection threads resolve via their reply timeout.
+    }
+}
+
+/// Waits on dispatched batches and routes each response to its
+/// request's connection thread. A dead reply channel (client gone) is
+/// fine — the connection thread owns the shed-after-admit accounting.
+fn responder_loop(rx: &Arc<Mutex<mpsc::Receiver<Dispatch>>>) {
+    loop {
+        let msg = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(dispatch) = msg else { return };
+        let responses = dispatch.handle.wait();
+        for (resp, tx) in responses.into_iter().zip(dispatch.txs) {
+            let _ = tx.send(resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::figure2_example;
+    use scs::CommunitySearch;
+    use std::io::BufRead;
+
+    fn serve(config: ServiceConfig) -> ServerHandle {
+        let engine = QueryEngine::start(CommunitySearch::shared(figure2_example()), config.clone());
+        Server::start(engine, "127.0.0.1:0", &config).expect("bind loopback")
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, Vec<String>, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        read_reply(&mut s)
+    }
+
+    fn read_reply(s: &mut TcpStream) -> (u16, Vec<String>, String) {
+        let mut reader = io::BufReader::new(s);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+            headers.push(line);
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, headers, String::from_utf8_lossy(&body).into_owned())
+    }
+
+    #[test]
+    fn serves_queries_with_provenance_and_timings() {
+        let handle = serve(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let addr = handle.local_addr();
+        // figure2's upper(2) answers (2,2) with a 4-edge community of
+        // min weight 13 (the engine tests' oracle answer).
+        let g = figure2_example();
+        let q = g.upper(2).0;
+        let (status, _, body) = get(addr, &format!("/query?q={q}&alpha=2&beta=2&algo=peel"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"edges\":4"), "{body}");
+        assert!(body.contains("\"min_weight\":13"), "{body}");
+        assert!(body.contains("\"cached\":false"), "{body}");
+        assert!(body.contains("\"epoch\":0"), "{body}");
+        assert!(body.contains("\"service_us\":"), "{body}");
+        assert!(body.contains("\"total_us\":"), "{body}");
+        // Same key again: the engine's cache answers.
+        let (status, _, body) = get(addr, &format!("/query?q={q}&alpha=2&beta=2&algo=peel"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cached\":true"), "{body}");
+        let fin = handle.stop();
+        assert_eq!(fin.admitted, 2);
+        assert_eq!(fin.served, 2);
+        assert_eq!(fin.shed_after_admit, 0);
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        let handle = serve(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let q = figure2_example().upper(2).0;
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        for i in 0..3 {
+            write!(
+                s,
+                "GET /query?q={q}&alpha=1&beta={} HTTP/1.1\r\nHost: x\r\n\r\n",
+                i + 1
+            )
+            .unwrap();
+            let (status, _, body) = read_reply(&mut s);
+            assert_eq!(status, 200, "request {i}: {body}");
+        }
+        drop(s);
+        let fin = handle.stop();
+        assert_eq!(fin.admitted, 3);
+        assert_eq!(fin.served, 3);
+    }
+
+    #[test]
+    fn bad_requests_get_400s_not_panics() {
+        let handle = serve(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let addr = handle.local_addr();
+        for target in [
+            "/query",
+            "/query?q=abc&alpha=1&beta=1",
+            "/query?q=1&alpha=1",
+            "/query?q=1&alpha=1&beta=1&algo=quantum",
+            "/query?q=1&alpha=1&beta=1&deadline_ms=soon",
+        ] {
+            let (status, _, body) = get(addr, target);
+            assert_eq!(status, 400, "{target} → {body}");
+        }
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        // Admission ledger untouched by rejected requests.
+        let fin = handle.stop();
+        assert_eq!(fin.admitted, 0);
+        assert_eq!(fin.served, 0);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_with_retry_after() {
+        let handle = serve(ServiceConfig {
+            workers: 1,
+            tenant_rate: 1,
+            tenant_burst: 2,
+            ..ServiceConfig::default()
+        });
+        let addr = handle.local_addr();
+        let q = figure2_example().upper(2).0;
+        let mut statuses = Vec::new();
+        for _ in 0..4 {
+            let (status, headers, body) =
+                get(addr, &format!("/query?q={q}&alpha=2&beta=2&tenant=acme"));
+            if status == 429 {
+                assert!(
+                    headers.iter().any(|h| h.starts_with("Retry-After:")),
+                    "429 without Retry-After: {headers:?}"
+                );
+                assert!(body.contains("retry_after_ms"), "{body}");
+            }
+            statuses.push(status);
+        }
+        assert_eq!(
+            statuses.iter().filter(|&&s| s == 200).count(),
+            2,
+            "burst of 2 admits exactly 2 immediately: {statuses:?}"
+        );
+        assert_eq!(statuses.iter().filter(|&&s| s == 429).count(), 2);
+        // An anonymous request is exempt from tenant quotas.
+        let (status, _, _) = get(addr, &format!("/query?q={q}&alpha=2&beta=2"));
+        assert_eq!(status, 200);
+        let fin = handle.stop();
+        assert_eq!(fin.quota_rejected, 2);
+        assert_eq!(fin.admitted, 3);
+    }
+
+    #[test]
+    fn metrics_and_stats_expose_admission_counters() {
+        let handle = serve(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let addr = handle.local_addr();
+        let q = figure2_example().upper(2).0;
+        let (status, _, _) = get(addr, &format!("/query?q={q}&alpha=2&beta=2"));
+        assert_eq!(status, 200);
+        let (status, _, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        crate::telemetry::validate_prometheus(&metrics).expect("served metrics must validate");
+        assert!(
+            metrics.contains("scs_admission_admitted_total 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("scs_admission_shed_total 0"));
+        assert!(metrics.contains("scs_admission_quota_rejected_total 0"));
+        // The accept stage is recorded on the socket path.
+        assert!(metrics.contains("stage=\"accept\""));
+        let (status, _, table) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        assert!(table.contains("admitted"), "{table}");
+        handle.stop();
+    }
+
+    #[test]
+    fn deadline_batcher_forms_multi_request_batches() {
+        // A generous deadline and concurrent clients: the batcher must
+        // merge compatible requests into engine batch jobs.
+        let config = ServiceConfig {
+            workers: 2,
+            batch_deadline_ms: 50,
+            batch_max: 64,
+            ..ServiceConfig::default()
+        };
+        let handle = serve(config);
+        let addr = handle.local_addr();
+        let g = figure2_example();
+        let n_upper = g.n_upper();
+        let clients: Vec<_> = (0..8u32)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let q = figure2_example().upper(c as usize % n_upper).0;
+                    let (status, _, _) = get(addr, &format!("/query?q={q}&alpha=1&beta=1"));
+                    assert_eq!(status, 200);
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let stats = handle.stats();
+        assert!(
+            stats.batches > 0,
+            "batcher formed no engine batches: {stats:?}"
+        );
+        assert!(
+            stats.batched >= 2,
+            "no multi-request batch formed (batched = {})",
+            stats.batched
+        );
+        let fin = handle.stop();
+        assert_eq!(fin.admitted, 8);
+        assert_eq!(fin.served + fin.shed_after_admit, 8);
+        assert!(fin.deadline_flushes + fin.size_flushes > 0);
+    }
+}

@@ -100,9 +100,10 @@ impl LatencyHistogram {
     // a snapshot is consistent to within the records in flight.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
+            // contract-ok: `array::from_fn` hands out i < BUCKETS only.
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count: self.count.load(Ordering::Relaxed),
-            sum_us: self.sum_us.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed), // ordering: Relaxed, as above
             max_us: self.max_us.load(Ordering::Relaxed), // ordering: Relaxed, as above
         }
     }
@@ -198,6 +199,25 @@ impl HistSnapshot {
         }
     }
 
+    /// True when `self` cannot be a later snapshot of the same
+    /// histogram as `baseline`: some bucket, the count or the sum went
+    /// backwards. Cumulative histogram counters are monotone, so a
+    /// regression proves the baseline belongs to different (replaced or
+    /// reset) storage — e.g. a telemetry plane recreated mid-window.
+    /// [`Self::delta`] saturates per field, which silently yields a
+    /// `count` that disagrees with `Σ buckets` in that case (quantiles
+    /// then read the wrong bucket); windowed readers must detect the
+    /// regression with this and resnapshot instead.
+    pub fn regressed_from(&self, baseline: &HistSnapshot) -> bool {
+        if self.count < baseline.count || self.sum_us < baseline.sum_us {
+            return true;
+        }
+        self.buckets
+            .iter()
+            .zip(baseline.buckets.iter())
+            .any(|(now, base)| now < base)
+    }
+
     /// Bucket-wise sum of two snapshots (aggregating per-algorithm
     /// histograms into one per-stage row).
     pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
@@ -277,6 +297,44 @@ pub struct ShardStats {
     /// kernel-cost samples exist to size chunks from the observed
     /// per-record kernel time (see the engine's split-sizing feedback).
     pub min_sub_batch_effective: usize,
+}
+
+/// Network-front-end admission counters (`scs serve`): how many
+/// requests the server admitted, shed or quota-rejected, and how its
+/// deadline batcher flushed. All zero for an in-process engine — the
+/// engine itself never sheds; [`crate::Server`] injects its live
+/// counters into the snapshots it exposes over `/metrics` and `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted past the pending budget and tenant quotas.
+    pub admitted: u64,
+    /// Admitted requests whose reply was written back to the client.
+    /// At quiescence `admitted == served + shed_after_admit`.
+    pub served: u64,
+    /// Requests shed with `429 Too Many Requests` because the pending
+    /// budget was exhausted.
+    pub shed: u64,
+    /// Requests rejected with `429` by a per-tenant token bucket.
+    pub quota_rejected: u64,
+    /// Admitted requests whose reply was never delivered — the server
+    /// shut down while they were pending, or their socket died before
+    /// the response could be written. At quiescence
+    /// `admitted == served + shed_after_admit`, where `served` is the
+    /// count of replies actually written.
+    pub shed_after_admit: u64,
+    /// Accumulation buckets flushed into `submit_batch` because their
+    /// deadline expired.
+    pub deadline_flushes: u64,
+    /// Accumulation buckets flushed because they reached `batch_max`.
+    pub size_flushes: u64,
+}
+
+impl AdmissionStats {
+    /// True when every counter is zero (the in-process case — the
+    /// stats table hides the admission section then).
+    pub fn is_zero(&self) -> bool {
+        *self == AdmissionStats::default()
+    }
 }
 
 /// A point-in-time snapshot of a running engine, as printed by
@@ -373,9 +431,14 @@ pub struct ServiceStats {
     /// per-request submissions, the reply) with the per-stage split —
     /// indexed in [`scs::Algorithm::ALL`] order.
     pub algos: [AlgoStats; crate::telemetry::N_ALGOS],
-    /// The worst requests observed since engine start (the slow-query
-    /// ring is cumulative even in windowed snapshots), sorted
-    /// worst-first.
+    /// Admission-control counters of the network front end; all zero
+    /// when the engine serves in-process calls only.
+    pub admission: AdmissionStats,
+    /// The worst requests observed, sorted worst-first. Cumulative for
+    /// [`crate::QueryEngine::stats`]; a [`crate::QueryEngine::stats_window`]
+    /// call reports the worst requests *since the previous window call*
+    /// and re-arms the ring, so a fast window after a slow warmup still
+    /// surfaces its own spikes.
     pub slow: Vec<SlowQuery>,
     /// Per-shard slices of the totals above, one row per engine shard
     /// in shard order (a single row when the engine is unsharded).
@@ -421,6 +484,16 @@ impl fmt::Display for ServiceStats {
         writeln!(f, "│ index epoch         │ {:>12} │", self.epoch)?;
         writeln!(f, "│ installs            │ {:>12} │", self.installs)?;
         writeln!(f, "│ stale publishes     │ {:>12} │", self.stale_publishes)?;
+        if !self.admission.is_zero() {
+            let a = &self.admission;
+            writeln!(f, "│ admitted            │ {:>12} │", a.admitted)?;
+            writeln!(f, "│ served              │ {:>12} │", a.served)?;
+            writeln!(f, "│ shed (429)          │ {:>12} │", a.shed)?;
+            writeln!(f, "│ quota rejected      │ {:>12} │", a.quota_rejected)?;
+            writeln!(f, "│ shed after admit    │ {:>12} │", a.shed_after_admit)?;
+            writeln!(f, "│ deadline flushes    │ {:>12} │", a.deadline_flushes)?;
+            writeln!(f, "│ size flushes        │ {:>12} │", a.size_flushes)?;
+        }
         writeln!(f, "└─────────────────────┴──────────────┘")?;
         writeln!(
             f,
@@ -683,8 +756,17 @@ mod tests {
                 cached: false,
                 coalesced: false,
                 total_us: 900,
-                stages_us: [1, 2, 3, 880, 10, 4],
+                stages_us: [1, 2, 3, 880, 10, 4, 0],
             }],
+            admission: AdmissionStats {
+                admitted: 5000,
+                served: 4998,
+                shed: 123,
+                quota_rejected: 45,
+                shed_after_admit: 2,
+                deadline_flushes: 67,
+                size_flushes: 89,
+            },
             per_shard: vec![
                 ShardStats {
                     shard: 0,
@@ -745,6 +827,47 @@ mod tests {
         assert!(txt.contains("shard 0"));
         assert!(txt.contains("shard 1"));
         assert!(txt.contains("min-sub"));
+        // The admission section renders when any counter is nonzero...
+        assert!(txt.contains("shed (429)"));
+        assert!(txt.contains("quota rejected"));
+        assert!(txt.contains("deadline flushes"));
+        // ...and hides for the in-process (all-zero) case.
+        let mut quiet = s.clone();
+        quiet.admission = AdmissionStats::default();
+        assert!(!quiet.to_string().contains("shed (429)"));
+    }
+
+    #[test]
+    fn snapshot_regression_is_detected_not_saturated() {
+        // Regression (ISSUE 10, satellite 1): `delta` saturates per
+        // field, so a baseline from replaced/reset storage yields a
+        // delta whose `count` disagrees with `Σ buckets` and quantiles
+        // silently read the wrong bucket. `regressed_from` is the
+        // detector windowed readers must consult first.
+        let h = LatencyHistogram::default();
+        for us in [10u64, 100, 1000, 10_000] {
+            h.record(us);
+        }
+        let big = h.snapshot();
+        let h2 = LatencyHistogram::default();
+        h2.record(50);
+        let small = h2.snapshot();
+        // Forward in time over the same storage: no regression.
+        h.record(7);
+        let later = h.snapshot();
+        assert!(!later.regressed_from(&big));
+        assert!(!big.regressed_from(&big));
+        // A fresh histogram observed against the old baseline: count,
+        // sum and buckets all went backwards.
+        assert!(small.regressed_from(&big));
+        // The saturated delta is exactly the inconsistent artifact the
+        // detector exists to catch: nonzero buckets under a zero count.
+        let bad = small.delta(&big);
+        let bucket_sum: u64 = (0..HistSnapshot::N_BUCKETS)
+            .map(|i| bad.bucket_count(i))
+            .sum();
+        assert_eq!(bad.count(), 0);
+        assert_eq!(bucket_sum, 1);
     }
 
     #[test]
@@ -784,6 +907,7 @@ mod tests {
             arena_recycled: 0,
             stages: [LatencySummary::empty(); N_STAGES],
             algos: std::array::from_fn(|i| AlgoStats::empty(Algorithm::ALL[i])),
+            admission: AdmissionStats::default(),
             slow: Vec::new(),
             per_shard: vec![ShardStats {
                 shard: 0,

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Number of fixed stages every request's latency is split into.
-pub const N_STAGES: usize = 6;
+pub const N_STAGES: usize = 7;
 
 /// Number of algorithms telemetry is keyed by (the
 /// [`Algorithm::ALL`] order).
@@ -79,6 +79,11 @@ pub enum Stage {
     /// Handing the response back to the submitter (per-request
     /// submissions only).
     Reply = 5,
+    /// Socket accept → engine enqueue: HTTP parse, admission control
+    /// and deadline-batch accumulation in [`crate::server`]. Only the
+    /// network front end records it — the in-process path never touches
+    /// this stage, so the zero-allocation warm-path proof is unchanged.
+    Accept = 6,
 }
 
 impl Stage {
@@ -90,6 +95,7 @@ impl Stage {
         Stage::Kernel,
         Stage::Publish,
         Stage::Reply,
+        Stage::Accept,
     ];
 
     /// Canonical machine name — used as the Prometheus `stage` label,
@@ -102,6 +108,7 @@ impl Stage {
             Stage::Kernel => "kernel",
             Stage::Publish => "publish",
             Stage::Reply => "reply",
+            Stage::Accept => "accept",
         }
     }
 
@@ -523,6 +530,25 @@ impl Telemetry {
         out
     }
 
+    /// Records one network-front-end accept window (socket accept →
+    /// engine enqueue) into the per-algorithm [`Stage::Accept`]
+    /// histogram. The end-to-end total histogram is untouched — the
+    /// engine records that when the request completes, and double
+    /// counting would skew every quantile. Only [`crate::server`] calls
+    /// this; the in-process path never records the stage, so the warm
+    /// leader path's zero-allocation proof is unaffected.
+    pub fn record_accept(&self, algo: Algorithm, accept_us: u64) {
+        self.stage_hists[algo_rank(algo)][Stage::Accept as usize].record(accept_us);
+    }
+
+    /// Starts a fresh slow-query window: clears every ring slot and
+    /// re-arms the reject threshold (see [`SlowRing::reset_window`]).
+    /// Called by the engine's windowed stats rollover so a fast window
+    /// after a slow warmup still captures its own spikes.
+    pub fn reset_slow_window(&self) {
+        self.ring.reset_window();
+    }
+
     /// `(count, sum_us)` over every kernel-stage sample recorded so
     /// far, across all algorithms. Two relaxed loads per algorithm —
     /// cheap enough for the batch path to read per submission when
@@ -574,6 +600,26 @@ impl TelemetrySnapshot {
             installs: self.installs.saturating_sub(prev.installs),
             stale_publishes: self.stale_publishes.saturating_sub(prev.stale_publishes),
         }
+    }
+
+    /// True when `self` cannot be a later observation of the same
+    /// monotone counters as `baseline`: some histogram bucket, count or
+    /// sum, or a plain counter, went backwards. See
+    /// [`HistSnapshot::regressed_from`] — the windowed-stats rollover
+    /// uses this to resnapshot instead of computing a nonsense
+    /// saturated delta.
+    pub fn regressed_from(&self, baseline: &TelemetrySnapshot) -> bool {
+        for a in 0..N_ALGOS {
+            if self.total[a].regressed_from(&baseline.total[a]) {
+                return true;
+            }
+            for s in 0..N_STAGES {
+                if self.stage[a][s].regressed_from(&baseline.stage[a][s]) {
+                    return true;
+                }
+            }
+        }
+        self.installs < baseline.installs || self.stale_publishes < baseline.stale_publishes
     }
 
     /// Element-wise union of two snapshots: histograms merge
@@ -788,6 +834,61 @@ impl SlowRing {
         }
     }
 
+    /// Window rollover: clears every slot through the regular seqlock
+    /// writer protocol and drops the reject threshold back to 0.
+    ///
+    /// Without this the threshold is a one-way ratchet: `offer` only
+    /// ever raises it (to the ring's current minimum), so after a slow
+    /// warmup fills the ring with multi-millisecond entries, a
+    /// subsequent fast window — whose worst requests are genuinely slow
+    /// *for that window* but under the stale bound — records nothing,
+    /// forever. Resetting the threshold alone would not fix it: the
+    /// first post-reset `offer` re-scans the (still slow) slots and
+    /// re-raises the bound, so the slots must be cleared too. A slot
+    /// mid-write is skipped — its writer's entry legitimately belongs
+    /// to the closing window's tail and will age out on the next reset.
+    fn reset_window(&self) {
+        for s in &self.slots {
+            // ordering: Acquire pairs with the writers' Release publish;
+            // an even `seq` means the slot is stable and claimable.
+            let seq = s.seq.load(Ordering::Acquire);
+            if seq & 1 == 1 {
+                continue;
+            }
+            // Claim the slot exactly like `offer` does so concurrent
+            // writers/readers observe a normal write cycle.
+            // ordering: Acquire on success pairs with the prior writer's
+            // Release publish; Relaxed on failure — a lost race means a
+            // concurrent writer owns the slot, skip it.
+            if s.seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // ordering: Release fence before the data stores, exactly as
+            // in `offer` — the odd `seq` must be visible before the
+            // cleared fields.
+            std::sync::atomic::fence(Ordering::Release);
+            // ordering: Relaxed data stores — sealed by the Release
+            // publish below. `total_us == 0` marks the slot empty.
+            s.total_us.store(0, Ordering::Relaxed);
+            s.lo.store(0, Ordering::Relaxed);
+            s.mid.store(0, Ordering::Relaxed);
+            s.epoch.store(0, Ordering::Relaxed);
+            for slot in &s.stages {
+                // ordering: Relaxed — same data-store batch as above.
+                slot.store(0, Ordering::Relaxed);
+            }
+            // ordering: Release publish pairs with readers' Acquire
+            // loads of `seq`.
+            s.seq.store(seq + 2, Ordering::Release);
+        }
+        // ordering: Relaxed — `threshold` is only a reject hint; 0
+        // accepts everything until the ring refills.
+        self.threshold.store(0, Ordering::Relaxed);
+    }
+
     // scs-contract: no-alloc, no-block — the reader side of the seqlock:
     // bounded retries, no locks, plain loads into stack storage.
     fn read_slot(s: &RingSlot) -> Option<SlowQuery> {
@@ -927,6 +1028,41 @@ pub fn render_prometheus(stats: &ServiceStats, telem: &TelemetrySnapshot) -> Str
         "scs_arena_recycles_total",
         "Result-arena slab recycles.",
         stats.arena_recycled,
+    );
+    counter(
+        "scs_admission_admitted_total",
+        "Requests admitted past the network front end's pending budget and quotas.",
+        stats.admission.admitted,
+    );
+    counter(
+        "scs_admission_served_total",
+        "Admitted requests whose reply was written back to the client.",
+        stats.admission.served,
+    );
+    counter(
+        "scs_admission_shed_total",
+        "Requests shed with 429 because the pending budget was exhausted.",
+        stats.admission.shed,
+    );
+    counter(
+        "scs_admission_quota_rejected_total",
+        "Requests rejected with 429 by a per-tenant token-bucket quota.",
+        stats.admission.quota_rejected,
+    );
+    counter(
+        "scs_admission_shed_after_admit_total",
+        "Admitted requests whose reply was never delivered (shutdown drain or dead socket).",
+        stats.admission.shed_after_admit,
+    );
+    counter(
+        "scs_admission_deadline_flushes_total",
+        "Accumulation buckets flushed into submit_batch by deadline expiry.",
+        stats.admission.deadline_flushes,
+    );
+    counter(
+        "scs_admission_size_flushes_total",
+        "Accumulation buckets flushed into submit_batch by reaching batch_max.",
+        stats.admission.size_flushes,
     );
     let mut gauge = |name: &str, help: &str, v: u64| {
         out.push_str(&format!(
@@ -1898,6 +2034,7 @@ mod tests {
             arena_bytes: 8192,
             allocs_avoided: 10,
             arena_recycled: 1,
+            admission: crate::stats::AdmissionStats::default(),
             stages: snap.stage_summaries(),
             algos: snap.algo_stats(),
             slow: telem.slow_queries(),
@@ -2020,6 +2157,40 @@ mod tests {
         let off = Telemetry::new(0);
         off.record(&trace(1, Algorithm::Auto, 1000, 900));
         assert!(off.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn window_reset_rearms_the_ring_for_post_warmup_spikes() {
+        // Regression (ISSUE 10, satellite 2): the reject threshold was
+        // a one-way ratchet — after a slow warmup filled the ring, a
+        // fast window's genuinely-notable spikes fell under the stale
+        // bound and were never recorded again.
+        let telem = Telemetry::new(3);
+        for (q, us) in [(1u32, 10_000u64), (2, 12_000), (3, 14_000)] {
+            telem.record(&trace(q, Algorithm::Auto, us, us));
+        }
+        assert_eq!(telem.slow_queries().len(), 3);
+        // Window rollover (stats_window does this per shard).
+        telem.reset_slow_window();
+        assert!(
+            telem.slow_queries().is_empty(),
+            "reset must clear the warmup entries"
+        );
+        // A post-warmup spike far below the warmup latencies must be
+        // captured — before the fix the stale threshold rejected it.
+        telem.record(&trace(9, Algorithm::Peel, 500, 480));
+        let slow = telem.slow_queries();
+        assert_eq!(slow.len(), 1, "post-warmup spike lost: {slow:?}");
+        assert_eq!(slow[0].q, 9);
+        assert_eq!(slow[0].total_us, 500);
+        // The ring keeps ranking within the new window.
+        telem.record(&trace(10, Algorithm::Peel, 200, 180));
+        telem.record(&trace(11, Algorithm::Peel, 900, 880));
+        let totals: Vec<u64> = telem.slow_queries().iter().map(|s| s.total_us).collect();
+        assert_eq!(totals, vec![900, 500, 200]);
+        // Resetting an empty or capacity-0 ring is a no-op.
+        telem.reset_slow_window();
+        Telemetry::new(0).reset_slow_window();
     }
 
     #[test]
