@@ -5,7 +5,8 @@
 //! # Protocol
 //!
 //! Hand-rolled minimal HTTP/1.1 (same no-dependency policy as the
-//! vendored crates): one `GET` per request, keep-alive by default,
+//! vendored crates): one `GET` per request, keep-alive by default
+//! (pipelined requests in one segment are preserved, not dropped),
 //! JSON responses. Endpoints:
 //!
 //! * `GET /query?q=<vertex>&alpha=<a>&beta=<b>[&algo=<name>]`
@@ -70,6 +71,7 @@ use crate::stats::{AdmissionStats, LatencyHistogram, ServiceStats};
 use crate::{QueryRequest, QueryResponse};
 use bigraph::Vertex;
 use scs::Algorithm;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -134,11 +136,19 @@ struct ServerInner {
     /// The batcher's intake. `None` once the server started shutting
     /// down.
     batch_tx: Mutex<Option<mpsc::Sender<Admitted>>>,
-    /// Clones of live connection sockets, so shutdown can unblock
-    /// reads immediately instead of waiting out socket timeouts.
-    conns: Mutex<Vec<TcpStream>>,
-    /// Connection threads to join on shutdown.
-    conn_joins: Mutex<Vec<JoinHandle<()>>>,
+    /// Clones of live connection sockets keyed by connection id, so
+    /// shutdown can unblock reads immediately instead of waiting out
+    /// socket timeouts. Each connection thread removes its own entry
+    /// on exit — the map holds only live connections, so a
+    /// long-running server does not leak one duplicated fd per
+    /// connection ever accepted.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Live connection threads keyed by connection id. The accept
+    /// loop reaps finished handles between accepts; shutdown joins
+    /// whatever is left.
+    conn_joins: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// Id source for the two maps above.
+    next_conn_id: AtomicU64,
 }
 
 impl ServerInner {
@@ -237,8 +247,9 @@ impl Server {
             queue_wait: LatencyHistogram::default(),
             jitter: AtomicU64::new(0x5ca1_ab1e),
             batch_tx: Mutex::new(Some(batch_tx)),
-            conns: Mutex::new(Vec::new()),
-            conn_joins: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            conn_joins: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         });
 
         let (disp_tx, disp_rx) = mpsc::channel::<Dispatch>();
@@ -322,13 +333,13 @@ impl ServerHandle {
         // each resolves its in-flight request on the way out.
         {
             let mut conns = self.inner.conns.lock().unwrap();
-            for c in conns.drain(..) {
+            for (_, c) in conns.drain() {
                 let _ = c.shutdown(std::net::Shutdown::Both);
             }
         }
         let joins: Vec<_> = {
             let mut j = self.inner.conn_joins.lock().unwrap();
-            j.drain(..).collect()
+            j.drain().map(|(_, h)| h).collect()
         };
         for h in joins {
             let _ = h.join();
@@ -353,10 +364,20 @@ fn accept_loop(inner: &Arc<ServerInner>, listener: &TcpListener) {
     loop {
         let stream = match listener.accept() {
             Ok((s, _)) => s,
-            Err(_) => {
+            Err(e) => {
                 // ordering: Acquire pairs with the stopper's Release.
                 if inner.stop.load(Ordering::Acquire) {
                     return;
+                }
+                // A persistent accept failure (EMFILE/ENFILE under fd
+                // pressure) would otherwise spin this loop at 100%
+                // CPU; back off briefly so exhaustion degrades instead
+                // of livelocking the server.
+                if !matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                ) {
+                    std::thread::sleep(Duration::from_millis(50));
                 }
                 continue;
             }
@@ -365,19 +386,51 @@ fn accept_loop(inner: &Arc<ServerInner>, listener: &TcpListener) {
         if inner.stop.load(Ordering::Acquire) {
             return;
         }
+        reap_finished_conns(inner);
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(inner.socket_timeout);
         let _ = stream.set_write_timeout(inner.socket_timeout);
+        // ordering: Relaxed — the id only needs uniqueness.
+        let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            inner.conns.lock().unwrap().push(clone);
+            inner.conns.lock().unwrap().insert(id, clone);
         }
         let inner2 = Arc::clone(inner);
-        if let Ok(h) = std::thread::Builder::new()
+        match std::thread::Builder::new()
             .name("scs-conn".into())
-            .spawn(move || connection_loop(&inner2, stream))
-        {
-            inner.conn_joins.lock().unwrap().push(h);
+            .spawn(move || {
+                connection_loop(&inner2, stream);
+                // Drop our socket clone (and its duplicated fd) as
+                // soon as the connection ends, not at shutdown.
+                inner2.conns.lock().unwrap().remove(&id);
+            }) {
+            Ok(h) => {
+                inner.conn_joins.lock().unwrap().insert(id, h);
+            }
+            Err(_) => {
+                inner.conns.lock().unwrap().remove(&id);
+            }
         }
+    }
+}
+
+/// Joins connection threads that have already exited, so the join map
+/// tracks only live connections instead of growing by one handle per
+/// connection ever accepted.
+fn reap_finished_conns(inner: &ServerInner) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut joins = inner.conn_joins.lock().unwrap();
+        let done: Vec<u64> = joins
+            .iter()
+            .filter(|(_, h)| h.is_finished())
+            .map(|(&id, _)| id)
+            .collect();
+        done.into_iter()
+            .filter_map(|id| joins.remove(&id))
+            .collect()
+    };
+    for h in finished {
+        let _ = h.join();
     }
 }
 
@@ -436,14 +489,18 @@ fn connection_loop(inner: &Arc<ServerInner>, mut stream: TcpStream) {
             Ok(None) => return, // clean EOF between requests
             Err(_) => return,   // timeout / reset / oversized head
         };
-        let (resp, outcome) = match parse_request(&head) {
-            Ok(req) => handle_request(inner, &req),
+        let (resp, outcome, keep_alive) = match parse_request(&head) {
+            Ok(req) => {
+                let keep_alive = req.keep_alive;
+                let (resp, outcome) = handle_request(inner, &req);
+                (resp, outcome, keep_alive)
+            }
             Err(msg) => (
                 HttpResponse::error(400, "Bad Request", msg),
                 QueryOutcome::NotAdmitted,
+                false,
             ),
         };
-        let keep_alive = parse_request(&head).is_ok_and(|r| r.keep_alive);
         let wrote = write_response(&mut stream, &resp, keep_alive).is_ok();
         if let QueryOutcome::Delivered = outcome {
             if wrote {
@@ -462,13 +519,16 @@ fn connection_loop(inner: &Arc<ServerInner>, mut stream: TcpStream) {
 }
 
 /// Reads one request head (through `\r\n\r\n`) into `buf` and returns
-/// it as text. `Ok(None)` on clean EOF before any byte.
+/// it as text. `Ok(None)` on clean EOF before any byte. Bytes past
+/// the terminator stay in `buf` for the next call, so a keep-alive
+/// client that pipelines several requests in one segment loses none
+/// of them.
 fn read_request_head(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Option<String>> {
-    buf.clear();
     let mut chunk = [0u8; 1024];
     loop {
         if let Some(end) = find_head_end(buf) {
             let head = String::from_utf8_lossy(buf.get(..end).unwrap_or_default()).into_owned();
+            buf.drain(..(end + 4).min(buf.len()));
             return Ok(Some(head));
         }
         if buf.len() > MAX_REQUEST_BYTES {
@@ -627,22 +687,27 @@ fn parse_query_params(query: &str) -> Result<QueryParams, &'static str> {
     Ok(p)
 }
 
+// Percent-decoding works on raw bytes: a UTF-8 name like
+// `caf%C3%A9` must decode through its byte sequence, not through
+// per-byte `char::from` (Latin-1), or the tenant string is mojibake.
+// Invalid UTF-8 after decoding is rejected (→ 400), never replaced,
+// so distinct raw names cannot collide.
 // scs-contract: no-panic — runs on attacker-controlled input.
 fn url_decode(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
+    let mut out = Vec::with_capacity(s.len());
     let mut bytes = s.bytes();
     while let Some(b) = bytes.next() {
         match b {
             b'%' => {
                 let hi = hex_val(bytes.next()?)?;
                 let lo = hex_val(bytes.next()?)?;
-                out.push(char::from(hi * 16 + lo));
+                out.push(hi * 16 + lo);
             }
-            b'+' => out.push(' '),
-            _ => out.push(char::from(b)),
+            b'+' => out.push(b' '),
+            _ => out.push(b),
         }
     }
-    Some(out)
+    String::from_utf8(out).ok()
 }
 
 // scs-contract: no-panic
@@ -1045,6 +1110,87 @@ mod tests {
         let fin = handle.stop();
         assert_eq!(fin.admitted, 3);
         assert_eq!(fin.served, 3);
+    }
+
+    #[test]
+    fn pipelined_requests_all_get_replies() {
+        let handle = serve(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let q = figure2_example().upper(2).0;
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        // Two requests in one write: the head reader must retain the
+        // bytes past the first `\r\n\r\n` instead of discarding them.
+        write!(
+            s,
+            "GET /query?q={q}&alpha=1&beta=1 HTTP/1.1\r\nHost: x\r\n\r\n\
+             GET /query?q={q}&alpha=1&beta=2 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let (status1, _, body1) = read_reply(&mut s);
+        assert_eq!(status1, 200, "{body1}");
+        assert!(body1.contains("\"beta\":1"), "{body1}");
+        let (status2, _, body2) = read_reply(&mut s);
+        assert_eq!(status2, 200, "{body2}");
+        assert!(body2.contains("\"beta\":2"), "{body2}");
+        let fin = handle.stop();
+        assert_eq!(fin.admitted, 2);
+        assert_eq!(fin.served, 2);
+    }
+
+    #[test]
+    fn url_decode_is_utf8_not_latin1() {
+        assert_eq!(url_decode("caf%C3%A9").as_deref(), Some("café"));
+        assert_eq!(url_decode("a+b%20c").as_deref(), Some("a b c"));
+        // A bare 0xFF is valid percent-encoding but invalid UTF-8:
+        // reject, don't replace (distinct raw names must not collide).
+        assert_eq!(url_decode("%ff"), None);
+        assert_eq!(url_decode("%zz"), None);
+        assert_eq!(url_decode("%a"), None);
+    }
+
+    #[test]
+    fn closed_connections_are_pruned_not_leaked() {
+        let handle = serve(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let addr = handle.local_addr();
+        let q = figure2_example().upper(2).0;
+        for _ in 0..20 {
+            let (status, _, _) = get(addr, &format!("/query?q={q}&alpha=1&beta=1"));
+            assert_eq!(status, 200);
+        }
+        // Each `Connection: close` request above ended its connection;
+        // the socket-clone map must drain as the threads exit (that
+        // clone is the duplicated fd a long-running server would
+        // otherwise leak per connection)…
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline && !handle.inner.conns.lock().unwrap().is_empty() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            handle.inner.conns.lock().unwrap().is_empty(),
+            "socket clones leaked after connections closed"
+        );
+        // …and subsequent accepts must reap the finished join handles
+        // (each probe below adds one live entry and sweeps the dead).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, _, _) = get(addr, "/healthz");
+            assert_eq!(status, 200);
+            let n = handle.inner.conn_joins.lock().unwrap().len();
+            if n <= 2 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "join handles not reaped: {n} still tracked"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle.stop();
     }
 
     #[test]
